@@ -1,0 +1,33 @@
+# Convenience targets for the repro study framework.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-paper report verify examples clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+bench-paper:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s --sweep=paper
+
+report:
+	$(PYTHON) -m repro report --out study_report.md
+	@echo "wrote study_report.md"
+
+verify:
+	$(PYTHON) -m repro verify
+
+examples:
+	@for ex in examples/*.py; do \
+	  echo "== $$ex =="; $(PYTHON) $$ex > /dev/null && echo OK || exit 1; \
+	done
+
+clean:
+	rm -rf build dist src/*.egg-info .pytest_cache .hypothesis study_report.md
+	find . -name __pycache__ -type d -exec rm -rf {} +

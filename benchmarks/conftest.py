@@ -1,0 +1,35 @@
+"""Shared fixtures for the benchmark suite.
+
+Every ``test_*`` here is a pytest-benchmark target that regenerates one
+table or figure of the paper (see DESIGN.md's per-experiment index).  Run
+with ``pytest benchmarks/ --benchmark-only``; add ``-s`` to see the
+regenerated tables and charts, or ``--sweep=paper`` to use the paper's
+full 1024..20480 size sweep instead of the quick default.
+"""
+
+import pytest
+
+from repro.harness import PAPER_SIZES, QUICK_SIZES
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--sweep", choices=("quick", "paper"), default="quick",
+        help="matrix-size sweep to use for figure/table regeneration",
+    )
+
+
+@pytest.fixture(scope="session")
+def sweep(request):
+    if request.config.getoption("--sweep") == "paper":
+        return PAPER_SIZES
+    return QUICK_SIZES
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print a regenerated artifact under ``-s`` without cluttering capture."""
+    def _emit(text: str) -> None:
+        print()
+        print(text)
+    return _emit

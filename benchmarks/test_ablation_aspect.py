@@ -1,0 +1,91 @@
+"""E17 — ablation: non-square GEMM shapes.
+
+The paper (like its artifact) sweeps only square problems.  This ablation
+holds the flop count fixed (F = 2*M*N*K ~= 2*4096^3) and skews the aspect
+ratio, exposing two structural effects the square sweep hides:
+
+* **worksharing imbalance**: the CPU models parallelise one specific loop
+  (rows for C/Numba/Kokkos, columns for Julia), so a shape that shrinks
+  *that* dimension below the thread count starves them — and it is a
+  *different* shape for Julia (small N) than for C (small M);
+* **GPU tail quantisation**: a short grid dimension wastes whole waves.
+"""
+
+import pytest
+
+from repro.core.types import Layout, MatrixShape, Precision
+from repro.gpu import paper_launch, simulate_gpu_kernel
+from repro.ir import builder
+from repro.ir.passes import UnrollInnerLoop, VectorizeInnerLoop
+from repro.machine import A100, EPYC_7A53
+from repro.models import model_by_name
+from repro.sim.executor import simulate_cpu_kernel
+
+#: Shapes with identical flops (2 * 2^36): square, tall-skinny, short-fat.
+SHAPES = {
+    "square 4096^3": MatrixShape(4096, 4096, 4096),
+    "tall M=2^18": MatrixShape(262144, 512, 512),
+    "wide N=2^18": MatrixShape(512, 262144, 512),
+    "deep K=2^18": MatrixShape(512, 512, 262144),
+    "starved M=32": MatrixShape(32, 8192, 262144),
+}
+
+
+def _cpu_gflops(model_name: str, shape: MatrixShape) -> float:
+    model = model_by_name(model_name)
+    low = model.lower_cpu(EPYC_7A53, Precision.FP64)
+    t = simulate_cpu_kernel(low.kernel, EPYC_7A53, shape, 64,
+                            pin=low.pin, profile=low.profile)
+    return t.gflops(shape)
+
+
+def _gpu_gflops(shape: MatrixShape) -> float:
+    k = UnrollInnerLoop(4).run(
+        builder.gpu_thread_per_element("g", Precision.FP64, Layout.ROW_MAJOR))
+    t = simulate_gpu_kernel(k, paper_launch("j"), A100, shape)
+    return t.gflops(shape)
+
+
+def test_e17_aspect_sweep(benchmark, emit):
+    def sweep():
+        rows = []
+        for label, shape in SHAPES.items():
+            rows.append((label, _cpu_gflops("c-openmp", shape),
+                         _cpu_gflops("julia", shape), _gpu_gflops(shape)))
+        return rows
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [f"{'shape':16s} {'C/OpenMP GF':>12s} {'Julia GF':>9s} {'CUDA GF':>8s}"]
+    for label, c, j, g in rows:
+        lines.append(f"{label:16s} {c:12.0f} {j:9.0f} {g:8.0f}")
+    emit("\n".join(lines))
+
+
+def test_row_parallel_models_starve_on_small_m():
+    """32 rows across 64 threads: half the node idles for C/OpenMP."""
+    square = _cpu_gflops("c-openmp", SHAPES["square 4096^3"])
+    starved = _cpu_gflops("c-openmp", SHAPES["starved M=32"])
+    assert starved < 0.6 * square
+
+
+def test_julia_starves_on_the_other_axis():
+    """Julia parallelises columns: small M is fine, small N is not."""
+    small_m = MatrixShape(32, 8192, 262144)
+    small_n = MatrixShape(8192, 32, 262144)
+    julia_small_m = _cpu_gflops("julia", small_m)
+    julia_small_n = _cpu_gflops("julia", small_n)
+    # 32 columns over 64 threads leaves half of them idle (2x imbalance)
+    assert julia_small_m > 1.25 * julia_small_n
+    # and the asymmetry is the mirror image of C/OpenMP's
+    c_small_m = _cpu_gflops("c-openmp", small_m)
+    c_small_n = _cpu_gflops("c-openmp", small_n)
+    assert c_small_n > 1.15 * c_small_m
+
+
+def test_equal_flops_square_is_safe():
+    """No skewed shape beats the square one by much on either device —
+    the paper's square sweep is a fair apples-to-apples choice."""
+    square_cpu = _cpu_gflops("c-openmp", SHAPES["square 4096^3"])
+    square_gpu = _gpu_gflops(SHAPES["square 4096^3"])
+    for label in ("tall M=2^18", "wide N=2^18", "deep K=2^18"):
+        assert _cpu_gflops("c-openmp", SHAPES[label]) < 1.15 * square_cpu
+        assert _gpu_gflops(SHAPES[label]) < 1.15 * square_gpu

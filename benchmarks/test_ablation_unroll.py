@@ -1,0 +1,99 @@
+"""E8 — ablation: the CUDA.jl unroll-2 vs nvcc unroll-4 PTX finding.
+
+Sec. IV-B attributes CUDA.jl's constant overhead on the A100 to "a
+difference in unrolled loop instructions, 2 for CUDA.jl and 4 in the
+native CUDA".  This ablation sweeps the unroll factor on otherwise
+identical kernels and shows the gap the paper measured is the gap
+unrolling explains.
+"""
+
+import pytest
+
+from repro.core.types import Layout, MatrixShape, Precision
+from repro.gpu import IssueProfile, paper_launch, simulate_gpu_kernel
+from repro.ir import builder
+from repro.ir.passes import UnrollInnerLoop
+from repro.machine import A100
+
+SHAPE = MatrixShape.square(8192)
+
+#: CUDA.jl's extra inner-loop index arithmetic (see repro.models.julia).
+JULIA_PROFILE = IssueProfile(issue_multiplier=1.16, extra_int_per_iter=14.0)
+
+
+def run_unroll(unroll: int, profile: IssueProfile = IssueProfile()):
+    kernel = builder.gpu_thread_per_element("gemm", Precision.FP64,
+                                            Layout.ROW_MAJOR)
+    kernel = UnrollInnerLoop(unroll).run(kernel)
+    t = simulate_gpu_kernel(kernel, paper_launch("j"), A100, SHAPE, profile)
+    return t.gflops(SHAPE)
+
+
+def test_unroll_sweep(benchmark, emit):
+    rows = benchmark.pedantic(
+        lambda: [(u, run_unroll(u), run_unroll(u, JULIA_PROFILE))
+                 for u in (1, 2, 4, 8)],
+        rounds=1, iterations=1)
+    lines = ["unroll  nvcc-quality GF  CUDA.jl-quality GF"]
+    for u, vendor, julia in rows:
+        lines.append(f"{u:6d}  {vendor:15.0f}  {julia:18.0f}")
+    emit("\n".join(lines))
+
+
+def test_unroll_monotone_non_decreasing():
+    perf = [run_unroll(u) for u in (1, 2, 4)]
+    assert perf[0] <= perf[1] <= perf[2]
+
+
+def test_julia_codegen_reproduces_measured_gap():
+    """The full CUDA.jl codegen delta (unroll 2 + index-arithmetic surplus
+    + scheduling quality) lands at the measured ~0.87 of vendor CUDA."""
+    vendor4 = run_unroll(4)
+    julia2 = run_unroll(2, JULIA_PROFILE)
+    assert julia2 / vendor4 == pytest.approx(0.87, abs=0.05)
+
+
+def test_unroll_alone_does_not_explain_the_gap():
+    """A finding of the reproduction (recorded in EXPERIMENTS.md): giving
+    the CUDA.jl-quality codegen the vendor's unroll factor recovers almost
+    nothing, because the FP64 kernel is L2-bandwidth-bound and the unroll
+    only amortises loop control.  The PTX unroll difference the paper saw
+    is a *symptom* of the less mature codegen; the cost is carried by the
+    accompanying per-iteration instruction surplus."""
+    julia2 = run_unroll(2, JULIA_PROFILE)
+    julia4 = run_unroll(4, JULIA_PROFILE)
+    vendor4 = run_unroll(4)
+    assert julia4 < 1.05 * julia2          # unrolling alone: <5% back
+    # dropping the instruction surplus (same unroll 2) recovers the gap
+    clean2 = run_unroll(2, IssueProfile(issue_multiplier=1.0,
+                                        extra_int_per_iter=0.0))
+    assert clean2 > 0.95 * vendor4
+
+
+def test_gpu_chain_always_hidden_by_occupancy():
+    """A model check worth pinning: at any launchable occupancy the warp
+    scheduler hides the FMA latency chain (resident_warps x issue >> FMA
+    latency), so a GPU kernel is never chain-bound — the reason the strict
+    FP accumulation that cripples a scalar CPU reduction costs nothing in
+    Fig. 3's kernels."""
+    for unroll in (1, 2, 4):
+        kernel = UnrollInnerLoop(unroll).run(
+            builder.gpu_thread_per_element("gemm", Precision.FP64,
+                                           Layout.ROW_MAJOR))
+        t = simulate_gpu_kernel(kernel, paper_launch("j"), A100, SHAPE)
+        assert t.bound != "chain"
+
+
+def test_cpu_chain_bound_is_where_unroll_pays():
+    """Counterpart on the CPU: a strict-FP per-element reduction (the
+    Kokkos lambda shape without fastmath) is FMA-latency-chained, and
+    fastmath + unroll recovers multiples, not percents."""
+    from repro.machine import EPYC_7A53
+    from repro.sim.executor import cpu_cycles_total
+
+    strict = builder.kokkos_cpu(Precision.FP64)  # scalar accum over k
+    chained = cpu_cycles_total(strict, SHAPE, EPYC_7A53)
+    unrolled = cpu_cycles_total(
+        UnrollInnerLoop(8).run(strict.replace(fastmath=True)),
+        SHAPE, EPYC_7A53)
+    assert chained > 2 * unrolled

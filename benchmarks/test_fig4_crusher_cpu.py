@@ -1,0 +1,48 @@
+"""E3 — Fig. 4: Crusher multithreaded CPU performance (64 threads, 4 NUMA).
+
+Regenerates both panels and asserts the paper's qualitative findings:
+Kokkos and Julia comparable with the vendor C/OpenMP; Python/Numba behind.
+"""
+
+import pytest
+
+from repro.harness import fig4
+
+
+@pytest.fixture(scope="module")
+def result(sweep):
+    return fig4(sweep)
+
+
+def _mean(rs, model):
+    xs, ys = rs.series(model)
+    return sum(ys) / len(ys)
+
+
+def test_fig4_regenerate(benchmark, sweep, emit):
+    fig = benchmark.pedantic(fig4, args=(sweep,), rounds=1, iterations=1)
+    emit(fig.render())
+
+
+def test_fig4a_double_orderings(result):
+    rs = result.panels["a: double"]
+    ref = _mean(rs, "c-openmp")
+    # "Kokkos/OpenMP and Julia threads perform comparably with the vendor
+    # ... implementation, whereas Python/Numba is still behind"
+    assert _mean(rs, "kokkos") > 0.9 * ref
+    assert _mean(rs, "julia") > 0.85 * ref
+    assert _mean(rs, "numba") < 0.65 * ref
+
+
+def test_fig4b_single_preserves_ordering(result):
+    rs = result.panels["b: single"]
+    ref = _mean(rs, "c-openmp")
+    assert _mean(rs, "kokkos") > 0.9 * ref
+    assert _mean(rs, "numba") < 0.75 * ref
+
+
+def test_fig4_single_doubles_double(result):
+    for model in ("c-openmp", "kokkos", "julia"):
+        gain = (_mean(result.panels["b: single"], model)
+                / _mean(result.panels["a: double"], model))
+        assert 1.6 < gain < 2.3, model

@@ -1,0 +1,53 @@
+"""E4 — Fig. 5: Wombat multithreaded CPU performance (80 Arm cores).
+
+Asserts the Arm-specific findings: the Kokkos/OpenMP slowdown, Julia on
+par with the vendor compiler, and the seamless Julia FP16 panel.
+"""
+
+import pytest
+
+from repro.harness import fig5
+
+
+@pytest.fixture(scope="module")
+def result(sweep):
+    return fig5(sweep)
+
+
+def _mean(rs, model):
+    xs, ys = rs.series(model)
+    return sum(ys) / len(ys)
+
+
+def test_fig5_regenerate(benchmark, sweep, emit):
+    fig = benchmark.pedantic(fig5, args=(sweep,), rounds=1, iterations=1)
+    emit(fig.render())
+
+
+def test_fig5a_kokkos_slowdown(result):
+    """'Kokkos, which is using the OpenMP back end, experiences a slowdown
+    in both cases.'"""
+    for panel in ("a: double", "b: single"):
+        rs = result.panels[panel]
+        assert _mean(rs, "kokkos") < 0.9 * _mean(rs, "c-openmp"), panel
+
+
+def test_fig5a_julia_on_par(result):
+    """'Julia's performance is almost on par with the vendor OpenMP.'"""
+    rs = result.panels["a: double"]
+    assert _mean(rs, "julia") > 0.85 * _mean(rs, "c-openmp")
+
+
+def test_fig5b_numba_fp32_gap(result):
+    rs = result.panels["b: single"]
+    assert _mean(rs, "numba") < 0.5 * _mean(rs, "c-openmp")
+
+
+def test_fig5c_julia_fp16_native(result):
+    """'The Julia threads implementation on Arm worked seamlessly and
+    provided the expected levels of performance' — native FMLA gives a
+    genuine speedup over FP32, unlike every other CPU path."""
+    g16 = _mean(result.panels["c: half (Julia)"], "julia")
+    g32 = _mean(result.panels["b: single"], "julia")
+    assert g16 > 1.5 * g32
+    assert result.panels["c: half (Julia)"].models() == ["julia"]

@@ -1,0 +1,69 @@
+"""E5 — Fig. 6: simple GEMM on the Crusher MI250X (32x32 blocks).
+
+Asserts: HIP best at double precision with Julia close and Kokkos behind;
+Julia slightly above HIP at single precision; the repeatable Kokkos
+slowdown at the largest size; FP16 no better than FP32 for Julia.
+"""
+
+import pytest
+
+from repro.harness import fig6
+
+
+@pytest.fixture(scope="module")
+def result(sweep):
+    return fig6(sweep)
+
+
+def _mean(rs, model):
+    xs, ys = rs.series(model)
+    return sum(ys) / len(ys)
+
+
+def test_fig6_regenerate(benchmark, sweep, emit):
+    fig = benchmark.pedantic(fig6, args=(sweep,), rounds=1, iterations=1)
+    emit(fig.render())
+
+
+def test_fig6a_hip_wins_double(result):
+    rs = result.panels["a: double"]
+    hip = _mean(rs, "hip")
+    assert hip > _mean(rs, "julia") > _mean(rs, "kokkos")
+
+
+def test_fig6a_constant_overheads(result):
+    """'...both of which reach competitive levels but still do not match
+    HIP ... because the overheads introduced appear to be constant.'"""
+    rs = result.panels["a: double"]
+    xs, _ = rs.series("julia")
+    effs = [rs.cell("julia", x).gflops / rs.cell("hip", x).gflops
+            for x in xs if x >= 4096]
+    assert max(effs) - min(effs) < 0.06
+
+
+def test_fig6a_kokkos_largest_size_slowdown(result):
+    rs = result.panels["a: double"]
+    xs, ys = rs.series("kokkos")
+    hip_eff = [ys[i] / rs.cell("hip", xs[i]).gflops for i in range(len(xs))]
+    assert hip_eff[-1] < hip_eff[1] * 0.95
+
+
+def test_fig6b_julia_slightly_above_hip(result):
+    """'Julia with AMDGPU.jl shows slightly better performance than the
+    vendor HIP implementation' (single precision)."""
+    rs = result.panels["b: single"]
+    ratio = _mean(rs, "julia") / _mean(rs, "hip")
+    assert 1.0 < ratio < 1.12
+
+
+def test_fig6b_kokkos_consistent_decrease(result):
+    rs = result.panels["b: single"]
+    assert _mean(rs, "kokkos") < 0.75 * _mean(rs, "hip")
+
+
+def test_fig6c_fp16_no_noticeable_improvement(result):
+    """'No noticeable improvements are shown when compared to
+    single-precision runs.'"""
+    g16 = _mean(result.panels["c: half (Julia)"], "julia")
+    g32 = _mean(result.panels["b: single"], "julia")
+    assert g16 < 1.2 * g32

@@ -1,0 +1,71 @@
+"""E6 — Fig. 7: simple GEMM on the Wombat NVIDIA A100 (32x32 blocks).
+
+Asserts: CUDA first with CUDA.jl trailing by a constant factor (the
+unroll-2 PTX finding); Kokkos and Numba consistently underperforming; the
+big vendor FP32 jump vs ~10% gains elsewhere; FP16 no faster than FP32.
+"""
+
+import pytest
+
+from repro.harness import fig7
+
+
+@pytest.fixture(scope="module")
+def result(sweep):
+    return fig7(sweep)
+
+
+def _mean(rs, model):
+    xs, ys = rs.series(model)
+    return sum(ys) / len(ys)
+
+
+def test_fig7_regenerate(benchmark, sweep, emit):
+    fig = benchmark.pedantic(fig7, args=(sweep,), rounds=1, iterations=1)
+    emit(fig.render())
+
+
+def test_fig7a_full_ordering(result):
+    rs = result.panels["a: double"]
+    assert (_mean(rs, "cuda") > _mean(rs, "julia")
+            > _mean(rs, "kokkos") > _mean(rs, "numba"))
+
+
+def test_fig7a_julia_constant_overhead(result):
+    """'Julia using CUDA.jl has a constant overhead when compared to the
+    vendor-provided CUDA implementation.'"""
+    rs = result.panels["a: double"]
+    xs, _ = rs.series("julia")
+    effs = [rs.cell("julia", x).gflops / rs.cell("cuda", x).gflops
+            for x in xs if x >= 4096]
+    assert max(effs) - min(effs) < 0.05
+    assert 0.8 < sum(effs) / len(effs) < 0.92
+
+
+def test_fig7a_kokkos_numba_underperform(result):
+    """'Kokkos and Python/Numba using a CUDA back end consistently
+    underperform.'"""
+    rs = result.panels["a: double"]
+    cuda = _mean(rs, "cuda")
+    assert _mean(rs, "kokkos") < 0.35 * cuda
+    assert _mean(rs, "numba") < 0.2 * cuda
+
+
+def test_fig7b_vendor_jump_others_ten_percent(result):
+    """'the performance of the vendor-provided CUDA implementation
+    increases significantly, whereas other implementations ... show small
+    performance increases of around 10%'."""
+    d, s = result.panels["a: double"], result.panels["b: single"]
+    assert _mean(s, "cuda") / _mean(d, "cuda") > 1.6
+    for model in ("julia", "kokkos", "numba"):
+        gain = _mean(s, model) / _mean(d, model)
+        assert 0.95 < gain < 1.5, model
+
+
+def test_fig7c_half_precision_no_gains(result):
+    """'we observed no performance gains over the single-precision
+    counterparts' — for both Julia and Numba."""
+    rs16 = result.panels["c: half (Julia, Numba)"]
+    rs32 = result.panels["b: single"]
+    for model in ("julia", "numba"):
+        assert _mean(rs16, model) < 1.15 * _mean(rs32, model), model

@@ -1,0 +1,70 @@
+"""E14 — strong scaling over thread counts (the abstract's "single node
+scalability" cut).
+
+Fixed 4096^3 problem, threads swept 1..cores on both CPUs.  Pinned models
+scale near-ideally on both machines; the unpinned Numba runtime loses
+~23% of parallel efficiency on the 4-NUMA EPYC as the node saturates, and
+nothing on the single-NUMA Altra — the scaling-study view of the paper's
+Fig. 4 vs Fig. 5 asymmetry.
+"""
+
+import pytest
+
+from repro.core.types import MatrixShape, Precision
+from repro.harness import default_thread_counts, thread_scaling
+from repro.machine import AMPERE_ALTRA, EPYC_7A53
+
+SHAPE = MatrixShape.square(4096)
+MODELS = ("c-openmp", "kokkos", "julia", "numba")
+
+
+@pytest.fixture(scope="module")
+def curves():
+    out = {}
+    for cpu in (EPYC_7A53, AMPERE_ALTRA):
+        for model in MODELS:
+            out[(cpu.name, model)] = thread_scaling(
+                model, cpu, SHAPE, Precision.FP64)
+    return out
+
+
+def test_e14_scaling_sweep(benchmark, emit, curves):
+    def render():
+        parts = []
+        for (cpu, model), r in curves.items():
+            parts.append(r.render())
+        return "\n\n".join(parts)
+    out = benchmark(render)
+    emit(out)
+
+
+@pytest.mark.parametrize("model", ["c-openmp", "kokkos", "julia"])
+@pytest.mark.parametrize("cpu", [EPYC_7A53, AMPERE_ALTRA],
+                         ids=["epyc", "altra"])
+def test_pinned_models_scale_nearly_ideally(curves, cpu, model):
+    r = curves[(cpu.name, model)]
+    assert r.efficiency_at_full() > 0.9
+
+
+def test_numba_efficiency_loss_on_epyc(curves):
+    r = curves[(EPYC_7A53.name, "numba")]
+    assert r.efficiency_at_full() == pytest.approx(1 / 1.30, abs=0.05)
+
+
+def test_numba_fine_on_altra(curves):
+    r = curves[(AMPERE_ALTRA.name, "numba")]
+    assert r.efficiency_at_full() > 0.9
+
+
+def test_speedup_monotone_everywhere(curves):
+    for r in curves.values():
+        speedups = [p.speedup for p in r.points]
+        assert speedups == sorted(speedups), r.model
+
+
+def test_small_problem_scaling_saturates():
+    """Fork/join overhead caps speed-up for tiny problems — the reason the
+    paper sweeps *large* matrices."""
+    tiny = thread_scaling("c-openmp", EPYC_7A53, MatrixShape.square(128))
+    big = thread_scaling("c-openmp", EPYC_7A53, SHAPE)
+    assert tiny.efficiency_at_full() < big.efficiency_at_full()

@@ -1,0 +1,80 @@
+"""E16 — BabelStream-style memory-bandwidth suite (extension).
+
+The memory-bound complement to the GEMM study, after Lin &
+McIntosh-Smith's Julia portability work the paper cites as [24]: the five
+STREAM kernels across the same model/machine grid, plus a real host
+measurement of the NumPy kernels.
+
+The structural finding the suite pins: when the kernel is DRAM-bound,
+programming-model portability is nearly free (every supported model
+within ~5% of the vendor on GPUs at STREAM sizes) — the exact opposite of
+the GEMM picture, where codegen and runtime quality decide everything.
+"""
+
+import pytest
+
+from repro.core.types import Precision
+from repro.machine import A100, AMPERE_ALTRA, EPYC_7A53, MI250X
+from repro.stream import (
+    StreamKernel,
+    measure_host_stream,
+    simulate_stream,
+    stream_table,
+)
+
+N = 1 << 25
+
+
+def test_e16_stream_tables(benchmark, emit):
+    def build():
+        out = []
+        out.append(stream_table(EPYC_7A53,
+                                ("c-openmp", "kokkos", "julia", "numba"), N))
+        out.append(stream_table(AMPERE_ALTRA,
+                                ("c-openmp", "kokkos", "julia", "numba"), N))
+        out.append(stream_table(MI250X, ("hip", "kokkos", "julia", "numba"), N))
+        out.append(stream_table(A100, ("cuda", "kokkos", "julia", "numba"), N))
+        return out
+    tables = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit("\n\n".join(t.render() for t in tables))
+
+
+def test_gpu_models_converge_at_stream_sizes():
+    vendor = simulate_stream("cuda", A100, StreamKernel.TRIAD, N)
+    for model in ("kokkos", "julia"):
+        other = simulate_stream(model, A100, StreamKernel.TRIAD, N)
+        assert other.bandwidth_gbs == pytest.approx(vendor.bandwidth_gbs,
+                                                    rel=0.02), model
+
+
+def test_contrast_with_gemm_portability():
+    """STREAM efficiency of the *worst* supported model beats the GEMM
+    efficiency of the *best* portable model on the A100 — memory-bound
+    kernels are the easy case for portability."""
+    stream_effs = []
+    vendor = simulate_stream("cuda", A100, StreamKernel.TRIAD, N)
+    for model in ("kokkos", "julia", "numba"):
+        t = simulate_stream(model, A100, StreamKernel.TRIAD, N)
+        stream_effs.append(t.bandwidth_gbs / vendor.bandwidth_gbs)
+    # GEMM A100 fp64 efficiencies (Table III): best portable is Julia 0.867
+    assert min(stream_effs) > 0.867
+
+
+def test_dot_costs_an_extra_launch():
+    copy = simulate_stream("cuda", A100, StreamKernel.COPY, 1 << 18)
+    dot = simulate_stream("cuda", A100, StreamKernel.DOT, 1 << 18)
+    assert dot.seconds > copy.seconds
+
+
+def test_real_host_stream(benchmark, emit):
+    """The genuinely measured half: NumPy STREAM on this machine."""
+    result = benchmark.pedantic(measure_host_stream,
+                                kwargs={"n": 1 << 22, "reps": 3},
+                                rounds=1, iterations=1)
+    lines = ["host STREAM (NumPy), n=2^22 fp64:"]
+    for kernel, bw in result.items():
+        lines.append(f"  {kernel.value:6s} {bw:7.1f} GB/s")
+    emit("\n".join(lines))
+    assert all(bw > 0.5 for bw in result.values())
+    # copy involves no arithmetic: it should be at least as fast as triad
+    assert result[StreamKernel.COPY] >= 0.5 * result[StreamKernel.TRIAD]

@@ -1,0 +1,17 @@
+"""E1 — Table I: CPU experiment specs.
+
+Regenerates the configuration table and checks it against the machine
+catalog (so the printed table can never drift from the simulated specs).
+"""
+
+from repro.harness import table1
+from repro.machine import AMPERE_ALTRA, EPYC_7A53
+
+
+def test_table1_cpu_specs(benchmark, emit):
+    out = benchmark(table1)
+    emit(out)
+    assert "ArmClang22" in out and "AMDClang14" in out
+    # catalog consistency with the rendered table
+    assert EPYC_7A53.cores == 64 and EPYC_7A53.numa_domains == 4
+    assert AMPERE_ALTRA.cores == 80 and AMPERE_ALTRA.numa_domains == 1

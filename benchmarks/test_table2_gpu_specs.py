@@ -1,0 +1,15 @@
+"""E2 — Table II: GPU experiment specs."""
+
+from repro.core.types import Precision
+from repro.harness import table2
+from repro.machine import A100, MI250X
+
+
+def test_table2_gpu_specs(benchmark, emit):
+    out = benchmark(table2)
+    emit(out)
+    assert "nvcc v11.5.1" in out and "hipcc v14.0.0" in out
+    assert "Not supported" in out  # Numba on AMD
+    # datasheet anchors behind the table
+    assert abs(A100.peak_gflops(Precision.FP64) - 9746) < 100
+    assert abs(MI250X.peak_gflops(Precision.FP64) - 23936) < 250

@@ -1,0 +1,68 @@
+"""E18 — the exhaustive variability analysis the paper skips.
+
+Sec. IV reports single most-likely values "without doing an exhaustive
+variability analysis", and explains the one result where a portable model
+beats its vendor reference (Julia/AMDGPU.jl at FP32, Fig. 6b) as possibly
+"simply ... the variability on this particular system".
+
+Re-running the experiment under 25 independent noise seeds at the
+Crusher-level run-to-run scatter (~3%) makes that conjecture testable:
+
+* the across-seed spread of a sweep-averaged efficiency is well under 1%
+  (averaging over sizes and repetitions suppresses the noise), so
+* a persistent ~5% advantage sits >5 sigma from parity — run-to-run
+  variability of the magnitude the harness (or any dedicated-node run)
+  exhibits cannot produce it.  Either the system's variability is
+  correlated across an entire sweep (a machine-state effect, not timing
+  noise) or the advantage is a real codegen difference.
+
+Table III itself is comfortably stable: every efficiency's across-seed
+standard deviation is an order of magnitude below the 0.05 reproduction
+tolerance.
+"""
+
+import pytest
+
+from repro.core.types import Precision
+from repro.harness import variance_study
+from repro.harness.figures import (
+    crusher_cpu_experiment,
+    crusher_gpu_experiment,
+)
+
+SIZES = (4096, 8192, 16384)
+SEEDS = 25
+
+
+@pytest.fixture(scope="module")
+def gpu_fp32():
+    exp = crusher_gpu_experiment(Precision.FP32, sizes=SIZES)
+    return variance_study(exp, "hip", models=("julia", "kokkos"), seeds=SEEDS)
+
+
+def test_e18_distributions(benchmark, emit, gpu_fp32):
+    out = benchmark(gpu_fp32.render)
+    emit(out)
+
+
+def test_julia_advantage_is_not_run_to_run_noise(gpu_fp32):
+    dist = gpu_fp32.distribution("julia")
+    assert dist.fraction_above(1.0) == 1.0
+    assert dist.sigma_distance(1.0) > 5.0
+
+
+def test_spread_far_below_reproduction_tolerance(gpu_fp32):
+    for model in ("julia", "kokkos"):
+        assert gpu_fp32.distribution(model).stdev < 0.01
+
+
+def test_kokkos_never_reaches_parity(gpu_fp32):
+    assert gpu_fp32.distribution("kokkos").maximum < 0.75
+
+
+def test_cpu_efficiencies_stable_too():
+    exp = crusher_cpu_experiment(Precision.FP64, sizes=SIZES)
+    study = variance_study(exp, "c-openmp", models=("julia", "numba"),
+                           seeds=10)
+    for model in ("julia", "numba"):
+        assert study.distribution(model).stdev < 0.02

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Performance-engineering walkthrough on the kernel IR.
+
+Takes the hand-rolled GEMM through the questions a tuner would ask, using
+the same machinery the programming-model frontends use:
+
+1. Which loop order should the inner loop have? (interchange + cost model)
+2. What do bounds checks cost, and why does ``@inbounds`` matter?
+3. What does fastmath unlock for a scalar-accumulator kernel?
+4. Do the simulated rankings agree with *real* executions of the same
+   loop orders on this host?
+
+Run:  python examples/custom_kernel_tuning.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.arrays.random import FillPolicy, make_gemm_operands
+from repro.core.types import Layout, MatrixShape, Precision
+from repro.ir import builder
+from repro.ir.passes import (
+    InsertBoundsChecks,
+    SetFastMath,
+    UnrollInnerLoop,
+    VectorizeInnerLoop,
+    vectorization_legal,
+)
+from repro.kernels import naive_gemm, reference_gemm
+from repro.machine import EPYC_7A53
+from repro.sim.executor import simulate_cpu_kernel
+
+SHAPE = MatrixShape.square(2048)
+CPU = EPYC_7A53
+THREADS = 64
+
+
+def tuned(kernel):
+    """Apply the standard -O3 pipeline: vectorise then unroll."""
+    k = VectorizeInnerLoop(CPU.simd_lanes(kernel.precision)).run(kernel)
+    return UnrollInnerLoop(4).run(k)
+
+
+def gflops(kernel) -> float:
+    t = simulate_cpu_kernel(kernel, CPU, SHAPE, THREADS)
+    return t.gflops(SHAPE)
+
+
+def main() -> None:
+    base = builder.c_openmp_cpu(Precision.FP64)  # order ikj
+
+    print(f"== 1. Loop order (simulated on {CPU.name}, {THREADS} threads) ==")
+    for order in ("ikj", "ijk", "jki"):
+        # parallelise the outermost loop of each nest, as OpenMP would
+        k = builder.build_gemm(f"gemm-{order}", Precision.FP64, order,
+                               Layout.ROW_MAJOR, parallel_vars=(order[0],))
+        legal, why = vectorization_legal(k)
+        perf = gflops(tuned(k))
+        print(f"  {order}: {perf:7.0f} GFLOP/s  "
+              f"(inner-loop vectorisation: {'yes' if legal else 'no — ' + why})")
+
+    print("\n== 2. Bounds checks (the @inbounds story) ==")
+    clean = tuned(base)
+    checked = InsertBoundsChecks().run(base)  # guards block vectorisation
+    print(f"  without checks: {gflops(clean):7.0f} GFLOP/s")
+    print(f"  with checks:    {gflops(tuned(checked)):7.0f} GFLOP/s "
+          "(guards also veto vectorisation)")
+
+    print("\n== 3. Fastmath on a scalar-accumulator kernel ==")
+    accum = builder.kokkos_cpu(Precision.FP64)  # per-element reduction
+    strict = UnrollInnerLoop(4).run(accum)
+    fast = tuned(UnrollInnerLoop(8).run(SetFastMath(True).run(accum)))
+    print(f"  strict FP (serial chain): {gflops(strict):7.0f} GFLOP/s")
+    print(f"  fastmath + unroll x8:     {gflops(fast):7.0f} GFLOP/s")
+
+    print("\n== 4. Reality check: the same loop orders, actually executed ==")
+    n = 64  # interpreted loops: keep it small
+    a, b, c = make_gemm_operands(n, n, n, Precision.FP64, Layout.ROW_MAJOR,
+                                 FillPolicy(seed=1))
+    expected = reference_gemm(a, b, Precision.FP64)
+    for order in ("ikj", "ijk", "jki"):
+        best = float("inf")
+        for _ in range(3):
+            c[:] = 0.0
+            t0 = time.perf_counter()
+            naive_gemm(order, a, b, c)
+            best = min(best, time.perf_counter() - t0)
+        np.testing.assert_allclose(c, expected, rtol=1e-10)
+        print(f"  {order}: {best * 1e3:7.2f} ms  (n={n}, pure Python, "
+              "validated against numpy)")
+    print("\nThe hoisted-temp orders (ikj with temp=A[i,k]) lead in both the")
+    print("simulation and the real run — the reason every kernel in the")
+    print("paper's Fig. 2 is written that way.")
+
+
+if __name__ == "__main__":
+    main()

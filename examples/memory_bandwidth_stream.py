@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""BabelStream across the study's machines — and for real on this host.
+
+The GEMM study shows portability is *hard* when the kernel leans on code
+generation; this example shows the flip side with the five STREAM
+kernels, which lean on the memory system instead: every supported model
+lands within a few percent of the vendor at STREAM sizes, the JIT
+runtimes pay only a write-allocate tax on CPU store kernels and launch
+overhead at small sizes, and nothing resembles the 4x GEMM gaps.
+
+Finishes with a genuinely measured NumPy STREAM on this machine.
+
+Run:  python examples/memory_bandwidth_stream.py
+"""
+
+from repro.machine import A100, AMPERE_ALTRA, EPYC_7A53, MI250X
+from repro.stream import (
+    StreamKernel,
+    measure_host_stream,
+    simulate_stream,
+    stream_table,
+    validate_stream,
+)
+
+N = 1 << 25  # BabelStream's default working set
+
+
+def main() -> None:
+    validate_stream()  # numerics first
+
+    for spec, models in (
+        (EPYC_7A53, ("c-openmp", "kokkos", "julia", "numba")),
+        (AMPERE_ALTRA, ("c-openmp", "kokkos", "julia", "numba")),
+        (MI250X, ("hip", "kokkos", "julia", "numba")),
+        (A100, ("cuda", "kokkos", "julia", "numba")),
+    ):
+        print(stream_table(spec, models, N).render())
+        print()
+
+    print("Launch overhead bites the Python-driven launches at small sizes:")
+    for n in (1 << 16, 1 << 20, 1 << 25):
+        cuda = simulate_stream("cuda", A100, StreamKernel.TRIAD, n)
+        numba = simulate_stream("numba", A100, StreamKernel.TRIAD, n)
+        print(f"  n=2^{n.bit_length() - 1}: CUDA {cuda.bandwidth_gbs:7.0f} GB/s,"
+              f" Numba {numba.bandwidth_gbs:7.0f} GB/s"
+              f"  (ratio {numba.bandwidth_gbs / cuda.bandwidth_gbs:.2f})")
+
+    print("\nMeasured on this host (NumPy kernels, best of 3):")
+    for kernel, bw in measure_host_stream(n=1 << 22, reps=3).items():
+        print(f"  {kernel.value:6s} {bw:7.1f} GB/s")
+
+    print("\nTakeaway: memory-bound kernels are the easy case for")
+    print("performance portability; the paper's GEMM gaps are a statement")
+    print("about code generation and runtimes, not about moving bytes.")
+
+
+if __name__ == "__main__":
+    main()

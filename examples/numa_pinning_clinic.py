@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""NUMA clinic: why the same unpinned runtime loses 30% on one CPU and
+nothing on the other.
+
+The paper's Numba results straddle its two CPUs: efficiency 0.55 on
+Crusher's 4-NUMA EPYC but 0.71 on Wombat's single-NUMA Altra (Table III,
+double precision).  The missing piece is thread pinning — Numba has no
+API for it.  This example dissects the mechanism with the scheduler
+simulator: placements, per-thread remote-access fractions, migration tax,
+and what each policy costs on each machine.
+
+Run:  python examples/numa_pinning_clinic.py
+"""
+
+from repro.core.types import MatrixShape, Precision
+from repro.ir import builder
+from repro.ir.passes import UnrollInnerLoop, VectorizeInnerLoop
+from repro.machine import AMPERE_ALTRA, EPYC_7A53
+from repro.sched import (
+    MemoryHome,
+    PinPolicy,
+    memory_costs,
+    place_threads,
+)
+from repro.sim.executor import simulate_cpu_kernel
+
+SHAPE = MatrixShape.square(4096)
+
+
+def kernel_for(cpu):
+    k = builder.c_openmp_cpu(Precision.FP64)
+    k = VectorizeInnerLoop(cpu.simd_lanes(Precision.FP64)).run(k)
+    return UnrollInnerLoop(4).run(k)
+
+
+def main() -> None:
+    for cpu, threads in ((EPYC_7A53, 64), (AMPERE_ALTRA, 80)):
+        print(f"== {cpu.name}: {threads} threads, "
+              f"{cpu.numa_domains} NUMA domain(s) ==\n")
+
+        placement = place_threads(cpu, threads, PinPolicy.COMPACT)
+        print(f"  compact placement: threads per domain = "
+              f"{placement.threads_per_domain(cpu)}")
+
+        costs = memory_costs(cpu, placement, MemoryHome.INTERLEAVED)
+        remote = costs[0].remote_fraction
+        print(f"  interleaved pages: {remote:.0%} of each thread's traffic "
+              f"crosses domains (bandwidth inflation x"
+              f"{costs[0].bandwidth_inflation:.2f})")
+
+        kernel = kernel_for(cpu)
+        rows = []
+        for pin in (PinPolicy.COMPACT, PinPolicy.SPREAD, PinPolicy.NONE):
+            t = simulate_cpu_kernel(kernel, cpu, SHAPE, threads, pin=pin)
+            rows.append((pin.value, t.gflops(SHAPE), t.total_seconds))
+        base = rows[0][1]
+        print(f"\n  {'policy':8s} {'GFLOP/s':>8s} {'vs pinned':>10s}")
+        for name, gf, _ in rows:
+            print(f"  {name:8s} {gf:8.0f} {gf / base:9.2f}x")
+
+        # what serial (node-0) initialisation would cost on top
+        t_serial = simulate_cpu_kernel(kernel, cpu, SHAPE, threads,
+                                       pin=PinPolicy.COMPACT,
+                                       home=MemoryHome.SERIAL_NODE0)
+        print(f"\n  first-touch pathology: all pages on domain 0 -> "
+              f"{t_serial.gflops(SHAPE):.0f} GFLOP/s")
+        print()
+
+    print("Reading: the unpinned penalty exists only where there are NUMA")
+    print("boundaries to migrate across — the EPYC. On the Altra, unpinned")
+    print("threads cost nothing, which is why Numba's remaining gap there")
+    print("is pure code generation. This is the paper's Figs. 4 vs 5")
+    print("asymmetry, reproduced mechanistically.")
+
+
+if __name__ == "__main__":
+    main()

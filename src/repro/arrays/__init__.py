@@ -1,0 +1,19 @@
+"""Array substrate: layouts, input generation, simulated device arrays."""
+
+from .device import DeviceArray, DeviceContext, TransferRecord
+from .layout import alloc, is_layout, linear_index, strides_elements, touched_lines
+from .random import FillPolicy, fill_matrix, make_gemm_operands
+
+__all__ = [
+    "DeviceArray",
+    "DeviceContext",
+    "TransferRecord",
+    "alloc",
+    "is_layout",
+    "linear_index",
+    "strides_elements",
+    "touched_lines",
+    "FillPolicy",
+    "fill_matrix",
+    "make_gemm_operands",
+]

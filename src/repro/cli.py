@@ -1,0 +1,400 @@
+"""Command-line interface: ``repro <command>`` / ``python -m repro``.
+
+Commands mirror the deliverables:
+
+* ``repro machines`` — print the machine catalog (Crusher, Wombat).
+* ``repro models`` — the programming models and their support matrix.
+* ``repro fig 4|5|6|7`` — regenerate a figure (tables + ASCII charts).
+* ``repro table 1|2|3`` — regenerate a table.
+* ``repro run`` — one custom experiment (node/device/precision/models/sizes).
+* ``repro productivity`` — the Sec. V productivity comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.types import DeviceKind, Precision
+from .harness import (
+    Experiment,
+    PAPER_SIZES,
+    QUICK_SIZES,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    run_experiment,
+    table1,
+    table2,
+    table3,
+)
+from .harness.report import ascii_table, render_result_set
+from .machine import NODE_CATALOG
+from .models import all_models
+from .core.productivity import productivity_report
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Performance-portability study of Julia, Python/Numba "
+                    "and Kokkos on simulated exascale nodes",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("machines", help="print the machine catalog")
+    sub.add_parser("models", help="print models and their support matrix")
+    sub.add_parser("productivity", help="print the productivity comparison")
+
+    fig = sub.add_parser("fig", help="regenerate a paper figure")
+    fig.add_argument("number", type=int, choices=(4, 5, 6, 7))
+    fig.add_argument("--full", action="store_true",
+                     help="use the paper's full size sweep")
+    fig.add_argument("--no-chart", action="store_true")
+    fig.add_argument("--efficiencies", action="store_true",
+                     help="append per-size efficiency tables per panel")
+
+    tab = sub.add_parser("table", help="regenerate a paper table")
+    tab.add_argument("number", type=int, choices=(1, 2, 3))
+    tab.add_argument("--full", action="store_true")
+
+    run = sub.add_parser("run", help="run a custom experiment")
+    run.add_argument("--node", choices=sorted(NODE_CATALOG), default="crusher")
+    run.add_argument("--device", choices=("cpu", "gpu"), default="cpu")
+    run.add_argument("--precision", default="fp64")
+    run.add_argument("--models", default="c-openmp,kokkos,julia,numba",
+                     help="comma-separated model names")
+    run.add_argument("--sizes", default=",".join(map(str, QUICK_SIZES)))
+    run.add_argument("--threads", type=int, default=None)
+    run.add_argument("--reps", type=int, default=10)
+    run.add_argument("--include-transfers", action="store_true",
+                     help="charge H2D/D2H to every GPU repetition")
+    run.add_argument("--format", choices=("text", "json", "csv"),
+                     default="text")
+    run.add_argument("--config", default=None,
+                     help="JSON experiment definition (overrides other flags)")
+    run.add_argument("--gnuplot-dir", default=None,
+                     help="also write <exp_id>.dat/.gp into this directory")
+    run.add_argument("--efficiency", default=None, metavar="REFERENCE",
+                     help="append per-size efficiencies vs this model")
+
+    kern = sub.add_parser("kernel",
+                          help="show what a model lowers the GEMM to")
+    kern.add_argument("model", help="model name, e.g. julia, kokkos, cuda")
+    kern.add_argument("--device", choices=("cpu", "gpu"), default="cpu")
+    kern.add_argument("--target", default=None,
+                      help="machine name (defaults per device)")
+    kern.add_argument("--precision", default="fp64")
+    kern.add_argument("--source", action="store_true",
+                      help="also show the paper's real-language listing")
+
+    scal = sub.add_parser("scaling", help="strong-scaling study on a CPU")
+    scal.add_argument("--model", default="julia")
+    scal.add_argument("--cpu", default="epyc-7a53")
+    scal.add_argument("--size", type=int, default=4096)
+    scal.add_argument("--precision", default="fp64")
+    scal.add_argument("--threads", default=None,
+                      help="comma-separated thread counts")
+
+    xov = sub.add_parser("crossover",
+                         help="CPU vs GPU placement for one model on a node")
+    xov.add_argument("--node", choices=sorted(NODE_CATALOG), default="wombat")
+    xov.add_argument("--model", default="julia")
+    xov.add_argument("--precision", default="fp64")
+    xov.add_argument("--sizes", default="256,512,1024,2048,4096")
+
+    strm = sub.add_parser("stream",
+                          help="BabelStream bandwidth table on one machine")
+    strm.add_argument("--target", default="epyc-7a53")
+    strm.add_argument("--n", type=int, default=1 << 25)
+    strm.add_argument("--precision", default="fp64")
+    strm.add_argument("--models", default=None)
+    strm.add_argument("--host", action="store_true",
+                      help="also measure the NumPy kernels on this host")
+
+    casc = sub.add_parser("cascade",
+                          help="portability cascade (metric vs platform set)")
+    casc.add_argument("--precision", default="fp64")
+
+    rep = sub.add_parser("report",
+                         help="full Markdown study report (all artifacts)")
+    rep.add_argument("--full", action="store_true")
+    rep.add_argument("--out", default=None, help="write to file")
+    rep.add_argument("--charts", action="store_true")
+
+    ver = sub.add_parser("verify",
+                         help="compare reproduced Table III to the paper")
+    ver.add_argument("--full", action="store_true")
+
+    roof = sub.add_parser("roofline", help="roofline view of one machine")
+    roof.add_argument("--target", default="a100",
+                      help="machine name (cpu or gpu catalog key)")
+    roof.add_argument("--size", type=int, default=8192)
+    roof.add_argument("--precision", default="fp64")
+    roof.add_argument("--models", default=None,
+                      help="comma-separated; defaults per device")
+
+    return p
+
+
+def _cmd_machines() -> str:
+    return "\n\n".join(node.describe() for node in NODE_CATALOG.values())
+
+
+def _cmd_models() -> str:
+    from .machine import A100, AMPERE_ALTRA, EPYC_7A53, MI250X
+    targets = [EPYC_7A53, AMPERE_ALTRA, MI250X, A100]
+    headers = ["model", "version"] + [t.name for t in targets]
+    rows = []
+    for m in all_models():
+        row: List[str] = [m.display, m.paper_version]
+        for t in targets:
+            marks = []
+            for prec in (Precision.FP64, Precision.FP32, Precision.FP16):
+                s = m.supports(t, prec)
+                marks.append(prec.value[2:] if s.supported and not s.degraded
+                             else ("~" + prec.value[2:] if s.supported else "-"))
+            row.append("/".join(marks))
+        rows.append(row)
+    legend = "(cell: fp64/fp32/fp16 support; '~' = degraded, '-' = unsupported)"
+    return ascii_table(headers, rows) + "\n" + legend
+
+
+def _cmd_productivity() -> str:
+    rows = productivity_report(all_models())
+    return ascii_table(
+        ["model", "kernel LoC", "ceremony LoC", "compile step",
+         "JIT warm-up (s)", "divergence"],
+        [[r.model, r.kernel_lines, r.ceremony_lines,
+          "yes" if r.needs_compile_step else "no",
+          f"{r.jit_warmup_seconds:.1f}", f"{r.divergence:.2f}"]
+         for r in rows],
+    )
+
+
+def _cmd_fig(number: int, full: bool, chart: bool,
+             efficiencies: bool = False) -> str:
+    sizes = PAPER_SIZES if full else QUICK_SIZES
+    fn = {4: fig4, 5: fig5, 6: fig6, 7: fig7}[number]
+    return fn(sizes).render(charts=chart, efficiencies=efficiencies)
+
+
+def _cmd_table(number: int, full: bool) -> str:
+    if number == 1:
+        return table1()
+    if number == 2:
+        return table2()
+    sizes = PAPER_SIZES if full else QUICK_SIZES
+    return table3(sizes).render()
+
+
+def _cmd_run(args: argparse.Namespace) -> str:
+    if args.config:
+        import json as _json
+        with open(args.config) as fh:
+            exp = Experiment.from_dict(_json.load(fh))
+        return _finish_run(args, exp)
+    exp = Experiment(
+        exp_id="cli-run",
+        title="custom CLI experiment",
+        node_name=args.node,
+        device=DeviceKind.CPU if args.device == "cpu" else DeviceKind.GPU,
+        precision=Precision.parse(args.precision),
+        models=tuple(s.strip() for s in args.models.split(",") if s.strip()),
+        sizes=tuple(int(s) for s in args.sizes.split(",")),
+        threads=args.threads,
+        reps=args.reps,
+        include_transfers=getattr(args, "include_transfers", False),
+    )
+    return _finish_run(args, exp)
+
+
+def _finish_run(args: argparse.Namespace, exp: Experiment) -> str:
+    results = run_experiment(exp)
+    extra = ""
+    if getattr(args, "gnuplot_dir", None):
+        from .harness.gnuplot import write_gnuplot_bundle
+        dat, gp = write_gnuplot_bundle(results, args.gnuplot_dir)
+        extra = f"\n[gnuplot bundle: {dat}, {gp}]"
+    if args.format == "json":
+        from .harness.export import result_set_to_json
+        return result_set_to_json(results) + extra
+    if args.format == "csv":
+        from .harness.export import result_set_to_csv
+        return result_set_to_csv(results) + extra
+    out = render_result_set(results)
+    if getattr(args, "efficiency", None):
+        from .harness.report import efficiency_table
+        out += "\n\n" + efficiency_table(results, args.efficiency)
+    return out + extra
+
+
+def _cmd_kernel(args: argparse.Namespace) -> str:
+    from .ir.pretty import render_kernel
+    from .machine import cpu_by_name, gpu_by_name
+    from .models import model_by_name
+
+    model = model_by_name(args.model)
+    precision = Precision.parse(args.precision)
+    if args.device == "cpu":
+        spec = cpu_by_name(args.target or "epyc-7a53")
+        lowering = model.lower_cpu(spec, precision)
+        extra = (f"threads: {lowering.threads}, pinning: "
+                 f"{lowering.pin.value}, "
+                 f"codegen quality x{lowering.profile.issue_multiplier:g}")
+    else:
+        spec = gpu_by_name(args.target or "a100")
+        lowering = model.lower_gpu(spec, precision)
+        extra = (f"launch: {lowering.launch.describe()}, "
+                 f"codegen quality x{lowering.profile.issue_multiplier:g}, "
+                 f"+{lowering.profile.extra_int_per_iter:g} int ops/iter")
+    lines = [
+        f"{model.display} lowering for {spec.name} "
+        f"({precision.label} precision)",
+        "",
+        render_kernel(lowering.kernel),
+        "",
+        "passes: " + " -> ".join(
+            f"{r.name}{'*' if r.changed else ''}" for r in lowering.pass_records),
+        extra,
+    ]
+    if getattr(args, "source", False):
+        from .core.types import DeviceKind as _DK
+        from .models.listings import listing_for
+        device = _DK.CPU if args.device == "cpu" else _DK.GPU
+        src = listing_for(model.name, device)
+        if src:
+            lines += ["", "--- paper listing " + "-" * 40, src]
+        else:
+            lines += ["", "(no paper listing for this model/device)"]
+    return "\n".join(lines)
+
+
+def _cmd_scaling(args: argparse.Namespace) -> str:
+    from .core.types import MatrixShape
+    from .harness.scaling import thread_scaling
+    from .machine import cpu_by_name
+
+    cpu = cpu_by_name(args.cpu)
+    counts = (tuple(int(t) for t in args.threads.split(","))
+              if args.threads else None)
+    result = thread_scaling(args.model, cpu, MatrixShape.square(args.size),
+                            Precision.parse(args.precision), counts)
+    return result.render()
+
+
+def _cmd_roofline(args: argparse.Namespace) -> str:
+    from .core.types import MatrixShape
+    from .harness.roofline_view import roofline_view
+    from .machine import CPU_CATALOG, cpu_by_name, gpu_by_name
+
+    key = args.target.strip().lower()
+    is_cpu = key in CPU_CATALOG
+    spec = cpu_by_name(key) if is_cpu else gpu_by_name(key)
+    if args.models:
+        models = tuple(m.strip() for m in args.models.split(","))
+    elif is_cpu:
+        models = ("c-openmp", "kokkos", "julia", "numba")
+    else:
+        models = ("cuda", "hip", "kokkos", "julia", "numba")
+    view = roofline_view(spec, MatrixShape.square(args.size),
+                         Precision.parse(args.precision), models)
+    return view.render()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "machines":
+        out = _cmd_machines()
+    elif args.command == "models":
+        out = _cmd_models()
+    elif args.command == "productivity":
+        out = _cmd_productivity()
+    elif args.command == "fig":
+        out = _cmd_fig(args.number, args.full, not args.no_chart,
+                       getattr(args, "efficiencies", False))
+    elif args.command == "table":
+        out = _cmd_table(args.number, args.full)
+    elif args.command == "run":
+        out = _cmd_run(args)
+    elif args.command == "kernel":
+        out = _cmd_kernel(args)
+    elif args.command == "scaling":
+        out = _cmd_scaling(args)
+    elif args.command == "roofline":
+        out = _cmd_roofline(args)
+    elif args.command == "crossover":
+        from .harness.crossover import device_crossover
+        from .machine import node_by_name
+        study = device_crossover(
+            node_by_name(args.node), args.model,
+            Precision.parse(args.precision),
+            tuple(int(x) for x in args.sizes.split(",")))
+        out = study.render()
+    elif args.command == "stream":
+        from .core.types import Precision as _P
+        from .machine import CPU_CATALOG, cpu_by_name, gpu_by_name
+        from .stream import measure_host_stream, stream_table
+        key = args.target.strip().lower()
+        is_cpu = key in CPU_CATALOG
+        spec = cpu_by_name(key) if is_cpu else gpu_by_name(key)
+        if args.models:
+            models = tuple(m.strip() for m in args.models.split(","))
+        elif is_cpu:
+            models = ("c-openmp", "kokkos", "julia", "numba")
+        elif "NVIDIA" in spec.name.upper():
+            models = ("cuda", "kokkos", "julia", "numba")
+        else:
+            models = ("hip", "kokkos", "julia", "numba")
+        parts = [stream_table(spec, models, args.n,
+                              _P.parse(args.precision)).render()]
+        if args.host:
+            parts.append("")
+            parts.append("measured on this host (NumPy kernels):")
+            for kernel, bw in measure_host_stream(n=1 << 22, reps=3).items():
+                parts.append(f"  {kernel.value:6s} {bw:7.1f} GB/s")
+        out = "\n".join(parts)
+    elif args.command == "cascade":
+        from .core.cascade import cascade, render_cascades
+        from .harness import table3
+        t3 = table3(QUICK_SIZES)
+        prec = Precision.parse(args.precision)
+        cascades = [cascade(m, t3.row(m, prec).efficiencies)
+                    for m in ("kokkos", "julia", "numba")]
+        lines = [render_cascades(cascades), ""]
+        for c in cascades:
+            cliff = c.cliff_platform
+            lines.append(
+                f"{c.model}: final Phi {c.final_phi:.3f}; strict PP "
+                + (f"collapses when {cliff} joins the set" if cliff
+                   else "survives the full platform set"))
+        out = "\n".join(lines)
+    elif args.command == "report":
+        from .harness.report_all import full_report
+        text = full_report(PAPER_SIZES if args.full else QUICK_SIZES,
+                           charts=args.charts)
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(text)
+            out = f"report written to {args.out} ({len(text.splitlines())} lines)"
+        else:
+            out = text
+    elif args.command == "verify":
+        from .harness.verify import verify_table3
+        report = verify_table3(PAPER_SIZES if args.full else QUICK_SIZES)
+        out = report.render()
+    else:  # pragma: no cover - argparse enforces choices
+        return 2
+    try:
+        print(out)
+    except BrokenPipeError:  # e.g. `repro fig 7 | head`
+        return 0
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

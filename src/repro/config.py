@@ -1,0 +1,189 @@
+"""Environment-style run configuration.
+
+The paper controls every experiment through environment variables
+(``OMP_NUM_THREADS``, ``OMP_PROC_BIND``, ``JULIA_EXCLUSIVE``,
+``NUMBA_NUM_THREADS``, ``NUMBA_OPT``...).  :class:`RunConfig` reproduces
+that surface: a flat mapping of variable names to strings, with typed
+accessors and per-model views.  Programming-model frontends consult it to
+decide thread counts and pinning policy — including the paper's observation
+that Numba exposes *no* pinning knob at all.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Mapping, Optional
+
+from .errors import ConfigError
+
+__all__ = ["RunConfig", "KNOWN_VARIABLES"]
+
+#: Environment variables with meaning to at least one programming model,
+#: mirroring Tables I/II and Appendix A of the paper.
+KNOWN_VARIABLES: Dict[str, str] = {
+    "OMP_NUM_THREADS": "OpenMP/Kokkos-OpenMP thread count",
+    "OMP_PROC_BIND": "OpenMP thread binding policy (true/false/close/spread)",
+    "OMP_PLACES": "OpenMP thread placement (threads/cores/sockets)",
+    "JULIA_NUM_THREADS": "Julia thread count (immutable per run)",
+    "JULIA_EXCLUSIVE": "pin Julia threads to cores in strict order (0/1)",
+    "NUMBA_NUM_THREADS": "Numba thread count",
+    "NUMBA_OPT": "Numba optimisation level (default 3)",
+    "KOKKOS_DEVICES": "Kokkos backend selected at compile time",
+    "KOKKOS_ARCH": "Kokkos target architecture",
+    "JULIA_CUDA_USE_BINARYBUILDER": "use system CUDA instead of artifacts",
+}
+
+_TRUE_STRINGS = frozenset({"1", "true", "yes", "on", "close", "spread"})
+_FALSE_STRINGS = frozenset({"0", "false", "no", "off", ""})
+
+
+@dataclass
+class RunConfig:
+    """A bag of environment-variable style settings for one experiment run.
+
+    Unknown variables are accepted (real launch scripts carry plenty of
+    noise) but :meth:`validate` flags typos of known variables by fuzzy
+    matching, which is the usual way pinning silently fails on real systems.
+    """
+
+    env: Dict[str, str] = field(default_factory=dict)
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_os_environ(cls) -> "RunConfig":
+        """Snapshot the real process environment (known variables only)."""
+        return cls({k: v for k, v in os.environ.items() if k in KNOWN_VARIABLES})
+
+    @classmethod
+    def openmp(cls, threads: int, pin: bool = True) -> "RunConfig":
+        """The paper's C/OpenMP launch configuration (Fig. 8)."""
+        cfg = cls({"OMP_NUM_THREADS": str(threads)})
+        if pin:
+            cfg.env["OMP_PROC_BIND"] = "true"
+            cfg.env["OMP_PLACES"] = "threads"
+        return cfg
+
+    @classmethod
+    def julia(cls, threads: int, exclusive: bool = True) -> "RunConfig":
+        """The paper's Julia launch configuration (JULIA_EXCLUSIVE=1)."""
+        cfg = cls({"JULIA_NUM_THREADS": str(threads)})
+        if exclusive:
+            cfg.env["JULIA_EXCLUSIVE"] = "1"
+        return cfg
+
+    @classmethod
+    def numba(cls, threads: int) -> "RunConfig":
+        """Numba launch configuration.
+
+        Note there is deliberately no pinning option: "there is currently no
+        mechanism for setting a thread binding/pinning policy" (Sec. III-A).
+        """
+        return cls({"NUMBA_NUM_THREADS": str(threads), "NUMBA_OPT": "3"})
+
+    # -- typed accessors --------------------------------------------------
+
+    def get(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        return self.env.get(name, default)
+
+    def get_int(self, name: str, default: int) -> int:
+        raw = self.env.get(name)
+        if raw is None:
+            return default
+        try:
+            value = int(raw)
+        except ValueError as exc:
+            raise ConfigError(f"{name}={raw!r} is not an integer") from exc
+        if value <= 0:
+            raise ConfigError(f"{name}={value} must be positive")
+        return value
+
+    def get_bool(self, name: str, default: bool = False) -> bool:
+        raw = self.env.get(name)
+        if raw is None:
+            return default
+        lowered = raw.strip().lower()
+        if lowered in _TRUE_STRINGS:
+            return True
+        if lowered in _FALSE_STRINGS:
+            return False
+        raise ConfigError(f"{name}={raw!r} is not a boolean value")
+
+    # -- semantic views ---------------------------------------------------
+
+    def threads_for(self, model_family: str, hardware_threads: int) -> int:
+        """Thread count a given model family would use on this config.
+
+        ``model_family`` is one of ``"openmp"``, ``"julia"``, ``"numba"``.
+        Falls back to all hardware threads, which is what each runtime does
+        by default on a dedicated node.
+        """
+        var = {
+            "openmp": "OMP_NUM_THREADS",
+            "kokkos": "OMP_NUM_THREADS",
+            "julia": "JULIA_NUM_THREADS",
+            "numba": "NUMBA_NUM_THREADS",
+        }.get(model_family)
+        if var is None:
+            raise ConfigError(f"unknown model family {model_family!r}")
+        return self.get_int(var, hardware_threads)
+
+    def pinning_for(self, model_family: str) -> bool:
+        """Whether threads are pinned for the given model family.
+
+        Numba always returns False: the API has no pinning mechanism, which
+        the paper identifies as one cause of its NUMA-sensitive slowdown.
+        """
+        if model_family in ("openmp", "kokkos"):
+            return self.get_bool("OMP_PROC_BIND", False)
+        if model_family == "julia":
+            return self.get_bool("JULIA_EXCLUSIVE", False)
+        if model_family == "numba":
+            return False
+        raise ConfigError(f"unknown model family {model_family!r}")
+
+    # -- hygiene ----------------------------------------------------------
+
+    def validate(self) -> list:
+        """Return warnings for suspicious entries (unknown near-miss names)."""
+        warnings = []
+        known = set(KNOWN_VARIABLES)
+        for name in self.env:
+            if name in known:
+                continue
+            for candidate in known:
+                if _close_match(name, candidate):
+                    warnings.append(
+                        f"unknown variable {name!r}: did you mean {candidate!r}?"
+                    )
+                    break
+        return warnings
+
+    def merged(self, other: Mapping[str, str]) -> "RunConfig":
+        """New config with ``other`` layered on top."""
+        merged = dict(self.env)
+        merged.update(other)
+        return RunConfig(merged)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.env)
+
+    def __len__(self) -> int:
+        return len(self.env)
+
+
+def _close_match(a: str, b: str) -> bool:
+    """Cheap edit-distance-1-ish comparison for typo detection."""
+    a, b = a.upper(), b.upper()
+    if a == b:
+        return True
+    if abs(len(a) - len(b)) > 1:
+        return False
+    if len(a) == len(b):
+        return sum(x != y for x, y in zip(a, b)) == 1
+    shorter, longer = (a, b) if len(a) < len(b) else (b, a)
+    for i in range(len(longer)):
+        if longer[:i] + longer[i + 1:] == shorter:
+            return True
+    return False

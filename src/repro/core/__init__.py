@@ -1,0 +1,7 @@
+"""Core concepts: value types and the paper's performance-portability metrics."""
+
+from .cascade import Cascade, CascadePoint, cascade, render_cascades
+from .types import DeviceKind, Layout, MatrixShape, Precision
+
+__all__ = ["Cascade", "CascadePoint", "cascade", "render_cascades",
+           "DeviceKind", "Layout", "MatrixShape", "Precision"]

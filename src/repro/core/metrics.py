@@ -1,0 +1,69 @@
+"""Performance-portability metrics.
+
+Implements the metric the paper adopts (Eq. (1): the arithmetic mean of
+per-platform efficiencies over the platform set ``T``, attributing 0 to
+unsupported platforms — that is how Table III's Python/Numba column yields
+``Phi = 0.348`` from three supported platforms out of four) alongside the
+Pennycook-Sewall-Lee harmonic-mean metric it cites [57] and Marowka's
+arithmetic variant [58], so the metrics themselves can be compared.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Sequence
+
+__all__ = [
+    "phi_paper",
+    "pp_pennycook",
+    "phi_marowka",
+    "metric_comparison",
+]
+
+
+def _validate(efficiencies: Sequence[Optional[float]]) -> None:
+    if not efficiencies:
+        raise ValueError("empty platform set")
+    for e in efficiencies:
+        if e is not None and (not math.isfinite(e) or e < 0):
+            raise ValueError(f"invalid efficiency {e!r}")
+
+
+def phi_paper(efficiencies: Sequence[Optional[float]]) -> float:
+    """Eq. (1): ``Phi_M = sum(e_i) / |T|`` with unsupported platforms as 0.
+
+    ``None`` marks an unsupported platform; it contributes 0 to the sum but
+    still counts in ``|T|``.  Reproduces Table III exactly: Numba's FP64
+    row (0.550, 0.713, -, 0.130) gives (0.550+0.713+0+0.130)/4 = 0.348.
+    """
+    _validate(efficiencies)
+    total = sum(e or 0.0 for e in efficiencies)
+    return total / len(efficiencies)
+
+
+def pp_pennycook(efficiencies: Sequence[Optional[float]]) -> float:
+    """Pennycook et al. [57]: harmonic mean over ``T``; 0 if the
+    application fails to run correctly on *any* platform in the set."""
+    _validate(efficiencies)
+    if any(e is None or e == 0.0 for e in efficiencies):
+        return 0.0
+    return len(efficiencies) / sum(1.0 / e for e in efficiencies)
+
+
+def phi_marowka(efficiencies: Sequence[Optional[float]]) -> float:
+    """Marowka [58]: arithmetic mean over the platforms the model *does*
+    support (unsupported platforms shrink ``T`` instead of zeroing)."""
+    _validate(efficiencies)
+    supported = [e for e in efficiencies if e is not None]
+    if not supported:
+        return 0.0
+    return sum(supported) / len(supported)
+
+
+def metric_comparison(efficiencies: Sequence[Optional[float]]) -> Dict[str, float]:
+    """All three metrics on one platform-efficiency vector."""
+    return {
+        "phi_paper": phi_paper(efficiencies),
+        "pp_pennycook": pp_pennycook(efficiencies),
+        "phi_marowka": phi_marowka(efficiencies),
+    }

@@ -1,0 +1,70 @@
+"""Productivity comparison (the qualitative half of Sec. V).
+
+Quantifies what the paper discusses in prose: kernel length, build/launch
+ceremony, whether a separate compile step exists, and a *code divergence*
+measure — the mean pairwise relative difference in source size across the
+platforms a model supports (0 for single-source models like Kokkos and
+Julia, higher when each target needs its own kernel, as with CUDA vs HIP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..core.types import DeviceKind
+from ..models.base import ProductivityInfo, ProgrammingModel
+
+__all__ = ["ProductivityRow", "productivity_report", "code_divergence"]
+
+
+def code_divergence(variant_lines: Sequence[int]) -> float:
+    """Mean pairwise relative difference of per-platform source sizes.
+
+    ``d = mean_{i<j} |L_i - L_j| / max(L_i, L_j)``; 0 when every platform
+    shares one source, approaching 1 when variants share nothing.
+    """
+    n = len(variant_lines)
+    if n == 0:
+        raise ValueError("no variants")
+    if n == 1:
+        return 0.0
+    total = 0.0
+    pairs = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            hi = max(variant_lines[i], variant_lines[j])
+            total += abs(variant_lines[i] - variant_lines[j]) / hi if hi else 0.0
+            pairs += 1
+    return total / pairs
+
+
+@dataclass(frozen=True)
+class ProductivityRow:
+    model: str
+    kernel_lines: int
+    ceremony_lines: int
+    total_lines: int
+    needs_compile_step: bool
+    jit_warmup_seconds: float
+    divergence: float
+
+
+def productivity_report(models: Sequence[ProgrammingModel]) -> List[ProductivityRow]:
+    """One row per model, aggregating CPU and GPU variants."""
+    rows: List[ProductivityRow] = []
+    for m in models:
+        infos: List[ProductivityInfo] = []
+        for device in (DeviceKind.CPU, DeviceKind.GPU):
+            infos.append(m.productivity(device))
+        lines = [i.total_lines for i in infos]
+        rows.append(ProductivityRow(
+            model=m.display,
+            kernel_lines=max(i.kernel_lines for i in infos),
+            ceremony_lines=max(i.ceremony_lines for i in infos),
+            total_lines=max(lines),
+            needs_compile_step=any(i.needs_compile_step for i in infos),
+            jit_warmup_seconds=max(i.jit_warmup_seconds for i in infos),
+            divergence=code_divergence(lines),
+        ))
+    return rows

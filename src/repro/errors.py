@@ -1,0 +1,66 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while the
+subclasses keep error handling precise in tests and in the CLI.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "UnsupportedConfigurationError",
+    "MachineModelError",
+    "IRVerificationError",
+    "LoweringError",
+    "KernelValidationError",
+    "ExperimentError",
+    "ConfigError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class UnsupportedConfigurationError(ReproError):
+    """A (programming model, device, precision) combination is unsupported.
+
+    Mirrors the paper's support matrix: e.g. Python/Numba on AMD GPUs is
+    deprecated, and Numba cannot generate FP16 random inputs.  Table III
+    treats such combinations as efficiency 0 rather than an error, so the
+    harness catches this exception and records the gap.
+    """
+
+    def __init__(self, model: str, target: str, reason: str = ""):
+        self.model = model
+        self.target = target
+        self.reason = reason
+        msg = f"{model} is not supported on {target}"
+        if reason:
+            msg += f": {reason}"
+        super().__init__(msg)
+
+
+class MachineModelError(ReproError):
+    """Invalid or inconsistent machine specification."""
+
+
+class IRVerificationError(ReproError):
+    """A kernel IR failed structural verification (e.g. after a bad pass)."""
+
+
+class LoweringError(ReproError):
+    """A programming-model frontend could not lower the kernel."""
+
+
+class KernelValidationError(ReproError):
+    """A runnable kernel produced numerically wrong results."""
+
+
+class ExperimentError(ReproError):
+    """An experiment definition or run is inconsistent."""
+
+
+class ConfigError(ReproError):
+    """Invalid environment-style configuration value."""

@@ -1,0 +1,22 @@
+"""GPU execution simulation: launch, occupancy, coalescing, wave scheduling."""
+
+from .coalescing import AccessCoalescing, CoalescingReport, analyze_coalescing
+from .launch import LaunchConfig, paper_launch
+from .occupancy import Occupancy, occupancy
+from .transfer import TransferEstimate, gemm_transfer_estimate
+from .warp_sim import GPUKernelTiming, IssueProfile, simulate_gpu_kernel
+
+__all__ = [
+    "AccessCoalescing",
+    "CoalescingReport",
+    "analyze_coalescing",
+    "LaunchConfig",
+    "paper_launch",
+    "Occupancy",
+    "occupancy",
+    "TransferEstimate",
+    "gemm_transfer_estimate",
+    "GPUKernelTiming",
+    "IssueProfile",
+    "simulate_gpu_kernel",
+]

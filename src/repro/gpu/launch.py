@@ -1,0 +1,80 @@
+"""Kernel launch configuration: block shape, grid, and thread->index mapping.
+
+The paper launches every GPU GEMM with 32x32 thread blocks (Figs. 6-7
+captions) and maps one thread to one C element.  Which matrix axis the
+fast thread index (``threadIdx.x``) walks is a per-model choice with large
+consequences for coalescing: CUDA/HIP/Numba (row-major) put ``x`` on the
+column index ``j``; Julia (column-major) puts ``x`` on the row index ``i``.
+Either is coalesced *for its layout* — the mapping only hurts when it
+disagrees with the data layout (see :mod:`repro.gpu.coalescing`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..core.types import MatrixShape
+from ..errors import MachineModelError
+
+__all__ = ["LaunchConfig", "paper_launch"]
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """A 2-D launch: ``block_x * block_y`` threads per block.
+
+    ``x_axis`` names the GEMM loop variable (``"i"`` row or ``"j"`` column)
+    that ``threadIdx.x`` — the coalescing-relevant index — walks.
+    """
+
+    block_x: int
+    block_y: int
+    x_axis: str = "j"
+
+    def __post_init__(self) -> None:
+        if self.block_x < 1 or self.block_y < 1:
+            raise MachineModelError("block dimensions must be >= 1")
+        if self.block_x * self.block_y > 1024:
+            raise MachineModelError(
+                f"block {self.block_x}x{self.block_y} exceeds 1024 threads")
+        if self.x_axis not in ("i", "j"):
+            raise MachineModelError("x_axis must be 'i' or 'j'")
+
+    @property
+    def threads_per_block(self) -> int:
+        return self.block_x * self.block_y
+
+    @property
+    def y_axis(self) -> str:
+        return "i" if self.x_axis == "j" else "j"
+
+    def extent_of(self, axis: str, shape: MatrixShape) -> int:
+        return shape.m if axis == "i" else shape.n
+
+    def grid(self, shape: MatrixShape) -> Tuple[int, int]:
+        """Blocks in (x, y), covering C with ceiling division."""
+        gx = math.ceil(self.extent_of(self.x_axis, shape) / self.block_x)
+        gy = math.ceil(self.extent_of(self.y_axis, shape) / self.block_y)
+        return gx, gy
+
+    def total_blocks(self, shape: MatrixShape) -> int:
+        gx, gy = self.grid(shape)
+        return gx * gy
+
+    def total_threads(self, shape: MatrixShape) -> int:
+        return self.total_blocks(shape) * self.threads_per_block
+
+    def active_thread_fraction(self, shape: MatrixShape) -> float:
+        """Fraction of launched threads that pass the bounds guard."""
+        return (shape.m * shape.n) / self.total_threads(shape)
+
+    def describe(self) -> str:  # pragma: no cover - cosmetic
+        return (f"block {self.block_x}x{self.block_y}, "
+                f"threadIdx.x -> {self.x_axis}")
+
+
+def paper_launch(x_axis: str = "j") -> LaunchConfig:
+    """The study's standard 32x32 block."""
+    return LaunchConfig(32, 32, x_axis=x_axis)

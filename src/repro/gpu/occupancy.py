@@ -1,0 +1,63 @@
+"""Occupancy calculation: resident blocks/warps per SM (CU).
+
+A direct transcription of the vendor occupancy calculators, restricted to
+the two limits that matter for the hand-rolled GEMM (threads per CU and
+blocks per CU; the kernel uses no shared memory and few registers).
+Occupancy feeds the latency-hiding term of :mod:`repro.gpu.warp_sim`: a
+kernel with too few resident warps cannot cover its FMA and memory
+latencies, which is how low occupancy becomes low throughput.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import MachineModelError
+from ..machine.gpu import GPUSpec
+
+__all__ = ["Occupancy", "occupancy"]
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Residency of one kernel on one SM/CU."""
+
+    blocks_per_cu: int
+    warps_per_block: int
+
+    @property
+    def warps_per_cu(self) -> int:
+        return self.blocks_per_cu * self.warps_per_block
+
+    def fraction(self, spec: GPUSpec) -> float:
+        """Resident threads over the hardware maximum."""
+        max_warps = spec.max_threads_per_cu // spec.warp_size
+        return min(1.0, self.warps_per_cu / max_warps)
+
+
+def occupancy(spec: GPUSpec, threads_per_block: int,
+              registers_per_thread: int = 32,
+              register_file: int = 65536) -> Occupancy:
+    """Resident blocks per CU for a block size.
+
+    ``registers_per_thread`` defaults to what a naive GEMM inner loop
+    needs; the register-file limit only binds for pathological values, but
+    is modelled so ablations can explore it.
+    """
+    if threads_per_block < 1:
+        raise MachineModelError("threads_per_block must be >= 1")
+    if threads_per_block > 1024:
+        raise MachineModelError("threads_per_block exceeds the 1024 limit")
+
+    warps_per_block = math.ceil(threads_per_block / spec.warp_size)
+
+    by_threads = spec.max_threads_per_cu // (warps_per_block * spec.warp_size)
+    by_blocks = spec.max_blocks_per_cu
+    by_registers = register_file // max(1, registers_per_thread * threads_per_block)
+
+    blocks = max(0, min(by_threads, by_blocks, by_registers))
+    if blocks == 0:
+        raise MachineModelError(
+            f"block of {threads_per_block} threads cannot be resident on {spec.name}")
+    return Occupancy(blocks_per_cu=blocks, warps_per_block=warps_per_block)

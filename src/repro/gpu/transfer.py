@@ -1,0 +1,42 @@
+"""Host<->device transfer estimation for GEMM operands.
+
+The paper's timing methodology *excludes* transfers (a warm-up iteration
+moves the data; only kernel time is reported), but the harness still
+models them so examples can show end-to-end cost and the tracer can
+corroborate activity, as nvprof did in the study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.types import MatrixShape, Precision
+from ..machine.gpu import GPUSpec
+
+__all__ = ["TransferEstimate", "gemm_transfer_estimate"]
+
+#: Fixed per-copy setup latency (driver call, pinning checks).
+COPY_LATENCY_US = 10.0
+
+
+@dataclass(frozen=True)
+class TransferEstimate:
+    h2d_bytes: int
+    d2h_bytes: int
+    h2d_seconds: float
+    d2h_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.h2d_seconds + self.d2h_seconds
+
+
+def gemm_transfer_estimate(spec: GPUSpec, shape: MatrixShape,
+                           precision: Precision) -> TransferEstimate:
+    """A and B up, C down, at host-link bandwidth plus per-copy latency."""
+    in_bytes = (shape.m * shape.k + shape.k * shape.n) * precision.bytes
+    out_bytes = shape.m * shape.n * precision.accum_dtype.itemsize
+    link = spec.host_link_gbs * 1e9
+    h2d = 2 * COPY_LATENCY_US * 1e-6 + in_bytes / link
+    d2h = COPY_LATENCY_US * 1e-6 + out_bytes / link
+    return TransferEstimate(in_bytes, out_bytes, h2d, d2h)

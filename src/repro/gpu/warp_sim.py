@@ -1,0 +1,192 @@
+"""Wave-based simulation of a GPU GEMM kernel launch.
+
+Execution model (the granularity GPU performance discussions in the paper
+operate at):
+
+1. The grid's blocks are scheduled onto CUs in *waves*: each CU holds
+   ``occupancy.blocks_per_cu`` resident blocks, so the grid drains in
+   ``total_blocks / (CUs * blocks_per_cu)`` waves (fractional tail).
+2. Within a wave, each CU interleaves its resident warps over the
+   per-thread ``k`` loop.  A wave's duration is the largest of three
+   bounds, all in cycles:
+
+   * **issue throughput**: resident_warps x K x (per-iteration issue
+     cycles), where issue cycles is the max over execution units (FMA
+     pipes, LSU, transaction servicing, integer/branch) — the unit model
+     of an in-order SM;
+   * **dependency latency**: K x fma_latency / accumulator_streams for a
+     single warp — the serial FMA chain that unrolling breaks (the
+     CUDA.jl unroll-2 vs CUDA unroll-4 mechanism of Sec. IV-B);
+   * **memory latency**: K x mem_latency / resident_warps — unhidden load
+     latency when occupancy is too low.
+
+3. The launch pays a fixed host-side overhead, and the whole kernel is
+   additionally bounded by DRAM bandwidth on its cache-filtered traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.types import MatrixShape
+from ..ir.nodes import Kernel
+from ..machine.gpu import GPUSpec
+from ..sim.roofline import estimate_dram_traffic
+from .coalescing import analyze_coalescing
+from .launch import LaunchConfig
+from .occupancy import occupancy
+
+__all__ = ["GPUKernelTiming", "simulate_gpu_kernel", "IssueProfile"]
+
+
+@dataclass(frozen=True)
+class IssueProfile:
+    """Per-model instruction-issue adjustments supplied by the frontend.
+
+    ``issue_multiplier`` scales every issue-cycle term: generated code that
+    spends extra instructions per iteration (bounds management, 64-bit
+    index arithmetic, no load batching) issues proportionally more.
+    ``extra_int_per_iter`` adds integer instructions per thread per k
+    iteration on top of the structural ones.
+    """
+
+    issue_multiplier: float = 1.0
+    extra_int_per_iter: float = 0.0
+    #: L2-thrashing penalty: when the streamed operand footprint exceeds
+    #: the threshold, multiply kernel time by ``thrash_factor``.  Models the
+    #: "repeatable slowdown at the largest size" of Kokkos/HIP (Sec. IV-B).
+    thrash_threshold_bytes: float = float("inf")
+    thrash_factor: float = 1.0
+
+
+@dataclass(frozen=True)
+class GPUKernelTiming:
+    """Breakdown of one simulated kernel execution."""
+
+    kernel_seconds: float        # device-side time
+    launch_seconds: float        # host-side fixed overhead
+    waves: float
+    wave_cycles: float
+    bound: str                   # "issue" | "chain" | "latency" | "dram"
+    occupancy_fraction: float
+    issue_cycles_per_iter: float
+    dram_bytes: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.kernel_seconds + self.launch_seconds
+
+    def gflops(self, shape: MatrixShape) -> float:
+        return shape.flops / self.total_seconds / 1e9
+
+
+def simulate_gpu_kernel(
+    kernel: Kernel,
+    launch: LaunchConfig,
+    spec: GPUSpec,
+    shape: MatrixShape,
+    profile: IssueProfile = IssueProfile(),
+) -> GPUKernelTiming:
+    """Simulate one launch of a thread-per-element GEMM kernel."""
+    occ = occupancy(spec, launch.threads_per_block)
+    coal = analyze_coalescing(kernel, launch, spec, shape)
+
+    k_trip = shape.k
+    inner = kernel.inner
+    unroll = max(1, inner.unroll)
+
+    n_loads = sum(1 for ld in kernel.body.loads if ld.hoisted_above is None)
+    n_stores = sum(1 for st in kernel.body.stores if st.hoisted_above is None)
+    n_mem = n_loads + n_stores
+
+    w = spec.warp_size
+
+    # --- per-warp, per-k-iteration issue cycles by unit -------------------
+    fma_cycles = w / spec.fma_rate(kernel.precision)
+    lsu_cycles = n_mem * w / spec.lsu_per_cycle
+    tx_cycles = coal.transactions_per_warp_k_iter / spec.transactions_per_cycle
+    # integer work: addressing per memory op + loop control amortised by
+    # unrolling + model-specific extras
+    int_per_thread = n_mem + (3.0 / unroll) + profile.extra_int_per_iter
+    int_cycles = int_per_thread * w / spec.int_per_cycle
+
+    # L2 bandwidth: bytes the warp moves per iteration over the per-CU
+    # share of L2 bandwidth.  For the naive kernel this is the binding
+    # resource on the vendor path and carries the precision dependence
+    # (half the payload at FP32).
+    l2_cycles = 0.0
+    if spec.caches.levels:
+        l2 = spec.caches.level("L2")
+        l2_bytes_per_cu_cycle = (l2.bandwidth_gbs * 1e9
+                                 / (spec.compute_units * spec.clock_ghz * 1e9))
+        l2_cycles = coal.bytes_per_warp_k_iter / l2_bytes_per_cu_cycle
+
+    issue = max(fma_cycles, lsu_cycles, tx_cycles, int_cycles, l2_cycles)
+    issue *= profile.issue_multiplier
+
+    # --- wave duration -----------------------------------------------------
+    # Unrolling splits the accumulator chain only under fastmath (strict FP
+    # forbids reassociating the sum); otherwise the chain stays serial and
+    # must be hidden by warp-level parallelism alone.
+    accum_streams = unroll if kernel.fastmath else 1
+    chain_per_iter = spec.fma_latency_cycles / max(1, accum_streams)
+
+    # Warps whose every thread fails the range guard retire immediately and
+    # cost (almost) nothing; partially covered blocks therefore do roughly
+    # `active_fraction` of a full block's work.
+    active_fraction = launch.active_thread_fraction(shape)
+
+    def wave_time_cycles(resident_warps: int) -> "tuple[float, str]":
+        active_warps = max(1.0, resident_warps * active_fraction)
+        throughput = active_warps * k_trip * issue
+        chain = k_trip * max(chain_per_iter, issue)
+        latency = k_trip * spec.mem_latency_cycles / max(1, resident_warps)
+        cycles = max(throughput, chain, latency)
+        if cycles == throughput:
+            return cycles, "issue"
+        if cycles == chain:
+            return cycles, "chain"
+        return cycles, "latency"
+
+    total_blocks = launch.total_blocks(shape)
+    blocks_per_wave = spec.compute_units * occ.blocks_per_cu
+    waves = total_blocks / blocks_per_wave
+    full_waves = total_blocks // blocks_per_wave
+    tail_blocks = total_blocks - full_waves * blocks_per_wave
+
+    wave_cycles, bound = wave_time_cycles(occ.warps_per_cu)
+    compute_cycles = full_waves * wave_cycles
+    if tail_blocks:
+        # The tail wave is under-subscribed: fewer resident blocks per CU.
+        tail_blocks_per_cu = -(-tail_blocks // spec.compute_units)  # ceil
+        tail_resident = min(occ.blocks_per_cu, tail_blocks_per_cu) * occ.warps_per_block
+        tail_cycles, tail_bound = wave_time_cycles(tail_resident)
+        compute_cycles += tail_cycles
+        if full_waves == 0:
+            bound = tail_bound
+    compute_seconds = compute_cycles / (spec.clock_ghz * 1e9)
+
+    # --- DRAM bandwidth bound ------------------------------------------------
+    concurrent_blocks = min(total_blocks, blocks_per_wave)
+    traffic = estimate_dram_traffic(
+        kernel, shape, spec.caches, active_workers=max(1, concurrent_blocks))
+    dram_seconds = traffic.dram_bytes / (spec.hbm_bandwidth_gbs * 1e9)
+
+    kernel_seconds = max(compute_seconds, dram_seconds)
+    if kernel_seconds == dram_seconds and dram_seconds > compute_seconds:
+        bound = "dram"
+
+    footprint = shape.footprint_bytes(kernel.precision)
+    if footprint > profile.thrash_threshold_bytes:
+        kernel_seconds *= profile.thrash_factor
+
+    return GPUKernelTiming(
+        kernel_seconds=kernel_seconds,
+        launch_seconds=spec.launch_overhead_us * 1e-6,
+        waves=waves,
+        wave_cycles=wave_cycles,
+        bound=bound,
+        occupancy_fraction=occ.fraction(spec),
+        issue_cycles_per_iter=issue,
+        dram_bytes=traffic.dram_bytes,
+    )

@@ -1,0 +1,104 @@
+"""Benchmark harness: experiments, runner, results, reports, paper figures."""
+
+from .crossover import CrossoverPoint, CrossoverStudy, device_crossover
+from .experiment import Experiment, PAPER_SIZES, QUICK_SIZES
+from .gnuplot import to_dat, to_gnuplot_script, write_gnuplot_bundle
+from .export import (
+    result_set_to_csv,
+    result_set_to_dict,
+    result_set_to_json,
+    table3_to_dict,
+    table3_to_json,
+)
+from .figures import (
+    FigureResult,
+    PAPER_PHI,
+    PAPER_TABLE3,
+    Table3Result,
+    Table3Row,
+    crusher_cpu_experiment,
+    crusher_gpu_experiment,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    table1,
+    table2,
+    table3,
+    wombat_cpu_experiment,
+    wombat_gpu_experiment,
+)
+from .report import ascii_chart, ascii_table, efficiency_table, render_result_set
+from .report_all import full_report
+from .results import Measurement, ResultSet
+from .roofline_view import RooflinePoint, RooflineView, roofline_view
+from .scaling import (
+    ScalingPoint,
+    ScalingResult,
+    default_thread_counts,
+    thread_scaling,
+    weak_scaling,
+)
+from .runner import run_experiment, run_measurement
+from .variance import EfficiencyDistribution, VarianceStudy, variance_study
+from .verify import (
+    CellCheck,
+    VerificationReport,
+    verify_table3,
+)
+
+__all__ = [
+    "CrossoverPoint",
+    "CrossoverStudy",
+    "device_crossover",
+    "Experiment",
+    "PAPER_SIZES",
+    "QUICK_SIZES",
+    "FigureResult",
+    "PAPER_PHI",
+    "PAPER_TABLE3",
+    "Table3Result",
+    "Table3Row",
+    "crusher_cpu_experiment",
+    "crusher_gpu_experiment",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "table1",
+    "table2",
+    "table3",
+    "wombat_cpu_experiment",
+    "wombat_gpu_experiment",
+    "ascii_chart",
+    "ascii_table",
+    "render_result_set",
+    "efficiency_table",
+    "full_report",
+    "to_dat",
+    "to_gnuplot_script",
+    "write_gnuplot_bundle",
+    "Measurement",
+    "ResultSet",
+    "result_set_to_csv",
+    "result_set_to_dict",
+    "result_set_to_json",
+    "table3_to_dict",
+    "table3_to_json",
+    "RooflinePoint",
+    "RooflineView",
+    "roofline_view",
+    "ScalingPoint",
+    "ScalingResult",
+    "default_thread_counts",
+    "thread_scaling",
+    "weak_scaling",
+    "run_experiment",
+    "run_measurement",
+    "CellCheck",
+    "VerificationReport",
+    "verify_table3",
+    "EfficiencyDistribution",
+    "VarianceStudy",
+    "variance_study",
+]

@@ -1,0 +1,122 @@
+"""CPU vs GPU crossover analysis.
+
+A question the paper's per-device figures invite but never answer: for a
+given programming model, at what problem size does moving the GEMM to the
+node's GPU start paying — and how does the answer change when the
+host<->device transfers the paper's methodology excludes are charged?
+This module sweeps sizes on both devices of one node and finds the
+crossover, with and without transfer costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..core.types import MatrixShape, Precision
+from ..errors import ExperimentError
+from ..gpu.transfer import gemm_transfer_estimate
+from ..gpu.warp_sim import simulate_gpu_kernel
+from ..machine.node import Node
+from ..models.registry import model_by_name
+from ..sim.executor import simulate_cpu_kernel
+from .report import ascii_table
+
+__all__ = ["CrossoverPoint", "CrossoverStudy", "device_crossover"]
+
+
+@dataclass(frozen=True)
+class CrossoverPoint:
+    size: int
+    cpu_seconds: float
+    gpu_kernel_seconds: float
+    gpu_e2e_seconds: float     # kernel + H2D + D2H
+
+    @property
+    def gpu_wins_kernel(self) -> bool:
+        return self.gpu_kernel_seconds < self.cpu_seconds
+
+    @property
+    def gpu_wins_e2e(self) -> bool:
+        return self.gpu_e2e_seconds < self.cpu_seconds
+
+
+@dataclass
+class CrossoverStudy:
+    node: str
+    model: str
+    display: str
+    precision: Precision
+    points: List[CrossoverPoint] = field(default_factory=list)
+
+    def crossover_size(self, end_to_end: bool = False) -> Optional[int]:
+        """Smallest swept size from which the GPU wins (None: never)."""
+        for p in self.points:
+            if (p.gpu_wins_e2e if end_to_end else p.gpu_wins_kernel):
+                return p.size
+        return None
+
+    def render(self) -> str:
+        rows = []
+        for p in self.points:
+            rows.append([
+                p.size,
+                f"{p.cpu_seconds * 1e3:.2f}",
+                f"{p.gpu_kernel_seconds * 1e3:.2f}",
+                f"{p.gpu_e2e_seconds * 1e3:.2f}",
+                "gpu" if p.gpu_wins_kernel else "cpu",
+                "gpu" if p.gpu_wins_e2e else "cpu",
+            ])
+        head = (f"{self.display} on {self.node}: CPU vs GPU, "
+                f"{self.precision.label} precision")
+        table = ascii_table(
+            ["size", "CPU ms", "GPU-kernel ms", "GPU-e2e ms",
+             "winner(kernel)", "winner(e2e)"], rows)
+        k = self.crossover_size(False)
+        e = self.crossover_size(True)
+        notes = [
+            f"kernel-only crossover: {'n=%d' % k if k else 'GPU never wins'}",
+            f"end-to-end crossover:  {'n=%d' % e if e else 'GPU never wins'}",
+        ]
+        return head + "\n" + table + "\n" + "\n".join(notes)
+
+
+def device_crossover(
+    node: Node,
+    model_name: str,
+    precision: Precision = Precision.FP64,
+    sizes: Sequence[int] = (128, 256, 512, 1024, 2048, 4096),
+    threads: int = 0,
+) -> CrossoverStudy:
+    """Sweep both devices of ``node`` with one model's kernels."""
+    model = model_by_name(model_name)
+    cpu = node.cpu
+    if not node.has_gpu:
+        raise ExperimentError(f"{node.name} has no GPU")
+    gpu = node.gpu()
+    for spec in (cpu, gpu):
+        support = model.supports(spec, precision)
+        if not support.supported:
+            raise ExperimentError(
+                f"{model.display} unsupported on {spec.name}: {support.reason}")
+
+    t = threads if threads else cpu.cores
+    cpu_low = model.lower_cpu(cpu, precision)
+    gpu_low = model.lower_gpu(gpu, precision)
+
+    study = CrossoverStudy(node=node.name, model=model.name,
+                           display=model.display, precision=precision)
+    for n in sorted(sizes):
+        shape = MatrixShape.square(n)
+        cpu_t = simulate_cpu_kernel(cpu_low.kernel, cpu, shape, t,
+                                    pin=cpu_low.pin, profile=cpu_low.profile)
+        gpu_t = simulate_gpu_kernel(gpu_low.kernel, gpu_low.launch, gpu,
+                                    shape, gpu_low.profile)
+        transfers = gemm_transfer_estimate(gpu, shape, precision)
+        study.points.append(CrossoverPoint(
+            size=n,
+            cpu_seconds=cpu_t.total_seconds,
+            gpu_kernel_seconds=gpu_t.total_seconds,
+            gpu_e2e_seconds=gpu_t.total_seconds + transfers.total_seconds,
+        ))
+    return study

@@ -1,0 +1,128 @@
+"""Experiment definitions: one panel of one figure/table of the paper."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple, Union
+
+from ..core.types import DeviceKind, MatrixShape, Precision
+from ..errors import ExperimentError
+from ..machine.cpu import CPUSpec
+from ..machine.gpu import GPUSpec
+from ..machine.node import Node, node_by_name
+
+__all__ = ["Experiment", "PAPER_SIZES", "QUICK_SIZES"]
+
+#: The artifact's sweep (Fig. 9): Ms = 4096, 5120, ..., 20480 — we add a
+#: few smaller points so launch-overhead effects at small sizes show.
+PAPER_SIZES: Tuple[int, ...] = (1024, 2048) + tuple(range(4096, 20481, 2048))
+
+#: A reduced sweep for unit tests and quick benchmark runs.
+QUICK_SIZES: Tuple[int, ...] = (1024, 4096, 8192, 16384)
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One simulated benchmark campaign.
+
+    Corresponds to one figure panel (e.g. Fig. 4a = Crusher CPU, double
+    precision, all four CPU models) or a slice of Table III.
+    """
+
+    exp_id: str
+    title: str
+    node_name: str
+    device: DeviceKind
+    precision: Precision
+    models: Tuple[str, ...]
+    sizes: Tuple[int, ...] = QUICK_SIZES
+    threads: Optional[int] = None  # CPU only; None = all cores
+    reps: int = 10
+    warmup: int = 1
+    seed: int = 2023
+    #: Charge host<->device transfers to every GPU repetition instead of
+    #: only the warm-up.  The paper's methodology excludes transfers
+    #: (default False); enabling this shows the end-to-end picture, where
+    #: small problems become PCIe/IF-bound for every model alike.
+    include_transfers: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.models:
+            raise ExperimentError(f"{self.exp_id}: no models")
+        if not self.sizes or any(s <= 0 for s in self.sizes):
+            raise ExperimentError(f"{self.exp_id}: invalid size sweep")
+        if self.reps < 1 or self.warmup < 0:
+            raise ExperimentError(f"{self.exp_id}: invalid reps/warmup")
+        self.node  # validates node name
+
+    @property
+    def node(self) -> Node:
+        return node_by_name(self.node_name)
+
+    @property
+    def target_spec(self) -> Union[CPUSpec, GPUSpec]:
+        if self.device is DeviceKind.CPU:
+            return self.node.cpu
+        return self.node.gpu()
+
+    @property
+    def effective_threads(self) -> int:
+        if self.device is not DeviceKind.CPU:
+            raise ExperimentError(f"{self.exp_id}: threads is a CPU concept")
+        return self.threads if self.threads else self.node.cpu.cores
+
+    def shapes(self):
+        return [MatrixShape.square(s) for s in self.sizes]
+
+    def with_sizes(self, sizes: Tuple[int, ...]) -> "Experiment":
+        return replace(self, sizes=tuple(sizes))
+
+    # -- (de)serialisation: experiment definitions as config files ---------
+
+    def to_dict(self) -> dict:
+        return {
+            "exp_id": self.exp_id,
+            "title": self.title,
+            "node": self.node_name,
+            "device": self.device.value,
+            "precision": self.precision.value,
+            "models": list(self.models),
+            "sizes": list(self.sizes),
+            "threads": self.threads,
+            "reps": self.reps,
+            "warmup": self.warmup,
+            "seed": self.seed,
+            "include_transfers": self.include_transfers,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Experiment":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected so config
+        typos fail loudly instead of silently using defaults."""
+        known = {"exp_id", "title", "node", "device", "precision", "models",
+                 "sizes", "threads", "reps", "warmup", "seed",
+                 "include_transfers"}
+        unknown = set(data) - known
+        if unknown:
+            raise ExperimentError(f"unknown experiment keys: {sorted(unknown)}")
+        return cls(
+            exp_id=data["exp_id"],
+            title=data.get("title", data["exp_id"]),
+            node_name=data["node"],
+            device=DeviceKind(data.get("device", "cpu")),
+            precision=Precision.parse(data.get("precision", "fp64")),
+            models=tuple(data["models"]),
+            sizes=tuple(data.get("sizes", QUICK_SIZES)),
+            threads=data.get("threads"),
+            reps=data.get("reps", 10),
+            warmup=data.get("warmup", 1),
+            seed=data.get("seed", 2023),
+            include_transfers=data.get("include_transfers", False),
+        )
+
+    def describe(self) -> str:  # pragma: no cover - cosmetic
+        where = self.node.cpu.name if self.device is DeviceKind.CPU \
+            else self.node.gpu().name
+        return (f"{self.exp_id}: {self.title} [{where}, "
+                f"{self.precision.label} precision, "
+                f"sizes {self.sizes[0]}..{self.sizes[-1]}]")

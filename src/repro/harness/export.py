@@ -1,0 +1,101 @@
+"""Structured export of results: JSON and CSV.
+
+Lets downstream users regenerate the paper's plots in their own tooling
+(the repository itself renders ASCII only, since no plotting library is
+assumed).  The schema is stable and round-trip tested.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, Dict
+
+from .figures import Table3Result
+from .results import ResultSet
+
+__all__ = ["result_set_to_dict", "result_set_to_json", "result_set_to_csv",
+           "table3_to_dict", "table3_to_json"]
+
+SCHEMA_VERSION = 1
+
+
+def result_set_to_dict(rs: ResultSet) -> Dict[str, Any]:
+    """Full-fidelity dict: experiment metadata + every sample."""
+    exp = rs.experiment
+    return {
+        "schema": SCHEMA_VERSION,
+        "experiment": {
+            "id": exp.exp_id,
+            "title": exp.title,
+            "node": exp.node_name,
+            "device": exp.device.value,
+            "precision": exp.precision.value,
+            "models": list(exp.models),
+            "sizes": list(exp.sizes),
+            "threads": exp.threads,
+            "reps": exp.reps,
+            "warmup": exp.warmup,
+            "seed": exp.seed,
+        },
+        "measurements": [
+            {
+                "model": m.model,
+                "display": m.display,
+                "size": m.shape.m,
+                "supported": m.supported,
+                "note": m.note,
+                "bound": m.bound,
+                "times_s": list(m.times_s),
+                "warmup_count": m.warmup_count,
+                "gflops": m.gflops if m.supported else None,
+                "seconds_mean": m.seconds if m.supported else None,
+            }
+            for m in rs.measurements
+        ],
+    }
+
+
+def result_set_to_json(rs: ResultSet, indent: int = 2) -> str:
+    """JSON string form of :func:`result_set_to_dict`."""
+    return json.dumps(result_set_to_dict(rs), indent=indent, sort_keys=False)
+
+
+def result_set_to_csv(rs: ResultSet) -> str:
+    """Flat per-cell CSV (one row per model x size)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["experiment", "model", "size", "precision", "supported",
+                     "gflops", "seconds_mean", "seconds_stdev", "note"])
+    for m in rs.measurements:
+        writer.writerow([
+            rs.experiment.exp_id,
+            m.model,
+            m.shape.m,
+            m.precision.value,
+            m.supported,
+            f"{m.gflops:.3f}" if m.supported else "",
+            f"{m.seconds:.6e}" if m.supported else "",
+            f"{m.stdev_seconds:.3e}" if m.supported else "",
+            m.note,
+        ])
+    return buf.getvalue()
+
+
+def table3_to_dict(t3: Table3Result) -> Dict[str, Any]:
+    """Structured form of Table III: one row per (model, precision)."""
+    out: Dict[str, Any] = {"schema": SCHEMA_VERSION, "rows": []}
+    for row in t3.rows:
+        out["rows"].append({
+            "model": row.model,
+            "precision": row.precision.value,
+            "efficiencies": dict(row.efficiencies),
+            "phi": row.phi,
+        })
+    return out
+
+
+def table3_to_json(t3: Table3Result, indent: int = 2) -> str:
+    """JSON string form of :func:`table3_to_dict`."""
+    return json.dumps(table3_to_dict(t3), indent=indent)

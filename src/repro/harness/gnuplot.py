@@ -1,0 +1,71 @@
+"""Gnuplot export: turn result sets into ``.dat`` + ``.gp`` files.
+
+No plotting library ships offline, so for publication-grade figures the
+harness emits gnuplot inputs: a whitespace table with one size column and
+one GFLOP/s column per model (unsupported cells as ``?``, gnuplot's
+missing-data marker), plus a ready-to-run script that reproduces the
+paper's figure style (GFLOP/s vs matrix size, one series per model).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Tuple
+
+from .results import ResultSet
+
+__all__ = ["to_dat", "to_gnuplot_script", "write_gnuplot_bundle"]
+
+
+def to_dat(rs: ResultSet) -> str:
+    """Whitespace-separated data table with a commented header row."""
+    models = rs.models()
+    displays = [rs.cell(m, rs.sizes()[0]).display.replace(" ", "_")
+                for m in models]
+    lines = ["# size " + " ".join(displays)]
+    for size in rs.sizes():
+        cells: List[str] = [str(size)]
+        for model in models:
+            m = rs.cell(model, size)
+            cells.append(f"{m.gflops:.3f}" if m.supported else "?")
+        lines.append(" ".join(cells))
+    return "\n".join(lines) + "\n"
+
+
+def to_gnuplot_script(rs: ResultSet, dat_filename: str,
+                      out_filename: Optional[str] = None) -> str:
+    """A gnuplot script plotting every model series from the .dat file."""
+    exp = rs.experiment
+    out = out_filename or f"{exp.exp_id}.png"
+    models = rs.models()
+    displays = [rs.cell(m, rs.sizes()[0]).display for m in models]
+    plots = ", \\\n     ".join(
+        f"'{dat_filename}' using 1:{i + 2} with linespoints "
+        f"title '{display}'"
+        for i, display in enumerate(displays)
+    )
+    return "\n".join([
+        "set terminal pngcairo size 900,600",
+        f"set output '{out}'",
+        f"set title '{exp.title} ({exp.precision.label} precision)'",
+        "set xlabel 'matrix size (M = N = K)'",
+        "set ylabel 'GFLOP/s'",
+        "set key top left",
+        "set datafile missing '?'",
+        "set grid",
+        f"plot {plots}",
+        "",
+    ])
+
+
+def write_gnuplot_bundle(rs: ResultSet, directory: str) -> Tuple[str, str]:
+    """Write ``<exp_id>.dat`` and ``<exp_id>.gp``; returns their paths."""
+    os.makedirs(directory, exist_ok=True)
+    base = rs.experiment.exp_id
+    dat_path = os.path.join(directory, f"{base}.dat")
+    gp_path = os.path.join(directory, f"{base}.gp")
+    with open(dat_path, "w") as fh:
+        fh.write(to_dat(rs))
+    with open(gp_path, "w") as fh:
+        fh.write(to_gnuplot_script(rs, f"{base}.dat"))
+    return dat_path, gp_path

@@ -1,0 +1,148 @@
+"""Measurement records and result sets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.types import MatrixShape, Precision
+from ..errors import ExperimentError
+from .experiment import Experiment
+from .stats import mean, stdev
+
+__all__ = ["Measurement", "ResultSet"]
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Timing of one (model, size) cell of an experiment.
+
+    ``times_s`` holds every repetition *including* the warm-up at index 0;
+    reported numbers follow the paper's methodology and exclude it.
+    ``supported=False`` cells carry no samples, only the reason (e.g.
+    "Numba's AMD GPU target is deprecated").
+    """
+
+    model: str
+    display: str
+    shape: MatrixShape
+    precision: Precision
+    times_s: Tuple[float, ...] = ()
+    warmup_count: int = 1
+    supported: bool = True
+    note: str = ""
+    bound: str = ""
+
+    @property
+    def kernel_times(self) -> Tuple[float, ...]:
+        return self.times_s[self.warmup_count:]
+
+    @property
+    def seconds(self) -> float:
+        """The reported time: mean of post-warm-up repetitions."""
+        if not self.supported:
+            raise ExperimentError(f"{self.model} unsupported: {self.note}")
+        return mean(self.kernel_times)
+
+    @property
+    def gflops(self) -> float:
+        return self.shape.flops / self.seconds / 1e9
+
+    @property
+    def stdev_seconds(self) -> float:
+        return stdev(self.kernel_times)
+
+    def summary(self) -> str:  # pragma: no cover - cosmetic
+        if not self.supported:
+            return f"{self.display} @{self.shape}: unsupported ({self.note})"
+        return (f"{self.display} @{self.shape}: {self.gflops:.1f} GFLOP/s "
+                f"({self.seconds * 1e3:.2f} ms +/- {self.stdev_seconds * 1e3:.2f})")
+
+
+@dataclass
+class ResultSet:
+    """All measurements of one experiment."""
+
+    experiment: Experiment
+    measurements: List[Measurement] = field(default_factory=list)
+
+    def add(self, m: Measurement) -> None:
+        self.measurements.append(m)
+
+    # -- lookups --------------------------------------------------------------
+
+    def models(self) -> List[str]:
+        seen: List[str] = []
+        for m in self.measurements:
+            if m.model not in seen:
+                seen.append(m.model)
+        return seen
+
+    def sizes(self) -> List[int]:
+        seen: List[int] = []
+        for m in self.measurements:
+            if m.shape.m not in seen:
+                seen.append(m.shape.m)
+        return sorted(seen)
+
+    def cell(self, model: str, size: int) -> Measurement:
+        for m in self.measurements:
+            if m.model == model and m.shape.m == size:
+                return m
+        raise KeyError(f"no measurement for ({model}, {size})")
+
+    def supported(self, model: str) -> bool:
+        return any(m.supported for m in self.measurements if m.model == model)
+
+    def series(self, model: str) -> Tuple[List[int], List[float]]:
+        """(sizes, GFLOP/s) for one model, skipping unsupported cells."""
+        xs: List[int] = []
+        ys: List[float] = []
+        for size in self.sizes():
+            try:
+                m = self.cell(model, size)
+            except KeyError:
+                continue
+            if m.supported:
+                xs.append(size)
+                ys.append(m.gflops)
+        return xs, ys
+
+    # -- efficiency -------------------------------------------------------------
+
+    def efficiency_series(self, model: str, reference: str) -> List[float]:
+        """Per-size efficiency e(size) = perf(model) / perf(reference)."""
+        out: List[float] = []
+        for size in self.sizes():
+            try:
+                mm = self.cell(model, size)
+                mr = self.cell(reference, size)
+            except KeyError:
+                continue
+            if mm.supported and mr.supported:
+                out.append(mm.gflops / mr.gflops)
+        return out
+
+    def mean_efficiency(self, model: str, reference: str) -> Optional[float]:
+        """The e_i(a) of Eq. (2): mean over the sweep; None if unsupported."""
+        series = self.efficiency_series(model, reference)
+        if not series:
+            return None
+        return mean(series)
+
+    # -- export -----------------------------------------------------------------
+
+    def to_rows(self) -> List[Dict[str, object]]:
+        rows: List[Dict[str, object]] = []
+        for m in self.measurements:
+            rows.append({
+                "experiment": self.experiment.exp_id,
+                "model": m.model,
+                "size": m.shape.m,
+                "precision": m.precision.value,
+                "supported": m.supported,
+                "gflops": round(m.gflops, 2) if m.supported else None,
+                "seconds": m.seconds if m.supported else None,
+                "note": m.note,
+            })
+        return rows

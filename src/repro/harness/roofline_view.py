@@ -1,0 +1,127 @@
+"""Roofline view: place each model's kernel on its machine's roofline.
+
+A standard way to read the study's results: every (model, machine,
+precision) point has an arithmetic intensity (from the cache-filtered
+traffic model) and an achieved GFLOP/s (from the execution simulation);
+the machine contributes a bandwidth slope and a compute ceiling.  The
+view makes the paper's qualitative statements quantitative at a glance —
+e.g. that the hand-rolled GEMM sits near the ridge on CPUs but far below
+the ceiling on GPUs, where instruction issue (not DRAM) binds it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Union
+
+from ..core.types import MatrixShape, Precision
+from ..machine.cpu import CPUSpec
+from ..machine.gpu import GPUSpec
+from ..models.registry import model_by_name
+from ..gpu.warp_sim import simulate_gpu_kernel
+from ..sim.executor import simulate_cpu_kernel
+from ..sim.roofline import estimate_dram_traffic
+from .report import ascii_table
+
+__all__ = ["RooflinePoint", "RooflineView", "roofline_view"]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel on the roofline."""
+
+    label: str
+    arithmetic_intensity: float   # flops per DRAM byte
+    gflops: float
+    roofline_bound: float         # min(peak, AI * BW): the attainable ceiling
+    bound_kind: str               # "bandwidth" | "compute"
+
+    @property
+    def ceiling_fraction(self) -> float:
+        """Achieved fraction of the attainable (roofline) performance."""
+        return self.gflops / self.roofline_bound if self.roofline_bound else 0.0
+
+
+@dataclass
+class RooflineView:
+    machine: str
+    precision: Precision
+    peak_gflops: float
+    bandwidth_gbs: float
+    points: List[RooflinePoint]
+
+    @property
+    def ridge_intensity(self) -> float:
+        """AI at which the machine turns compute-bound."""
+        return self.peak_gflops / self.bandwidth_gbs
+
+    def render(self) -> str:
+        head = (f"Roofline: {self.machine}, {self.precision.label} precision "
+                f"(peak {self.peak_gflops:.0f} GF/s, "
+                f"{self.bandwidth_gbs:.0f} GB/s, "
+                f"ridge at {self.ridge_intensity:.1f} flops/byte)")
+        rows = [[p.label, f"{p.arithmetic_intensity:.1f}",
+                 f"{p.gflops:.0f}", f"{p.roofline_bound:.0f}",
+                 f"{p.ceiling_fraction:.2f}", p.bound_kind]
+                for p in self.points]
+        return head + "\n" + ascii_table(
+            ["kernel", "AI (f/B)", "GFLOP/s", "attainable", "fraction",
+             "regime"], rows)
+
+
+def _point(label: str, flops: int, dram_bytes: float, gflops: float,
+           peak: float, bw: float) -> RooflinePoint:
+    ai = flops / dram_bytes if dram_bytes > 0 else math.inf
+    bound = min(peak, ai * bw)
+    kind = "compute" if ai >= peak / bw else "bandwidth"
+    return RooflinePoint(label, ai, gflops, bound, kind)
+
+
+def roofline_view(
+    spec: Union[CPUSpec, GPUSpec],
+    shape: MatrixShape,
+    precision: Precision = Precision.FP64,
+    models: Sequence[str] = (),
+    threads: int = 0,
+) -> RooflineView:
+    """Build the roofline view of several models' kernels on one machine."""
+    is_cpu = isinstance(spec, CPUSpec)
+    if is_cpu:
+        peak = spec.peak_gflops(precision)
+        bw = spec.total_bandwidth_gbs
+    else:
+        peak = spec.peak_gflops(precision)
+        bw = spec.hbm_bandwidth_gbs
+
+    points: List[RooflinePoint] = []
+    for name in models:
+        model = model_by_name(name)
+        support = model.supports(spec, precision)
+        if not support.supported:
+            continue
+        if is_cpu:
+            low = model.lower_cpu(spec, precision)
+            t = threads if threads else spec.cores
+            timing = simulate_cpu_kernel(low.kernel, spec, shape, t,
+                                         pin=low.pin, profile=low.profile)
+            traffic = estimate_dram_traffic(low.kernel, shape, spec.caches,
+                                            active_workers=t)
+            gflops = timing.gflops(shape)
+        else:
+            low = model.lower_gpu(spec, precision)
+            timing = simulate_gpu_kernel(low.kernel, low.launch, spec, shape,
+                                         low.profile)
+            traffic = estimate_dram_traffic(low.kernel, shape, spec.caches,
+                                            active_workers=spec.compute_units)
+            gflops = timing.gflops(shape)
+        points.append(_point(model.display, shape.flops, traffic.dram_bytes,
+                             gflops, peak, bw))
+
+    return RooflineView(
+        machine=spec.name,
+        precision=precision,
+        peak_gflops=peak,
+        bandwidth_gbs=bw,
+        points=points,
+    )

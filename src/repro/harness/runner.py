@@ -1,0 +1,120 @@
+"""The experiment runner: lowers, simulates, samples, traces.
+
+Methodology transcribed from Sec. IV: each kernel runs ``reps`` times
+(at least 5-10); the first, warm-up repetition — which carries JIT
+compilation for Julia/Numba, device allocation and H2D transfers — is
+excluded from the reported statistics but *is* recorded in the trace, so
+the nvprof-style summary shows everything that actually happened.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.types import DeviceKind, MatrixShape
+from ..gpu.transfer import gemm_transfer_estimate
+from ..gpu.warp_sim import simulate_gpu_kernel
+from ..models.base import ProgrammingModel
+from ..models.registry import model_by_name
+from ..sim.executor import simulate_cpu_kernel
+from ..sim.variability import VariabilityModel
+from ..trace.events import EventKind
+from ..trace.profiler import Profiler
+from .experiment import Experiment
+from .results import Measurement, ResultSet
+
+__all__ = ["run_experiment", "run_measurement"]
+
+
+def run_measurement(
+    model: ProgrammingModel,
+    experiment: Experiment,
+    shape: MatrixShape,
+    profiler: Optional[Profiler] = None,
+) -> Measurement:
+    """Simulate one (model, size) cell of an experiment."""
+    spec = experiment.target_spec
+    precision = experiment.precision
+    support = model.supports(spec, precision)
+    if not support.supported:
+        return Measurement(
+            model=model.name, display=model.display, shape=shape,
+            precision=precision, supported=False, note=support.reason,
+        )
+
+    prof = profiler if profiler is not None else Profiler()
+    noise = VariabilityModel.for_node(experiment.node_name,
+                                      seed=experiment.seed)
+    key = f"{experiment.exp_id}:{model.name}:{shape}:{precision.value}"
+    productivity = model.productivity(experiment.device)
+    warmup_extra = productivity.jit_warmup_seconds
+
+    if experiment.device is DeviceKind.CPU:
+        lowering = model.lower_cpu(spec, precision)
+        timing = simulate_cpu_kernel(
+            lowering.kernel, spec, shape,
+            threads=experiment.effective_threads,
+            pin=lowering.pin, profile=lowering.profile,
+        )
+        nominal = timing.total_seconds
+        bound = timing.bound
+        if warmup_extra:
+            prof.record(EventKind.JIT_COMPILE, f"{model.name}-jit",
+                        warmup_extra)
+        times = noise.samples(nominal, key, experiment.reps + experiment.warmup,
+                              warmup_extra_seconds=warmup_extra)
+        for rep, t in enumerate(times):
+            prof.record(EventKind.PARALLEL_REGION,
+                        f"{lowering.kernel.name}", t,
+                        rep=rep, threads=experiment.effective_threads,
+                        size=shape.m)
+    else:
+        lowering = model.lower_gpu(spec, precision)
+        timing = simulate_gpu_kernel(lowering.kernel, lowering.launch, spec,
+                                     shape, lowering.profile)
+        nominal = timing.total_seconds
+        bound = timing.bound
+        transfers = gemm_transfer_estimate(spec, shape, precision)
+        if experiment.include_transfers:
+            # end-to-end mode: every repetition moves A, B in and C out
+            nominal += transfers.total_seconds
+            if transfers.total_seconds > timing.total_seconds:
+                bound = "transfer"
+        if warmup_extra:
+            prof.record(EventKind.JIT_COMPILE, f"{model.name}-jit",
+                        warmup_extra)
+        prof.record(EventKind.MEMCPY_H2D, "A,B -> device",
+                    transfers.h2d_seconds, bytes=transfers.h2d_bytes)
+        warmup_total = warmup_extra + transfers.h2d_seconds
+        times = noise.samples(nominal, key, experiment.reps + experiment.warmup,
+                              warmup_extra_seconds=warmup_total)
+        for rep, t in enumerate(times):
+            prof.record(EventKind.KERNEL, lowering.kernel.name, t,
+                        rep=rep, grid=lowering.launch.grid(shape),
+                        block=(lowering.launch.block_x, lowering.launch.block_y),
+                        size=shape.m)
+        prof.record(EventKind.MEMCPY_D2H, "C -> host",
+                    transfers.d2h_seconds, bytes=transfers.d2h_bytes)
+
+    return Measurement(
+        model=model.name,
+        display=model.display,
+        shape=shape,
+        precision=precision,
+        times_s=tuple(times),
+        warmup_count=experiment.warmup,
+        supported=True,
+        note=support.reason,
+        bound=bound,
+    )
+
+
+def run_experiment(experiment: Experiment,
+                   profiler: Optional[Profiler] = None) -> ResultSet:
+    """Run every (model, size) cell of an experiment."""
+    results = ResultSet(experiment)
+    for name in experiment.models:
+        model = model_by_name(name)
+        for shape in experiment.shapes():
+            results.add(run_measurement(model, experiment, shape, profiler))
+    return results

@@ -1,0 +1,183 @@
+"""Strong-scaling studies: performance versus thread count.
+
+The paper fixes each CPU experiment at the full core count (64 on
+Crusher, 80 on Wombat) and sweeps problem size; this module supplies the
+orthogonal cut — fixed problem, swept thread count — which is how the
+"single node scalability" the abstract refers to is usually assessed, and
+which exposes the model differences the size sweep hides: unpinned
+runtimes scale worse across NUMA boundaries, and fork/join overhead
+bounds speed-up at small problem sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.types import MatrixShape, Precision
+from ..errors import ExperimentError
+from ..machine.cpu import CPUSpec
+from ..models.registry import model_by_name
+from ..sim.executor import simulate_cpu_kernel
+from .report import ascii_table
+
+__all__ = ["ScalingPoint", "ScalingResult", "thread_scaling",
+           "weak_scaling", "default_thread_counts"]
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One thread count of a strong-scaling curve."""
+
+    threads: int
+    seconds: float
+    gflops: float
+    speedup: float               # vs the 1-thread (or smallest) point
+    parallel_efficiency: float   # speedup / (threads / base_threads)
+
+
+@dataclass
+class ScalingResult:
+    """A full strong-scaling curve for one model on one CPU."""
+
+    model: str
+    display: str
+    cpu: str
+    precision: Precision
+    shape: MatrixShape
+    points: List[ScalingPoint] = field(default_factory=list)
+
+    def point(self, threads: int) -> ScalingPoint:
+        for p in self.points:
+            if p.threads == threads:
+                return p
+        raise KeyError(f"no scaling point at {threads} threads")
+
+    @property
+    def max_speedup(self) -> float:
+        return max(p.speedup for p in self.points)
+
+    def efficiency_at_full(self) -> float:
+        return self.points[-1].parallel_efficiency
+
+    def render(self) -> str:
+        rows = [[p.threads, f"{p.gflops:.0f}", f"{p.speedup:.2f}",
+                 f"{p.parallel_efficiency:.2f}"] for p in self.points]
+        head = (f"{self.display} on {self.cpu}, "
+                f"{self.shape} {self.precision.label} precision")
+        return head + "\n" + ascii_table(
+            ["threads", "GFLOP/s", "speedup", "efficiency"], rows)
+
+
+def default_thread_counts(cores: int) -> Tuple[int, ...]:
+    """1, 2, 4, ... up to (and always including) the core count."""
+    counts: List[int] = []
+    t = 1
+    while t < cores:
+        counts.append(t)
+        t *= 2
+    counts.append(cores)
+    return tuple(counts)
+
+
+def thread_scaling(
+    model_name: str,
+    cpu: CPUSpec,
+    shape: MatrixShape,
+    precision: Precision = Precision.FP64,
+    thread_counts: Optional[Sequence[int]] = None,
+) -> ScalingResult:
+    """Strong-scale one model's CPU kernel over thread counts.
+
+    Uses nominal (noise-free) simulation: scaling curves are about the
+    deterministic structure, and the variability model would only blur
+    the parallel-efficiency numbers.
+    """
+    model = model_by_name(model_name)
+    support = model.supports(cpu, precision)
+    if not support.supported:
+        raise ExperimentError(
+            f"{model.display} unsupported on {cpu.name}: {support.reason}")
+
+    counts = tuple(thread_counts) if thread_counts else default_thread_counts(cpu.cores)
+    if not counts or any(t <= 0 for t in counts):
+        raise ExperimentError("thread counts must be positive")
+    counts = tuple(sorted(set(counts)))
+
+    lowering = model.lower_cpu(cpu, precision)
+    result = ScalingResult(
+        model=model.name, display=model.display, cpu=cpu.name,
+        precision=precision, shape=shape,
+    )
+    base_seconds = None
+    base_threads = counts[0]
+    for threads in counts:
+        timing = simulate_cpu_kernel(
+            lowering.kernel, cpu, shape, threads,
+            pin=lowering.pin, profile=lowering.profile,
+        )
+        if base_seconds is None:
+            base_seconds = timing.total_seconds
+        speedup = base_seconds / timing.total_seconds
+        ideal = threads / base_threads
+        result.points.append(ScalingPoint(
+            threads=threads,
+            seconds=timing.total_seconds,
+            gflops=timing.gflops(shape),
+            speedup=speedup,
+            parallel_efficiency=speedup / ideal,
+        ))
+    return result
+
+
+def weak_scaling(
+    model_name: str,
+    cpu: CPUSpec,
+    base_shape: MatrixShape,
+    precision: Precision = Precision.FP64,
+    thread_counts: Optional[Sequence[int]] = None,
+) -> ScalingResult:
+    """Weak scaling: grow the problem with the thread count.
+
+    GEMM work is O(n^3), so constant work *per thread* means
+    ``n(t) = n(1) * t^(1/3)``.  Perfect weak scaling keeps the runtime
+    flat; the reported ``parallel_efficiency`` is ``t(base) / t(threads)``
+    (1.0 = flat), and ``speedup`` is the achieved aggregate-GFLOP/s gain.
+    """
+    model = model_by_name(model_name)
+    support = model.supports(cpu, precision)
+    if not support.supported:
+        raise ExperimentError(
+            f"{model.display} unsupported on {cpu.name}: {support.reason}")
+
+    counts = tuple(thread_counts) if thread_counts else default_thread_counts(cpu.cores)
+    if not counts or any(t <= 0 for t in counts):
+        raise ExperimentError("thread counts must be positive")
+    counts = tuple(sorted(set(counts)))
+
+    lowering = model.lower_cpu(cpu, precision)
+    result = ScalingResult(
+        model=model.name, display=model.display, cpu=cpu.name,
+        precision=precision, shape=base_shape,
+    )
+    base_seconds = None
+    base_gflops = None
+    for threads in counts:
+        n = max(1, round(base_shape.m * (threads / counts[0]) ** (1 / 3)))
+        shape = MatrixShape.square(n)
+        timing = simulate_cpu_kernel(
+            lowering.kernel, cpu, shape, threads,
+            pin=lowering.pin, profile=lowering.profile,
+        )
+        gflops = timing.gflops(shape)
+        if base_seconds is None:
+            base_seconds = timing.total_seconds
+            base_gflops = gflops
+        result.points.append(ScalingPoint(
+            threads=threads,
+            seconds=timing.total_seconds,
+            gflops=gflops,
+            speedup=gflops / base_gflops,
+            parallel_efficiency=base_seconds / timing.total_seconds,
+        ))
+    return result

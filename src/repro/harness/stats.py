@@ -1,0 +1,60 @@
+"""Small statistics helpers for timing samples."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+__all__ = ["mean", "median", "stdev", "ci95", "summarize", "geomean"]
+
+
+def mean(xs: Sequence[float]) -> float:
+    if not xs:
+        raise ValueError("empty sample")
+    return sum(xs) / len(xs)
+
+
+def median(xs: Sequence[float]) -> float:
+    if not xs:
+        raise ValueError("empty sample")
+    s = sorted(xs)
+    n = len(s)
+    mid = n // 2
+    return s[mid] if n % 2 else 0.5 * (s[mid - 1] + s[mid])
+
+
+def stdev(xs: Sequence[float]) -> float:
+    """Sample standard deviation (ddof=1); 0 for a single sample."""
+    n = len(xs)
+    if n == 0:
+        raise ValueError("empty sample")
+    if n == 1:
+        return 0.0
+    m = mean(xs)
+    return math.sqrt(sum((x - m) ** 2 for x in xs) / (n - 1))
+
+
+def ci95(xs: Sequence[float]) -> Tuple[float, float]:
+    """Normal-approximation 95% confidence interval of the mean."""
+    m = mean(xs)
+    half = 1.96 * stdev(xs) / math.sqrt(len(xs))
+    return (m - half, m + half)
+
+
+def geomean(xs: Sequence[float]) -> float:
+    if not xs:
+        raise ValueError("empty sample")
+    if any(x <= 0 for x in xs):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(x) for x in xs) / len(xs))
+
+
+def summarize(xs: Sequence[float]) -> dict:
+    return {
+        "n": len(xs),
+        "mean": mean(xs),
+        "median": median(xs),
+        "stdev": stdev(xs),
+        "min": min(xs),
+        "max": max(xs),
+    }

@@ -1,0 +1,122 @@
+"""The variability analysis the paper leaves on the table.
+
+Sec. IV: "the results are the most likely performance value without doing
+an exhaustive variability analysis", and for the one anomalous result —
+Julia/AMDGPU.jl slightly *beating* HIP at single precision — the authors
+conjecture it "could simply be the variability on this particular
+system".  This module does the exhaustive version: re-run an experiment
+under many independent noise seeds and report the distribution of each
+efficiency, so conjectures like that one become quantitative statements
+("Julia > HIP in x% of runs; the mean exceeds 1 by y sigma").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import ExperimentError
+from .experiment import Experiment
+from .report import ascii_table
+from .runner import run_experiment
+from .stats import mean, stdev
+
+__all__ = ["EfficiencyDistribution", "VarianceStudy", "variance_study"]
+
+
+@dataclass(frozen=True)
+class EfficiencyDistribution:
+    """Across-seed distribution of one model's mean efficiency."""
+
+    model: str
+    reference: str
+    samples: tuple
+
+    @property
+    def mean(self) -> float:
+        return mean(self.samples)
+
+    @property
+    def stdev(self) -> float:
+        return stdev(self.samples)
+
+    @property
+    def minimum(self) -> float:
+        return min(self.samples)
+
+    @property
+    def maximum(self) -> float:
+        return max(self.samples)
+
+    def fraction_above(self, threshold: float) -> float:
+        """Fraction of runs whose efficiency exceeds ``threshold`` —
+        e.g. ``fraction_above(1.0)`` answers "how often does the portable
+        model beat the vendor?"."""
+        return sum(1 for s in self.samples if s > threshold) / len(self.samples)
+
+    def sigma_distance(self, threshold: float) -> float:
+        """How many standard deviations the mean sits from ``threshold``
+        (inf for a degenerate, noise-free distribution)."""
+        if self.stdev == 0:
+            return math.inf if self.mean != threshold else 0.0
+        return (self.mean - threshold) / self.stdev
+
+
+@dataclass
+class VarianceStudy:
+    experiment_id: str
+    reference: str
+    seeds: int
+    distributions: Dict[str, EfficiencyDistribution] = field(default_factory=dict)
+
+    def distribution(self, model: str) -> EfficiencyDistribution:
+        return self.distributions[model]
+
+    def render(self) -> str:
+        rows = []
+        for model, dist in self.distributions.items():
+            rows.append([
+                model,
+                f"{dist.mean:.3f}",
+                f"{dist.stdev:.4f}",
+                f"{dist.minimum:.3f}",
+                f"{dist.maximum:.3f}",
+                f"{dist.fraction_above(1.0):.0%}",
+            ])
+        head = (f"efficiency distributions over {self.seeds} seeds "
+                f"({self.experiment_id}, reference {self.reference})")
+        return head + "\n" + ascii_table(
+            ["model", "mean e", "stdev", "min", "max", "beats vendor"], rows)
+
+
+def variance_study(
+    experiment: Experiment,
+    reference: str,
+    models: Optional[Sequence[str]] = None,
+    seeds: int = 25,
+    seed_base: int = 10_000,
+) -> VarianceStudy:
+    """Re-run ``experiment`` under ``seeds`` independent noise seeds.
+
+    Deterministic overall: seed ``seed_base + i`` for run ``i``.
+    """
+    if seeds < 2:
+        raise ExperimentError("a variance study needs at least 2 seeds")
+    targets = [m for m in (models or experiment.models) if m != reference]
+    samples: Dict[str, List[float]] = {m: [] for m in targets}
+    for i in range(seeds):
+        exp = dataclasses.replace(experiment, seed=seed_base + i)
+        rs = run_experiment(exp)
+        for model in targets:
+            e = rs.mean_efficiency(model, reference)
+            if e is not None:
+                samples[model].append(e)
+    study = VarianceStudy(experiment_id=experiment.exp_id,
+                          reference=reference, seeds=seeds)
+    for model, values in samples.items():
+        if values:
+            study.distributions[model] = EfficiencyDistribution(
+                model=model, reference=reference, samples=tuple(values))
+    return study

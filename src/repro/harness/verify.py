@@ -1,0 +1,106 @@
+"""Reproduction verification: paper-vs-reproduced in one call.
+
+``repro verify`` (and the EXPERIMENTS.md tables) come from here: every
+published Table III cell and Phi value compared against a fresh
+simulation, with tolerances from the DESIGN.md calibration policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..core.types import Precision
+from .experiment import QUICK_SIZES
+from .figures import PAPER_PHI, PAPER_TABLE3, Table3Result, table3
+from .report import ascii_table
+
+__all__ = ["CellCheck", "VerificationReport", "verify_table3",
+           "E_TOLERANCE", "PHI_TOLERANCE"]
+
+#: Tolerance on per-platform efficiencies (DESIGN.md §5).
+E_TOLERANCE = 0.05
+#: Tolerance on the aggregate Phi_M values.
+PHI_TOLERANCE = 0.03
+
+_PLATFORMS = ("Epyc 7A53", "Ampere Altra", "MI250x", "A100")
+
+
+@dataclass(frozen=True)
+class CellCheck:
+    """One compared quantity."""
+
+    label: str
+    published: Optional[float]
+    reproduced: Optional[float]
+    tolerance: float
+
+    @property
+    def delta(self) -> Optional[float]:
+        if self.published is None or self.reproduced is None:
+            return None
+        return abs(self.published - self.reproduced)
+
+    @property
+    def ok(self) -> bool:
+        if self.published is None:
+            return self.reproduced is None
+        if self.reproduced is None:
+            return False
+        return self.delta <= self.tolerance
+
+
+@dataclass
+class VerificationReport:
+    checks: List[CellCheck] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(c.ok for c in self.checks)
+
+    @property
+    def worst_delta(self) -> float:
+        deltas = [c.delta for c in self.checks if c.delta is not None]
+        return max(deltas, default=0.0)
+
+    def failures(self) -> List[CellCheck]:
+        return [c for c in self.checks if not c.ok]
+
+    def render(self) -> str:
+        rows = []
+        for c in self.checks:
+            pub = "-" if c.published is None else f"{c.published:.3f}"
+            ours = "-" if c.reproduced is None else f"{c.reproduced:.3f}"
+            delta = "" if c.delta is None else f"{c.delta:.3f}"
+            rows.append([c.label, pub, ours, delta,
+                         "ok" if c.ok else "FAIL"])
+        table = ascii_table(["quantity", "paper", "ours", "|delta|", ""],
+                            rows)
+        verdict = ("REPRODUCED" if self.passed else
+                   f"{len(self.failures())} quantities out of tolerance")
+        return (table + f"\n\nworst |delta|: {self.worst_delta:.3f}"
+                        f"   verdict: {verdict}")
+
+
+def verify_table3(sizes: Sequence[int] = QUICK_SIZES,
+                  computed: Optional[Table3Result] = None) -> VerificationReport:
+    """Compare a freshly simulated Table III against the published one."""
+    t3 = computed if computed is not None else table3(sizes)
+    report = VerificationReport()
+    for precision in (Precision.FP64, Precision.FP32):
+        for model in ("kokkos", "julia", "numba"):
+            row = t3.row(model, precision)
+            for platform in _PLATFORMS:
+                report.checks.append(CellCheck(
+                    label=f"e_{platform} {model} {precision.value}",
+                    published=PAPER_TABLE3[precision][model][platform],
+                    reproduced=row.efficiencies.get(platform),
+                    tolerance=E_TOLERANCE,
+                ))
+            report.checks.append(CellCheck(
+                label=f"Phi {model} {precision.value}",
+                published=PAPER_PHI[precision][model],
+                reproduced=row.phi,
+                tolerance=PHI_TOLERANCE,
+            ))
+    return report

@@ -1,0 +1,322 @@
+"""Static analysis of kernel IR: instruction mix and memory reference info.
+
+The cost engine consumes two summaries of a kernel:
+
+* :class:`InstructionMix` — how many FMA issues, loads/stores, integer and
+  branch instructions a full execution retires, after unrolling and
+  vectorisation are accounted for.  This drives the compute-time model.
+* :class:`RefInfo` per array reference — stride class, execution count and
+  sharing across the parallel loop.  This drives the memory-traffic model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.types import MatrixShape
+from .nodes import ArrayRef, Kernel, Loop, ParallelKind
+
+__all__ = [
+    "StrideClass",
+    "RefInfo",
+    "InstructionMix",
+    "flop_count",
+    "instruction_mix",
+    "reference_info",
+    "executions_of",
+]
+
+
+def flop_count(shape: MatrixShape) -> int:
+    """Total floating-point operations of one GEMM (2·M·N·K)."""
+    return shape.flops
+
+
+def executions_of(kernel: Kernel, hoisted_above: Optional[str],
+                  shape: MatrixShape) -> int:
+    """How many times a statement executes over the whole kernel.
+
+    A statement hoisted above loop ``v`` runs once per iteration of the
+    loops *enclosing* ``v``; a statement in the innermost body runs once per
+    innermost iteration.
+    """
+    trips = kernel.resolved_extents(shape.m, shape.n, shape.k)
+    if hoisted_above is None:
+        vars_counted = [l.var for l in kernel.loops]
+    else:
+        vars_counted = []
+        for l in kernel.loops:
+            if l.var == hoisted_above:
+                break
+            vars_counted.append(l.var)
+    count = 1
+    for v in vars_counted:
+        count *= trips[v]
+    return count
+
+
+class StrideClass:
+    """Stride categories of a reference w.r.t. its fastest executing loop."""
+
+    INVARIANT = "invariant"   # stride 0: register-resident / broadcast
+    UNIT = "unit"             # stride 1: streaming, full spatial reuse
+    STRIDED = "strided"       # large stride: one cache line per access
+
+
+@dataclass(frozen=True)
+class RefInfo:
+    """Memory-model summary of one array reference."""
+
+    ref: ArrayRef
+    kind: str                      # "load" | "store"
+    array: str
+    role: str                      # "A" | "B" | "C"
+    executions: int                # element accesses over the whole kernel
+    inner_stride_elems: int        # element stride w.r.t. fastest varying loop
+    stride_class: str
+    element_bytes: int
+    distinct_elements: int         # |footprint| of the array
+    shared_across_parallel: bool   # True if every thread touches the same data
+    reuse_working_set_bytes: int   # bytes that must stay cached for temporal reuse
+    reuse_factor: int              # times each element is touched if cached
+
+    @property
+    def touched_bytes(self) -> int:
+        return self.executions * self.element_bytes
+
+    @property
+    def footprint_bytes(self) -> int:
+        return self.distinct_elements * self.element_bytes
+
+
+@dataclass(frozen=True)
+class InstructionMix:
+    """Retired-instruction totals for one kernel execution.
+
+    ``fma_issues`` counts FMA *instructions* (vector FMAs count once);
+    ``flops`` is always 2·M·N·K regardless of vectorisation.
+    ``accum_streams`` is the number of independent accumulator chains in a
+    reduction kernel — the latency-hiding head-room of the inner loop.
+    """
+
+    flops: int
+    fma_issues: float
+    load_issues: float
+    store_issues: float
+    guard_ops: float
+    int_ops: float
+    branch_ops: float
+    inner_iterations: int
+    vector_width: int
+    has_reduction_chain: bool
+    accum_streams: int
+
+    @property
+    def issue_slots(self) -> float:
+        """Total instruction issue slots, the currency of the CPU/GPU
+        front-end throughput model."""
+        return (self.fma_issues + self.load_issues + self.store_issues
+                + self.guard_ops + self.int_ops + self.branch_ops)
+
+
+def _decl_of(kernel: Kernel, ref: ArrayRef):
+    return kernel.decl(ref.array)
+
+
+def _fastest_loop_for(kernel: Kernel, hoisted_above: Optional[str]) -> Loop:
+    """Innermost loop enclosing a statement (its fastest-varying index)."""
+    if hoisted_above is None:
+        return kernel.loops[-1]
+    for i, l in enumerate(kernel.loops):
+        if l.var == hoisted_above:
+            return kernel.loops[i - 1] if i > 0 else l
+    return kernel.loops[-1]
+
+
+def _stride_class(stride: int, line_elems: int) -> str:
+    if stride == 0:
+        return StrideClass.INVARIANT
+    if abs(stride) < line_elems:
+        return StrideClass.UNIT
+    return StrideClass.STRIDED
+
+
+def reference_info(kernel: Kernel, shape: MatrixShape,
+                   line_bytes: int = 64) -> List[RefInfo]:
+    """Memory-reference summaries for every load and store in the kernel."""
+    m, n, k = shape.m, shape.n, shape.k
+    trips = kernel.resolved_extents(m, n, k)
+    parallel_vars = {l.var for l in kernel.loops
+                     if l.parallel is not ParallelKind.SEQUENTIAL}
+    out: List[RefInfo] = []
+
+    items = [("load", ld.ref, ld.hoisted_above) for ld in kernel.body.loads]
+    items += [("store", st.ref, st.hoisted_above) for st in kernel.body.stores]
+
+    grid_vars = [l.var for l in kernel.loops if l.parallel is ParallelKind.GRID]
+
+    for kind, ref, hoist in items:
+        decl = _decl_of(kernel, ref)
+        execs = executions_of(kernel, hoist, shape)
+        fastest = _fastest_loop_for(kernel, hoist)
+        stride = ref.linear_coeff(decl, fastest.var, m, n, k)
+        elem_bytes = decl.dtype.np_dtype.itemsize if decl.role != "C" else (
+            kernel.precision.accum_dtype.itemsize)
+        line_elems = max(1, line_bytes // elem_bytes)
+
+        # On a GPU grid, spatial locality is a *warp* property: concurrent
+        # threads along a grid dimension cover a cache line together even
+        # when each thread's own (k-loop) stride is large.  Classify by the
+        # best nonzero stride over the inner loop and the grid dimensions.
+        if grid_vars:
+            candidates = [stride] + [
+                ref.linear_coeff(decl, gv, m, n, k) for gv in grid_vars
+            ]
+            nonzero = [abs(s) for s in candidates if s != 0]
+            if nonzero and min(nonzero) < line_elems <= abs(stride):
+                stride = min(nonzero)
+
+        axes = decl.shape_axes
+        distinct = axes[0].extent(m, n, k) * axes[1].extent(m, n, k)
+
+        used_vars = {v for idx in ref.indices for v in idx.variables}
+        # Concurrent workers touch the same elements when the reference does
+        # not vary along at least one parallel dimension (e.g. B[k,j] is
+        # shared across the i-threads on CPU, and across the i-axis of a
+        # GPU grid).
+        shared = bool(parallel_vars) and not parallel_vars.issubset(used_vars)
+
+        # Temporal reuse: loops enclosing the statement whose var is NOT in
+        # the index re-touch the same elements.  The working set that must
+        # stay resident for that reuse to hit in cache is the slice of the
+        # array swept by the loops *inside* the outermost reuse loop.
+        reuse_factor = 1
+        reuse_ws_elems = 0
+        enclosing = kernel.loops if hoist is None else kernel.loops[
+            : [l.var for l in kernel.loops].index(hoist)]
+        for depth, loop in enumerate(enclosing):
+            if loop.var not in used_vars:
+                # elements touched by the loops inside this one
+                inner_elems = 1
+                inner_vars = {l.var for l in enclosing[depth + 1:]}
+                for axis_idx in range(2):
+                    axis_vars = set(ref.indices[axis_idx].variables)
+                    if axis_vars & inner_vars:
+                        inner_elems *= axes[axis_idx].extent(m, n, k)
+                reuse_factor *= trips[loop.var]
+                reuse_ws_elems = max(reuse_ws_elems, inner_elems)
+        if reuse_factor > 1 and reuse_ws_elems == 0:
+            reuse_ws_elems = 1
+
+        out.append(RefInfo(
+            ref=ref,
+            kind=kind,
+            array=ref.array,
+            role=decl.role,
+            executions=execs,
+            inner_stride_elems=stride,
+            stride_class=_stride_class(stride, line_elems),
+            element_bytes=elem_bytes,
+            distinct_elements=distinct,
+            shared_across_parallel=shared,
+            reuse_working_set_bytes=reuse_ws_elems * elem_bytes,
+            reuse_factor=reuse_factor,
+        ))
+    return out
+
+
+def instruction_mix(kernel: Kernel, shape: MatrixShape,
+                    line_bytes: int = 64) -> InstructionMix:
+    """Retired-instruction totals after unroll/vectorisation.
+
+    Model assumptions, chosen to match what ``-O3`` LLVM emits for these
+    loop shapes:
+
+    * The inner loop's ``vector_width`` divides FMA and unit-stride memory
+      issues; invariant references become one broadcast per vector.
+    * Strided references cannot use vector loads: one issue per element.
+    * Addressing costs one integer op per memory issue; loop control costs
+      two integer ops plus one branch per (unrolled) iteration at each
+      level, charged to the level's trip count.
+    * Guards cost one compare+branch per execution (never vectorised).
+    """
+    m, n, k = shape.m, shape.n, shape.k
+    trips = kernel.resolved_extents(m, n, k)
+    inner = kernel.inner
+    w = max(1, inner.vector_width)
+    unroll = max(1, inner.unroll)
+
+    inner_iters = 1
+    for l in kernel.loops:
+        inner_iters *= trips[l.var]
+
+    # --- FMAs ------------------------------------------------------------
+    flops = 2 * m * n * k
+    fma_execs = executions_of(kernel, None, shape) * len(kernel.body.fmas)
+    fma_issues = fma_execs / w
+
+    # --- loads / stores ----------------------------------------------------
+    load_issues = 0.0
+    store_issues = 0.0
+    int_ops = 0.0
+    for kind, ref, hoist in (
+        [("load", ld.ref, ld.hoisted_above) for ld in kernel.body.loads]
+        + [("store", st.ref, st.hoisted_above) for st in kernel.body.stores]
+    ):
+        decl = _decl_of(kernel, ref)
+        execs = executions_of(kernel, hoist, shape)
+        fastest = _fastest_loop_for(kernel, hoist)
+        stride = ref.linear_coeff(decl, fastest.var, m, n, k)
+        if hoist is None:
+            if stride == 0:
+                issues = execs / (w * max(1, unroll))  # broadcast, hoist by HW
+            elif abs(stride) == 1:
+                issues = execs / w
+            else:
+                issues = float(execs)  # gather: one issue per element
+        else:
+            issues = float(execs)
+        if kind == "load":
+            load_issues += issues
+        else:
+            store_issues += issues
+        int_ops += issues  # address computation
+
+    # --- guards ------------------------------------------------------------
+    guard_ops = 0.0
+    for g in kernel.body.guards:
+        guard_ops += executions_of(kernel, g.hoisted_above, shape)
+
+    # --- loop control --------------------------------------------------------
+    branch_ops = 0.0
+    running = 1
+    for l in kernel.loops:
+        running *= trips[l.var]
+        level_iters = running
+        if l is inner:
+            level_iters = level_iters / (w * unroll)
+        int_ops += 2.0 * level_iters
+        branch_ops += 1.0 * level_iters
+
+    has_chain = kernel.scalar_accum and inner.axis.value == "K"
+    # fastmath lets the compiler keep `unroll` independent partial sums;
+    # vector lanes also act as independent accumulators.
+    accum_streams = (unroll * w) if (kernel.fastmath and has_chain) else (
+        w if has_chain and w > 1 and kernel.fastmath else 1)
+    if not has_chain:
+        accum_streams = max(accum_streams, unroll * w)
+
+    return InstructionMix(
+        flops=flops,
+        fma_issues=fma_issues,
+        load_issues=load_issues,
+        store_issues=store_issues,
+        guard_ops=guard_ops,
+        int_ops=int_ops,
+        branch_ops=branch_ops,
+        inner_iterations=inner_iters,
+        vector_width=w,
+        has_reduction_chain=has_chain,
+        accum_streams=max(1, accum_streams),
+    )

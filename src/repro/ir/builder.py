@@ -1,0 +1,225 @@
+"""Construction of hand-rolled GEMM kernels in IR form.
+
+:func:`build_gemm` reproduces the kernel *shapes* of Figs. 2 and 3:
+
+* CPU, C/OpenMP & Numba style (row-major): ``i`` parallel, order ``ikj``,
+  ``temp = A[i,k]`` hoisted above ``j``, read-modify-write of ``C[i,j]``.
+* CPU, Julia style (column-major): ``j`` parallel, order ``jki``,
+  ``temp = B[k,j]`` hoisted above ``i``, read-modify-write of ``C[i,j]``.
+* CPU, Kokkos style: parallel over C entries, order ``ijk``, scalar
+  accumulator, single store of ``C[i,j]``.
+* GPU style (all models of Fig. 3): 2-D grid over ``(i, j)``, guard hoisted
+  above the ``k`` loop, scalar accumulator, single store.
+
+The loop variables are fixed as ``i``→M, ``j``→N, ``k``→K so loop orders can
+be written as permutation strings like ``"ikj"``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..core.types import Layout, Precision
+from ..errors import IRVerificationError
+from .nodes import (
+    ArrayDecl,
+    ArrayRef,
+    AxisRole,
+    Body,
+    FMAOp,
+    Guard,
+    IndexExpr,
+    Kernel,
+    LoadOp,
+    Loop,
+    ParallelKind,
+    StoreOp,
+)
+
+__all__ = ["build_gemm", "gemm_arrays", "VAR_AXES"]
+
+#: Canonical loop-variable to GEMM-axis binding.
+VAR_AXES: Dict[str, AxisRole] = {"i": AxisRole.M, "j": AxisRole.N, "k": AxisRole.K}
+
+_I = IndexExpr.var("i")
+_J = IndexExpr.var("j")
+_K = IndexExpr.var("k")
+
+#: Canonical operand references.
+A_REF = ArrayRef("A", (_I, _K))
+B_REF = ArrayRef("B", (_K, _J))
+C_REF = ArrayRef("C", (_I, _J))
+
+
+def gemm_arrays(layout: Layout, precision: Precision) -> Tuple[ArrayDecl, ...]:
+    """Declarations for ``C[M,N] (+)= A[M,K] @ B[K,N]`` in one layout."""
+    return (
+        ArrayDecl("A", "A", (AxisRole.M, AxisRole.K), layout, precision),
+        ArrayDecl("B", "B", (AxisRole.K, AxisRole.N), layout, precision),
+        ArrayDecl("C", "C", (AxisRole.M, AxisRole.N), layout, precision),
+    )
+
+
+def _hoist_level(order: str, ref: ArrayRef) -> Optional[str]:
+    """Deepest loop var the reference is invariant over (None if innermost).
+
+    A load is hoistable above every trailing loop whose variable does not
+    appear in its index expressions.  Returns the outermost such trailing
+    var, i.e. where loop-invariant code motion would place the load.
+    """
+    used = {v for idx in ref.indices for v in idx.variables}
+    level: Optional[str] = None
+    for var in reversed(order):
+        if var in used:
+            break
+        level = var
+    return level
+
+
+def build_gemm(
+    name: str,
+    precision: Precision,
+    loop_order: str,
+    layout: Layout,
+    parallel_vars: Iterable[str] = ("i",),
+    parallel_kind: ParallelKind = ParallelKind.THREADS,
+    hoist_invariant: bool = True,
+    scalar_accum: bool = False,
+    bounds_checks: bool = False,
+    grid_guard: bool = False,
+    fastmath: bool = False,
+) -> Kernel:
+    """Build a hand-rolled GEMM kernel.
+
+    Parameters
+    ----------
+    loop_order:
+        Permutation of ``"ijk"``, outermost first.
+    parallel_vars:
+        Loop variables distributed across threads (CPU: exactly one
+        worksharing loop) or the grid (GPU: the leading one or two).
+    hoist_invariant:
+        Apply loop-invariant code motion to loads (the explicit ``temp``
+        variables of Fig. 2) and, with ``scalar_accum``, sink the C store
+        below the reduction loop.
+    scalar_accum:
+        Keep the running sum in a register; C is written once after the
+        ``k`` loop instead of read-modify-written every iteration.
+    bounds_checks:
+        Emit a per-access bounds check for every reference (Julia without
+        ``@inbounds``).
+    grid_guard:
+        Emit the single GPU-style ``row < M && col < N`` guard, hoisted
+        above the reduction loop.
+    """
+    order = loop_order.strip().lower()
+    if sorted(order) != ["i", "j", "k"]:
+        raise IRVerificationError(f"loop order must permute 'ijk', got {loop_order!r}")
+    pvars = tuple(parallel_vars)
+    for v in pvars:
+        if v not in order:
+            raise IRVerificationError(f"parallel var {v!r} not a loop")
+    if parallel_kind is ParallelKind.GRID:
+        if tuple(order[: len(pvars)]) != pvars:
+            raise IRVerificationError("GRID parallel vars must be the outermost loops")
+    elif len(pvars) > 1:
+        raise IRVerificationError("CPU worksharing parallelises exactly one loop")
+
+    if scalar_accum and order[-1] != "k":
+        raise IRVerificationError("scalar accumulation requires the reduction loop innermost")
+
+    loops = tuple(
+        Loop(
+            var=v,
+            axis=VAR_AXES[v],
+            parallel=parallel_kind if v in pvars else ParallelKind.SEQUENTIAL,
+        )
+        for v in order
+    )
+
+    loads = [LoadOp(A_REF), LoadOp(B_REF)]
+    if scalar_accum:
+        stores = (StoreOp(C_REF, hoisted_above="k" if hoist_invariant or grid_guard else None),)
+    else:
+        loads.append(LoadOp(C_REF))
+        stores = (StoreOp(C_REF),)
+
+    if hoist_invariant:
+        loads = [
+            LoadOp(ld.ref, hoisted_above=_hoist_level(order, ld.ref)) for ld in loads
+        ]
+
+    guards: Tuple[Guard, ...] = ()
+    if bounds_checks:
+        guards = tuple(Guard(ld.ref, hoisted_above=ld.hoisted_above) for ld in loads)
+        guards += tuple(Guard(st.ref, hoisted_above=st.hoisted_above) for st in stores)
+    elif grid_guard:
+        guards = (Guard(C_REF, hoisted_above="k"),)
+
+    kernel = Kernel(
+        name=name,
+        arrays=gemm_arrays(layout, precision),
+        loops=loops,
+        body=Body(guards=guards, loads=tuple(loads), fmas=(FMAOp(A_REF, B_REF),), stores=stores),
+        precision=precision,
+        fastmath=fastmath,
+        scalar_accum=scalar_accum,
+        bounds_checked=bounds_checks,
+    )
+    kernel.verify()
+    return kernel
+
+
+# -- canonical paper kernels -------------------------------------------------
+
+def c_openmp_cpu(precision: Precision) -> Kernel:
+    """Fig. 2a: row-major, ``i`` parallel, ``temp = A[i,k]``, RMW of C."""
+    return build_gemm(
+        "gemm-c-openmp", precision, "ikj", Layout.ROW_MAJOR,
+        parallel_vars=("i",), hoist_invariant=True,
+    )
+
+
+def julia_threads_cpu(precision: Precision) -> Kernel:
+    """Fig. 2c: column-major, ``j`` parallel (@threads), ``temp = B[k,j]``."""
+    return build_gemm(
+        "gemm-julia-threads", precision, "jki", Layout.COL_MAJOR,
+        parallel_vars=("j",), hoist_invariant=True,
+    )
+
+
+def kokkos_cpu(precision: Precision) -> Kernel:
+    """Fig. 2b: lambda per C entry, scalar accumulator over ``k``."""
+    return build_gemm(
+        "gemm-kokkos-openmp", precision, "ijk", Layout.ROW_MAJOR,
+        parallel_vars=("i",), hoist_invariant=True, scalar_accum=True,
+    )
+
+
+def numba_cpu(precision: Precision) -> Kernel:
+    """Fig. 2d: ``prange`` over i, order ``ikj``, ``temp = A[i,k]``."""
+    return build_gemm(
+        "gemm-numba-prange", precision, "ikj", Layout.ROW_MAJOR,
+        parallel_vars=("i",), hoist_invariant=True, fastmath=True,
+    )
+
+
+def gpu_thread_per_element(name: str, precision: Precision, layout: Layout) -> Kernel:
+    """Fig. 3: 2-D grid over C, guard, scalar accumulation over ``k``."""
+    return build_gemm(
+        name, precision, "ijk", layout,
+        parallel_vars=("i", "j"), parallel_kind=ParallelKind.GRID,
+        hoist_invariant=True, scalar_accum=True, grid_guard=True,
+    )
+
+
+__all__ += [
+    "c_openmp_cpu",
+    "julia_threads_cpu",
+    "kokkos_cpu",
+    "numba_cpu",
+    "gpu_thread_per_element",
+    "A_REF",
+    "B_REF",
+    "C_REF",
+]

@@ -1,0 +1,295 @@
+"""Loop-nest IR for hand-rolled dense kernels.
+
+This is a deliberately small, analysable representation of the kernels in
+Figs. 2 and 3 of the paper: a perfect (or near-perfect) loop nest over
+symbolic extents ``M``/``N``/``K`` whose body is a sequence of loads, a
+fused-multiply-add chain and a store.  Programming-model frontends build a
+kernel here, run the optimisation passes their real toolchain would run
+(loop-invariant motion, unrolling, vectorisation, bounds-check elision) and
+hand the result to the cost engine, which reads off an instruction mix and
+per-reference stride classes.
+
+The IR is immutable; passes rebuild nodes via :func:`dataclasses.replace`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Dict, Iterator, Optional, Tuple
+
+from ..core.types import Layout, Precision
+from ..errors import IRVerificationError
+
+__all__ = [
+    "AxisRole",
+    "IndexExpr",
+    "ArrayDecl",
+    "ArrayRef",
+    "Guard",
+    "LoadOp",
+    "StoreOp",
+    "FMAOp",
+    "Body",
+    "Loop",
+    "ParallelKind",
+    "Kernel",
+]
+
+
+class AxisRole(enum.Enum):
+    """Which GEMM dimension a loop iterates (for extent resolution)."""
+
+    M = "M"  # rows of A / C
+    N = "N"  # cols of B / C
+    K = "K"  # reduction dimension
+
+    def extent(self, m: int, n: int, k: int) -> int:
+        return {"M": m, "N": n, "K": k}[self.value]
+
+
+@dataclass(frozen=True)
+class IndexExpr:
+    """Affine index expression ``sum(coeff[v] * v) + const`` over loop vars."""
+
+    coeffs: Tuple[Tuple[str, int], ...] = ()
+    const: int = 0
+
+    @classmethod
+    def var(cls, name: str) -> "IndexExpr":
+        return cls(((name, 1),))
+
+    def coeff(self, var: str) -> int:
+        for name, c in self.coeffs:
+            if name == var:
+                return c
+        return 0
+
+    @property
+    def variables(self) -> Tuple[str, ...]:
+        return tuple(name for name, _ in self.coeffs)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [f"{c}*{v}" if c != 1 else v for v, c in self.coeffs]
+        if self.const or not parts:
+            parts.append(str(self.const))
+        return " + ".join(parts)
+
+
+@dataclass(frozen=True)
+class ArrayDecl:
+    """Declaration of a matrix operand.
+
+    ``role`` is ``"A"``, ``"B"`` or ``"C"``; ``shape_axes`` names the GEMM
+    axes of its two dimensions (A is M×K, B is K×N, C is M×N).
+    """
+
+    name: str
+    role: str
+    shape_axes: Tuple[AxisRole, AxisRole]
+    layout: Layout
+    dtype: Precision
+
+    def element_stride(self, axis_index: int, m: int, n: int, k: int) -> int:
+        """Linear element stride of dimension ``axis_index`` given a shape."""
+        rows = self.shape_axes[0].extent(m, n, k)
+        cols = self.shape_axes[1].extent(m, n, k)
+        if self.layout is Layout.ROW_MAJOR:
+            return cols if axis_index == 0 else 1
+        return 1 if axis_index == 0 else rows
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    """A 2-D reference ``array[idx0, idx1]``."""
+
+    array: str
+    indices: Tuple[IndexExpr, IndexExpr]
+
+    def linear_coeff(self, decl: ArrayDecl, var: str, m: int, n: int, k: int) -> int:
+        """Element stride of this reference w.r.t. loop variable ``var``."""
+        return sum(
+            self.indices[d].coeff(var) * decl.element_stride(d, m, n, k)
+            for d in range(2)
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.array}[{self.indices[0]}, {self.indices[1]}]"
+
+
+@dataclass(frozen=True)
+class Guard:
+    """A bounds check (compare + branch).
+
+    ``hoisted_above`` plays the same role as for loads: a GPU kernel's
+    ``if row < M && col < N`` guard executes once per thread, i.e. it is
+    hoisted above the ``k`` loop, while Julia's per-access checks (without
+    ``@inbounds``) run in the innermost body.
+    """
+
+    ref: ArrayRef
+    hoisted_above: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class LoadOp:
+    """Load one element; ``hoisted_above`` names the loop this load was
+    moved out of by loop-invariant code motion (None = in place)."""
+
+    ref: ArrayRef
+    hoisted_above: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class StoreOp:
+    ref: ArrayRef
+    hoisted_above: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class FMAOp:
+    """``acc += a * b``: one multiply and one add (2 flops)."""
+
+    a: ArrayRef
+    b: ArrayRef
+
+
+@dataclass(frozen=True)
+class Body:
+    """Straight-line statement list of the innermost loop body."""
+
+    guards: Tuple[Guard, ...] = ()
+    loads: Tuple[LoadOp, ...] = ()
+    fmas: Tuple[FMAOp, ...] = ()
+    stores: Tuple[StoreOp, ...] = ()
+
+    def with_(self, **kw) -> "Body":
+        return replace(self, **kw)
+
+
+class ParallelKind(enum.Enum):
+    """How a loop level is distributed."""
+
+    SEQUENTIAL = "seq"
+    THREADS = "threads"      # CPU worksharing (omp for / @threads / prange)
+    GRID = "grid"            # GPU thread-grid dimension
+
+
+@dataclass(frozen=True)
+class Loop:
+    """One loop level."""
+
+    var: str
+    axis: AxisRole
+    parallel: ParallelKind = ParallelKind.SEQUENTIAL
+    unroll: int = 1
+    vector_width: int = 1
+
+    def __post_init__(self) -> None:
+        if self.unroll < 1 or self.vector_width < 1:
+            raise IRVerificationError(
+                f"loop {self.var}: unroll/vector_width must be >= 1"
+            )
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """A complete kernel: loop nest (outermost first) + innermost body.
+
+    ``fastmath`` records whether floating-point reassociation is allowed,
+    which gates vectorisation of the ``k`` reduction.  ``scalar_accum``
+    marks kernels that keep the running sum in a register and store C once
+    (the GPU style of Fig. 3) versus read-modify-write of C in the inner
+    loop (the CPU style of Fig. 2).
+    """
+
+    name: str
+    arrays: Tuple[ArrayDecl, ...]
+    loops: Tuple[Loop, ...]
+    body: Body
+    precision: Precision
+    fastmath: bool = False
+    scalar_accum: bool = False
+    bounds_checked: bool = False
+
+    # -- convenience -------------------------------------------------------
+
+    def decl(self, array: str) -> ArrayDecl:
+        for d in self.arrays:
+            if d.name == array:
+                return d
+        raise IRVerificationError(f"{self.name}: no array {array!r}")
+
+    def loop(self, var: str) -> Loop:
+        for l in self.loops:
+            if l.var == var:
+                return l
+        raise IRVerificationError(f"{self.name}: no loop {var!r}")
+
+    @property
+    def inner(self) -> Loop:
+        return self.loops[-1]
+
+    @property
+    def loop_order(self) -> str:
+        """Loop variables outermost-to-innermost, e.g. ``'ikj'``."""
+        return "".join(l.var for l in self.loops)
+
+    def loops_below(self, var: str) -> Tuple[Loop, ...]:
+        """Loops strictly inside loop ``var``."""
+        for i, l in enumerate(self.loops):
+            if l.var == var:
+                return self.loops[i + 1:]
+        raise IRVerificationError(f"{self.name}: no loop {var!r}")
+
+    def all_refs(self) -> Iterator[ArrayRef]:
+        for g in self.body.guards:
+            yield g.ref
+        for ld in self.body.loads:
+            yield ld.ref
+        for st in self.body.stores:
+            yield st.ref
+
+    def replace(self, **kw) -> "Kernel":
+        return replace(self, **kw)
+
+    # -- verification -------------------------------------------------------
+
+    def verify(self) -> None:
+        """Structural sanity checks; raises :class:`IRVerificationError`."""
+        if not self.loops:
+            raise IRVerificationError(f"{self.name}: empty loop nest")
+        seen = set()
+        for l in self.loops:
+            if l.var in seen:
+                raise IRVerificationError(f"{self.name}: duplicate loop var {l.var!r}")
+            seen.add(l.var)
+        grid_levels = [l for l in self.loops if l.parallel is ParallelKind.GRID]
+        thread_levels = [l for l in self.loops if l.parallel is ParallelKind.THREADS]
+        if grid_levels and thread_levels:
+            raise IRVerificationError(f"{self.name}: mixes GRID and THREADS loops")
+        if len(thread_levels) > 1:
+            raise IRVerificationError(f"{self.name}: multiple THREADS loops")
+        if grid_levels and self.loops[: len(grid_levels)] != tuple(grid_levels):
+            raise IRVerificationError(f"{self.name}: GRID loops must be outermost")
+        array_names = {d.name for d in self.arrays}
+        for ref in self.all_refs():
+            if ref.array not in array_names:
+                raise IRVerificationError(f"{self.name}: reference to undeclared {ref.array!r}")
+            for idx in ref.indices:
+                for v in idx.variables:
+                    if v not in seen:
+                        raise IRVerificationError(
+                            f"{self.name}: index uses unknown loop var {v!r}"
+                        )
+        for ld in self.body.loads:
+            if ld.hoisted_above is not None and ld.hoisted_above not in seen:
+                raise IRVerificationError(
+                    f"{self.name}: load hoisted above unknown loop {ld.hoisted_above!r}"
+                )
+        if not self.body.fmas:
+            raise IRVerificationError(f"{self.name}: body performs no FMA")
+
+    def resolved_extents(self, m: int, n: int, k: int) -> Dict[str, int]:
+        """Map each loop var to its concrete trip count for a shape."""
+        return {l.var: l.axis.extent(m, n, k) for l in self.loops}

@@ -1,0 +1,23 @@
+"""Optimisation passes applied by programming-model frontends."""
+
+from .base import Pass, PassPipeline, PassRecord
+from .bounds_check import ElideBoundsChecks, InsertBoundsChecks
+from .fastmath import SetFastMath
+from .interchange import InterchangeLoops
+from .invariant import LoopInvariantMotion
+from .unroll import UnrollInnerLoop
+from .vectorize import VectorizeInnerLoop, vectorization_legal
+
+__all__ = [
+    "Pass",
+    "PassPipeline",
+    "PassRecord",
+    "ElideBoundsChecks",
+    "InsertBoundsChecks",
+    "SetFastMath",
+    "InterchangeLoops",
+    "LoopInvariantMotion",
+    "UnrollInnerLoop",
+    "VectorizeInnerLoop",
+    "vectorization_legal",
+]

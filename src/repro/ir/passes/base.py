@@ -1,0 +1,69 @@
+"""Pass infrastructure: a tiny, logged, verifying pass pipeline.
+
+Each programming-model frontend assembles the pipeline its real toolchain
+would run (e.g. Julia: invariant motion, bounds-check elision via
+``@inbounds``, vectorise, unroll×2; nvcc: the same but unroll×4).  The
+pipeline verifies the kernel after every pass so a broken transformation
+fails loudly rather than silently corrupting the cost model's input.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..nodes import Kernel
+
+__all__ = ["Pass", "PassPipeline", "PassRecord"]
+
+
+class Pass(abc.ABC):
+    """One IR-to-IR transformation."""
+
+    #: Short identifier used in logs and pipeline descriptions.
+    name: str = "pass"
+
+    @abc.abstractmethod
+    def run(self, kernel: Kernel) -> Kernel:
+        """Return the transformed kernel (input is immutable)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name}>"
+
+
+@dataclass(frozen=True)
+class PassRecord:
+    """What one pass did, for trace output and tests."""
+
+    name: str
+    changed: bool
+    detail: str = ""
+
+
+@dataclass
+class PassPipeline:
+    """An ordered list of passes applied with verification and logging."""
+
+    passes: List[Pass] = field(default_factory=list)
+
+    def add(self, p: Pass) -> "PassPipeline":
+        self.passes.append(p)
+        return self
+
+    def run(self, kernel: Kernel) -> Tuple[Kernel, List[PassRecord]]:
+        kernel.verify()
+        records: List[PassRecord] = []
+        for p in self.passes:
+            after = p.run(kernel)
+            after.verify()
+            records.append(PassRecord(
+                name=p.name,
+                changed=after != kernel,
+                detail=getattr(p, "last_detail", ""),
+            ))
+            kernel = after
+        return kernel, records
+
+    def describe(self) -> str:
+        return " -> ".join(p.name for p in self.passes) or "(empty)"

@@ -1,0 +1,56 @@
+"""Bounds-check insertion and elision.
+
+Julia emits a bounds check per array access unless ``@inbounds`` (or
+``--check-bounds=no``) is in effect; Numba's ``@njit`` default and C elide
+them entirely.  The elision pass models ``@inbounds``; the insertion pass
+lets ablations measure what the checks cost.
+"""
+
+from __future__ import annotations
+
+from ..nodes import Guard, Kernel
+from .base import Pass
+
+__all__ = ["ElideBoundsChecks", "InsertBoundsChecks"]
+
+
+class ElideBoundsChecks(Pass):
+    """Remove per-access bounds checks (the effect of Julia's ``@inbounds``)."""
+    name = "elide-bounds"
+    last_detail = ""
+
+    def run(self, kernel: Kernel) -> Kernel:
+        # Grid guards (hoisted above the k loop in GPU kernels) are control
+        # flow, not safety checks: they stay.
+        keep = tuple(g for g in kernel.body.guards if g.hoisted_above is not None
+                     and not kernel.bounds_checked)
+        if not kernel.bounds_checked and len(keep) == len(kernel.body.guards):
+            self.last_detail = "no bounds checks present"
+            return kernel
+        if kernel.bounds_checked:
+            keep = ()
+        removed = len(kernel.body.guards) - len(keep)
+        self.last_detail = f"removed {removed} checks"
+        return kernel.replace(
+            body=kernel.body.with_(guards=keep), bounds_checked=False
+        )
+
+
+class InsertBoundsChecks(Pass):
+    """Add a bounds check per array access (Julia without ``@inbounds``)."""
+    name = "insert-bounds"
+    last_detail = ""
+
+    def run(self, kernel: Kernel) -> Kernel:
+        if kernel.bounds_checked:
+            self.last_detail = "already checked"
+            return kernel
+        guards = list(kernel.body.guards)
+        for ld in kernel.body.loads:
+            guards.append(Guard(ld.ref, hoisted_above=ld.hoisted_above))
+        for st in kernel.body.stores:
+            guards.append(Guard(st.ref, hoisted_above=st.hoisted_above))
+        self.last_detail = f"inserted {len(guards) - len(kernel.body.guards)} checks"
+        return kernel.replace(
+            body=kernel.body.with_(guards=tuple(guards)), bounds_checked=True
+        )

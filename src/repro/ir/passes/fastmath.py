@@ -1,0 +1,30 @@
+"""Fast-math flag control.
+
+``fastmath=True`` permits floating-point reassociation, the prerequisite
+for vectorising / multi-accumulator-unrolling a ``k`` reduction.  Numba's
+``@njit(fastmath=True)`` (Fig. 2d) and ``-ffast-math`` builds set it;
+strict-IEEE builds do not.
+"""
+
+from __future__ import annotations
+
+from ..nodes import Kernel
+from .base import Pass
+
+__all__ = ["SetFastMath"]
+
+
+class SetFastMath(Pass):
+    """Set or clear the fastmath flag (permits FP reassociation)."""
+    name = "fastmath"
+    last_detail = ""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+
+    def run(self, kernel: Kernel) -> Kernel:
+        if kernel.fastmath == self.enabled:
+            self.last_detail = "no change"
+            return kernel
+        self.last_detail = f"fastmath={self.enabled}"
+        return kernel.replace(fastmath=self.enabled)

@@ -1,0 +1,75 @@
+"""Loop interchange with a legality check.
+
+GEMM's only loop-carried dependence is the accumulation into ``C`` along
+``k``; any permutation of ``i``/``j``/``k`` preserves semantics because
+floating-point accumulation order along ``k`` is unchanged by permuting the
+*nest* (each ``C[i,j]`` still sees its ``k`` updates in order).  What the
+pass must preserve is the *parallel structure*: a worksharing or grid loop
+must stay outermost, otherwise the lowering is invalid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ...errors import IRVerificationError
+from ..nodes import Kernel, ParallelKind
+from .base import Pass
+from .invariant import LoopInvariantMotion
+
+__all__ = ["InterchangeLoops"]
+
+
+class InterchangeLoops(Pass):
+    """Permute the loop nest to a new order, with a legality check."""
+    name = "interchange"
+    last_detail = ""
+
+    def __init__(self, new_order: str, rehoist: bool = True):
+        self.new_order = new_order.strip().lower()
+        self.rehoist = rehoist
+
+    def run(self, kernel: Kernel) -> Kernel:
+        current = kernel.loop_order
+        if sorted(self.new_order) != sorted(current):
+            raise IRVerificationError(
+                f"interchange target {self.new_order!r} is not a permutation of {current!r}"
+            )
+        if self.new_order == current:
+            self.last_detail = "no change"
+            return kernel
+
+        by_var = {l.var: l for l in kernel.loops}
+        new_loops = tuple(by_var[v] for v in self.new_order)
+
+        # Parallel loops must remain outermost after the permutation.
+        n_parallel = sum(1 for l in kernel.loops
+                         if l.parallel is not ParallelKind.SEQUENTIAL)
+        for idx, l in enumerate(new_loops):
+            is_par = l.parallel is not ParallelKind.SEQUENTIAL
+            if is_par and idx >= n_parallel:
+                raise IRVerificationError(
+                    f"interchange would bury parallel loop {l.var!r} at depth {idx}"
+                )
+
+        if kernel.scalar_accum and self.new_order[-1] != "k":
+            raise IRVerificationError(
+                "interchange would hoist the reduction loop of a scalar-accumulator kernel"
+            )
+
+        # Unroll/vector annotations belong to the *position*, not the var:
+        # reset them; the frontend re-runs its vectorise/unroll passes.
+        new_loops = tuple(replace(l, unroll=1, vector_width=1) for l in new_loops)
+        out = kernel.replace(loops=new_loops)
+
+        # Old hoist levels may be invalid; clear and optionally re-derive.
+        body = out.body.with_(
+            loads=tuple(type(ld)(ld.ref) for ld in out.body.loads),
+            stores=tuple(type(st)(st.ref) for st in out.body.stores),
+            guards=tuple(type(g)(g.ref) for g in out.body.guards),
+        )
+        out = out.replace(body=body)
+        if self.rehoist:
+            out = LoopInvariantMotion().run(out)
+        self.last_detail = f"{current} -> {self.new_order}"
+        return out

@@ -1,0 +1,38 @@
+"""Inner-loop unrolling.
+
+The unroll factor is the mechanism behind the paper's A100 finding: "the
+generated PTX ... indicated a difference in unrolled loop instructions,
+2 for CUDA.jl and 4 in the native CUDA" (Sec. IV-B).  Unrolling amortises
+loop-control overhead and, for reduction loops under fastmath, multiplies
+the number of independent accumulator chains that hide FMA latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ...errors import IRVerificationError
+from ..nodes import Kernel
+from .base import Pass
+
+__all__ = ["UnrollInnerLoop"]
+
+
+class UnrollInnerLoop(Pass):
+    """Set the innermost loop's unroll factor."""
+    name = "unroll"
+    last_detail = ""
+
+    def __init__(self, factor: int):
+        if factor < 1:
+            raise IRVerificationError(f"unroll factor {factor} must be >= 1")
+        self.factor = factor
+
+    def run(self, kernel: Kernel) -> Kernel:
+        inner = kernel.inner
+        if inner.unroll == self.factor:
+            self.last_detail = "no change"
+            return kernel
+        loops = kernel.loops[:-1] + (replace(inner, unroll=self.factor),)
+        self.last_detail = f"inner loop {inner.var} unrolled x{self.factor}"
+        return kernel.replace(loops=loops)

@@ -1,0 +1,74 @@
+"""Inner-loop auto-vectorisation with a legality check.
+
+Legality model (matching LLVM's loop vectoriser on these kernels):
+
+* Every store in the inner body must be unit-stride or absent from the
+  inner loop (hoisted): scatter stores defeat vectorisation.
+* A kernel whose inner loop is the reduction (``scalar_accum`` over ``k``)
+  carries a loop-carried dependence on the accumulator; vectorising it
+  reassociates the sum, which is only legal under ``fastmath``.  Without
+  fastmath the pass leaves the loop scalar — exactly why a strict-FP
+  element-per-thread CPU kernel cannot vectorise its dot product.
+* Guards in the inner body (per-access bounds checks) block vectorisation:
+  the early-exit branch makes the trip count non-computable.  This is the
+  cost Julia pays without ``@inbounds``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ...errors import IRVerificationError
+from ..nodes import Kernel
+from .base import Pass
+
+__all__ = ["VectorizeInnerLoop", "vectorization_legal"]
+
+
+def vectorization_legal(kernel: Kernel) -> "tuple[bool, str]":
+    """Check whether the inner loop may be vectorised.  Returns (ok, why)."""
+    inner = kernel.inner
+    # Per-access bounds checks in the inner body block vectorisation.
+    inner_guards = [g for g in kernel.body.guards if g.hoisted_above is None]
+    if inner_guards:
+        return False, "bounds checks in inner loop"
+
+    m, n, k = 64, 64, 64  # any representative shape: strides are shape-scaled
+    for st in kernel.body.stores:
+        if st.hoisted_above is not None:
+            continue
+        decl = kernel.decl(st.ref.array)
+        stride = st.ref.linear_coeff(decl, inner.var, m, n, k)
+        if stride == 0:
+            continue
+        if abs(stride) != 1:
+            return False, f"store {st.ref} has stride {stride} in {inner.var}"
+
+    if kernel.scalar_accum and inner.axis.value == "K" and not kernel.fastmath:
+        return False, "reduction over k without fastmath (reassociation illegal)"
+    return True, "ok"
+
+
+class VectorizeInnerLoop(Pass):
+    """Vectorise the innermost loop when legal (see module docstring)."""
+    name = "vectorize"
+    last_detail = ""
+
+    def __init__(self, width: int, force: bool = False):
+        if width < 1:
+            raise IRVerificationError(f"vector width {width} must be >= 1")
+        self.width = width
+        self.force = force
+
+    def run(self, kernel: Kernel) -> Kernel:
+        ok, why = vectorization_legal(kernel)
+        if not ok and not self.force:
+            self.last_detail = f"not vectorised: {why}"
+            return kernel
+        inner = kernel.inner
+        if inner.vector_width == self.width:
+            self.last_detail = "no change"
+            return kernel
+        loops = kernel.loops[:-1] + (replace(inner, vector_width=self.width),)
+        self.last_detail = f"inner loop {inner.var} vectorised x{self.width}"
+        return kernel.replace(loops=loops)

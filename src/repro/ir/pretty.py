@@ -1,0 +1,88 @@
+"""Pretty-printer: render a kernel IR as Fig. 2/3-style pseudo-code.
+
+Used by ``repro kernel <model>`` so users can *see* what a frontend
+lowered — loop order, hoisted temporaries, guards, unroll/vector
+annotations — in the same shape the paper presents its listings.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .nodes import Kernel, Loop, ParallelKind
+
+__all__ = ["render_kernel"]
+
+_INDENT = "    "
+
+
+def _loop_header(loop: Loop) -> str:
+    head = f"for {loop.var} in 0..{loop.axis.value}:"
+    tags = []
+    if loop.parallel is ParallelKind.THREADS:
+        tags.append("parallel-threads")
+    elif loop.parallel is ParallelKind.GRID:
+        tags.append("grid")
+    if loop.unroll > 1:
+        tags.append(f"unroll x{loop.unroll}")
+    if loop.vector_width > 1:
+        tags.append(f"vectorize x{loop.vector_width}")
+    if tags:
+        head += "   # " + ", ".join(tags)
+    return head
+
+
+def render_kernel(kernel: Kernel) -> str:
+    """Render the kernel as indented pseudo-code.
+
+    Placement rules mirror execution: a statement hoisted above loop ``v``
+    prints just before ``v``'s header (it runs once per iteration of the
+    enclosing loops); a store *sunk* below ``v`` prints after ``v``'s body.
+    """
+    flags = [kernel.precision.value, kernel.arrays[0].layout.value]
+    if kernel.fastmath:
+        flags.append("fastmath")
+    if kernel.bounds_checked:
+        flags.append("bounds-checked")
+    if kernel.scalar_accum:
+        flags.append("scalar-accum")
+    lines: List[str] = [f"kernel {kernel.name}  [{', '.join(flags)}]"]
+
+    def emit_level(var: Optional[str], depth: int) -> None:
+        """Statements attached above loop ``var`` (or the inner body)."""
+        here = lambda h: (h == var) if var is not None else (h is None)
+        pad = _INDENT * depth
+        for g in kernel.body.guards:
+            if here(g.hoisted_above):
+                r, c = g.ref.indices
+                lines.append(f"{pad}if not ({r} in range && {c} in range): "
+                             f"return   # guard on {g.ref.array}")
+        for ld in kernel.body.loads:
+            if here(ld.hoisted_above):
+                tag = "   # hoisted temp" if ld.hoisted_above else ""
+                lines.append(f"{pad}t_{ld.ref.array} = {ld.ref}{tag}")
+        if var is None:
+            acc = "acc" if kernel.scalar_accum else "t_C"
+            for fma in kernel.body.fmas:
+                lines.append(f"{pad}{acc} += t_{fma.a.array} * t_{fma.b.array}")
+            for st in kernel.body.stores:
+                if st.hoisted_above is None:
+                    lines.append(f"{pad}{st.ref} = t_C")
+
+    for depth, loop in enumerate(kernel.loops):
+        emit_level(loop.var, depth)
+        if kernel.scalar_accum and loop.axis.value == "K":
+            lines.append(_INDENT * depth + "acc = 0")
+        lines.append(_INDENT * depth + _loop_header(loop))
+    emit_level(None, len(kernel.loops))
+
+    # stores sunk below a loop print after that loop's body, at its depth
+    loop_vars = [l.var for l in kernel.loops]
+    for st in kernel.body.stores:
+        if st.hoisted_above is not None:
+            depth = loop_vars.index(st.hoisted_above)
+            src = "acc" if kernel.scalar_accum else "t_C"
+            lines.append(_INDENT * depth
+                         + f"{st.ref} = {src}   # stored once, after the "
+                           f"{st.hoisted_above} loop")
+    return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""Real, runnable GEMM kernels and their validation against NumPy."""
+
+from .blocked import gemm_blocked, pick_block_size
+from .naive import (
+    LOOP_ORDERS,
+    gemm_ijk,
+    gemm_ijk_accum,
+    gemm_ikj,
+    gemm_jik,
+    gemm_jki,
+    gemm_kij,
+    gemm_kji,
+    naive_gemm,
+)
+from .reference import reference_gemm
+from .validate import assert_allclose_gemm, tolerance_for, validate_kernel
+from .vectorized import gemm_colwise, gemm_dot_rows, gemm_outer, gemm_rowwise
+
+__all__ = [
+    "gemm_blocked",
+    "pick_block_size",
+    "LOOP_ORDERS",
+    "gemm_ijk",
+    "gemm_ijk_accum",
+    "gemm_ikj",
+    "gemm_jik",
+    "gemm_jki",
+    "gemm_kij",
+    "gemm_kji",
+    "naive_gemm",
+    "reference_gemm",
+    "assert_allclose_gemm",
+    "tolerance_for",
+    "validate_kernel",
+    "gemm_colwise",
+    "gemm_dot_rows",
+    "gemm_outer",
+    "gemm_rowwise",
+]

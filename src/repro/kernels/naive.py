@@ -1,0 +1,127 @@
+"""Pure-Python hand-rolled GEMM variants — the real, runnable counterparts
+of the paper's Fig. 2 kernels.
+
+These exist to keep the IR honest: every loop order the IR reasons about is
+executable, so tests can check that loop interchange, invariant hoisting
+and the layout conventions preserve numerics exactly.  They are O(n^3)
+interpreted Python — use small sizes (the benchmarks cap at n=48).
+
+Accumulation semantics match the paper: CPU kernels read-modify-write C in
+the inner loop; the ``_accum`` variant keeps a scalar accumulator like the
+GPU kernels of Fig. 3.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+__all__ = [
+    "gemm_ijk",
+    "gemm_ikj",
+    "gemm_jki",
+    "gemm_jik",
+    "gemm_kij",
+    "gemm_kji",
+    "gemm_ijk_accum",
+    "LOOP_ORDERS",
+    "naive_gemm",
+]
+
+
+def _dims(a: np.ndarray, b: np.ndarray, c: np.ndarray):
+    m, k = a.shape
+    k2, n = b.shape
+    if k2 != k or c.shape != (m, n):
+        raise ValueError(f"shape mismatch: A{a.shape} B{b.shape} C{c.shape}")
+    return m, n, k
+
+
+def gemm_ijk(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> None:
+    """Textbook order; C updated innermost along k."""
+    m, n, k = _dims(a, b, c)
+    for i in range(m):
+        for j in range(n):
+            for l in range(k):
+                c[i, j] += a[i, l] * b[l, j]
+
+
+def gemm_ikj(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> None:
+    """The C/OpenMP and Numba order (Fig. 2a/2d): ``temp = A[i,k]``."""
+    m, n, k = _dims(a, b, c)
+    for i in range(m):
+        for l in range(k):
+            temp = a[i, l]
+            for j in range(n):
+                c[i, j] += temp * b[l, j]
+
+
+def gemm_jki(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> None:
+    """The Julia order (Fig. 2c): ``temp = B[l,j]``, column sweeps."""
+    m, n, k = _dims(a, b, c)
+    for j in range(n):
+        for l in range(k):
+            temp = b[l, j]
+            for i in range(m):
+                c[i, j] += temp * a[i, l]
+
+
+def gemm_jik(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> None:
+    """Column-outer variant of the textbook order."""
+    m, n, k = _dims(a, b, c)
+    for j in range(n):
+        for i in range(m):
+            for l in range(k):
+                c[i, j] += a[i, l] * b[l, j]
+
+
+def gemm_kij(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> None:
+    """Reduction-outermost order with the hoisted A temp."""
+    m, n, k = _dims(a, b, c)
+    for l in range(k):
+        for i in range(m):
+            temp = a[i, l]
+            for j in range(n):
+                c[i, j] += temp * b[l, j]
+
+
+def gemm_kji(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> None:
+    """Reduction-outermost order with the hoisted B temp."""
+    m, n, k = _dims(a, b, c)
+    for l in range(k):
+        for j in range(n):
+            temp = b[l, j]
+            for i in range(m):
+                c[i, j] += temp * a[i, l]
+
+
+def gemm_ijk_accum(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> None:
+    """GPU-style scalar accumulation (Fig. 3): one register sum per C
+    element, stored once — overwrites rather than accumulates into C."""
+    m, n, k = _dims(a, b, c)
+    for i in range(m):
+        for j in range(n):
+            tmp = c.dtype.type(0)
+            for l in range(k):
+                tmp += a[i, l] * b[l, j]
+            c[i, j] = tmp
+
+
+LOOP_ORDERS: Dict[str, Callable[[np.ndarray, np.ndarray, np.ndarray], None]] = {
+    "ijk": gemm_ijk,
+    "ikj": gemm_ikj,
+    "jki": gemm_jki,
+    "jik": gemm_jik,
+    "kij": gemm_kij,
+    "kji": gemm_kji,
+}
+
+
+def naive_gemm(order: str, a: np.ndarray, b: np.ndarray, c: np.ndarray) -> None:
+    """Dispatch on loop order string (any permutation of ``'ijk'``)."""
+    try:
+        fn = LOOP_ORDERS[order.lower()]
+    except KeyError:
+        raise ValueError(f"unknown loop order {order!r}") from None
+    fn(a, b, c)

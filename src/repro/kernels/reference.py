@@ -1,0 +1,21 @@
+"""Reference GEMM: NumPy's BLAS-backed matmul, with the study's
+mixed-precision accumulation convention."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.types import Precision
+
+__all__ = ["reference_gemm"]
+
+
+def reference_gemm(a: np.ndarray, b: np.ndarray,
+                   precision: Precision) -> np.ndarray:
+    """``A @ B`` accumulated in the precision's accumulation dtype.
+
+    FP16 inputs are promoted to FP32 before the product, matching the
+    paper's half-in / single-accumulate kernels (Fig. 1c).
+    """
+    acc = precision.accum_dtype
+    return np.matmul(a.astype(acc, copy=False), b.astype(acc, copy=False))

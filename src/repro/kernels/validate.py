@@ -1,0 +1,68 @@
+"""Numerical validation of kernels against the NumPy reference."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..arrays.random import FillPolicy, make_gemm_operands
+from ..core.types import Layout, MatrixShape, Precision
+from ..errors import KernelValidationError
+from .reference import reference_gemm
+
+__all__ = ["tolerance_for", "validate_kernel", "assert_allclose_gemm"]
+
+
+def tolerance_for(precision: Precision, k: int) -> float:
+    """Relative tolerance for a K-long accumulation in a given precision.
+
+    Two error sources: each product rounds at the *input* precision (the
+    hand-rolled FP16 kernels multiply in half before accumulating in
+    single, Fig. 1c), and the K-long sum accumulates ~sqrt(K) rounding at
+    the accumulator precision.  The constants leave headroom for the worst
+    loop order.
+    """
+    eps_in = float(np.finfo(precision.np_dtype).eps)
+    eps_acc = float(np.finfo(precision.accum_dtype).eps)
+    return 8.0 * eps_in + 16.0 * eps_acc * max(1.0, k) ** 0.5
+
+
+def assert_allclose_gemm(result: np.ndarray, expected: np.ndarray,
+                         precision: Precision, k: int,
+                         context: str = "") -> None:
+    """Raise :class:`KernelValidationError` unless ``result`` matches the
+    reference within the precision- and K-aware tolerance."""
+    rtol = tolerance_for(precision, k)
+    scale = np.maximum(np.abs(expected), 1.0)
+    err = np.max(np.abs(result.astype(np.float64) - expected.astype(np.float64))
+                 / scale)
+    if not np.isfinite(err) or err > rtol:
+        raise KernelValidationError(
+            f"{context or 'kernel'}: max relative error {err:.3e} exceeds "
+            f"tolerance {rtol:.3e} (precision={precision.value}, K={k})")
+
+
+def validate_kernel(kernel_fn: Callable[[np.ndarray, np.ndarray, np.ndarray], None],
+                    shape: MatrixShape,
+                    precision: Precision = Precision.FP64,
+                    layout: Layout = Layout.ROW_MAJOR,
+                    fill: Optional[FillPolicy] = None,
+                    accumulates: bool = True) -> np.ndarray:
+    """Run ``kernel_fn(A, B, C)`` on fresh operands and check against NumPy.
+
+    ``accumulates=False`` marks store-once kernels (GPU style) whose output
+    overwrites C; for those, C is pre-filled with garbage so a kernel that
+    accidentally accumulates (or skips elements) fails validation.
+    Returns the kernel's C for further inspection.
+    """
+    policy = fill if fill is not None else FillPolicy(seed=1234)
+    a, b, c = make_gemm_operands(shape.m, shape.n, shape.k, precision, layout,
+                                 policy)
+    expected = reference_gemm(a, b, precision)
+    if not accumulates:
+        c[:] = 777.0  # must be fully overwritten
+    kernel_fn(a, b, c)
+    assert_allclose_gemm(c, expected, precision, shape.k,
+                         context=getattr(kernel_fn, "__name__", "kernel"))
+    return c

@@ -1,0 +1,63 @@
+"""NumPy-vectorised GEMM variants.
+
+Each mirrors one of the paper's kernels with the *innermost* loop replaced
+by an array operation — exactly what the guides' "vectorise the inner
+loop" idiom produces, and the fastest honest hand-rolled form available in
+pure NumPy.  These run at realistic sizes (thousands), so the real-kernel
+benchmark (E11) uses them to demonstrate the loop-order and layout effects
+the simulator models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["gemm_rowwise", "gemm_colwise", "gemm_outer", "gemm_dot_rows"]
+
+
+def _dims(a: np.ndarray, b: np.ndarray, c: np.ndarray):
+    m, k = a.shape
+    k2, n = b.shape
+    if k2 != k or c.shape != (m, n):
+        raise ValueError(f"shape mismatch: A{a.shape} B{b.shape} C{c.shape}")
+    return m, n, k
+
+
+def gemm_rowwise(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> None:
+    """C/OpenMP-shaped (ik|j): ``C[i,:] += A[i,k] * B[k,:]``.
+
+    Streams rows of B; ideal for row-major data.
+    """
+    m, n, k = _dims(a, b, c)
+    for i in range(m):
+        ci = c[i, :]
+        ai = a[i, :]
+        for l in range(k):
+            ci += ai[l] * b[l, :]
+
+
+def gemm_colwise(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> None:
+    """Julia-shaped (jk|i): ``C[:,j] += B[k,j] * A[:,k]``.
+
+    Streams columns of A; ideal for column-major data.
+    """
+    m, n, k = _dims(a, b, c)
+    for j in range(n):
+        cj = c[:, j]
+        bj = b[:, j]
+        for l in range(k):
+            cj += bj[l] * a[:, l]
+
+
+def gemm_outer(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> None:
+    """k-outermost rank-1 updates: ``C += outer(A[:,k], B[k,:])``."""
+    m, n, k = _dims(a, b, c)
+    for l in range(k):
+        c += np.outer(a[:, l], b[l, :])
+
+
+def gemm_dot_rows(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> None:
+    """Thread-per-row flavour: each row of C is one mat-vec."""
+    m, n, k = _dims(a, b, c)
+    for i in range(m):
+        c[i, :] += a[i, :] @ b

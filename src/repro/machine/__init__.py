@@ -1,0 +1,38 @@
+"""Machine models: CPUs, GPUs, caches, NUMA, and the Crusher/Wombat nodes."""
+
+from .cache import CacheHierarchy, CacheLevel
+from .cpu import CPUSpec, NUMADomain, uniform_numa
+from .gpu import GPUSpec
+from .catalog import (
+    A100,
+    AMPERE_ALTRA,
+    CPU_CATALOG,
+    EPYC_7A53,
+    GPU_CATALOG,
+    MI250X,
+    cpu_by_name,
+    gpu_by_name,
+)
+from .node import CRUSHER, NODE_CATALOG, WOMBAT, Node, node_by_name
+
+__all__ = [
+    "CacheHierarchy",
+    "CacheLevel",
+    "CPUSpec",
+    "NUMADomain",
+    "uniform_numa",
+    "GPUSpec",
+    "EPYC_7A53",
+    "AMPERE_ALTRA",
+    "MI250X",
+    "A100",
+    "CPU_CATALOG",
+    "GPU_CATALOG",
+    "cpu_by_name",
+    "gpu_by_name",
+    "Node",
+    "CRUSHER",
+    "WOMBAT",
+    "NODE_CATALOG",
+    "node_by_name",
+]

@@ -1,0 +1,114 @@
+"""Cache hierarchy model.
+
+The cost engine needs, for each kernel loop nest, an estimate of how many
+bytes actually travel from DRAM versus being served out of cache.  We model
+a hierarchy of inclusive levels, each with a capacity, line size and
+sustained bandwidth, and provide the classic "does the reuse working set
+fit" query used by the GEMM traffic analysis in :mod:`repro.sim.roofline`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..errors import MachineModelError
+
+__all__ = ["CacheLevel", "CacheHierarchy"]
+
+
+@dataclass(frozen=True)
+class CacheLevel:
+    """One level of cache.
+
+    Parameters
+    ----------
+    name:
+        ``"L1"``, ``"L2"``, ``"L3"``...
+    size_bytes:
+        Capacity of one instance of this level.
+    line_bytes:
+        Cache line size; traffic is counted in whole lines.
+    latency_ns:
+        Load-to-use latency of a hit in this level.
+    bandwidth_gbs:
+        Sustained bandwidth out of this level, per instance, in GB/s.
+    shared_by:
+        How many cores (CPU) or a whole device (GPU) share one instance.
+        1 means private.
+    """
+
+    name: str
+    size_bytes: int
+    line_bytes: int = 64
+    latency_ns: float = 1.0
+    bandwidth_gbs: float = 100.0
+    shared_by: int = 1
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise MachineModelError(f"{self.name}: size must be positive")
+        if self.line_bytes <= 0 or self.line_bytes & (self.line_bytes - 1):
+            raise MachineModelError(f"{self.name}: line size must be a positive power of two")
+        if self.shared_by <= 0:
+            raise MachineModelError(f"{self.name}: shared_by must be positive")
+        if self.bandwidth_gbs <= 0 or self.latency_ns < 0:
+            raise MachineModelError(f"{self.name}: invalid bandwidth/latency")
+
+    def effective_size_per_core(self) -> float:
+        """Capacity available to one core when all sharers are active."""
+        return self.size_bytes / self.shared_by
+
+
+@dataclass(frozen=True)
+class CacheHierarchy:
+    """Ordered cache levels, innermost (fastest, smallest) first."""
+
+    levels: Tuple[CacheLevel, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        sizes = [lvl.size_bytes for lvl in self.levels]
+        if any(a > b for a, b in zip(sizes, sizes[1:])):
+            raise MachineModelError("cache levels must be ordered small to large")
+
+    @classmethod
+    def of(cls, *levels: CacheLevel) -> "CacheHierarchy":
+        return cls(tuple(levels))
+
+    @property
+    def line_bytes(self) -> int:
+        """Line size of the innermost level (used for traffic rounding)."""
+        if not self.levels:
+            return 64
+        return self.levels[0].line_bytes
+
+    def level(self, name: str) -> CacheLevel:
+        for lvl in self.levels:
+            if lvl.name.upper() == name.upper():
+                return lvl
+        raise MachineModelError(f"no cache level named {name!r}")
+
+    def innermost_fitting(self, working_set_bytes: float,
+                          active_sharers: Optional[int] = None) -> Optional[CacheLevel]:
+        """Smallest level whose per-core share holds ``working_set_bytes``.
+
+        ``active_sharers`` overrides each level's ``shared_by`` count when
+        fewer cores are active than share the level (e.g. a 1-thread run
+        gets the whole L3).  Returns ``None`` when nothing fits, i.e. the
+        working set streams from DRAM.
+        """
+        for lvl in self.levels:
+            sharers = lvl.shared_by if active_sharers is None else min(lvl.shared_by, active_sharers)
+            if working_set_bytes <= lvl.size_bytes / max(1, sharers):
+                return lvl
+        return None
+
+    def total_capacity(self) -> int:
+        return sum(lvl.size_bytes for lvl in self.levels)
+
+    def describe(self) -> List[str]:  # pragma: no cover - cosmetic
+        return [
+            f"{lvl.name}: {lvl.size_bytes // 1024} KiB, {lvl.line_bytes} B lines, "
+            f"shared by {lvl.shared_by}"
+            for lvl in self.levels
+        ]

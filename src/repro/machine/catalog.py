@@ -1,0 +1,169 @@
+"""Catalog of the four architectures in the study, from published specs.
+
+Sources: AMD EPYC 7A53 ("Trento", the Frontier/Crusher custom Zen 3 part),
+Ampere Altra Q80-30 (Neoverse-N1, Wombat), AMD Instinct MI250X (one GCD, as
+the paper uses a single GPU), NVIDIA A100-40GB SXM (Wombat).  Absolute
+numbers need only be plausible — the study's conclusions are ratios between
+programming models on *fixed* hardware — but we keep them close to the
+datasheets so the roofline regimes (compute- vs memory-bound crossovers)
+land where they do on the real machines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core.types import Precision
+from .cache import CacheHierarchy, CacheLevel
+from .cpu import CPUSpec, uniform_numa
+from .gpu import GPUSpec
+
+__all__ = [
+    "EPYC_7A53",
+    "AMPERE_ALTRA",
+    "MI250X",
+    "A100",
+    "CPU_CATALOG",
+    "GPU_CATALOG",
+    "cpu_by_name",
+    "gpu_by_name",
+]
+
+# --------------------------------------------------------------------------
+# Crusher CPU: AMD EPYC 7A53, 64 cores, 4 NUMA regions (Table I).
+# Zen 3: 256-bit AVX2, 2 FMA pipes. Crusher exposes 4 NUMA domains (NPS4).
+# --------------------------------------------------------------------------
+EPYC_7A53 = CPUSpec(
+    name="AMD EPYC 7A53",
+    cores=64,
+    clock_ghz=2.0,
+    simd_bits=256,
+    fma_units=2,
+    native_fp16=False,
+    caches=CacheHierarchy.of(
+        CacheLevel("L1", 32 * 1024, 64, latency_ns=1.0, bandwidth_gbs=400.0, shared_by=1),
+        CacheLevel("L2", 512 * 1024, 64, latency_ns=3.0, bandwidth_gbs=200.0, shared_by=1),
+        # 8 CCDs x 32 MiB; model as one shared pool per 8 cores.
+        CacheLevel("L3", 32 * 1024 * 1024, 64, latency_ns=12.0, bandwidth_gbs=120.0, shared_by=8),
+    ),
+    numa=uniform_numa(
+        cores=64,
+        domains=4,
+        total_bandwidth_gbs=205.0,  # 8 channels DDR4-3200
+        remote_bandwidth_factor=0.55,
+        remote_latency_ns=90.0,
+    ),
+)
+
+# --------------------------------------------------------------------------
+# Wombat CPU: Ampere Altra, 80 Neoverse-N1 cores, single NUMA (Table I).
+# NEON is 128-bit with 2 FMA pipes; N1 executes FP16 FMLA natively, which is
+# why Julia's half-precision "worked seamlessly" on Arm (Sec. IV-A).
+# --------------------------------------------------------------------------
+AMPERE_ALTRA = CPUSpec(
+    name="Ampere Altra",
+    cores=80,
+    clock_ghz=3.0,
+    simd_bits=128,
+    fma_units=2,
+    native_fp16=True,
+    caches=CacheHierarchy.of(
+        CacheLevel("L1", 64 * 1024, 64, latency_ns=1.0, bandwidth_gbs=400.0, shared_by=1),
+        CacheLevel("L2", 1024 * 1024, 64, latency_ns=3.0, bandwidth_gbs=200.0, shared_by=1),
+        CacheLevel("L3", 32 * 1024 * 1024, 64, latency_ns=15.0, bandwidth_gbs=150.0, shared_by=80),
+    ),
+    numa=uniform_numa(
+        cores=80,
+        domains=1,
+        total_bandwidth_gbs=198.0,  # 8 channels DDR4-3200
+    ),
+)
+
+# --------------------------------------------------------------------------
+# Crusher GPU: AMD Instinct MI250X, one GCD (the paper targets one device).
+# 110 CUs/GCD, vector FP64 = FP32 rate on CDNA2 (full-rate double).
+# --------------------------------------------------------------------------
+MI250X = GPUSpec(
+    name="AMD MI250X (1 GCD)",
+    compute_units=110,
+    clock_ghz=1.7,
+    fma_per_cycle={
+        Precision.FP64: 64,   # 23.9 TF vector FP64 per GCD
+        Precision.FP32: 64,   # CDNA2 vector FP32 is same rate as FP64
+        Precision.FP16: 64,   # no packed-half gain in a scalar-accumulating kernel
+    },
+    warp_size=64,
+    max_threads_per_cu=2048,
+    max_blocks_per_cu=16,  # wavefront-slot limited in practice
+    hbm_bandwidth_gbs=1638.0,
+    launch_overhead_us=8.0,
+    host_link_gbs=36.0,  # Infinity Fabric host link per GCD
+    caches=CacheHierarchy.of(
+        CacheLevel("L2", 8 * 1024 * 1024, 128, latency_ns=80.0, bandwidth_gbs=3500.0, shared_by=110),
+    ),
+    lsu_per_cycle=32,   # wave64: a 2-load inner loop issues in 4 cycles
+    int_per_cycle=64,
+    mem_latency_cycles=400.0,
+)
+
+# --------------------------------------------------------------------------
+# Wombat GPU: NVIDIA A100-40GB SXM.
+# 108 SMs; non-tensor FP64 = 32 FMA/cycle/SM (9.7 TF), FP32 = 64 (19.5 TF).
+# The factor-2 FP64->FP32 jump is why "the vendor CUDA implementation
+# increases significantly" at single precision (Sec. IV-B) while
+# issue-bound high-level models gain only ~10%.
+# --------------------------------------------------------------------------
+A100 = GPUSpec(
+    name="NVIDIA A100",
+    compute_units=108,
+    clock_ghz=1.41,
+    fma_per_cycle={
+        Precision.FP64: 32,
+        Precision.FP32: 64,
+        Precision.FP16: 64,  # hand-rolled kernel: FP16 inputs, FP32 accumulate
+    },
+    warp_size=32,
+    max_threads_per_cu=2048,
+    max_blocks_per_cu=32,
+    hbm_bandwidth_gbs=1555.0,
+    launch_overhead_us=6.0,
+    host_link_gbs=25.0,  # PCIe gen4 x16 effective
+    caches=CacheHierarchy.of(
+        CacheLevel("L2", 40 * 1024 * 1024, 128, latency_ns=70.0, bandwidth_gbs=4000.0, shared_by=108),
+    ),
+    lsu_per_cycle=32,   # GA100: 32 LD/ST units per SM
+    int_per_cycle=64,   # 64 INT32 lanes per SM
+    mem_latency_cycles=350.0,
+)
+
+CPU_CATALOG: Dict[str, CPUSpec] = {
+    "epyc-7a53": EPYC_7A53,
+    "ampere-altra": AMPERE_ALTRA,
+}
+
+GPU_CATALOG: Dict[str, GPUSpec] = {
+    "mi250x": MI250X,
+    "a100": A100,
+}
+
+
+def cpu_by_name(name: str) -> CPUSpec:
+    """Look up a CPU by catalog key or marketing name (case-insensitive)."""
+    key = name.strip().lower()
+    if key in CPU_CATALOG:
+        return CPU_CATALOG[key]
+    for spec in CPU_CATALOG.values():
+        if spec.name.lower() == key:
+            return spec
+    raise KeyError(f"unknown CPU {name!r}; available: {sorted(CPU_CATALOG)}")
+
+
+def gpu_by_name(name: str) -> GPUSpec:
+    """Look up a GPU by catalog key or marketing name (case-insensitive)."""
+    key = name.strip().lower()
+    if key in GPU_CATALOG:
+        return GPU_CATALOG[key]
+    for spec in GPU_CATALOG.values():
+        if spec.name.lower() == key:
+            return spec
+    raise KeyError(f"unknown GPU {name!r}; available: {sorted(GPU_CATALOG)}")

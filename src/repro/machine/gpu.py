@@ -1,0 +1,115 @@
+"""GPU machine model: compute units, occupancy limits, HBM.
+
+The model is deliberately at the granularity the paper reasons at: streaming
+multiprocessors (NVIDIA) / compute units (AMD) with per-precision FMA
+throughput, an occupancy-limited block scheduler, high-bandwidth memory with
+a coalescing-sensitive effective bandwidth, and a fixed kernel-launch
+overhead that dominates small problem sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..core.types import Precision
+from ..errors import MachineModelError
+from .cache import CacheHierarchy
+
+__all__ = ["GPUSpec"]
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Specification of one GPU (for MI250X: one GCD, as the paper uses).
+
+    Parameters
+    ----------
+    name:
+        Marketing name.
+    compute_units:
+        SM (NVIDIA) or CU (AMD) count.
+    clock_ghz:
+        Sustained boost clock.
+    fma_per_cycle:
+        FMA operations per cycle per compute unit, keyed by precision
+        (non-tensor-core vector rate; the paper's hand-rolled kernel cannot
+        use tensor cores).
+    warp_size:
+        Threads per warp (32) / wavefront (64).
+    max_threads_per_cu:
+        Occupancy limit on resident threads per SM/CU.
+    max_blocks_per_cu:
+        Occupancy limit on resident blocks per SM/CU.
+    hbm_bandwidth_gbs:
+        Peak HBM bandwidth.
+    launch_overhead_us:
+        Fixed host-side cost per kernel launch.
+    host_link_gbs:
+        Host<->device interconnect bandwidth (PCIe4 or Infinity Fabric),
+        used by the transfer model.
+    caches:
+        Device-side cache hierarchy (L2 matters for GEMM blocking).
+    """
+
+    name: str
+    compute_units: int
+    clock_ghz: float
+    fma_per_cycle: Mapping[Precision, int]
+    warp_size: int
+    max_threads_per_cu: int
+    max_blocks_per_cu: int
+    hbm_bandwidth_gbs: float
+    launch_overhead_us: float
+    host_link_gbs: float
+    caches: CacheHierarchy = field(default_factory=CacheHierarchy)
+    #: Load/store unit throughput: memory instructions retired per cycle per
+    #: CU (independent of how many transactions each expands to).
+    lsu_per_cycle: int = 16
+    #: Integer/branch ALU throughput per cycle per CU.
+    int_per_cycle: int = 64
+    #: FMA result latency in cycles (the loop-carried accumulator chain).
+    fma_latency_cycles: int = 4
+    #: Memory transactions (cache-line requests) served per cycle per CU;
+    #: caps uncoalesced access patterns before HBM bandwidth does.
+    transactions_per_cycle: float = 4.0
+    #: Average load-to-use latency of a device-memory access (L2-hit /
+    #: HBM blend), in cycles; what occupancy must hide.
+    mem_latency_cycles: float = 350.0
+
+    def __post_init__(self) -> None:
+        if self.compute_units <= 0 or self.clock_ghz <= 0:
+            raise MachineModelError("compute units and clock must be positive")
+        if self.warp_size not in (32, 64):
+            raise MachineModelError("warp size must be 32 or 64")
+        if self.max_threads_per_cu <= 0 or self.max_blocks_per_cu <= 0:
+            raise MachineModelError("occupancy limits must be positive")
+        missing = [p for p in (Precision.FP64, Precision.FP32) if p not in self.fma_per_cycle]
+        if missing:
+            raise MachineModelError(f"{self.name}: fma_per_cycle missing {missing}")
+
+    # -- derived quantities ------------------------------------------------
+
+    def fma_rate(self, precision: Precision) -> int:
+        """FMA/cycle/CU; FP16 falls back to the FP32 rate when unlisted
+        (the hand-rolled kernel stores to an FP32 accumulator, so the
+        vector pipeline runs at FP32 width without packed-half tricks)."""
+        if precision in self.fma_per_cycle:
+            return self.fma_per_cycle[precision]
+        return self.fma_per_cycle[Precision.FP32]
+
+    def peak_gflops(self, precision: Precision) -> float:
+        """Peak vector GFLOP/s (2 flops per FMA)."""
+        return 2.0 * self.fma_rate(precision) * self.compute_units * self.clock_ghz
+
+    def machine_balance(self, precision: Precision) -> float:
+        """Flops per byte at which the roofline ridge sits."""
+        return self.peak_gflops(precision) / self.hbm_bandwidth_gbs
+
+    def describe(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.name}: {self.compute_units} CUs @ {self.clock_ghz} GHz, "
+            f"{self.peak_gflops(Precision.FP64) / 1000:.1f} TF fp64 / "
+            f"{self.peak_gflops(Precision.FP32) / 1000:.1f} TF fp32, "
+            f"{self.hbm_bandwidth_gbs:.0f} GB/s HBM"
+        )

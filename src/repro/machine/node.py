@@ -1,0 +1,87 @@
+"""Node compositions: the two OLCF systems used by the paper.
+
+A :class:`Node` bundles one CPU spec with zero or more GPU specs and a
+human-readable identity, so experiments can be phrased exactly as the paper
+does ("Crusher multithreaded CPU", "Wombat NVIDIA A100").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from ..errors import MachineModelError
+from .catalog import A100, AMPERE_ALTRA, EPYC_7A53, MI250X
+from .cpu import CPUSpec
+from .gpu import GPUSpec
+
+__all__ = ["Node", "CRUSHER", "WOMBAT", "NODE_CATALOG", "node_by_name"]
+
+
+@dataclass(frozen=True)
+class Node:
+    """One HPC node: a CPU plus attached GPUs.
+
+    ``gpu_count`` records how many physical devices the node carries; the
+    paper's experiments always use a single GPU (``--gres=gpu:1``), so
+    :meth:`gpu` returns the spec for one device.
+    """
+
+    name: str
+    cpu: CPUSpec
+    gpus: Tuple[GPUSpec, ...] = field(default_factory=tuple)
+    gpu_count: int = 0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.gpus and self.gpu_count < 1:
+            raise MachineModelError(f"{self.name}: gpus present but gpu_count={self.gpu_count}")
+        if not self.gpus and self.gpu_count:
+            raise MachineModelError(f"{self.name}: gpu_count={self.gpu_count} but no GPU spec")
+
+    @property
+    def has_gpu(self) -> bool:
+        return bool(self.gpus)
+
+    def gpu(self, index: int = 0) -> GPUSpec:
+        if not self.gpus:
+            raise MachineModelError(f"{self.name} has no GPUs")
+        return self.gpus[min(index, len(self.gpus) - 1)]
+
+    def describe(self) -> str:  # pragma: no cover - cosmetic
+        lines = [f"{self.name}: {self.description}", f"  CPU: {self.cpu.describe()}"]
+        for g in self.gpus:
+            lines.append(f"  GPU x{self.gpu_count}: {g.describe()}")
+        return "\n".join(lines)
+
+
+#: Frontier's test bed: AMD EPYC 7A53 + 8 MI250X GCDs (4 cards).
+CRUSHER = Node(
+    name="Crusher",
+    cpu=EPYC_7A53,
+    gpus=(MI250X,),
+    gpu_count=8,
+    description="Frontier test bed at OLCF (AMD CPU + MI250X GPUs)",
+)
+
+#: Arm evaluation system: Ampere Altra + 2 NVIDIA A100.
+WOMBAT = Node(
+    name="Wombat",
+    cpu=AMPERE_ALTRA,
+    gpus=(A100,),
+    gpu_count=2,
+    description="Arm test bed at OLCF (Ampere Altra CPU + NVIDIA A100 GPUs)",
+)
+
+NODE_CATALOG: Dict[str, Node] = {
+    "crusher": CRUSHER,
+    "wombat": WOMBAT,
+}
+
+
+def node_by_name(name: str) -> Node:
+    """Look up Crusher or Wombat by name (case-insensitive)."""
+    key = name.strip().lower()
+    if key not in NODE_CATALOG:
+        raise KeyError(f"unknown node {name!r}; available: {sorted(NODE_CATALOG)}")
+    return NODE_CATALOG[key]

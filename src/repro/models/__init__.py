@@ -1,0 +1,49 @@
+"""Programming-model frontends: C/OpenMP, Kokkos, Julia, Numba, CUDA, HIP."""
+
+from .base import (
+    CPULowering,
+    GPULowering,
+    ProductivityInfo,
+    ProgrammingModel,
+    Support,
+)
+from .c_openmp import COpenMPModel
+from .cuda import CUDAModel
+from .hip import HIPModel
+from .julia import JuliaModel
+from .kernel_abstractions import KernelAbstractionsModel
+from .kokkos import KokkosModel
+from .numba import NumbaModel
+from .pyomp import PyOMPModel
+from .registry import (
+    EXTENSION_MODELS,
+    MODELS,
+    all_models,
+    extension_models,
+    model_by_name,
+    portable_models,
+    reference_model_for,
+)
+
+__all__ = [
+    "CPULowering",
+    "GPULowering",
+    "ProductivityInfo",
+    "ProgrammingModel",
+    "Support",
+    "COpenMPModel",
+    "CUDAModel",
+    "HIPModel",
+    "JuliaModel",
+    "KernelAbstractionsModel",
+    "KokkosModel",
+    "NumbaModel",
+    "PyOMPModel",
+    "MODELS",
+    "EXTENSION_MODELS",
+    "all_models",
+    "extension_models",
+    "model_by_name",
+    "portable_models",
+    "reference_model_for",
+]

@@ -1,0 +1,195 @@
+"""The paper's kernel source listings (Figs. 2 and 3), verbatim-shaped.
+
+These are the actual hand-rolled kernels the study benchmarks, kept here
+so (a) ``repro kernel <model> --source`` can show the real-language code
+next to our IR lowering, and (b) the productivity metrics of Sec. V count
+*real* lines instead of hand-waved constants — `kernel_lines` in each
+model's :class:`~repro.models.base.ProductivityInfo` is validated against
+these listings by the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..core.types import DeviceKind
+
+__all__ = ["listing_for", "kernel_line_count", "LISTINGS"]
+
+# (model name, device) -> source listing
+LISTINGS: Dict[Tuple[str, DeviceKind], str] = {}
+
+
+def _register(model: str, device: DeviceKind, source: str) -> None:
+    LISTINGS[(model, device)] = source.strip("\n")
+
+
+# --- Fig. 2a: C/OpenMP ------------------------------------------------------
+_register("c-openmp", DeviceKind.CPU, r"""
+void gemm(const double *A, const double *B, double *C,
+          const int A_rows, const int A_cols, const int B_cols)
+{
+#pragma omp parallel for
+    for (int i = 0; i < A_rows; i++) {
+        for (int k = 0; k < A_cols; k++) {
+            const double temp = A[i * A_cols + k];
+            for (int j = 0; j < B_cols; j++) {
+                C[i * B_cols + j] += temp * B[k * B_cols + j];
+            }
+        }
+    }
+}
+""")
+
+# --- Fig. 2b: Kokkos (OpenMP backend) --------------------------------------
+_register("kokkos", DeviceKind.CPU, r"""
+Kokkos::parallel_for(
+    "gemm", A_rows, KOKKOS_LAMBDA(const int i) {
+        for (int k = 0; k < A_cols; k++) {
+            const double temp = A(i, k);
+            for (int j = 0; j < B_cols; j++) {
+                C(i, j) += temp * B(k, j);
+            }
+        }
+    });
+Kokkos::fence();
+""")
+
+# --- Fig. 2c: Julia threads --------------------------------------------------
+_register("julia", DeviceKind.CPU, r"""
+import Base.Threads: @threads
+
+function gemm!(A, B, C)
+    B_cols = size(B, 2); A_cols = size(A, 2); A_rows = size(A, 1)
+    @threads for j in 1:B_cols
+        for l in 1:A_cols
+            @inbounds temp = B[l, j]
+            for i in 1:A_rows
+                @inbounds C[i, j] += temp * A[i, l]
+            end
+        end
+    end
+end
+""")
+
+# --- Fig. 2d: Python/Numba ----------------------------------------------------
+_register("numba", DeviceKind.CPU, r"""
+from numba import njit, prange
+import numpy as np
+
+@njit(parallel=True, nogil=True, fastmath=True)
+def gemm(A: np.ndarray, B: np.ndarray, C: np.ndarray):
+    A_rows, A_cols = A.shape
+    B_cols = B.shape[1]
+    for i in prange(0, A_rows):
+        for k in range(0, A_cols):
+            temp = A[i, k]
+            for j in range(0, B_cols):
+                C[i, j] += temp * B[k, j]
+""")
+
+# --- Fig. 3a: CUDA / HIP ------------------------------------------------------
+_GPU_C = r"""
+__global__ void gemm(const double *A, const double *B, double *C,
+                     const int n, const int k)
+{
+    int row = blockIdx.y * blockDim.y + threadIdx.y;
+    int col = blockIdx.x * blockDim.x + threadIdx.x;
+    double sum = 0.0;
+    if (row < n && col < k) {
+        for (int i = 0; i < n; i++) {
+            sum += A[row * n + i] * B[i * k + col];
+        }
+        C[row * k + col] = sum;
+    }
+}
+"""
+_register("cuda", DeviceKind.GPU, _GPU_C)
+_register("hip", DeviceKind.GPU, _GPU_C)
+
+# --- Kokkos GPU (same lambda source, Cuda/Hip backend at compile time) ------
+_register("kokkos", DeviceKind.GPU, r"""
+Kokkos::parallel_for(
+    "gemm", Kokkos::MDRangePolicy<Kokkos::Rank<2>>({0, 0}, {A_rows, B_cols}),
+    KOKKOS_LAMBDA(const int i, const int j) {
+        double sum = 0.0;
+        for (int k = 0; k < A_cols; k++) {
+            sum += A(i, k) * B(k, j);
+        }
+        C(i, j) = sum;
+    });
+Kokkos::fence();
+""")
+
+# --- Fig. 3b/3c: Julia CUDA.jl / AMDGPU.jl ------------------------------------
+_register("julia", DeviceKind.GPU, r"""
+function gemm!(A, B, C)
+    row = (blockIdx().x - 1) * blockDim().x + threadIdx().x
+    col = (blockIdx().y - 1) * blockDim().y + threadIdx().y
+    if row <= size(C, 1) && col <= size(C, 2)
+        tmp = zero(eltype(C))
+        for i in 1:size(A, 2)
+            @inbounds tmp += A[row, i] * B[i, col]
+        end
+        @inbounds C[row, col] = tmp
+    end
+    return nothing
+end
+""")
+
+# --- Fig. 3d: Python/Numba CUDA ------------------------------------------------
+_register("numba", DeviceKind.GPU, r"""
+from numba import cuda
+
+@cuda.jit
+def gemm(A, B, C):
+    i, j = cuda.grid(2)
+    if i < C.shape[0] and j < C.shape[1]:
+        tmp = 0.
+        for k in range(A.shape[1]):
+            tmp += A[i, k] * B[k, j]
+        C[i, j] = tmp
+""")
+
+# --- extension models ----------------------------------------------------------
+_register("pyomp", DeviceKind.CPU, r"""
+from numba import njit
+from numba.openmp import openmp_context as openmp
+
+@njit(fastmath=True)
+def gemm(A, B, C):
+    A_rows, A_cols = A.shape
+    B_cols = B.shape[1]
+    with openmp("parallel for"):
+        for i in range(A_rows):
+            for k in range(A_cols):
+                temp = A[i, k]
+                for j in range(B_cols):
+                    C[i, j] += temp * B[k, j]
+""")
+
+_register("kernelabstractions", DeviceKind.GPU, r"""
+using KernelAbstractions
+
+@kernel function gemm!(A, B, C)
+    row, col = @index(Global, NTuple)
+    tmp = zero(eltype(C))
+    for i in 1:size(A, 2)
+        @inbounds tmp += A[row, i] * B[i, col]
+    end
+    @inbounds C[row, col] = tmp
+end
+""")
+
+
+def listing_for(model: str, device: DeviceKind) -> Optional[str]:
+    """The paper's source listing for a (model, device), if one exists."""
+    return LISTINGS.get((model, device))
+
+
+def kernel_line_count(model: str, device: DeviceKind) -> Optional[int]:
+    """Non-blank source lines of the listing (the Sec. V LoC measure)."""
+    src = listing_for(model, device)
+    if src is None:
+        return None
+    return sum(1 for line in src.splitlines() if line.strip())

@@ -1,0 +1,92 @@
+"""Model registry: look up programming models by name, enumerate the study.
+
+The registry also answers the Table III structural question: which model is
+the *reference* for a given target (C/OpenMP on CPUs, CUDA on NVIDIA, HIP
+on AMD GPUs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Union
+
+from ..machine.cpu import CPUSpec
+from ..machine.gpu import GPUSpec
+from .base import ProgrammingModel
+from .c_openmp import COpenMPModel
+from .cuda import CUDAModel
+from .hip import HIPModel
+from .julia import JuliaModel
+from .kernel_abstractions import KernelAbstractionsModel
+from .kokkos import KokkosModel
+from .numba import NumbaModel
+from .pyomp import PyOMPModel
+
+__all__ = [
+    "all_models",
+    "portable_models",
+    "extension_models",
+    "model_by_name",
+    "reference_model_for",
+    "MODELS",
+    "EXTENSION_MODELS",
+]
+
+#: The six models the paper benchmarks (Tables I/II).
+MODELS: Dict[str, ProgrammingModel] = {
+    m.name: m for m in (
+        COpenMPModel(),
+        CUDAModel(),
+        HIPModel(),
+        KokkosModel(),
+        JuliaModel(),
+        NumbaModel(),
+    )
+}
+
+#: Models the paper cites but does not benchmark — PyOMP [32] and
+#: KernelAbstractions.jl [55].  Usable everywhere by name; excluded from
+#: the figure/table reproductions so those stay faithful to the paper.
+EXTENSION_MODELS: Dict[str, ProgrammingModel] = {
+    m.name: m for m in (
+        PyOMPModel(),
+        KernelAbstractionsModel(),
+    )
+}
+
+
+def all_models(include_extensions: bool = False) -> List[ProgrammingModel]:
+    """The paper's six models, optionally plus the cited-but-unbenchmarked extensions."""
+    models = list(MODELS.values())
+    if include_extensions:
+        models += list(EXTENSION_MODELS.values())
+    return models
+
+
+def extension_models() -> List[ProgrammingModel]:
+    """PyOMP and KernelAbstractions.jl (paper citations [32] and [55])."""
+    return list(EXTENSION_MODELS.values())
+
+
+def portable_models() -> List[ProgrammingModel]:
+    """The three models Table III scores: Kokkos, Julia, Python/Numba."""
+    return [m for m in MODELS.values() if not m.is_reference]
+
+
+def model_by_name(name: str) -> ProgrammingModel:
+    """Resolve a model by registry name, searching extensions too."""
+    key = name.strip().lower()
+    if key in MODELS:
+        return MODELS[key]
+    if key in EXTENSION_MODELS:
+        return EXTENSION_MODELS[key]
+    available = sorted(MODELS) + sorted(EXTENSION_MODELS)
+    raise KeyError(f"unknown model {name!r}; available: {available}")
+
+
+def reference_model_for(spec: Union[CPUSpec, GPUSpec]) -> ProgrammingModel:
+    """The architecture-specific reference implementation of Sec. V."""
+    if isinstance(spec, CPUSpec):
+        return MODELS["c-openmp"]
+    if isinstance(spec, GPUSpec):
+        return MODELS["cuda"] if "NVIDIA" in spec.name.upper() else MODELS["hip"]
+    raise TypeError(f"unknown target spec {type(spec).__name__}")

@@ -1,0 +1,26 @@
+"""CPU execution simulation: affinity, chunking, NUMA, thread scheduling."""
+
+from .affinity import PinPolicy, ThreadPlacement, place_threads
+from .chunk import Schedule, chunk_sizes, imbalance, static_chunks
+from .numa import MemoryHome, ThreadMemoryCost, memory_costs
+from .thread_sim import (
+    ThreadSimResult,
+    ThreadWork,
+    simulate_parallel_region,
+)
+
+__all__ = [
+    "PinPolicy",
+    "ThreadPlacement",
+    "place_threads",
+    "Schedule",
+    "chunk_sizes",
+    "imbalance",
+    "static_chunks",
+    "MemoryHome",
+    "ThreadMemoryCost",
+    "memory_costs",
+    "ThreadSimResult",
+    "ThreadWork",
+    "simulate_parallel_region",
+]

@@ -1,0 +1,90 @@
+"""Thread placement and pinning policies.
+
+Reproduces the three affinity regimes of the paper's Table I:
+
+* C/OpenMP and Kokkos: ``OMP_PROC_BIND=true OMP_PLACES=threads`` — threads
+  pinned to consecutive hardware threads (:data:`PinPolicy.COMPACT`).
+* Julia: ``JULIA_EXCLUSIVE=1`` — "pin threads to cores in strict order",
+  also compact.
+* Python/Numba: no pinning mechanism exists; the OS migrates threads
+  (:data:`PinPolicy.NONE`), which costs migration overhead and destroys
+  NUMA locality on multi-domain CPUs like Crusher's EPYC.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..errors import MachineModelError
+from ..machine.cpu import CPUSpec
+
+__all__ = ["PinPolicy", "ThreadPlacement", "place_threads"]
+
+
+class PinPolicy(enum.Enum):
+    """Thread-to-core binding regime (see module docstring)."""
+
+    NONE = "none"        # unpinned: OS scheduler migrates threads
+    COMPACT = "compact"  # consecutive cores (OMP_PLACES=threads / JULIA_EXCLUSIVE)
+    SPREAD = "spread"    # round-robin across NUMA domains (OMP_PROC_BIND=spread)
+
+
+@dataclass(frozen=True)
+class ThreadPlacement:
+    """Where each software thread lives.
+
+    ``cores[t]`` is the home core of thread ``t``.  For ``pinned=False``
+    the cores are only the *initial* placement; the simulator applies
+    migration penalties on top.
+    """
+
+    cores: Tuple[int, ...]
+    policy: PinPolicy
+
+    @property
+    def pinned(self) -> bool:
+        return self.policy is not PinPolicy.NONE
+
+    @property
+    def threads(self) -> int:
+        return len(self.cores)
+
+    def domain_of(self, cpu: CPUSpec, thread: int) -> int:
+        return cpu.domain_of_core(self.cores[thread]).domain_id
+
+    def threads_per_domain(self, cpu: CPUSpec) -> Tuple[int, ...]:
+        counts = [0] * cpu.numa_domains
+        for t in range(self.threads):
+            counts[self.domain_of(cpu, t)] += 1
+        return tuple(counts)
+
+
+def place_threads(cpu: CPUSpec, threads: int, policy: PinPolicy) -> ThreadPlacement:
+    """Assign ``threads`` software threads to cores under ``policy``.
+
+    Oversubscription (more threads than cores) wraps around, which is how
+    the OS behaves; the thread simulator serialises co-resident threads.
+    """
+    if threads <= 0:
+        raise MachineModelError("thread count must be positive")
+
+    if policy is PinPolicy.SPREAD:
+        # round-robin over domains, then over the cores inside each domain
+        per_domain_iters = [list(d.cores) for d in cpu.numa]
+        cores = []
+        idx = 0
+        offsets = [0] * len(per_domain_iters)
+        while len(cores) < threads:
+            d = idx % len(per_domain_iters)
+            dom = per_domain_iters[d]
+            cores.append(dom[offsets[d] % len(dom)])
+            offsets[d] += 1
+            idx += 1
+        return ThreadPlacement(tuple(cores), policy)
+
+    # COMPACT and NONE share the initial layout: consecutive cores.  The
+    # difference is the `pinned` flag consumed by the simulator.
+    cores = tuple(t % cpu.cores for t in range(threads))
+    return ThreadPlacement(cores, policy)

@@ -1,0 +1,71 @@
+"""Worksharing loop chunking.
+
+All four CPU models in the paper statically partition one loop across
+threads: OpenMP's default ``schedule(static)``, Julia's ``@threads``
+(static since 1.5 unless ``:dynamic``), and Numba's ``prange`` (static
+chunks).  The partition determines load imbalance: when the trip count does
+not divide the thread count, the longest chunk sets the pace and the tail
+threads idle — visible as the sawtooth in scaling curves.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Tuple
+
+from ..errors import ExperimentError
+
+__all__ = ["Schedule", "static_chunks", "chunk_sizes", "imbalance"]
+
+
+class Schedule(enum.Enum):
+    """OpenMP-style worksharing schedule kind."""
+
+    STATIC = "static"
+    DYNAMIC = "dynamic"   # chunk queue; modelled as near-perfect balance
+    GUIDED = "guided"
+
+
+def static_chunks(trip_count: int, threads: int) -> List[Tuple[int, int]]:
+    """OpenMP-style static partition: ``threads`` half-open ranges.
+
+    The first ``trip_count % threads`` chunks get one extra iteration;
+    threads beyond the trip count receive empty ranges.
+    """
+    if trip_count < 0 or threads <= 0:
+        raise ExperimentError("trip_count must be >= 0 and threads > 0")
+    base, extra = divmod(trip_count, threads)
+    out: List[Tuple[int, int]] = []
+    start = 0
+    for t in range(threads):
+        size = base + (1 if t < extra else 0)
+        out.append((start, start + size))
+        start += size
+    return out
+
+
+def chunk_sizes(trip_count: int, threads: int,
+                schedule: Schedule = Schedule.STATIC) -> List[int]:
+    """Iterations each thread executes.
+
+    DYNAMIC and GUIDED are modelled as their steady-state outcome: a
+    near-even split (the scheduler balances to within one chunk), because
+    the simulator charges their queueing overhead separately.
+    """
+    if schedule is Schedule.STATIC:
+        return [b - a for a, b in static_chunks(trip_count, threads)]
+    base, extra = divmod(trip_count, threads)
+    return [base + (1 if t < extra else 0) for t in range(threads)]
+
+
+def imbalance(trip_count: int, threads: int,
+              schedule: Schedule = Schedule.STATIC) -> float:
+    """Ratio of the longest chunk to the mean chunk (1.0 = perfectly even).
+
+    This is the slowdown factor of a compute-bound statically-chunked loop
+    relative to an idealised fractional partition.
+    """
+    sizes = chunk_sizes(trip_count, threads, schedule)
+    longest = max(sizes)
+    mean = trip_count / threads
+    return longest / mean if mean > 0 else 1.0

@@ -1,0 +1,86 @@
+"""NUMA placement and access-cost modelling.
+
+Why Crusher's EPYC punishes unpinned runtimes (the paper's Numba result)
+while Wombat's single-NUMA Altra does not: with four NUMA domains, a thread
+whose pages live in another domain pays both lower bandwidth (the
+interconnect) and higher latency, and an unpinned thread cannot keep its
+pages local because the OS keeps moving it.
+
+The model distinguishes where the *data* lives (:class:`MemoryHome`) from
+where the *threads* live (:class:`~repro.sched.affinity.ThreadPlacement`)
+and produces, per thread, the fraction of traffic that crosses domains and
+the bandwidth inflation that traffic suffers.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from ..machine.cpu import CPUSpec
+from .affinity import ThreadPlacement
+
+__all__ = ["MemoryHome", "ThreadMemoryCost", "memory_costs"]
+
+
+class MemoryHome(enum.Enum):
+    """Where the matrices' pages were first touched.
+
+    INTERLEAVED is the steady state of the paper's benchmarks: large
+    allocations span domains and the excluded warm-up iteration touches
+    everything, spreading pages round-robin.  SERIAL_NODE0 models naive
+    single-threaded initialisation (all pages in domain 0) for ablations.
+    """
+
+    INTERLEAVED = "interleaved"
+    SERIAL_NODE0 = "serial-node0"
+    LOCAL = "local"  # perfectly distributed first-touch by pinned threads
+
+
+@dataclass(frozen=True)
+class ThreadMemoryCost:
+    """Memory-system view of one thread."""
+
+    thread: int
+    domain: int
+    remote_fraction: float       # of its traffic that crosses domains
+    bandwidth_inflation: float   # effective bytes multiplier (>= 1)
+    extra_latency_ns: float
+
+
+def _remote_fraction(home: MemoryHome, domain: int, domains: int,
+                     pinned: bool) -> float:
+    if domains <= 1:
+        return 0.0
+    if home is MemoryHome.LOCAL and pinned:
+        return 0.0
+    if home is MemoryHome.SERIAL_NODE0:
+        return 0.0 if domain == 0 else 1.0
+    # INTERLEAVED: 1/domains of the pages are local.  Unpinned threads are
+    # additionally out of place roughly all the time, but interleaving
+    # already makes (domains-1)/domains remote, so the fraction is the same;
+    # unpinned pays extra through migration (charged elsewhere).
+    return (domains - 1) / domains
+
+
+def memory_costs(cpu: CPUSpec, placement: ThreadPlacement,
+                 home: MemoryHome = MemoryHome.INTERLEAVED) -> List[ThreadMemoryCost]:
+    """Per-thread NUMA cost profile for a placement and data home."""
+    out: List[ThreadMemoryCost] = []
+    domains = cpu.numa_domains
+    for t in range(placement.threads):
+        dom = placement.domain_of(cpu, t)
+        numa = cpu.numa[dom]
+        frac = _remote_fraction(home, dom, domains, placement.pinned)
+        # Remote bytes effectively consume 1/remote_bandwidth_factor of
+        # channel capacity: model as inflated traffic on the fluid channel.
+        inflation = 1.0 + frac * (1.0 / numa.remote_bandwidth_factor - 1.0)
+        out.append(ThreadMemoryCost(
+            thread=t,
+            domain=dom,
+            remote_fraction=frac,
+            bandwidth_inflation=inflation,
+            extra_latency_ns=frac * numa.remote_latency_ns,
+        ))
+    return out

@@ -1,0 +1,43 @@
+"""Cost engine: fluid bandwidth simulation, roofline/cache model, executor."""
+
+from .executor import (
+    CPUIssueProfile,
+    CPUKernelTiming,
+    cpu_cycles_total,
+    simulate_cpu_kernel,
+)
+from .blocking import (
+    BlockedEstimate,
+    best_tile_for,
+    blocked_gemm_estimate,
+    blocked_traffic_bytes,
+)
+from .fluid import Channel, Flow, FlowResult, FluidSimulation
+from .roofline import (
+    ArrayTraffic,
+    TrafficEstimate,
+    estimate_dram_traffic,
+    roofline_time,
+)
+from .variability import NODE_VARIABILITY, VariabilityModel
+
+__all__ = [
+    "BlockedEstimate",
+    "best_tile_for",
+    "blocked_gemm_estimate",
+    "blocked_traffic_bytes",
+    "CPUIssueProfile",
+    "CPUKernelTiming",
+    "simulate_cpu_kernel",
+    "cpu_cycles_total",
+    "Channel",
+    "Flow",
+    "FlowResult",
+    "FluidSimulation",
+    "ArrayTraffic",
+    "TrafficEstimate",
+    "estimate_dram_traffic",
+    "roofline_time",
+    "NODE_VARIABILITY",
+    "VariabilityModel",
+]

@@ -1,0 +1,124 @@
+"""Analytic model of cache-blocked (tiled) GEMM.
+
+The paper's kernels are deliberately *naive* — "a performance lower-bound
+... to isolate the effect of each programming model" (Sec. I).  This
+module quantifies what that choice leaves on the table: the classic
+three-loop tiling analysis, giving DRAM traffic and predicted performance
+as a function of tile size, validated against the repository's real
+``gemm_blocked`` kernel.
+
+For square tiles of side ``b`` with three resident tiles (A, B and C
+blocks) the per-tile-multiply traffic is ``3 b^2 w`` bytes for ``2 b^3``
+flops, so the arithmetic intensity grows linearly with the tile:
+
+    AI(b) = 2 b / (3 w)   flops/byte
+
+versus the naive kernel's layout-dependent constant.  The optimal tile is
+the largest with ``3 b^2 w`` per-core cache; beyond it the tiles thrash
+and the model degrades to the naive traffic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.types import MatrixShape, Precision
+from ..machine.cpu import CPUSpec
+
+__all__ = ["BlockedEstimate", "blocked_traffic_bytes", "blocked_gemm_estimate",
+           "best_tile_for"]
+
+
+@dataclass(frozen=True)
+class BlockedEstimate:
+    """Predicted behaviour of a tiled GEMM at one tile size."""
+
+    tile: int
+    dram_bytes: float
+    arithmetic_intensity: float
+    compute_seconds: float
+    memory_seconds: float
+
+    @property
+    def seconds(self) -> float:
+        return max(self.compute_seconds, self.memory_seconds)
+
+    def gflops(self, shape: MatrixShape) -> float:
+        return shape.flops / self.seconds / 1e9
+
+    @property
+    def bound(self) -> str:
+        return ("memory" if self.memory_seconds > self.compute_seconds
+                else "compute")
+
+
+def blocked_traffic_bytes(shape: MatrixShape, tile: int,
+                          precision: Precision) -> float:
+    """DRAM traffic of a three-loop tiled GEMM with ``tile``-square blocks.
+
+    Standard result: each of the ``(M/b)(N/b)(K/b)`` tile-multiplies loads
+    one A tile and one B tile (``2 b^2 w``); each C tile is read and
+    written once per (i, j) block across the k sweep when it stays
+    resident, i.e. ``2 M N w`` total.
+    """
+    if tile < 1:
+        raise ValueError("tile must be >= 1")
+    w = precision.bytes
+    m, n, k = shape.m, shape.n, shape.k
+    tiles_i = math.ceil(m / tile)
+    tiles_j = math.ceil(n / tile)
+    tiles_k = math.ceil(k / tile)
+    ab_traffic = tiles_i * tiles_j * tiles_k * 2 * tile * tile * w
+    c_traffic = 2 * m * n * precision.accum_dtype.itemsize
+    return float(ab_traffic + c_traffic)
+
+
+def best_tile_for(cpu: CPUSpec, precision: Precision,
+                  level: str = "L2") -> int:
+    """Largest power-of-two tile with three resident tiles in the given
+    per-core cache level."""
+    cache = cpu.caches.level(level)
+    budget = cache.effective_size_per_core()
+    w = precision.bytes
+    tile = 1
+    while 3 * (tile * 2) ** 2 * w <= budget:
+        tile *= 2
+    return tile
+
+
+def blocked_gemm_estimate(
+    cpu: CPUSpec,
+    shape: MatrixShape,
+    tile: int,
+    precision: Precision = Precision.FP64,
+    threads: int = 0,
+    compute_efficiency: float = 0.8,
+) -> BlockedEstimate:
+    """Roofline estimate of a tiled GEMM on ``cpu``.
+
+    ``compute_efficiency`` is the fraction of SIMD peak the tile
+    micro-kernel sustains.  The default 0.8 reflects register blocking:
+    unlike the naive inner loop (load-port-bound at ~50% of peak in the
+    port model), a register-tiled micro-kernel amortises its loads over
+    many FMAs and approaches the FMA pipes' limit; hand-tuned BLAS
+    reaches ~0.9.  If the three tiles exceed the per-core cache, traffic
+    degrades toward the naive kernel's (modelled by clamping the tile to
+    the cache-fitting size for the traffic term).
+    """
+    t = threads if threads else cpu.cores
+    w = precision.bytes
+    fit = best_tile_for(cpu, precision)
+    effective_tile = min(tile, fit)
+
+    traffic = blocked_traffic_bytes(shape, effective_tile, precision)
+    peak = cpu.peak_gflops(precision, threads=t) * compute_efficiency
+    compute_seconds = shape.flops / (peak * 1e9)
+    memory_seconds = traffic / (cpu.total_bandwidth_gbs * 1e9)
+    return BlockedEstimate(
+        tile=tile,
+        dram_bytes=traffic,
+        arithmetic_intensity=shape.flops / traffic,
+        compute_seconds=compute_seconds,
+        memory_seconds=memory_seconds,
+    )

@@ -1,0 +1,142 @@
+"""End-to-end kernel execution simulation.
+
+Glues the pieces together for one kernel run:
+
+* CPU: instruction mix -> per-core cycle cost (port model) -> chunked over
+  the worksharing loop -> :func:`repro.sched.thread_sim.simulate_parallel_region`
+  with the cache-filtered DRAM traffic.
+* GPU: delegated to :func:`repro.gpu.warp_sim.simulate_gpu_kernel`.
+
+Model-specific quality factors arrive via :class:`CPUIssueProfile` /
+:class:`repro.gpu.warp_sim.IssueProfile`; everything else is shared
+machinery, so two models differ only by what their toolchains actually do
+differently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.types import MatrixShape
+from ..ir.analysis import instruction_mix
+from ..ir.nodes import Kernel, ParallelKind
+from ..machine.cpu import CPUSpec
+from ..sched.affinity import PinPolicy, place_threads
+from ..sched.chunk import chunk_sizes
+from ..sched.numa import MemoryHome
+from ..sched.thread_sim import ThreadWork, simulate_parallel_region
+from .roofline import estimate_dram_traffic
+
+__all__ = ["CPUIssueProfile", "CPUKernelTiming", "simulate_cpu_kernel",
+           "cpu_cycles_total"]
+
+
+@dataclass(frozen=True)
+class CPUIssueProfile:
+    """Per-model code-quality adjustments for the CPU pipeline model.
+
+    ``issue_multiplier`` scales the per-iteration cycle cost relative to
+    what the vendor compiler achieves on the same IR — the residual codegen
+    gap (scheduling quality, addressing mode selection, prefetching) that
+    the structural model does not capture.  ``extra_int_per_inner_iter``
+    adds bookkeeping instructions per innermost iteration (e.g. a JIT
+    runtime's index wrap-around checks).  ``mem_efficiency`` derates the
+    achievable DRAM bandwidth (allocator placement, page granularity).
+    """
+
+    issue_multiplier: float = 1.0
+    extra_int_per_inner_iter: float = 0.0
+    mem_efficiency: float = 1.0
+    per_call_overhead_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class CPUKernelTiming:
+    """Breakdown of one simulated CPU parallel GEMM."""
+
+    total_seconds: float
+    compute_seconds: float       # aggregate single-thread compute, pre-split
+    dram_bytes: float
+    bound: str                   # "compute" | "memory"
+    threads: int
+    imbalance: float
+    fork_join_seconds: float
+
+    def gflops(self, shape: MatrixShape) -> float:
+        return shape.flops / self.total_seconds / 1e9
+
+
+def cpu_cycles_total(kernel: Kernel, shape: MatrixShape, cpu: CPUSpec,
+                     profile: CPUIssueProfile = CPUIssueProfile()) -> float:
+    """Aggregate core-cycles to retire one kernel execution (all threads'
+    work summed), from the port-pressure model."""
+    mix = instruction_mix(kernel, shape, line_bytes=cpu.caches.line_bytes)
+
+    fma_cycles = mix.fma_issues / cpu.fma_units
+    load_cycles = mix.load_issues / cpu.load_ports
+    store_cycles = mix.store_issues / cpu.store_ports
+    int_total = (mix.int_ops + mix.branch_ops + mix.guard_ops
+                 + profile.extra_int_per_inner_iter * mix.inner_iterations)
+    int_cycles = int_total / cpu.frontend_ipc
+
+    cycles = max(fma_cycles, load_cycles, store_cycles, int_cycles)
+
+    if mix.has_reduction_chain:
+        # serial accumulator chain: latency per dependent FMA, divided by
+        # the independent streams unrolling/vectorisation provide
+        fma_execs = mix.flops / 2.0
+        chain = fma_execs * cpu.fma_latency_cycles / mix.accum_streams
+        cycles = max(cycles, chain)
+
+    return cycles * profile.issue_multiplier
+
+
+def simulate_cpu_kernel(
+    kernel: Kernel,
+    cpu: CPUSpec,
+    shape: MatrixShape,
+    threads: int,
+    pin: PinPolicy = PinPolicy.COMPACT,
+    profile: CPUIssueProfile = CPUIssueProfile(),
+    home: MemoryHome = MemoryHome.INTERLEAVED,
+) -> CPUKernelTiming:
+    """Simulate one multithreaded execution of a CPU GEMM kernel."""
+    parallel_loops = [l for l in kernel.loops if l.parallel is ParallelKind.THREADS]
+    if len(parallel_loops) != 1:
+        raise ValueError(f"{kernel.name}: expected exactly one worksharing loop")
+    ploop = parallel_loops[0]
+    trip = ploop.axis.extent(shape.m, shape.n, shape.k)
+
+    total_cycles = cpu_cycles_total(kernel, shape, cpu, profile)
+    total_compute_s = total_cycles / (cpu.clock_ghz * 1e9)
+
+    traffic = estimate_dram_traffic(kernel, shape, cpu.caches,
+                                    active_workers=min(threads, trip))
+    total_bytes = traffic.dram_bytes / max(1e-9, profile.mem_efficiency)
+
+    placement = place_threads(cpu, threads, pin)
+    sizes = chunk_sizes(trip, threads)
+    work = []
+    for t, size in enumerate(sizes):
+        share = size / trip if trip else 0.0
+        work.append(ThreadWork(
+            thread=t,
+            compute_seconds=total_compute_s * share,
+            dram_bytes=total_bytes * share,
+        ))
+
+    result = simulate_parallel_region(cpu, placement, work, home=home)
+    total = result.total_seconds + profile.per_call_overhead_s
+
+    mem_seconds = total_bytes / (cpu.total_bandwidth_gbs * 1e9)
+    bound = "memory" if mem_seconds > total_compute_s / max(1, threads) else "compute"
+
+    return CPUKernelTiming(
+        total_seconds=total,
+        compute_seconds=total_compute_s,
+        dram_bytes=total_bytes,
+        bound=bound,
+        threads=threads,
+        imbalance=result.imbalance,
+        fork_join_seconds=result.fork_join_seconds,
+    )

@@ -1,0 +1,137 @@
+"""Cache-aware DRAM traffic and roofline helpers.
+
+The memory half of the cost model.  For each array reference the IR
+analysis supplies the footprint, the temporal ``reuse_factor`` (how many
+sweeps over the data the loop nest makes), the working set that must stay
+resident for that reuse to hit in cache, and whether concurrent parallel
+workers touch the *same* data.  From these and the machine's cache
+hierarchy we estimate how many of those sweeps are actually served by DRAM:
+
+* working set fits in some cache level → one DRAM sweep, the rest hit;
+* working set does not fit, data shared across workers → workers stream it
+  roughly in lock-step, so one DRAM fetch feeds all of them (discounted by
+  a sharing efficiency — threads drift);
+* otherwise every sweep goes to DRAM.
+
+Spatial locality is accounted by counting whole cache lines: unit-stride
+sweeps fetch ``footprint`` bytes, large strides fetch a line per element.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..core.types import MatrixShape
+from ..ir.analysis import RefInfo, StrideClass, reference_info
+from ..ir.nodes import Kernel
+from ..machine.cache import CacheHierarchy
+
+__all__ = ["ArrayTraffic", "TrafficEstimate", "estimate_dram_traffic",
+           "roofline_time"]
+
+#: Fraction of a shared stream that is actually deduplicated between
+#: concurrent workers.  Threads drift in and out of phase, so a shared
+#: sweep costs a bit more than a single stream.
+DEFAULT_SHARING_EFFICIENCY = 0.8
+
+
+@dataclass(frozen=True)
+class ArrayTraffic:
+    """DRAM traffic attributed to one reference."""
+
+    array: str
+    kind: str                # "load" | "store"
+    dram_bytes: float
+    sweeps_from_dram: float
+    served_by: str           # cache level name or "DRAM"
+
+
+@dataclass(frozen=True)
+class TrafficEstimate:
+    """Total DRAM traffic of one kernel execution."""
+
+    per_ref: Sequence[ArrayTraffic]
+
+    @property
+    def dram_bytes(self) -> float:
+        return sum(t.dram_bytes for t in self.per_ref)
+
+    @property
+    def read_bytes(self) -> float:
+        return sum(t.dram_bytes for t in self.per_ref if t.kind == "load")
+
+    @property
+    def write_bytes(self) -> float:
+        return sum(t.dram_bytes for t in self.per_ref if t.kind == "store")
+
+    def arithmetic_intensity(self, flops: int) -> float:
+        total = self.dram_bytes
+        return math.inf if total == 0 else flops / total
+
+
+def _sweep_bytes(ref: RefInfo, line_bytes: int) -> float:
+    """Bytes one full sweep over the reference's footprint pulls from DRAM."""
+    if ref.stride_class == StrideClass.STRIDED:
+        # one line per element access within a sweep
+        return ref.distinct_elements * line_bytes
+    return float(ref.footprint_bytes)
+
+
+def estimate_dram_traffic(
+    kernel: Kernel,
+    shape: MatrixShape,
+    caches: CacheHierarchy,
+    active_workers: int = 1,
+    sharing_efficiency: float = DEFAULT_SHARING_EFFICIENCY,
+) -> TrafficEstimate:
+    """Estimate DRAM traffic for one execution of ``kernel`` on ``shape``.
+
+    ``active_workers`` is the number of concurrent threads (CPU) or the
+    degree of concurrent-block parallelism (GPU) used for the shared-stream
+    discount.
+    """
+    line = caches.line_bytes
+    refs = reference_info(kernel, shape, line_bytes=line)
+    out: List[ArrayTraffic] = []
+
+    for ref in refs:
+        sweep = _sweep_bytes(ref, line)
+        level = caches.innermost_fitting(ref.reuse_working_set_bytes,
+                                         active_sharers=active_workers)
+        if ref.reuse_factor <= 1:
+            sweeps = 1.0
+            served = "DRAM"
+        elif level is not None:
+            sweeps = 1.0
+            served = level.name
+        elif ref.shared_across_parallel and active_workers > 1:
+            sweeps = max(1.0, ref.reuse_factor
+                         / (active_workers * sharing_efficiency))
+            served = "DRAM(shared)"
+        else:
+            sweeps = float(ref.reuse_factor)
+            served = "DRAM"
+        out.append(ArrayTraffic(
+            array=ref.array,
+            kind=ref.kind,
+            dram_bytes=sweep * sweeps,
+            sweeps_from_dram=sweeps,
+            served_by=served,
+        ))
+    return TrafficEstimate(tuple(out))
+
+
+def roofline_time(flops: float, peak_gflops: float, dram_bytes: float,
+                  bandwidth_gbs: float, overlap: float = 1.0) -> float:
+    """Classic roofline execution-time bound.
+
+    ``overlap`` ∈ (0, 1]: 1 means compute and memory fully overlap
+    (time = max of the two), lower values blend toward their sum.
+    """
+    t_comp = flops / (peak_gflops * 1e9) if peak_gflops > 0 else 0.0
+    t_mem = dram_bytes / (bandwidth_gbs * 1e9) if bandwidth_gbs > 0 else 0.0
+    t_max = max(t_comp, t_mem)
+    t_sum = t_comp + t_mem
+    return overlap * t_max + (1.0 - overlap) * t_sum

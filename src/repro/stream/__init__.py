@@ -1,0 +1,28 @@
+"""BabelStream-style memory-bandwidth benchmarks (extension, E16).
+
+The memory-bound complement to the paper's compute-leaning GEMM study:
+the five STREAM kernels across the same programming models and machines,
+with real NumPy implementations for host measurement and validation.
+"""
+
+from .harness import DEFAULT_N, StreamTable, measure_host_stream, stream_table
+from .kernels import SCALAR, StreamArrays, make_arrays, run_kernel, validate_stream
+from .model import StreamTiming, simulate_stream
+from .spec import KERNEL_TRAITS, StreamKernel, StreamTraits
+
+__all__ = [
+    "DEFAULT_N",
+    "StreamTable",
+    "measure_host_stream",
+    "stream_table",
+    "SCALAR",
+    "StreamArrays",
+    "make_arrays",
+    "run_kernel",
+    "validate_stream",
+    "StreamTiming",
+    "simulate_stream",
+    "KERNEL_TRAITS",
+    "StreamKernel",
+    "StreamTraits",
+]

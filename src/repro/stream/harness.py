@@ -1,0 +1,94 @@
+"""STREAM benchmark harness: simulated tables and real host measurements."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..core.types import Precision
+from ..errors import UnsupportedConfigurationError
+from ..harness.report import ascii_table
+from ..machine.cpu import CPUSpec
+from ..machine.gpu import GPUSpec
+from ..models.registry import model_by_name
+from .kernels import make_arrays, run_kernel
+from .model import simulate_stream
+from .spec import StreamKernel
+
+__all__ = ["StreamTable", "stream_table", "measure_host_stream"]
+
+#: BabelStream's default: 2^25 doubles per array.
+DEFAULT_N = 1 << 25
+
+
+@dataclass
+class StreamTable:
+    """Sustained bandwidth (GB/s) per kernel per model on one machine."""
+
+    machine: str
+    n: int
+    precision: Precision
+    #: model -> kernel -> GB/s (None: unsupported)
+    cells: Dict[str, Dict[StreamKernel, Optional[float]]] = field(
+        default_factory=dict)
+
+    def bandwidth(self, model: str, kernel: StreamKernel) -> Optional[float]:
+        return self.cells[model][kernel]
+
+    def render(self) -> str:
+        kernels = list(StreamKernel)
+        headers = ["model"] + [k.value for k in kernels]
+        rows = []
+        for model, per_kernel in self.cells.items():
+            row: List[object] = [model]
+            for k in kernels:
+                bw = per_kernel[k]
+                row.append(f"{bw:.0f}" if bw is not None else "n/a")
+            rows.append(row)
+        head = (f"STREAM (BabelStream kernels) on {self.machine}: "
+                f"GB/s, n={self.n}, {self.precision.label} precision")
+        return head + "\n" + ascii_table(headers, rows)
+
+
+def stream_table(
+    spec: Union[CPUSpec, GPUSpec],
+    models: Sequence[str],
+    n: int = DEFAULT_N,
+    precision: Precision = Precision.FP64,
+    threads: int = 0,
+) -> StreamTable:
+    """Simulate the full kernel x model grid on one machine."""
+    table = StreamTable(machine=spec.name, n=n, precision=precision)
+    for name in models:
+        per_kernel: Dict[StreamKernel, Optional[float]] = {}
+        for kernel in StreamKernel:
+            try:
+                timing = simulate_stream(name, spec, kernel, n, precision,
+                                         threads)
+                per_kernel[kernel] = timing.bandwidth_gbs
+            except UnsupportedConfigurationError:
+                per_kernel[kernel] = None
+        table.cells[model_by_name(name).display] = per_kernel
+    return table
+
+
+def measure_host_stream(n: int = 1 << 22,
+                        precision: Precision = Precision.FP64,
+                        reps: int = 5) -> Dict[StreamKernel, float]:
+    """Actually measure the NumPy STREAM kernels on this host (GB/s).
+
+    Best-of-``reps`` after one warm-up pass, per BabelStream convention.
+    """
+    arrays = make_arrays(n, precision)
+    out: Dict[StreamKernel, float] = {}
+    for kernel in StreamKernel:
+        run_kernel(kernel, arrays)  # warm-up
+        best = float("inf")
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            run_kernel(kernel, arrays)
+            best = min(best, time.perf_counter() - t0)
+        out[kernel] = kernel.bytes_moved(n, precision) / best / 1e9
+        arrays.reset()
+    return out

@@ -1,0 +1,103 @@
+"""Real, runnable STREAM kernels (NumPy) with validation.
+
+These execute on the host for the real-measurement mode of the stream
+harness and for numerical validation of the kernel definitions the
+simulator prices.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.types import Precision
+from ..errors import KernelValidationError
+from .spec import StreamKernel
+
+__all__ = ["StreamArrays", "make_arrays", "run_kernel", "validate_stream",
+           "SCALAR"]
+
+#: BabelStream's canonical scalar.
+SCALAR = 0.4
+
+#: BabelStream's canonical initial values.
+_INIT_A, _INIT_B, _INIT_C = 0.1, 0.2, 0.0
+
+
+class StreamArrays:
+    """The a, b, c working vectors."""
+
+    def __init__(self, n: int, precision: Precision = Precision.FP64):
+        dtype = precision.np_dtype
+        self.n = n
+        self.precision = precision
+        self.a = np.full(n, _INIT_A, dtype=dtype)
+        self.b = np.full(n, _INIT_B, dtype=dtype)
+        self.c = np.full(n, _INIT_C, dtype=dtype)
+
+    def reset(self) -> None:
+        self.a[:] = _INIT_A
+        self.b[:] = _INIT_B
+        self.c[:] = _INIT_C
+
+
+def make_arrays(n: int, precision: Precision = Precision.FP64) -> StreamArrays:
+    """Allocate the three STREAM vectors with BabelStream's initial values."""
+    if n <= 0:
+        raise ValueError("array length must be positive")
+    return StreamArrays(n, precision)
+
+
+def run_kernel(kernel: StreamKernel, arrays: StreamArrays) -> Optional[float]:
+    """Execute one kernel in place; DOT returns the reduction value."""
+    a, b, c = arrays.a, arrays.b, arrays.c
+    s = arrays.a.dtype.type(SCALAR)
+    if kernel is StreamKernel.COPY:
+        c[:] = a
+    elif kernel is StreamKernel.MUL:
+        b[:] = s * c
+    elif kernel is StreamKernel.ADD:
+        c[:] = a + b
+    elif kernel is StreamKernel.TRIAD:
+        a[:] = b + s * c
+    elif kernel is StreamKernel.DOT:
+        return float(np.dot(a, b))
+    else:  # pragma: no cover - exhaustive enum
+        raise ValueError(kernel)
+    return None
+
+
+def validate_stream(n: int = 1024,
+                    precision: Precision = Precision.FP64) -> None:
+    """Run the BabelStream sequence once and check the closed-form result.
+
+    After copy, mul, add, triad (in order, from the canonical init):
+        c = a0; b = s*c; c = a0 + b; a = b + s*c
+    and dot(a, b) follows exactly.  Raises on mismatch.
+    """
+    arrays = make_arrays(n, precision)
+    run_kernel(StreamKernel.COPY, arrays)
+    run_kernel(StreamKernel.MUL, arrays)
+    run_kernel(StreamKernel.ADD, arrays)
+    run_kernel(StreamKernel.TRIAD, arrays)
+    dot = run_kernel(StreamKernel.DOT, arrays)
+
+    a0 = _INIT_A
+    c_exp = a0
+    b_exp = SCALAR * c_exp
+    c_exp = a0 + b_exp
+    a_exp = b_exp + SCALAR * c_exp
+    dot_exp = n * a_exp * b_exp
+
+    eps = float(np.finfo(precision.np_dtype).eps)
+    tol = 100 * eps
+    for name, got, expected in (("a", arrays.a, a_exp), ("b", arrays.b, b_exp),
+                                ("c", arrays.c, c_exp)):
+        err = float(np.max(np.abs(got - expected)))
+        if err > tol * max(1.0, abs(expected)):
+            raise KernelValidationError(
+                f"stream array {name}: max error {err:.3e} > tol")
+    if abs(dot - dot_exp) > tol * abs(dot_exp) * n ** 0.5:
+        raise KernelValidationError(
+            f"stream dot: {dot!r} vs expected {dot_exp!r}")

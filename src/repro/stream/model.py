@@ -1,0 +1,113 @@
+"""Simulated STREAM performance per (machine, programming model).
+
+Memory-bound kernels invert the GEMM situation: the code generator barely
+matters (any vectorised loop saturates a DRAM channel) and the *runtime*
+dominates — thread placement, NUMA locality, non-temporal stores, launch
+overhead.  The CPU path therefore reuses the thread/NUMA simulator with
+pure memory flows; the GPU path is effective HBM bandwidth plus launch
+overhead.  Per-model adjustments are the runtime properties already
+established for the GEMM study (Numba cannot pin; Julia and OpenMP can),
+plus a streaming-store factor for models whose generated code uses
+write-allocate stores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from ..core.types import Precision
+from ..errors import UnsupportedConfigurationError
+from ..machine.cpu import CPUSpec
+from ..machine.gpu import GPUSpec
+from ..models.registry import model_by_name
+from ..sched.affinity import place_threads
+from ..sched.thread_sim import ThreadWork, simulate_parallel_region
+from .spec import StreamKernel
+
+__all__ = ["StreamTiming", "simulate_stream"]
+
+#: Fraction of theoretical DRAM bandwidth a tuned STREAM actually sustains.
+CPU_STREAM_CEILING = 0.85
+GPU_STREAM_CEILING = 0.90
+
+#: Write-allocate penalty (CPU only): a store without non-temporal hints
+#: first reads the line it overwrites, inflating traffic for
+#: store-carrying kernels.  The vendor C compiler (and Kokkos, compiled by
+#: it) emits non-temporal stores for STREAM patterns; the JIT runtimes do
+#: not.  GPUs write-combine full lines, so no model pays this there.
+CPU_WRITE_ALLOCATE_FACTOR = {
+    "c-openmp": 1.0,
+    "kokkos": 1.0,
+    "julia": 4 / 3,   # one extra read per store word
+    "numba": 4 / 3,
+    "pyomp": 4 / 3,
+}
+
+#: Host-side launch cost multiplier per model: Numba's launches go through
+#: Python-level driver wrappers (cf. Oden [33]); the others are native.
+GPU_LAUNCH_MULTIPLIER = {
+    "numba": 3.0,
+}
+
+#: Stores per element moved, used for the write-allocate inflation.
+_STORE_WORDS = {
+    StreamKernel.COPY: 1,
+    StreamKernel.MUL: 1,
+    StreamKernel.ADD: 1,
+    StreamKernel.TRIAD: 1,
+    StreamKernel.DOT: 0,
+}
+
+
+@dataclass(frozen=True)
+class StreamTiming:
+    kernel: StreamKernel
+    seconds: float
+    bytes_moved: int
+
+    @property
+    def bandwidth_gbs(self) -> float:
+        return self.bytes_moved / self.seconds / 1e9
+
+
+def simulate_stream(
+    model_name: str,
+    spec: Union[CPUSpec, GPUSpec],
+    kernel: StreamKernel,
+    n: int,
+    precision: Precision = Precision.FP64,
+    threads: int = 0,
+) -> StreamTiming:
+    """Predicted time of one STREAM kernel invocation."""
+    model = model_by_name(model_name)
+    support = model.supports(spec, precision)
+    if not support.supported:
+        raise UnsupportedConfigurationError(model.display, spec.name,
+                                            support.reason)
+
+    nominal_bytes = kernel.bytes_moved(n, precision)
+
+    if isinstance(spec, CPUSpec):
+        wa = CPU_WRITE_ALLOCATE_FACTOR.get(model.name, 4 / 3)
+        store_share = _STORE_WORDS[kernel] * precision.bytes * n
+        effective_bytes = nominal_bytes + (wa - 1.0) * store_share
+        lowering = model.lower_cpu(spec, precision)
+        t = threads if threads else spec.cores
+        placement = place_threads(spec, t, lowering.pin)
+        per_thread = effective_bytes / CPU_STREAM_CEILING / t
+        work = [ThreadWork(i, 0.0, per_thread) for i in range(t)]
+        result = simulate_parallel_region(spec, placement, work)
+        seconds = result.total_seconds
+    else:
+        model.lower_gpu(spec, precision)  # validates support/backend
+        bw = spec.hbm_bandwidth_gbs * 1e9 * GPU_STREAM_CEILING
+        launch = (spec.launch_overhead_us * 1e-6
+                  * GPU_LAUNCH_MULTIPLIER.get(model.name, 1.0))
+        seconds = nominal_bytes / bw + launch
+        # a reduction needs a second (tiny) kernel or device-wide atomics
+        if kernel.traits.has_reduction:
+            seconds += launch
+
+    return StreamTiming(kernel=kernel, seconds=seconds,
+                        bytes_moved=nominal_bytes)

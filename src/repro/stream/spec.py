@@ -1,0 +1,71 @@
+"""BabelStream kernel definitions.
+
+The five canonical memory-bandwidth kernels (McCalpin's STREAM as extended
+by BabelStream, the suite Lin & McIntosh-Smith used for the Julia
+portability study the paper cites as [24]):
+
+=========  ======================  =========== =======
+kernel     operation               bytes/elem  flops
+=========  ======================  =========== =======
+copy       c[i] = a[i]             2w          0
+mul        b[i] = s * c[i]         2w          1
+add        c[i] = a[i] + b[i]      3w          1
+triad      a[i] = b[i] + s * c[i]  3w          2
+dot        sum += a[i] * b[i]      2w          2
+=========  ======================  =========== =======
+
+(w = word size).  All five are DRAM-bandwidth-bound at STREAM sizes, which
+is exactly why they complement the paper's compute-leaning GEMM: a
+programming model's *memory-system* portability shows here with the
+codegen quality factored out.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..core.types import Precision
+
+__all__ = ["StreamKernel", "KERNEL_TRAITS", "StreamTraits"]
+
+
+@dataclass(frozen=True)
+class StreamTraits:
+    """Memory and arithmetic volume per element."""
+
+    words_moved: int     # reads + writes per element
+    flops: int
+    has_reduction: bool = False
+
+    def bytes_per_element(self, precision: Precision) -> int:
+        return self.words_moved * precision.bytes
+
+
+class StreamKernel(enum.Enum):
+    """One of the five BabelStream kernels (see module table)."""
+
+    COPY = "copy"
+    MUL = "mul"
+    ADD = "add"
+    TRIAD = "triad"
+    DOT = "dot"
+
+    @property
+    def traits(self) -> StreamTraits:
+        return KERNEL_TRAITS[self]
+
+    def bytes_moved(self, n: int, precision: Precision) -> int:
+        return n * self.traits.bytes_per_element(precision)
+
+    def flop_count(self, n: int) -> int:
+        return n * self.traits.flops
+
+
+KERNEL_TRAITS = {
+    StreamKernel.COPY: StreamTraits(words_moved=2, flops=0),
+    StreamKernel.MUL: StreamTraits(words_moved=2, flops=1),
+    StreamKernel.ADD: StreamTraits(words_moved=3, flops=1),
+    StreamKernel.TRIAD: StreamTraits(words_moved=3, flops=2),
+    StreamKernel.DOT: StreamTraits(words_moved=2, flops=2, has_reduction=True),
+}

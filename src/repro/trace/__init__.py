@@ -1,0 +1,8 @@
+"""Tracing: nvprof-style event records, profiler, and timeline rendering."""
+
+from .chrome import chrome_trace_json, to_chrome_trace
+from .events import EventKind, TraceEvent
+from .profiler import Profiler
+from .timeline import render_timeline, summary_table
+
+__all__ = ["chrome_trace_json", "to_chrome_trace", "EventKind", "TraceEvent", "Profiler", "render_timeline", "summary_table"]

@@ -1,0 +1,43 @@
+"""Timeline rendering: an nvprof-style text summary of a trace."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .events import TraceEvent
+
+__all__ = ["summary_table", "render_timeline"]
+
+
+def summary_table(events: Sequence[TraceEvent]) -> str:
+    """The classic profiler summary: time%, total, calls, avg, name."""
+    if not events:
+        return "(no events)"
+    total = sum(e.duration_s for e in events) or 1.0
+    groups = {}
+    for e in events:
+        key = (e.kind, e.name)
+        dur, calls = groups.get(key, (0.0, 0))
+        groups[key] = (dur + e.duration_s, calls + 1)
+    rows = sorted(groups.items(), key=lambda kv: -kv[1][0])
+    lines = [f"{'Time(%)':>8} {'Time':>12} {'Calls':>6} {'Avg':>12}  Name"]
+    for (kind, name), (dur, calls) in rows:
+        lines.append(
+            f"{100 * dur / total:7.2f}% {dur * 1e3:10.3f}ms {calls:6d} "
+            f"{dur / calls * 1e3:10.3f}ms  [{kind.value}] {name}"
+        )
+    return "\n".join(lines)
+
+
+def render_timeline(events: Sequence[TraceEvent], width: int = 72) -> str:
+    """ASCII Gantt chart of the trace, one row per event."""
+    if not events:
+        return "(no events)"
+    end = max(e.end_s for e in events) or 1.0
+    lines: List[str] = []
+    for e in events:
+        lo = int(width * e.start_s / end)
+        hi = max(lo + 1, int(width * e.end_s / end))
+        bar = " " * lo + "#" * (hi - lo)
+        lines.append(f"{bar:<{width}} | {e.name} ({e.duration_s * 1e3:.3f} ms)")
+    return "\n".join(lines)

@@ -1,0 +1,154 @@
+"""Tests for the array substrate: layouts, RNG quirks, device arrays."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arrays import (
+    DeviceContext,
+    FillPolicy,
+    alloc,
+    fill_matrix,
+    is_layout,
+    linear_index,
+    make_gemm_operands,
+    strides_elements,
+    touched_lines,
+)
+from repro.core.types import Layout, Precision
+from repro.errors import MachineModelError
+from repro.machine import A100
+
+
+class TestLayoutHelpers:
+    def test_strides(self):
+        assert strides_elements(4, 6, Layout.ROW_MAJOR) == (6, 1)
+        assert strides_elements(4, 6, Layout.COL_MAJOR) == (1, 4)
+
+    def test_linear_index_corners(self):
+        assert linear_index(0, 0, 4, 6, Layout.ROW_MAJOR) == 0
+        assert linear_index(3, 5, 4, 6, Layout.ROW_MAJOR) == 23
+        assert linear_index(3, 5, 4, 6, Layout.COL_MAJOR) == 23
+
+    @given(st.integers(0, 7), st.integers(0, 5))
+    def test_linear_index_bijective(self, r, c):
+        seen = linear_index(r, c, 8, 6, Layout.ROW_MAJOR)
+        assert 0 <= seen < 48
+
+    def test_alloc_orders(self):
+        a = alloc(4, 6, np.dtype(np.float64), Layout.COL_MAJOR)
+        assert is_layout(a, Layout.COL_MAJOR)
+        b = alloc(4, 6, np.dtype(np.float32), Layout.ROW_MAJOR, fill=2.0)
+        assert is_layout(b, Layout.ROW_MAJOR)
+        assert float(b[0, 0]) == 2.0
+
+
+class TestTouchedLines:
+    def test_contiguous(self):
+        # 64 fp64 elements unit stride = 512 bytes = 8 lines of 64
+        assert touched_lines(64, 1, 8, 64) == 8
+
+    def test_strided_one_line_each(self):
+        assert touched_lines(64, 100, 8, 64) == 64
+
+    def test_invariant(self):
+        assert touched_lines(1000, 0, 8, 64) == 1
+
+    def test_empty(self):
+        assert touched_lines(0, 1, 8) == 0
+
+    @given(st.integers(1, 10000), st.integers(0, 512), st.integers(1, 16))
+    def test_bounds(self, n, stride, log_elem):
+        elem = min(2 ** (log_elem % 4), 8)
+        lines = touched_lines(n, stride, elem, 64)
+        assert 1 <= lines <= max(1, n)
+
+
+class TestFillPolicies:
+    def test_numba_fp16_falls_back_to_ones(self):
+        """Sec. IV-A: no FP16 RNG -> matrices populated with 1s."""
+        policy = FillPolicy(random_fp16=False, seed=7)
+        m = fill_matrix(8, 8, Precision.FP16, Layout.ROW_MAJOR, policy)
+        assert m.dtype == np.float16
+        assert np.all(m == 1.0)
+
+    def test_julia_fp16_is_random(self):
+        policy = FillPolicy(random_fp16=True, seed=7)
+        m = fill_matrix(8, 8, Precision.FP16, Layout.ROW_MAJOR, policy)
+        assert not np.all(m == m.flat[0])
+
+    def test_seeded_reproducibility(self):
+        p = FillPolicy(seed=42)
+        a = fill_matrix(16, 16, Precision.FP64, Layout.ROW_MAJOR, p)
+        b = fill_matrix(16, 16, Precision.FP64, Layout.ROW_MAJOR, p)
+        assert np.array_equal(a, b)
+
+    def test_seed_offset_differs(self):
+        p = FillPolicy(seed=42)
+        a = fill_matrix(16, 16, Precision.FP64, Layout.ROW_MAJOR, p, seed_offset=1)
+        b = fill_matrix(16, 16, Precision.FP64, Layout.ROW_MAJOR, p, seed_offset=2)
+        assert not np.array_equal(a, b)
+
+    def test_operands_shapes_dtypes(self):
+        a, b, c = make_gemm_operands(4, 6, 5, Precision.FP16, Layout.COL_MAJOR,
+                                     FillPolicy(seed=1))
+        assert a.shape == (4, 5) and b.shape == (5, 6) and c.shape == (4, 6)
+        assert a.dtype == np.float16 and c.dtype == np.float32
+        assert np.all(c == 0)
+        assert is_layout(a, Layout.COL_MAJOR)
+
+    def test_all_ones_analytic_product(self):
+        """Ones inputs make C == K exactly — the check the paper's FP16
+        Numba path permits."""
+        a, b, c = make_gemm_operands(3, 3, 7, Precision.FP16, Layout.ROW_MAJOR,
+                                     FillPolicy(random_fp16=False))
+        c += (a.astype(np.float32) @ b.astype(np.float32))
+        assert np.all(c == 7.0)
+
+
+class TestDeviceArrays:
+    def test_h2d_roundtrip_preserves_data(self):
+        ctx = DeviceContext(A100)
+        host = np.arange(12, dtype=np.float64).reshape(3, 4)
+        dev = ctx.to_device(host)
+        back = dev.to_host()
+        assert np.array_equal(back, host)
+        assert back is not host
+
+    def test_transfer_accounting(self):
+        ctx = DeviceContext(A100)
+        host = np.zeros((128, 128))
+        dev = ctx.to_device(host)
+        dev.to_host()
+        assert ctx.h2d_bytes == host.nbytes
+        assert ctx.d2h_bytes == host.nbytes
+        assert ctx.total_transfer_seconds > 0
+
+    def test_transfer_time_scales_with_bytes(self):
+        ctx = DeviceContext(A100)
+        small = ctx.to_device(np.zeros(1024))
+        big = ctx.to_device(np.zeros(1024 * 1024))
+        t_small, t_big = (t.seconds for t in ctx.transfers)
+        assert t_big > t_small
+
+    def test_alloc_and_free(self):
+        ctx = DeviceContext(A100)
+        arr = ctx.alloc((64, 64), np.float32)
+        assert ctx.allocated_bytes == 64 * 64 * 4
+        ctx.free(arr)
+        assert ctx.allocated_bytes == 0
+        assert ctx.peak_allocated_bytes == 64 * 64 * 4
+
+    def test_double_free_rejected(self):
+        ctx = DeviceContext(A100)
+        arr = ctx.alloc((2, 2), np.float64)
+        ctx.free(arr)
+        with pytest.raises(MachineModelError):
+            ctx.free(arr)
+
+    def test_use_after_free_rejected(self):
+        ctx = DeviceContext(A100)
+        arr = ctx.alloc((2, 2), np.float64)
+        ctx.free(arr)
+        with pytest.raises(MachineModelError):
+            arr.to_host()

@@ -1,0 +1,88 @@
+"""Tests for the tiled-GEMM analytic model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.types import MatrixShape, Precision
+from repro.machine import AMPERE_ALTRA, EPYC_7A53
+from repro.sim.blocking import (
+    best_tile_for,
+    blocked_gemm_estimate,
+    blocked_traffic_bytes,
+)
+
+SHAPE = MatrixShape.square(4096)
+
+
+class TestTraffic:
+    def test_exact_for_divisible(self):
+        got = blocked_traffic_bytes(MatrixShape(128, 128, 128), 32,
+                                    Precision.FP64)
+        assert got == 4 * 4 * 4 * 2 * 32 * 32 * 8 + 2 * 128 * 128 * 8
+
+    def test_bigger_tiles_less_traffic(self):
+        t32 = blocked_traffic_bytes(SHAPE, 32, Precision.FP64)
+        t128 = blocked_traffic_bytes(SHAPE, 128, Precision.FP64)
+        assert t128 < t32
+
+    def test_mixed_precision_output(self):
+        """FP16 tiles, FP32 C traffic (the paper's accumulation scheme)."""
+        t = blocked_traffic_bytes(MatrixShape(64, 64, 64), 64, Precision.FP16)
+        assert t == 2 * 64 * 64 * 2 + 2 * 64 * 64 * 4
+
+    def test_rejects_bad_tile(self):
+        with pytest.raises(ValueError):
+            blocked_traffic_bytes(SHAPE, 0, Precision.FP64)
+
+    @given(st.integers(1, 256))
+    @settings(max_examples=30, deadline=None)
+    def test_traffic_at_least_compulsory(self, tile):
+        """Can never go below one read of A and B plus the C update."""
+        t = blocked_traffic_bytes(SHAPE, tile, Precision.FP64)
+        compulsory = (SHAPE.m * SHAPE.k + SHAPE.k * SHAPE.n) * 8 \
+            + 2 * SHAPE.m * SHAPE.n * 8
+        assert t >= compulsory * 0.99
+
+
+class TestBestTile:
+    def test_epyc_l2_fit(self):
+        # 512 KiB private L2, fp64: 3 * b^2 * 8 <= 512 KiB -> b = 128
+        assert best_tile_for(EPYC_7A53, Precision.FP64) == 128
+
+    def test_fp32_tile_at_least_fp64(self):
+        """Half the element size grows the fitting tile by sqrt(2); with
+        power-of-two rounding that is >= (here both land on 128, while
+        the 4x element shrink to FP16 does cross a power of two)."""
+        assert best_tile_for(EPYC_7A53, Precision.FP32) >= \
+            best_tile_for(EPYC_7A53, Precision.FP64)
+        assert best_tile_for(EPYC_7A53, Precision.FP16) > \
+            best_tile_for(EPYC_7A53, Precision.FP64)
+
+    def test_l1_smaller_than_l2(self):
+        assert best_tile_for(EPYC_7A53, Precision.FP64, "L1") < \
+            best_tile_for(EPYC_7A53, Precision.FP64, "L2")
+
+
+class TestEstimate:
+    def test_tiny_tiles_memory_bound(self):
+        est = blocked_gemm_estimate(EPYC_7A53, SHAPE, 8)
+        assert est.bound == "memory"
+
+    def test_fitting_tiles_compute_bound(self):
+        fit = best_tile_for(EPYC_7A53, Precision.FP64)
+        est = blocked_gemm_estimate(EPYC_7A53, SHAPE, fit)
+        assert est.bound == "compute"
+
+    def test_oversized_tiles_clamped(self):
+        fit = best_tile_for(EPYC_7A53, Precision.FP64)
+        assert blocked_gemm_estimate(EPYC_7A53, SHAPE, 8 * fit).dram_bytes \
+            == blocked_gemm_estimate(EPYC_7A53, SHAPE, fit).dram_bytes
+
+    def test_gflops_bounded_by_peak(self):
+        for cpu in (EPYC_7A53, AMPERE_ALTRA):
+            est = blocked_gemm_estimate(cpu, SHAPE, 64)
+            assert 0 < est.gflops(SHAPE) <= cpu.peak_gflops(Precision.FP64)
+
+    def test_seconds_is_max_of_terms(self):
+        est = blocked_gemm_estimate(EPYC_7A53, SHAPE, 64)
+        assert est.seconds == max(est.compute_seconds, est.memory_seconds)

@@ -1,0 +1,77 @@
+"""Tests for the performance-portability cascade analysis."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.cascade import Cascade, cascade, render_cascades
+from repro.core.metrics import phi_paper
+
+
+EFFS = {"Epyc 7A53": 0.550, "Ampere Altra": 0.713, "MI250x": None,
+        "A100": 0.130}
+
+
+class TestCascade:
+    def test_best_first_ordering(self):
+        c = cascade("numba", EFFS)
+        added = [p.added_platform for p in c.points]
+        assert added == ["Ampere Altra", "Epyc 7A53", "A100", "MI250x"]
+
+    def test_unsupported_sorts_last(self):
+        c = cascade("numba", EFFS)
+        assert c.points[-1].added_platform == "MI250x"
+
+    def test_final_matches_full_set_metric(self):
+        c = cascade("numba", EFFS)
+        assert c.final_phi == pytest.approx(phi_paper(list(EFFS.values())))
+
+    def test_cliff_detection(self):
+        c = cascade("numba", EFFS)
+        assert c.cliff_platform == "MI250x"
+
+    def test_no_cliff_for_fully_supported(self):
+        c = cascade("julia", {"a": 0.9, "b": 0.87})
+        assert c.cliff_platform is None
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            cascade("x", {})
+
+    @given(st.dictionaries(st.sampled_from(["p1", "p2", "p3", "p4", "p5"]),
+                           st.one_of(st.none(), st.floats(0.01, 1.2)),
+                           min_size=1, max_size=5))
+    def test_phi_cascade_monotone_non_increasing(self, effs):
+        """Adding platforms best-first can never raise the paper metric."""
+        c = cascade("m", effs)
+        phis = [p.phi_paper for p in c.points]
+        for a, b in zip(phis, phis[1:]):
+            assert b <= a + 1e-12
+
+    @given(st.dictionaries(st.sampled_from(["p1", "p2", "p3", "p4"]),
+                           st.floats(0.01, 1.2), min_size=1, max_size=4))
+    def test_pp_le_phi_along_cascade(self, effs):
+        c = cascade("m", effs)
+        for p in c.points:
+            assert p.pp_pennycook <= p.phi_paper + 1e-12
+
+
+class TestRender:
+    def test_side_by_side(self):
+        a = cascade("kokkos", {"x": 0.9, "y": 0.3})
+        b = cascade("numba", {"x": 0.5, "y": None})
+        out = render_cascades([a, b])
+        assert "kokkos Phi" in out and "numba PP" in out
+        assert out.count("\n") >= 3
+
+    def test_empty(self):
+        assert render_cascades([]) == "(no cascades)"
+
+
+class TestCLI:
+    def test_cascade_command(self, capsys):
+        from repro.cli import main
+        rc = main(["cascade"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "collapses when MI250x joins" in out
+        assert "julia" in out

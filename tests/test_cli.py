@@ -1,0 +1,170 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    rc = main(list(argv))
+    out = capsys.readouterr().out
+    return rc, out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig", "9"])
+
+
+class TestCommands:
+    def test_machines(self, capsys):
+        rc, out = run_cli(capsys, "machines")
+        assert rc == 0
+        assert "Crusher" in out and "Wombat" in out
+        assert "MI250X" in out and "A100" in out
+
+    def test_models_support_matrix(self, capsys):
+        rc, out = run_cli(capsys, "models")
+        assert rc == 0
+        assert "Python/Numba" in out
+        assert "~16" in out  # Julia's degraded FP16 on the AMD CPU
+
+    def test_productivity(self, capsys):
+        rc, out = run_cli(capsys, "productivity")
+        assert rc == 0
+        assert "divergence" in out and "Julia" in out
+
+    def test_table_1_and_2(self, capsys):
+        rc, out = run_cli(capsys, "table", "1")
+        assert rc == 0 and "ArmClang22" in out
+        rc, out = run_cli(capsys, "table", "2")
+        assert rc == 0 and "hipcc" in out
+
+    def test_table_3(self, capsys):
+        rc, out = run_cli(capsys, "table", "3")
+        assert rc == 0
+        assert "Phi_M" in out
+
+    def test_fig_4(self, capsys):
+        rc, out = run_cli(capsys, "fig", "4", "--no-chart")
+        assert rc == 0
+        assert "Fig. 4" in out and "double" in out and "single" in out
+
+    def test_fig_with_chart(self, capsys):
+        rc, out = run_cli(capsys, "fig", "6")
+        assert rc == 0
+        assert "GFLOP/s vs matrix size" in out
+
+    def test_custom_run(self, capsys):
+        rc, out = run_cli(capsys, "run", "--node", "wombat",
+                          "--device", "gpu", "--precision", "single",
+                          "--models", "cuda,julia", "--sizes", "512,1024",
+                          "--reps", "5")
+        assert rc == 0
+        assert "CUDA" in out and "Julia" in out
+
+    def test_custom_run_cpu_threads(self, capsys):
+        rc, out = run_cli(capsys, "run", "--node", "crusher",
+                          "--models", "c-openmp", "--sizes", "256",
+                          "--threads", "16")
+        assert rc == 0
+        assert "256" in out
+
+    def test_run_json_format(self, capsys):
+        import json
+        rc, out = run_cli(capsys, "run", "--models", "c-openmp",
+                          "--sizes", "256", "--format", "json")
+        assert rc == 0
+        data = json.loads(out)
+        assert data["measurements"][0]["model"] == "c-openmp"
+
+    def test_run_csv_format(self, capsys):
+        rc, out = run_cli(capsys, "run", "--models", "c-openmp",
+                          "--sizes", "256", "--format", "csv")
+        assert rc == 0
+        assert out.splitlines()[0].startswith("experiment,model")
+
+    def test_kernel_command_cpu(self, capsys):
+        rc, out = run_cli(capsys, "kernel", "julia")
+        assert rc == 0
+        assert "jki" not in out  # pseudo-code, not order string
+        assert "parallel-threads" in out and "passes:" in out
+
+    def test_kernel_command_gpu_shows_unroll(self, capsys):
+        rc, out = run_cli(capsys, "kernel", "julia", "--device", "gpu",
+                          "--target", "a100")
+        assert rc == 0
+        assert "unroll x2" in out
+        rc, out = run_cli(capsys, "kernel", "cuda", "--device", "gpu")
+        assert "unroll x4" in out
+
+    def test_scaling_command(self, capsys):
+        rc, out = run_cli(capsys, "scaling", "--model", "numba",
+                          "--size", "1024", "--threads", "1,64")
+        assert rc == 0
+        assert "speedup" in out
+
+    def test_roofline_command(self, capsys):
+        rc, out = run_cli(capsys, "roofline", "--target", "a100",
+                          "--size", "2048")
+        assert rc == 0
+        assert "ridge" in out
+
+    def test_roofline_cpu_target(self, capsys):
+        rc, out = run_cli(capsys, "roofline", "--target", "epyc-7a53",
+                          "--size", "2048", "--models", "c-openmp,julia")
+        assert rc == 0
+        assert "C/OpenMP" in out
+
+    def test_extension_model_usable_in_run(self, capsys):
+        rc, out = run_cli(capsys, "run", "--models", "pyomp,numba",
+                          "--sizes", "512")
+        assert rc == 0
+        assert "PyOMP" in out
+
+    def test_run_efficiency_flag(self, capsys):
+        rc, out = run_cli(capsys, "run", "--models", "c-openmp,julia",
+                          "--sizes", "512,1024", "--efficiency", "c-openmp")
+        assert rc == 0
+        assert "efficiency vs C/OpenMP" in out and "mean e" in out
+
+    def test_fig_efficiencies_flag(self, capsys):
+        rc, out = run_cli(capsys, "fig", "7", "--no-chart", "--efficiencies")
+        assert rc == 0
+        assert "efficiency vs CUDA" in out
+
+    def test_verify_command(self, capsys):
+        rc, out = run_cli(capsys, "verify")
+        assert rc == 0
+        assert "verdict: REPRODUCED" in out
+
+    def test_stream_command(self, capsys):
+        rc, out = run_cli(capsys, "stream", "--target", "a100",
+                          "--n", str(1 << 22))
+        assert rc == 0
+        assert "triad" in out and "CUDA" in out
+
+    def test_stream_cpu_target(self, capsys):
+        rc, out = run_cli(capsys, "stream", "--target", "ampere-altra",
+                          "--n", str(1 << 22), "--models", "c-openmp,julia")
+        assert rc == 0
+        assert "Julia" in out
+
+    def test_crossover_command(self, capsys):
+        rc, out = run_cli(capsys, "crossover", "--node", "crusher",
+                          "--model", "julia", "--precision", "half",
+                          "--sizes", "512,1024")
+        assert rc == 0
+        assert "winner(e2e)" in out
+
+    def test_report_command_to_file(self, tmp_path, capsys):
+        out_file = tmp_path / "report.md"
+        rc, out = run_cli(capsys, "report", "--out", str(out_file))
+        assert rc == 0
+        assert "report written" in out
+        assert "verdict: REPRODUCED" in out_file.read_text()

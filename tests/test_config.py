@@ -1,0 +1,101 @@
+"""Tests for the environment-style run configuration."""
+
+import pytest
+
+from repro.config import KNOWN_VARIABLES, RunConfig
+from repro.errors import ConfigError
+
+
+class TestConstructors:
+    def test_openmp_pins_by_default(self):
+        cfg = RunConfig.openmp(64)
+        assert cfg.get("OMP_NUM_THREADS") == "64"
+        assert cfg.get("OMP_PROC_BIND") == "true"
+        assert cfg.get("OMP_PLACES") == "threads"
+
+    def test_openmp_unpinned(self):
+        cfg = RunConfig.openmp(8, pin=False)
+        assert "OMP_PROC_BIND" not in cfg.env
+
+    def test_julia_exclusive(self):
+        cfg = RunConfig.julia(80)
+        assert cfg.get("JULIA_NUM_THREADS") == "80"
+        assert cfg.get("JULIA_EXCLUSIVE") == "1"
+
+    def test_numba_has_no_pinning_variable(self):
+        """The paper: Numba exposes no binding/pinning mechanism."""
+        cfg = RunConfig.numba(64)
+        pin_vars = [k for k in cfg.env if "BIND" in k or "EXCLUSIVE" in k]
+        assert pin_vars == []
+
+
+class TestAccessors:
+    def test_get_int(self):
+        assert RunConfig({"X": "7"}).get_int("X", 1) == 7
+        assert RunConfig({}).get_int("X", 5) == 5
+
+    def test_get_int_rejects_garbage(self):
+        with pytest.raises(ConfigError):
+            RunConfig({"X": "lots"}).get_int("X", 1)
+
+    def test_get_int_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            RunConfig({"X": "0"}).get_int("X", 1)
+
+    @pytest.mark.parametrize("raw,expected", [
+        ("1", True), ("true", True), ("close", True), ("spread", True),
+        ("0", False), ("false", False), ("", False),
+    ])
+    def test_get_bool(self, raw, expected):
+        assert RunConfig({"B": raw}).get_bool("B") is expected
+
+    def test_get_bool_rejects_garbage(self):
+        with pytest.raises(ConfigError):
+            RunConfig({"B": "maybe"}).get_bool("B")
+
+
+class TestSemantics:
+    def test_threads_for_each_family(self):
+        cfg = RunConfig({"OMP_NUM_THREADS": "4", "JULIA_NUM_THREADS": "8",
+                         "NUMBA_NUM_THREADS": "16"})
+        assert cfg.threads_for("openmp", 64) == 4
+        assert cfg.threads_for("kokkos", 64) == 4
+        assert cfg.threads_for("julia", 64) == 8
+        assert cfg.threads_for("numba", 64) == 16
+
+    def test_threads_default_all_cores(self):
+        assert RunConfig().threads_for("openmp", 64) == 64
+
+    def test_threads_unknown_family(self):
+        with pytest.raises(ConfigError):
+            RunConfig().threads_for("rust", 4)
+
+    def test_pinning_numba_always_false(self):
+        cfg = RunConfig({"OMP_PROC_BIND": "true", "JULIA_EXCLUSIVE": "1"})
+        assert cfg.pinning_for("openmp") is True
+        assert cfg.pinning_for("julia") is True
+        assert cfg.pinning_for("numba") is False
+
+    def test_pinning_defaults_off(self):
+        assert RunConfig().pinning_for("openmp") is False
+        assert RunConfig().pinning_for("julia") is False
+
+
+class TestHygiene:
+    def test_typo_detection(self):
+        warnings = RunConfig({"OMP_NUM_THREAD": "4"}).validate()
+        assert any("OMP_NUM_THREADS" in w for w in warnings)
+
+    def test_known_variables_clean(self):
+        cfg = RunConfig({k: "1" for k in KNOWN_VARIABLES})
+        assert cfg.validate() == []
+
+    def test_merged_overrides(self):
+        cfg = RunConfig({"A": "1"}).merged({"A": "2", "B": "3"})
+        assert cfg.get("A") == "2"
+        assert cfg.get("B") == "3"
+
+    def test_len_and_iter(self):
+        cfg = RunConfig({"A": "1", "B": "2"})
+        assert len(cfg) == 2
+        assert sorted(cfg) == ["A", "B"]

@@ -1,0 +1,98 @@
+"""Tests for repro.core.types: precisions, layouts, shapes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.types import Layout, MatrixShape, Precision
+
+
+class TestPrecision:
+    def test_dtypes(self):
+        assert Precision.FP64.np_dtype == np.float64
+        assert Precision.FP32.np_dtype == np.float32
+        assert Precision.FP16.np_dtype == np.float16
+
+    def test_fp16_accumulates_in_fp32(self):
+        """The paper's mixed-precision convention (Fig. 1c)."""
+        assert Precision.FP16.accum_dtype == np.float32
+        assert Precision.FP64.accum_dtype == np.float64
+        assert Precision.FP32.accum_dtype == np.float32
+
+    def test_bytes_and_bits(self):
+        assert Precision.FP64.bytes == 8
+        assert Precision.FP32.bytes == 4
+        assert Precision.FP16.bytes == 2
+        assert Precision.FP64.bits == 64
+
+    def test_labels(self):
+        assert Precision.FP64.label == "double"
+        assert Precision.FP32.label == "single"
+        assert Precision.FP16.label == "half"
+
+    @pytest.mark.parametrize("text,expected", [
+        ("fp64", Precision.FP64),
+        ("DOUBLE", Precision.FP64),
+        ("f32", Precision.FP32),
+        ("single", Precision.FP32),
+        ("half", Precision.FP16),
+        (" 16 ", Precision.FP16),
+    ])
+    def test_parse(self, text, expected):
+        assert Precision.parse(text) is expected
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            Precision.parse("quad")
+
+
+class TestLayout:
+    def test_np_order(self):
+        assert Layout.ROW_MAJOR.np_order == "C"
+        assert Layout.COL_MAJOR.np_order == "F"
+
+    def test_contiguous_axis(self):
+        assert Layout.ROW_MAJOR.contiguous_axis == 1
+        assert Layout.COL_MAJOR.contiguous_axis == 0
+
+
+class TestMatrixShape:
+    def test_square(self):
+        s = MatrixShape.square(128)
+        assert (s.m, s.n, s.k) == (128, 128, 128)
+        assert s.is_square
+
+    def test_flops_formula(self):
+        assert MatrixShape(2, 3, 4).flops == 2 * 2 * 3 * 4
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            MatrixShape(0, 1, 1)
+        with pytest.raises(ValueError):
+            MatrixShape(1, -2, 1)
+
+    def test_rejects_non_int(self):
+        with pytest.raises(ValueError):
+            MatrixShape(1.5, 2, 3)
+
+    def test_footprint_fp64(self):
+        s = MatrixShape(10, 20, 30)
+        expected = (10 * 30 + 30 * 20) * 8 + 10 * 20 * 8
+        assert s.footprint_bytes(Precision.FP64) == expected
+
+    def test_footprint_fp16_mixed(self):
+        """FP16 inputs but FP32 output matrix."""
+        s = MatrixShape(4, 4, 4)
+        assert s.footprint_bytes(Precision.FP16) == (16 + 16) * 2 + 16 * 4
+
+    @given(st.integers(1, 512), st.integers(1, 512), st.integers(1, 512))
+    def test_flops_positive_and_even(self, m, n, k):
+        f = MatrixShape(m, n, k).flops
+        assert f > 0 and f % 2 == 0
+
+    @given(st.integers(1, 256), st.integers(1, 256), st.integers(1, 256))
+    def test_footprint_monotone_in_precision(self, m, n, k):
+        s = MatrixShape(m, n, k)
+        assert (s.footprint_bytes(Precision.FP16)
+                < s.footprint_bytes(Precision.FP32)
+                < s.footprint_bytes(Precision.FP64))

@@ -1,0 +1,76 @@
+"""Tests for the error hierarchy and the stats helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import (
+    ConfigError,
+    ExperimentError,
+    IRVerificationError,
+    KernelValidationError,
+    MachineModelError,
+    ReproError,
+    UnsupportedConfigurationError,
+)
+from repro.harness.stats import ci95, geomean, mean, median, stdev, summarize
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        for exc in (ConfigError, ExperimentError, IRVerificationError,
+                    KernelValidationError, MachineModelError,
+                    UnsupportedConfigurationError):
+            assert issubclass(exc, ReproError)
+
+    def test_unsupported_message(self):
+        e = UnsupportedConfigurationError("Numba", "MI250X", "deprecated")
+        assert "Numba" in str(e) and "MI250X" in str(e) and "deprecated" in str(e)
+        assert e.model == "Numba"
+
+    def test_unsupported_without_reason(self):
+        e = UnsupportedConfigurationError("X", "Y")
+        assert str(e) == "X is not supported on Y"
+
+
+class TestStats:
+    def test_mean_median(self):
+        assert mean([1, 2, 3]) == 2
+        assert median([1, 2, 3, 100]) == 2.5
+        assert median([5]) == 5
+
+    def test_stdev(self):
+        assert stdev([2, 4, 4, 4, 5, 5, 7, 9]) == pytest.approx(2.138, abs=1e-3)
+        assert stdev([3]) == 0.0
+
+    def test_empty_rejected(self):
+        for fn in (mean, median, stdev, geomean):
+            with pytest.raises(ValueError):
+                fn([])
+
+    def test_ci95_contains_mean(self):
+        lo, hi = ci95([1.0, 1.1, 0.9, 1.05, 0.95])
+        assert lo < 1.0 < hi
+
+    def test_geomean(self):
+        assert geomean([1, 4]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geomean([1, 0])
+
+    def test_summarize_keys(self):
+        s = summarize([1.0, 2.0])
+        assert set(s) == {"n", "mean", "median", "stdev", "min", "max"}
+        assert s["n"] == 2
+
+    @given(st.lists(st.floats(0.1, 100.0), min_size=1, max_size=30))
+    def test_mean_bounds(self, xs):
+        assert min(xs) - 1e-9 <= mean(xs) <= max(xs) + 1e-9
+
+    @given(st.lists(st.floats(0.1, 100.0), min_size=1, max_size=30))
+    def test_geomean_le_mean(self, xs):
+        assert geomean(xs) <= mean(xs) * (1 + 1e-9)
+
+    @given(st.lists(st.floats(0.1, 100.0), min_size=2, max_size=30))
+    def test_median_is_order_statistic(self, xs):
+        assert min(xs) <= median(xs) <= max(xs)

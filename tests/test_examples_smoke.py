@@ -1,0 +1,45 @@
+"""Smoke-run every example script so the examples can never rot.
+
+Each example runs in a subprocess with a generous timeout and must exit
+cleanly and print its signature content.  The slowest example is capped
+by shrinking its default work through the environment-free CLI-less
+entry points where possible; where not, the timeout does the job.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+EXAMPLES = os.path.join(REPO, "examples")
+
+CASES = [
+    ("quickstart.py", "Performance efficiency vs C/OpenMP"),
+    ("portability_study.py", "worst efficiency deviation"),
+    ("custom_kernel_tuning.py", "Reality check"),
+    ("gpu_profile_trace.py", "profiler summary"),
+    ("numa_pinning_clinic.py", "first-touch pathology"),
+    ("device_placement.py", "crossover"),
+    ("memory_bandwidth_stream.py", "Measured on this host"),
+]
+
+
+@pytest.mark.parametrize("script,marker", CASES,
+                         ids=[c[0] for c in CASES])
+def test_example_runs(script, marker):
+    proc = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, script)],
+        capture_output=True, text=True, timeout=420,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert marker in proc.stdout, (
+        f"{script} output missing {marker!r}; got:\n{proc.stdout[-1000:]}")
+
+
+def test_every_example_covered():
+    """A new example must be added to CASES (and thus smoke-tested)."""
+    present = {f for f in os.listdir(EXAMPLES) if f.endswith(".py")}
+    covered = {c[0] for c in CASES}
+    assert present == covered, present.symmetric_difference(covered)

@@ -1,0 +1,102 @@
+"""Tests for the CPU execution simulator (the GPU one is in test_gpu.py)."""
+
+import pytest
+
+from repro.core.types import MatrixShape, Precision
+from repro.ir import builder
+from repro.ir.passes import UnrollInnerLoop, VectorizeInnerLoop
+from repro.machine import AMPERE_ALTRA, EPYC_7A53
+from repro.sched.affinity import PinPolicy
+from repro.sim.executor import CPUIssueProfile, cpu_cycles_total, simulate_cpu_kernel
+
+
+def vec_kernel(cpu, precision=Precision.FP64):
+    k = builder.c_openmp_cpu(precision)
+    k = VectorizeInnerLoop(cpu.simd_lanes(precision)).run(k)
+    return UnrollInnerLoop(4).run(k)
+
+
+SH = MatrixShape.square(2048)
+
+
+class TestCyclesModel:
+    def test_vectorization_speeds_up(self):
+        plain = cpu_cycles_total(builder.c_openmp_cpu(Precision.FP64), SH,
+                                 EPYC_7A53)
+        vec = cpu_cycles_total(vec_kernel(EPYC_7A53), SH, EPYC_7A53)
+        assert vec < plain / 2
+
+    def test_issue_multiplier_linear(self):
+        base = cpu_cycles_total(vec_kernel(EPYC_7A53), SH, EPYC_7A53)
+        doubled = cpu_cycles_total(vec_kernel(EPYC_7A53), SH, EPYC_7A53,
+                                   CPUIssueProfile(issue_multiplier=2.0))
+        assert doubled == pytest.approx(2 * base)
+
+    def test_extra_int_ops_slow_down(self):
+        base = cpu_cycles_total(vec_kernel(EPYC_7A53), SH, EPYC_7A53)
+        noisy = cpu_cycles_total(
+            vec_kernel(EPYC_7A53), SH, EPYC_7A53,
+            CPUIssueProfile(extra_int_per_inner_iter=50.0))
+        assert noisy > base
+
+    def test_reduction_chain_dominates_strict_scalar_accum(self):
+        """A strict-FP per-element kernel is latency-chained."""
+        k = builder.kokkos_cpu(Precision.FP64)  # scalar accum, no fastmath
+        chained = cpu_cycles_total(k, SH, EPYC_7A53)
+        fast = cpu_cycles_total(
+            UnrollInnerLoop(8).run(k.replace(fastmath=True)), SH, EPYC_7A53)
+        assert chained > 2 * fast
+
+
+class TestSimulateCPU:
+    def test_thread_scaling(self):
+        t8 = simulate_cpu_kernel(vec_kernel(EPYC_7A53), EPYC_7A53, SH, 8)
+        t64 = simulate_cpu_kernel(vec_kernel(EPYC_7A53), EPYC_7A53, SH, 64)
+        speedup = t8.total_seconds / t64.total_seconds
+        assert 5.0 < speedup <= 8.2
+
+    def test_fp32_roughly_doubles(self):
+        t64f = simulate_cpu_kernel(vec_kernel(EPYC_7A53, Precision.FP32),
+                                   EPYC_7A53, SH, 64)
+        t64d = simulate_cpu_kernel(vec_kernel(EPYC_7A53), EPYC_7A53, SH, 64)
+        assert 1.7 < t64d.total_seconds / t64f.total_seconds < 2.2
+
+    def test_gflops_below_peak(self):
+        t = simulate_cpu_kernel(vec_kernel(EPYC_7A53), EPYC_7A53, SH, 64)
+        assert 0 < t.gflops(SH) < EPYC_7A53.peak_gflops(Precision.FP64)
+
+    def test_pinning_matters_only_on_numa(self):
+        """The E9 ablation in miniature."""
+        pinned = simulate_cpu_kernel(vec_kernel(EPYC_7A53), EPYC_7A53, SH, 64,
+                                     pin=PinPolicy.COMPACT)
+        unpinned = simulate_cpu_kernel(vec_kernel(EPYC_7A53), EPYC_7A53, SH, 64,
+                                       pin=PinPolicy.NONE)
+        assert unpinned.total_seconds > 1.2 * pinned.total_seconds
+
+        pinned_arm = simulate_cpu_kernel(vec_kernel(AMPERE_ALTRA),
+                                         AMPERE_ALTRA, SH, 80,
+                                         pin=PinPolicy.COMPACT)
+        unpinned_arm = simulate_cpu_kernel(vec_kernel(AMPERE_ALTRA),
+                                           AMPERE_ALTRA, SH, 80,
+                                           pin=PinPolicy.NONE)
+        assert unpinned_arm.total_seconds == pytest.approx(
+            pinned_arm.total_seconds, rel=0.02)
+
+    def test_imbalance_visible_for_odd_sizes(self):
+        odd = MatrixShape.square(65)  # 65 rows on 64 threads
+        t = simulate_cpu_kernel(vec_kernel(EPYC_7A53), EPYC_7A53, odd, 64)
+        assert t.imbalance > 1.5
+
+    def test_requires_worksharing_loop(self):
+        from repro.core.types import Layout
+        gpu_k = builder.gpu_thread_per_element("g", Precision.FP64,
+                                               Layout.ROW_MAJOR)
+        with pytest.raises(ValueError):
+            simulate_cpu_kernel(gpu_k, EPYC_7A53, SH, 4)
+
+    def test_per_call_overhead_added(self):
+        base = simulate_cpu_kernel(vec_kernel(EPYC_7A53), EPYC_7A53, SH, 64)
+        slow = simulate_cpu_kernel(
+            vec_kernel(EPYC_7A53), EPYC_7A53, SH, 64,
+            profile=CPUIssueProfile(per_call_overhead_s=1.0))
+        assert slow.total_seconds == pytest.approx(base.total_seconds + 1.0)

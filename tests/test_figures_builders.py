@@ -1,0 +1,105 @@
+"""Direct tests for the figure experiment builders and edge paths not
+covered by the headline reproduction suite."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.types import DeviceKind, MatrixShape, Precision
+from repro.harness import PAPER_SIZES, QUICK_SIZES, run_measurement
+from repro.harness.figures import (
+    CPU_MODELS,
+    crusher_cpu_experiment,
+    crusher_gpu_experiment,
+    fig4,
+    wombat_cpu_experiment,
+    wombat_gpu_experiment,
+)
+from repro.ir.pretty import render_kernel
+from repro.models import model_by_name
+from repro.stream import StreamKernel, simulate_stream
+from repro.machine import A100, EPYC_7A53
+
+
+class TestExperimentBuilders:
+    def test_crusher_cpu_defaults(self):
+        e = crusher_cpu_experiment(Precision.FP64)
+        assert e.node_name == "Crusher" and e.threads == 64
+        assert e.models == CPU_MODELS
+        assert e.models[0] == "c-openmp"  # reference first
+
+    def test_wombat_cpu_80_threads(self):
+        e = wombat_cpu_experiment(Precision.FP32)
+        assert e.threads == 80
+
+    def test_gpu_experiments_models(self):
+        assert "hip" in crusher_gpu_experiment(Precision.FP64).models
+        assert "cuda" in wombat_gpu_experiment(Precision.FP64).models
+        assert "numba" not in crusher_gpu_experiment(Precision.FP64).models
+
+    def test_paper_sizes_match_artifact(self):
+        """Fig. 9's sweep: 4096..20480; we prepend two smaller points."""
+        assert PAPER_SIZES[0] == 1024
+        assert PAPER_SIZES[-1] == 20480
+        assert 4096 in PAPER_SIZES
+        assert all(b > a for a, b in zip(PAPER_SIZES, PAPER_SIZES[1:]))
+
+    def test_quick_subset_of_reasonable_range(self):
+        assert set(QUICK_SIZES) <= set(range(1024, 20481))
+
+    def test_figure_render_with_efficiencies(self):
+        fig = fig4((1024,))
+        out = fig.render(charts=False, efficiencies=True)
+        assert "efficiency vs C/OpenMP" in out
+
+
+class TestDegradedPath:
+    def test_julia_fp16_on_epyc_runs_but_crawls(self):
+        """'Very low performance on Crusher AMD CPUs (not reported)':
+        the combination is supported=True/degraded and the harness runs
+        it — an order of magnitude below the Arm FP16 path."""
+        exp_amd = crusher_cpu_experiment(Precision.FP16, sizes=(512,))
+        m_amd = run_measurement(model_by_name("julia"), exp_amd,
+                                MatrixShape.square(512))
+        assert m_amd.supported
+
+        exp_arm = wombat_cpu_experiment(Precision.FP16, sizes=(512,),
+                                        models=("julia",))
+        m_arm = run_measurement(model_by_name("julia"), exp_arm,
+                                MatrixShape.square(512))
+        assert m_arm.gflops > 10 * m_amd.gflops
+
+
+class TestPrettyEdgeCases:
+    def test_bounds_checked_kernel_renders_guards(self):
+        from repro.core.types import Layout
+        from repro.ir import builder
+
+        k = builder.build_gemm("guarded", Precision.FP64, "jki",
+                               Layout.COL_MAJOR, parallel_vars=("j",),
+                               bounds_checks=True)
+        out = render_kernel(k)
+        assert out.count("bounds-checked") == 1
+        assert "guard on" in out
+
+    def test_unvectorised_kernel_has_no_annotations(self):
+        from repro.ir import builder
+
+        out = render_kernel(builder.c_openmp_cpu(Precision.FP64))
+        assert "vectorize" not in out and "unroll" not in out
+
+
+class TestStreamProperties:
+    @given(st.integers(14, 26))
+    @settings(max_examples=12, deadline=None)
+    def test_gpu_bandwidth_monotone_in_n(self, log_n):
+        """Launch overhead amortises: bigger arrays, higher bandwidth."""
+        small = simulate_stream("cuda", A100, StreamKernel.TRIAD, 1 << log_n)
+        big = simulate_stream("cuda", A100, StreamKernel.TRIAD,
+                              1 << (log_n + 1))
+        assert big.bandwidth_gbs >= small.bandwidth_gbs * 0.999
+
+    @given(st.sampled_from(list(StreamKernel)))
+    @settings(max_examples=10, deadline=None)
+    def test_cpu_bandwidth_positive_bounded(self, kernel):
+        t = simulate_stream("c-openmp", EPYC_7A53, kernel, 1 << 24)
+        assert 0 < t.bandwidth_gbs <= EPYC_7A53.total_bandwidth_gbs

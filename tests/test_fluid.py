@@ -1,0 +1,128 @@
+"""Tests for the fluid-flow bandwidth simulator."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.fluid import Channel, Flow, FluidSimulation
+
+
+def sim(capacity=100.0):
+    return FluidSimulation([Channel("mem", capacity)])
+
+
+class TestSingleFlow:
+    def test_uncapped_flow_runs_at_capacity(self):
+        res = sim(100.0).run([Flow("a", 1000.0, math.inf, "mem")])
+        assert res["a"].finish == pytest.approx(10.0)
+
+    def test_demand_capped_flow(self):
+        res = sim(100.0).run([Flow("a", 1000.0, 10.0, "mem")])
+        assert res["a"].finish == pytest.approx(100.0)
+
+    def test_zero_byte_flow_completes_immediately(self):
+        res = sim().run([Flow("a", 0.0, 1.0, "mem", start=3.0)])
+        assert res["a"].finish == 3.0
+
+    def test_delayed_start(self):
+        res = sim(100.0).run([Flow("a", 100.0, math.inf, "mem", start=5.0)])
+        assert res["a"].start == 5.0
+        assert res["a"].finish == pytest.approx(6.0)
+
+
+class TestSharing:
+    def test_two_equal_flows_halve(self):
+        flows = [Flow("a", 100.0, math.inf, "mem"),
+                 Flow("b", 100.0, math.inf, "mem")]
+        res = sim(100.0).run(flows)
+        assert res["a"].finish == pytest.approx(2.0)
+        assert res["b"].finish == pytest.approx(2.0)
+
+    def test_capped_flow_frees_bandwidth(self):
+        """Max-min fairness: a demand-limited flow's leftover goes to the
+        other flow."""
+        flows = [Flow("slow", 100.0, 10.0, "mem"),
+                 Flow("fast", 900.0, math.inf, "mem")]
+        res = sim(100.0).run(flows)
+        # slow streams at 10 for 10s; fast gets 90 throughout
+        assert res["slow"].finish == pytest.approx(10.0)
+        assert res["fast"].finish == pytest.approx(10.0)
+
+    def test_completion_releases_share(self):
+        flows = [Flow("a", 50.0, math.inf, "mem"),
+                 Flow("b", 150.0, math.inf, "mem")]
+        res = sim(100.0).run(flows)
+        # both at 50 until t=1 (a done); b has 100 left at 100/s -> t=2
+        assert res["a"].finish == pytest.approx(1.0)
+        assert res["b"].finish == pytest.approx(2.0)
+
+    def test_independent_channels_dont_contend(self):
+        s = FluidSimulation([Channel("x", 100.0), Channel("y", 100.0)])
+        res = s.run([Flow("a", 100.0, math.inf, "x"),
+                     Flow("b", 100.0, math.inf, "y")])
+        assert res["a"].finish == pytest.approx(1.0)
+        assert res["b"].finish == pytest.approx(1.0)
+
+    def test_late_arrival_shares_fairly(self):
+        flows = [Flow("a", 200.0, math.inf, "mem"),
+                 Flow("b", 100.0, math.inf, "mem", start=1.0)]
+        res = sim(100.0).run(flows)
+        # a alone until t=1 (100 left), then 50/50: a and b both need 2 more s
+        assert res["a"].finish == pytest.approx(3.0)
+        assert res["b"].finish == pytest.approx(3.0)
+
+
+class TestValidation:
+    def test_unknown_channel(self):
+        with pytest.raises(KeyError):
+            sim().run([Flow("a", 1.0, 1.0, "nope")])
+
+    def test_duplicate_names(self):
+        with pytest.raises(ValueError):
+            sim().run([Flow("a", 1.0, 1.0, "mem"), Flow("a", 1.0, 1.0, "mem")])
+
+    def test_negative_bytes(self):
+        with pytest.raises(ValueError):
+            Flow("a", -1.0, 1.0, "mem")
+
+    def test_nonpositive_demand(self):
+        with pytest.raises(ValueError):
+            Flow("a", 1.0, 0.0, "mem")
+
+    def test_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            Channel("mem", 0.0)
+
+
+class TestProperties:
+    @given(st.lists(st.tuples(st.floats(1.0, 1e6), st.floats(1.0, 1e6)),
+                    min_size=1, max_size=12))
+    @settings(max_examples=50, deadline=None)
+    def test_makespan_bounds(self, pairs):
+        """Makespan is bounded below by total_bytes/capacity and by the
+        slowest flow alone, and above by serial execution."""
+        cap = 100.0
+        flows = [Flow(f"f{i}", b, d, "mem") for i, (b, d) in enumerate(pairs)]
+        total = sum(f.bytes for f in flows)
+        res = FluidSimulation([Channel("mem", cap)]).run(flows)
+        makespan = max(r.finish for r in res.values())
+        lower = max(total / cap, max(f.bytes / min(f.demand_rate, cap) for f in flows))
+        upper = sum(f.bytes / min(f.demand_rate, cap) for f in flows)
+        assert makespan >= lower * (1 - 1e-9)
+        assert makespan <= upper * (1 + 1e-9)
+
+    @given(st.integers(1, 20))
+    @settings(max_examples=20, deadline=None)
+    def test_n_equal_flows_scale_linearly(self, n):
+        flows = [Flow(f"f{i}", 100.0, math.inf, "mem") for i in range(n)]
+        makespan = FluidSimulation([Channel("mem", 100.0)]).makespan(flows)
+        assert makespan == pytest.approx(n * 1.0, rel=1e-6)
+
+    def test_work_conservation(self):
+        """With uncapped flows the channel never idles: makespan equals
+        total bytes over capacity."""
+        flows = [Flow(f"f{i}", 10.0 * (i + 1), math.inf, "mem")
+                 for i in range(5)]
+        makespan = sim(10.0).makespan(flows)
+        assert makespan == pytest.approx(sum(10.0 * (i + 1) for i in range(5)) / 10.0)

@@ -1,0 +1,218 @@
+"""Tests for the GPU simulation stack: launch, occupancy, coalescing, waves."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.types import Layout, MatrixShape, Precision
+from repro.errors import MachineModelError
+from repro.gpu import (
+    IssueProfile,
+    LaunchConfig,
+    analyze_coalescing,
+    gemm_transfer_estimate,
+    occupancy,
+    paper_launch,
+    simulate_gpu_kernel,
+)
+from repro.ir import builder
+from repro.ir.passes import UnrollInnerLoop
+from repro.machine import A100, MI250X
+
+
+def gpu_kernel(precision=Precision.FP64, layout=Layout.ROW_MAJOR, unroll=4):
+    k = builder.gpu_thread_per_element("g", precision, layout)
+    return UnrollInnerLoop(unroll).run(k)
+
+
+class TestLaunch:
+    def test_paper_block_is_32x32(self):
+        l = paper_launch()
+        assert l.threads_per_block == 1024
+
+    def test_grid_ceiling(self):
+        l = LaunchConfig(32, 32, "j")
+        assert l.grid(MatrixShape.square(100)) == (4, 4)
+        assert l.total_blocks(MatrixShape.square(100)) == 16
+
+    def test_active_fraction_with_remainder(self):
+        l = LaunchConfig(32, 32, "j")
+        frac = l.active_thread_fraction(MatrixShape.square(100))
+        assert frac == pytest.approx(100 * 100 / (128 * 128))
+
+    def test_axis_mapping(self):
+        l = LaunchConfig(32, 8, "i")
+        assert l.y_axis == "j"
+        # x walks rows (M), y walks columns (N)
+        assert l.grid(MatrixShape(64, 16, 8)) == (2, 2)
+
+    def test_rejects_oversized_block(self):
+        with pytest.raises(MachineModelError):
+            LaunchConfig(64, 32)
+
+    def test_rejects_bad_axis(self):
+        with pytest.raises(MachineModelError):
+            LaunchConfig(32, 32, "k")
+
+
+class TestOccupancy:
+    def test_paper_block_residency_a100(self):
+        occ = occupancy(A100, 1024)
+        assert occ.blocks_per_cu == 2      # 2048 threads / 1024 per block
+        assert occ.warps_per_cu == 64
+        assert occ.fraction(A100) == pytest.approx(1.0)
+
+    def test_small_blocks_limited_by_block_slots(self):
+        occ = occupancy(A100, 32)
+        assert occ.blocks_per_cu == 32     # block-slot limit, not threads
+        assert occ.fraction(A100) == pytest.approx(0.5)
+
+    def test_wavefront_size_mi250x(self):
+        occ = occupancy(MI250X, 1024)
+        assert occ.warps_per_block == 16   # 1024 / 64-wide wavefronts
+
+    def test_register_pressure_limits(self):
+        rich = occupancy(A100, 256, registers_per_thread=32)
+        poor = occupancy(A100, 256, registers_per_thread=255)
+        assert poor.blocks_per_cu < rich.blocks_per_cu
+
+    def test_rejects_unlaunchable(self):
+        with pytest.raises(MachineModelError):
+            occupancy(A100, 2048)
+
+
+class TestCoalescing:
+    def test_row_major_x_on_j_is_coalesced(self):
+        """CUDA/HIP/Numba convention: x walks columns of row-major data."""
+        rep = analyze_coalescing(gpu_kernel(), paper_launch("j"), A100,
+                                 MatrixShape.square(512))
+        pat = {a.array: a.pattern for a in rep.accesses if a.kind == "load"}
+        assert pat["B"] == "coalesced"
+        assert pat["A"] == "broadcast"
+
+    def test_col_major_x_on_i_is_coalesced(self):
+        """Julia convention: x walks rows of column-major data."""
+        rep = analyze_coalescing(gpu_kernel(layout=Layout.COL_MAJOR),
+                                 paper_launch("i"), A100,
+                                 MatrixShape.square(512))
+        pat = {a.array: a.pattern for a in rep.accesses if a.kind == "load"}
+        assert pat["A"] == "coalesced"
+        assert pat["B"] == "broadcast"
+
+    def test_mismatched_mapping_strides(self):
+        """The Kokkos/CUDA failure mode: x on j over column-major data."""
+        rep = analyze_coalescing(gpu_kernel(layout=Layout.COL_MAJOR),
+                                 paper_launch("j"), A100,
+                                 MatrixShape.square(512))
+        pat = {a.array: a.pattern for a in rep.accesses if a.kind == "load"}
+        assert pat["B"] == "strided"
+
+    def test_fp32_halves_coalesced_bytes(self):
+        r64 = analyze_coalescing(gpu_kernel(Precision.FP64), paper_launch("j"),
+                                 A100, MatrixShape.square(512))
+        r32 = analyze_coalescing(gpu_kernel(Precision.FP32), paper_launch("j"),
+                                 A100, MatrixShape.square(512))
+        assert r32.bytes_per_warp_k_iter < r64.bytes_per_warp_k_iter
+
+    def test_strided_bytes_precision_independent(self):
+        r64 = analyze_coalescing(gpu_kernel(Precision.FP64, Layout.COL_MAJOR),
+                                 paper_launch("j"), A100, MatrixShape.square(512))
+        r32 = analyze_coalescing(gpu_kernel(Precision.FP32, Layout.COL_MAJOR),
+                                 paper_launch("j"), A100, MatrixShape.square(512))
+        strided64 = [a for a in r64.accesses if a.pattern == "strided"][0]
+        strided32 = [a for a in r32.accesses if a.pattern == "strided"][0]
+        assert strided64.transactions_per_warp == strided32.transactions_per_warp
+
+    def test_store_hoisted_not_per_k(self):
+        rep = analyze_coalescing(gpu_kernel(), paper_launch("j"), A100,
+                                 MatrixShape.square(512))
+        store = [a for a in rep.accesses if a.kind == "store"][0]
+        assert not store.per_k_iteration
+
+
+class TestWarpSim:
+    SH = MatrixShape.square(8192)
+
+    def test_vendor_fp32_nearly_doubles_fp64(self):
+        """Sec. IV-B: the vendor CUDA path gains significantly at FP32."""
+        t64 = simulate_gpu_kernel(gpu_kernel(Precision.FP64), paper_launch("j"),
+                                  A100, self.SH)
+        t32 = simulate_gpu_kernel(gpu_kernel(Precision.FP32), paper_launch("j"),
+                                  A100, self.SH)
+        ratio = t32.gflops(self.SH) / t64.gflops(self.SH)
+        assert 1.6 < ratio < 2.0
+
+    def test_issue_overhead_model_gains_little_at_fp32(self):
+        """An issue-bound high-level model sees only a small FP32 gain."""
+        profile = IssueProfile(issue_multiplier=1.2, extra_int_per_iter=100.0)
+        t64 = simulate_gpu_kernel(gpu_kernel(Precision.FP64, unroll=1),
+                                  paper_launch("j"), A100, self.SH, profile)
+        t32 = simulate_gpu_kernel(gpu_kernel(Precision.FP32, unroll=1),
+                                  paper_launch("j"), A100, self.SH, profile)
+        ratio = t32.gflops(self.SH) / t64.gflops(self.SH)
+        assert ratio < 1.1
+
+    def test_unroll_reduces_time(self):
+        """The CUDA.jl unroll-2 vs nvcc unroll-4 mechanism."""
+        profile = IssueProfile(extra_int_per_iter=14.0)
+        t2 = simulate_gpu_kernel(gpu_kernel(unroll=2), paper_launch("j"),
+                                 A100, self.SH, profile)
+        t4 = simulate_gpu_kernel(gpu_kernel(unroll=4), paper_launch("j"),
+                                 A100, self.SH, profile)
+        assert t4.total_seconds <= t2.total_seconds
+
+    def test_launch_overhead_fraction_shrinks_with_size(self):
+        """The constant overheads of Sec. IV-B matter only at small sizes."""
+        tiny = MatrixShape.square(64)
+        t_small = simulate_gpu_kernel(gpu_kernel(), paper_launch("j"), A100, tiny)
+        t_big = simulate_gpu_kernel(gpu_kernel(), paper_launch("j"), A100, self.SH)
+        frac_small = t_small.launch_seconds / t_small.total_seconds
+        frac_big = t_big.launch_seconds / t_big.total_seconds
+        assert frac_small > 0.2
+        assert frac_big < 1e-3
+
+    def test_mismatch_slower_than_matched(self):
+        matched = simulate_gpu_kernel(gpu_kernel(layout=Layout.COL_MAJOR),
+                                      paper_launch("i"), A100, self.SH)
+        mismatched = simulate_gpu_kernel(gpu_kernel(layout=Layout.COL_MAJOR),
+                                         paper_launch("j"), A100, self.SH)
+        assert mismatched.total_seconds > 2 * matched.total_seconds
+
+    def test_thrash_penalty_applies_above_threshold(self):
+        profile = IssueProfile(thrash_threshold_bytes=1.0, thrash_factor=1.2)
+        base = simulate_gpu_kernel(gpu_kernel(), paper_launch("j"), A100,
+                                   self.SH)
+        thrashed = simulate_gpu_kernel(gpu_kernel(), paper_launch("j"), A100,
+                                       self.SH, profile)
+        assert thrashed.kernel_seconds == pytest.approx(
+            base.kernel_seconds * 1.2, rel=1e-6)
+
+    def test_waves_scale_with_problem(self):
+        small = simulate_gpu_kernel(gpu_kernel(), paper_launch("j"), A100,
+                                    MatrixShape.square(2048))
+        large = simulate_gpu_kernel(gpu_kernel(), paper_launch("j"), A100,
+                                    MatrixShape.square(8192))
+        assert large.waves == pytest.approx(16 * small.waves, rel=1e-6)
+
+    @given(st.sampled_from([256, 512, 1024, 2048, 4096]))
+    @settings(max_examples=10, deadline=None)
+    def test_gflops_below_peak(self, n):
+        sh = MatrixShape.square(n)
+        t = simulate_gpu_kernel(gpu_kernel(), paper_launch("j"), A100, sh)
+        assert 0 < t.gflops(sh) < A100.peak_gflops(Precision.FP64)
+
+
+class TestTransfers:
+    def test_transfer_estimate(self):
+        sh = MatrixShape.square(4096)
+        est = gemm_transfer_estimate(A100, sh, Precision.FP64)
+        assert est.h2d_bytes == 2 * 4096 * 4096 * 8
+        assert est.d2h_bytes == 4096 * 4096 * 8
+        assert est.h2d_seconds > est.d2h_seconds
+
+    def test_fp16_mixed_output(self):
+        sh = MatrixShape.square(128)
+        est = gemm_transfer_estimate(A100, sh, Precision.FP16)
+        assert est.h2d_bytes == 2 * 128 * 128 * 2   # half inputs
+        assert est.d2h_bytes == 128 * 128 * 4       # single output

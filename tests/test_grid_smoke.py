@@ -1,0 +1,83 @@
+"""Grid completeness: every (model, machine, precision) combination either
+simulates successfully or declines with a documented reason — no third
+outcome (crash, silent garbage) anywhere in the support matrix.
+
+Also covers Experiment round-trip serialisation.
+"""
+
+import pytest
+
+from repro.core.types import MatrixShape, Precision
+from repro.errors import ExperimentError
+from repro.gpu.warp_sim import simulate_gpu_kernel
+from repro.harness import Experiment, QUICK_SIZES
+from repro.machine import A100, AMPERE_ALTRA, EPYC_7A53, MI250X
+from repro.models import all_models
+from repro.sim.executor import simulate_cpu_kernel
+
+SHAPE = MatrixShape.square(1024)
+CPUS = (EPYC_7A53, AMPERE_ALTRA)
+GPUS = (MI250X, A100)
+PRECISIONS = (Precision.FP64, Precision.FP32, Precision.FP16)
+
+
+@pytest.mark.parametrize("model", all_models(include_extensions=True),
+                         ids=lambda m: m.name)
+@pytest.mark.parametrize("cpu", CPUS, ids=lambda c: c.name)
+@pytest.mark.parametrize("precision", PRECISIONS, ids=lambda p: p.value)
+def test_cpu_grid(model, cpu, precision):
+    support = model.supports(cpu, precision)
+    if not support.supported:
+        assert support.reason, (
+            f"{model.name} declines {cpu.name}/{precision.value} "
+            "without a reason")
+        return
+    low = model.lower_cpu(cpu, precision)
+    low.kernel.verify()
+    t = simulate_cpu_kernel(low.kernel, cpu, SHAPE, min(16, cpu.cores),
+                            pin=low.pin, profile=low.profile)
+    assert 0 < t.total_seconds < 3600
+    assert 0 < t.gflops(SHAPE) <= cpu.peak_gflops(precision)
+
+
+@pytest.mark.parametrize("model", all_models(include_extensions=True),
+                         ids=lambda m: m.name)
+@pytest.mark.parametrize("gpu", GPUS, ids=lambda g: g.name)
+@pytest.mark.parametrize("precision", PRECISIONS, ids=lambda p: p.value)
+def test_gpu_grid(model, gpu, precision):
+    support = model.supports(gpu, precision)
+    if not support.supported:
+        assert support.reason
+        return
+    low = model.lower_gpu(gpu, precision)
+    low.kernel.verify()
+    t = simulate_gpu_kernel(low.kernel, low.launch, gpu, SHAPE, low.profile)
+    assert 0 < t.total_seconds < 3600
+    assert 0 < t.gflops(SHAPE) < gpu.peak_gflops(precision)
+
+
+class TestExperimentSerialization:
+    def _exp(self):
+        from repro.core.types import DeviceKind
+        return Experiment(
+            exp_id="roundtrip", title="t", node_name="Wombat",
+            device=DeviceKind.GPU, precision=Precision.FP32,
+            models=("cuda", "julia"), sizes=(512, 1024), threads=None,
+            reps=7, seed=99, include_transfers=True)
+
+    def test_roundtrip(self):
+        exp = self._exp()
+        assert Experiment.from_dict(exp.to_dict()) == exp
+
+    def test_defaults_filled(self):
+        exp = Experiment.from_dict({
+            "exp_id": "min", "node": "Crusher", "models": ["c-openmp"]})
+        assert exp.precision is Precision.FP64
+        assert exp.sizes == QUICK_SIZES
+        assert exp.reps == 10
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ExperimentError):
+            Experiment.from_dict({
+                "exp_id": "x", "node": "Crusher", "models": ["julia"],
+                "repz": 3})  # typo must fail loudly

@@ -1,0 +1,151 @@
+"""Tests for IR analysis: instruction mixes and memory-reference info."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.types import Layout, MatrixShape, Precision
+from repro.ir import builder
+from repro.ir.analysis import (
+    StrideClass,
+    executions_of,
+    flop_count,
+    instruction_mix,
+    reference_info,
+)
+from repro.ir.passes import UnrollInnerLoop, VectorizeInnerLoop
+
+
+SHAPE = MatrixShape(32, 16, 8)
+
+
+class TestExecutions:
+    def test_inner_statement_runs_mnk_times(self):
+        k = builder.c_openmp_cpu(Precision.FP64)
+        assert executions_of(k, None, SHAPE) == 32 * 16 * 8
+
+    def test_hoisted_statement_runs_outer_product_times(self):
+        k = builder.c_openmp_cpu(Precision.FP64)  # order ikj; A hoisted above j
+        assert executions_of(k, "j", SHAPE) == 32 * 8
+
+    def test_hoisted_above_outermost(self):
+        k = builder.c_openmp_cpu(Precision.FP64)
+        assert executions_of(k, "i", SHAPE) == 1
+
+
+class TestInstructionMix:
+    def test_flops_always_2mnk(self):
+        k = builder.c_openmp_cpu(Precision.FP64)
+        assert instruction_mix(k, SHAPE).flops == flop_count(SHAPE) == 2 * 32 * 16 * 8
+
+    def test_vectorization_divides_fma_issues(self):
+        k = builder.c_openmp_cpu(Precision.FP64)
+        base = instruction_mix(k, SHAPE)
+        vec = instruction_mix(VectorizeInnerLoop(4).run(k), SHAPE)
+        assert vec.fma_issues == pytest.approx(base.fma_issues / 4)
+        assert vec.flops == base.flops  # work is invariant
+
+    def test_unroll_amortises_loop_control(self):
+        k = builder.c_openmp_cpu(Precision.FP64)
+        base = instruction_mix(k, SHAPE)
+        un = instruction_mix(UnrollInnerLoop(4).run(k), SHAPE)
+        assert un.branch_ops < base.branch_ops
+        assert un.fma_issues == base.fma_issues  # unroll alone keeps issues
+
+    def test_hoisted_loads_cheaper_than_inner(self):
+        k = builder.c_openmp_cpu(Precision.FP64)
+        mix = instruction_mix(k, SHAPE)
+        # loads: A hoisted (M*K) + B (M*N*K) + C (M*N*K)
+        expected = 32 * 8 + 2 * 32 * 16 * 8
+        assert mix.load_issues == pytest.approx(expected)
+
+    def test_gpu_guard_counted_once_per_thread(self):
+        k = builder.gpu_thread_per_element("g", Precision.FP64, Layout.ROW_MAJOR)
+        mix = instruction_mix(k, SHAPE)
+        assert mix.guard_ops == 32 * 16  # one per (i, j) thread
+
+    def test_reduction_chain_flag(self):
+        gpu = builder.gpu_thread_per_element("g", Precision.FP64, Layout.ROW_MAJOR)
+        cpu = builder.c_openmp_cpu(Precision.FP64)
+        assert instruction_mix(gpu, SHAPE).has_reduction_chain
+        assert not instruction_mix(cpu, SHAPE).has_reduction_chain
+
+    def test_fastmath_unroll_gives_accum_streams(self):
+        k = builder.gpu_thread_per_element("g", Precision.FP64, Layout.ROW_MAJOR)
+        k = k.replace(fastmath=True)
+        k4 = UnrollInnerLoop(4).run(k)
+        assert instruction_mix(k4, SHAPE).accum_streams == 4
+
+    def test_strict_fp_keeps_one_stream(self):
+        k = builder.gpu_thread_per_element("g", Precision.FP64, Layout.ROW_MAJOR)
+        k4 = UnrollInnerLoop(4).run(k)
+        assert instruction_mix(k4, SHAPE).accum_streams == 1
+
+    @given(st.integers(1, 64), st.integers(1, 64), st.integers(1, 64))
+    @settings(max_examples=25, deadline=None)
+    def test_issue_slots_bounded_below_by_fma(self, m, n, k):
+        shape = MatrixShape(m, n, k)
+        kern = builder.c_openmp_cpu(Precision.FP64)
+        mix = instruction_mix(kern, shape)
+        assert mix.issue_slots >= mix.fma_issues
+
+
+class TestReferenceInfo:
+    def test_c_openmp_stride_classes(self):
+        k = builder.c_openmp_cpu(Precision.FP64)
+        info = {(r.array, r.kind): r for r in reference_info(k, SHAPE)}
+        # row-major, inner loop j: B[k,j] and C[i,j] stream
+        assert info[("B", "load")].stride_class == StrideClass.UNIT
+        assert info[("C", "load")].stride_class == StrideClass.UNIT
+        assert info[("C", "store")].stride_class == StrideClass.UNIT
+
+    def test_julia_col_major_unit_strides(self):
+        k = builder.julia_threads_cpu(Precision.FP64)
+        info = {(r.array, r.kind): r for r in reference_info(k, SHAPE)}
+        # column-major, inner loop i: A[i,k] and C[i,j] stream down columns
+        assert info[("A", "load")].stride_class == StrideClass.UNIT
+        assert info[("C", "store")].stride_class == StrideClass.UNIT
+
+    def test_sharing_cpu(self):
+        """B is indexed (k,j); the i-threads all stream the same B."""
+        k = builder.c_openmp_cpu(Precision.FP64)
+        info = {(r.array, r.kind): r for r in reference_info(k, SHAPE)}
+        assert info[("B", "load")].shared_across_parallel
+        assert not info[("A", "load")].shared_across_parallel
+        assert not info[("C", "store")].shared_across_parallel
+
+    def test_sharing_gpu_both_operands(self):
+        """On a 2-D grid, A misses the j axis and B misses the i axis."""
+        k = builder.gpu_thread_per_element("g", Precision.FP64, Layout.ROW_MAJOR)
+        info = {(r.array, r.kind): r for r in reference_info(k, SHAPE)}
+        assert info[("A", "load")].shared_across_parallel
+        assert info[("B", "load")].shared_across_parallel
+        assert not info[("C", "store")].shared_across_parallel
+
+    def test_reuse_factor_b_is_m(self):
+        """In order ikj, the full B is re-swept once per i iteration."""
+        k = builder.c_openmp_cpu(Precision.FP64)
+        info = {(r.array, r.kind): r for r in reference_info(k, SHAPE)}
+        b = info[("B", "load")]
+        assert b.reuse_factor == SHAPE.m
+        assert b.reuse_working_set_bytes == SHAPE.k * SHAPE.n * 8
+
+    def test_c_row_reuse_small_ws(self):
+        """C[i,:] is re-touched per k with only a row-sized working set."""
+        k = builder.c_openmp_cpu(Precision.FP64)
+        info = {(r.array, r.kind): r for r in reference_info(k, SHAPE)}
+        c = info[("C", "load")]
+        assert c.reuse_factor == SHAPE.k
+        assert c.reuse_working_set_bytes == SHAPE.n * 8
+
+    def test_executions_and_footprint(self):
+        k = builder.c_openmp_cpu(Precision.FP64)
+        info = {(r.array, r.kind): r for r in reference_info(k, SHAPE)}
+        assert info[("A", "load")].executions == SHAPE.m * SHAPE.k  # hoisted
+        assert info[("B", "load")].distinct_elements == SHAPE.k * SHAPE.n
+
+    def test_fp16_output_bytes_are_fp32(self):
+        """Mixed precision: C is stored in FP32 even for FP16 inputs."""
+        k = builder.julia_threads_cpu(Precision.FP16)
+        info = {(r.array, r.kind): r for r in reference_info(k, SHAPE)}
+        assert info[("A", "load")].element_bytes == 2
+        assert info[("C", "store")].element_bytes == 4

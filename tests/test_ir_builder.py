@@ -1,0 +1,109 @@
+"""Tests for IR construction: the canonical Fig. 2 / Fig. 3 kernels."""
+
+import pytest
+
+from repro.core.types import Layout, Precision
+from repro.errors import IRVerificationError
+from repro.ir import builder
+from repro.ir.nodes import ParallelKind
+
+
+class TestBuildGemm:
+    def test_rejects_bad_order(self):
+        with pytest.raises(IRVerificationError):
+            builder.build_gemm("x", Precision.FP64, "ijq", Layout.ROW_MAJOR)
+
+    def test_rejects_unknown_parallel_var(self):
+        with pytest.raises(IRVerificationError):
+            builder.build_gemm("x", Precision.FP64, "ijk", Layout.ROW_MAJOR,
+                               parallel_vars=("z",))
+
+    def test_rejects_two_worksharing_loops(self):
+        with pytest.raises(IRVerificationError):
+            builder.build_gemm("x", Precision.FP64, "ijk", Layout.ROW_MAJOR,
+                               parallel_vars=("i", "j"))
+
+    def test_grid_vars_must_be_outermost(self):
+        with pytest.raises(IRVerificationError):
+            builder.build_gemm("x", Precision.FP64, "kij", Layout.ROW_MAJOR,
+                               parallel_vars=("i", "j"),
+                               parallel_kind=ParallelKind.GRID)
+
+    def test_scalar_accum_needs_k_innermost(self):
+        with pytest.raises(IRVerificationError):
+            builder.build_gemm("x", Precision.FP64, "ikj", Layout.ROW_MAJOR,
+                               scalar_accum=True)
+
+    def test_verify_passes_for_all_orders(self):
+        for order in ("ijk", "ikj", "jik", "jki", "kij", "kji"):
+            par = order[0] if order[0] != "k" else order[1]
+            k = builder.build_gemm("x", Precision.FP64, order,
+                                   Layout.ROW_MAJOR, parallel_vars=(par,))
+            k.verify()
+            assert k.loop_order == order
+
+
+class TestCanonicalKernels:
+    def test_c_openmp_shape(self):
+        """Fig. 2a: order ikj, temp = A[i,k] hoisted above j, RMW of C."""
+        k = builder.c_openmp_cpu(Precision.FP64)
+        assert k.loop_order == "ikj"
+        assert k.loops[0].parallel is ParallelKind.THREADS
+        hoists = {ld.ref.array: ld.hoisted_above for ld in k.body.loads}
+        assert hoists["A"] == "j"        # the temp variable
+        assert hoists["B"] is None
+        assert hoists["C"] is None       # read-modify-write
+        assert not k.scalar_accum
+        assert k.arrays[0].layout is Layout.ROW_MAJOR
+
+    def test_julia_shape(self):
+        """Fig. 2c: order jki, temp = B[k,j] hoisted above i, col-major."""
+        k = builder.julia_threads_cpu(Precision.FP32)
+        assert k.loop_order == "jki"
+        assert k.loop("j").parallel is ParallelKind.THREADS
+        hoists = {ld.ref.array: ld.hoisted_above for ld in k.body.loads}
+        assert hoists["B"] == "i"
+        assert k.arrays[0].layout is Layout.COL_MAJOR
+
+    def test_numba_shape(self):
+        """Fig. 2d: like C but with fastmath."""
+        k = builder.numba_cpu(Precision.FP64)
+        assert k.loop_order == "ikj"
+        assert k.fastmath
+
+    def test_kokkos_cpu_scalar_accum(self):
+        k = builder.kokkos_cpu(Precision.FP64)
+        assert k.loop_order == "ijk"
+        assert k.scalar_accum
+        # single store, sunk below the reduction loop
+        (store,) = k.body.stores
+        assert store.hoisted_above == "k"
+
+    def test_gpu_kernel_shape(self):
+        """Fig. 3: 2-D grid, guard above k, scalar accumulation."""
+        k = builder.gpu_thread_per_element("g", Precision.FP64, Layout.ROW_MAJOR)
+        assert [l.parallel for l in k.loops] == [
+            ParallelKind.GRID, ParallelKind.GRID, ParallelKind.SEQUENTIAL]
+        assert k.scalar_accum
+        (guard,) = k.body.guards
+        assert guard.hoisted_above == "k"
+        # C is not loaded: the accumulator lives in a register
+        assert {ld.ref.array for ld in k.body.loads} == {"A", "B"}
+
+    def test_gpu_kernel_column_major(self):
+        k = builder.gpu_thread_per_element("g", Precision.FP16, Layout.COL_MAJOR)
+        assert all(d.layout is Layout.COL_MAJOR for d in k.arrays)
+        assert k.precision is Precision.FP16
+
+
+class TestBoundsChecks:
+    def test_bounds_checked_kernel_has_guard_per_access(self):
+        k = builder.build_gemm("x", Precision.FP64, "ikj", Layout.ROW_MAJOR,
+                               bounds_checks=True)
+        # 3 loads + 1 store
+        assert len(k.body.guards) == 4
+        assert k.bounds_checked
+
+    def test_default_kernel_has_no_guards(self):
+        k = builder.c_openmp_cpu(Precision.FP64)
+        assert k.body.guards == ()

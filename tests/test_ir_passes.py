@@ -1,0 +1,164 @@
+"""Tests for the optimisation passes and the pass pipeline."""
+
+import pytest
+
+from repro.core.types import Layout, MatrixShape, Precision
+from repro.errors import IRVerificationError
+from repro.ir import builder
+from repro.ir.nodes import LoadOp, ParallelKind
+from repro.ir.passes import (
+    ElideBoundsChecks,
+    InsertBoundsChecks,
+    InterchangeLoops,
+    LoopInvariantMotion,
+    PassPipeline,
+    SetFastMath,
+    UnrollInnerLoop,
+    VectorizeInnerLoop,
+    vectorization_legal,
+)
+
+
+def _unhoisted_c_kernel():
+    """The C kernel with hoisting stripped (what LICM should restore)."""
+    k = builder.build_gemm("raw", Precision.FP64, "ikj", Layout.ROW_MAJOR,
+                           hoist_invariant=False)
+    return k
+
+
+class TestLICM:
+    def test_hoists_invariant_load(self):
+        k = _unhoisted_c_kernel()
+        assert all(ld.hoisted_above is None for ld in k.body.loads)
+        out = LoopInvariantMotion().run(k)
+        hoists = {ld.ref.array: ld.hoisted_above for ld in out.body.loads}
+        assert hoists["A"] == "j"   # invariant in the inner j loop
+        assert hoists["B"] is None
+        assert hoists["C"] is None
+
+    def test_idempotent(self):
+        k = LoopInvariantMotion().run(_unhoisted_c_kernel())
+        assert LoopInvariantMotion().run(k) == k
+
+    def test_sinks_store_only_for_scalar_accum(self):
+        rmw = _unhoisted_c_kernel()
+        out = LoopInvariantMotion().run(rmw)
+        assert out.body.stores[0].hoisted_above is None  # observable writes
+
+        accum = builder.build_gemm("a", Precision.FP64, "ijk", Layout.ROW_MAJOR,
+                                   hoist_invariant=False, scalar_accum=True)
+        out = LoopInvariantMotion().run(accum)
+        assert out.body.stores[0].hoisted_above == "k"
+
+
+class TestUnroll:
+    def test_sets_factor(self):
+        k = UnrollInnerLoop(4).run(builder.c_openmp_cpu(Precision.FP64))
+        assert k.inner.unroll == 4
+
+    def test_rejects_zero(self):
+        with pytest.raises(IRVerificationError):
+            UnrollInnerLoop(0)
+
+    def test_noop_when_same(self):
+        k = UnrollInnerLoop(4).run(builder.c_openmp_cpu(Precision.FP64))
+        assert UnrollInnerLoop(4).run(k) == k
+
+
+class TestVectorize:
+    def test_legal_on_independent_inner_loop(self):
+        k = builder.c_openmp_cpu(Precision.FP64)
+        ok, why = vectorization_legal(k)
+        assert ok, why
+        assert VectorizeInnerLoop(4).run(k).inner.vector_width == 4
+
+    def test_blocked_by_strict_fp_reduction(self):
+        """A k-innermost scalar accumulation cannot vectorise without
+        fastmath: reassociation is illegal."""
+        k = builder.kokkos_cpu(Precision.FP64)
+        ok, why = vectorization_legal(k)
+        assert not ok and "fastmath" in why
+        assert VectorizeInnerLoop(4).run(k).inner.vector_width == 1
+
+    def test_fastmath_unblocks_reduction(self):
+        k = SetFastMath(True).run(builder.kokkos_cpu(Precision.FP64))
+        ok, _ = vectorization_legal(k)
+        assert ok
+        assert VectorizeInnerLoop(8).run(k).inner.vector_width == 8
+
+    def test_blocked_by_inner_bounds_checks(self):
+        """Julia without @inbounds: per-access guards kill vectorisation."""
+        k = builder.build_gemm("jl", Precision.FP64, "jki", Layout.COL_MAJOR,
+                               parallel_vars=("j",), bounds_checks=True)
+        ok, why = vectorization_legal(k)
+        assert not ok and "bounds" in why
+        assert VectorizeInnerLoop(4).run(k).inner.vector_width == 1
+
+    def test_force_overrides_legality(self):
+        k = builder.kokkos_cpu(Precision.FP64)
+        assert VectorizeInnerLoop(4, force=True).run(k).inner.vector_width == 4
+
+
+class TestBoundsChecks:
+    def test_insert_then_elide_roundtrip(self):
+        k = builder.c_openmp_cpu(Precision.FP64)
+        checked = InsertBoundsChecks().run(k)
+        assert checked.bounds_checked
+        assert len(checked.body.guards) == 4  # 3 loads + 1 store
+        clean = ElideBoundsChecks().run(checked)
+        assert not clean.bounds_checked
+        assert clean.body.guards == ()
+
+    def test_elide_keeps_grid_guard(self):
+        """The GPU range guard is control flow, not a safety check."""
+        k = builder.gpu_thread_per_element("g", Precision.FP64, Layout.ROW_MAJOR)
+        out = ElideBoundsChecks().run(k)
+        assert len(out.body.guards) == 1
+
+
+class TestInterchange:
+    def test_permutes_and_rehoists(self):
+        k = builder.c_openmp_cpu(Precision.FP64)  # ikj
+        out = InterchangeLoops("ijk").run(k)
+        assert out.loop_order == "ijk"
+        out.verify()
+        # hoisting recomputed for the new order: nothing is invariant in k
+        hoists = {ld.ref.array: ld.hoisted_above for ld in out.body.loads}
+        assert hoists["C"] == "k"  # C[i,j] invariant in new inner loop k
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(IRVerificationError):
+            InterchangeLoops("iik").run(builder.c_openmp_cpu(Precision.FP64))
+
+    def test_rejects_burying_parallel_loop(self):
+        k = builder.c_openmp_cpu(Precision.FP64)  # i is the worksharing loop
+        with pytest.raises(IRVerificationError):
+            InterchangeLoops("kij").run(k)
+
+    def test_rejects_hoisting_reduction_of_accumulator(self):
+        k = builder.kokkos_cpu(Precision.FP64)  # scalar accum over k
+        with pytest.raises(IRVerificationError):
+            InterchangeLoops("ikj").run(k)
+
+    def test_resets_unroll_and_vector(self):
+        k = UnrollInnerLoop(4).run(builder.c_openmp_cpu(Precision.FP64))
+        out = InterchangeLoops("ijk").run(k)
+        assert out.inner.unroll == 1
+
+
+class TestPipeline:
+    def test_runs_in_order_and_verifies(self):
+        pipe = PassPipeline([
+            LoopInvariantMotion(),
+            VectorizeInnerLoop(4),
+            UnrollInnerLoop(4),
+        ])
+        k, records = pipe.run(_unhoisted_c_kernel())
+        assert [r.name for r in records] == ["licm", "vectorize", "unroll"]
+        assert k.inner.vector_width == 4 and k.inner.unroll == 4
+        assert records[0].changed
+
+    def test_describe(self):
+        pipe = PassPipeline([SetFastMath(True), UnrollInnerLoop(2)])
+        assert pipe.describe() == "fastmath -> unroll"
+        assert PassPipeline().describe() == "(empty)"

@@ -1,0 +1,160 @@
+"""Tests for the real, runnable GEMM kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arrays.random import FillPolicy, make_gemm_operands
+from repro.core.types import Layout, MatrixShape, Precision
+from repro.errors import KernelValidationError
+from repro.kernels import (
+    LOOP_ORDERS,
+    gemm_blocked,
+    gemm_colwise,
+    gemm_dot_rows,
+    gemm_ijk_accum,
+    gemm_outer,
+    gemm_rowwise,
+    naive_gemm,
+    pick_block_size,
+    reference_gemm,
+    tolerance_for,
+    validate_kernel,
+)
+
+SMALL = MatrixShape(9, 7, 11)
+
+shapes = st.tuples(st.integers(1, 12), st.integers(1, 12), st.integers(1, 12))
+
+
+class TestNaiveOrders:
+    @pytest.mark.parametrize("order", sorted(LOOP_ORDERS))
+    def test_order_matches_reference(self, order):
+        validate_kernel(LOOP_ORDERS[order], SMALL)
+
+    @pytest.mark.parametrize("order", sorted(LOOP_ORDERS))
+    def test_order_col_major(self, order):
+        validate_kernel(LOOP_ORDERS[order], SMALL, layout=Layout.COL_MAJOR)
+
+    def test_accumulating_semantics(self):
+        """CPU kernels accumulate into a non-zero C."""
+        a, b, c = make_gemm_operands(4, 4, 4, Precision.FP64,
+                                     Layout.ROW_MAJOR, FillPolicy(seed=3))
+        c[:] = 1.0
+        naive_gemm("ikj", a, b, c)
+        expected = 1.0 + reference_gemm(a, b, Precision.FP64)
+        np.testing.assert_allclose(c, expected, rtol=1e-12)
+
+    def test_accum_kernel_overwrites(self):
+        """The GPU-style kernel stores, not accumulates."""
+        a, b, c = make_gemm_operands(4, 4, 4, Precision.FP64,
+                                     Layout.ROW_MAJOR, FillPolicy(seed=3))
+        c[:] = 123.0
+        gemm_ijk_accum(a, b, c)
+        np.testing.assert_allclose(c, reference_gemm(a, b, Precision.FP64),
+                                   rtol=1e-12)
+
+    def test_unknown_order_rejected(self):
+        a, b, c = make_gemm_operands(2, 2, 2, Precision.FP64,
+                                     Layout.ROW_MAJOR, FillPolicy(seed=3))
+        with pytest.raises(ValueError):
+            naive_gemm("abc", a, b, c)
+
+    def test_shape_mismatch_rejected(self):
+        a = np.zeros((2, 3))
+        b = np.zeros((4, 2))  # K mismatch
+        c = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            naive_gemm("ijk", a, b, c)
+
+    @given(shapes)
+    @settings(max_examples=15, deadline=None)
+    def test_all_orders_agree(self, dims):
+        """Loop interchange is semantics-preserving on real data."""
+        m, n, k = dims
+        a, b, c0 = make_gemm_operands(m, n, k, Precision.FP64,
+                                      Layout.ROW_MAJOR, FillPolicy(seed=9))
+        results = []
+        for order, fn in sorted(LOOP_ORDERS.items()):
+            c = c0.copy()
+            fn(a, b, c)
+            results.append(c)
+        for c in results[1:]:
+            np.testing.assert_allclose(c, results[0], rtol=1e-10)
+
+
+class TestVectorizedKernels:
+    @pytest.mark.parametrize("fn", [gemm_rowwise, gemm_colwise, gemm_outer,
+                                    gemm_dot_rows])
+    def test_matches_reference(self, fn):
+        validate_kernel(fn, MatrixShape(33, 17, 21), Precision.FP32)
+
+    @pytest.mark.parametrize("fn", [gemm_rowwise, gemm_colwise])
+    def test_layouts(self, fn):
+        validate_kernel(fn, MatrixShape(16, 16, 16), layout=Layout.COL_MAJOR)
+
+
+class TestBlocked:
+    @pytest.mark.parametrize("block", [1, 3, 8, 64])
+    def test_blocked_matches(self, block):
+        validate_kernel(lambda a, b, c: gemm_blocked(a, b, c, block),
+                        MatrixShape(33, 17, 21))
+
+    def test_rejects_zero_block(self):
+        a, b, c = make_gemm_operands(2, 2, 2, Precision.FP64,
+                                     Layout.ROW_MAJOR, FillPolicy(seed=3))
+        with pytest.raises(ValueError):
+            gemm_blocked(a, b, c, 0)
+
+    def test_pick_block_size(self):
+        # 32 KiB L1, fp64: 3 * b^2 * 8 <= 32768 -> b <= 36 -> 32
+        assert pick_block_size(32 * 1024, 8) == 32
+
+    def test_pick_block_size_floor(self):
+        assert pick_block_size(100, 8) == 8  # never below 8
+
+    def test_pick_block_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            pick_block_size(0, 8)
+
+
+class TestPrecisionPaths:
+    def test_fp16_accumulates_in_fp32(self):
+        a, b, c = make_gemm_operands(8, 8, 8, Precision.FP16,
+                                     Layout.ROW_MAJOR, FillPolicy(seed=5))
+        assert c.dtype == np.float32
+        naive_gemm("ikj", a, b, c)
+        expected = reference_gemm(a, b, Precision.FP16)
+        rtol = tolerance_for(Precision.FP16, 8)
+        np.testing.assert_allclose(c, expected, rtol=rtol)
+
+    def test_ones_fp16_exact(self):
+        """The Numba fallback: all-ones inputs give C == K exactly."""
+        a, b, c = make_gemm_operands(8, 8, 16, Precision.FP16,
+                                     Layout.ROW_MAJOR,
+                                     FillPolicy(random_fp16=False))
+        naive_gemm("ikj", a, b, c)
+        assert np.all(c == 16.0)
+
+    def test_validation_catches_wrong_kernel(self):
+        def broken(a, b, c):
+            c += (a @ b) * 1.01  # 1% error
+
+        with pytest.raises(KernelValidationError):
+            validate_kernel(broken, MatrixShape(8, 8, 8))
+
+    def test_validation_catches_nan(self):
+        def nan_kernel(a, b, c):
+            c[:] = np.nan
+
+        with pytest.raises(KernelValidationError):
+            validate_kernel(nan_kernel, MatrixShape(4, 4, 4),
+                            accumulates=False)
+
+    def test_tolerance_grows_with_k(self):
+        assert tolerance_for(Precision.FP64, 10000) > tolerance_for(Precision.FP64, 10)
+
+    def test_tolerance_ordering(self):
+        assert (tolerance_for(Precision.FP16, 64)
+                > tolerance_for(Precision.FP32, 64)
+                > tolerance_for(Precision.FP64, 64))

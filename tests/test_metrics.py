@@ -1,0 +1,96 @@
+"""Tests for the performance-portability metrics (Eq. (1) and alternatives)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.metrics import (
+    metric_comparison,
+    phi_marowka,
+    phi_paper,
+    pp_pennycook,
+)
+
+effs = st.lists(
+    st.one_of(st.none(), st.floats(0.01, 1.2)), min_size=1, max_size=8)
+
+
+class TestPhiPaper:
+    def test_table3_numba_fp64_row(self):
+        """The paper's own arithmetic: (0.550+0.713+0+0.130)/4 = 0.348."""
+        phi = phi_paper([0.550, 0.713, None, 0.130])
+        assert phi == pytest.approx(0.348, abs=0.0005)
+
+    def test_table3_kokkos_fp64_row(self):
+        phi = phi_paper([0.994, 0.854, 0.842, 0.260])
+        assert phi == pytest.approx(0.738, abs=0.001)
+
+    def test_table3_julia_fp32_row(self):
+        phi = phi_paper([0.976, 0.900, 1.050, 0.600])
+        assert phi == pytest.approx(0.882, abs=0.001)
+
+    def test_all_supported_is_plain_mean(self):
+        assert phi_paper([0.5, 1.0]) == pytest.approx(0.75)
+
+    def test_all_unsupported_is_zero(self):
+        assert phi_paper([None, None]) == 0.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            phi_paper([])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            phi_paper([-0.1])
+
+
+class TestPennycook:
+    def test_zero_if_any_unsupported(self):
+        """The strict PP definition: fails anywhere -> 0."""
+        assert pp_pennycook([0.9, None, 0.8]) == 0.0
+        assert pp_pennycook([0.9, 0.0, 0.8]) == 0.0
+
+    def test_harmonic_mean(self):
+        assert pp_pennycook([0.5, 1.0]) == pytest.approx(2 / 3)
+
+    def test_uniform(self):
+        assert pp_pennycook([0.8, 0.8, 0.8]) == pytest.approx(0.8)
+
+
+class TestMarowka:
+    def test_shrinks_platform_set(self):
+        """Unsupported platforms shrink |T| rather than zeroing."""
+        assert phi_marowka([0.5, None, 1.0]) == pytest.approx(0.75)
+
+    def test_all_unsupported(self):
+        assert phi_marowka([None, None]) == 0.0
+
+
+class TestRelationships:
+    @given(effs)
+    def test_paper_le_marowka(self, es):
+        """Counting unsupported as 0 can only lower the mean."""
+        assert phi_paper(es) <= phi_marowka(es) + 1e-12
+
+    @given(st.lists(st.floats(0.01, 1.2), min_size=1, max_size=8))
+    def test_harmonic_le_arithmetic(self, es):
+        """AM-HM inequality on fully supported sets."""
+        assert pp_pennycook(es) <= phi_paper(es) + 1e-12
+
+    @given(st.lists(st.floats(0.01, 1.2), min_size=1, max_size=8))
+    def test_bounds(self, es):
+        for value in metric_comparison(es).values():
+            assert 0.0 <= value <= max(es) + 1e-12
+
+    @given(effs)
+    def test_comparison_keys(self, es):
+        cmp = metric_comparison(es)
+        assert set(cmp) == {"phi_paper", "pp_pennycook", "phi_marowka"}
+
+    def test_paper_ranking_reproduced(self):
+        """Julia > Kokkos > Numba under the paper metric, both precisions."""
+        fp64 = {
+            "kokkos": phi_paper([0.994, 0.854, 0.842, 0.260]),
+            "julia": phi_paper([0.912, 0.907, 0.903, 0.867]),
+            "numba": phi_paper([0.550, 0.713, None, 0.130]),
+        }
+        assert fp64["julia"] > fp64["kokkos"] > fp64["numba"]

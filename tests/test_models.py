@@ -1,0 +1,207 @@
+"""Tests for the programming-model frontends: support matrix and lowerings."""
+
+import pytest
+
+from repro.arrays.random import FillPolicy
+from repro.config import RunConfig
+from repro.core.types import DeviceKind, Layout, Precision
+from repro.errors import UnsupportedConfigurationError
+from repro.machine import A100, AMPERE_ALTRA, EPYC_7A53, MI250X
+from repro.models import (
+    all_models,
+    model_by_name,
+    portable_models,
+    reference_model_for,
+)
+from repro.sched.affinity import PinPolicy
+
+
+class TestRegistry:
+    def test_all_six_models(self):
+        names = {m.name for m in all_models()}
+        assert names == {"c-openmp", "cuda", "hip", "kokkos", "julia", "numba"}
+
+    def test_portable_excludes_references(self):
+        names = {m.name for m in portable_models()}
+        assert names == {"kokkos", "julia", "numba"}
+
+    def test_reference_resolution(self):
+        """Sec. V: C/OpenMP for CPUs, CUDA for NVIDIA, HIP for AMD GPUs."""
+        assert reference_model_for(EPYC_7A53).name == "c-openmp"
+        assert reference_model_for(AMPERE_ALTRA).name == "c-openmp"
+        assert reference_model_for(A100).name == "cuda"
+        assert reference_model_for(MI250X).name == "hip"
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            model_by_name("chapel")
+
+
+class TestSupportMatrix:
+    """The paper's support gaps, one by one."""
+
+    def test_numba_amd_gpu_deprecated(self):
+        s = model_by_name("numba").supports(MI250X, Precision.FP64)
+        assert not s.supported
+        assert "deprecated" in s.reason
+
+    def test_numba_cpu_fp16_unsupported(self):
+        s = model_by_name("numba").supports(EPYC_7A53, Precision.FP16)
+        assert not s.supported
+
+    def test_numba_gpu_fp16_runs_with_ones(self):
+        s = model_by_name("numba").supports(A100, Precision.FP16)
+        assert s.supported
+        assert "ones" in s.reason
+
+    def test_julia_fp16_everywhere(self):
+        julia = model_by_name("julia")
+        for target in (A100, MI250X, AMPERE_ALTRA, EPYC_7A53):
+            assert julia.supports(target, Precision.FP16).supported
+
+    def test_julia_fp16_degraded_on_x86(self):
+        """'Very low performance on Crusher AMD CPUs (not reported)'."""
+        julia = model_by_name("julia")
+        assert julia.supports(EPYC_7A53, Precision.FP16).degraded
+        assert not julia.supports(AMPERE_ALTRA, Precision.FP16).degraded
+
+    def test_kokkos_no_fp16(self):
+        kokkos = model_by_name("kokkos")
+        for target in (A100, MI250X, EPYC_7A53):
+            assert not kokkos.supports(target, Precision.FP16).supported
+
+    def test_vendor_models_own_their_platform(self):
+        assert not model_by_name("cuda").supports(MI250X, Precision.FP64).supported
+        assert not model_by_name("hip").supports(A100, Precision.FP64).supported
+        assert not model_by_name("c-openmp").supports(A100, Precision.FP64).supported
+
+    def test_require_support_raises(self):
+        with pytest.raises(UnsupportedConfigurationError):
+            model_by_name("numba").require_support(MI250X, Precision.FP64)
+
+
+class TestCPULowerings:
+    def test_c_openmp_vectorizes_to_simd_width(self):
+        low = model_by_name("c-openmp").lower_cpu(EPYC_7A53, Precision.FP64)
+        assert low.kernel.inner.vector_width == 4   # 256-bit AVX2 fp64
+        assert low.kernel.inner.unroll == 4
+        assert low.pin is PinPolicy.COMPACT
+
+    def test_c_openmp_fp32_wider(self):
+        low = model_by_name("c-openmp").lower_cpu(EPYC_7A53, Precision.FP32)
+        assert low.kernel.inner.vector_width == 8
+
+    def test_julia_column_major_jki(self):
+        low = model_by_name("julia").lower_cpu(EPYC_7A53, Precision.FP64)
+        assert low.kernel.loop_order == "jki"
+        assert low.layout is Layout.COL_MAJOR
+        assert low.pin is PinPolicy.COMPACT  # JULIA_EXCLUSIVE=1
+
+    def test_julia_fp16_softfloat_on_epyc(self):
+        low = model_by_name("julia").lower_cpu(EPYC_7A53, Precision.FP16)
+        assert low.kernel.inner.vector_width == 1  # scalar fallback
+        assert low.profile.issue_multiplier > 10   # "very low performance"
+
+    def test_julia_fp16_native_on_altra(self):
+        low = model_by_name("julia").lower_cpu(AMPERE_ALTRA, Precision.FP16)
+        assert low.kernel.inner.vector_width == 8  # native FMLA lanes
+
+    def test_numba_never_pins(self):
+        """Even a pin-requesting config cannot pin Numba threads."""
+        cfg = RunConfig({"OMP_PROC_BIND": "true", "NUMBA_NUM_THREADS": "64"})
+        low = model_by_name("numba").lower_cpu(EPYC_7A53, Precision.FP64, cfg)
+        assert low.pin is PinPolicy.NONE
+        assert low.threads == 64
+
+    def test_numba_fastmath(self):
+        low = model_by_name("numba").lower_cpu(EPYC_7A53, Precision.FP64)
+        assert low.kernel.fastmath
+
+    def test_kokkos_cpu_matches_c_structure(self):
+        low = model_by_name("kokkos").lower_cpu(EPYC_7A53, Precision.FP64)
+        ref = model_by_name("c-openmp").lower_cpu(EPYC_7A53, Precision.FP64)
+        assert low.kernel.loop_order == ref.kernel.loop_order
+
+    def test_threads_respect_config(self):
+        cfg = RunConfig.julia(17)
+        low = model_by_name("julia").lower_cpu(EPYC_7A53, Precision.FP64, cfg)
+        assert low.threads == 17
+
+
+class TestGPULowerings:
+    def test_cuda_unrolls_4(self):
+        """The nvcc PTX observation (Sec. IV-B)."""
+        low = model_by_name("cuda").lower_gpu(A100, Precision.FP64)
+        assert low.kernel.inner.unroll == 4
+        assert low.launch.x_axis == "j"
+
+    def test_cudajl_unrolls_2(self):
+        """The CUDA.jl PTX observation (Sec. IV-B)."""
+        low = model_by_name("julia").lower_gpu(A100, Precision.FP64)
+        assert low.kernel.inner.unroll == 2
+        assert low.launch.x_axis == "i"  # column-major arrays
+        assert low.layout is Layout.COL_MAJOR
+
+    def test_numba_rolled_loop(self):
+        low = model_by_name("numba").lower_gpu(A100, Precision.FP64)
+        assert low.kernel.inner.unroll == 1
+        assert low.profile.extra_int_per_iter > 10
+
+    def test_kokkos_cuda_mapping_mismatch(self):
+        """LayoutLeft data + x on j: the strided-access failure mode."""
+        low = model_by_name("kokkos").lower_gpu(A100, Precision.FP64)
+        assert low.layout is Layout.COL_MAJOR
+        assert low.launch.x_axis == "j"
+
+    def test_kokkos_hip_mapping_matches(self):
+        low = model_by_name("kokkos").lower_gpu(MI250X, Precision.FP64)
+        assert low.launch.x_axis == "i"
+        assert low.profile.thrash_factor > 1.0
+
+    def test_all_blocks_are_32x32(self):
+        """Figs. 6-7: every GPU run uses 32x32 thread blocks."""
+        for name, gpu in (("cuda", A100), ("julia", A100), ("numba", A100),
+                          ("kokkos", A100), ("hip", MI250X), ("julia", MI250X),
+                          ("kokkos", MI250X)):
+            low = model_by_name(name).lower_gpu(gpu, Precision.FP64)
+            assert (low.launch.block_x, low.launch.block_y) == (32, 32)
+
+
+class TestFillPolicies:
+    def test_julia_generates_fp16_randoms(self):
+        low = model_by_name("julia").lower_gpu(A100, Precision.FP16)
+        assert low.fill.random_fp16
+
+    def test_numba_fills_ones_for_fp16(self):
+        low = model_by_name("numba").lower_gpu(A100, Precision.FP16)
+        assert not low.fill.random_fp16
+
+
+class TestProductivity:
+    def test_dynamic_languages_shortest(self):
+        """Julia and Numba kernels are the most compact (Sec. V prose);
+        line counts come from the paper's actual listings."""
+        lines = {m.name: m.productivity(DeviceKind.CPU).total_lines
+                 for m in all_models()}
+        for dynamic in ("julia", "numba"):
+            for compiled in ("c-openmp", "kokkos"):
+                assert lines[dynamic] < lines[compiled]
+
+    def test_kernel_lines_match_listings(self):
+        from repro.models.listings import kernel_line_count
+        for m in all_models():
+            for device in (DeviceKind.CPU, DeviceKind.GPU):
+                counted = kernel_line_count(m.name, device)
+                if counted is not None:
+                    assert m.productivity(device).kernel_lines == counted
+
+    def test_kokkos_heaviest_ceremony(self):
+        ceremony = {m.name: m.productivity(DeviceKind.GPU).ceremony_lines
+                    for m in all_models()}
+        assert ceremony["kokkos"] == max(ceremony.values())
+
+    def test_jit_models_have_warmup(self):
+        for name in ("julia", "numba"):
+            info = model_by_name(name).productivity(DeviceKind.GPU)
+            assert info.jit_warmup_seconds > 0
+            assert not info.needs_compile_step

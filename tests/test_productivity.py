@@ -1,0 +1,51 @@
+"""Tests for the productivity metrics (Sec. V qualitative discussion)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.productivity import code_divergence, productivity_report
+from repro.models import all_models
+
+
+class TestCodeDivergence:
+    def test_single_source_zero(self):
+        assert code_divergence([20]) == 0.0
+        assert code_divergence([20, 20, 20]) == 0.0
+
+    def test_known_value(self):
+        # |10-20|/20 = 0.5
+        assert code_divergence([10, 20]) == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            code_divergence([])
+
+    @given(st.lists(st.integers(1, 1000), min_size=1, max_size=8))
+    def test_bounded(self, lines):
+        d = code_divergence(lines)
+        assert 0.0 <= d < 1.0
+
+    @given(st.lists(st.integers(1, 1000), min_size=2, max_size=8))
+    def test_permutation_invariant(self, lines):
+        assert code_divergence(lines) == pytest.approx(
+            code_divergence(list(reversed(lines))))
+
+
+class TestReport:
+    def test_one_row_per_model(self):
+        rows = productivity_report(all_models())
+        assert len(rows) == len(all_models())
+
+    def test_compiled_vs_jit(self):
+        rows = {r.model: r for r in productivity_report(all_models())}
+        assert rows["C/OpenMP"].needs_compile_step
+        assert rows["Kokkos"].needs_compile_step
+        assert not rows["Julia"].needs_compile_step
+        assert not rows["Python/Numba"].needs_compile_step
+
+    def test_dynamic_languages_shortest(self):
+        """The paper's productivity claim: Julia/Numba kernels are the
+        most compact; Kokkos carries the most ceremony."""
+        rows = {r.model: r for r in productivity_report(all_models())}
+        assert rows["Julia"].total_lines < rows["Kokkos"].total_lines
+        assert rows["Python/Numba"].total_lines < rows["Kokkos"].total_lines

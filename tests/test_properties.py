@@ -1,0 +1,171 @@
+"""Cross-cutting property-based tests over the simulation stack.
+
+Invariants that must hold for *any* configuration, checked with
+hypothesis: work conservation, monotonicity in resources, determinism,
+and agreement between analysis layers.
+"""
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core.types import Layout, MatrixShape, Precision
+from repro.gpu import paper_launch, simulate_gpu_kernel
+from repro.ir import builder
+from repro.ir.analysis import instruction_mix, reference_info
+from repro.ir.passes import InterchangeLoops, UnrollInnerLoop, VectorizeInnerLoop
+from repro.machine import A100, AMPERE_ALTRA, EPYC_7A53, MI250X
+from repro.sched.affinity import PinPolicy
+from repro.sim.executor import cpu_cycles_total, simulate_cpu_kernel
+
+shapes = st.builds(
+    MatrixShape,
+    st.integers(16, 512), st.integers(16, 512), st.integers(16, 512))
+
+precisions = st.sampled_from([Precision.FP64, Precision.FP32, Precision.FP16])
+
+
+class TestMixInvariants:
+    @given(shapes, precisions)
+    @settings(max_examples=40, deadline=None)
+    def test_flops_invariant_under_lowering(self, shape, precision):
+        """No pass changes the arithmetic work."""
+        k = builder.c_openmp_cpu(precision)
+        base = instruction_mix(k, shape).flops
+        for transform in (VectorizeInnerLoop(4), UnrollInnerLoop(8)):
+            k = transform.run(k)
+        assert instruction_mix(k, shape).flops == base == shape.flops
+
+    @given(shapes)
+    @settings(max_examples=30, deadline=None)
+    def test_interchange_preserves_totals(self, shape):
+        """Loop interchange preserves the number of element accesses of
+        every reference (only their placement changes)."""
+        k = builder.c_openmp_cpu(Precision.FP64)
+        swapped = InterchangeLoops("ijk").run(k)
+
+        def access_totals(kern):
+            return sorted(
+                (r.array, r.kind, r.distinct_elements)
+                for r in reference_info(kern, shape))
+
+        # footprints (distinct elements) must be identical; execution
+        # counts may legitimately change with hoisting opportunities
+        assert access_totals(k) == access_totals(swapped)
+
+    @given(shapes, st.integers(1, 16))
+    @settings(max_examples=30, deadline=None)
+    def test_vector_width_never_increases_issues(self, shape, w):
+        k = builder.c_openmp_cpu(Precision.FP64)
+        kv = VectorizeInnerLoop(w).run(k)
+        base = instruction_mix(k, shape)
+        vec = instruction_mix(kv, shape)
+        assert vec.fma_issues <= base.fma_issues
+        assert vec.issue_slots <= base.issue_slots
+
+
+class TestCPUSimInvariants:
+    def _kernel(self, cpu, precision=Precision.FP64):
+        k = builder.c_openmp_cpu(precision)
+        k = VectorizeInnerLoop(cpu.simd_lanes(precision)).run(k)
+        return UnrollInnerLoop(4).run(k)
+
+    @given(st.sampled_from([512, 1024, 2048]), st.integers(1, 64))
+    @settings(max_examples=25, deadline=None)
+    def test_more_threads_never_slower(self, n, threads):
+        """For a compute-bound kernel at non-trivial sizes, adding threads
+        (up to the core count) never increases simulated time.  (At tiny
+        sizes this is genuinely false — the barrier cost of extra threads
+        outgrows the compute savings — which test_small_problem_scaling
+        in the scaling bench pins from the other side.)"""
+        cpu = EPYC_7A53
+        k = self._kernel(cpu)
+        shape = MatrixShape.square(n)
+        t1 = simulate_cpu_kernel(k, cpu, shape, threads).total_seconds
+        t2 = simulate_cpu_kernel(k, cpu, shape, min(64, threads * 2)).total_seconds
+        assert t2 <= t1 * 1.01
+
+    @given(st.sampled_from([EPYC_7A53, AMPERE_ALTRA]), precisions)
+    @settings(max_examples=12, deadline=None)
+    def test_gflops_bounded_by_peak(self, cpu, precision):
+        k = self._kernel(cpu, precision)
+        shape = MatrixShape.square(512)
+        t = simulate_cpu_kernel(k, cpu, shape, cpu.cores)
+        assert 0 < t.gflops(shape) <= cpu.peak_gflops(precision)
+
+    @given(st.integers(64, 2048))
+    @settings(max_examples=20, deadline=None)
+    def test_time_scales_superlinearly_with_n(self, n):
+        """Doubling n multiplies work by 8: time must grow by at least the
+        compute factor (minus constant overheads)."""
+        cpu = EPYC_7A53
+        k = self._kernel(cpu)
+        t1 = simulate_cpu_kernel(k, cpu, MatrixShape.square(n), 64)
+        t2 = simulate_cpu_kernel(k, cpu, MatrixShape.square(2 * n), 64)
+        assert t2.total_seconds > 4 * (t1.total_seconds
+                                       - t1.fork_join_seconds)
+
+    @given(st.floats(1.0, 10.0))
+    @settings(max_examples=15, deadline=None)
+    def test_cycles_monotone_in_quality_factor(self, mult):
+        from repro.sim.executor import CPUIssueProfile
+        cpu = EPYC_7A53
+        k = self._kernel(cpu)
+        shape = MatrixShape.square(256)
+        base = cpu_cycles_total(k, shape, cpu)
+        scaled = cpu_cycles_total(k, shape, cpu,
+                                  CPUIssueProfile(issue_multiplier=mult))
+        assert scaled == pytest.approx(base * mult)
+
+    def test_determinism(self):
+        cpu = EPYC_7A53
+        k = self._kernel(cpu)
+        shape = MatrixShape.square(512)
+        a = simulate_cpu_kernel(k, cpu, shape, 64)
+        b = simulate_cpu_kernel(k, cpu, shape, 64)
+        assert a == b
+
+
+class TestGPUSimInvariants:
+    def _kernel(self, precision=Precision.FP64):
+        k = builder.gpu_thread_per_element("g", precision, Layout.ROW_MAJOR)
+        return UnrollInnerLoop(4).run(k)
+
+    @given(st.sampled_from([A100, MI250X]), precisions,
+           st.sampled_from([256, 1024, 4096]))
+    @settings(max_examples=20, deadline=None)
+    def test_gflops_bounded_by_peak(self, gpu, precision, n):
+        shape = MatrixShape.square(n)
+        t = simulate_gpu_kernel(self._kernel(precision), paper_launch("j"),
+                                gpu, shape)
+        assert 0 < t.gflops(shape) < gpu.peak_gflops(precision)
+
+    @given(st.integers(128, 4096))
+    @settings(max_examples=20, deadline=None)
+    def test_time_monotone_in_size(self, n):
+        t1 = simulate_gpu_kernel(self._kernel(), paper_launch("j"), A100,
+                                 MatrixShape.square(n))
+        t2 = simulate_gpu_kernel(self._kernel(), paper_launch("j"), A100,
+                                 MatrixShape.square(n + 128))
+        assert t2.total_seconds >= t1.total_seconds * 0.999
+
+    @given(st.floats(1.0, 20.0))
+    @settings(max_examples=15, deadline=None)
+    def test_issue_multiplier_never_speeds_up(self, mult):
+        from repro.gpu import IssueProfile
+        shape = MatrixShape.square(2048)
+        base = simulate_gpu_kernel(self._kernel(), paper_launch("j"), A100,
+                                   shape)
+        slow = simulate_gpu_kernel(self._kernel(), paper_launch("j"), A100,
+                                   shape, IssueProfile(issue_multiplier=mult))
+        assert slow.total_seconds >= base.total_seconds * 0.999
+
+    @given(st.sampled_from([(8, 8), (16, 16), (32, 32), (32, 8)]))
+    @settings(max_examples=8, deadline=None)
+    def test_any_block_shape_valid(self, block):
+        from repro.gpu import LaunchConfig
+        bx, by = block
+        shape = MatrixShape.square(1024)
+        t = simulate_gpu_kernel(self._kernel(), LaunchConfig(bx, by, "j"),
+                                A100, shape)
+        assert t.total_seconds > 0
+        assert 0 < t.occupancy_fraction <= 1.0

@@ -1,0 +1,231 @@
+"""The headline regression tests: every figure's qualitative shape and the
+full Table III, checked against the published values.
+
+These are the acceptance tests of the reproduction: if a model or machine
+change breaks the orderings or pushes an efficiency out of tolerance, the
+study no longer reproduces and these fail.
+"""
+
+import pytest
+
+from repro.core.types import Precision
+from repro.harness import (
+    PAPER_PHI,
+    PAPER_TABLE3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    table1,
+    table2,
+    table3,
+)
+
+SIZES = (1024, 4096, 8192, 16384)
+
+#: tolerance on reproduced efficiencies (DESIGN.md calibration policy)
+E_TOL = 0.05
+
+
+@pytest.fixture(scope="module")
+def t3():
+    return table3(SIZES)
+
+
+@pytest.fixture(scope="module")
+def f4():
+    return fig4(SIZES)
+
+
+@pytest.fixture(scope="module")
+def f5():
+    return fig5(SIZES)
+
+
+@pytest.fixture(scope="module")
+def f6():
+    return fig6(SIZES)
+
+
+@pytest.fixture(scope="module")
+def f7():
+    return fig7(SIZES)
+
+
+def _mean_gflops(rs, model):
+    xs, ys = rs.series(model)
+    assert xs, f"{model} has no supported points"
+    return sum(ys) / len(ys)
+
+
+class TestFig4:
+    """Crusher CPU: Kokkos ~ C/OpenMP ~ Julia > Numba."""
+
+    def test_double_ordering(self, f4):
+        rs = f4.panels["a: double"]
+        ref = _mean_gflops(rs, "c-openmp")
+        assert _mean_gflops(rs, "kokkos") == pytest.approx(ref, rel=0.1)
+        assert _mean_gflops(rs, "julia") > 0.85 * ref
+        assert _mean_gflops(rs, "numba") < 0.65 * ref
+
+    def test_single_precision_roughly_doubles(self, f4):
+        d = _mean_gflops(f4.panels["a: double"], "c-openmp")
+        s = _mean_gflops(f4.panels["b: single"], "c-openmp")
+        assert 1.7 < s / d < 2.2
+
+
+class TestFig5:
+    """Wombat CPU: Julia ~ C/OpenMP, Kokkos slowed down, Numba behind."""
+
+    def test_kokkos_slowdown_on_arm(self, f5):
+        rs = f5.panels["a: double"]
+        assert _mean_gflops(rs, "kokkos") < 0.9 * _mean_gflops(rs, "c-openmp")
+
+    def test_julia_on_par(self, f5):
+        rs = f5.panels["a: double"]
+        assert _mean_gflops(rs, "julia") > 0.85 * _mean_gflops(rs, "c-openmp")
+
+    def test_numba_fp32_collapse(self, f5):
+        """Table III: Numba FP32 on Arm is 0.400."""
+        rs = f5.panels["b: single"]
+        ratio = _mean_gflops(rs, "numba") / _mean_gflops(rs, "c-openmp")
+        assert ratio == pytest.approx(0.40, abs=E_TOL)
+
+    def test_fp16_panel_julia_only_and_fast(self, f5):
+        """Julia FP16 'worked seamlessly and provided the expected levels
+        of performance' on Arm: native half doubles the FP32 lanes."""
+        rs16 = f5.panels["c: half (Julia)"]
+        assert rs16.models() == ["julia"]
+        g16 = _mean_gflops(rs16, "julia")
+        g32 = _mean_gflops(f5.panels["b: single"], "julia")
+        assert g16 > 1.5 * g32
+
+
+class TestFig6:
+    """Crusher MI250X: HIP best fp64; Julia slightly beats HIP at fp32."""
+
+    def test_double_ordering(self, f6):
+        rs = f6.panels["a: double"]
+        hip = _mean_gflops(rs, "hip")
+        assert _mean_gflops(rs, "julia") < hip
+        assert _mean_gflops(rs, "kokkos") < _mean_gflops(rs, "julia")
+
+    def test_julia_fp32_slightly_above_hip(self, f6):
+        rs = f6.panels["b: single"]
+        ratio = _mean_gflops(rs, "julia") / _mean_gflops(rs, "hip")
+        assert 1.0 < ratio < 1.12
+
+    def test_kokkos_fp32_consistent_decrease(self, f6):
+        rs = f6.panels["b: single"]
+        ratio = _mean_gflops(rs, "kokkos") / _mean_gflops(rs, "hip")
+        assert ratio == pytest.approx(0.677, abs=E_TOL)
+
+    def test_kokkos_slowdown_at_largest_size(self, f6):
+        """'Kokkos has a repeatable slowdown at the largest size'."""
+        rs = f6.panels["a: double"]
+        xs, ys = rs.series("kokkos")
+        eff_large = ys[-1] / rs.cell("hip", xs[-1]).gflops
+        eff_mid = ys[1] / rs.cell("hip", xs[1]).gflops
+        assert eff_large < eff_mid * 0.95
+
+    def test_julia_fp16_no_gain_over_fp32(self, f6):
+        g16 = _mean_gflops(f6.panels["c: half (Julia)"], "julia")
+        g32 = _mean_gflops(f6.panels["b: single"], "julia")
+        assert g16 == pytest.approx(g32, rel=0.2)
+
+
+class TestFig7:
+    """Wombat A100: CUDA >> Julia > Kokkos > Numba."""
+
+    def test_double_ordering(self, f7):
+        rs = f7.panels["a: double"]
+        cuda = _mean_gflops(rs, "cuda")
+        julia = _mean_gflops(rs, "julia")
+        kokkos = _mean_gflops(rs, "kokkos")
+        numba = _mean_gflops(rs, "numba")
+        assert cuda > julia > kokkos > numba
+
+    def test_julia_constant_overhead(self, f7):
+        """Fig. 7a: CUDA.jl trails CUDA by a roughly constant factor."""
+        rs = f7.panels["a: double"]
+        xs, _ = rs.series("julia")
+        effs = [rs.cell("julia", x).gflops / rs.cell("cuda", x).gflops
+                for x in xs if x >= 4096]
+        assert max(effs) - min(effs) < 0.05
+
+    def test_vendor_fp32_jump_others_small(self, f7):
+        """Sec. IV-B: CUDA gains significantly at fp32; Julia, Kokkos and
+        Numba gain only ~10%."""
+        d, s = f7.panels["a: double"], f7.panels["b: single"]
+        cuda_gain = _mean_gflops(s, "cuda") / _mean_gflops(d, "cuda")
+        assert cuda_gain > 1.6
+        for model in ("julia", "kokkos", "numba"):
+            gain = _mean_gflops(s, model) / _mean_gflops(d, model)
+            assert gain < 1.5, model
+
+    def test_fp16_panel_models(self, f7):
+        rs = f7.panels["c: half (Julia, Numba)"]
+        assert set(rs.models()) == {"julia", "numba"}
+
+    def test_fp16_no_gains(self, f7):
+        """'we observed no performance gains over the single-precision
+        counterparts' (Sec. IV-B)."""
+        rs16 = f7.panels["c: half (Julia, Numba)"]
+        rs32 = f7.panels["b: single"]
+        for model in ("julia", "numba"):
+            g16 = _mean_gflops(rs16, model)
+            g32 = _mean_gflops(rs32, model)
+            assert g16 < 1.15 * g32, model
+
+
+class TestTable3:
+    """Every cell of Table III within +/-0.05; Phi within 0.03."""
+
+    @pytest.mark.parametrize("precision", [Precision.FP64, Precision.FP32])
+    @pytest.mark.parametrize("model", ["kokkos", "julia", "numba"])
+    def test_efficiencies(self, t3, precision, model):
+        row = t3.row(model, precision)
+        for platform, published in PAPER_TABLE3[precision][model].items():
+            ours = row.efficiencies.get(platform)
+            if published is None:
+                assert ours is None, f"{model}/{platform} should be unsupported"
+            else:
+                assert ours == pytest.approx(published, abs=E_TOL), (
+                    f"{model}/{platform}/{precision.value}: "
+                    f"paper {published} vs ours {ours}")
+
+    @pytest.mark.parametrize("precision", [Precision.FP64, Precision.FP32])
+    @pytest.mark.parametrize("model", ["kokkos", "julia", "numba"])
+    def test_phi(self, t3, precision, model):
+        assert t3.row(model, precision).phi == pytest.approx(
+            PAPER_PHI[precision][model], abs=0.03)
+
+    @pytest.mark.parametrize("precision", [Precision.FP64, Precision.FP32])
+    def test_phi_ranking(self, t3, precision):
+        """'Julia has the best scores followed by Kokkos and Python/Numba'."""
+        phis = {m: t3.row(m, precision).phi for m in ("kokkos", "julia", "numba")}
+        assert phis["julia"] > phis["kokkos"] > phis["numba"]
+
+    def test_portability_lower_at_fp32(self, t3):
+        """'the portability of all models is slightly lower for
+        single-precision' — true for Kokkos and Julia; Numba likewise."""
+        for model in ("kokkos", "julia", "numba"):
+            assert (t3.row(model, Precision.FP32).phi
+                    <= t3.row(model, Precision.FP64).phi)
+
+    def test_render_contains_all_rows(self, t3):
+        out = t3.render()
+        assert "Double precision" in out and "Single precision" in out
+        assert "Phi_M" in out and "-" in out  # the Numba/AMD dash
+
+
+class TestStaticTables:
+    def test_table1_contents(self):
+        out = table1()
+        assert "ArmClang22" in out and "AMDClang14" in out
+        assert "JULIA_EXCLUSIVE=1" in out and "NUMBA_OPT=3" in out
+
+    def test_table2_contents(self):
+        out = table2()
+        assert "nvcc v11.5.1" in out and "hipcc v14.0.0" in out
+        assert "Not supported" in out  # Numba on AMD

@@ -1,0 +1,103 @@
+"""Tests for the cache-aware traffic model and roofline helper."""
+
+import pytest
+
+from repro.core.types import Layout, MatrixShape, Precision
+from repro.ir import builder
+from repro.machine import A100, EPYC_7A53
+from repro.machine.cache import CacheHierarchy, CacheLevel
+from repro.sim.roofline import estimate_dram_traffic, roofline_time
+
+
+SMALL = MatrixShape.square(64)      # B fits in cache
+LARGE = MatrixShape.square(8192)    # B far exceeds L3
+
+
+class TestTrafficSmall:
+    def test_cached_b_fetched_once(self):
+        """When B's reuse working set fits, it streams from DRAM once."""
+        k = builder.c_openmp_cpu(Precision.FP64)
+        est = estimate_dram_traffic(k, SMALL, EPYC_7A53.caches, active_workers=1)
+        b = [t for t in est.per_ref if t.array == "B" and t.kind == "load"][0]
+        assert b.sweeps_from_dram == 1.0
+        assert b.dram_bytes == SMALL.k * SMALL.n * 8
+        # 64x64 fp64 B = 32 KiB: fits the 32 KiB L1 exactly
+        assert b.served_by in ("L1", "L2", "L3")
+
+    def test_total_traffic_lower_bound(self):
+        """DRAM traffic can never be below one pass over all operands."""
+        k = builder.c_openmp_cpu(Precision.FP64)
+        est = estimate_dram_traffic(k, SMALL, EPYC_7A53.caches, active_workers=1)
+        assert est.dram_bytes >= SMALL.footprint_bytes(Precision.FP64)
+
+    def test_read_write_split(self):
+        k = builder.c_openmp_cpu(Precision.FP64)
+        est = estimate_dram_traffic(k, SMALL, EPYC_7A53.caches)
+        assert est.write_bytes == SMALL.m * SMALL.n * 8
+        assert est.read_bytes > est.write_bytes
+
+
+class TestTrafficLarge:
+    def test_uncached_b_resweeps(self):
+        """A single thread re-streams B once per row when it can't stay
+        cached."""
+        k = builder.c_openmp_cpu(Precision.FP64)
+        est = estimate_dram_traffic(k, LARGE, EPYC_7A53.caches, active_workers=1)
+        b = [t for t in est.per_ref if t.array == "B" and t.kind == "load"][0]
+        assert b.sweeps_from_dram == LARGE.m
+
+    def test_sharing_discount_with_threads(self):
+        """64 threads streaming the same B amortise the DRAM sweeps."""
+        k = builder.c_openmp_cpu(Precision.FP64)
+        solo = estimate_dram_traffic(k, LARGE, EPYC_7A53.caches, active_workers=1)
+        team = estimate_dram_traffic(k, LARGE, EPYC_7A53.caches, active_workers=64)
+        b_solo = [t for t in solo.per_ref if t.array == "B"][0]
+        b_team = [t for t in team.per_ref if t.array == "B"][0]
+        assert b_team.sweeps_from_dram == pytest.approx(
+            b_solo.sweeps_from_dram / (64 * 0.8))
+        assert b_team.served_by == "DRAM(shared)"
+
+    def test_arithmetic_intensity_sane(self):
+        k = builder.c_openmp_cpu(Precision.FP64)
+        est = estimate_dram_traffic(k, LARGE, EPYC_7A53.caches, active_workers=64)
+        ai = est.arithmetic_intensity(LARGE.flops)
+        assert 1.0 < ai < 1000.0
+
+
+class TestStridedTraffic:
+    def test_strided_sweep_counts_whole_lines(self):
+        """A strided reference pays a full line per element."""
+        # interchange the C kernel so the inner loop walks k: B[k,j] becomes
+        # strided in the inner loop
+        from repro.ir.passes import InterchangeLoops
+        k = InterchangeLoops("ijk").run(builder.c_openmp_cpu(Precision.FP64))
+        est = estimate_dram_traffic(k, SMALL, EPYC_7A53.caches)
+        b = [t for t in est.per_ref if t.array == "B" and t.kind == "load"][0]
+        line = EPYC_7A53.caches.line_bytes
+        assert b.dram_bytes == pytest.approx(SMALL.k * SMALL.n * line
+                                             * b.sweeps_from_dram)
+
+
+class TestRooflineTime:
+    def test_compute_bound(self):
+        t = roofline_time(flops=1e12, peak_gflops=1000.0, dram_bytes=1e6,
+                          bandwidth_gbs=100.0)
+        assert t == pytest.approx(1.0)
+
+    def test_memory_bound(self):
+        t = roofline_time(flops=1e6, peak_gflops=1000.0, dram_bytes=1e12,
+                          bandwidth_gbs=100.0)
+        assert t == pytest.approx(10.0)
+
+    def test_overlap_blend(self):
+        full = roofline_time(1e12, 1000.0, 1e11, 100.0, overlap=1.0)
+        none = roofline_time(1e12, 1000.0, 1e11, 100.0, overlap=0.0)
+        half = roofline_time(1e12, 1000.0, 1e11, 100.0, overlap=0.5)
+        assert full == pytest.approx(1.0)
+        assert none == pytest.approx(2.0)
+        assert half == pytest.approx(1.5)
+
+    def test_no_cache_hierarchy_still_works(self):
+        k = builder.gpu_thread_per_element("g", Precision.FP64, Layout.ROW_MAJOR)
+        est = estimate_dram_traffic(k, SMALL, CacheHierarchy())
+        assert est.dram_bytes > 0

@@ -1,0 +1,175 @@
+"""Tests for CPU scheduling: affinity, chunking, NUMA, thread simulation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ExperimentError, MachineModelError
+from repro.machine import AMPERE_ALTRA, EPYC_7A53
+from repro.sched import (
+    MemoryHome,
+    PinPolicy,
+    Schedule,
+    ThreadWork,
+    chunk_sizes,
+    imbalance,
+    memory_costs,
+    place_threads,
+    simulate_parallel_region,
+    static_chunks,
+)
+from repro.sched.thread_sim import MIGRATION_COMPUTE_TAX
+
+
+class TestAffinity:
+    def test_compact_consecutive(self):
+        p = place_threads(EPYC_7A53, 8, PinPolicy.COMPACT)
+        assert p.cores == tuple(range(8))
+        assert p.pinned
+
+    def test_spread_round_robins_domains(self):
+        p = place_threads(EPYC_7A53, 8, PinPolicy.SPREAD)
+        domains = [p.domain_of(EPYC_7A53, t) for t in range(8)]
+        assert domains == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_none_is_unpinned(self):
+        p = place_threads(EPYC_7A53, 4, PinPolicy.NONE)
+        assert not p.pinned
+
+    def test_compact_fills_domains_in_order(self):
+        p = place_threads(EPYC_7A53, 64, PinPolicy.COMPACT)
+        assert p.threads_per_domain(EPYC_7A53) == (16, 16, 16, 16)
+
+    def test_oversubscription_wraps(self):
+        p = place_threads(AMPERE_ALTRA, 160, PinPolicy.COMPACT)
+        assert p.cores[80] == 0
+
+    def test_rejects_zero_threads(self):
+        with pytest.raises(MachineModelError):
+            place_threads(EPYC_7A53, 0, PinPolicy.COMPACT)
+
+
+class TestChunking:
+    def test_even_split(self):
+        assert chunk_sizes(64, 4) == [16, 16, 16, 16]
+
+    def test_remainder_goes_first(self):
+        assert chunk_sizes(10, 4) == [3, 3, 2, 2]
+
+    def test_static_chunks_partition(self):
+        chunks = static_chunks(100, 7)
+        assert chunks[0][0] == 0 and chunks[-1][1] == 100
+        covered = sum(b - a for a, b in chunks)
+        assert covered == 100
+
+    def test_more_threads_than_iterations(self):
+        sizes = chunk_sizes(3, 8)
+        assert sum(sizes) == 3
+        assert sizes.count(0) == 5
+
+    def test_imbalance_even_is_one(self):
+        assert imbalance(64, 64) == pytest.approx(1.0)
+
+    def test_imbalance_worst_case(self):
+        # 65 iterations on 64 threads: one thread does double work
+        assert imbalance(65, 64) == pytest.approx(2 / (65 / 64), rel=1e-9)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ExperimentError):
+            static_chunks(10, 0)
+
+    @given(st.integers(0, 100000), st.integers(1, 128))
+    @settings(max_examples=60, deadline=None)
+    def test_partition_property(self, trip, threads):
+        sizes = chunk_sizes(trip, threads)
+        assert sum(sizes) == trip
+        assert len(sizes) == threads
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestNUMACosts:
+    def test_single_domain_no_remote(self):
+        p = place_threads(AMPERE_ALTRA, 80, PinPolicy.COMPACT)
+        costs = memory_costs(AMPERE_ALTRA, p)
+        assert all(c.remote_fraction == 0.0 for c in costs)
+        assert all(c.bandwidth_inflation == 1.0 for c in costs)
+
+    def test_interleaved_four_domains(self):
+        p = place_threads(EPYC_7A53, 64, PinPolicy.COMPACT)
+        costs = memory_costs(EPYC_7A53, p, MemoryHome.INTERLEAVED)
+        assert all(c.remote_fraction == pytest.approx(0.75) for c in costs)
+        assert all(c.bandwidth_inflation > 1.0 for c in costs)
+
+    def test_local_home_pinned_is_free(self):
+        p = place_threads(EPYC_7A53, 64, PinPolicy.COMPACT)
+        costs = memory_costs(EPYC_7A53, p, MemoryHome.LOCAL)
+        assert all(c.remote_fraction == 0.0 for c in costs)
+
+    def test_serial_node0_hurts_other_domains(self):
+        p = place_threads(EPYC_7A53, 64, PinPolicy.COMPACT)
+        costs = memory_costs(EPYC_7A53, p, MemoryHome.SERIAL_NODE0)
+        assert costs[0].remote_fraction == 0.0       # thread on domain 0
+        assert costs[-1].remote_fraction == 1.0      # thread on domain 3
+
+
+def _work(threads, comp=1e-3, traffic=0.0):
+    return [ThreadWork(t, comp, traffic) for t in range(threads)]
+
+
+class TestThreadSim:
+    def test_balanced_compute_bound(self):
+        p = place_threads(EPYC_7A53, 64, PinPolicy.COMPACT)
+        r = simulate_parallel_region(EPYC_7A53, p, _work(64, comp=1e-3))
+        # makespan = per-thread compute + fork/join
+        assert r.total_seconds == pytest.approx(1e-3 + r.fork_join_seconds)
+        assert r.imbalance == pytest.approx(1.0)
+
+    def test_imbalanced_chunk_sets_pace(self):
+        p = place_threads(EPYC_7A53, 2, PinPolicy.COMPACT)
+        work = [ThreadWork(0, 2e-3, 0.0), ThreadWork(1, 1e-3, 0.0)]
+        r = simulate_parallel_region(EPYC_7A53, p, work)
+        assert r.busy_seconds == pytest.approx(2e-3)
+        assert r.imbalance > 1.0
+
+    def test_memory_bound_region_limited_by_bandwidth(self):
+        p = place_threads(EPYC_7A53, 64, PinPolicy.COMPACT)
+        per_thread_bytes = 1e9 / 64
+        r = simulate_parallel_region(
+            EPYC_7A53, p, _work(64, comp=1e-6, traffic=per_thread_bytes))
+        # 1 GB inflated by NUMA (x1.61) over 205 GB/s aggregate
+        inflated = 1e9 * (1.0 + 0.75 * (1 / 0.55 - 1))
+        expected = inflated / (205.0 * 1e9)
+        assert r.busy_seconds == pytest.approx(expected, rel=0.05)
+
+    def test_unpinned_pays_migration_tax_on_numa(self):
+        """The Numba mechanism: unpinned threads on the 4-domain EPYC."""
+        pinned = place_threads(EPYC_7A53, 64, PinPolicy.COMPACT)
+        unpinned = place_threads(EPYC_7A53, 64, PinPolicy.NONE)
+        rp = simulate_parallel_region(EPYC_7A53, pinned, _work(64))
+        ru = simulate_parallel_region(EPYC_7A53, unpinned, _work(64))
+        assert ru.busy_seconds == pytest.approx(
+            rp.busy_seconds * MIGRATION_COMPUTE_TAX)
+
+    def test_unpinned_free_on_single_domain(self):
+        """...but costs nothing on Wombat's single-NUMA Altra."""
+        pinned = place_threads(AMPERE_ALTRA, 80, PinPolicy.COMPACT)
+        unpinned = place_threads(AMPERE_ALTRA, 80, PinPolicy.NONE)
+        rp = simulate_parallel_region(AMPERE_ALTRA, pinned, _work(80))
+        ru = simulate_parallel_region(AMPERE_ALTRA, unpinned, _work(80))
+        assert ru.busy_seconds == pytest.approx(rp.busy_seconds)
+
+    def test_oversubscription_serialises(self):
+        p = place_threads(AMPERE_ALTRA, 160, PinPolicy.COMPACT)
+        r = simulate_parallel_region(AMPERE_ALTRA, p, _work(160, comp=1e-3))
+        assert r.busy_seconds == pytest.approx(2e-3)
+
+    def test_work_count_must_match(self):
+        p = place_threads(EPYC_7A53, 4, PinPolicy.COMPACT)
+        with pytest.raises(ValueError):
+            simulate_parallel_region(EPYC_7A53, p, _work(3))
+
+    def test_fork_join_grows_with_threads(self):
+        p2 = place_threads(EPYC_7A53, 2, PinPolicy.COMPACT)
+        p64 = place_threads(EPYC_7A53, 64, PinPolicy.COMPACT)
+        r2 = simulate_parallel_region(EPYC_7A53, p2, _work(2))
+        r64 = simulate_parallel_region(EPYC_7A53, p64, _work(64))
+        assert r64.fork_join_seconds > r2.fork_join_seconds

@@ -1,0 +1,134 @@
+"""Tests for the variability model and the tracing subsystem."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.variability import NODE_VARIABILITY, VariabilityModel
+from repro.trace.events import EventKind, TraceEvent
+from repro.trace.profiler import Profiler
+from repro.trace.timeline import render_timeline, summary_table
+
+
+class TestVariability:
+    def test_deterministic(self):
+        vm = VariabilityModel(seed=1, sigma=0.05)
+        a = vm.samples(1.0, "key", 10)
+        b = vm.samples(1.0, "key", 10)
+        assert a == b
+
+    def test_key_separates_streams(self):
+        vm = VariabilityModel(seed=1, sigma=0.05)
+        assert vm.samples(1.0, "a", 5) != vm.samples(1.0, "b", 5)
+
+    def test_warmup_added_to_first_only(self):
+        vm = VariabilityModel(seed=1, sigma=0.0)
+        xs = vm.samples(1.0, "k", 5, warmup_extra_seconds=2.0)
+        assert xs[0] == pytest.approx(3.0)
+        assert all(x == pytest.approx(1.0) for x in xs[1:])
+
+    def test_zero_sigma_exact(self):
+        vm = VariabilityModel(seed=1, sigma=0.0)
+        assert vm.samples(0.5, "k", 3) == [0.5, 0.5, 0.5]
+
+    def test_node_lookup(self):
+        assert VariabilityModel.for_node("Crusher").sigma == NODE_VARIABILITY["Crusher"]
+        assert VariabilityModel.for_node("Crusher").sigma > \
+            VariabilityModel.for_node("Wombat").sigma
+
+    def test_rejects_bad_args(self):
+        vm = VariabilityModel()
+        with pytest.raises(ValueError):
+            vm.samples(0.0, "k", 5)
+        with pytest.raises(ValueError):
+            vm.samples(1.0, "k", 0)
+
+    @given(st.floats(1e-6, 1e3), st.integers(1, 50))
+    @settings(max_examples=30, deadline=None)
+    def test_samples_positive_and_near_nominal(self, nominal, reps):
+        vm = VariabilityModel(seed=7, sigma=0.02)
+        xs = vm.samples(nominal, "k", reps)
+        assert len(xs) == reps
+        assert all(x > 0 for x in xs)
+        assert all(0.8 * nominal < x < 1.3 * nominal for x in xs)
+
+
+class TestProfiler:
+    def test_clock_advances(self):
+        p = Profiler()
+        p.record(EventKind.KERNEL, "k1", 0.5)
+        p.record(EventKind.KERNEL, "k2", 0.25)
+        assert p.now == pytest.approx(0.75)
+        assert p.events[1].start_s == pytest.approx(0.5)
+
+    def test_no_overlap_invariant(self):
+        p = Profiler()
+        for i in range(10):
+            p.record(EventKind.API, f"e{i}", 0.1)
+        evs = p.events
+        for a, b in zip(evs, evs[1:]):
+            assert b.start_s >= a.end_s - 1e-12
+
+    def test_advance_idle(self):
+        p = Profiler()
+        p.advance(1.0)
+        p.record(EventKind.KERNEL, "k", 0.5)
+        assert p.events[0].start_s == 1.0
+        with pytest.raises(ValueError):
+            p.advance(-1.0)
+
+    def test_totals_and_counts(self):
+        p = Profiler()
+        p.record(EventKind.KERNEL, "k", 1.0)
+        p.record(EventKind.MEMCPY_H2D, "h", 0.5)
+        assert p.total_time() == pytest.approx(1.5)
+        assert p.total_time(EventKind.KERNEL) == pytest.approx(1.0)
+        assert p.count(EventKind.MEMCPY_H2D) == 1
+
+    def test_by_name_groups(self):
+        p = Profiler()
+        p.record(EventKind.KERNEL, "gemm", 1.0)
+        p.record(EventKind.KERNEL, "gemm", 2.0)
+        assert p.by_name() == {"gemm": pytest.approx(3.0)}
+
+    def test_clear(self):
+        p = Profiler()
+        p.record(EventKind.KERNEL, "k", 1.0)
+        p.clear()
+        assert p.events == [] and p.now == 0.0
+
+    def test_event_validation(self):
+        with pytest.raises(ValueError):
+            TraceEvent(EventKind.KERNEL, "k", start_s=-1.0, duration_s=1.0)
+        with pytest.raises(ValueError):
+            TraceEvent(EventKind.KERNEL, "k", start_s=0.0, duration_s=-1.0)
+
+
+class TestTimeline:
+    def _trace(self):
+        p = Profiler()
+        p.record(EventKind.MEMCPY_H2D, "A,B -> device", 0.2)
+        p.record(EventKind.KERNEL, "gemm", 1.0)
+        p.record(EventKind.KERNEL, "gemm", 1.0)
+        p.record(EventKind.MEMCPY_D2H, "C -> host", 0.1)
+        return p.events
+
+    def test_summary_sorted_by_time(self):
+        out = summary_table(self._trace())
+        lines = out.splitlines()
+        assert "gemm" in lines[1]          # biggest consumer first
+        assert "Calls" in lines[0]
+        assert " 2 " in lines[1]           # two kernel calls
+
+    def test_summary_percentages_sum(self):
+        out = summary_table(self._trace())
+        pcts = [float(l.split("%")[0]) for l in out.splitlines()[1:]]
+        assert sum(pcts) == pytest.approx(100.0, abs=0.1)
+
+    def test_timeline_renders_bars(self):
+        out = render_timeline(self._trace(), width=40)
+        assert out.count("#") > 4
+        assert "gemm" in out
+
+    def test_empty(self):
+        assert summary_table([]) == "(no events)"
+        assert render_timeline([]) == "(no events)"

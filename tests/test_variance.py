@@ -1,0 +1,73 @@
+"""Tests for the across-seed variance study."""
+
+import pytest
+
+from repro.core.types import DeviceKind, Precision
+from repro.errors import ExperimentError
+from repro.harness import Experiment, variance_study
+from repro.harness.variance import EfficiencyDistribution
+
+
+def _exp(**kw):
+    defaults = dict(
+        exp_id="var-test", title="t", node_name="Wombat",
+        device=DeviceKind.GPU, precision=Precision.FP64,
+        models=("cuda", "julia", "numba"), sizes=(1024, 2048), reps=5)
+    defaults.update(kw)
+    return Experiment(**defaults)
+
+
+class TestDistribution:
+    def test_stats(self):
+        d = EfficiencyDistribution("m", "ref", (0.8, 0.9, 1.0))
+        assert d.mean == pytest.approx(0.9)
+        assert d.minimum == 0.8 and d.maximum == 1.0
+        assert d.fraction_above(0.85) == pytest.approx(2 / 3)
+
+    def test_sigma_distance(self):
+        d = EfficiencyDistribution("m", "ref", (0.9, 1.1))
+        assert d.sigma_distance(1.0) == pytest.approx(0.0)
+        flat = EfficiencyDistribution("m", "ref", (1.05, 1.05))
+        assert flat.sigma_distance(1.0) == float("inf")
+
+
+class TestStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return variance_study(_exp(), "cuda", seeds=5)
+
+    def test_one_distribution_per_supported_model(self, study):
+        assert set(study.distributions) == {"julia", "numba"}
+
+    def test_sample_count(self, study):
+        assert len(study.distribution("julia").samples) == 5
+
+    def test_seeds_actually_vary(self, study):
+        samples = study.distribution("julia").samples
+        assert len(set(samples)) > 1
+
+    def test_deterministic_overall(self):
+        a = variance_study(_exp(), "cuda", seeds=3)
+        b = variance_study(_exp(), "cuda", seeds=3)
+        assert a.distribution("julia").samples == b.distribution("julia").samples
+
+    def test_mean_matches_single_run_ballpark(self, study):
+        # Table III A100 fp64: julia ~0.86
+        assert study.distribution("julia").mean == pytest.approx(0.86, abs=0.05)
+
+    def test_reference_excluded(self, study):
+        assert "cuda" not in study.distributions
+
+    def test_unsupported_model_skipped(self):
+        """Numba on Crusher's GPU contributes no distribution."""
+        exp = _exp(node_name="Crusher", models=("hip", "julia", "numba"))
+        study = variance_study(exp, "hip", seeds=3)
+        assert "numba" not in study.distributions
+
+    def test_needs_two_seeds(self):
+        with pytest.raises(ExperimentError):
+            variance_study(_exp(), "cuda", seeds=1)
+
+    def test_render(self, study):
+        out = study.render()
+        assert "beats vendor" in out and "stdev" in out

@@ -1,0 +1,68 @@
+"""Tests for the reproduction-verification module."""
+
+import pytest
+
+from repro.core.types import Precision
+from repro.harness import table3, verify_table3
+from repro.harness.verify import CellCheck, E_TOLERANCE, VerificationReport
+
+
+class TestCellCheck:
+    def test_within_tolerance(self):
+        c = CellCheck("x", 0.90, 0.93, 0.05)
+        assert c.ok and c.delta == pytest.approx(0.03)
+
+    def test_out_of_tolerance(self):
+        assert not CellCheck("x", 0.90, 0.80, 0.05).ok
+
+    def test_unsupported_matches_unsupported(self):
+        c = CellCheck("x", None, None, 0.05)
+        assert c.ok and c.delta is None
+
+    def test_unsupported_mismatch(self):
+        assert not CellCheck("x", None, 0.5, 0.05).ok
+        assert not CellCheck("x", 0.5, None, 0.05).ok
+
+
+class TestVerifyTable3:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return verify_table3(sizes=(1024, 4096, 8192, 16384))
+
+    def test_reproduction_passes(self, report):
+        assert report.passed, report.render()
+
+    def test_check_count(self, report):
+        # 3 models x 2 precisions x (4 platforms + 1 phi)
+        assert len(report.checks) == 30
+
+    def test_worst_delta_within_policy(self, report):
+        assert report.worst_delta <= E_TOLERANCE
+
+    def test_render_verdict(self, report):
+        out = report.render()
+        assert "REPRODUCED" in out
+        assert "worst |delta|" in out
+
+    def test_accepts_precomputed_table(self):
+        t3 = table3((1024, 4096))
+        report = verify_table3(computed=t3)
+        assert isinstance(report, VerificationReport)
+        assert report.checks
+
+    def test_failure_detection(self):
+        """A corrupted table must fail verification loudly."""
+        t3 = table3((1024, 4096))
+        for row in t3.rows:
+            if row.model == "julia" and row.precision is Precision.FP64:
+                # dataclass is frozen=False for Table3Result rows? rows are
+                # frozen; rebuild a broken one
+                import dataclasses
+                broken = dataclasses.replace(
+                    row, efficiencies={k: 0.1 for k in row.efficiencies},
+                    phi=0.1)
+                t3.rows[t3.rows.index(row)] = broken
+                break
+        report = verify_table3(computed=t3)
+        assert not report.passed
+        assert any("julia" in c.label for c in report.failures())
