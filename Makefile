@@ -2,13 +2,22 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-paper report verify examples clean
+.PHONY: install test lint bench bench-paper report verify examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Style lint (ruff, skipped when not installed) + the kernel IR linter.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+	  ruff check src tests; \
+	else \
+	  echo "ruff not installed; skipping style lint"; \
+	fi
+	$(PYTHON) -m repro lint
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

@@ -27,6 +27,7 @@ from .errors import (
     ExperimentError,
     IRVerificationError,
     KernelValidationError,
+    LintError,
     LoweringError,
     MachineModelError,
     ReproError,
@@ -86,6 +87,7 @@ __all__ = [
     "ExperimentError",
     "IRVerificationError",
     "KernelValidationError",
+    "LintError",
     "LoweringError",
     "MachineModelError",
     "UnsupportedConfigurationError",

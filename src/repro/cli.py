@@ -8,6 +8,7 @@ Commands mirror the deliverables:
 * ``repro table 1|2|3`` — regenerate a table.
 * ``repro run`` — one custom experiment (node/device/precision/models/sizes).
 * ``repro productivity`` — the Sec. V productivity comparison.
+* ``repro lint`` — static-analysis sweep of every model lowering.
 """
 
 from __future__ import annotations
@@ -137,6 +138,18 @@ def build_parser() -> argparse.ArgumentParser:
     roof.add_argument("--precision", default="fp64")
     roof.add_argument("--models", default=None,
                       help="comma-separated; defaults per device")
+
+    lint = sub.add_parser(
+        "lint", help="lint every registered model lowering (exit 1 on errors)")
+    lint.add_argument("--models", default=None,
+                      help="comma-separated model names (default: all, "
+                           "extensions included)")
+    lint.add_argument("--device", choices=("cpu", "gpu", "all"),
+                      default="all")
+    lint.add_argument("--precision", default=None,
+                      help="restrict to one precision (default: all)")
+    lint.add_argument("--strict", action="store_true",
+                      help="also exit 1 on warning-severity findings")
 
     return p
 
@@ -287,6 +300,39 @@ def _cmd_scaling(args: argparse.Namespace) -> str:
     return result.render()
 
 
+def _cmd_lint(args: argparse.Namespace) -> "tuple[str, int]":
+    from .ir.lint import Severity, lint_registry
+    from .ir.pretty import render_diagnostics
+
+    models = (tuple(m.strip() for m in args.models.split(",") if m.strip())
+              if args.models else None)
+    precisions = ([Precision.parse(args.precision)]
+                  if args.precision else None)
+    results = lint_registry(models=models, device=args.device,
+                            precisions=precisions)
+
+    lines: List[str] = []
+    errors = warnings = 0
+    for r in results:
+        if r.skipped:
+            continue
+        findings = [d for d in r.diagnostics
+                    if d.severity is not Severity.INFO]
+        errors += r.error_count
+        warnings += sum(1 for d in findings
+                        if d.severity is Severity.WARNING)
+        if findings:
+            lines.append(f"{r.model} / {r.target} / {r.precision}:")
+            lines.append(render_diagnostics(findings))
+    linted = sum(1 for r in results if not r.skipped)
+    skipped = len(results) - linted
+    lines.append(f"linted {linted} lowerings ({skipped} unsupported "
+                 f"combinations skipped): {errors} errors, "
+                 f"{warnings} warnings")
+    failed = errors > 0 or (args.strict and warnings > 0)
+    return "\n".join(lines), 1 if failed else 0
+
+
 def _cmd_roofline(args: argparse.Namespace) -> str:
     from .core.types import MatrixShape
     from .harness.roofline_view import roofline_view
@@ -308,6 +354,7 @@ def _cmd_roofline(args: argparse.Namespace) -> str:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    rc = 0
     if args.command == "machines":
         out = _cmd_machines()
     elif args.command == "models":
@@ -327,6 +374,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         out = _cmd_scaling(args)
     elif args.command == "roofline":
         out = _cmd_roofline(args)
+    elif args.command == "lint":
+        out, rc = _cmd_lint(args)
     elif args.command == "crossover":
         from .harness.crossover import device_crossover
         from .machine import node_by_name
@@ -392,8 +441,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         print(out)
     except BrokenPipeError:  # e.g. `repro fig 7 | head`
-        return 0
-    return 0
+        return rc
+    return rc
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -12,6 +12,7 @@ __all__ = [
     "UnsupportedConfigurationError",
     "MachineModelError",
     "IRVerificationError",
+    "LintError",
     "LoweringError",
     "KernelValidationError",
     "ExperimentError",
@@ -48,6 +49,32 @@ class MachineModelError(ReproError):
 
 class IRVerificationError(ReproError):
     """A kernel IR failed structural verification (e.g. after a bad pass)."""
+
+
+class LintError(IRVerificationError):
+    """A kernel or pass failed static-analysis legality gating.
+
+    Raised by :class:`repro.ir.passes.PassPipeline` when a pass's declared
+    preconditions do not hold (an illegal interchange, a forced
+    vectorisation of a strict-FP reduction, ...).  Subclasses
+    :class:`IRVerificationError` so existing broad catches keep working,
+    and carries the structured diagnostics so callers can read the stable
+    code(s) and the offending kernel instead of parsing the message:
+
+    * ``diagnostics`` — the error-severity :class:`repro.ir.lint.Diagnostic`
+      objects that failed the gate;
+    * ``codes`` — their stable codes (e.g. ``("L002",)``);
+    * ``kernel`` — the name of the kernel being transformed;
+    * ``context`` — who ran the pipeline (e.g. ``"Julia on AMD EPYC 7A53"``).
+    """
+
+    def __init__(self, message: str, diagnostics=(), kernel: str = "",
+                 context: str = ""):
+        self.diagnostics = tuple(diagnostics)
+        self.codes = tuple(d.code for d in self.diagnostics)
+        self.kernel = kernel
+        self.context = context
+        super().__init__(message)
 
 
 class LoweringError(ReproError):

@@ -124,13 +124,19 @@ def _decl_of(kernel: Kernel, ref: ArrayRef):
     return kernel.decl(ref.array)
 
 
-def _fastest_loop_for(kernel: Kernel, hoisted_above: Optional[str]) -> Loop:
-    """Innermost loop enclosing a statement (its fastest-varying index)."""
+def _fastest_loop_for(kernel: Kernel,
+                      hoisted_above: Optional[str]) -> Optional[Loop]:
+    """Innermost loop enclosing a statement (its fastest-varying index).
+
+    Returns None for a statement hoisted above the *outermost* loop: no
+    loop encloses it, it executes exactly once, and its effective stride
+    along any loop is zero.
+    """
     if hoisted_above is None:
         return kernel.loops[-1]
     for i, l in enumerate(kernel.loops):
         if l.var == hoisted_above:
-            return kernel.loops[i - 1] if i > 0 else l
+            return kernel.loops[i - 1] if i > 0 else None
     return kernel.loops[-1]
 
 
@@ -160,7 +166,8 @@ def reference_info(kernel: Kernel, shape: MatrixShape,
         decl = _decl_of(kernel, ref)
         execs = executions_of(kernel, hoist, shape)
         fastest = _fastest_loop_for(kernel, hoist)
-        stride = ref.linear_coeff(decl, fastest.var, m, n, k)
+        stride = (ref.linear_coeff(decl, fastest.var, m, n, k)
+                  if fastest is not None else 0)
         elem_bytes = decl.dtype.np_dtype.itemsize if decl.role != "C" else (
             kernel.precision.accum_dtype.itemsize)
         line_elems = max(1, line_bytes // elem_bytes)
@@ -267,7 +274,8 @@ def instruction_mix(kernel: Kernel, shape: MatrixShape,
         decl = _decl_of(kernel, ref)
         execs = executions_of(kernel, hoist, shape)
         fastest = _fastest_loop_for(kernel, hoist)
-        stride = ref.linear_coeff(decl, fastest.var, m, n, k)
+        stride = (ref.linear_coeff(decl, fastest.var, m, n, k)
+                  if fastest is not None else 0)
         if hoist is None:
             if stride == 0:
                 issues = execs / (w * max(1, unroll))  # broadcast, hoist by HW
@@ -300,12 +308,11 @@ def instruction_mix(kernel: Kernel, shape: MatrixShape,
         branch_ops += 1.0 * level_iters
 
     has_chain = kernel.scalar_accum and inner.axis.value == "K"
-    # fastmath lets the compiler keep `unroll` independent partial sums;
-    # vector lanes also act as independent accumulators.
-    accum_streams = (unroll * w) if (kernel.fastmath and has_chain) else (
-        w if has_chain and w > 1 and kernel.fastmath else 1)
-    if not has_chain:
-        accum_streams = max(accum_streams, unroll * w)
+    # A strict-FP reduction chain is a single serial dependence no matter
+    # how far the loop is unrolled or widened; with reassociation allowed
+    # (fastmath) — or with no chain at all — every unroll copy and vector
+    # lane is an independent accumulator.
+    accum_streams = 1 if (has_chain and not kernel.fastmath) else unroll * w
 
     return InstructionMix(
         flops=flops,

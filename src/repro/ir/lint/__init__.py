@@ -1,0 +1,53 @@
+"""Static analysis over the kernel IR: the linter behind ``repro lint``.
+
+Layers, innermost first:
+
+* :mod:`~repro.ir.lint.diagnostics` — stable-coded findings (``R001``,
+  ``L003``, ...) with severities;
+* :mod:`~repro.ir.lint.dependence` — distance/direction vectors for every
+  same-array access pair, and exact interchange legality;
+* :mod:`~repro.ir.lint.races` — stores that do not vary along every
+  parallel loop;
+* :mod:`~repro.ir.lint.bounds` — in-bounds proofs for affine references;
+* :mod:`~repro.ir.lint.legality` — the per-pass preconditions the
+  :class:`~repro.ir.passes.PassPipeline` gates on;
+* :mod:`~repro.ir.lint.linter` — kernel/lowering/registry drivers.
+"""
+
+from .bounds import provably_in_bounds
+from .dependence import (
+    Dependence,
+    DependenceKind,
+    analyze_dependences,
+    interchange_legal,
+)
+from .diagnostics import CODES, Diagnostic, DiagnosticSet, Severity
+from .legality import (
+    elide_bounds_preconditions,
+    interchange_preconditions,
+    licm_preconditions,
+    unroll_preconditions,
+)
+from .linter import LintResult, lint_kernel, lint_lowering, lint_registry
+from .races import race_diagnostics
+
+__all__ = [
+    "CODES",
+    "Diagnostic",
+    "DiagnosticSet",
+    "Severity",
+    "Dependence",
+    "DependenceKind",
+    "analyze_dependences",
+    "interchange_legal",
+    "race_diagnostics",
+    "provably_in_bounds",
+    "interchange_preconditions",
+    "licm_preconditions",
+    "elide_bounds_preconditions",
+    "unroll_preconditions",
+    "LintResult",
+    "lint_kernel",
+    "lint_lowering",
+    "lint_registry",
+]

@@ -1,0 +1,41 @@
+"""In-bounds proofs for affine references.
+
+Bounds-check elision (Julia's ``@inbounds``, Fig. 2c) is only a legal
+modelling choice when every elided check is provably redundant: each index
+dimension must be a bare loop variable whose trip count is exactly the
+array extent of that dimension.  Anything else — a constant offset, a
+scaled index, an axis mismatch like walking ``K`` over an ``M``-extent
+dimension — can fault at some shape, so the checks must stay.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..nodes import ArrayRef, Kernel
+
+__all__ = ["provably_in_bounds"]
+
+
+def provably_in_bounds(kernel: Kernel, ref: ArrayRef) -> Tuple[bool, str]:
+    """Is ``ref`` in bounds for every shape?  Returns ``(ok, why)``.
+
+    The proof obligation per dimension ``d``: the index is a single loop
+    variable with coefficient 1 and no constant, and that loop's GEMM axis
+    equals the array's declared axis for ``d`` (so ``0 <= var < extent``
+    holds by the loop bounds themselves).
+    """
+    decl = kernel.decl(ref.array)
+    for d in range(2):
+        idx = ref.indices[d]
+        nonzero = [(v, c) for v, c in idx.coeffs if c != 0]
+        if len(nonzero) != 1 or nonzero[0][1] != 1 or idx.const != 0:
+            return False, (f"dim {d} index '{idx}' is not a bare loop "
+                           f"variable")
+        var = nonzero[0][0]
+        axis = kernel.loop(var).axis
+        if axis is not decl.shape_axes[d]:
+            return False, (f"dim {d} iterates axis {axis.value} but "
+                           f"{ref.array} extends over "
+                           f"{decl.shape_axes[d].value}")
+    return True, "ok"

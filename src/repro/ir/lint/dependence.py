@@ -1,0 +1,279 @@
+"""Dependence analysis over the affine loop-nest IR.
+
+For every (store, load) and (store, store) pair on the same array the
+analyzer derives a per-loop **distance/direction vector** from the
+:class:`~repro.ir.nodes.IndexExpr` coefficients: how far apart, along each
+loop, two iterations touching the same element are.  The canonical GEMM
+example is the K-loop reduction on ``C``: the read-modify-write of
+``C[i,j]`` carries flow, anti and output dependences along ``k`` (direction
+``(=, =, <)`` for an ``ijk`` nest), which is exactly why the reduction
+loop cannot be vectorised without ``fastmath`` and why bad interchanges
+must be rejected.
+
+Direction symbols, per loop variable (outermost first):
+
+* ``=`` — distance provably zero,
+* ``<`` — provably positive (the sink iterates later),
+* ``>`` — provably negative,
+* ``*`` — unknown (any distance may occur; used both for loop variables
+  the references do not use and for coefficient structures the solver
+  cannot separate).
+
+The legality test (:func:`interchange_legal`) does not approximate ``*``:
+with at most a handful of loops it enumerates the sign patterns a vector
+can realise and checks whether any execution-order-reversing realisation
+exists under the proposed permutation.  This is exact for this IR.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..nodes import ArrayRef, IndexExpr, Kernel
+
+__all__ = [
+    "DependenceKind",
+    "Dependence",
+    "analyze_dependences",
+    "interchange_legal",
+]
+
+
+class DependenceKind(enum.Enum):
+    """Classic dependence taxonomy."""
+
+    FLOW = "flow"      # read-after-write (true dependence)
+    ANTI = "anti"      # write-after-read
+    OUTPUT = "output"  # write-after-write
+
+
+@dataclass(frozen=True)
+class Dependence:
+    """One dependence between two references of the same array.
+
+    ``src`` executes first, ``dst`` second (for a loop-independent
+    dependence, first/second within one iteration's body).  ``direction``
+    and ``distance`` are per kernel loop, outermost first; ``carried_by``
+    is the outermost loop with a non-``=`` direction (None for
+    loop-independent dependences).
+    """
+
+    kind: DependenceKind
+    array: str
+    src: ArrayRef
+    dst: ArrayRef
+    direction: Tuple[str, ...]
+    distance: Tuple[Optional[int], ...]
+    carried_by: Optional[str]
+
+    @property
+    def loop_independent(self) -> bool:
+        return self.carried_by is None
+
+    def describe(self) -> str:
+        vec = ", ".join(self.direction)
+        where = (f"carried by {self.carried_by}" if self.carried_by
+                 else "loop-independent")
+        return (f"{self.kind.value} {self.src} -> {self.dst} "
+                f"({vec}) {where}")
+
+
+# -- per-pair entry computation ----------------------------------------------
+
+_NEGATE = {"=": "=", "<": ">", ">": "<", "*": "*"}
+_SIGN_CHOICES = {"=": (0,), "<": (1,), ">": (-1,), "*": (-1, 0, 1)}
+
+
+def _nonzero_coeffs(idx: IndexExpr) -> Dict[str, int]:
+    return {v: c for v, c in idx.coeffs if c != 0}
+
+
+def _pair_entries(
+    kernel: Kernel,
+    ref_a: ArrayRef, hoist_a: Optional[str],
+    ref_b: ArrayRef, hoist_b: Optional[str],
+) -> Optional[Tuple[Dict[str, str], Dict[str, Optional[int]]]]:
+    """Per-loop-var direction/distance entries between two references.
+
+    Distances follow the convention ``iteration(b) - iteration(a)``.
+    Returns None when the references provably never touch the same
+    element (inconsistent or non-integral constraints).
+    """
+    enc_a = set(kernel.enclosing_vars(hoist_a))
+    enc_b = set(kernel.enclosing_vars(hoist_b))
+    symbols: Dict[str, str] = {}
+    distance: Dict[str, Optional[int]] = {}
+    for loop in kernel.loops:
+        v = loop.var
+        if v not in enc_a and v not in enc_b:
+            # Neither statement iterates this loop: no distance along it.
+            symbols[v], distance[v] = "=", 0
+        else:
+            symbols[v], distance[v] = "*", None
+
+    solved: Dict[str, int] = {}
+    for d in range(2):
+        ia, ib = ref_a.indices[d], ref_b.indices[d]
+        avars, bvars = _nonzero_coeffs(ia), _nonzero_coeffs(ib)
+        if avars != bvars:
+            continue  # mismatched coefficient structure: stays unknown
+        if not avars:
+            if ia.const != ib.const:
+                return None  # constant dims that never coincide
+            continue
+        if len(avars) > 1:
+            continue  # coupled variables: underdetermined, stays unknown
+        (v, c), = avars.items()
+        if v not in enc_a or v not in enc_b:
+            continue  # a hoisted statement does not iterate v
+        # c*I_a + const_a == c*I_b + const_b  =>  D = (const_a - const_b)/c
+        num = ia.const - ib.const
+        if num % c != 0:
+            return None  # non-integral distance: independent
+        dist = num // c
+        if v in solved and solved[v] != dist:
+            return None  # the two dims demand different distances
+        solved[v] = dist
+
+    for v, dist in solved.items():
+        symbols[v] = "=" if dist == 0 else ("<" if dist > 0 else ">")
+        distance[v] = dist
+    return symbols, distance
+
+
+def _lex_positive_realisable(symbols: Dict[str, str],
+                             order: Sequence[str]) -> bool:
+    """Can the distance vector be lexicographically positive?"""
+    for v in order:
+        s = symbols[v]
+        if s == "<" or s == "*":
+            return True
+        if s == ">":
+            return False
+    return False
+
+
+def _zero_realisable(symbols: Dict[str, str], order: Sequence[str]) -> bool:
+    return all(symbols[v] in ("=", "*") for v in order)
+
+
+def _write_pairs(kernel: Kernel) -> Iterator[
+        Tuple[ArrayRef, ArrayRef, bool, Dict[str, str], Dict[str, Optional[int]]]]:
+    """All same-array access pairs involving a write, with their entries.
+
+    Yields ``(write_ref, other_ref, other_is_store, symbols, distances)``.
+    """
+    writes = [(st.ref, st.hoisted_above) for st in kernel.body.stores]
+    reads = [(ld.ref, ld.hoisted_above) for ld in kernel.body.loads]
+    for wref, whoist in writes:
+        for rref, rhoist in reads:
+            if rref.array != wref.array:
+                continue
+            pe = _pair_entries(kernel, wref, whoist, rref, rhoist)
+            if pe is not None:
+                yield wref, rref, False, pe[0], pe[1]
+    for x, (wref, whoist) in enumerate(writes):
+        for oref, ohoist in writes[x:]:
+            if oref.array != wref.array:
+                continue
+            pe = _pair_entries(kernel, wref, whoist, oref, ohoist)
+            if pe is not None:
+                yield wref, oref, True, pe[0], pe[1]
+
+
+def _canonical(symbols: Dict[str, str], distance: Dict[str, Optional[int]],
+               order: Sequence[str]) -> Tuple[Tuple[str, ...],
+                                              Tuple[Optional[int], ...],
+                                              Optional[str]]:
+    """Direction/distance tuples for a lex-positive dependence.
+
+    The carrying (first non-``=``) entry is printed ``<`` even when the
+    exact distance is unknown: the negative-side instances of a ``*``
+    entry belong to the mirrored dependence, which is emitted separately.
+    """
+    direction: List[str] = []
+    carried: Optional[str] = None
+    for v in order:
+        s = symbols[v]
+        if carried is None and s != "=":
+            carried = v
+            s = "<" if s == "*" else s
+        direction.append(s)
+    return tuple(direction), tuple(distance[v] for v in order), carried
+
+
+def analyze_dependences(kernel: Kernel) -> List[Dependence]:
+    """All flow/anti/output dependences of the kernel's loop nest."""
+    order = [loop.var for loop in kernel.loops]
+    deps: List[Dependence] = []
+    for wref, oref, other_is_store, symbols, distance in _write_pairs(kernel):
+        negated = {v: _NEGATE[s] for v, s in symbols.items()}
+        neg_dist = {v: (None if d is None else -d)
+                    for v, d in distance.items()}
+        if other_is_store:
+            same_stmt = oref == wref
+            if _lex_positive_realisable(symbols, order):
+                direction, dist, carried = _canonical(symbols, distance, order)
+                deps.append(Dependence(DependenceKind.OUTPUT, wref.array,
+                                       wref, oref, direction, dist, carried))
+            if not same_stmt and _zero_realisable(symbols, order):
+                direction = tuple("=" for _ in order)
+                deps.append(Dependence(DependenceKind.OUTPUT, wref.array,
+                                       wref, oref, direction,
+                                       tuple(0 for _ in order), None))
+            continue
+        # write/read pair: a later read is a flow dependence, a later
+        # write is an anti dependence, and a same-iteration pair is an
+        # anti dependence because the body loads before it stores.
+        if _lex_positive_realisable(symbols, order):
+            direction, dist, carried = _canonical(symbols, distance, order)
+            deps.append(Dependence(DependenceKind.FLOW, wref.array,
+                                   wref, oref, direction, dist, carried))
+        if _lex_positive_realisable(negated, order):
+            direction, dist, carried = _canonical(negated, neg_dist, order)
+            deps.append(Dependence(DependenceKind.ANTI, wref.array,
+                                   oref, wref, direction, dist, carried))
+        if _zero_realisable(symbols, order):
+            direction = tuple("=" for _ in order)
+            deps.append(Dependence(DependenceKind.ANTI, wref.array,
+                                   oref, wref, direction,
+                                   tuple(0 for _ in order), None))
+    return deps
+
+
+def _order_reversed(symbols: Dict[str, str], old_order: Sequence[str],
+                    new_order: Sequence[str]) -> bool:
+    """Does some realisable distance flip execution order under the
+    permutation?  Exact: enumerates the sign patterns of unknown entries."""
+    choices = [_SIGN_CHOICES[symbols[v]] for v in old_order]
+    for combo in itertools.product(*choices):
+        by_var = dict(zip(old_order, combo))
+
+        def lex_sign(order: Sequence[str]) -> int:
+            for v in order:
+                if by_var[v]:
+                    return 1 if by_var[v] > 0 else -1
+            return 0
+
+        if lex_sign(old_order) > 0 and lex_sign(new_order) < 0:
+            return True
+    return False
+
+
+def interchange_legal(kernel: Kernel, new_order: str) -> Tuple[bool, str]:
+    """Check whether permuting the nest to ``new_order`` preserves every
+    dependence (no source/sink execution-order reversal).  Returns
+    ``(ok, why)``; conservative for unknown-direction entries."""
+    old = [loop.var for loop in kernel.loops]
+    new = list(new_order.strip().lower())
+    if sorted(new) != sorted(old):
+        return False, (f"target order {new_order!r} is not a permutation "
+                       f"of {''.join(old)!r}")
+    for wref, oref, _, symbols, _ in _write_pairs(kernel):
+        if _order_reversed(symbols, old, new):
+            return False, (f"dependence between {wref} and {oref} would be "
+                           f"reversed by order {''.join(new)}")
+    return True, "ok"

@@ -1,0 +1,141 @@
+"""Diagnostics framework for the kernel IR linter.
+
+Every finding the linter (or a pass precondition) produces is a
+:class:`Diagnostic` with a *stable code* from the :data:`CODES` registry,
+a severity, and a human-readable message.  Stable codes are the contract:
+tests, CI gates and suppression lists key on ``R001``/``L003``, never on
+message text.
+
+Code families:
+
+* ``V0xx`` — structural verification failures,
+* ``D0xx`` — dependence facts (informational),
+* ``R0xx`` — data races across parallel loops,
+* ``L0xx`` — pass-legality violations (transformations that would change
+  the kernel's semantics),
+* ``W0xx`` — performance or modelling warnings.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Tuple
+
+__all__ = ["Severity", "Diagnostic", "DiagnosticSet", "CODES"]
+
+
+#: Registry of stable diagnostic codes and their one-line meanings.
+CODES = {
+    "V001": "kernel failed structural IR verification",
+    "D001": "loop-carried dependence (informational)",
+    "R001": "store does not vary along a CPU worksharing loop (write race)",
+    "R002": "store does not vary along a GPU grid dimension (write race)",
+    "R003": "store executes outside an enclosing parallel loop",
+    "L001": "loop interchange would reverse a loop-carried dependence",
+    "L002": "vectorising a strict-FP reduction reassociates the sum",
+    "L003": "bounds-check elision on a not-provably-in-bounds reference",
+    "L004": "invariant motion would hoist a load across a dependent store",
+    "L005": "transformation would break the kernel's parallel structure",
+    "W001": "strided store in the innermost loop defeats vectorisation",
+    "W002": "unrolled strict-FP reduction keeps a single accumulator chain",
+    "W003": "strided load in the innermost CPU loop (one line per access)",
+}
+
+
+class Severity(enum.Enum):
+    """How bad a diagnostic is.
+
+    ``ERROR`` findings fail :class:`~repro.ir.passes.PassPipeline` gating
+    and make ``repro lint`` exit nonzero; ``WARNING`` and ``INFO`` are
+    reported but do not gate.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One linter finding: a stable code, a severity and a message.
+
+    ``kernel`` names the kernel the finding is about; ``subject`` names
+    the construct (a reference, a pass, a loop) when there is one.
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    kernel: str = ""
+    subject: str = ""
+
+    def __post_init__(self) -> None:
+        if self.code not in CODES:
+            raise ValueError(
+                f"unknown diagnostic code {self.code!r}; register it in "
+                f"repro.ir.lint.diagnostics.CODES")
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity is Severity.ERROR
+
+    def __str__(self) -> str:
+        where = f" [{self.kernel}]" if self.kernel else ""
+        return f"{self.severity.value} {self.code}{where}: {self.message}"
+
+
+@dataclass
+class DiagnosticSet:
+    """An ordered collection of diagnostics with severity filters."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def add(self, diag: Diagnostic) -> None:
+        self.diagnostics.append(diag)
+
+    def extend(self, diags: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(diags)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __bool__(self) -> bool:
+        return bool(self.diagnostics)
+
+    @property
+    def errors(self) -> Tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics
+                     if d.severity is Severity.ERROR)
+
+    @property
+    def warnings(self) -> Tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics
+                     if d.severity is Severity.WARNING)
+
+    @property
+    def infos(self) -> Tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics
+                     if d.severity is Severity.INFO)
+
+    @property
+    def codes(self) -> Tuple[str, ...]:
+        return tuple(d.code for d in self.diagnostics)
+
+    def sorted(self) -> "DiagnosticSet":
+        """A copy ordered most-severe first (stable within a severity)."""
+        return DiagnosticSet(sorted(self.diagnostics,
+                                    key=lambda d: d.severity.rank))
+
+    def render(self) -> str:
+        """Aligned diagnostics table (see :func:`repro.ir.pretty.render_diagnostics`)."""
+        from ..pretty import render_diagnostics
+
+        return render_diagnostics(self.diagnostics)

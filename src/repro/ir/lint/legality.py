@@ -1,0 +1,138 @@
+"""Pass-legality preconditions: the checks behind ``Pass.preconditions``.
+
+Each optimisation pass in :mod:`repro.ir.passes` declares the conditions
+under which its transformation is semantics-preserving; the
+:class:`~repro.ir.passes.PassPipeline` evaluates them *before* running the
+pass and raises :class:`repro.errors.LintError` on any error-severity
+finding, so an illegal transformation fails loudly instead of silently
+corrupting the cost model's input.  The checks live here — next to the
+dependence analyzer they are built on — and the pass classes stay thin.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..nodes import Kernel, ParallelKind
+from .bounds import provably_in_bounds
+from .dependence import interchange_legal
+from .diagnostics import Diagnostic, Severity
+
+__all__ = [
+    "interchange_preconditions",
+    "licm_preconditions",
+    "elide_bounds_preconditions",
+    "unroll_preconditions",
+]
+
+
+def interchange_preconditions(kernel: Kernel,
+                              new_order: str) -> List[Diagnostic]:
+    """Legality of permuting the nest to ``new_order``.
+
+    ``L005`` when a worksharing/grid loop would be buried below a
+    sequential one; ``L001`` when a loop-carried dependence would be
+    reversed or a scalar-accumulator reduction would leave the innermost
+    position.  Malformed targets (not a permutation) are left to the
+    pass's own structural error.
+    """
+    out: List[Diagnostic] = []
+    current = kernel.loop_order
+    order = new_order.strip().lower()
+    if sorted(order) != sorted(current) or order == current:
+        return out
+    by_var = {loop.var: loop for loop in kernel.loops}
+    n_parallel = sum(1 for loop in kernel.loops
+                     if loop.parallel is not ParallelKind.SEQUENTIAL)
+    for depth, var in enumerate(order):
+        if (by_var[var].parallel is not ParallelKind.SEQUENTIAL
+                and depth >= n_parallel):
+            out.append(Diagnostic(
+                code="L005", severity=Severity.ERROR,
+                message=(f"interchange to {order!r} buries parallel loop "
+                         f"{var!r} at depth {depth}"),
+                kernel=kernel.name, subject="interchange"))
+    if kernel.scalar_accum and by_var[order[-1]].axis.value != "K":
+        out.append(Diagnostic(
+            code="L001", severity=Severity.ERROR,
+            message=(f"interchange to {order!r} hoists the reduction loop "
+                     f"of a scalar-accumulator kernel out of the innermost "
+                     f"position"),
+            kernel=kernel.name, subject="interchange"))
+    ok, why = interchange_legal(kernel, order)
+    if not ok:
+        out.append(Diagnostic(
+            code="L001", severity=Severity.ERROR,
+            message=f"illegal interchange: {why}",
+            kernel=kernel.name, subject="interchange"))
+    return out
+
+
+def licm_preconditions(kernel: Kernel) -> List[Diagnostic]:
+    """Legality of the hoists loop-invariant motion would perform.
+
+    Hoisting a load above a loop that contains a store to the same array
+    through a *different* index function reorders a read against writes it
+    depends on (``L004``).  The same-reference read-modify-write case is
+    register promotion and stays legal: the hoisted value is the running
+    accumulator the store keeps writing back.
+    """
+    out: List[Diagnostic] = []
+    stores_by_array = {}
+    for st in kernel.body.stores:
+        stores_by_array.setdefault(st.ref.array, []).append(st.ref)
+    for ld in kernel.body.loads:
+        used = {v for idx in ld.ref.indices for v, c in idx.coeffs if c != 0}
+        level = None
+        for loop in reversed(kernel.loops):
+            if loop.var in used:
+                break
+            level = loop.var
+        if level is None:
+            continue
+        for wref in stores_by_array.get(ld.ref.array, ()):
+            if wref != ld.ref:
+                out.append(Diagnostic(
+                    code="L004", severity=Severity.ERROR,
+                    message=(f"hoisting load {ld.ref} above loop {level!r} "
+                             f"crosses store {wref} to the same array"),
+                    kernel=kernel.name, subject=f"load {ld.ref}"))
+    return out
+
+
+def elide_bounds_preconditions(kernel: Kernel) -> List[Diagnostic]:
+    """Legality of removing per-access bounds checks (``L003``).
+
+    Only applies when the kernel actually carries checks; every guarded
+    reference must then be provably in bounds by the loop bounds alone.
+    """
+    if not kernel.bounds_checked:
+        return []
+    out: List[Diagnostic] = []
+    seen = set()
+    for item in list(kernel.body.loads) + list(kernel.body.stores):
+        if item.ref in seen:
+            continue
+        seen.add(item.ref)
+        ok, why = provably_in_bounds(kernel, item.ref)
+        if not ok:
+            out.append(Diagnostic(
+                code="L003", severity=Severity.ERROR,
+                message=(f"cannot elide bounds check on {item.ref}: {why}"),
+                kernel=kernel.name, subject=f"ref {item.ref}"))
+    return out
+
+
+def unroll_preconditions(kernel: Kernel, factor: int) -> List[Diagnostic]:
+    """Unrolling is always order-preserving; note (``W002``, info) when a
+    strict-FP reduction is unrolled, since without ``fastmath`` the unroll
+    amortises loop control but cannot split the accumulator chain."""
+    inner = kernel.inner
+    if (factor > 1 and kernel.scalar_accum and inner.axis.value == "K"
+            and not kernel.fastmath):
+        return [Diagnostic(
+            code="W002", severity=Severity.INFO,
+            message=(f"unroll x{factor} of the strict-FP {inner.var} "
+                     f"reduction keeps a single accumulator chain"),
+            kernel=kernel.name, subject=f"loop {inner.var}")]
+    return []

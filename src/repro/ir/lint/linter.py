@@ -1,0 +1,167 @@
+"""The kernel linter: run every analysis over a kernel or the whole study.
+
+:func:`lint_kernel` is the single-kernel entry point (verification, race
+detection, dependence facts, stride warnings); :func:`lint_lowering` lints
+what a programming-model frontend actually produces for a target, folding
+in any pass-gating failure; :func:`lint_registry` sweeps every registered
+model × device × precision — the engine behind ``repro lint``.
+
+Model and machine imports happen inside the functions: the pass modules
+import :mod:`repro.ir.lint` for their preconditions, and the models import
+the passes, so a module-level import of the registry here would be
+circular.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ...core.types import MatrixShape
+from ...errors import IRVerificationError, LintError
+from ..analysis import StrideClass, reference_info
+from ..nodes import Kernel, ParallelKind
+from .dependence import analyze_dependences
+from .diagnostics import Diagnostic, DiagnosticSet, Severity
+from .races import race_diagnostics
+
+__all__ = ["lint_kernel", "lint_lowering", "lint_registry", "LintResult"]
+
+#: Stride classes are shape-scaled, so any non-degenerate shape works.
+_REPRESENTATIVE_SHAPE = MatrixShape(64, 64, 64)
+
+
+def lint_kernel(kernel: Kernel) -> DiagnosticSet:
+    """All findings for one kernel, most fundamental first.
+
+    A kernel that fails structural verification gets a single ``V001`` —
+    the deeper analyses assume a verified nest and are skipped.
+    """
+    diags = DiagnosticSet()
+    try:
+        kernel.verify()
+    except IRVerificationError as exc:
+        diags.add(Diagnostic(
+            code="V001", severity=Severity.ERROR, message=str(exc),
+            kernel=kernel.name))
+        return diags
+
+    diags.extend(race_diagnostics(kernel))
+
+    for dep in analyze_dependences(kernel):
+        if dep.carried_by is not None:
+            diags.add(Diagnostic(
+                code="D001", severity=Severity.INFO,
+                message=dep.describe(), kernel=kernel.name,
+                subject=f"array {dep.array}"))
+
+    on_gpu = any(l.parallel is ParallelKind.GRID for l in kernel.loops)
+    for info in reference_info(kernel, _REPRESENTATIVE_SHAPE):
+        if info.stride_class != StrideClass.STRIDED:
+            continue
+        if info.kind == "store":
+            diags.add(Diagnostic(
+                code="W001", severity=Severity.WARNING,
+                message=(f"store {info.ref} is strided "
+                         f"({info.inner_stride_elems} elements) in its "
+                         f"fastest loop: scatter stores defeat "
+                         f"vectorisation"),
+                kernel=kernel.name, subject=f"store {info.ref}"))
+        elif not on_gpu:
+            diags.add(Diagnostic(
+                code="W003", severity=Severity.INFO,
+                message=(f"load {info.ref} is strided "
+                         f"({info.inner_stride_elems} elements) in the "
+                         f"inner loop: one cache line per element"),
+                kernel=kernel.name, subject=f"load {info.ref}"))
+    return diags
+
+
+@dataclass(frozen=True)
+class LintResult:
+    """One row of a registry sweep: a (model, target, precision) lint."""
+
+    model: str
+    target: str
+    precision: str
+    skipped: str = ""          # non-empty: unsupported combo, not linted
+    diagnostics: Tuple[Diagnostic, ...] = ()
+
+    @property
+    def error_count(self) -> int:
+        return sum(1 for d in self.diagnostics if d.is_error)
+
+    @property
+    def clean(self) -> bool:
+        return not self.skipped and self.error_count == 0
+
+
+def lint_lowering(model, spec, precision) -> DiagnosticSet:
+    """Lint what ``model`` lowers for ``spec`` at ``precision``.
+
+    A :class:`repro.errors.LintError` raised by pass gating becomes its
+    own diagnostics; otherwise the lowered kernel is linted and the
+    non-blocking findings recorded by the pipeline are folded in.
+    """
+    from ...machine.cpu import CPUSpec
+
+    diags = DiagnosticSet()
+    try:
+        if isinstance(spec, CPUSpec):
+            lowering = model.lower_cpu(spec, precision)
+        else:
+            lowering = model.lower_gpu(spec, precision)
+    except LintError as exc:
+        diags.extend(exc.diagnostics)
+        return diags
+    diags.extend(lint_kernel(lowering.kernel))
+    for rec in lowering.pass_records:
+        diags.extend(rec.diagnostics)
+    return diags
+
+
+def lint_registry(models: Optional[Sequence[str]] = None,
+                  device: str = "all",
+                  precisions: Optional[Sequence] = None) -> List[LintResult]:
+    """Sweep every registered model × device × precision.
+
+    ``models`` restricts to registry names (default: all, extensions
+    included); ``device`` is ``"cpu"``, ``"gpu"`` or ``"all"``;
+    ``precisions`` defaults to every :class:`~repro.core.types.Precision`.
+    Unsupported combinations become skipped rows, not failures.
+    """
+    from ...core.types import Precision
+    from ...machine.catalog import CPU_CATALOG, GPU_CATALOG
+    from ...models.registry import all_models, model_by_name
+
+    if models is None:
+        chosen = all_models(include_extensions=True)
+    else:
+        chosen = [model_by_name(name) for name in models]
+    precs = list(precisions) if precisions is not None else list(Precision)
+
+    specs = []
+    if device in ("cpu", "all"):
+        specs += list(CPU_CATALOG.values())
+    if device in ("gpu", "all"):
+        specs += list(GPU_CATALOG.values())
+    if not specs:
+        raise ValueError(f"device must be 'cpu', 'gpu' or 'all', "
+                         f"not {device!r}")
+
+    out: List[LintResult] = []
+    for model in chosen:
+        for spec in specs:
+            for prec in precs:
+                support = model.supports(spec, prec)
+                if not support.supported:
+                    out.append(LintResult(
+                        model=model.name, target=spec.name,
+                        precision=prec.value, skipped=support.reason))
+                    continue
+                diags = lint_lowering(model, spec, prec)
+                out.append(LintResult(
+                    model=model.name, target=spec.name,
+                    precision=prec.value,
+                    diagnostics=tuple(diags)))
+    return out

@@ -1,0 +1,54 @@
+"""Race detection: stores that do not vary along every parallel loop.
+
+The read-side of parallel sharing is a *feature* the cost model exploits
+(``shared_across_parallel`` in :mod:`repro.ir.analysis`: every thread
+streaming the same ``B`` panel turns misses into hits).  The write-side
+dual is a *bug*: a store whose index does not vary along a worksharing or
+grid loop means two workers write the same element concurrently — the
+lowering models a kernel no real toolchain could produce correctly.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..nodes import Kernel, ParallelKind
+from .diagnostics import Diagnostic, Severity
+
+__all__ = ["race_diagnostics"]
+
+
+def race_diagnostics(kernel: Kernel) -> List[Diagnostic]:
+    """Write-race findings (``R001``/``R002``/``R003``) for one kernel."""
+    out: List[Diagnostic] = []
+    parallel = kernel.parallel_loops
+    if not parallel:
+        return out
+    for st in kernel.body.stores:
+        enclosing = set(kernel.enclosing_vars(st.hoisted_above))
+        varies = {v for idx in st.ref.indices
+                  for v, c in idx.coeffs if c != 0}
+        for loop in parallel:
+            grid = loop.parallel is ParallelKind.GRID
+            if loop.var not in enclosing:
+                out.append(Diagnostic(
+                    code="R003",
+                    severity=Severity.ERROR,
+                    message=(f"store {st.ref} is hoisted outside parallel "
+                             f"loop {loop.var!r}: its execution is not owned "
+                             f"by any single worker"),
+                    kernel=kernel.name,
+                    subject=f"store {st.ref}",
+                ))
+            elif loop.var not in varies:
+                out.append(Diagnostic(
+                    code="R002" if grid else "R001",
+                    severity=Severity.ERROR,
+                    message=(f"store {st.ref} does not vary along "
+                             f"{'grid dimension' if grid else 'worksharing loop'} "
+                             f"{loop.var!r}: concurrent workers write the "
+                             f"same elements"),
+                    kernel=kernel.name,
+                    subject=f"store {st.ref}",
+                ))
+    return out

@@ -235,6 +235,28 @@ class Kernel:
         """Loop variables outermost-to-innermost, e.g. ``'ikj'``."""
         return "".join(l.var for l in self.loops)
 
+    @property
+    def parallel_loops(self) -> Tuple[Loop, ...]:
+        """The worksharing/grid loops, outermost first."""
+        return tuple(l for l in self.loops
+                     if l.parallel is not ParallelKind.SEQUENTIAL)
+
+    def enclosing_vars(self, hoisted_above: Optional[str]) -> Tuple[str, ...]:
+        """Loop variables enclosing a statement hoisted above ``hoisted_above``
+        (all of them when the statement sits in the innermost body).  An
+        unknown hoist variable means the statement is enclosed by every
+        loop, mirroring how stride analysis treats it."""
+        if hoisted_above is None:
+            return tuple(l.var for l in self.loops)
+        out = []
+        for l in self.loops:
+            if l.var == hoisted_above:
+                break
+            out.append(l.var)
+        else:
+            return tuple(l.var for l in self.loops)
+        return tuple(out)
+
     def loops_below(self, var: str) -> Tuple[Loop, ...]:
         """Loops strictly inside loop ``var``."""
         for i, l in enumerate(self.loops):

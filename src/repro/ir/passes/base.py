@@ -1,19 +1,31 @@
-"""Pass infrastructure: a tiny, logged, verifying pass pipeline.
+"""Pass infrastructure: a tiny, logged, verifying, *gated* pass pipeline.
 
 Each programming-model frontend assembles the pipeline its real toolchain
 would run (e.g. Julia: invariant motion, bounds-check elision via
 ``@inbounds``, vectorise, unroll×2; nvcc: the same but unroll×4).  The
 pipeline verifies the kernel after every pass so a broken transformation
 fails loudly rather than silently corrupting the cost model's input.
+
+On top of verification, every pass declares :meth:`Pass.preconditions` —
+the static-analysis legality facts that must hold *before* it may run
+(interchange must not reverse a dependence, bounds-check elision needs an
+in-bounds proof, ...; see :mod:`repro.ir.lint.legality`).  The pipeline
+evaluates them and raises :class:`repro.errors.LintError` on any
+error-severity finding.  Calling ``pass.run(kernel)`` directly stays
+ungated — that is the escape hatch tests use to study illegal transforms.
 """
 
 from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import TYPE_CHECKING, List, Tuple
 
+from ...errors import LintError
 from ..nodes import Kernel
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from ..lint.diagnostics import Diagnostic
 
 __all__ = ["Pass", "PassPipeline", "PassRecord"]
 
@@ -28,6 +40,15 @@ class Pass(abc.ABC):
     def run(self, kernel: Kernel) -> Kernel:
         """Return the transformed kernel (input is immutable)."""
 
+    def preconditions(self, kernel: Kernel) -> List["Diagnostic"]:
+        """Legality findings that must be clean before this pass may run.
+
+        Error-severity diagnostics block the pass when run through a
+        gating :class:`PassPipeline`; warnings and infos are recorded on
+        the :class:`PassRecord`.  The default is unconditional legality.
+        """
+        return []
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} {self.name}>"
 
@@ -39,28 +60,50 @@ class PassRecord:
     name: str
     changed: bool
     detail: str = ""
+    #: Non-blocking precondition findings (warnings/infos) at gate time.
+    diagnostics: Tuple["Diagnostic", ...] = ()
 
 
 @dataclass
 class PassPipeline:
-    """An ordered list of passes applied with verification and logging."""
+    """An ordered list of passes applied with verification and logging.
+
+    With ``gate=True`` (the default) each pass's :meth:`Pass.preconditions`
+    are checked first and an error-severity finding aborts the pipeline
+    with a :class:`repro.errors.LintError` carrying the diagnostics.
+    """
 
     passes: List[Pass] = field(default_factory=list)
+    gate: bool = True
 
     def add(self, p: Pass) -> "PassPipeline":
         self.passes.append(p)
         return self
 
-    def run(self, kernel: Kernel) -> Tuple[Kernel, List[PassRecord]]:
+    def run(self, kernel: Kernel,
+            context: str = "") -> Tuple[Kernel, List[PassRecord]]:
         kernel.verify()
         records: List[PassRecord] = []
         for p in self.passes:
+            diags = tuple(p.preconditions(kernel)) if self.gate else ()
+            errors = tuple(d for d in diags if d.is_error)
+            if errors:
+                where = f" ({context})" if context else ""
+                raise LintError(
+                    f"pass {p.name!r} rejected kernel "
+                    f"{kernel.name!r}{where}: "
+                    + "; ".join(f"{d.code}: {d.message}" for d in errors),
+                    diagnostics=errors,
+                    kernel=kernel.name,
+                    context=context,
+                )
             after = p.run(kernel)
             after.verify()
             records.append(PassRecord(
                 name=p.name,
                 changed=after != kernel,
                 detail=getattr(p, "last_detail", ""),
+                diagnostics=diags,
             ))
             kernel = after
         return kernel, records

@@ -8,6 +8,7 @@ lets ablations measure what the checks cost.
 
 from __future__ import annotations
 
+from ..lint.legality import elide_bounds_preconditions
 from ..nodes import Guard, Kernel
 from .base import Pass
 
@@ -18,6 +19,9 @@ class ElideBoundsChecks(Pass):
     """Remove per-access bounds checks (the effect of Julia's ``@inbounds``)."""
     name = "elide-bounds"
     last_detail = ""
+
+    def preconditions(self, kernel: Kernel):
+        return elide_bounds_preconditions(kernel)
 
     def run(self, kernel: Kernel) -> Kernel:
         # Grid guards (hoisted above the k loop in GPU kernels) are control

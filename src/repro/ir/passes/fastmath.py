@@ -15,7 +15,12 @@ __all__ = ["SetFastMath"]
 
 
 class SetFastMath(Pass):
-    """Set or clear the fastmath flag (permits FP reassociation)."""
+    """Set or clear the fastmath flag (permits FP reassociation).
+
+    Unconditionally legal (it widens or narrows what *later* passes may
+    do, never reorders anything itself), so it keeps the default empty
+    :meth:`~repro.ir.passes.base.Pass.preconditions`.
+    """
     name = "fastmath"
     last_detail = ""
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import replace
 
 from ...errors import IRVerificationError
+from ..lint.legality import interchange_preconditions
 from ..nodes import Kernel, ParallelKind
 from .base import Pass
 from .invariant import LoopInvariantMotion
@@ -28,6 +29,9 @@ class InterchangeLoops(Pass):
     def __init__(self, new_order: str, rehoist: bool = True):
         self.new_order = new_order.strip().lower()
         self.rehoist = rehoist
+
+    def preconditions(self, kernel: Kernel):
+        return interchange_preconditions(kernel, self.new_order)
 
     def run(self, kernel: Kernel) -> Kernel:
         current = kernel.loop_order

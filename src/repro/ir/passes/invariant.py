@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..lint.legality import licm_preconditions
 from ..nodes import Kernel, LoadOp, StoreOp
 from .base import Pass
 
@@ -29,6 +30,9 @@ class LoopInvariantMotion(Pass):
     """Hoist loop-invariant loads (and sink scalar-accumulator stores)."""
     name = "licm"
     last_detail = ""
+
+    def preconditions(self, kernel: Kernel):
+        return licm_preconditions(kernel)
 
     def run(self, kernel: Kernel) -> Kernel:
         hoisted = []

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import replace
 
 from ...errors import IRVerificationError
+from ..lint.legality import unroll_preconditions
 from ..nodes import Kernel
 from .base import Pass
 
@@ -27,6 +28,9 @@ class UnrollInnerLoop(Pass):
         if factor < 1:
             raise IRVerificationError(f"unroll factor {factor} must be >= 1")
         self.factor = factor
+
+    def preconditions(self, kernel: Kernel):
+        return unroll_preconditions(kernel, self.factor)
 
     def run(self, kernel: Kernel) -> Kernel:
         inner = kernel.inner

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import replace
 
 from ...errors import IRVerificationError
+from ..lint.diagnostics import Diagnostic, Severity
 from ..nodes import Kernel
 from .base import Pass
 
@@ -59,6 +60,19 @@ class VectorizeInnerLoop(Pass):
             raise IRVerificationError(f"vector width {width} must be >= 1")
         self.width = width
         self.force = force
+
+    def preconditions(self, kernel: Kernel):
+        # An unforced run degrades gracefully (it leaves the loop scalar),
+        # so only a *forced* illegal vectorisation is a gating error.
+        if not self.force:
+            return []
+        ok, why = vectorization_legal(kernel)
+        if ok:
+            return []
+        return [Diagnostic(
+            code="L002", severity=Severity.ERROR,
+            message=f"forced vectorisation x{self.width} is illegal: {why}",
+            kernel=kernel.name, subject="vectorize")]
 
     def run(self, kernel: Kernel) -> Kernel:
         ok, why = vectorization_legal(kernel)

@@ -11,7 +11,7 @@ from typing import List, Optional
 
 from .nodes import Kernel, Loop, ParallelKind
 
-__all__ = ["render_kernel"]
+__all__ = ["render_kernel", "render_diagnostics"]
 
 _INDENT = "    "
 
@@ -85,4 +85,22 @@ def render_kernel(kernel: Kernel) -> str:
             lines.append(_INDENT * depth
                          + f"{st.ref} = {src}   # stored once, after the "
                            f"{st.hoisted_above} loop")
+    return "\n".join(lines)
+
+
+def render_diagnostics(diagnostics) -> str:
+    """Render linter findings as an aligned ``severity code kernel message``
+    table.  Duck-typed over anything with ``severity``/``code``/``kernel``/
+    ``message`` attributes so it accepts lists, tuples and
+    :class:`~repro.ir.lint.diagnostics.DiagnosticSet`."""
+    diags = list(diagnostics)
+    if not diags:
+        return "no findings"
+    sev_w = max(len(d.severity.value) for d in diags)
+    ker_w = max(len(d.kernel) for d in diags)
+    lines: List[str] = []
+    for d in diags:
+        where = d.kernel.ljust(ker_w) + "  " if ker_w else ""
+        lines.append(f"{d.severity.value.ljust(sev_w)}  {d.code}  "
+                     f"{where}{d.message}")
     return "\n".join(lines)

@@ -174,6 +174,19 @@ class ProgrammingModel(abc.ABC):
 
     # -- helpers -------------------------------------------------------------
 
+    def _run_pipeline(self, passes, kernel: Kernel,
+                      target: str = "") -> Tuple[Kernel, Tuple[PassRecord, ...]]:
+        """Run this model's passes through a gating pipeline.
+
+        The context string ties a :class:`repro.errors.LintError` back to
+        the frontend and target that produced the illegal kernel.
+        """
+        from ..ir.passes.base import PassPipeline
+
+        context = self.display + (f" on {target}" if target else "")
+        out, records = PassPipeline(list(passes)).run(kernel, context=context)
+        return out, tuple(records)
+
     def _listing_lines(self, device: DeviceKind, fallback: int) -> int:
         """Kernel LoC measured from the paper's actual source listing
         (:mod:`repro.models.listings`), falling back when no listing

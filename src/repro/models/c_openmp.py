@@ -15,7 +15,6 @@ from ..core.types import DeviceKind, Precision
 from ..ir import builder
 from ..ir.passes import (
     LoopInvariantMotion,
-    PassPipeline,
     UnrollInnerLoop,
     VectorizeInnerLoop,
 )
@@ -55,12 +54,11 @@ class COpenMPModel(ProgrammingModel):
                   config: Optional[RunConfig] = None) -> CPULowering:
         self.require_support(cpu, precision)
         kernel = builder.c_openmp_cpu(precision)
-        pipeline = PassPipeline([
+        kernel, records = self._run_pipeline([
             LoopInvariantMotion(),
             VectorizeInnerLoop(cpu.simd_lanes(precision)),
             UnrollInnerLoop(CLANG_UNROLL),
-        ])
-        kernel, records = pipeline.run(kernel)
+        ], kernel, target=cpu.name)
 
         cfg = config if config is not None else RunConfig.openmp(cpu.cores)
         pin = PinPolicy.COMPACT if cfg.pinning_for("openmp") or config is None \

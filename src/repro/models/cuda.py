@@ -12,7 +12,7 @@ from ..core.types import DeviceKind, Layout, Precision
 from ..gpu.launch import paper_launch
 from ..gpu.warp_sim import IssueProfile
 from ..ir import builder
-from ..ir.passes import LoopInvariantMotion, PassPipeline, UnrollInnerLoop
+from ..ir.passes import LoopInvariantMotion, UnrollInnerLoop
 from ..machine.cpu import CPUSpec
 from ..machine.gpu import GPUSpec
 from .base import GPULowering, ProductivityInfo, ProgrammingModel, Support
@@ -48,10 +48,10 @@ class CUDAModel(ProgrammingModel):
         self.require_support(gpu, precision)
         kernel = builder.gpu_thread_per_element("gemm-cuda", precision,
                                                 Layout.ROW_MAJOR)
-        kernel, records = PassPipeline([
+        kernel, records = self._run_pipeline([
             LoopInvariantMotion(),
             UnrollInnerLoop(NVCC_UNROLL),
-        ]).run(kernel)
+        ], kernel, target=gpu.name)
         return GPULowering(
             kernel=kernel,
             launch=paper_launch(x_axis="j"),  # row-major: x walks columns

@@ -36,7 +36,6 @@ from ..ir import builder
 from ..ir.passes import (
     ElideBoundsChecks,
     LoopInvariantMotion,
-    PassPipeline,
     UnrollInnerLoop,
     VectorizeInnerLoop,
 )
@@ -118,13 +117,12 @@ class JuliaModel(ProgrammingModel):
         kernel = builder.julia_threads_cpu(precision)
         lanes = cpu.simd_lanes(precision)
         fp16_soft = precision is Precision.FP16 and not cpu.native_fp16
-        pipeline = PassPipeline([
+        kernel, records = self._run_pipeline([
             LoopInvariantMotion(),
             ElideBoundsChecks(),  # the @inbounds in Fig. 2c
             VectorizeInnerLoop(1 if fp16_soft else lanes),
             UnrollInnerLoop(1 if fp16_soft else 4),
-        ])
-        kernel, records = pipeline.run(kernel)
+        ], kernel, target=cpu.name)
 
         cfg = config if config is not None else RunConfig.julia(cpu.cores)
         pin = PinPolicy.COMPACT if (config is None or cfg.pinning_for("julia")) \
@@ -147,10 +145,10 @@ class JuliaModel(ProgrammingModel):
         # the row index, keeping accesses coalesced for that layout.
         kernel = builder.gpu_thread_per_element("gemm-julia-gpu", precision,
                                                 Layout.COL_MAJOR)
-        kernel, records = PassPipeline([
+        kernel, records = self._run_pipeline([
             LoopInvariantMotion(),
             UnrollInnerLoop(CUDAJL_UNROLL),
-        ]).run(kernel)
+        ], kernel, target=gpu.name)
         quality = _GPU_QUALITY.get((gpu.name, precision), 1.15)
         profile = IssueProfile(
             issue_multiplier=quality,

@@ -24,7 +24,7 @@ from ..core.types import DeviceKind, Layout, Precision
 from ..gpu.launch import paper_launch
 from ..gpu.warp_sim import IssueProfile
 from ..ir import builder
-from ..ir.passes import LoopInvariantMotion, PassPipeline, UnrollInnerLoop
+from ..ir.passes import LoopInvariantMotion, UnrollInnerLoop
 from ..machine.cpu import CPUSpec
 from ..machine.gpu import GPUSpec
 from .base import GPULowering, ProductivityInfo, ProgrammingModel, Support
@@ -58,10 +58,10 @@ class KernelAbstractionsModel(ProgrammingModel):
         self.require_support(gpu, precision)
         kernel = builder.gpu_thread_per_element("gemm-ka-jl", precision,
                                                 Layout.COL_MAJOR)
-        kernel, records = PassPipeline([
+        kernel, records = self._run_pipeline([
             LoopInvariantMotion(),
             UnrollInnerLoop(CUDAJL_UNROLL),  # same GPUCompiler.jl pipeline
-        ]).run(kernel)
+        ], kernel, target=gpu.name)
         native_quality = _GPU_QUALITY.get((gpu.name, precision), 1.15)
         profile = IssueProfile(
             issue_multiplier=native_quality * _KA_MULTIPLIER,

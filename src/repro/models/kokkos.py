@@ -39,7 +39,6 @@ from ..gpu.warp_sim import IssueProfile
 from ..ir import builder
 from ..ir.passes import (
     LoopInvariantMotion,
-    PassPipeline,
     UnrollInnerLoop,
     VectorizeInnerLoop,
 )
@@ -106,12 +105,11 @@ class KokkosModel(ProgrammingModel):
             "gemm-kokkos-openmp", precision, "ikj", Layout.ROW_MAJOR,
             parallel_vars=("i",), hoist_invariant=True,
         )
-        pipeline = PassPipeline([
+        kernel, records = self._run_pipeline([
             LoopInvariantMotion(),
             VectorizeInnerLoop(cpu.simd_lanes(precision)),
             UnrollInnerLoop(4),
-        ])
-        kernel, records = pipeline.run(kernel)
+        ], kernel, target=cpu.name)
 
         cfg = config if config is not None else RunConfig.openmp(cpu.cores)
         pin = PinPolicy.COMPACT if (config is None or cfg.pinning_for("kokkos")) \
@@ -135,10 +133,10 @@ class KokkosModel(ProgrammingModel):
         kernel = builder.gpu_thread_per_element(
             "gemm-kokkos-" + ("cuda" if is_cuda else "hip"),
             precision, Layout.COL_MAJOR)
-        kernel, records = PassPipeline([
+        kernel, records = self._run_pipeline([
             LoopInvariantMotion(),
             UnrollInnerLoop(4),  # the underlying nvcc/hipcc still unroll
-        ]).run(kernel)
+        ], kernel, target=gpu.name)
 
         quality = _GPU_QUALITY.get((gpu.name, precision), 1.2)
         if is_cuda:

@@ -31,7 +31,6 @@ from ..gpu.warp_sim import IssueProfile
 from ..ir import builder
 from ..ir.passes import (
     LoopInvariantMotion,
-    PassPipeline,
     SetFastMath,
     UnrollInnerLoop,
     VectorizeInnerLoop,
@@ -99,13 +98,12 @@ class NumbaModel(ProgrammingModel):
                   config: Optional[RunConfig] = None) -> CPULowering:
         self.require_support(cpu, precision)
         kernel = builder.numba_cpu(precision)
-        pipeline = PassPipeline([
+        kernel, records = self._run_pipeline([
             SetFastMath(True),  # @njit(fastmath=True) in Fig. 2d
             LoopInvariantMotion(),
             VectorizeInnerLoop(cpu.simd_lanes(precision)),
             UnrollInnerLoop(4),
-        ])
-        kernel, records = pipeline.run(kernel)
+        ], kernel, target=cpu.name)
 
         quality = _CPU_QUALITY.get((cpu.name, precision), 1.4)
         return CPULowering(
@@ -124,10 +122,10 @@ class NumbaModel(ProgrammingModel):
         self.require_support(gpu, precision)
         kernel = builder.gpu_thread_per_element("gemm-numba-cuda", precision,
                                                 Layout.ROW_MAJOR)
-        kernel, records = PassPipeline([
+        kernel, records = self._run_pipeline([
             LoopInvariantMotion(),
             UnrollInnerLoop(1),  # Numba leaves the reduction loop rolled
-        ]).run(kernel)
+        ], kernel, target=gpu.name)
         profile = IssueProfile(
             issue_multiplier=_GPU_QUALITY[precision],
             extra_int_per_iter=_GPU_EXTRA_INT,

@@ -26,7 +26,6 @@ from ..core.types import DeviceKind, Precision
 from ..ir import builder
 from ..ir.passes import (
     LoopInvariantMotion,
-    PassPipeline,
     SetFastMath,
     UnrollInnerLoop,
     VectorizeInnerLoop,
@@ -61,13 +60,12 @@ class PyOMPModel(ProgrammingModel):
                   config: Optional[RunConfig] = None) -> CPULowering:
         self.require_support(cpu, precision)
         kernel = builder.numba_cpu(precision)  # same source as Fig. 2d
-        pipeline = PassPipeline([
+        kernel, records = self._run_pipeline([
             SetFastMath(True),
             LoopInvariantMotion(),
             VectorizeInnerLoop(cpu.simd_lanes(precision)),
             UnrollInnerLoop(4),
-        ])
-        kernel, records = pipeline.run(kernel)
+        ], kernel, target=cpu.name)
 
         # Same LLVM code generator as Numba: reuse its codegen residual.
         quality = _NUMBA_CPU_QUALITY.get((cpu.name, precision), 1.4)

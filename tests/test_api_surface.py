@@ -13,6 +13,7 @@ PACKAGES = [
     "repro.machine",
     "repro.ir",
     "repro.ir.passes",
+    "repro.ir.lint",
     "repro.models",
     "repro.sched",
     "repro.gpu",

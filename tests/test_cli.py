@@ -168,3 +168,15 @@ class TestCommands:
         assert rc == 0
         assert "report written" in out
         assert "verdict: REPRODUCED" in out_file.read_text()
+
+    def test_lint_command_clean(self, capsys):
+        rc, out = run_cli(capsys, "lint")
+        assert rc == 0
+        assert "0 errors" in out
+        assert "unsupported combinations skipped" in out
+
+    def test_lint_command_filters(self, capsys):
+        rc, out = run_cli(capsys, "lint", "--models", "julia",
+                          "--device", "cpu", "--precision", "fp64")
+        assert rc == 0
+        assert "linted 2 lowerings" in out

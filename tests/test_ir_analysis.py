@@ -149,3 +149,49 @@ class TestReferenceInfo:
         info = {(r.array, r.kind): r for r in reference_info(k, SHAPE)}
         assert info[("A", "load")].element_bytes == 2
         assert info[("C", "store")].element_bytes == 4
+
+
+class TestAccumStreams:
+    """Regression: accum_streams depends only on (chain, fastmath); the old
+    accumulator logic had an unreachable strict-FP branch."""
+
+    def test_fastmath_unroll_and_vectorize_multiply(self):
+        k = builder.gpu_thread_per_element("g", Precision.FP64, Layout.ROW_MAJOR)
+        k = k.replace(fastmath=True)
+        k = VectorizeInnerLoop(4).run(UnrollInnerLoop(2).run(k))
+        assert instruction_mix(k, SHAPE).accum_streams == 8
+
+    def test_no_chain_kernel_scales_with_unroll_times_width(self):
+        # c_openmp kernel accumulates into C[i,j] in memory: no scalar
+        # reduction chain, so streams track the issue shape even strict-FP.
+        k = builder.c_openmp_cpu(Precision.FP64)
+        assert not k.fastmath
+        k = VectorizeInnerLoop(8).run(UnrollInnerLoop(2).run(k))
+        assert instruction_mix(k, SHAPE).accum_streams == 16
+
+
+class TestHoistedAboveOutermost:
+    """Regression: a statement hoisted above the outermost loop has no
+    enclosing loops, so its stride must be 0 (INVARIANT), not the stride
+    of some unrelated loop."""
+
+    def _kernel(self):
+        from repro.ir.nodes import LoadOp
+
+        k = builder.c_openmp_cpu(Precision.FP64)
+        loads = tuple(
+            LoadOp(ld.ref, hoisted_above="i") if ld.ref.array == "B" else ld
+            for ld in k.body.loads
+        )
+        return k.replace(body=k.body.with_(loads=loads))
+
+    def test_reference_info_invariant(self):
+        info = {(r.array, r.kind): r for r in reference_info(self._kernel(), SHAPE)}
+        b = info[("B", "load")]
+        assert b.executions == 1
+        assert b.inner_stride_elems == 0
+        assert b.stride_class == StrideClass.INVARIANT
+
+    def test_instruction_mix_still_computes(self):
+        mix = instruction_mix(self._kernel(), SHAPE)
+        assert mix.flops == flop_count(SHAPE)

@@ -1,0 +1,323 @@
+"""Tests for the kernel IR linter: dependence analysis, race detection,
+diagnostics, and pass-legality gating in the pipeline."""
+
+import pytest
+
+from repro.core.types import Layout, Precision
+from repro.errors import IRVerificationError, LintError
+from repro.ir import builder
+from repro.ir.lint import (
+    CODES,
+    DependenceKind,
+    Diagnostic,
+    DiagnosticSet,
+    Severity,
+    analyze_dependences,
+    interchange_legal,
+    lint_kernel,
+    lint_registry,
+    provably_in_bounds,
+    race_diagnostics,
+)
+from repro.ir.nodes import (
+    ArrayDecl,
+    ArrayRef,
+    AxisRole,
+    Body,
+    FMAOp,
+    IndexExpr,
+    Kernel,
+    LoadOp,
+    Loop,
+    ParallelKind,
+    StoreOp,
+)
+from repro.ir.passes import (
+    ElideBoundsChecks,
+    InterchangeLoops,
+    LoopInvariantMotion,
+    PassPipeline,
+    UnrollInnerLoop,
+    VectorizeInnerLoop,
+)
+
+P = Precision.FP64
+
+
+def _shifted_stencil() -> Kernel:
+    """W: A[i,j] = f(A[i-1,j+1]) — flow dependence with direction (<, >)."""
+    a = ArrayDecl("A", "A", (AxisRole.M, AxisRole.N), Layout.ROW_MAJOR, P)
+    read = ArrayRef("A", (IndexExpr((("i", 1),), -1), IndexExpr((("j", 1),), 1)))
+    write = ArrayRef("A", (IndexExpr.var("i"), IndexExpr.var("j")))
+    return Kernel(
+        name="stencil",
+        arrays=(a,),
+        loops=(Loop("i", AxisRole.M), Loop("j", AxisRole.N)),
+        body=Body(loads=(LoadOp(read),), fmas=(FMAOp(read, read),),
+                  stores=(StoreOp(write),)),
+        precision=P,
+    )
+
+
+class TestDependences:
+    def test_rmw_kernel_carries_flow_anti_output_on_k(self):
+        k = builder.c_openmp_cpu(P)  # order ikj, RMW of C[i,j]
+        deps = {d.kind for d in analyze_dependences(k) if d.array == "C"
+                and d.carried_by == "k"}
+        assert deps == {DependenceKind.FLOW, DependenceKind.ANTI,
+                        DependenceKind.OUTPUT}
+
+    def test_rmw_direction_vector(self):
+        k = builder.c_openmp_cpu(P)
+        flow = [d for d in analyze_dependences(k)
+                if d.kind is DependenceKind.FLOW and d.array == "C"]
+        assert len(flow) == 1
+        # nest order is i, k, j: carried by the middle (k) loop
+        assert flow[0].direction == ("=", "<", "=")
+        assert flow[0].distance[0] == 0 and flow[0].distance[2] == 0
+
+    def test_loop_independent_anti_dependence(self):
+        k = builder.c_openmp_cpu(P)
+        indep = [d for d in analyze_dependences(k) if d.loop_independent]
+        assert indep and all(d.kind is DependenceKind.ANTI for d in indep)
+
+    def test_scalar_accum_gpu_kernel_has_no_c_dependences(self):
+        k = builder.gpu_thread_per_element("g", P, Layout.ROW_MAJOR)
+        # C is stored once per thread, after the k loop: nothing carried.
+        assert not analyze_dependences(k)
+
+    def test_stencil_direction(self):
+        deps = analyze_dependences(_shifted_stencil())
+        flow = [d for d in deps if d.kind is DependenceKind.FLOW]
+        assert len(flow) == 1
+        assert flow[0].direction == ("<", ">")
+        assert flow[0].distance == (1, -1)
+        assert flow[0].carried_by == "i"
+
+
+class TestInterchangeLegality:
+    def test_rmw_permutations_legal(self):
+        k = builder.c_openmp_cpu(P)  # ikj
+        for order in ("ijk", "jik", "kij", "kji", "jki"):
+            ok, why = interchange_legal(k, order)
+            assert ok, f"{order}: {why}"
+
+    def test_stencil_swap_illegal(self):
+        ok, why = interchange_legal(_shifted_stencil(), "ji")
+        assert not ok
+        assert "reversed" in why
+
+    def test_non_permutation_rejected(self):
+        ok, why = interchange_legal(builder.c_openmp_cpu(P), "iij")
+        assert not ok and "permutation" in why
+
+
+class TestRaces:
+    def test_worksharing_reduction_loop_races(self):
+        # parallelise k: every worker read-modify-writes the same C[i,j]
+        k = builder.build_gemm("race-cpu", P, "kij", Layout.ROW_MAJOR,
+                               parallel_vars=("k",))
+        codes = [d.code for d in race_diagnostics(k)]
+        assert codes == ["R001"]
+
+    def test_grid_reduction_dimension_races(self):
+        k = builder.build_gemm("race-gpu", P, "ikj", Layout.ROW_MAJOR,
+                               parallel_vars=("i", "k"),
+                               parallel_kind=ParallelKind.GRID)
+        codes = [d.code for d in race_diagnostics(k)]
+        assert codes == ["R002"]
+
+    def test_store_hoisted_outside_parallel_loop(self):
+        k = builder.gpu_thread_per_element("g", P, Layout.ROW_MAJOR)
+        stores = tuple(StoreOp(st.ref, hoisted_above="j")
+                       for st in k.body.stores)
+        k = k.replace(body=k.body.with_(stores=stores))
+        codes = [d.code for d in race_diagnostics(k)]
+        assert codes == ["R003"]
+
+    def test_paper_kernels_race_free(self):
+        for kern in (builder.c_openmp_cpu(P), builder.julia_threads_cpu(P),
+                     builder.kokkos_cpu(P),
+                     builder.gpu_thread_per_element("g", P, Layout.COL_MAJOR)):
+            assert race_diagnostics(kern) == []
+
+
+class TestBoundsProofs:
+    def test_canonical_refs_in_bounds(self):
+        k = builder.c_openmp_cpu(P)
+        for ref in k.all_refs():
+            ok, why = provably_in_bounds(k, ref)
+            assert ok, why
+
+    def test_offset_ref_not_provable(self):
+        k = builder.c_openmp_cpu(P)
+        shifted = ArrayRef("A", (IndexExpr.var("i"),
+                                 IndexExpr((("k", 1),), 1)))
+        ok, why = provably_in_bounds(k, shifted)
+        assert not ok and "bare loop variable" in why
+
+    def test_axis_mismatch_not_provable(self):
+        k = builder.c_openmp_cpu(P)
+        transposed = ArrayRef("B", (IndexExpr.var("j"), IndexExpr.var("k")))
+        ok, why = provably_in_bounds(k, transposed)
+        assert not ok and "extends over" in why
+
+
+class TestPipelineGating:
+    def test_illegal_interchange_rejected_with_code(self):
+        # kokkos kernel is scalar-accum: k must stay innermost
+        k = builder.kokkos_cpu(P)
+        with pytest.raises(LintError) as exc:
+            PassPipeline([InterchangeLoops("ikj")]).run(k, context="test")
+        assert "L001" in exc.value.codes
+        assert exc.value.kernel == k.name
+        assert exc.value.context == "test"
+
+    def test_forced_vectorize_of_strict_reduction_rejected(self):
+        k = builder.kokkos_cpu(P)  # strict FP, scalar accum over k
+        with pytest.raises(LintError) as exc:
+            PassPipeline([VectorizeInnerLoop(4, force=True)]).run(k)
+        assert exc.value.codes == ("L002",)
+
+    def test_unproved_bounds_elision_rejected(self):
+        k = builder.build_gemm("b", P, "ikj", Layout.ROW_MAJOR,
+                               bounds_checks=True, hoist_invariant=False)
+        shifted = ArrayRef("A", (IndexExpr.var("i"),
+                                 IndexExpr((("k", 1),), 1)))
+        loads = tuple(LoadOp(shifted) if ld.ref.array == "A" else ld
+                      for ld in k.body.loads)
+        k = k.replace(body=k.body.with_(loads=loads))
+        with pytest.raises(LintError) as exc:
+            PassPipeline([ElideBoundsChecks()]).run(k)
+        assert exc.value.codes == ("L003",)
+
+    def test_hoist_across_dependent_store_rejected(self):
+        a = ArrayDecl("A", "A", (AxisRole.M, AxisRole.N), Layout.ROW_MAJOR, P)
+        row0 = ArrayRef("A", (IndexExpr.var("i"), IndexExpr()))
+        cell = ArrayRef("A", (IndexExpr.var("i"), IndexExpr.var("j")))
+        k = Kernel(
+            name="hoist-trap", arrays=(a,),
+            loops=(Loop("i", AxisRole.M), Loop("j", AxisRole.N)),
+            body=Body(loads=(LoadOp(row0),), fmas=(FMAOp(row0, row0),),
+                      stores=(StoreOp(cell),)),
+            precision=P,
+        )
+        with pytest.raises(LintError) as exc:
+            PassPipeline([LoopInvariantMotion()]).run(k)
+        assert exc.value.codes == ("L004",)
+
+    def test_legal_pipelines_unaffected(self):
+        k = builder.c_openmp_cpu(P)
+        out, records = PassPipeline([
+            LoopInvariantMotion(), VectorizeInnerLoop(8), UnrollInnerLoop(4),
+        ]).run(k)
+        assert out.inner.vector_width == 8 and out.inner.unroll == 4
+
+    def test_ungated_pipeline_skips_preconditions(self):
+        k = builder.kokkos_cpu(P)
+        pipe = PassPipeline([VectorizeInnerLoop(4, force=True)], gate=False)
+        out, _ = pipe.run(k)
+        assert out.inner.vector_width == 4
+
+    def test_direct_pass_run_stays_ungated(self):
+        k = builder.kokkos_cpu(P)
+        out = VectorizeInnerLoop(4, force=True).run(k)
+        assert out.inner.vector_width == 4
+
+    def test_strict_unroll_records_info_diagnostic(self):
+        k = builder.gpu_thread_per_element("g", P, Layout.ROW_MAJOR)
+        _, records = PassPipeline([UnrollInnerLoop(4)]).run(k)
+        rec = next(r for r in records if r.name == "unroll")
+        assert [d.code for d in rec.diagnostics] == ["W002"]
+        assert all(not d.is_error for d in rec.diagnostics)
+
+    def test_lint_error_is_verification_error(self):
+        assert issubclass(LintError, IRVerificationError)
+
+
+class TestDiagnostics:
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError):
+            Diagnostic(code="Z999", severity=Severity.ERROR, message="x")
+
+    def test_all_codes_have_meanings(self):
+        assert all(CODES[c] for c in CODES)
+        assert {"V001", "D001", "R001", "R002", "R003", "L001", "L002",
+                "L003", "L004", "L005", "W001", "W002", "W003"} <= set(CODES)
+
+    def test_set_filters_and_sort(self):
+        s = DiagnosticSet()
+        s.add(Diagnostic("D001", Severity.INFO, "dep", kernel="k"))
+        s.extend([Diagnostic("R001", Severity.ERROR, "race", kernel="k"),
+                  Diagnostic("W001", Severity.WARNING, "stride", kernel="k")])
+        assert len(s) == 3 and bool(s)
+        assert [d.code for d in s.errors] == ["R001"]
+        assert [d.code for d in s.warnings] == ["W001"]
+        assert [d.code for d in s.infos] == ["D001"]
+        assert [d.code for d in s.sorted()] == ["R001", "W001", "D001"]
+
+    def test_render_aligns_columns(self):
+        s = DiagnosticSet([
+            Diagnostic("R001", Severity.ERROR, "first", kernel="kern-a"),
+            Diagnostic("D001", Severity.INFO, "second", kernel="k"),
+        ])
+        out = s.render()
+        assert "R001" in out and "D001" in out
+        assert out.splitlines()[0].index("kern-a") == \
+            out.splitlines()[1].index("k")
+
+    def test_empty_render(self):
+        assert DiagnosticSet().render() == "no findings"
+
+
+class TestLintKernel:
+    def test_race_kernel_reported(self):
+        k = builder.build_gemm("race-cpu", P, "kij", Layout.ROW_MAJOR,
+                               parallel_vars=("k",))
+        diags = lint_kernel(k)
+        assert "R001" in diags.codes and diags.errors
+
+    def test_unverifiable_kernel_reports_v001(self):
+        k = builder.c_openmp_cpu(P)
+        broken = k.replace(body=k.body.with_(fmas=()))
+        diags = lint_kernel(broken)
+        assert diags.codes == ("V001",)
+
+    def test_clean_kernel_has_dependence_facts_only(self):
+        diags = lint_kernel(builder.c_openmp_cpu(P))
+        assert not diags.errors
+        assert "D001" in diags.codes
+
+    def test_strided_store_warned(self):
+        # column-major RMW kernel with j innermost: C[i,j] walks a column
+        # stride of M elements on every store.
+        k = builder.build_gemm("strided", P, "ikj", Layout.COL_MAJOR,
+                               parallel_vars=("i",))
+        diags = lint_kernel(k)
+        assert "W001" in diags.codes
+
+
+class TestRegistrySweep:
+    def test_all_registered_lowerings_lint_clean(self):
+        results = lint_registry()
+        assert results
+        bad = [r for r in results if not r.skipped and r.error_count]
+        assert not bad, [(r.model, r.target, r.precision,
+                          [d.code for d in r.diagnostics]) for r in bad]
+
+    def test_unsupported_combos_skipped_not_failed(self):
+        results = lint_registry(models=["numba"], device="gpu")
+        mi250x = [r for r in results if "MI250X" in r.target]
+        assert mi250x and all(r.skipped for r in mi250x)
+
+    def test_cuda_lowering_carries_w002_info(self):
+        from repro.ir.lint import lint_lowering
+        from repro.machine import gpu_by_name
+        from repro.models import model_by_name
+        diags = lint_lowering(model_by_name("cuda"), gpu_by_name("a100"),
+                              Precision.FP64)
+        assert "W002" in diags.codes and not diags.errors
+
+    def test_bad_device_rejected(self):
+        with pytest.raises(ValueError):
+            lint_registry(device="tpu")
