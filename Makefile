@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench bench-paper report verify examples clean
+.PHONY: install test lint bench bench-paper report report-cached verify examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -29,6 +29,16 @@ report:
 	$(PYTHON) -m repro report --out study_report.md
 	@echo "wrote study_report.md"
 
+# Cold-then-warm report through the result cache (kept in a private dir
+# so the user's cache is untouched); the two outputs must be identical.
+report-cached:
+	rm -rf .repro-cache
+	REPRO_CACHE_DIR=.repro-cache $(PYTHON) -m repro report --out study_report_cold.md
+	REPRO_CACHE_DIR=.repro-cache $(PYTHON) -m repro report --out study_report_warm.md
+	cmp study_report_cold.md study_report_warm.md
+	@echo "warm report byte-identical to cold"
+	REPRO_CACHE_DIR=.repro-cache $(PYTHON) -m repro cache stats
+
 verify:
 	$(PYTHON) -m repro verify
 
@@ -39,4 +49,5 @@ examples:
 
 clean:
 	rm -rf build dist src/*.egg-info .pytest_cache .hypothesis study_report.md
+	rm -rf .repro-cache study_report_cold.md study_report_warm.md
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -9,6 +9,7 @@ Commands mirror the deliverables:
 * ``repro run`` — one custom experiment (node/device/precision/models/sizes).
 * ``repro productivity`` — the Sec. V productivity comparison.
 * ``repro lint`` — static-analysis sweep of every model lowering.
+* ``repro cache stats|clear`` — inspect/empty the sweep result cache.
 """
 
 from __future__ import annotations
@@ -82,6 +83,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="also write <exp_id>.dat/.gp into this directory")
     run.add_argument("--efficiency", default=None, metavar="REFERENCE",
                      help="append per-size efficiencies vs this model")
+    run.add_argument("--no-cache", action="store_true",
+                     help="bypass the sweep result cache for this run")
+    run.add_argument("--serial", action="store_true",
+                     help="disable the engine's thread-pool fan-out")
+    run.add_argument("--jobs", type=int, default=None, metavar="N",
+                     help="thread-pool width (default: cpu count)")
+    run.add_argument("--engine-stats", action="store_true",
+                     help="append per-cell timings and cache hit/miss stats")
 
     kern = sub.add_parser("kernel",
                           help="show what a model lowers the GEMM to")
@@ -150,6 +159,13 @@ def build_parser() -> argparse.ArgumentParser:
                       help="restrict to one precision (default: all)")
     lint.add_argument("--strict", action="store_true",
                       help="also exit 1 on warning-severity findings")
+
+    cache = sub.add_parser(
+        "cache", help="inspect or empty the persistent sweep result cache")
+    cache.add_argument("action", choices=("stats", "clear"))
+    cache.add_argument("--dir", default=None,
+                       help="cache directory (default: $REPRO_CACHE_DIR or "
+                            "$XDG_CACHE_HOME/repro/results)")
 
     return p
 
@@ -226,13 +242,33 @@ def _cmd_run(args: argparse.Namespace) -> str:
     return _finish_run(args, exp)
 
 
+def _engine_for(args: argparse.Namespace):
+    """An engine honouring the run subcommand's overrides, or None for
+    the process default."""
+    no_cache = getattr(args, "no_cache", False)
+    serial = getattr(args, "serial", False)
+    jobs = getattr(args, "jobs", None)
+    if not (no_cache or serial or jobs or getattr(args, "engine_stats", False)):
+        return None
+    from .harness.engine import SweepEngine
+    return SweepEngine.from_env(
+        cache_enabled=False if no_cache else None,
+        parallel=False if serial else None,
+        max_workers=jobs,
+    )
+
+
 def _finish_run(args: argparse.Namespace, exp: Experiment) -> str:
-    results = run_experiment(exp)
+    engine = _engine_for(args)
+    results = run_experiment(exp, engine=engine)
     extra = ""
+    if getattr(args, "engine_stats", False) and engine is not None \
+            and engine.last_report is not None:
+        extra = "\n\n" + engine.last_report.render()
     if getattr(args, "gnuplot_dir", None):
         from .harness.gnuplot import write_gnuplot_bundle
         dat, gp = write_gnuplot_bundle(results, args.gnuplot_dir)
-        extra = f"\n[gnuplot bundle: {dat}, {gp}]"
+        extra += f"\n[gnuplot bundle: {dat}, {gp}]"
     if args.format == "json":
         from .harness.export import result_set_to_json
         return result_set_to_json(results) + extra
@@ -333,6 +369,19 @@ def _cmd_lint(args: argparse.Namespace) -> "tuple[str, int]":
     return "\n".join(lines), 1 if failed else 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> str:
+    from .harness.engine import ResultCache, default_engine
+
+    if args.dir:
+        cache = ResultCache(args.dir)
+    else:
+        cache = default_engine().cache or ResultCache()
+    if args.action == "stats":
+        return cache.render_stats()
+    removed = cache.clear()
+    return f"cleared {removed} cached measurements from {cache.root}"
+
+
 def _cmd_roofline(args: argparse.Namespace) -> str:
     from .core.types import MatrixShape
     from .harness.roofline_view import roofline_view
@@ -376,6 +425,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         out = _cmd_roofline(args)
     elif args.command == "lint":
         out, rc = _cmd_lint(args)
+    elif args.command == "cache":
+        out = _cmd_cache(args)
     elif args.command == "crossover":
         from .harness.crossover import device_crossover
         from .machine import node_by_name

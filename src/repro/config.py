@@ -32,6 +32,11 @@ KNOWN_VARIABLES: Dict[str, str] = {
     "KOKKOS_DEVICES": "Kokkos backend selected at compile time",
     "KOKKOS_ARCH": "Kokkos target architecture",
     "JULIA_CUDA_USE_BINARYBUILDER": "use system CUDA instead of artifacts",
+    # Sweep-engine knobs (repro.harness.engine), not part of the paper's
+    # surface but configured the same environment-variable way.
+    "REPRO_CACHE": "sweep result cache on/off (default on)",
+    "REPRO_CACHE_DIR": "sweep result cache directory",
+    "REPRO_JOBS": "sweep engine thread-pool width (1 = serial)",
 }
 
 _TRUE_STRINGS = frozenset({"1", "true", "yes", "on", "close", "spread"})

@@ -17,6 +17,7 @@ __all__ = [
     "KernelValidationError",
     "ExperimentError",
     "ConfigError",
+    "CacheError",
 ]
 
 
@@ -91,3 +92,12 @@ class ExperimentError(ReproError):
 
 class ConfigError(ReproError):
     """Invalid environment-style configuration value."""
+
+
+class CacheError(ReproError):
+    """The sweep-result cache hit an unreadable or malformed entry.
+
+    Stale entries (schema or constants-version mismatch) are *not* errors
+    — the cache silently evicts and recomputes those; this is raised only
+    for structurally corrupt files that survive the version gate.
+    """

@@ -1,0 +1,59 @@
+"""Sweep execution engine: concurrent cell fan-out + persistent caching.
+
+The substrate under ``run_experiment``, the figures, Table III and
+``repro report``: every (model, shape) cell of a sweep is fingerprinted,
+served from the on-disk :class:`ResultCache` when possible, and executed
+concurrently otherwise, with a deterministic merge that keeps engine
+output bit-identical to the serial reference loop.
+
+Process-wide configuration (read once, on first use):
+
+* ``REPRO_CACHE=off`` disables the result cache;
+* ``REPRO_CACHE_DIR`` relocates it (default
+  ``$XDG_CACHE_HOME/repro/results``);
+* ``REPRO_JOBS=N`` caps the thread-pool width (``1`` forces serial).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .cache import CacheStats, ResultCache, default_cache_dir
+from .executor import CellRecord, SweepEngine, SweepReport
+from .fingerprint import CONSTANTS_VERSION, cell_fingerprint, fingerprint_payload
+
+__all__ = [
+    "CacheStats",
+    "ResultCache",
+    "default_cache_dir",
+    "CellRecord",
+    "SweepEngine",
+    "SweepReport",
+    "CONSTANTS_VERSION",
+    "cell_fingerprint",
+    "fingerprint_payload",
+    "default_engine",
+    "set_default_engine",
+    "reset_default_engine",
+]
+
+_default_engine: Optional[SweepEngine] = None
+
+
+def default_engine() -> SweepEngine:
+    """The process-wide engine, built from the environment on first use."""
+    global _default_engine
+    if _default_engine is None:
+        _default_engine = SweepEngine.from_env()
+    return _default_engine
+
+
+def set_default_engine(engine: Optional[SweepEngine]) -> None:
+    """Replace the process-wide engine (``None`` resets to lazy re-init)."""
+    global _default_engine
+    _default_engine = engine
+
+
+def reset_default_engine() -> None:
+    """Drop the process-wide engine so the next use re-reads the env."""
+    set_default_engine(None)

@@ -1,0 +1,208 @@
+"""Persistent on-disk result cache for sweep cells.
+
+One JSON file per measurement, named by its cell fingerprint and sharded
+into 256 two-hex-digit subdirectories.  Entries embed the export schema
+version and :data:`~repro.harness.engine.fingerprint.CONSTANTS_VERSION`;
+a mismatch on read counts as an eviction (the stale file is deleted) and
+the cell is recomputed — that is the cache's only implicit invalidation,
+everything else is the explicit ``repro cache clear``.
+
+Writes are atomic (temp file + ``os.replace``) and the in-process
+hit/miss/store/evict counters are lock-protected, so the cache is safe
+under the engine's thread-pool fan-out.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ...core.types import Precision
+from ...errors import CacheError
+from ..export import (
+    SCHEMA_VERSION,
+    measurement_from_dict,
+    measurement_to_dict,
+)
+from ..results import Measurement
+from .fingerprint import CONSTANTS_VERSION
+
+__all__ = ["CacheStats", "ResultCache", "default_cache_dir"]
+
+
+def default_cache_dir() -> str:
+    """``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro/results``."""
+    explicit = os.environ.get("REPRO_CACHE_DIR")
+    if explicit:
+        return explicit
+    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache")
+    return os.path.join(base, "repro", "results")
+
+
+@dataclass
+class CacheStats:
+    """In-process cache counters (one engine run or many)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
+
+    def record(self, *, hits: int = 0, misses: int = 0, stores: int = 0,
+               evictions: int = 0) -> None:
+        """Atomically bump one or more counters."""
+        with self._lock:
+            self.hits += hits
+            self.misses += misses
+            self.stores += stores
+            self.evictions += evictions
+
+    def snapshot(self) -> Dict[str, int]:
+        """Point-in-time copy of the counters."""
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses,
+                    "stores": self.stores, "evictions": self.evictions}
+
+    def as_dict(self) -> Dict[str, int]:
+        """Alias of :meth:`snapshot` for symmetry with the exporters."""
+        return self.snapshot()
+
+
+class ResultCache:
+    """Fingerprint-keyed persistent store of :class:`Measurement` cells."""
+
+    def __init__(self, root: Optional[str] = None) -> None:
+        self.root = root or default_cache_dir()
+        self.stats = CacheStats()
+        self._io_lock = threading.Lock()
+
+    # -- paths ------------------------------------------------------------
+
+    def _path(self, fingerprint: str) -> str:
+        if len(fingerprint) < 3:
+            raise CacheError(f"malformed fingerprint {fingerprint!r}")
+        return os.path.join(self.root, fingerprint[:2], fingerprint + ".json")
+
+    # -- read/write -------------------------------------------------------
+
+    def get(self, fingerprint: str) -> Optional[Measurement]:
+        """The cached measurement, or ``None`` on miss/stale entry."""
+        path = self._path(fingerprint)
+        try:
+            with open(path) as fh:
+                entry = json.load(fh)
+        except FileNotFoundError:
+            self.stats.record(misses=1)
+            return None
+        except (OSError, json.JSONDecodeError):
+            self._evict(path)
+            return None
+        if (entry.get("schema") != SCHEMA_VERSION
+                or entry.get("constants") != CONSTANTS_VERSION
+                or "measurement" not in entry):
+            self._evict(path)
+            return None
+        try:
+            raw_precision = entry["measurement"].get("precision", "fp64")
+            m = measurement_from_dict(
+                entry["measurement"],
+                default_precision=Precision.parse(raw_precision))
+        except (KeyError, ValueError) as exc:
+            raise CacheError(
+                f"corrupt cache entry {path}: {exc}") from exc
+        self.stats.record(hits=1)
+        return m
+
+    def put(self, fingerprint: str, measurement: Measurement,
+            metadata: Optional[Dict[str, Any]] = None) -> None:
+        """Store one measurement atomically under its fingerprint."""
+        path = self._path(fingerprint)
+        entry = {
+            "schema": SCHEMA_VERSION,
+            "constants": CONSTANTS_VERSION,
+            "fingerprint": fingerprint,
+            "metadata": metadata or {},
+            "measurement": measurement_to_dict(measurement),
+        }
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(entry, fh)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.record(stores=1)
+
+    def _evict(self, path: str) -> None:
+        with self._io_lock:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        self.stats.record(misses=1, evictions=1)
+
+    # -- maintenance ------------------------------------------------------
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self._entry_paths():
+            try:
+                os.unlink(path)
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def _entry_paths(self):
+        if not os.path.isdir(self.root):
+            return
+        for shard in sorted(os.listdir(self.root)):
+            shard_dir = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if name.endswith(".json"):
+                    yield os.path.join(shard_dir, name)
+
+    def disk_stats(self) -> Dict[str, int]:
+        """Entry count and total bytes currently on disk."""
+        entries = 0
+        size = 0
+        for path in self._entry_paths():
+            try:
+                size += os.path.getsize(path)
+                entries += 1
+            except OSError:
+                pass
+        return {"entries": entries, "bytes": size}
+
+    def render_stats(self) -> str:
+        """Human-readable summary for ``repro cache stats``."""
+        disk = self.disk_stats()
+        counters = self.stats.snapshot()
+        lines = [
+            f"cache dir:  {self.root}",
+            f"entries:    {disk['entries']}",
+            f"disk bytes: {disk['bytes']}",
+            f"schema:     v{SCHEMA_VERSION} "
+            f"(constants {CONSTANTS_VERSION})",
+            "this process: "
+            f"{counters['hits']} hits, {counters['misses']} misses, "
+            f"{counters['stores']} stores, "
+            f"{counters['evictions']} evictions",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,212 @@
+"""The sweep engine: concurrent, cached execution of experiment cells.
+
+``SweepEngine.run`` is contractually bit-identical to
+:func:`repro.harness.runner.run_experiment_serial`: cells fan out over a
+``concurrent.futures`` thread pool (every cell is an independent,
+deterministic simulation) and merge back into the :class:`ResultSet` in
+serial cell order.  A persistent :class:`ResultCache` keyed by cell
+fingerprints makes warm re-runs — a second ``repro report``, regenerating
+a figure after editing prose — skip the simulator entirely.
+
+Trace fidelity: when a caller passes a :class:`Profiler`, each executed
+cell records into a private profiler and the engine replays the events
+into the caller's profiler in cell order, so the simulated timeline is
+byte-identical to the serial one; cache *reads* are bypassed for such
+runs (a cached cell would leave no trace events to corroborate).
+
+Observability: every run produces a :class:`SweepReport` with per-cell
+wall-clock timings and cache outcomes, renderable as an ASCII table or as
+a :mod:`repro.trace` timeline (``CELL``/``CACHE_HIT``/``CACHE_MISS``
+events).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ...core.types import MatrixShape
+from ...models.base import ProgrammingModel
+from ...models.registry import model_by_name
+from ...trace.events import EventKind
+from ...trace.profiler import Profiler
+from ..experiment import Experiment
+from ..results import Measurement, ResultSet
+from ..runner import run_measurement
+from .cache import ResultCache
+from .fingerprint import cell_fingerprint
+
+__all__ = ["CellRecord", "SweepReport", "SweepEngine"]
+
+
+@dataclass(frozen=True)
+class CellRecord:
+    """Observability record of one executed or cache-served cell."""
+
+    model: str
+    shape: str
+    fingerprint: str
+    cached: bool
+    wall_s: float
+
+
+@dataclass
+class SweepReport:
+    """What one engine run did: per-cell timings plus cache counters."""
+
+    experiment_id: str
+    cells: List[CellRecord] = field(default_factory=list)
+    cache_stats: Dict[str, int] = field(default_factory=dict)
+    parallel: bool = False
+    workers: int = 1
+    wall_s: float = 0.0
+
+    @property
+    def cached_cells(self) -> int:
+        return sum(1 for c in self.cells if c.cached)
+
+    @property
+    def executed_cells(self) -> int:
+        return sum(1 for c in self.cells if not c.cached)
+
+    def timeline(self) -> Profiler:
+        """The run as a :mod:`repro.trace` timeline (wall-clock spans)."""
+        prof = Profiler()
+        for cell in self.cells:
+            kind = EventKind.CACHE_HIT if cell.cached else EventKind.CACHE_MISS
+            prof.record(kind, f"{cell.model}@{cell.shape}", 0.0,
+                        fingerprint=cell.fingerprint)
+            prof.record(EventKind.CELL, f"{cell.model}@{cell.shape}",
+                        cell.wall_s, cached=cell.cached)
+        return prof
+
+    def render(self) -> str:
+        """ASCII summary for ``repro run --engine-stats``."""
+        lines = [
+            f"sweep {self.experiment_id}: {len(self.cells)} cells "
+            f"({self.cached_cells} cached, {self.executed_cells} executed) "
+            f"in {self.wall_s * 1e3:.1f} ms wall "
+            f"[{'parallel x' + str(self.workers) if self.parallel else 'serial'}]",
+        ]
+        if self.cache_stats:
+            lines.append(
+                "cache: " + ", ".join(f"{v} {k}"
+                                      for k, v in self.cache_stats.items()))
+        for cell in self.cells:
+            origin = "cache" if cell.cached else "sim"
+            lines.append(f"  {cell.model:>12s} @{cell.shape:<18s} "
+                         f"{cell.wall_s * 1e3:9.3f} ms  [{origin}]")
+        return "\n".join(lines)
+
+
+class SweepEngine:
+    """Concurrent, cached executor of experiment sweeps."""
+
+    def __init__(self, cache: Optional[ResultCache] = None,
+                 parallel: bool = True,
+                 max_workers: Optional[int] = None) -> None:
+        self.cache = cache
+        self.parallel = parallel
+        self.max_workers = max_workers
+        self.last_report: Optional[SweepReport] = None
+
+    @classmethod
+    def from_env(cls, cache_enabled: Optional[bool] = None,
+                 parallel: Optional[bool] = None,
+                 max_workers: Optional[int] = None) -> "SweepEngine":
+        """Engine configured from ``REPRO_CACHE``/``REPRO_CACHE_DIR``/
+        ``REPRO_JOBS``; keyword arguments override the environment."""
+        from ...config import RunConfig
+        cfg = RunConfig.from_os_environ()
+        if cache_enabled is None:
+            cache_enabled = cfg.get_bool("REPRO_CACHE", True)
+        if max_workers is None:
+            jobs = cfg.get_int("REPRO_JOBS", 0)
+            max_workers = jobs or None
+        if parallel is None:
+            parallel = max_workers != 1
+        return cls(cache=ResultCache() if cache_enabled else None,
+                   parallel=parallel, max_workers=max_workers)
+
+    # -- execution --------------------------------------------------------
+
+    def run(self, experiment: Experiment,
+            profiler: Optional[Profiler] = None) -> ResultSet:
+        """Run every cell; bit-identical to the serial reference loop."""
+        run_start = time.perf_counter()
+        cells: List[Tuple[ProgrammingModel, MatrixShape]] = [
+            (model_by_name(name), shape)
+            for name in experiment.models
+            for shape in experiment.shapes()
+        ]
+        fingerprints = [cell_fingerprint(experiment, model.name, shape)
+                        for model, shape in cells]
+        measurements: List[Optional[Measurement]] = [None] * len(cells)
+        records: List[Optional[CellRecord]] = [None] * len(cells)
+
+        use_cache_reads = self.cache is not None and profiler is None
+        misses: List[int] = []
+        for i, (model, shape) in enumerate(cells):
+            cached = self.cache.get(fingerprints[i]) if use_cache_reads else None
+            if cached is None:
+                misses.append(i)
+            else:
+                measurements[i] = cached
+                records[i] = CellRecord(model.name, str(shape),
+                                        fingerprints[i], True, 0.0)
+
+        traces: List[Optional[Profiler]] = [None] * len(cells)
+
+        def execute(i: int) -> None:
+            model, shape = cells[i]
+            cell_prof = Profiler() if profiler is not None else None
+            t0 = time.perf_counter()
+            m = run_measurement(model, experiment, shape, cell_prof)
+            wall = time.perf_counter() - t0
+            if self.cache is not None:
+                self.cache.put(fingerprints[i], m,
+                               metadata={"experiment": experiment.exp_id})
+            measurements[i] = m
+            traces[i] = cell_prof
+            records[i] = CellRecord(model.name, str(shape),
+                                    fingerprints[i], False, wall)
+
+        workers = 1
+        if self.parallel and len(misses) > 1:
+            workers = min(len(misses),
+                          self.max_workers or (os.cpu_count() or 4))
+        if workers > 1:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                for future in [pool.submit(execute, i) for i in misses]:
+                    future.result()
+        else:
+            for i in misses:
+                execute(i)
+
+        if profiler is not None:
+            # Deterministic replay: cell order, original durations — the
+            # resulting timeline equals the serial run's byte for byte.
+            for cell_prof in traces:
+                if cell_prof is None:
+                    continue
+                for ev in cell_prof.events:
+                    profiler.record(ev.kind, ev.name, ev.duration_s,
+                                    **ev.metadata)
+
+        results = ResultSet(experiment)
+        for m in measurements:
+            assert m is not None
+            results.add(m)
+        self.last_report = SweepReport(
+            experiment_id=experiment.exp_id,
+            cells=[r for r in records if r is not None],
+            cache_stats=(self.cache.stats.snapshot()
+                         if self.cache is not None else {}),
+            parallel=workers > 1,
+            workers=workers,
+            wall_s=time.perf_counter() - run_start,
+        )
+        return results

@@ -1,0 +1,61 @@
+"""Cell fingerprints: the cache key of one (experiment, model, shape) cell.
+
+A fingerprint must cover *everything* a :func:`repro.harness.runner.run_measurement`
+call reads, so that equal fingerprints imply bit-identical measurements:
+
+* the experiment identity and methodology knobs (``exp_id`` seeds the
+  variability stream; node, device, precision, threads, reps, warmup,
+  seed and ``include_transfers`` all change the samples);
+* the cell coordinates (model name, full m/n/k shape);
+* :data:`CONSTANTS_VERSION`, the version of the simulator's cost-model
+  constants.  Bump it whenever machine specs, kernel cost models or the
+  variability model change, and every stale cache entry self-invalidates
+  on the next lookup.
+
+The key is a SHA-256 over a canonical JSON rendering, so it is stable
+across processes, platforms and dict orderings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from ..._version import __version__
+from ...core.types import MatrixShape
+from ..experiment import Experiment
+
+__all__ = ["CONSTANTS_VERSION", "cell_fingerprint", "fingerprint_payload"]
+
+#: Version of the simulator's cost-model constants baked into every
+#: fingerprint.  Bump on any change to machine specs, kernel cost models,
+#: transfer estimates or the variability model.
+CONSTANTS_VERSION = "2024.1"
+
+
+def fingerprint_payload(experiment: Experiment, model_name: str,
+                        shape: MatrixShape) -> dict:
+    """The canonical, JSON-serialisable identity of one sweep cell."""
+    return {
+        "constants": CONSTANTS_VERSION,
+        "package": __version__,
+        "experiment": experiment.exp_id,
+        "node": experiment.node_name,
+        "device": experiment.device.value,
+        "precision": experiment.precision.value,
+        "model": model_name,
+        "shape": [shape.m, shape.n, shape.k],
+        "threads": experiment.threads,
+        "reps": experiment.reps,
+        "warmup": experiment.warmup,
+        "seed": experiment.seed,
+        "include_transfers": experiment.include_transfers,
+    }
+
+
+def cell_fingerprint(experiment: Experiment, model_name: str,
+                     shape: MatrixShape) -> str:
+    """Hex SHA-256 fingerprint of one (experiment, model, shape) cell."""
+    payload = fingerprint_payload(experiment, model_name, shape)
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()

@@ -2,23 +2,94 @@
 
 Lets downstream users regenerate the paper's plots in their own tooling
 (the repository itself renders ASCII only, since no plotting library is
-assumed).  The schema is stable and round-trip tested.
+assumed).  The schema is stable and round-trip tested:
+``result_set_from_dict(result_set_to_dict(rs))`` reconstructs an equal
+:class:`~repro.harness.results.ResultSet`, sample for sample.  The same
+(de)serialisers back the sweep engine's on-disk result cache.
+
+Schema history:
+
+* v1 — original export; measurements carried ``size`` (the leading
+  dimension only) and no ``precision``, so non-square shapes and
+  mixed-precision sweeps were not reconstructible.
+* v2 — adds per-measurement ``precision`` and the full ``shape`` (m, n,
+  k), plus ``include_transfers`` on the experiment block.  v1 documents
+  are still accepted by the loader: precision falls back to the
+  experiment's, shapes are assumed square.
 """
 
 from __future__ import annotations
 
-import csv
-import io
 import json
 from typing import Any, Dict
+import csv
+import io
 
+from ..core.types import MatrixShape, Precision
+from ..errors import ExperimentError
+from .experiment import Experiment
 from .figures import Table3Result
-from .results import ResultSet
+from .results import Measurement, ResultSet
 
-__all__ = ["result_set_to_dict", "result_set_to_json", "result_set_to_csv",
-           "table3_to_dict", "table3_to_json"]
+__all__ = ["result_set_to_dict", "result_set_from_dict",
+           "result_set_to_json", "result_set_from_json",
+           "result_set_to_csv",
+           "measurement_to_dict", "measurement_from_dict",
+           "table3_to_dict", "table3_to_json",
+           "SCHEMA_VERSION", "SUPPORTED_SCHEMAS"]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+#: Schema versions :func:`result_set_from_dict` can load.
+SUPPORTED_SCHEMAS = (1, 2)
+
+
+def measurement_to_dict(m: Measurement) -> Dict[str, Any]:
+    """Full-fidelity dict of one measurement (schema v2 cell record)."""
+    return {
+        "model": m.model,
+        "display": m.display,
+        "size": m.shape.m,
+        "shape": {"m": m.shape.m, "n": m.shape.n, "k": m.shape.k},
+        "precision": m.precision.value,
+        "supported": m.supported,
+        "note": m.note,
+        "bound": m.bound,
+        "times_s": list(m.times_s),
+        "warmup_count": m.warmup_count,
+        "gflops": m.gflops if m.supported else None,
+        "seconds_mean": m.seconds if m.supported else None,
+    }
+
+
+def measurement_from_dict(data: Dict[str, Any],
+                          default_precision: Precision = Precision.FP64,
+                          ) -> Measurement:
+    """Inverse of :func:`measurement_to_dict`.
+
+    Accepts v1 cell records too: without a ``shape`` block the shape is
+    taken to be square of ``size``; without ``precision`` the caller's
+    ``default_precision`` (the experiment-level setting) applies.
+    """
+    if "shape" in data:
+        sh = data["shape"]
+        shape = MatrixShape(int(sh["m"]), int(sh["n"]), int(sh["k"]))
+    else:
+        shape = MatrixShape.square(int(data["size"]))
+    raw_precision = data.get("precision")
+    precision = (Precision.parse(raw_precision) if raw_precision
+                 else default_precision)
+    return Measurement(
+        model=data["model"],
+        display=data.get("display", data["model"]),
+        shape=shape,
+        precision=precision,
+        times_s=tuple(float(t) for t in data.get("times_s", ())),
+        warmup_count=int(data.get("warmup_count", 1)),
+        supported=bool(data.get("supported", True)),
+        note=data.get("note", ""),
+        bound=data.get("bound", ""),
+    )
 
 
 def result_set_to_dict(rs: ResultSet) -> Dict[str, Any]:
@@ -38,23 +109,48 @@ def result_set_to_dict(rs: ResultSet) -> Dict[str, Any]:
             "reps": exp.reps,
             "warmup": exp.warmup,
             "seed": exp.seed,
+            "include_transfers": exp.include_transfers,
         },
-        "measurements": [
-            {
-                "model": m.model,
-                "display": m.display,
-                "size": m.shape.m,
-                "supported": m.supported,
-                "note": m.note,
-                "bound": m.bound,
-                "times_s": list(m.times_s),
-                "warmup_count": m.warmup_count,
-                "gflops": m.gflops if m.supported else None,
-                "seconds_mean": m.seconds if m.supported else None,
-            }
-            for m in rs.measurements
-        ],
+        "measurements": [measurement_to_dict(m) for m in rs.measurements],
     }
+
+
+def result_set_from_dict(data: Dict[str, Any]) -> ResultSet:
+    """Inverse of :func:`result_set_to_dict`.
+
+    Raises :class:`~repro.errors.ExperimentError` on unknown schema
+    versions so stale cache entries and foreign documents fail loudly.
+    """
+    schema = data.get("schema")
+    if schema not in SUPPORTED_SCHEMAS:
+        raise ExperimentError(
+            f"unsupported result-set schema {schema!r}; "
+            f"this build reads {SUPPORTED_SCHEMAS}")
+    exp_data = data["experiment"]
+    experiment = Experiment(
+        exp_id=exp_data["id"],
+        title=exp_data.get("title", exp_data["id"]),
+        node_name=exp_data["node"],
+        device=_device_from_value(exp_data.get("device", "cpu")),
+        precision=Precision.parse(exp_data.get("precision", "fp64")),
+        models=tuple(exp_data["models"]),
+        sizes=tuple(int(s) for s in exp_data["sizes"]),
+        threads=exp_data.get("threads"),
+        reps=int(exp_data.get("reps", 10)),
+        warmup=int(exp_data.get("warmup", 1)),
+        seed=int(exp_data.get("seed", 2023)),
+        include_transfers=bool(exp_data.get("include_transfers", False)),
+    )
+    rs = ResultSet(experiment)
+    for mdata in data.get("measurements", ()):
+        rs.add(measurement_from_dict(mdata,
+                                     default_precision=experiment.precision))
+    return rs
+
+
+def _device_from_value(value: str):
+    from ..core.types import DeviceKind
+    return DeviceKind(value)
 
 
 def result_set_to_json(rs: ResultSet, indent: int = 2) -> str:
@@ -62,17 +158,25 @@ def result_set_to_json(rs: ResultSet, indent: int = 2) -> str:
     return json.dumps(result_set_to_dict(rs), indent=indent, sort_keys=False)
 
 
+def result_set_from_json(text: str) -> ResultSet:
+    """Inverse of :func:`result_set_to_json`."""
+    return result_set_from_dict(json.loads(text))
+
+
 def result_set_to_csv(rs: ResultSet) -> str:
-    """Flat per-cell CSV (one row per model x size)."""
+    """Flat per-cell CSV (one row per model x shape)."""
     buf = io.StringIO()
     writer = csv.writer(buf)
-    writer.writerow(["experiment", "model", "size", "precision", "supported",
-                     "gflops", "seconds_mean", "seconds_stdev", "note"])
+    writer.writerow(["experiment", "model", "size", "n", "k", "precision",
+                     "supported", "gflops", "seconds_mean", "seconds_stdev",
+                     "note"])
     for m in rs.measurements:
         writer.writerow([
             rs.experiment.exp_id,
             m.model,
             m.shape.m,
+            m.shape.n,
+            m.shape.k,
             m.precision.value,
             m.supported,
             f"{m.gflops:.3f}" if m.supported else "",

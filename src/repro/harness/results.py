@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..core.types import MatrixShape, Precision
 from ..errors import ExperimentError
@@ -85,11 +85,48 @@ class ResultSet:
                 seen.append(m.shape.m)
         return sorted(seen)
 
-    def cell(self, model: str, size: int) -> Measurement:
+    def shapes(self) -> List[MatrixShape]:
+        """Every distinct problem shape, sorted by (m, n, k)."""
+        seen: List[MatrixShape] = []
         for m in self.measurements:
-            if m.model == model and m.shape.m == size:
+            if m.shape not in seen:
+                seen.append(m.shape)
+        return sorted(seen, key=lambda s: (s.m, s.n, s.k))
+
+    def cell_by_shape(self, model: str, shape: MatrixShape) -> Measurement:
+        """Exact lookup by the full (model, MatrixShape) key."""
+        for m in self.measurements:
+            if m.model == model and m.shape == shape:
                 return m
-        raise KeyError(f"no measurement for ({model}, {size})")
+        raise KeyError(f"no measurement for ({model}, {shape})")
+
+    def cell(self, model: str,
+             size: Union[int, MatrixShape]) -> Measurement:
+        """Look up one cell by full shape, or by size for square sweeps.
+
+        An integer ``size`` means "the square sweep point m=n=k=size"; for
+        a sweep that never mixes shapes with the same leading dimension it
+        also matches the single rectangular cell with ``shape.m == size``.
+        When several distinct shapes share an ``m`` (e.g. the E17 aspect
+        sweep) an integer key is ambiguous and raises ``KeyError`` instead
+        of silently returning the first match — use :meth:`cell_by_shape`.
+        """
+        if isinstance(size, MatrixShape):
+            return self.cell_by_shape(model, size)
+        matches = [m for m in self.measurements
+                   if m.model == model and m.shape.m == size]
+        if not matches:
+            raise KeyError(f"no measurement for ({model}, {size})")
+        distinct = {m.shape for m in matches}
+        if len(distinct) == 1:
+            return matches[0]
+        square = MatrixShape.square(size)
+        for m in matches:
+            if m.shape == square:
+                return m
+        raise KeyError(
+            f"ambiguous size {size} for {model}: shapes "
+            f"{sorted(map(str, distinct))}; use cell_by_shape()")
 
     def supported(self, model: str) -> bool:
         return any(m.supported for m in self.measurements if m.model == model)
@@ -98,25 +135,25 @@ class ResultSet:
         """(sizes, GFLOP/s) for one model, skipping unsupported cells."""
         xs: List[int] = []
         ys: List[float] = []
-        for size in self.sizes():
+        for shape in self.shapes():
             try:
-                m = self.cell(model, size)
+                m = self.cell_by_shape(model, shape)
             except KeyError:
                 continue
             if m.supported:
-                xs.append(size)
+                xs.append(shape.m)
                 ys.append(m.gflops)
         return xs, ys
 
     # -- efficiency -------------------------------------------------------------
 
     def efficiency_series(self, model: str, reference: str) -> List[float]:
-        """Per-size efficiency e(size) = perf(model) / perf(reference)."""
+        """Per-shape efficiency e(shape) = perf(model) / perf(reference)."""
         out: List[float] = []
-        for size in self.sizes():
+        for shape in self.shapes():
             try:
-                mm = self.cell(model, size)
-                mr = self.cell(reference, size)
+                mm = self.cell_by_shape(model, shape)
+                mr = self.cell_by_shape(reference, shape)
             except KeyError:
                 continue
             if mm.supported and mr.supported:
@@ -139,6 +176,8 @@ class ResultSet:
                 "experiment": self.experiment.exp_id,
                 "model": m.model,
                 "size": m.shape.m,
+                "n": m.shape.n,
+                "k": m.shape.k,
                 "precision": m.precision.value,
                 "supported": m.supported,
                 "gflops": round(m.gflops, 2) if m.supported else None,

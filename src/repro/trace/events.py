@@ -24,6 +24,9 @@ class EventKind(enum.Enum):
     PARALLEL_REGION = "parallel-region"  # CPU worksharing region
     JIT_COMPILE = "jit-compile"
     API = "api"                  # launch overhead / driver calls
+    CELL = "cell"                # sweep-engine cell (wall-clock span)
+    CACHE_HIT = "cache-hit"      # result served from the sweep cache
+    CACHE_MISS = "cache-miss"    # result computed and stored
 
 
 @dataclass(frozen=True)

@@ -23,6 +23,7 @@ PACKAGES = [
     "repro.stream",
     "repro.trace",
     "repro.harness",
+    "repro.harness.engine",
 ]
 
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))

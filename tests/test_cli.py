@@ -180,3 +180,50 @@ class TestCommands:
                           "--device", "cpu", "--precision", "fp64")
         assert rc == 0
         assert "linted 2 lowerings" in out
+
+
+class TestCacheCommands:
+    @pytest.fixture(autouse=True)
+    def isolated_cache(self, tmp_path, monkeypatch):
+        from repro.harness.engine import reset_default_engine
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        reset_default_engine()
+        yield
+        reset_default_engine()
+
+    def test_cache_stats_smoke(self, capsys):
+        rc, out = run_cli(capsys, "cache", "stats")
+        assert rc == 0
+        assert "cache dir:" in out and "entries:" in out
+        assert "hits" in out and "misses" in out
+
+    def test_run_populates_cache_then_clear(self, capsys):
+        rc, _ = run_cli(capsys, "run", "--models", "c-openmp",
+                        "--sizes", "256")
+        assert rc == 0
+        rc, out = run_cli(capsys, "cache", "stats")
+        assert rc == 0 and "entries:    1" in out
+        rc, out = run_cli(capsys, "cache", "clear")
+        assert rc == 0 and "cleared 1" in out
+        rc, out = run_cli(capsys, "cache", "stats")
+        assert "entries:    0" in out
+
+    def test_cache_dir_flag(self, capsys, tmp_path):
+        rc, out = run_cli(capsys, "cache", "stats",
+                          "--dir", str(tmp_path / "elsewhere"))
+        assert rc == 0
+        assert str(tmp_path / "elsewhere") in out
+
+    def test_run_engine_flags(self, capsys):
+        rc, out = run_cli(capsys, "run", "--models", "c-openmp",
+                          "--sizes", "256", "--no-cache", "--serial",
+                          "--engine-stats")
+        assert rc == 0
+        assert "1 cells" in out and "[sim]" in out and "serial" in out
+
+    def test_run_engine_stats_shows_cache_hits(self, capsys):
+        run_cli(capsys, "run", "--models", "c-openmp", "--sizes", "256")
+        rc, out = run_cli(capsys, "run", "--models", "c-openmp",
+                          "--sizes", "256", "--engine-stats")
+        assert rc == 0
+        assert "[cache]" in out

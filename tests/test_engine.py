@@ -1,0 +1,291 @@
+"""Tests for the sweep execution engine: concurrency, caching, determinism.
+
+The engine's contract is bit-identity: parallel == serial, warm == cold,
+traced == untraced.  Every test here pins some face of that contract.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.core.types import DeviceKind, Precision
+from repro.errors import ExperimentError
+from repro.harness import (
+    Experiment,
+    run_experiment,
+    run_experiment_serial,
+)
+from repro.harness.engine import (
+    CONSTANTS_VERSION,
+    ResultCache,
+    SweepEngine,
+    cell_fingerprint,
+    default_engine,
+    reset_default_engine,
+)
+from repro.sim.variability import VariabilityModel
+from repro.trace.events import EventKind
+from repro.trace.profiler import Profiler
+
+
+def small_exp(**kw):
+    defaults = dict(
+        exp_id="eng-cpu", title="engine test", node_name="Crusher",
+        device=DeviceKind.CPU, precision=Precision.FP64,
+        models=("c-openmp", "julia"), sizes=(256, 512), threads=64, reps=5,
+    )
+    defaults.update(kw)
+    return Experiment(**defaults)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(str(tmp_path / "cache"))
+
+
+@pytest.fixture
+def fresh_default_engine(tmp_path, monkeypatch):
+    """A default engine pointed at a private tmp cache, reset afterwards."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "default-cache"))
+    reset_default_engine()
+    yield default_engine()
+    reset_default_engine()
+
+
+class TestDeterminism:
+    def test_parallel_matches_serial_bit_for_bit(self):
+        exp = small_exp()
+        engine = SweepEngine(cache=None, parallel=True, max_workers=8)
+        parallel = engine.run(exp)
+        serial = run_experiment_serial(exp)
+        assert parallel.measurements == serial.measurements
+
+    def test_cold_and_warm_cache_bit_identical(self, cache):
+        exp = small_exp()
+        engine = SweepEngine(cache=cache, parallel=True)
+        cold = engine.run(exp)
+        assert engine.last_report.executed_cells == len(cold.measurements)
+        warm = engine.run(exp)
+        assert engine.last_report.cached_cells == len(cold.measurements)
+        assert cold.measurements == warm.measurements
+
+    def test_warm_run_touches_no_simulator_code(self, cache, monkeypatch):
+        exp = small_exp()
+        engine = SweepEngine(cache=cache, parallel=False)
+        engine.run(exp)
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("simulator invoked on a warm run")
+
+        import repro.harness.engine.executor as executor
+        monkeypatch.setattr(executor, "run_measurement", boom)
+        warm = engine.run(exp)
+        assert all(m.supported for m in warm.measurements)
+
+    def test_rendered_output_identical_cold_vs_warm(self, cache):
+        from repro.harness.report import render_result_set
+        exp = small_exp()
+        engine = SweepEngine(cache=cache, parallel=True)
+        cold = render_result_set(engine.run(exp))
+        warm = render_result_set(engine.run(exp))
+        assert cold == warm
+
+    def test_traced_parallel_timeline_matches_serial(self):
+        exp = small_exp(models=("numba", "julia"))
+        serial_prof = Profiler()
+        run_experiment_serial(exp, profiler=serial_prof)
+        engine_prof = Profiler()
+        SweepEngine(cache=None, parallel=True, max_workers=4).run(
+            exp, profiler=engine_prof)
+        assert engine_prof.events == serial_prof.events
+
+    def test_trace_bypasses_cache_reads(self, cache):
+        exp = small_exp(models=("numba",), sizes=(256,))
+        engine = SweepEngine(cache=cache, parallel=False)
+        engine.run(exp)  # warm the cache
+        prof = Profiler()
+        engine.run(exp, profiler=prof)
+        assert prof.count(EventKind.JIT_COMPILE) >= 1
+        assert prof.count(EventKind.PARALLEL_REGION) == exp.reps + exp.warmup
+
+    def test_sample_prefix_stable_when_reps_grow(self):
+        vm = VariabilityModel(seed=2023, sigma=0.03)
+        short = vm.samples(1.0, "stability", 4, warmup_extra_seconds=0.5)
+        long = vm.samples(1.0, "stability", 9, warmup_extra_seconds=0.5)
+        assert short == long[:4]
+
+    def test_measurement_prefix_stable_when_reps_grow(self, cache):
+        engine = SweepEngine(cache=cache, parallel=True)
+        few = engine.run(small_exp(reps=5)).measurements[0]
+        many = engine.run(small_exp(reps=10)).measurements[0]
+        assert few.times_s == many.times_s[:len(few.times_s)]
+
+
+class TestFingerprint:
+    def test_distinct_cells_distinct_keys(self):
+        exp = small_exp()
+        shapes = exp.shapes()
+        keys = {cell_fingerprint(exp, m, s)
+                for m in exp.models for s in shapes}
+        assert len(keys) == len(exp.models) * len(shapes)
+
+    def test_every_methodology_knob_changes_the_key(self):
+        exp = small_exp()
+        shape = exp.shapes()[0]
+        base = cell_fingerprint(exp, "julia", shape)
+        variants = [
+            small_exp(seed=1),
+            small_exp(reps=7),
+            small_exp(warmup=2),
+            small_exp(threads=16),
+            small_exp(precision=Precision.FP32),
+            small_exp(exp_id="other"),
+            small_exp(node_name="Wombat", threads=80),
+        ]
+        for variant in variants:
+            assert cell_fingerprint(variant, "julia", shape) != base
+
+    def test_shape_full_rank_in_key(self):
+        from repro.core.types import MatrixShape
+        exp = small_exp()
+        wide = MatrixShape(512, 2048, 128)
+        deep = MatrixShape(512, 128, 2048)
+        assert cell_fingerprint(exp, "julia", wide) != \
+            cell_fingerprint(exp, "julia", deep)
+
+
+class TestCache:
+    def test_counters(self, cache):
+        exp = small_exp()
+        engine = SweepEngine(cache=cache, parallel=False)
+        engine.run(exp)
+        snap = cache.stats.snapshot()
+        assert snap["misses"] == 4 and snap["stores"] == 4
+        engine.run(exp)
+        assert cache.stats.snapshot()["hits"] == 4
+
+    def test_disk_stats_and_clear(self, cache):
+        engine = SweepEngine(cache=cache, parallel=False)
+        engine.run(small_exp())
+        disk = cache.disk_stats()
+        assert disk["entries"] == 4 and disk["bytes"] > 0
+        assert cache.clear() == 4
+        assert cache.disk_stats() == {"entries": 0, "bytes": 0}
+
+    def test_stale_constants_version_evicts(self, cache):
+        exp = small_exp(models=("c-openmp",), sizes=(256,))
+        engine = SweepEngine(cache=cache, parallel=False)
+        engine.run(exp)
+        (path,) = list(cache._entry_paths())
+        with open(path) as fh:
+            entry = json.load(fh)
+        assert entry["constants"] == CONSTANTS_VERSION
+        entry["constants"] = "0.stale"
+        with open(path, "w") as fh:
+            json.dump(entry, fh)
+        fp = cell_fingerprint(exp, "c-openmp", exp.shapes()[0])
+        assert cache.get(fp) is None
+        assert cache.stats.snapshot()["evictions"] == 1
+        assert not os.path.exists(path)
+
+    def test_corrupt_entry_evicts(self, cache):
+        engine = SweepEngine(cache=cache, parallel=False)
+        exp = small_exp(models=("c-openmp",), sizes=(256,))
+        engine.run(exp)
+        (path,) = list(cache._entry_paths())
+        with open(path, "w") as fh:
+            fh.write("{not json")
+        fp = cell_fingerprint(exp, "c-openmp", exp.shapes()[0])
+        assert cache.get(fp) is None
+        assert cache.stats.snapshot()["evictions"] == 1
+
+    def test_unsupported_cells_round_trip(self, cache):
+        exp = Experiment(
+            exp_id="eng-gpu", title="t", node_name="Crusher",
+            device=DeviceKind.GPU, precision=Precision.FP64,
+            models=("numba",), sizes=(256,))
+        engine = SweepEngine(cache=cache, parallel=False)
+        cold = engine.run(exp)
+        warm = engine.run(exp)
+        assert not warm.measurements[0].supported
+        assert cold.measurements == warm.measurements
+
+    def test_cacheless_engine_runs(self):
+        engine = SweepEngine(cache=None, parallel=True)
+        rs = engine.run(small_exp())
+        assert len(rs.measurements) == 4
+        assert engine.last_report.cache_stats == {}
+
+
+class TestObservability:
+    def test_report_cells_and_timings(self, cache):
+        engine = SweepEngine(cache=cache, parallel=True)
+        engine.run(small_exp())
+        report = engine.last_report
+        assert len(report.cells) == 4
+        assert report.executed_cells == 4
+        assert all(c.wall_s > 0 for c in report.cells)
+        assert report.wall_s > 0
+        engine.run(small_exp())
+        assert engine.last_report.cached_cells == 4
+
+    def test_report_timeline_uses_trace_events(self, cache):
+        engine = SweepEngine(cache=cache, parallel=False)
+        engine.run(small_exp())
+        prof = engine.last_report.timeline()
+        assert prof.count(EventKind.CACHE_MISS) == 4
+        assert prof.count(EventKind.CELL) == 4
+        engine.run(small_exp())
+        assert engine.last_report.timeline().count(EventKind.CACHE_HIT) == 4
+
+    def test_report_render(self, cache):
+        engine = SweepEngine(cache=cache, parallel=False)
+        engine.run(small_exp())
+        out = engine.last_report.render()
+        assert "4 cells" in out and "[sim]" in out
+        engine.run(small_exp())
+        assert "[cache]" in engine.last_report.render()
+
+
+class TestEnvironmentConfig:
+    def test_cache_off(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "off")
+        engine = SweepEngine.from_env()
+        assert engine.cache is None
+
+    def test_jobs_one_forces_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "1")
+        engine = SweepEngine.from_env()
+        assert engine.parallel is False
+
+    def test_cache_dir_relocation(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
+        engine = SweepEngine.from_env()
+        assert engine.cache.root == str(tmp_path / "elsewhere")
+
+    def test_default_engine_is_process_wide(self, fresh_default_engine):
+        assert default_engine() is fresh_default_engine
+
+    def test_run_experiment_uses_default_engine(self, fresh_default_engine):
+        exp = small_exp(models=("c-openmp",), sizes=(256,))
+        run_experiment(exp)
+        assert fresh_default_engine.last_report is not None
+        assert fresh_default_engine.last_report.experiment_id == "eng-cpu"
+
+
+class TestWarmSpeedup:
+    def test_warm_run_at_least_5x_faster_and_identical(self, cache):
+        """The acceptance bar: warm >= 5x cold, output bit-identical."""
+        exp = small_exp(models=("c-openmp", "kokkos", "julia", "numba"),
+                        sizes=(512, 1024, 2048))
+        engine = SweepEngine(cache=cache, parallel=False)
+        t0 = time.perf_counter()
+        cold = engine.run(exp)
+        t_cold = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        warm = engine.run(exp)
+        t_warm = time.perf_counter() - t0
+        assert cold.measurements == warm.measurements
+        assert t_cold / t_warm >= 5.0, (t_cold, t_warm)

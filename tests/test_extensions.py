@@ -214,7 +214,8 @@ class TestExport:
     def test_json_roundtrip(self):
         rs = self._rs()
         data = json.loads(result_set_to_json(rs))
-        assert data["schema"] == 1
+        from repro.harness.export import SCHEMA_VERSION
+        assert data["schema"] == SCHEMA_VERSION
         assert data["experiment"]["node"] == "Wombat"
         assert len(data["measurements"]) == 4
         m0 = data["measurements"][0]

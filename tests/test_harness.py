@@ -12,7 +12,7 @@ from repro.harness import (
 )
 from repro.harness.figures import crusher_cpu_experiment, wombat_gpu_experiment
 from repro.harness.report import ascii_chart, ascii_table, render_result_set
-from repro.harness.results import Measurement
+from repro.harness.results import Measurement, ResultSet
 from repro.models import model_by_name
 from repro.trace.events import EventKind
 from repro.trace.profiler import Profiler
@@ -124,6 +124,70 @@ class TestRunner:
         assert prof.count(EventKind.JIT_COMPILE) >= 1
 
 
+class TestWarmupComposition:
+    """Regression tests for the H2D double-count (see EXPERIMENTS.md,
+    "Warm-up accounting"): the warm-up repetition carries JIT plus the
+    one-time H2D copy in kernel-only mode, but in end-to-end mode every
+    repetition already pays the full transfer, so the warm-up must add
+    JIT only — H2D used to be charged a second time there."""
+
+    def _components(self, exp, shape):
+        from repro.gpu.transfer import gemm_transfer_estimate
+        from repro.gpu.warp_sim import simulate_gpu_kernel
+        from repro.sim.variability import VariabilityModel
+
+        model = model_by_name("cuda")
+        spec = exp.target_spec
+        low = model.lower_gpu(spec, exp.precision)
+        timing = simulate_gpu_kernel(low.kernel, low.launch, spec, shape,
+                                     low.profile)
+        transfers = gemm_transfer_estimate(spec, shape, exp.precision)
+        jit = model.productivity(exp.device).jit_warmup_seconds
+        noise = VariabilityModel.for_node(exp.node_name, seed=exp.seed)
+        key = f"{exp.exp_id}:cuda:{shape}:{exp.precision.value}"
+        return model, timing, transfers, jit, noise, key
+
+    def test_kernel_only_warmup_carries_one_h2d(self):
+        exp = wombat_gpu_experiment(Precision.FP64, sizes=(512,),
+                                    models=("cuda",))
+        shape = MatrixShape.square(512)
+        model, timing, transfers, jit, noise, key = self._components(exp, shape)
+        m = run_measurement(model, exp, shape)
+        expected = noise.samples(timing.total_seconds, key,
+                                 exp.reps + exp.warmup,
+                                 warmup_extra_seconds=jit + transfers.h2d_seconds)
+        assert m.times_s == tuple(expected)
+
+    def test_end_to_end_warmup_adds_no_second_h2d(self):
+        base = wombat_gpu_experiment(Precision.FP64, sizes=(512,),
+                                     models=("cuda",))
+        exp = Experiment(**{**base.__dict__, "include_transfers": True})
+        shape = MatrixShape.square(512)
+        model, timing, transfers, jit, noise, key = self._components(exp, shape)
+        m = run_measurement(model, exp, shape)
+        nominal = timing.total_seconds + transfers.total_seconds
+        expected = noise.samples(nominal, key, exp.reps + exp.warmup,
+                                 warmup_extra_seconds=jit)
+        assert m.times_s == tuple(expected)
+
+    def test_h2d_charged_exactly_once_per_mode(self):
+        """Subtracting the two modes' warm-up samples isolates the transfer
+        charge: it must be jitter0 * total - h2d, never total alone."""
+        base = wombat_gpu_experiment(Precision.FP64, sizes=(512,),
+                                     models=("cuda",))
+        e2e = Experiment(**{**base.__dict__, "include_transfers": True})
+        shape = MatrixShape.square(512)
+        model, timing, transfers, jit, noise, key = self._components(base, shape)
+        m_base = run_measurement(model, base, shape)
+        m_e2e = run_measurement(model, e2e, shape)
+        jitter0 = (m_base.times_s[0] - jit - transfers.h2d_seconds) \
+            / timing.total_seconds
+        delta = m_e2e.times_s[0] - m_base.times_s[0]
+        expected_delta = jitter0 * transfers.total_seconds \
+            - transfers.h2d_seconds
+        assert delta == pytest.approx(expected_delta, rel=1e-12)
+
+
 class TestResults:
     def test_series_skips_unsupported(self):
         exp = wombat_gpu_experiment(Precision.FP64, sizes=(512, 1024))
@@ -161,6 +225,75 @@ class TestResults:
         rs = run_experiment(small_cpu_exp())
         with pytest.raises(KeyError):
             rs.cell("julia", 9999)
+
+
+class TestNonSquareKeys:
+    """Regression tests for the shape-key collision: E17-style sweeps mix
+    shapes with equal m but different n/k, and ``cell``/``series`` used to
+    silently return the first m-match."""
+
+    def _non_square_rs(self):
+        exp = small_cpu_exp(models=("c-openmp",), sizes=(512,))
+        model = model_by_name("c-openmp")
+        wide = MatrixShape(512, 2048, 128)
+        deep = MatrixShape(512, 128, 2048)
+        rs = ResultSet(exp)
+        rs.add(run_measurement(model, exp, wide))
+        rs.add(run_measurement(model, exp, deep))
+        return rs, wide, deep
+
+    def test_cell_by_shape_distinguishes_colliding_m(self):
+        rs, wide, deep = self._non_square_rs()
+        assert rs.cell_by_shape("c-openmp", wide).shape == wide
+        assert rs.cell_by_shape("c-openmp", deep).shape == deep
+        assert rs.cell_by_shape("c-openmp", wide).times_s != \
+            rs.cell_by_shape("c-openmp", deep).times_s
+
+    def test_integer_key_is_ambiguous_on_collision(self):
+        rs, _, _ = self._non_square_rs()
+        with pytest.raises(KeyError, match="ambiguous"):
+            rs.cell("c-openmp", 512)
+
+    def test_cell_accepts_full_shape(self):
+        rs, wide, _ = self._non_square_rs()
+        assert rs.cell("c-openmp", wide).shape == wide
+
+    def test_series_covers_every_shape(self):
+        rs, _, _ = self._non_square_rs()
+        xs, ys = rs.series("c-openmp")
+        assert xs == [512, 512]
+        assert len(set(ys)) == 2
+
+    def test_shapes_listing(self):
+        rs, wide, deep = self._non_square_rs()
+        assert rs.shapes() == sorted([wide, deep],
+                                     key=lambda s: (s.m, s.n, s.k))
+
+    def test_square_sweep_api_unchanged(self):
+        rs = run_experiment(small_cpu_exp())
+        assert rs.sizes() == [256, 512]
+        m = rs.cell("c-openmp", 256)
+        assert m.shape == MatrixShape.square(256)
+        xs, _ = rs.series("c-openmp")
+        assert xs == [256, 512]
+
+    def test_efficiency_series_pairs_by_shape(self):
+        exp = small_cpu_exp(sizes=(512,))
+        wide = MatrixShape(512, 2048, 128)
+        deep = MatrixShape(512, 128, 2048)
+        rs = ResultSet(exp)
+        for name in ("c-openmp", "julia"):
+            model = model_by_name(name)
+            for shape in (wide, deep):
+                rs.add(run_measurement(model, exp, shape))
+        es = rs.efficiency_series("julia", "c-openmp")
+        assert len(es) == 2
+        expected = [
+            rs.cell_by_shape("julia", s).gflops
+            / rs.cell_by_shape("c-openmp", s).gflops
+            for s in rs.shapes()
+        ]
+        assert es == expected
 
 
 class TestReport:
