@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench bench-paper report report-cached verify examples clean
+.PHONY: install test lint bench bench-paper report report-cached faults verify examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -38,6 +38,14 @@ report-cached:
 	cmp study_report_cold.md study_report_warm.md
 	@echo "warm report byte-identical to cold"
 	REPRO_CACHE_DIR=.repro-cache $(PYTHON) -m repro cache stats
+
+# Degraded-mode smoke test: a sweep with injected faults (one cell
+# permanently failing) must still exit 0 and print the degraded table.
+faults:
+	$(PYTHON) -m repro run --no-cache --engine-stats \
+	  --faults 'rate=0.25,seed=7,always=numba@1024' --retries 3 \
+	  | grep -E 'DEGRADED|FAILED'
+	@echo "degraded sweep completed with exit 0"
 
 verify:
 	$(PYTHON) -m repro verify

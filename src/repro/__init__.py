@@ -23,14 +23,17 @@ from .config import RunConfig
 from .core.metrics import metric_comparison, phi_marowka, phi_paper, pp_pennycook
 from .core.types import DeviceKind, Layout, MatrixShape, Precision
 from .errors import (
+    CellFailure,
     ConfigError,
     ExperimentError,
+    FaultError,
     IRVerificationError,
     KernelValidationError,
     LintError,
     LoweringError,
     MachineModelError,
     ReproError,
+    RetryExhaustedError,
     UnsupportedConfigurationError,
 )
 from .harness import (
@@ -40,6 +43,8 @@ from .harness import (
     PAPER_SIZES,
     QUICK_SIZES,
     ResultSet,
+    RetryPolicy,
+    RunOptions,
     fig4,
     fig5,
     fig6,
@@ -83,17 +88,22 @@ __all__ = [
     "MatrixShape",
     "Precision",
     "ReproError",
+    "CellFailure",
     "ConfigError",
     "ExperimentError",
+    "FaultError",
     "IRVerificationError",
     "KernelValidationError",
     "LintError",
     "LoweringError",
     "MachineModelError",
+    "RetryExhaustedError",
     "UnsupportedConfigurationError",
     "Experiment",
     "FigureResult",
     "Measurement",
+    "RetryPolicy",
+    "RunOptions",
     "PAPER_SIZES",
     "QUICK_SIZES",
     "ResultSet",

@@ -19,6 +19,7 @@ import sys
 from typing import List, Optional
 
 from .core.types import DeviceKind, Precision
+from .errors import CellFailure
 from .harness import (
     Experiment,
     PAPER_SIZES,
@@ -91,6 +92,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="thread-pool width (default: cpu count)")
     run.add_argument("--engine-stats", action="store_true",
                      help="append per-cell timings and cache hit/miss stats")
+    _add_resilience_flags(run)
 
     kern = sub.add_parser("kernel",
                           help="show what a model lowers the GEMM to")
@@ -135,6 +137,7 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--full", action="store_true")
     rep.add_argument("--out", default=None, help="write to file")
     rep.add_argument("--charts", action="store_true")
+    _add_resilience_flags(rep)
 
     ver = sub.add_parser("verify",
                          help="compare reproduced Table III to the paper")
@@ -168,6 +171,49 @@ def build_parser() -> argparse.ArgumentParser:
                             "$XDG_CACHE_HOME/repro/results)")
 
     return p
+
+
+def _add_resilience_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--faults", default=None, metavar="SPEC",
+                   help="inject deterministic faults, e.g. '0.2' or "
+                        "'rate=0.2,seed=7,always=numba@512'")
+    p.add_argument("--retries", type=int, default=None, metavar="N",
+                   help="retries per cell after a fault (default: 0)")
+    p.add_argument("--max-cell-seconds", type=float, default=None,
+                   metavar="S",
+                   help="per-cell simulated-time budget for retries")
+    p.add_argument("--fail-fast", action="store_true",
+                   help="abort on the first permanent cell failure "
+                        "(exit 1) instead of degrading to e=0")
+
+
+def _options_for(args: argparse.Namespace):
+    """A RunOptions for the resilience flags, or None for the process
+    default (which itself reads the REPRO_FAULTS family of env vars)."""
+    from dataclasses import replace
+    from .harness.engine import RunOptions
+    from .sim.faults import FaultConfig
+
+    faults_spec = getattr(args, "faults", None)
+    retries = getattr(args, "retries", None)
+    budget = getattr(args, "max_cell_seconds", None)
+    fail_fast = getattr(args, "fail_fast", False)
+    if faults_spec is None and retries is None and budget is None \
+            and not fail_fast:
+        return None
+    opts = RunOptions.from_env()
+    if faults_spec is not None:
+        opts = replace(opts, faults=FaultConfig.parse(faults_spec))
+    retry = opts.retry
+    if retries is not None:
+        retry = replace(retry, max_attempts=retries + 1)
+    if budget is not None:
+        retry = replace(retry, max_cell_seconds=budget)
+    if retry is not opts.retry:
+        opts = replace(opts, retry=retry)
+    if fail_fast:
+        opts = replace(opts, fail_fast=True)
+    return opts
 
 
 def _cmd_machines() -> str:
@@ -260,7 +306,7 @@ def _engine_for(args: argparse.Namespace):
 
 def _finish_run(args: argparse.Namespace, exp: Experiment) -> str:
     engine = _engine_for(args)
-    results = run_experiment(exp, engine=engine)
+    results = run_experiment(exp, engine=engine, options=_options_for(args))
     extra = ""
     if getattr(args, "engine_stats", False) and engine is not None \
             and engine.last_report is not None:
@@ -403,6 +449,15 @@ def _cmd_roofline(args: argparse.Namespace) -> str:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except CellFailure as exc:
+        # --fail-fast: a permanently failing cell aborts the campaign.
+        print(f"repro: aborted: {exc}", file=sys.stderr)
+        return 1
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     rc = 0
     if args.command == "machines":
         out = _cmd_machines()
@@ -474,9 +529,20 @@ def main(argv: Optional[List[str]] = None) -> int:
                    else "survives the full platform set"))
         out = "\n".join(lines)
     elif args.command == "report":
+        from .harness.engine import set_default_run_options
         from .harness.report_all import full_report
-        text = full_report(PAPER_SIZES if args.full else QUICK_SIZES,
-                           charts=args.charts)
+        # Campaign-level commands run many experiments through the
+        # default entrypoint; resilience flags install as the
+        # process-wide options so every panel inherits them.
+        opts = _options_for(args)
+        try:
+            if opts is not None:
+                set_default_run_options(opts)
+            text = full_report(PAPER_SIZES if args.full else QUICK_SIZES,
+                               charts=args.charts)
+        finally:
+            if opts is not None:
+                set_default_run_options(None)
         if args.out:
             with open(args.out, "w") as fh:
                 fh.write(text)

@@ -37,6 +37,11 @@ KNOWN_VARIABLES: Dict[str, str] = {
     "REPRO_CACHE": "sweep result cache on/off (default on)",
     "REPRO_CACHE_DIR": "sweep result cache directory",
     "REPRO_JOBS": "sweep engine thread-pool width (1 = serial)",
+    "REPRO_FAULTS": "fault-injection spec (e.g. rate=0.2,seed=7,always=numba@512)",
+    "REPRO_RETRIES": "retries per sweep cell after a fault (default 0)",
+    "REPRO_BACKOFF": "base simulated backoff seconds between retries",
+    "REPRO_MAX_CELL_SECONDS": "per-cell simulated-time budget for retries",
+    "REPRO_FAIL_FAST": "abort the sweep on the first permanent cell failure",
 }
 
 _TRUE_STRINGS = frozenset({"1", "true", "yes", "on", "close", "spread"})
@@ -100,6 +105,21 @@ class RunConfig:
             value = int(raw)
         except ValueError as exc:
             raise ConfigError(f"{name}={raw!r} is not an integer") from exc
+        if value <= 0:
+            raise ConfigError(f"{name}={value} must be positive")
+        return value
+
+    def get_float(self, name: str,
+                  default: Optional[float] = None) -> Optional[float]:
+        """Positive-float accessor; the default passes through untyped so
+        callers can use ``None`` for "unset"."""
+        raw = self.env.get(name)
+        if raw is None:
+            return default
+        try:
+            value = float(raw)
+        except ValueError as exc:
+            raise ConfigError(f"{name}={raw!r} is not a number") from exc
         if value <= 0:
             raise ConfigError(f"{name}={value} must be positive")
         return value

@@ -48,8 +48,15 @@ def efficiency_table_for(result_set: ResultSet,
     for model in models:
         if model == ref.name:
             continue
-        value = (result_set.mean_efficiency(model, ref.name)
-                 if result_set.supported(model) else None)
+        if result_set.supported(model):
+            value = result_set.mean_efficiency(model, ref.name)
+        elif result_set.failed(model):
+            # Degraded mode: the model was attempted but every cell
+            # failed — that is lost coverage, charged as e = 0 in the
+            # paper's accounting, not an unsupported '-'.
+            value = 0.0
+        else:
+            value = None
         out.append(PlatformEfficiency(
             model=model,
             platform=platform_label,

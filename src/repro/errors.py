@@ -18,6 +18,9 @@ __all__ = [
     "ExperimentError",
     "ConfigError",
     "CacheError",
+    "FaultError",
+    "CellFailure",
+    "RetryExhaustedError",
 ]
 
 
@@ -100,4 +103,55 @@ class CacheError(ReproError):
     Stale entries (schema or constants-version mismatch) are *not* errors
     — the cache silently evicts and recomputes those; this is raised only
     for structurally corrupt files that survive the version gate.
+    """
+
+
+class FaultError(ReproError):
+    """An injected node fault hit one attempt of a sweep cell.
+
+    Models the transient failures real campaigns on Crusher/Wombat contend
+    with (OOM kills, hung kernels, thermal jitter spikes).  Carries the
+    structured fault so the engine's retry loop can account simulated time
+    and classify the failure:
+
+    * ``fault`` — the :class:`repro.sim.faults.Fault` that fired;
+    * ``cell`` — the ``model@shape`` cell coordinates;
+    * ``attempt`` — which attempt (1-based) the fault hit.
+    """
+
+    def __init__(self, message: str, fault=None, cell: str = "",
+                 attempt: int = 0):
+        self.fault = fault
+        self.cell = cell
+        self.attempt = attempt
+        super().__init__(message)
+
+
+class CellFailure(ReproError):
+    """One sweep cell failed permanently.
+
+    Raised out of :meth:`repro.harness.engine.SweepEngine.run` only under
+    ``fail_fast``; otherwise the engine isolates the failure, records the
+    cell as a degraded ``failed`` measurement (the paper's e=0 accounting)
+    and the sweep continues.
+
+    * ``cell`` — the ``model@shape`` cell coordinates;
+    * ``attempts`` — how many attempts were made;
+    * ``reason`` — human-readable cause (last fault, error class, budget).
+    """
+
+    def __init__(self, message: str, cell: str = "", attempts: int = 0,
+                 reason: str = ""):
+        self.cell = cell
+        self.attempts = attempts
+        self.reason = reason
+        super().__init__(message)
+
+
+class RetryExhaustedError(CellFailure):
+    """A cell kept faulting until the retry policy gave up.
+
+    Subclass of :class:`CellFailure`: exhaustion (max attempts reached or
+    the per-cell simulated-time budget spent) is one way a cell fails
+    permanently, so broad ``except CellFailure`` handlers keep working.
     """

@@ -11,7 +11,10 @@ Process-wide configuration (read once, on first use):
 * ``REPRO_CACHE=off`` disables the result cache;
 * ``REPRO_CACHE_DIR`` relocates it (default
   ``$XDG_CACHE_HOME/repro/results``);
-* ``REPRO_JOBS=N`` caps the thread-pool width (``1`` forces serial).
+* ``REPRO_JOBS=N`` caps the thread-pool width (``1`` forces serial);
+* ``REPRO_FAULTS`` / ``REPRO_RETRIES`` / ``REPRO_BACKOFF`` /
+  ``REPRO_MAX_CELL_SECONDS`` / ``REPRO_FAIL_FAST`` configure the
+  resilience layer (see :class:`RunOptions`).
 """
 
 from __future__ import annotations
@@ -21,6 +24,7 @@ from typing import Optional
 from .cache import CacheStats, ResultCache, default_cache_dir
 from .executor import CellRecord, SweepEngine, SweepReport
 from .fingerprint import CONSTANTS_VERSION, cell_fingerprint, fingerprint_payload
+from .options import RetryPolicy, RunOptions
 
 __all__ = [
     "CacheStats",
@@ -32,9 +36,14 @@ __all__ = [
     "CONSTANTS_VERSION",
     "cell_fingerprint",
     "fingerprint_payload",
+    "RetryPolicy",
+    "RunOptions",
     "default_engine",
     "set_default_engine",
     "reset_default_engine",
+    "default_run_options",
+    "set_default_run_options",
+    "reset_default_run_options",
 ]
 
 _default_engine: Optional[SweepEngine] = None
@@ -57,3 +66,29 @@ def set_default_engine(engine: Optional[SweepEngine]) -> None:
 def reset_default_engine() -> None:
     """Drop the process-wide engine so the next use re-reads the env."""
     set_default_engine(None)
+
+
+_default_run_options: Optional[RunOptions] = None
+
+
+def default_run_options() -> RunOptions:
+    """The process-wide :class:`RunOptions`, from the environment on
+    first use.  ``repro report`` and the figure builders call
+    ``run_experiment`` with no explicit options; this is what they get,
+    so a campaign inherits ``REPRO_FAULTS``-family knobs (or a CLI
+    override installed via :func:`set_default_run_options`) everywhere."""
+    global _default_run_options
+    if _default_run_options is None:
+        _default_run_options = RunOptions.from_env()
+    return _default_run_options
+
+
+def set_default_run_options(options: Optional[RunOptions]) -> None:
+    """Replace the process-wide options (``None`` resets to lazy re-init)."""
+    global _default_run_options
+    _default_run_options = options
+
+
+def reset_default_run_options() -> None:
+    """Drop the process-wide options so the next use re-reads the env."""
+    set_default_run_options(None)

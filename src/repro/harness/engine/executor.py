@@ -1,23 +1,35 @@
-"""The sweep engine: concurrent, cached execution of experiment cells.
+"""The sweep engine: concurrent, cached, fault-tolerant execution of cells.
 
-``SweepEngine.run`` is contractually bit-identical to
-:func:`repro.harness.runner.run_experiment_serial`: cells fan out over a
-``concurrent.futures`` thread pool (every cell is an independent,
-deterministic simulation) and merge back into the :class:`ResultSet` in
-serial cell order.  A persistent :class:`ResultCache` keyed by cell
-fingerprints makes warm re-runs — a second ``repro report``, regenerating
-a figure after editing prose — skip the simulator entirely.
+``SweepEngine.run`` is contractually bit-identical to the serial
+reference loop: cells fan out over a ``concurrent.futures`` thread pool
+(every cell is an independent, deterministic simulation) and merge back
+into the :class:`ResultSet` in serial cell order.  A persistent
+:class:`ResultCache` keyed by cell fingerprints makes warm re-runs — a
+second ``repro report``, regenerating a figure after editing prose —
+skip the simulator entirely.
+
+Fault tolerance: a :class:`~repro.harness.engine.options.RunOptions` may
+carry a deterministic :class:`~repro.sim.faults.FaultConfig` and a
+:class:`~repro.harness.engine.options.RetryPolicy`.  Faulted attempts
+retry with exponential backoff in *simulated* time; a cell that keeps
+failing is isolated into a degraded ``failed`` measurement (the paper's
+e = 0 accounting) instead of killing the sweep — unless ``fail_fast``
+asks for the campaign to abort.  Failed cells are never written to the
+cache, and fault-enabled runs fingerprint their cells separately, so
+retries cannot poison clean results.
 
 Trace fidelity: when a caller passes a :class:`Profiler`, each executed
-cell records into a private profiler and the engine replays the events
-into the caller's profiler in cell order, so the simulated timeline is
+cell records into a private profiler — fault (``FAULT``) and backoff
+(``RETRY``) spans included — and the engine replays the events into the
+caller's profiler in cell order, so the simulated timeline is
 byte-identical to the serial one; cache *reads* are bypassed for such
 runs (a cached cell would leave no trace events to corroborate).
 
 Observability: every run produces a :class:`SweepReport` with per-cell
-wall-clock timings and cache outcomes, renderable as an ASCII table or as
-a :mod:`repro.trace` timeline (``CELL``/``CACHE_HIT``/``CACHE_MISS``
-events).
+wall-clock offsets/timings, attempt counts and cache outcomes,
+renderable as an ASCII table (with a degraded-cell section) or as a
+:mod:`repro.trace` timeline whose cell spans sit at their real
+wall-clock offsets.
 """
 
 from __future__ import annotations
@@ -29,8 +41,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ...core.types import MatrixShape
+from ...errors import CellFailure, ReproError, RetryExhaustedError
 from ...models.base import ProgrammingModel
 from ...models.registry import model_by_name
+from ...sim.faults import Fault, FaultInjector
 from ...trace.events import EventKind
 from ...trace.profiler import Profiler
 from ..experiment import Experiment
@@ -38,19 +52,30 @@ from ..results import Measurement, ResultSet
 from ..runner import run_measurement
 from .cache import ResultCache
 from .fingerprint import cell_fingerprint
+from .options import RunOptions
 
 __all__ = ["CellRecord", "SweepReport", "SweepEngine"]
 
 
 @dataclass(frozen=True)
 class CellRecord:
-    """Observability record of one executed or cache-served cell."""
+    """Observability record of one executed, cache-served or failed cell."""
 
     model: str
     shape: str
     fingerprint: str
     cached: bool
     wall_s: float
+    #: Wall-clock offset of this cell from the start of the engine run —
+    #: real (possibly overlapping) positions under the thread-pool fan-out.
+    start_s: float = 0.0
+    status: str = "ok"           # "ok" | "cached" | "failed"
+    attempts: int = 1
+    faults: int = 0
+
+    @property
+    def failed(self) -> bool:
+        return self.status == "failed"
 
 
 @dataclass
@@ -72,23 +97,43 @@ class SweepReport:
     def executed_cells(self) -> int:
         return sum(1 for c in self.cells if not c.cached)
 
+    @property
+    def failed_cells(self) -> int:
+        return sum(1 for c in self.cells if c.failed)
+
+    @property
+    def total_attempts(self) -> int:
+        return sum(c.attempts for c in self.cells)
+
+    @property
+    def degraded(self) -> bool:
+        return self.failed_cells > 0
+
     def timeline(self) -> Profiler:
-        """The run as a :mod:`repro.trace` timeline (wall-clock spans)."""
+        """The run as a :mod:`repro.trace` timeline.
+
+        Cells are laid out at their *real* wall-clock offsets (concurrent
+        cells overlap, exactly as they ran) rather than stacked end to
+        end from t=0, so a Chrome-trace export shows the actual fan-out.
+        """
         prof = Profiler()
-        for cell in self.cells:
+        for cell in sorted(self.cells, key=lambda c: (c.start_s, c.model,
+                                                      c.shape)):
             kind = EventKind.CACHE_HIT if cell.cached else EventKind.CACHE_MISS
-            prof.record(kind, f"{cell.model}@{cell.shape}", 0.0,
-                        fingerprint=cell.fingerprint)
-            prof.record(EventKind.CELL, f"{cell.model}@{cell.shape}",
-                        cell.wall_s, cached=cell.cached)
+            prof.record_at(kind, f"{cell.model}@{cell.shape}", cell.start_s,
+                           0.0, fingerprint=cell.fingerprint)
+            prof.record_at(EventKind.CELL, f"{cell.model}@{cell.shape}",
+                           cell.start_s, cell.wall_s, cached=cell.cached,
+                           status=cell.status, attempts=cell.attempts)
         return prof
 
     def render(self) -> str:
         """ASCII summary for ``repro run --engine-stats``."""
         lines = [
             f"sweep {self.experiment_id}: {len(self.cells)} cells "
-            f"({self.cached_cells} cached, {self.executed_cells} executed) "
-            f"in {self.wall_s * 1e3:.1f} ms wall "
+            f"({self.cached_cells} cached, {self.executed_cells} executed"
+            + (f", {self.failed_cells} FAILED" if self.degraded else "")
+            + f") in {self.wall_s * 1e3:.1f} ms wall "
             f"[{'parallel x' + str(self.workers) if self.parallel else 'serial'}]",
         ]
         if self.cache_stats:
@@ -96,16 +141,26 @@ class SweepReport:
                 "cache: " + ", ".join(f"{v} {k}"
                                       for k, v in self.cache_stats.items()))
         for cell in self.cells:
-            origin = "cache" if cell.cached else "sim"
+            origin = {"cached": "cache", "failed": "FAILED"}.get(
+                cell.status, "sim")
+            retries = (f"  ({cell.attempts} attempts, {cell.faults} faults)"
+                       if cell.attempts > 1 or cell.faults else "")
             lines.append(f"  {cell.model:>12s} @{cell.shape:<18s} "
-                         f"{cell.wall_s * 1e3:9.3f} ms  [{origin}]")
+                         f"{cell.wall_s * 1e3:9.3f} ms  [{origin}]{retries}")
+        if self.degraded:
+            lines.append("degraded cells (reported as e=0):")
+            for cell in self.cells:
+                if cell.failed:
+                    lines.append(f"  {cell.model} @{cell.shape} failed after "
+                                 f"{cell.attempts} attempts "
+                                 f"({cell.faults} faults)")
         return "\n".join(lines)
 
 
 class SweepEngine:
-    """Concurrent, cached executor of experiment sweeps."""
+    """Concurrent, cached, fault-tolerant executor of experiment sweeps."""
 
-    def __init__(self, cache: Optional[ResultCache] = None,
+    def __init__(self, *, cache: Optional[ResultCache] = None,
                  parallel: bool = True,
                  max_workers: Optional[int] = None) -> None:
         self.cache = cache
@@ -134,15 +189,28 @@ class SweepEngine:
     # -- execution --------------------------------------------------------
 
     def run(self, experiment: Experiment,
-            profiler: Optional[Profiler] = None) -> ResultSet:
-        """Run every cell; bit-identical to the serial reference loop."""
+            profiler: Optional[Profiler] = None,
+            *, options: Optional[RunOptions] = None) -> ResultSet:
+        """Run every cell; bit-identical to the serial reference loop.
+
+        ``options`` threads the resilience layer through the run: fault
+        injection, per-cell retries with simulated backoff, and the
+        ``fail_fast`` abort switch.  Without options (or with the
+        defaults) behaviour is the classic engine: any error propagates.
+        """
+        opts = options if options is not None else RunOptions()
+        if profiler is None:
+            profiler = opts.profiler
+        injector = (FaultInjector(opts.faults) if opts.faults.enabled
+                    else None)
         run_start = time.perf_counter()
         cells: List[Tuple[ProgrammingModel, MatrixShape]] = [
             (model_by_name(name), shape)
             for name in experiment.models
             for shape in experiment.shapes()
         ]
-        fingerprints = [cell_fingerprint(experiment, model.name, shape)
+        fingerprints = [cell_fingerprint(experiment, model.name, shape,
+                                         faults=opts.faults)
                         for model, shape in cells]
         measurements: List[Optional[Measurement]] = [None] * len(cells)
         records: List[Optional[CellRecord]] = [None] * len(cells)
@@ -155,8 +223,10 @@ class SweepEngine:
                 misses.append(i)
             else:
                 measurements[i] = cached
-                records[i] = CellRecord(model.name, str(shape),
-                                        fingerprints[i], True, 0.0)
+                records[i] = CellRecord(
+                    model=model.name, shape=str(shape),
+                    fingerprint=fingerprints[i], cached=True, wall_s=0.0,
+                    start_s=time.perf_counter() - run_start, status="cached")
 
         traces: List[Optional[Profiler]] = [None] * len(cells)
 
@@ -164,15 +234,22 @@ class SweepEngine:
             model, shape = cells[i]
             cell_prof = Profiler() if profiler is not None else None
             t0 = time.perf_counter()
-            m = run_measurement(model, experiment, shape, cell_prof)
+            start_s = t0 - run_start
+            m, attempts, faults_hit = self._attempt_cell(
+                model, shape, experiment, opts, injector, cell_prof)
             wall = time.perf_counter() - t0
-            if self.cache is not None:
+            if self.cache is not None and not m.failed:
+                # Failed cells are never cached: a transient node condition
+                # must not outlive the run that suffered it.
                 self.cache.put(fingerprints[i], m,
                                metadata={"experiment": experiment.exp_id})
             measurements[i] = m
             traces[i] = cell_prof
-            records[i] = CellRecord(model.name, str(shape),
-                                    fingerprints[i], False, wall)
+            records[i] = CellRecord(
+                model=model.name, shape=str(shape),
+                fingerprint=fingerprints[i], cached=False, wall_s=wall,
+                start_s=start_s, status="failed" if m.failed else "ok",
+                attempts=attempts, faults=faults_hit)
 
         workers = 1
         if self.parallel and len(misses) > 1:
@@ -210,3 +287,93 @@ class SweepEngine:
             wall_s=time.perf_counter() - run_start,
         )
         return results
+
+    # -- the retry loop ---------------------------------------------------
+
+    def _attempt_cell(self, model: ProgrammingModel, shape: MatrixShape,
+                      experiment: Experiment, opts: RunOptions,
+                      injector: Optional[FaultInjector],
+                      cell_prof: Optional[Profiler],
+                      ) -> Tuple[Measurement, int, int]:
+        """Run one cell under the retry policy.
+
+        Returns ``(measurement, attempts, faults_hit)``.  All timekeeping
+        is simulated: each injected fault charges its class cost and each
+        backoff its policy cost against the per-cell budget — nothing
+        sleeps.  Raises :class:`CellFailure` (or the sharper
+        :class:`RetryExhaustedError`) only under ``fail_fast``.
+        """
+        retry = opts.retry
+        cell = f"{model.name}@{shape}"
+        attempts = 0
+        faults_hit = 0
+        spent_s = 0.0
+        while True:
+            attempts += 1
+            fault = (injector.probe(experiment.exp_id, model.name, shape,
+                                    attempts)
+                     if injector is not None else None)
+            if fault is None:
+                try:
+                    m = run_measurement(model, experiment, shape, cell_prof)
+                except ReproError as exc:
+                    # Cell-level isolation of real execution errors: a
+                    # deterministic simulator error would fail identically
+                    # on every retry, so it fails the cell immediately.
+                    reason = f"{type(exc).__name__}: {exc}"
+                    if opts.fail_fast:
+                        raise CellFailure(
+                            f"cell {cell} failed: {reason}", cell=cell,
+                            attempts=attempts, reason=reason) from exc
+                    return (self._failed_measurement(model, shape,
+                                                     experiment, reason),
+                            attempts, faults_hit)
+                return m, attempts, faults_hit
+
+            faults_hit += 1
+            spent_s += fault.cost_s
+            if cell_prof is not None:
+                cell_prof.record(EventKind.FAULT,
+                                 f"{fault.kind.value}:{cell}", fault.cost_s,
+                                 attempt=attempts, permanent=fault.permanent)
+            over_budget = (retry.max_cell_seconds is not None
+                           and spent_s >= retry.max_cell_seconds)
+            exhausted = attempts >= retry.max_attempts
+            if fault.permanent or exhausted or over_budget:
+                reason = self._failure_reason(fault, attempts, spent_s,
+                                              exhausted, over_budget)
+                if opts.fail_fast:
+                    err_cls = (RetryExhaustedError
+                               if (exhausted or over_budget)
+                               and not fault.permanent else CellFailure)
+                    raise err_cls(f"cell {cell} failed: {reason}",
+                                  cell=cell, attempts=attempts, reason=reason)
+                return (self._failed_measurement(model, shape, experiment,
+                                                 reason),
+                        attempts, faults_hit)
+            backoff = retry.backoff_s(attempts)
+            spent_s += backoff
+            if cell_prof is not None:
+                cell_prof.record(EventKind.RETRY, f"backoff:{cell}", backoff,
+                                 attempt=attempts, next_attempt=attempts + 1)
+
+    @staticmethod
+    def _failure_reason(fault: Fault, attempts: int, spent_s: float,
+                        exhausted: bool, over_budget: bool) -> str:
+        if fault.permanent:
+            return f"{fault.describe()}; cell fails on every attempt"
+        if over_budget:
+            return (f"{fault.describe()}; per-cell budget exhausted after "
+                    f"{spent_s:g}s simulated across {attempts} attempts")
+        if exhausted:
+            return f"{fault.describe()}; retries exhausted ({attempts} attempts)"
+        return fault.describe()  # pragma: no cover - defensive
+
+    @staticmethod
+    def _failed_measurement(model: ProgrammingModel, shape: MatrixShape,
+                            experiment: Experiment,
+                            reason: str) -> Measurement:
+        return Measurement(
+            model=model.name, display=model.display, shape=shape,
+            precision=experiment.precision, supported=False, failed=True,
+            note=reason)

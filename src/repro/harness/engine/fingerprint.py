@@ -20,9 +20,11 @@ from __future__ import annotations
 
 import hashlib
 import json
+from typing import Optional
 
 from ..._version import __version__
 from ...core.types import MatrixShape
+from ...sim.faults import FaultConfig
 from ..experiment import Experiment
 
 __all__ = ["CONSTANTS_VERSION", "cell_fingerprint", "fingerprint_payload"]
@@ -34,8 +36,27 @@ CONSTANTS_VERSION = "2024.1"
 
 
 def fingerprint_payload(experiment: Experiment, model_name: str,
-                        shape: MatrixShape) -> dict:
-    """The canonical, JSON-serialisable identity of one sweep cell."""
+                        shape: MatrixShape,
+                        faults: Optional[FaultConfig] = None) -> dict:
+    """The canonical, JSON-serialisable identity of one sweep cell.
+
+    An *enabled* fault configuration joins the payload: a degraded
+    campaign keys its cells separately, so its entries can never shadow —
+    or be shadowed by — fault-free results, and a retried-then-recovered
+    store can never poison a clean warm run.  A disabled (or absent)
+    config adds nothing, keeping pre-fault-layer fingerprints stable.
+    The retry policy is deliberately **not** part of the identity: it
+    decides only whether a cell gets measured at all, never the measured
+    values, and failed cells are not cached.
+    """
+    payload = _base_payload(experiment, model_name, shape)
+    if faults is not None and faults.enabled:
+        payload["faults"] = faults.payload()
+    return payload
+
+
+def _base_payload(experiment: Experiment, model_name: str,
+                  shape: MatrixShape) -> dict:
     return {
         "constants": CONSTANTS_VERSION,
         "package": __version__,
@@ -54,8 +75,9 @@ def fingerprint_payload(experiment: Experiment, model_name: str,
 
 
 def cell_fingerprint(experiment: Experiment, model_name: str,
-                     shape: MatrixShape) -> str:
+                     shape: MatrixShape,
+                     faults: Optional[FaultConfig] = None) -> str:
     """Hex SHA-256 fingerprint of one (experiment, model, shape) cell."""
-    payload = fingerprint_payload(experiment, model_name, shape)
+    payload = fingerprint_payload(experiment, model_name, shape, faults)
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode()).hexdigest()

@@ -1,0 +1,132 @@
+"""Run options: the one immutable bag of knobs behind ``run_experiment``.
+
+Replaces the loose keyword arguments that used to thread through
+``runner.run_experiment`` and ``SweepEngine.run`` — cache toggles, job
+counts, profilers, and (new with the fault layer) the retry policy and
+fault configuration all travel together in a frozen :class:`RunOptions`.
+
+Retries happen in *simulated* time: the exponential backoff of
+:class:`RetryPolicy` charges seconds against the per-cell budget and the
+trace timeline without ever sleeping, so a fault-heavy campaign still
+runs at full host speed and remains bit-reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ...errors import ConfigError
+from ...sim.faults import FaultConfig
+from ...trace.profiler import Profiler
+
+__all__ = ["RetryPolicy", "RunOptions"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deterministic retry/backoff budget for one sweep cell.
+
+    * ``max_attempts`` — total attempts per cell (1 = no retries);
+    * ``backoff_base_s`` / ``backoff_factor`` — exponential backoff in
+      simulated seconds: attempt *k*'s failure waits
+      ``base * factor**(k-1)`` before attempt *k+1*;
+    * ``max_cell_seconds`` — per-cell simulated-time budget covering
+      failed attempts plus backoff; ``None`` means unbounded.
+    """
+
+    max_attempts: int = 1
+    backoff_base_s: float = 0.5
+    backoff_factor: float = 2.0
+    max_cell_seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError(f"max_attempts {self.max_attempts} < 1")
+        if self.backoff_base_s < 0:
+            raise ConfigError("backoff base must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ConfigError("backoff factor must be >= 1")
+        if self.max_cell_seconds is not None and self.max_cell_seconds <= 0:
+            raise ConfigError("per-cell budget must be positive")
+
+    def backoff_s(self, attempt: int) -> float:
+        """Simulated backoff after failed attempt number ``attempt``."""
+        if attempt < 1:
+            raise ConfigError(f"attempt numbers are 1-based, got {attempt}")
+        return self.backoff_base_s * self.backoff_factor ** (attempt - 1)
+
+    def describe(self) -> str:
+        if self.max_attempts == 1:
+            return "no retries"
+        budget = (f", budget {self.max_cell_seconds:g}s/cell"
+                  if self.max_cell_seconds is not None else "")
+        return (f"up to {self.max_attempts} attempts, backoff "
+                f"{self.backoff_base_s:g}s x{self.backoff_factor:g}{budget}")
+
+
+@dataclass(frozen=True)
+class RunOptions:
+    """Everything one ``run_experiment`` call may tune, in one place.
+
+    Tri-state ``cache``/``jobs`` (``None`` = environment default) keep
+    the zero-configuration path identical to passing no options at all.
+    Construct with keywords — the dataclass is frozen, and positional
+    construction is considered private.
+    """
+
+    cache: Optional[bool] = None
+    jobs: Optional[int] = None
+    profiler: Optional[Profiler] = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    faults: FaultConfig = field(default_factory=FaultConfig)
+    fail_fast: bool = False
+
+    def __post_init__(self) -> None:
+        if self.jobs is not None and self.jobs < 1:
+            raise ConfigError(f"jobs {self.jobs} < 1")
+
+    @classmethod
+    def from_env(cls) -> "RunOptions":
+        """Options from ``REPRO_FAULTS`` / ``REPRO_RETRIES`` /
+        ``REPRO_BACKOFF`` / ``REPRO_MAX_CELL_SECONDS`` / ``REPRO_FAIL_FAST``.
+
+        Cache and job-count environment knobs stay with
+        :meth:`SweepEngine.from_env`; this covers the resilience layer so
+        campaign-level commands (``repro report``, figures, Table III)
+        inherit fault/retry settings without new plumbing.
+        """
+        from ...config import RunConfig
+        cfg = RunConfig.from_os_environ()
+        faults_spec = cfg.get("REPRO_FAULTS")
+        faults = FaultConfig.parse(faults_spec) if faults_spec else FaultConfig()
+        raw_retries = cfg.get("REPRO_RETRIES")
+        try:
+            retries = int(raw_retries) if raw_retries is not None else 0
+        except ValueError as exc:
+            raise ConfigError(
+                f"REPRO_RETRIES={raw_retries!r} is not an integer") from exc
+        if retries < 0:
+            raise ConfigError(f"REPRO_RETRIES={retries} must be >= 0")
+        retry = RetryPolicy(
+            max_attempts=retries + 1,
+            backoff_base_s=cfg.get_float("REPRO_BACKOFF", 0.5),
+            max_cell_seconds=cfg.get_float("REPRO_MAX_CELL_SECONDS", None),
+        )
+        return cls(
+            retry=retry,
+            faults=faults,
+            fail_fast=cfg.get_bool("REPRO_FAIL_FAST", False),
+        )
+
+    def with_profiler(self, profiler: Optional[Profiler]) -> "RunOptions":
+        """Copy with ``profiler`` swapped in (``None`` leaves it alone)."""
+        if profiler is None:
+            return self
+        return replace(self, profiler=profiler)
+
+    @property
+    def resilient(self) -> bool:
+        """Whether any fault/retry machinery is active for this run."""
+        return (self.faults.enabled or self.retry.max_attempts > 1
+                or self.fail_fast)

@@ -16,6 +16,11 @@ Schema history:
   k), plus ``include_transfers`` on the experiment block.  v1 documents
   are still accepted by the loader: precision falls back to the
   experiment's, shapes are assumed square.
+* v3 — degraded-mode plumbing: each cell record carries a ``status``
+  (``"ok"`` / ``"unsupported"`` / ``"failed"``) and the document a
+  top-level ``degraded`` flag.  v1/v2 documents load with every cell's
+  ``failed`` defaulting to False (those schemas predate the fault
+  layer, so nothing in them can be a failed cell).
 """
 
 from __future__ import annotations
@@ -38,14 +43,14 @@ __all__ = ["result_set_to_dict", "result_set_from_dict",
            "table3_to_dict", "table3_to_json",
            "SCHEMA_VERSION", "SUPPORTED_SCHEMAS"]
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: Schema versions :func:`result_set_from_dict` can load.
-SUPPORTED_SCHEMAS = (1, 2)
+SUPPORTED_SCHEMAS = (1, 2, 3)
 
 
 def measurement_to_dict(m: Measurement) -> Dict[str, Any]:
-    """Full-fidelity dict of one measurement (schema v2 cell record)."""
+    """Full-fidelity dict of one measurement (schema v3 cell record)."""
     return {
         "model": m.model,
         "display": m.display,
@@ -53,6 +58,7 @@ def measurement_to_dict(m: Measurement) -> Dict[str, Any]:
         "shape": {"m": m.shape.m, "n": m.shape.n, "k": m.shape.k},
         "precision": m.precision.value,
         "supported": m.supported,
+        "status": m.status,
         "note": m.note,
         "bound": m.bound,
         "times_s": list(m.times_s),
@@ -67,9 +73,10 @@ def measurement_from_dict(data: Dict[str, Any],
                           ) -> Measurement:
     """Inverse of :func:`measurement_to_dict`.
 
-    Accepts v1 cell records too: without a ``shape`` block the shape is
-    taken to be square of ``size``; without ``precision`` the caller's
-    ``default_precision`` (the experiment-level setting) applies.
+    Accepts v1/v2 cell records too: without a ``shape`` block the shape
+    is taken to be square of ``size``; without ``precision`` the caller's
+    ``default_precision`` (the experiment-level setting) applies; without
+    a ``status`` (pre-v3) no cell can be ``failed``.
     """
     if "shape" in data:
         sh = data["shape"]
@@ -89,6 +96,7 @@ def measurement_from_dict(data: Dict[str, Any],
         supported=bool(data.get("supported", True)),
         note=data.get("note", ""),
         bound=data.get("bound", ""),
+        failed=data.get("status") == "failed",
     )
 
 
@@ -111,6 +119,7 @@ def result_set_to_dict(rs: ResultSet) -> Dict[str, Any]:
             "seed": exp.seed,
             "include_transfers": exp.include_transfers,
         },
+        "degraded": rs.degraded,
         "measurements": [measurement_to_dict(m) for m in rs.measurements],
     }
 
@@ -169,7 +178,7 @@ def result_set_to_csv(rs: ResultSet) -> str:
     writer = csv.writer(buf)
     writer.writerow(["experiment", "model", "size", "n", "k", "precision",
                      "supported", "gflops", "seconds_mean", "seconds_stdev",
-                     "note"])
+                     "note", "status"])
     for m in rs.measurements:
         writer.writerow([
             rs.experiment.exp_id,
@@ -183,13 +192,15 @@ def result_set_to_csv(rs: ResultSet) -> str:
             f"{m.seconds:.6e}" if m.supported else "",
             f"{m.stdev_seconds:.3e}" if m.supported else "",
             m.note,
+            m.status,
         ])
     return buf.getvalue()
 
 
 def table3_to_dict(t3: Table3Result) -> Dict[str, Any]:
     """Structured form of Table III: one row per (model, precision)."""
-    out: Dict[str, Any] = {"schema": SCHEMA_VERSION, "rows": []}
+    out: Dict[str, Any] = {"schema": SCHEMA_VERSION, "rows": [],
+                           "degraded_cells": list(t3.degraded_cells)}
     for row in t3.rows:
         out["rows"].append({
             "model": row.model,

@@ -261,6 +261,13 @@ class Table3Row:
 @dataclass
 class Table3Result:
     rows: List[Table3Row] = field(default_factory=list)
+    #: ``"model @shape (platform, precision)"`` labels of permanently
+    #: failed cells, when the table was computed from a degraded campaign.
+    degraded_cells: List[str] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.degraded_cells)
 
     def row(self, model: str, precision: Precision) -> Table3Row:
         for r in self.rows:
@@ -283,7 +290,14 @@ class Table3Result:
             for model in ("kokkos", "julia", "numba"):
                 row.append(f"{self.row(model, precision).phi:.3f}")
             body.append(row)
-        return ascii_table(headers, body)
+        text = ascii_table(headers, body)
+        if self.degraded:
+            lines = [text, "",
+                     f"DEGRADED: {len(self.degraded_cells)} cells failed and "
+                     "contribute e=0 to their panel means:"]
+            lines += [f"  {label}" for label in self.degraded_cells]
+            text = "\n".join(lines)
+        return text
 
 
 def table3(sizes: Sequence[int] = QUICK_SIZES) -> Table3Result:
@@ -302,6 +316,10 @@ def table3(sizes: Sequence[int] = QUICK_SIZES) -> Table3Result:
         for platform, rs in panels.items():
             for cell in efficiency_table_for(rs, portable, platform):
                 per_model[cell.model][platform] = cell.value
+            result.degraded_cells += [
+                f"{m.model} @{m.shape} ({platform}, {precision.value})"
+                for m in rs.failed_cells()
+            ]
         for model in portable:
             effs = [per_model[model].get(p) for p in _PLATFORM_ORDER]
             result.rows.append(Table3Row(

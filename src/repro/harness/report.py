@@ -91,7 +91,12 @@ def efficiency_table(rs: ResultSet, reference: str) -> str:
 
 
 def render_result_set(rs: ResultSet, chart: bool = True) -> str:
-    """Table + chart for one experiment panel."""
+    """Table + chart for one experiment panel.
+
+    Degraded sweeps stay renderable: permanently failed cells show as
+    ``FAIL`` and a banner summarises the lost coverage (the paper's
+    e = 0 accounting), instead of the report crashing mid-campaign.
+    """
     exp = rs.experiment
     headers = ["size"] + [rs.cell(m, rs.sizes()[0]).display for m in rs.models()]
     rows: List[List[object]] = []
@@ -99,9 +104,18 @@ def render_result_set(rs: ResultSet, chart: bool = True) -> str:
         row: List[object] = [size]
         for model in rs.models():
             m = rs.cell(model, size)
-            row.append(f"{m.gflops:.0f}" if m.supported else "n/a")
+            if m.supported:
+                row.append(f"{m.gflops:.0f}")
+            else:
+                row.append("FAIL" if m.failed else "n/a")
         rows.append(row)
-    parts = [exp.describe(), "", ascii_table(headers, rows)]
+    parts = [exp.describe()]
+    if rs.degraded:
+        counts = rs.status_counts()
+        parts.append(f"  DEGRADED: {counts['failed']} of "
+                     f"{len(rs.measurements)} cells failed "
+                     f"(reported as e=0)")
+    parts += ["", ascii_table(headers, rows)]
     if chart:
         series = {}
         for model in rs.models():
@@ -113,7 +127,12 @@ def render_result_set(rs: ResultSet, chart: bool = True) -> str:
     unsupported = [
         f"  note: {rs.cell(model, rs.sizes()[0]).display} unsupported - "
         f"{rs.cell(model, rs.sizes()[0]).note}"
-        for model in rs.models() if not rs.supported(model)
+        for model in rs.models()
+        if not rs.supported(model) and not rs.failed(model)
     ]
     parts += unsupported
+    parts += [
+        f"  note: {m.display} @{m.shape} failed - {m.note}"
+        for m in rs.failed_cells()
+    ]
     return "\n".join(parts)

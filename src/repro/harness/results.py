@@ -20,7 +20,12 @@ class Measurement:
     ``times_s`` holds every repetition *including* the warm-up at index 0;
     reported numbers follow the paper's methodology and exclude it.
     ``supported=False`` cells carry no samples, only the reason (e.g.
-    "Numba's AMD GPU target is deprecated").
+    "Numba's AMD GPU target is deprecated").  ``failed=True`` marks a
+    cell that *should* have run but permanently failed (injected faults,
+    exhausted retries, an isolated execution error); such cells also set
+    ``supported=False`` so no consumer ever reads samples from them, and
+    Table III's accounting charges them as e = 0 like the paper does for
+    unsupported cells.
     """
 
     model: str
@@ -32,6 +37,14 @@ class Measurement:
     supported: bool = True
     note: str = ""
     bound: str = ""
+    failed: bool = False
+
+    @property
+    def status(self) -> str:
+        """Per-cell status: ``"ok"``, ``"unsupported"`` or ``"failed"``."""
+        if self.failed:
+            return "failed"
+        return "ok" if self.supported else "unsupported"
 
     @property
     def kernel_times(self) -> Tuple[float, ...]:
@@ -53,6 +66,8 @@ class Measurement:
         return stdev(self.kernel_times)
 
     def summary(self) -> str:  # pragma: no cover - cosmetic
+        if self.failed:
+            return f"{self.display} @{self.shape}: FAILED ({self.note})"
         if not self.supported:
             return f"{self.display} @{self.shape}: unsupported ({self.note})"
         return (f"{self.display} @{self.shape}: {self.gflops:.1f} GFLOP/s "
@@ -131,6 +146,28 @@ class ResultSet:
     def supported(self, model: str) -> bool:
         return any(m.supported for m in self.measurements if m.model == model)
 
+    # -- degraded-mode queries ----------------------------------------------
+
+    def failed(self, model: str) -> bool:
+        """Whether any cell of this model permanently failed."""
+        return any(m.failed for m in self.measurements if m.model == model)
+
+    def failed_cells(self) -> List[Measurement]:
+        """Every permanently failed cell, in insertion order."""
+        return [m for m in self.measurements if m.failed]
+
+    @property
+    def degraded(self) -> bool:
+        """Whether this sweep lost at least one cell to failures."""
+        return any(m.failed for m in self.measurements)
+
+    def status_counts(self) -> Dict[str, int]:
+        """Cell counts per status — the degraded-mode report headline."""
+        out = {"ok": 0, "unsupported": 0, "failed": 0}
+        for m in self.measurements:
+            out[m.status] += 1
+        return out
+
     def series(self, model: str) -> Tuple[List[int], List[float]]:
         """(sizes, GFLOP/s) for one model, skipping unsupported cells."""
         xs: List[int] = []
@@ -148,7 +185,13 @@ class ResultSet:
     # -- efficiency -------------------------------------------------------------
 
     def efficiency_series(self, model: str, reference: str) -> List[float]:
-        """Per-shape efficiency e(shape) = perf(model) / perf(reference)."""
+        """Per-shape efficiency e(shape) = perf(model) / perf(reference).
+
+        Failed cells contribute 0.0 — the cell was attempted and produced
+        nothing, the paper's e = 0 accounting for lost coverage — whereas
+        *unsupported* cells are skipped entirely (they never belonged in
+        the mean, matching how Table III derives one number per panel).
+        """
         out: List[float] = []
         for shape in self.shapes():
             try:
@@ -156,7 +199,11 @@ class ResultSet:
                 mr = self.cell_by_shape(reference, shape)
             except KeyError:
                 continue
-            if mm.supported and mr.supported:
+            if not mr.supported:
+                continue
+            if mm.failed:
+                out.append(0.0)
+            elif mm.supported:
                 out.append(mm.gflops / mr.gflops)
         return out
 
@@ -180,6 +227,7 @@ class ResultSet:
                 "k": m.shape.k,
                 "precision": m.precision.value,
                 "supported": m.supported,
+                "status": m.status,
                 "gflops": round(m.gflops, 2) if m.supported else None,
                 "seconds": m.seconds if m.supported else None,
                 "note": m.note,

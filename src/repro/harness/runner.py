@@ -9,19 +9,23 @@ the nvprof-style summary shows everything that actually happened.
 
 from __future__ import annotations
 
-from typing import Optional
+import warnings
+from typing import TYPE_CHECKING, Optional
 
 from ..core.types import DeviceKind, MatrixShape
+from ..errors import ConfigError
 from ..gpu.transfer import gemm_transfer_estimate
 from ..gpu.warp_sim import simulate_gpu_kernel
 from ..models.base import ProgrammingModel
-from ..models.registry import model_by_name
 from ..sim.executor import simulate_cpu_kernel
 from ..sim.variability import VariabilityModel
 from ..trace.events import EventKind
 from ..trace.profiler import Profiler
 from .experiment import Experiment
 from .results import Measurement, ResultSet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .engine import RunOptions
 
 __all__ = ["run_experiment", "run_experiment_serial", "run_measurement"]
 
@@ -116,32 +120,64 @@ def run_measurement(
     )
 
 
-def run_experiment_serial(experiment: Experiment,
-                          profiler: Optional[Profiler] = None) -> ResultSet:
-    """Reference implementation: every cell in order, no cache, no threads.
-
-    The sweep engine is contractually bit-identical to this loop; the
-    determinism tests compare the two.
-    """
-    results = ResultSet(experiment)
-    for name in experiment.models:
-        model = model_by_name(name)
-        for shape in experiment.shapes():
-            results.add(run_measurement(model, experiment, shape, profiler))
-    return results
-
-
 def run_experiment(experiment: Experiment,
                    profiler: Optional[Profiler] = None,
-                   engine: Optional["SweepEngine"] = None) -> ResultSet:
-    """Run every (model, size) cell of an experiment through the engine.
+                   engine: Optional[object] = None,
+                   *, options: Optional["RunOptions"] = None) -> ResultSet:
+    """The one entrypoint: run every (model, size) cell of an experiment.
 
     Delegates to :mod:`repro.harness.engine`: cells fan out over a thread
     pool and hit the persistent result cache, with a deterministic merge
-    that makes the output bit-identical to :func:`run_experiment_serial`.
-    Pass ``engine`` to override the process-wide default (configured from
-    ``REPRO_CACHE``/``REPRO_CACHE_DIR``/``REPRO_JOBS``).
+    that makes the output bit-identical to a serial reference loop.
+
+    * ``engine`` selects the executor: ``None`` (the process-wide default,
+      configured from ``REPRO_CACHE``/``REPRO_CACHE_DIR``/``REPRO_JOBS``),
+      the strings ``"parallel"`` / ``"serial"``, or a ready-made
+      :class:`~repro.harness.engine.SweepEngine` instance.
+    * ``options`` is the frozen :class:`~repro.harness.engine.RunOptions`
+      bag — cache/jobs overrides plus the resilience layer (fault
+      injection, retry policy, ``fail_fast``).  ``None`` means the
+      process-wide default, itself seeded from the ``REPRO_FAULTS``
+      family of environment variables.
+    * ``profiler`` is a convenience shorthand for
+      ``options.with_profiler(profiler)``.
     """
-    from .engine import default_engine
-    eng = engine if engine is not None else default_engine()
-    return eng.run(experiment, profiler=profiler)
+    from .engine import SweepEngine, default_engine, default_run_options
+    opts = options if options is not None else default_run_options()
+    opts = opts.with_profiler(profiler)
+    if isinstance(engine, SweepEngine):
+        eng = engine
+    elif engine is None:
+        if opts.cache is None and opts.jobs is None:
+            eng = default_engine()
+        else:
+            eng = SweepEngine.from_env(cache_enabled=opts.cache,
+                                       max_workers=opts.jobs)
+    elif engine in ("parallel", "serial"):
+        eng = SweepEngine.from_env(cache_enabled=opts.cache,
+                                   parallel=(engine == "parallel"),
+                                   max_workers=(1 if engine == "serial"
+                                                else opts.jobs))
+    else:
+        raise ConfigError(
+            f"engine must be None, 'parallel', 'serial' or a SweepEngine, "
+            f"got {engine!r}")
+    return eng.run(experiment, options=opts)
+
+
+def run_experiment_serial(experiment: Experiment,
+                          profiler: Optional[Profiler] = None) -> ResultSet:
+    """Deprecated shim: serial, cache-less sweep through the unified API.
+
+    Historically the hand-rolled reference loop; now a thin wrapper over
+    ``run_experiment(experiment, engine="serial", options=...)`` kept only
+    for backwards compatibility.  Call :func:`run_experiment` instead.
+    """
+    warnings.warn(
+        "run_experiment_serial() is deprecated; use "
+        "run_experiment(experiment, engine=\"serial\", "
+        "options=RunOptions(cache=False)) instead",
+        DeprecationWarning, stacklevel=2)
+    from .engine import RunOptions
+    return run_experiment(experiment, engine="serial",
+                          options=RunOptions(cache=False, profiler=profiler))

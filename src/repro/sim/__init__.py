@@ -12,6 +12,7 @@ from .blocking import (
     blocked_gemm_estimate,
     blocked_traffic_bytes,
 )
+from .faults import FAULT_COSTS, Fault, FaultConfig, FaultInjector, FaultKind
 from .fluid import Channel, Flow, FlowResult, FluidSimulation
 from .roofline import (
     ArrayTraffic,
@@ -19,7 +20,7 @@ from .roofline import (
     estimate_dram_traffic,
     roofline_time,
 )
-from .variability import NODE_VARIABILITY, VariabilityModel
+from .variability import NODE_VARIABILITY, VariabilityModel, rng_for
 
 __all__ = [
     "BlockedEstimate",
@@ -40,4 +41,10 @@ __all__ = [
     "roofline_time",
     "NODE_VARIABILITY",
     "VariabilityModel",
+    "rng_for",
+    "FAULT_COSTS",
+    "Fault",
+    "FaultConfig",
+    "FaultInjector",
+    "FaultKind",
 ]

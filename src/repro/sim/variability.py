@@ -22,7 +22,7 @@ from typing import List
 
 import numpy as np
 
-__all__ = ["VariabilityModel", "NODE_VARIABILITY"]
+__all__ = ["VariabilityModel", "NODE_VARIABILITY", "rng_for"]
 
 #: Observed-run scatter per system.  Crusher's early-access software stack
 #: was noisier than Wombat's (the paper calls out "the variability on this
@@ -33,9 +33,20 @@ NODE_VARIABILITY = {
 }
 
 
-def _rng_for(seed: int, key: str) -> np.random.Generator:
+def rng_for(seed: int, key: str) -> np.random.Generator:
+    """Deterministic generator for one (seed, key) stream.
+
+    The shared keyed-randomness primitive of the simulator: the
+    variability model draws its jitter from it and the fault injector its
+    fault stream, each under disjoint key namespaces, so the two never
+    perturb each other's samples.
+    """
     digest = hashlib.sha256(f"{seed}:{key}".encode()).digest()
     return np.random.default_rng(int.from_bytes(digest[:8], "little"))
+
+
+# Backwards-compatible private alias (pre-fault-layer name).
+_rng_for = rng_for
 
 
 @dataclass(frozen=True)
@@ -59,7 +70,7 @@ class VariabilityModel:
             raise ValueError("nominal time must be positive")
         if reps < 1:
             raise ValueError("need at least one repetition")
-        rng = _rng_for(self.seed, key)
+        rng = rng_for(self.seed, key)
         jitter = np.exp(self.sigma * rng.standard_normal(reps))
         out = (nominal_seconds * jitter).tolist()
         out[0] += warmup_extra_seconds

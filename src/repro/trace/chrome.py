@@ -24,6 +24,11 @@ _TID: Dict[EventKind, int] = {
     EventKind.MEMCPY_D2H: 3,
     EventKind.KERNEL: 4,
     EventKind.PARALLEL_REGION: 5,
+    EventKind.CELL: 6,
+    EventKind.CACHE_HIT: 7,
+    EventKind.CACHE_MISS: 7,
+    EventKind.FAULT: 8,
+    EventKind.RETRY: 9,
 }
 
 _THREAD_NAMES = {
@@ -33,6 +38,10 @@ _THREAD_NAMES = {
     3: "MemCpy (D2H)",
     4: "Compute (kernels)",
     5: "Compute (parallel regions)",
+    6: "Sweep cells",
+    7: "Result cache",
+    8: "Faults",
+    9: "Retries",
 }
 
 

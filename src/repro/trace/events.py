@@ -27,6 +27,8 @@ class EventKind(enum.Enum):
     CELL = "cell"                # sweep-engine cell (wall-clock span)
     CACHE_HIT = "cache-hit"      # result served from the sweep cache
     CACHE_MISS = "cache-miss"    # result computed and stored
+    FAULT = "fault"              # injected node fault hit one attempt
+    RETRY = "retry"              # backoff before re-attempting a cell
 
 
 @dataclass(frozen=True)

@@ -39,6 +39,22 @@ class Profiler:
         self._now += duration_s
         return ev
 
+    def record_at(self, kind: EventKind, name: str, start_s: float,
+                  duration_s: float, **metadata: Any) -> TraceEvent:
+        """Append a span at an explicit start time.
+
+        For externally-timed spans — e.g. the sweep engine's wall-clock
+        cell records, which overlap under the thread-pool fan-out — where
+        the append-at-now contract of :meth:`record` would stack
+        concurrent spans end to end.  The clock never moves backwards: it
+        advances to the span's end if that lies beyond it.
+        """
+        ev = TraceEvent(kind=kind, name=name, start_s=start_s,
+                        duration_s=duration_s, metadata=dict(metadata))
+        self._events.append(ev)
+        self._now = max(self._now, ev.end_s)
+        return ev
+
     def advance(self, seconds: float) -> None:
         if seconds < 0:
             raise ValueError("cannot move the clock backwards")

@@ -220,6 +220,11 @@ class TestCacheCommands:
                           "--engine-stats")
         assert rc == 0
         assert "1 cells" in out and "[sim]" in out and "serial" in out
+        # the stats block carries the full header: counts, wall clock,
+        # execution mode, and the per-cell timing line
+        assert "sweep cli-run: 1 cells (0 cached, 1 executed)" in out
+        assert "ms wall" in out
+        assert "c-openmp @256x256x256" in out
 
     def test_run_engine_stats_shows_cache_hits(self, capsys):
         run_cli(capsys, "run", "--models", "c-openmp", "--sizes", "256")
@@ -227,3 +232,58 @@ class TestCacheCommands:
                           "--sizes", "256", "--engine-stats")
         assert rc == 0
         assert "[cache]" in out
+        assert "(1 cached, 0 executed)" in out
+
+
+class TestResilienceFlags:
+    @pytest.fixture(autouse=True)
+    def isolated_cache(self, tmp_path, monkeypatch):
+        from repro.harness.engine import (
+            reset_default_engine,
+            reset_default_run_options,
+        )
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        reset_default_engine()
+        reset_default_run_options()
+        yield
+        reset_default_engine()
+        reset_default_run_options()
+
+    def test_faulty_run_degrades_and_exits_zero(self, capsys):
+        rc, out = run_cli(capsys, "run", "--models", "c-openmp,julia",
+                          "--sizes", "256,512", "--no-cache",
+                          "--faults", "always=julia@512")
+        assert rc == 0
+        assert "FAIL" in out
+        assert "DEGRADED: 1 of 4 cells failed" in out
+
+    def test_fail_fast_exits_nonzero(self, capsys):
+        rc = main(["run", "--models", "c-openmp,julia",
+                   "--sizes", "256,512", "--no-cache",
+                   "--faults", "always=julia@512", "--fail-fast"])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "aborted" in captured.err
+
+    def test_retries_recover_transient_faults(self, capsys):
+        rc, clean = run_cli(capsys, "run", "--models", "c-openmp,julia",
+                            "--sizes", "256,512", "--no-cache")
+        rc2, noisy = run_cli(capsys, "run", "--models", "c-openmp,julia",
+                             "--sizes", "256,512", "--no-cache",
+                             "--faults", "rate=0.4,seed=0", "--retries", "7")
+        assert rc == rc2 == 0
+        assert noisy == clean  # recovered run renders identically
+
+    def test_engine_stats_show_attempts(self, capsys):
+        rc, out = run_cli(capsys, "run", "--models", "c-openmp,julia",
+                          "--sizes", "256,512", "--no-cache", "--serial",
+                          "--engine-stats",
+                          "--faults", "rate=0.4,seed=0", "--retries", "7")
+        assert rc == 0
+        assert "attempts" in out and "faults" in out
+
+    def test_bad_fault_spec_is_config_error(self, capsys):
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError):
+            main(["run", "--models", "c-openmp", "--sizes", "256",
+                  "--faults", "nonsense=1"])

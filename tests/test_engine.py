@@ -11,15 +11,14 @@ import time
 import pytest
 
 from repro.core.types import DeviceKind, Precision
-from repro.errors import ExperimentError
 from repro.harness import (
     Experiment,
     run_experiment,
-    run_experiment_serial,
 )
 from repro.harness.engine import (
     CONSTANTS_VERSION,
     ResultCache,
+    RunOptions,
     SweepEngine,
     cell_fingerprint,
     default_engine,
@@ -59,7 +58,8 @@ class TestDeterminism:
         exp = small_exp()
         engine = SweepEngine(cache=None, parallel=True, max_workers=8)
         parallel = engine.run(exp)
-        serial = run_experiment_serial(exp)
+        serial = run_experiment(exp, engine="serial",
+                                options=RunOptions(cache=False))
         assert parallel.measurements == serial.measurements
 
     def test_cold_and_warm_cache_bit_identical(self, cache):
@@ -95,7 +95,8 @@ class TestDeterminism:
     def test_traced_parallel_timeline_matches_serial(self):
         exp = small_exp(models=("numba", "julia"))
         serial_prof = Profiler()
-        run_experiment_serial(exp, profiler=serial_prof)
+        run_experiment(exp, engine="serial",
+                       options=RunOptions(cache=False, profiler=serial_prof))
         engine_prof = Profiler()
         SweepEngine(cache=None, parallel=True, max_workers=4).run(
             exp, profiler=engine_prof)

@@ -152,10 +152,11 @@ class TestCsv:
         out = result_set_to_csv(rs)
         header, row = out.strip().splitlines()
         assert header == ("experiment,model,size,n,k,precision,supported,"
-                          "gflops,seconds_mean,seconds_stdev,note")
+                          "gflops,seconds_mean,seconds_stdev,note,status")
         fields = row.split(",")
         assert fields[2:6] == ["512", "2048", "128", "fp64"]
+        assert fields[-1] == "ok"
 
     def test_current_schema_version_exported(self):
         rs = run_experiment(cpu_exp(models=("julia",), sizes=(256,)))
-        assert json.loads(result_set_to_json(rs))["schema"] == SCHEMA_VERSION == 2
+        assert json.loads(result_set_to_json(rs))["schema"] == SCHEMA_VERSION == 3
