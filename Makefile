@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench bench-paper report report-cached faults verify examples clean
+.PHONY: install test lint bench bench-paper report report-cached faults resume fsck verify examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -47,6 +47,28 @@ faults:
 	  | grep -E 'DEGRADED|FAILED'
 	@echo "degraded sweep completed with exit 0"
 
+# Crash-safety smoke test: interrupt a journaled sweep mid-flight,
+# resume it, and require the resumed output to be byte-identical
+# (examples/crash_and_resume.py asserts all of that in-process).
+resume:
+	$(PYTHON) examples/crash_and_resume.py
+	@echo "interrupted campaign resumed byte-identically"
+
+# Store-verification smoke test (private cache/runs dirs): a clean pass
+# must exit 0, a bit-flipped cache entry must be quarantined with exit
+# 3, and the pass after that must be clean again.
+fsck:
+	rm -rf .repro-fsck-cache .repro-fsck-runs
+	REPRO_CACHE_DIR=.repro-fsck-cache REPRO_RUNS_DIR=.repro-fsck-runs \
+	  $(PYTHON) -m repro run --models julia,numba --sizes 256,512 > /dev/null
+	$(PYTHON) -m repro fsck --cache-dir .repro-fsck-cache --runs-dir .repro-fsck-runs
+	@$(PYTHON) -c "import glob; p = glob.glob('.repro-fsck-cache/*/*.json')[0]; \
+	  s = open(p).read(); open(p, 'w').write(s.replace('times_s', 'times_x', 1))"
+	@$(PYTHON) -m repro fsck --cache-dir .repro-fsck-cache --runs-dir .repro-fsck-runs; \
+	  rc=$$?; test $$rc -eq 3 || { echo "expected exit 3, got $$rc"; exit 1; }
+	$(PYTHON) -m repro fsck --cache-dir .repro-fsck-cache --runs-dir .repro-fsck-runs
+	@echo "fsck detected, quarantined and recovered the corruption"
+
 verify:
 	$(PYTHON) -m repro verify
 
@@ -58,4 +80,5 @@ examples:
 clean:
 	rm -rf build dist src/*.egg-info .pytest_cache .hypothesis study_report.md
 	rm -rf .repro-cache study_report_cold.md study_report_warm.md
+	rm -rf .repro-fsck-cache .repro-fsck-runs
 	find . -name __pycache__ -type d -exec rm -rf {} +

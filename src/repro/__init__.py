@@ -28,12 +28,14 @@ from .errors import (
     ExperimentError,
     FaultError,
     IRVerificationError,
+    JournalError,
     KernelValidationError,
     LintError,
     LoweringError,
     MachineModelError,
     ReproError,
     RetryExhaustedError,
+    RunInterrupted,
     UnsupportedConfigurationError,
 )
 from .harness import (
@@ -93,11 +95,13 @@ __all__ = [
     "ExperimentError",
     "FaultError",
     "IRVerificationError",
+    "JournalError",
     "KernelValidationError",
     "LintError",
     "LoweringError",
     "MachineModelError",
     "RetryExhaustedError",
+    "RunInterrupted",
     "UnsupportedConfigurationError",
     "Experiment",
     "FigureResult",

@@ -10,6 +10,16 @@ Commands mirror the deliverables:
 * ``repro productivity`` — the Sec. V productivity comparison.
 * ``repro lint`` — static-analysis sweep of every model lowering.
 * ``repro cache stats|clear`` — inspect/empty the sweep result cache.
+* ``repro runs list|show`` — journaled campaigns (``repro run`` journals
+  by default; ``repro run --resume <run-id>`` completes an interrupted
+  one byte-identically).
+* ``repro fsck`` — verify the cache, run journals and export artifacts;
+  quarantine/recover corruption (exit 3 if any was found).
+
+Exit codes: 0 success, 1 aborted campaign (``--fail-fast``) or journal
+error, 2 usage, 3 ``fsck`` found corruption, 130 interrupted by
+SIGINT/SIGTERM (the journal is finalized first; resume with
+``repro run --resume <run-id>``).
 """
 
 from __future__ import annotations
@@ -19,7 +29,7 @@ import sys
 from typing import List, Optional
 
 from .core.types import DeviceKind, Precision
-from .errors import CellFailure
+from .errors import CellFailure, JournalError, RunInterrupted
 from .harness import (
     Experiment,
     PAPER_SIZES,
@@ -92,6 +102,16 @@ def build_parser() -> argparse.ArgumentParser:
                      help="thread-pool width (default: cpu count)")
     run.add_argument("--engine-stats", action="store_true",
                      help="append per-cell timings and cache hit/miss stats")
+    run.add_argument("--resume", default=None, metavar="RUN_ID",
+                     help="complete an interrupted journaled run "
+                          "byte-identically (other experiment flags are "
+                          "ignored; the journal pins them)")
+    run.add_argument("--no-journal", action="store_true",
+                     help="skip the write-ahead run journal "
+                          "(also: REPRO_JOURNAL=off)")
+    run.add_argument("--export", default=None, metavar="FILE",
+                     help="also write the result set as a digest-carrying "
+                          "JSON artifact (verified by `repro fsck FILE`)")
     _add_resilience_flags(run)
 
     kern = sub.add_parser("kernel",
@@ -169,6 +189,27 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--dir", default=None,
                        help="cache directory (default: $REPRO_CACHE_DIR or "
                             "$XDG_CACHE_HOME/repro/results)")
+
+    runs = sub.add_parser(
+        "runs", help="list or inspect journaled runs")
+    runs.add_argument("action", choices=("list", "show"))
+    runs.add_argument("run_id", nargs="?", default=None,
+                      help="run id (required for `show`)")
+    runs.add_argument("--dir", default=None,
+                      help="runs directory (default: $REPRO_RUNS_DIR or "
+                           "$XDG_CACHE_HOME/repro/runs)")
+
+    fsck = sub.add_parser(
+        "fsck", help="verify cache entries, run journals and export "
+                     "artifacts; quarantine/recover corruption (exit 3 "
+                     "if any found)")
+    fsck.add_argument("artifacts", nargs="*", metavar="ARTIFACT",
+                      help="digest-carrying JSON artifacts to verify")
+    fsck.add_argument("--cache-dir", default=None,
+                      help="cache directory (default: the process cache)")
+    fsck.add_argument("--runs-dir", default=None,
+                      help="runs directory (default: $REPRO_RUNS_DIR or "
+                           "$XDG_CACHE_HOME/repro/runs)")
 
     return p
 
@@ -267,7 +308,27 @@ def _cmd_table(number: int, full: bool) -> str:
     return table3(sizes).render()
 
 
+def _journal_enabled(args: argparse.Namespace) -> bool:
+    """Journal by default; ``--no-journal`` or ``REPRO_JOURNAL=off`` opt
+    out (tests and throwaway sweeps that should leave no run on record)."""
+    import os
+    if getattr(args, "no_journal", False):
+        return False
+    return os.environ.get("REPRO_JOURNAL", "").strip().lower() not in (
+        "off", "0", "no", "false")
+
+
 def _cmd_run(args: argparse.Namespace) -> str:
+    if getattr(args, "resume", None):
+        from .harness.journal import RunRegistry, resume_run
+        reg = RunRegistry()
+        state = reg.load(args.resume)
+        print(f"repro: resuming run {args.resume}: "
+              f"{state.done_cells}/{state.total_cells} cells journaled, "
+              f"{state.remaining_cells} to execute", file=sys.stderr)
+        engine = _engine_for(args)
+        results = resume_run(args.resume, registry=reg, engine=engine)
+        return _render_run(args, results, engine)
     if args.config:
         import json as _json
         with open(args.config) as fh:
@@ -306,7 +367,30 @@ def _engine_for(args: argparse.Namespace):
 
 def _finish_run(args: argparse.Namespace, exp: Experiment) -> str:
     engine = _engine_for(args)
-    results = run_experiment(exp, engine=engine, options=_options_for(args))
+    opts = _options_for(args)
+    journal = None
+    if _journal_enabled(args):
+        from dataclasses import replace
+        from .harness.engine import RunOptions
+        from .harness.journal import RunRegistry
+        journal = RunRegistry().create()
+        if opts is None:
+            opts = RunOptions.from_env()
+        opts = replace(opts, journal=journal)
+        # The notice goes to stderr so stdout stays byte-identical
+        # between an uninterrupted run and an interrupt + --resume.
+        print(f"repro: journaling run {journal.run_id} "
+              f"(resume with: repro run --resume {journal.run_id})",
+              file=sys.stderr)
+    try:
+        results = run_experiment(exp, engine=engine, options=opts)
+    finally:
+        if journal is not None:
+            journal.close()
+    return _render_run(args, results, engine)
+
+
+def _render_run(args: argparse.Namespace, results, engine) -> str:
     extra = ""
     if getattr(args, "engine_stats", False) and engine is not None \
             and engine.last_report is not None:
@@ -315,6 +399,10 @@ def _finish_run(args: argparse.Namespace, exp: Experiment) -> str:
         from .harness.gnuplot import write_gnuplot_bundle
         dat, gp = write_gnuplot_bundle(results, args.gnuplot_dir)
         extra += f"\n[gnuplot bundle: {dat}, {gp}]"
+    if getattr(args, "export", None):
+        from .harness.export import write_result_set_artifact
+        digest = write_result_set_artifact(args.export, results)
+        extra += f"\n[artifact: {args.export} sha256:{digest[:12]}]"
     if args.format == "json":
         from .harness.export import result_set_to_json
         return result_set_to_json(results) + extra
@@ -428,6 +516,47 @@ def _cmd_cache(args: argparse.Namespace) -> str:
     return f"cleared {removed} cached measurements from {cache.root}"
 
 
+def _cmd_runs(args: argparse.Namespace) -> "tuple[str, int]":
+    from .harness.journal import RunRegistry
+
+    reg = RunRegistry(args.dir)
+    if args.action == "list":
+        return reg.render_list(), 0
+    if not args.run_id:
+        return "repro runs show: a run id is required", 2
+    st = reg.load(args.run_id)
+    exp = st.manifest.get("exp_id", "?")
+    node = st.manifest.get("node", "?")
+    lines = [
+        f"run:        {st.run_id}",
+        f"journal:    {st.path}",
+        f"status:     {st.status}",
+        f"experiment: {exp} on {node}",
+        f"campaign:   {st.campaign[:16]}..." if st.campaign
+        else "campaign:   (unfingerprinted)",
+        f"cells:      {st.done_cells}/{st.total_cells} journaled "
+        f"({st.remaining_cells} remaining)",
+        f"resumes:    {st.resumes}",
+    ]
+    if st.dropped:
+        lines.append(f"torn tail:  {st.dropped} invalid trailing record(s) "
+                     "(run `repro fsck` to truncate)")
+    if st.resumable:
+        lines.append(f"resume with: repro run --resume {st.run_id}")
+    return "\n".join(lines), 0
+
+
+def _cmd_fsck(args: argparse.Namespace) -> "tuple[str, int]":
+    from .harness.engine import ResultCache
+    from .harness.journal import EXIT_FSCK_CORRUPT, RunRegistry, fsck_store
+
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    registry = RunRegistry(args.runs_dir) if args.runs_dir else None
+    report = fsck_store(cache=cache, registry=registry,
+                        artifacts=tuple(args.artifacts))
+    return report.render(), EXIT_FSCK_CORRUPT if report.corrupt else 0
+
+
 def _cmd_roofline(args: argparse.Namespace) -> str:
     from .core.types import MatrixShape
     from .harness.roofline_view import roofline_view
@@ -454,6 +583,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     except CellFailure as exc:
         # --fail-fast: a permanently failing cell aborts the campaign.
         print(f"repro: aborted: {exc}", file=sys.stderr)
+        return 1
+    except RunInterrupted as exc:
+        # SIGINT/SIGTERM mid-sweep: the journal was finalized before the
+        # engine unwound, so the run is resumable.  128+SIGINT convention.
+        from .harness.journal import EXIT_INTERRUPTED
+        print(f"repro: interrupted: {exc}", file=sys.stderr)
+        return EXIT_INTERRUPTED
+    except JournalError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
         return 1
 
 
@@ -482,6 +620,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         out, rc = _cmd_lint(args)
     elif args.command == "cache":
         out = _cmd_cache(args)
+    elif args.command == "runs":
+        out, rc = _cmd_runs(args)
+    elif args.command == "fsck":
+        out, rc = _cmd_fsck(args)
     elif args.command == "crossover":
         from .harness.crossover import device_crossover
         from .machine import node_by_name
@@ -544,8 +686,8 @@ def _dispatch(args: argparse.Namespace) -> int:
             if opts is not None:
                 set_default_run_options(None)
         if args.out:
-            with open(args.out, "w") as fh:
-                fh.write(text)
+            from .ioutil import atomic_write_text
+            atomic_write_text(args.out, text)
             out = f"report written to {args.out} ({len(text.splitlines())} lines)"
         else:
             out = text

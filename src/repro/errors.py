@@ -18,9 +18,11 @@ __all__ = [
     "ExperimentError",
     "ConfigError",
     "CacheError",
+    "JournalError",
     "FaultError",
     "CellFailure",
     "RetryExhaustedError",
+    "RunInterrupted",
 ]
 
 
@@ -98,12 +100,45 @@ class ConfigError(ReproError):
 
 
 class CacheError(ReproError):
-    """The sweep-result cache hit an unreadable or malformed entry.
+    """The sweep-result cache was used incorrectly (e.g. a malformed key).
 
-    Stale entries (schema or constants-version mismatch) are *not* errors
-    — the cache silently evicts and recomputes those; this is raised only
-    for structurally corrupt files that survive the version gate.
+    Corrupt or stale *entries* never raise: any unreadable, stale or
+    semantically broken file is self-healed — evicted, counted, and the
+    cell recomputed — so one bad byte on disk can never kill a campaign.
+    This error is reserved for caller bugs such as malformed fingerprints.
     """
+
+
+class JournalError(ReproError):
+    """A run journal is unreadable, inconsistent or from different code.
+
+    Raised when loading a write-ahead journal whose structure cannot be
+    trusted: a checksum failure *before* the tail (torn tails are
+    recovered silently, mid-file corruption is not), a missing run-open
+    record, or a campaign fingerprint that no longer matches what the
+    current code would produce for the recorded experiment — resuming
+    such a run could not be byte-identical, so it is refused.
+    """
+
+
+class RunInterrupted(ReproError):
+    """A journaled sweep was interrupted (SIGINT/SIGTERM) and finalized.
+
+    Raised by :meth:`repro.harness.engine.SweepEngine.run` after a
+    graceful shutdown: completed cells are safely in the write-ahead
+    journal, a ``run-close`` record marks the run ``interrupted``, and
+    the campaign can be completed with ``repro run --resume <run_id>``.
+
+    * ``run_id`` — the journaled run's identity;
+    * ``completed`` / ``total`` — cells finished vs. planned.
+    """
+
+    def __init__(self, message: str, run_id: str = "", completed: int = 0,
+                 total: int = 0):
+        self.run_id = run_id
+        self.completed = completed
+        self.total = total
+        super().__init__(message)
 
 
 class FaultError(ReproError):

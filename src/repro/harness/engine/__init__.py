@@ -23,7 +23,12 @@ from typing import Optional
 
 from .cache import CacheStats, ResultCache, default_cache_dir
 from .executor import CellRecord, SweepEngine, SweepReport
-from .fingerprint import CONSTANTS_VERSION, cell_fingerprint, fingerprint_payload
+from .fingerprint import (
+    CONSTANTS_VERSION,
+    campaign_fingerprint,
+    cell_fingerprint,
+    fingerprint_payload,
+)
 from .options import RetryPolicy, RunOptions
 
 __all__ = [
@@ -34,6 +39,7 @@ __all__ = [
     "SweepEngine",
     "SweepReport",
     "CONSTANTS_VERSION",
+    "campaign_fingerprint",
     "cell_fingerprint",
     "fingerprint_payload",
     "RetryPolicy",

@@ -2,14 +2,22 @@
 
 One JSON file per measurement, named by its cell fingerprint and sharded
 into 256 two-hex-digit subdirectories.  Entries embed the export schema
-version and :data:`~repro.harness.engine.fingerprint.CONSTANTS_VERSION`;
-a mismatch on read counts as an eviction (the stale file is deleted) and
-the cell is recomputed — that is the cache's only implicit invalidation,
-everything else is the explicit ``repro cache clear``.
+version, :data:`~repro.harness.engine.fingerprint.CONSTANTS_VERSION`
+and a SHA-256 content digest over the measurement payload; any mismatch
+on read counts as an eviction (the bad file is deleted) and the cell is
+recomputed.  Every corruption path self-heals the same way — a decode
+failure, a stale version, a missing/incorrect digest and a semantically
+broken payload all evict, count, and return a miss, so one bad byte on
+disk can never kill a campaign.  ``repro fsck`` additionally quarantines
+(rather than deletes) entries whose digest proves a bit-flip, for
+post-mortem.
 
 Writes are atomic (temp file + ``os.replace``) and the in-process
 hit/miss/store/evict counters are lock-protected, so the cache is safe
-under the engine's thread-pool fan-out.
+under the engine's thread-pool fan-out.  A writer killed between
+``mkstemp`` and ``os.replace`` leaves an orphaned ``*.tmp`` file;
+:meth:`ResultCache.clear`, ``repro fsck`` and
+:meth:`ResultCache.disk_stats` all account for those.
 """
 
 from __future__ import annotations
@@ -23,6 +31,7 @@ from typing import Any, Dict, Optional
 
 from ...core.types import Precision
 from ...errors import CacheError
+from ...ioutil import content_digest
 from ..export import (
     SCHEMA_VERSION,
     measurement_from_dict,
@@ -93,7 +102,13 @@ class ResultCache:
     # -- read/write -------------------------------------------------------
 
     def get(self, fingerprint: str) -> Optional[Measurement]:
-        """The cached measurement, or ``None`` on miss/stale entry."""
+        """The cached measurement, or ``None`` on any miss/bad entry.
+
+        Self-healing is uniform: undecodable files, stale schema or
+        constants versions, digest mismatches and semantically corrupt
+        payloads all evict the entry, bump the eviction counter and
+        return ``None`` so the engine recomputes the cell.
+        """
         path = self._path(fingerprint)
         try:
             with open(path) as fh:
@@ -106,7 +121,8 @@ class ResultCache:
             return None
         if (entry.get("schema") != SCHEMA_VERSION
                 or entry.get("constants") != CONSTANTS_VERSION
-                or "measurement" not in entry):
+                or "measurement" not in entry
+                or entry.get("digest") != content_digest(entry["measurement"])):
             self._evict(path)
             return None
         try:
@@ -114,9 +130,11 @@ class ResultCache:
             m = measurement_from_dict(
                 entry["measurement"],
                 default_precision=Precision.parse(raw_precision))
-        except (KeyError, ValueError) as exc:
-            raise CacheError(
-                f"corrupt cache entry {path}: {exc}") from exc
+        except (KeyError, TypeError, ValueError):
+            # Semantically corrupt payload: same self-healing as a JSON
+            # decode failure — evict and recompute, never crash a sweep.
+            self._evict(path)
+            return None
         self.stats.record(hits=1)
         return m
 
@@ -124,12 +142,14 @@ class ResultCache:
             metadata: Optional[Dict[str, Any]] = None) -> None:
         """Store one measurement atomically under its fingerprint."""
         path = self._path(fingerprint)
+        payload = measurement_to_dict(measurement)
         entry = {
             "schema": SCHEMA_VERSION,
             "constants": CONSTANTS_VERSION,
             "fingerprint": fingerprint,
             "metadata": metadata or {},
-            "measurement": measurement_to_dict(measurement),
+            "measurement": payload,
+            "digest": content_digest(payload),
         }
         directory = os.path.dirname(path)
         os.makedirs(directory, exist_ok=True)
@@ -157,7 +177,8 @@ class ResultCache:
     # -- maintenance ------------------------------------------------------
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every entry (and orphaned temp file); returns how many
+        *entries* were removed."""
         removed = 0
         for path in self._entry_paths():
             try:
@@ -165,21 +186,40 @@ class ResultCache:
                 removed += 1
             except OSError:
                 pass
+        for tmp in self.orphan_tmp_paths():
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
         return removed
 
-    def _entry_paths(self):
+    def _shard_dirs(self):
         if not os.path.isdir(self.root):
             return
         for shard in sorted(os.listdir(self.root)):
-            shard_dir = os.path.join(self.root, shard)
-            if not os.path.isdir(shard_dir):
+            # Skip fsck's quarantine hold: quarantined entries must never
+            # be served, cleared or counted as live store contents again.
+            if shard == "quarantine":
                 continue
+            shard_dir = os.path.join(self.root, shard)
+            if os.path.isdir(shard_dir):
+                yield shard_dir
+
+    def _entry_paths(self):
+        for shard_dir in self._shard_dirs():
             for name in sorted(os.listdir(shard_dir)):
                 if name.endswith(".json"):
                     yield os.path.join(shard_dir, name)
 
+    def orphan_tmp_paths(self):
+        """Temp files abandoned by writers killed mid-:meth:`put`."""
+        for shard_dir in self._shard_dirs():
+            for name in sorted(os.listdir(shard_dir)):
+                if name.endswith(".tmp"):
+                    yield os.path.join(shard_dir, name)
+
     def disk_stats(self) -> Dict[str, int]:
-        """Entry count and total bytes currently on disk."""
+        """Entry count, total bytes, and orphaned temp files on disk."""
         entries = 0
         size = 0
         for path in self._entry_paths():
@@ -188,7 +228,9 @@ class ResultCache:
                 entries += 1
             except OSError:
                 pass
-        return {"entries": entries, "bytes": size}
+        tmp_orphans = sum(1 for _ in self.orphan_tmp_paths())
+        return {"entries": entries, "bytes": size,
+                "tmp_orphans": tmp_orphans}
 
     def render_stats(self) -> str:
         """Human-readable summary for ``repro cache stats``."""
@@ -205,4 +247,7 @@ class ResultCache:
             f"{counters['stores']} stores, "
             f"{counters['evictions']} evictions",
         ]
+        if disk["tmp_orphans"]:
+            lines.insert(3, f"tmp orphans: {disk['tmp_orphans']} "
+                            "(writers killed mid-put; run `repro fsck`)")
         return "\n".join(lines)

@@ -34,6 +34,7 @@ wall-clock offsets.
 
 from __future__ import annotations
 
+import contextlib
 import os
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -41,7 +42,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ...core.types import MatrixShape
-from ...errors import CellFailure, ReproError, RetryExhaustedError
+from ...errors import (
+    CellFailure,
+    ReproError,
+    RetryExhaustedError,
+    RunInterrupted,
+)
 from ...models.base import ProgrammingModel
 from ...models.registry import model_by_name
 from ...sim.faults import Fault, FaultInjector
@@ -51,7 +57,7 @@ from ..experiment import Experiment
 from ..results import Measurement, ResultSet
 from ..runner import run_measurement
 from .cache import ResultCache
-from .fingerprint import cell_fingerprint
+from .fingerprint import campaign_fingerprint, cell_fingerprint
 from .options import RunOptions
 
 __all__ = ["CellRecord", "SweepReport", "SweepEngine"]
@@ -59,7 +65,7 @@ __all__ = ["CellRecord", "SweepReport", "SweepEngine"]
 
 @dataclass(frozen=True)
 class CellRecord:
-    """Observability record of one executed, cache-served or failed cell."""
+    """Observability record of one executed, served or failed cell."""
 
     model: str
     shape: str
@@ -69,13 +75,17 @@ class CellRecord:
     #: Wall-clock offset of this cell from the start of the engine run —
     #: real (possibly overlapping) positions under the thread-pool fan-out.
     start_s: float = 0.0
-    status: str = "ok"           # "ok" | "cached" | "failed"
+    status: str = "ok"           # "ok" | "cached" | "replayed" | "failed"
     attempts: int = 1
     faults: int = 0
 
     @property
     def failed(self) -> bool:
         return self.status == "failed"
+
+    @property
+    def replayed(self) -> bool:
+        return self.status == "replayed"
 
 
 @dataclass
@@ -88,14 +98,20 @@ class SweepReport:
     parallel: bool = False
     workers: int = 1
     wall_s: float = 0.0
+    #: Run identity when the sweep is journaled ("" otherwise).
+    run_id: str = ""
 
     @property
     def cached_cells(self) -> int:
         return sum(1 for c in self.cells if c.cached)
 
     @property
+    def replayed_cells(self) -> int:
+        return sum(1 for c in self.cells if c.replayed)
+
+    @property
     def executed_cells(self) -> int:
-        return sum(1 for c in self.cells if not c.cached)
+        return sum(1 for c in self.cells if not c.cached and not c.replayed)
 
     @property
     def failed_cells(self) -> int:
@@ -119,7 +135,12 @@ class SweepReport:
         prof = Profiler()
         for cell in sorted(self.cells, key=lambda c: (c.start_s, c.model,
                                                       c.shape)):
-            kind = EventKind.CACHE_HIT if cell.cached else EventKind.CACHE_MISS
+            if cell.cached:
+                kind = EventKind.CACHE_HIT
+            elif cell.replayed:
+                kind = EventKind.REPLAY
+            else:
+                kind = EventKind.CACHE_MISS
             prof.record_at(kind, f"{cell.model}@{cell.shape}", cell.start_s,
                            0.0, fingerprint=cell.fingerprint)
             prof.record_at(EventKind.CELL, f"{cell.model}@{cell.shape}",
@@ -131,18 +152,23 @@ class SweepReport:
         """ASCII summary for ``repro run --engine-stats``."""
         lines = [
             f"sweep {self.experiment_id}: {len(self.cells)} cells "
-            f"({self.cached_cells} cached, {self.executed_cells} executed"
+            f"({self.cached_cells} cached, "
+            + (f"{self.replayed_cells} replayed, " if self.replayed_cells
+               else "")
+            + f"{self.executed_cells} executed"
             + (f", {self.failed_cells} FAILED" if self.degraded else "")
             + f") in {self.wall_s * 1e3:.1f} ms wall "
             f"[{'parallel x' + str(self.workers) if self.parallel else 'serial'}]",
         ]
+        if self.run_id:
+            lines.append(f"run: {self.run_id} (journaled)")
         if self.cache_stats:
             lines.append(
                 "cache: " + ", ".join(f"{v} {k}"
                                       for k, v in self.cache_stats.items()))
         for cell in self.cells:
-            origin = {"cached": "cache", "failed": "FAILED"}.get(
-                cell.status, "sim")
+            origin = {"cached": "cache", "failed": "FAILED",
+                      "replayed": "replay"}.get(cell.status, "sim")
             retries = (f"  ({cell.attempts} attempts, {cell.faults} faults)"
                        if cell.attempts > 1 or cell.faults else "")
             lines.append(f"  {cell.model:>12s} @{cell.shape:<18s} "
@@ -197,10 +223,21 @@ class SweepEngine:
         injection, per-cell retries with simulated backoff, and the
         ``fail_fast`` abort switch.  Without options (or with the
         defaults) behaviour is the classic engine: any error propagates.
+
+        Crash safety: with ``options.journal`` set, every event of the
+        run lands in the write-ahead journal (fsync'd before the engine
+        proceeds), SIGINT/SIGTERM finalize the journal and surface as
+        :class:`~repro.errors.RunInterrupted`, and fingerprints found in
+        ``options.replay`` are served from a prior run's journal without
+        touching cache or simulator — the resume path.
         """
         opts = options if options is not None else RunOptions()
         if profiler is None:
             profiler = opts.profiler
+        journal = opts.journal
+        replay = opts.replay or {}
+        run_id = (journal.run_id if journal is not None
+                  else (opts.run_id or ""))
         injector = (FaultInjector(opts.faults) if opts.faults.enabled
                     else None)
         run_start = time.perf_counter()
@@ -212,12 +249,33 @@ class SweepEngine:
         fingerprints = [cell_fingerprint(experiment, model.name, shape,
                                          faults=opts.faults)
                         for model, shape in cells]
+        if journal is not None and not journal.opened:
+            journal.open_run(
+                manifest=experiment.to_dict(),
+                campaign=campaign_fingerprint(experiment, opts.faults),
+                options=opts.payload(),
+                cells=[{"index": i, "model": model.name,
+                        "shape": str(shape), "fingerprint": fingerprints[i]}
+                       for i, (model, shape) in enumerate(cells)],
+            )
         measurements: List[Optional[Measurement]] = [None] * len(cells)
         records: List[Optional[CellRecord]] = [None] * len(cells)
+
+        for i, (model, shape) in enumerate(cells):
+            replayed = replay.get(fingerprints[i])
+            if replayed is None:
+                continue
+            measurements[i] = replayed
+            records[i] = CellRecord(
+                model=model.name, shape=str(shape),
+                fingerprint=fingerprints[i], cached=False, wall_s=0.0,
+                start_s=time.perf_counter() - run_start, status="replayed")
 
         use_cache_reads = self.cache is not None and profiler is None
         misses: List[int] = []
         for i, (model, shape) in enumerate(cells):
+            if measurements[i] is not None:
+                continue
             cached = self.cache.get(fingerprints[i]) if use_cache_reads else None
             if cached is None:
                 misses.append(i)
@@ -227,12 +285,18 @@ class SweepEngine:
                     model=model.name, shape=str(shape),
                     fingerprint=fingerprints[i], cached=True, wall_s=0.0,
                     start_s=time.perf_counter() - run_start, status="cached")
+                if journal is not None:
+                    journal.cell_done(i, fingerprints[i], cached,
+                                      cached=True, wall_s=0.0)
 
         traces: List[Optional[Profiler]] = [None] * len(cells)
 
         def execute(i: int) -> None:
             model, shape = cells[i]
             cell_prof = Profiler() if profiler is not None else None
+            if journal is not None:
+                journal.cell_start(i, model.name, str(shape),
+                                   fingerprints[i])
             t0 = time.perf_counter()
             start_s = t0 - run_start
             m, attempts, faults_hit = self._attempt_cell(
@@ -243,6 +307,15 @@ class SweepEngine:
                 # must not outlive the run that suffered it.
                 self.cache.put(fingerprints[i], m,
                                metadata={"experiment": experiment.exp_id})
+            if journal is not None:
+                if m.failed:
+                    journal.cell_failed(i, fingerprints[i], m,
+                                        attempts=attempts, faults=faults_hit,
+                                        reason=m.note)
+                else:
+                    journal.cell_done(i, fingerprints[i], m, cached=False,
+                                      wall_s=wall, attempts=attempts,
+                                      faults=faults_hit)
             measurements[i] = m
             traces[i] = cell_prof
             records[i] = CellRecord(
@@ -255,13 +328,8 @@ class SweepEngine:
         if self.parallel and len(misses) > 1:
             workers = min(len(misses),
                           self.max_workers or (os.cpu_count() or 4))
-        if workers > 1:
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                for future in [pool.submit(execute, i) for i in misses]:
-                    future.result()
-        else:
-            for i in misses:
-                execute(i)
+        self._execute_all(execute, misses, workers, journal, run_id,
+                          measurements, len(cells))
 
         if profiler is not None:
             # Deterministic replay: cell order, original durations — the
@@ -273,6 +341,9 @@ class SweepEngine:
                     profiler.record(ev.kind, ev.name, ev.duration_s,
                                     **ev.metadata)
 
+        if journal is not None and not journal.finalized:
+            journal.close_run("complete", completed=len(cells),
+                              total=len(cells))
         results = ResultSet(experiment)
         for m in measurements:
             assert m is not None
@@ -285,8 +356,57 @@ class SweepEngine:
             parallel=workers > 1,
             workers=workers,
             wall_s=time.perf_counter() - run_start,
+            run_id=run_id,
         )
         return results
+
+    def _execute_all(self, execute, misses: List[int], workers: int,
+                     journal, run_id: str,
+                     measurements: List[Optional[Measurement]],
+                     total: int) -> None:
+        """Drive the cell fan-out, finalizing the journal on interrupt.
+
+        With a journal active, SIGINT/SIGTERM are routed into
+        ``KeyboardInterrupt`` (see :func:`~repro.harness.journal.graceful_shutdown`);
+        in-flight cells are allowed to finish and journal their results,
+        pending cells are cancelled, a ``run-close(interrupted)`` record
+        is written, and :class:`~repro.errors.RunInterrupted` tells the
+        caller how to resume.  ``fail_fast`` aborts close the journal as
+        ``failed`` before the :class:`CellFailure` propagates.
+        """
+        from ..journal.signals import graceful_shutdown
+
+        guard = (graceful_shutdown() if journal is not None
+                 else contextlib.nullcontext())
+        try:
+            with guard:
+                if workers > 1:
+                    pool = ThreadPoolExecutor(max_workers=workers)
+                    try:
+                        futures = [pool.submit(execute, i) for i in misses]
+                        for future in futures:
+                            future.result()
+                    finally:
+                        # In-flight cells finish (and journal themselves);
+                        # never-started ones are cancelled.
+                        pool.shutdown(wait=True, cancel_futures=True)
+                else:
+                    for i in misses:
+                        execute(i)
+        except KeyboardInterrupt:
+            done = sum(1 for m in measurements if m is not None)
+            if journal is not None and not journal.finalized:
+                journal.close_run("interrupted", completed=done, total=total)
+            raise RunInterrupted(
+                f"sweep interrupted after {done}/{total} cells"
+                + (f"; resume with: repro run --resume {run_id}"
+                   if run_id else ""),
+                run_id=run_id, completed=done, total=total) from None
+        except CellFailure:
+            if journal is not None and not journal.finalized:
+                done = sum(1 for m in measurements if m is not None)
+                journal.close_run("failed", completed=done, total=total)
+            raise
 
     # -- the retry loop ---------------------------------------------------
 

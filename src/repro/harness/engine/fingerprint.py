@@ -27,7 +27,8 @@ from ...core.types import MatrixShape
 from ...sim.faults import FaultConfig
 from ..experiment import Experiment
 
-__all__ = ["CONSTANTS_VERSION", "cell_fingerprint", "fingerprint_payload"]
+__all__ = ["CONSTANTS_VERSION", "campaign_fingerprint", "cell_fingerprint",
+           "fingerprint_payload"]
 
 #: Version of the simulator's cost-model constants baked into every
 #: fingerprint.  Bump on any change to machine specs, kernel cost models,
@@ -79,5 +80,25 @@ def cell_fingerprint(experiment: Experiment, model_name: str,
                      faults: Optional[FaultConfig] = None) -> str:
     """Hex SHA-256 fingerprint of one (experiment, model, shape) cell."""
     payload = fingerprint_payload(experiment, model_name, shape, faults)
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def campaign_fingerprint(experiment: Experiment,
+                         faults: Optional[FaultConfig] = None) -> str:
+    """Hex SHA-256 identity of a whole campaign, for the run journal.
+
+    Covers the full experiment manifest, the fault model (when enabled)
+    and :data:`CONSTANTS_VERSION` — everything that decides what a sweep
+    computes.  A journal whose recorded campaign fingerprint no longer
+    matches cannot be resumed byte-identically, so resume refuses it.
+    """
+    payload = {
+        "constants": CONSTANTS_VERSION,
+        "package": __version__,
+        "experiment": experiment.to_dict(),
+    }
+    if faults is not None and faults.enabled:
+        payload["faults"] = faults.payload()
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode()).hexdigest()

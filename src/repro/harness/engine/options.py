@@ -14,11 +14,15 @@ runs at full host speed and remains bit-reproducible.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import TYPE_CHECKING, Mapping, Optional
 
 from ...errors import ConfigError
 from ...sim.faults import FaultConfig
 from ...trace.profiler import Profiler
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ...harness.journal import RunJournal
+    from ..results import Measurement
 
 __all__ = ["RetryPolicy", "RunOptions"]
 
@@ -81,6 +85,14 @@ class RunOptions:
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     faults: FaultConfig = field(default_factory=FaultConfig)
     fail_fast: bool = False
+    #: Write-ahead journal for this run (crash-safe campaigns).  ``None``
+    #: keeps the classic, unjournaled engine behaviour.
+    journal: Optional["RunJournal"] = None
+    #: Fingerprint -> measurement replay map from a prior run's journal;
+    #: cells found here are served without touching cache or simulator.
+    replay: Optional[Mapping[str, "Measurement"]] = None
+    #: Explicit run identity; defaults to the journal's (if any).
+    run_id: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.jobs is not None and self.jobs < 1:
@@ -124,6 +136,25 @@ class RunOptions:
         if profiler is None:
             return self
         return replace(self, profiler=profiler)
+
+    def payload(self) -> dict:
+        """The resilience knobs as a JSON-serialisable dict.
+
+        Written into the journal's ``run-open`` record so resume can
+        restore exactly the fault/retry configuration that shaped the
+        original run (those knobs decide *which* cells fail, so byte-
+        identical resume must reuse them, not the current environment).
+        """
+        return {
+            "faults": self.faults.payload(),
+            "retry": {
+                "max_attempts": self.retry.max_attempts,
+                "backoff_base_s": self.retry.backoff_base_s,
+                "backoff_factor": self.retry.backoff_factor,
+                "max_cell_seconds": self.retry.max_cell_seconds,
+            },
+            "fail_fast": self.fail_fast,
+        }
 
     @property
     def resilient(self) -> bool:

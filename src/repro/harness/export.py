@@ -38,7 +38,7 @@ from .results import Measurement, ResultSet
 
 __all__ = ["result_set_to_dict", "result_set_from_dict",
            "result_set_to_json", "result_set_from_json",
-           "result_set_to_csv",
+           "result_set_to_csv", "write_result_set_artifact",
            "measurement_to_dict", "measurement_from_dict",
            "table3_to_dict", "table3_to_json",
            "SCHEMA_VERSION", "SUPPORTED_SCHEMAS"]
@@ -170,6 +170,20 @@ def result_set_to_json(rs: ResultSet, indent: int = 2) -> str:
 def result_set_from_json(text: str) -> ResultSet:
     """Inverse of :func:`result_set_to_json`."""
     return result_set_from_dict(json.loads(text))
+
+
+def write_result_set_artifact(path: str, rs: ResultSet) -> str:
+    """Atomically write ``rs`` as a digest-carrying JSON artifact.
+
+    The file embeds a SHA-256 content digest over the document (the
+    ``digest`` key, excluded from its own hash), written via temp file +
+    ``os.replace`` so a kill mid-export never leaves a truncated
+    artifact.  ``repro fsck <path>`` verifies the digest later;
+    :func:`result_set_from_dict` ignores the extra key, so digested
+    artifacts load exactly like plain exports.  Returns the digest.
+    """
+    from ..ioutil import write_json_artifact
+    return write_json_artifact(path, result_set_to_dict(rs))
 
 
 def result_set_to_csv(rs: ResultSet) -> str:

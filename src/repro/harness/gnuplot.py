@@ -59,13 +59,16 @@ def to_gnuplot_script(rs: ResultSet, dat_filename: str,
 
 
 def write_gnuplot_bundle(rs: ResultSet, directory: str) -> Tuple[str, str]:
-    """Write ``<exp_id>.dat`` and ``<exp_id>.gp``; returns their paths."""
+    """Write ``<exp_id>.dat`` and ``<exp_id>.gp``; returns their paths.
+
+    Writes are atomic (temp file + ``os.replace``) so an interrupted
+    export never leaves a half-written bundle over a previous one.
+    """
+    from ..ioutil import atomic_write_text
     os.makedirs(directory, exist_ok=True)
     base = rs.experiment.exp_id
     dat_path = os.path.join(directory, f"{base}.dat")
     gp_path = os.path.join(directory, f"{base}.gp")
-    with open(dat_path, "w") as fh:
-        fh.write(to_dat(rs))
-    with open(gp_path, "w") as fh:
-        fh.write(to_gnuplot_script(rs, f"{base}.dat"))
+    atomic_write_text(dat_path, to_dat(rs))
+    atomic_write_text(gp_path, to_gnuplot_script(rs, f"{base}.dat"))
     return dat_path, gp_path

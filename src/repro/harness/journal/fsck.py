@@ -1,0 +1,235 @@
+"""``repro fsck``: integrity verification of the whole persistent store.
+
+Three stores accumulate state across campaigns — the result cache, the
+run-journal registry, and exported JSON artifacts — and all three live
+on filesystems that bit-rot, fill up, and host processes that die
+mid-write.  ``fsck_store`` walks them all:
+
+* **cache entries** must parse, carry the current schema/constants
+  versions, name the fingerprint they are filed under, and match their
+  embedded SHA-256 content digest.  Undecodable or digest-mismatched
+  entries are *quarantined* (moved aside for post-mortem, never served
+  again); stale-but-honest entries are evicted; orphaned ``*.tmp``
+  files from writers killed mid-``put`` are removed.
+* **journals** must replay cleanly; a torn tail is recovered by
+  truncating to the longest valid record prefix (the write-ahead
+  guarantee makes that prefix trustworthy), and unclosed runs are
+  reported as resumable.
+* **artifacts** (paths passed explicitly) must match their embedded
+  content digest.
+
+The report distinguishes *corruption* (bit-flips, torn tails — data that
+lies about itself) from *hygiene* findings (stale versions, orphaned
+temp files, resumable runs); ``repro fsck`` exits non-zero only for the
+former.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+from ...errors import JournalError
+from ...ioutil import content_digest, read_json_artifact
+from ..export import SCHEMA_VERSION
+from ..engine.cache import ResultCache
+from ..engine.fingerprint import CONSTANTS_VERSION
+from .journal import load_journal, _truncate_to_valid_prefix
+from .registry import RunRegistry
+
+__all__ = ["FsckIssue", "FsckReport", "fsck_store"]
+
+
+@dataclass(frozen=True)
+class FsckIssue:
+    """One finding: what was wrong where, and what fsck did about it."""
+
+    severity: str   # "corrupt" | "warning"
+    kind: str       # e.g. "cache-digest", "journal-tail", "tmp-orphan"
+    path: str
+    detail: str
+    action: str     # what fsck did: "quarantined", "evicted", ...
+
+    def render(self) -> str:
+        """One report line for this finding."""
+        flag = "CORRUPT" if self.severity == "corrupt" else "warning"
+        return (f"  [{flag}] {self.kind}: {self.path}\n"
+                f"          {self.detail} -> {self.action}")
+
+
+@dataclass
+class FsckReport:
+    """Everything one ``fsck_store`` pass checked, found and repaired."""
+
+    cache_root: str = ""
+    runs_root: str = ""
+    cache_entries: int = 0
+    journals: int = 0
+    artifacts: int = 0
+    tmp_removed: int = 0
+    issues: List[FsckIssue] = field(default_factory=list)
+
+    @property
+    def corrupt(self) -> bool:
+        """Whether any finding was actual corruption (non-zero exit)."""
+        return any(i.severity == "corrupt" for i in self.issues)
+
+    @property
+    def clean(self) -> bool:
+        """Whether the store came through without a single finding."""
+        return not self.issues
+
+    def add(self, severity: str, kind: str, path: str, detail: str,
+            action: str) -> None:
+        """Record one finding."""
+        self.issues.append(FsckIssue(severity, kind, path, detail, action))
+
+    def render(self) -> str:
+        """The ``repro fsck`` report."""
+        corrupt = sum(1 for i in self.issues if i.severity == "corrupt")
+        warnings = len(self.issues) - corrupt
+        lines = [
+            f"fsck: cache {self.cache_root or '(skipped)'}",
+            f"      runs  {self.runs_root or '(skipped)'}",
+            f"checked {self.cache_entries} cache entries, "
+            f"{self.journals} journals, {self.artifacts} artifacts"
+            + (f"; removed {self.tmp_removed} orphaned tmp file(s)"
+               if self.tmp_removed else ""),
+        ]
+        lines += [issue.render() for issue in self.issues]
+        lines.append(
+            "store is clean" if self.clean else
+            f"{corrupt} corrupt, {warnings} warning(s)"
+            + (" — corrupt entries quarantined/recovered" if corrupt else ""))
+        return "\n".join(lines)
+
+
+# -- cache ----------------------------------------------------------------
+
+def _quarantine(cache: ResultCache, path: str) -> str:
+    """Move a corrupt entry into ``<root>/quarantine/`` for post-mortem."""
+    qdir = os.path.join(cache.root, "quarantine")
+    os.makedirs(qdir, exist_ok=True)
+    dest = os.path.join(qdir, os.path.basename(path))
+    n = 1
+    while os.path.exists(dest):
+        dest = os.path.join(qdir, f"{os.path.basename(path)}.{n}")
+        n += 1
+    os.replace(path, dest)
+    return dest
+
+
+def _check_cache_entry(cache: ResultCache, path: str,
+                       report: FsckReport) -> None:
+    fingerprint = os.path.splitext(os.path.basename(path))[0]
+    try:
+        with open(path) as fh:
+            entry = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        dest = _quarantine(cache, path)
+        report.add("corrupt", "cache-parse", path,
+                   f"undecodable entry ({exc})", f"quarantined to {dest}")
+        return
+    if (entry.get("schema") != SCHEMA_VERSION
+            or entry.get("constants") != CONSTANTS_VERSION):
+        os.unlink(path)
+        report.add("warning", "cache-stale", path,
+                   f"schema/constants {entry.get('schema')!r}/"
+                   f"{entry.get('constants')!r} predate this build",
+                   "evicted")
+        return
+    if entry.get("fingerprint") != fingerprint:
+        dest = _quarantine(cache, path)
+        report.add("corrupt", "cache-misfiled", path,
+                   f"entry names fingerprint {entry.get('fingerprint')!r}",
+                   f"quarantined to {dest}")
+        return
+    stated = entry.get("digest")
+    if stated is None:
+        os.unlink(path)
+        report.add("warning", "cache-undigested", path,
+                   "entry predates content digests", "evicted")
+        return
+    actual = content_digest(entry.get("measurement"))
+    if stated != actual:
+        dest = _quarantine(cache, path)
+        report.add("corrupt", "cache-digest", path,
+                   f"content digest mismatch (stated {stated[:12]}..., "
+                   f"actual {actual[:12]}...)", f"quarantined to {dest}")
+
+
+def _fsck_cache(cache: ResultCache, report: FsckReport) -> None:
+    report.cache_root = cache.root
+    for path in list(cache._entry_paths()):
+        report.cache_entries += 1
+        _check_cache_entry(cache, path, report)
+    for tmp in list(cache.orphan_tmp_paths()):
+        try:
+            os.unlink(tmp)
+            report.tmp_removed += 1
+            report.add("warning", "tmp-orphan", tmp,
+                       "writer died mid-put", "removed")
+        except OSError:
+            pass
+
+
+# -- journals -------------------------------------------------------------
+
+def _fsck_runs(registry: RunRegistry, report: FsckReport) -> None:
+    report.runs_root = registry.root
+    for run_id in registry.run_ids():
+        report.journals += 1
+        path = registry.path_for(run_id)
+        try:
+            state = load_journal(path)
+        except JournalError as exc:
+            report.add("corrupt", "journal-unreadable", path, str(exc),
+                       "left in place; delete or restore from backup")
+            continue
+        if state.dropped:
+            _truncate_to_valid_prefix(path, state.valid_lines)
+            report.add("corrupt", "journal-tail", path,
+                       f"{state.dropped} torn/corrupt trailing record(s)",
+                       f"recovered: truncated to {state.valid_lines} "
+                       f"valid record(s)")
+        if state.status == "open":
+            report.add("warning", "journal-unclosed", path,
+                       f"run never closed ({state.done_cells}/"
+                       f"{state.total_cells} cells journaled)",
+                       f"resumable: repro run --resume {run_id}")
+
+
+# -- artifacts ------------------------------------------------------------
+
+def _fsck_artifacts(paths: Iterable[str], report: FsckReport) -> None:
+    for path in paths:
+        report.artifacts += 1
+        try:
+            read_json_artifact(path)
+        except (OSError, json.JSONDecodeError) as exc:
+            report.add("corrupt", "artifact-parse", path,
+                       f"unreadable artifact ({exc})", "left in place")
+        except ValueError as exc:
+            severity = ("warning" if "no embedded content digest" in str(exc)
+                        else "corrupt")
+            report.add(severity, "artifact-digest", path, str(exc),
+                       "left in place")
+
+
+def fsck_store(cache: Optional[ResultCache] = None,
+               registry: Optional[RunRegistry] = None,
+               artifacts: Iterable[str] = ()) -> FsckReport:
+    """Verify (and where safe, repair) the persistent store.
+
+    ``cache``/``registry`` default to the process-wide locations; pass
+    explicit instances to check relocated stores.  ``artifacts`` are
+    extra exported-JSON paths to digest-verify.  Returns the
+    :class:`FsckReport`; ``report.corrupt`` drives the non-zero exit.
+    """
+    report = FsckReport()
+    _fsck_cache(cache if cache is not None else ResultCache(), report)
+    _fsck_runs(registry if registry is not None else RunRegistry(), report)
+    _fsck_artifacts(artifacts, report)
+    return report

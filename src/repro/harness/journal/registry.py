@@ -1,0 +1,101 @@
+"""The run registry: every journaled campaign, listed by run id.
+
+One directory (``$REPRO_RUNS_DIR``, defaulting next to the result cache
+under ``$XDG_CACHE_HOME/repro/runs``) holds one ``<run-id>.jsonl``
+write-ahead journal per campaign.  The registry mints collision-free run
+ids, creates fresh journals, reopens interrupted ones for resume, and
+enumerates everything for ``repro runs list``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import uuid
+from typing import List, Optional
+
+from ...errors import JournalError
+from .journal import JournalState, RunJournal, load_journal
+
+__all__ = ["RunRegistry", "default_runs_dir"]
+
+
+def default_runs_dir() -> str:
+    """``$REPRO_RUNS_DIR``, else ``$XDG_CACHE_HOME/repro/runs``."""
+    explicit = os.environ.get("REPRO_RUNS_DIR")
+    if explicit:
+        return explicit
+    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache")
+    return os.path.join(base, "repro", "runs")
+
+
+class RunRegistry:
+    """Journals on disk, addressed by run id."""
+
+    def __init__(self, root: Optional[str] = None) -> None:
+        self.root = root or default_runs_dir()
+
+    # -- identity ---------------------------------------------------------
+
+    def path_for(self, run_id: str) -> str:
+        """The journal file backing ``run_id``."""
+        if not run_id or os.sep in run_id or run_id.startswith("."):
+            raise JournalError(f"malformed run id {run_id!r}")
+        return os.path.join(self.root, run_id + ".jsonl")
+
+    def new_run_id(self) -> str:
+        """A fresh, human-sortable, collision-free run id."""
+        while True:
+            stamp = time.strftime("%Y%m%d-%H%M%S")
+            run_id = f"run-{stamp}-{uuid.uuid4().hex[:6]}"
+            if not os.path.exists(self.path_for(run_id)):
+                return run_id
+
+    # -- lifecycle --------------------------------------------------------
+
+    def create(self, run_id: Optional[str] = None) -> RunJournal:
+        """A fresh journal under a new (or caller-chosen) run id."""
+        rid = run_id or self.new_run_id()
+        return RunJournal.create(self.path_for(rid), rid)
+
+    def load(self, run_id: str) -> JournalState:
+        """The validated state of one run (torn tail already dropped)."""
+        path = self.path_for(run_id)
+        if not os.path.exists(path):
+            known = ", ".join(self.run_ids()) or "none on record"
+            raise JournalError(f"no run {run_id!r} in {self.root} "
+                               f"(known: {known})")
+        return load_journal(path)
+
+    def reopen(self, run_id: str) -> RunJournal:
+        """The journal of an existing run, opened for appending."""
+        return RunJournal.reopen(self.path_for(run_id))
+
+    # -- enumeration ------------------------------------------------------
+
+    def run_ids(self) -> List[str]:
+        """Every run id on record, sorted (ids embed their timestamp)."""
+        if not os.path.isdir(self.root):
+            return []
+        return sorted(name[:-6] for name in os.listdir(self.root)
+                      if name.endswith(".jsonl"))
+
+    def runs(self) -> List[JournalState]:
+        """Loaded state of every readable run, unreadable ones skipped."""
+        out: List[JournalState] = []
+        for run_id in self.run_ids():
+            try:
+                out.append(self.load(run_id))
+            except JournalError:
+                continue
+        return out
+
+    def render_list(self) -> str:
+        """The ``repro runs list`` table."""
+        states = self.runs()
+        if not states:
+            return f"no journaled runs in {self.root}"
+        lines = [f"runs dir: {self.root}"]
+        lines += ["  " + s.describe() for s in states]
+        return "\n".join(lines)

@@ -1,0 +1,119 @@
+"""Resume: complete an interrupted campaign from its write-ahead journal.
+
+The contract is **byte-identity**: a resumed run must produce exactly
+the output an uninterrupted run would have — same measurements, same
+samples, same rendering.  Three properties make that possible:
+
+* every completed cell's full-fidelity measurement is embedded in the
+  journal, so replay needs neither the cache nor the simulator;
+* the simulator is deterministic per cell, so the *remaining* cells
+  compute the same values they would have computed the first time;
+* the run-open record pins the campaign fingerprint (experiment
+  manifest + fault model + cost-model constants version), and resume
+  *refuses* to run if the current code would fingerprint the campaign
+  differently — silently resuming across a constants bump would splice
+  incompatible halves together.
+
+The resilience options (fault config, retry policy, ``fail_fast``) are
+restored from the journal rather than the environment: they decide
+*which* cells fail, so honoring the CLI flags of the moment would break
+identity with the original run.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ...errors import JournalError
+from ...sim.faults import FaultConfig, FaultKind
+from ..experiment import Experiment
+from ..results import ResultSet
+from ..engine.fingerprint import campaign_fingerprint
+from ..engine.options import RetryPolicy, RunOptions
+from .journal import JournalState
+from .registry import RunRegistry
+
+__all__ = ["restore_campaign", "resume_run"]
+
+
+def _faults_from_payload(payload: dict) -> FaultConfig:
+    return FaultConfig(
+        rate=float(payload.get("rate", 0.0)),
+        seed=int(payload.get("seed", 2023)),
+        kinds=tuple(FaultKind(k) for k in payload.get(
+            "kinds", [k.value for k in FaultKind])),
+        always=tuple(payload.get("always", ())),
+    )
+
+
+def _retry_from_payload(payload: dict) -> RetryPolicy:
+    budget = payload.get("max_cell_seconds")
+    return RetryPolicy(
+        max_attempts=int(payload.get("max_attempts", 1)),
+        backoff_base_s=float(payload.get("backoff_base_s", 0.5)),
+        backoff_factor=float(payload.get("backoff_factor", 2.0)),
+        max_cell_seconds=float(budget) if budget is not None else None,
+    )
+
+
+def restore_campaign(state: JournalState) -> Tuple[Experiment, RunOptions]:
+    """Rebuild the experiment and resilience options a journal recorded.
+
+    Verifies the campaign fingerprint: the experiment + fault model must
+    fingerprint today exactly as they did when the run opened, otherwise
+    the journal belongs to a different code/constants state and replayed
+    cells could not be byte-identical — :class:`JournalError` is raised
+    instead of producing a silently-spliced campaign.
+    """
+    if not state.manifest:
+        raise JournalError(f"journal {state.path} carries no manifest")
+    experiment = Experiment.from_dict(state.manifest)
+    opt_payload = state.options or {}
+    faults = _faults_from_payload(opt_payload.get("faults", {}))
+    retry = _retry_from_payload(opt_payload.get("retry", {}))
+    expected = campaign_fingerprint(experiment, faults)
+    if state.campaign and state.campaign != expected:
+        raise JournalError(
+            f"run {state.run_id} was journaled under campaign fingerprint "
+            f"{state.campaign[:12]}... but this build computes "
+            f"{expected[:12]}... — the experiment, fault model or "
+            f"cost-model constants changed; rerun instead of resuming")
+    options = RunOptions(
+        retry=retry, faults=faults,
+        fail_fast=bool(opt_payload.get("fail_fast", False)),
+    )
+    return experiment, options
+
+
+def resume_run(run_id: str, registry: Optional[RunRegistry] = None,
+               engine=None, *, options: Optional[RunOptions] = None,
+               ) -> ResultSet:
+    """Complete (or re-emit) a journaled run; byte-identical output.
+
+    Loads the journal, restores the recorded campaign, replays every
+    completed cell from the embedded payloads and executes only the
+    remainder, appending to the same journal.  A run that was already
+    complete simply replays in full — still byte-identical, which makes
+    resume idempotent.
+
+    ``options`` may override *execution* knobs only (cache, jobs,
+    profiler); the resilience layer always comes from the journal.
+    ``engine`` is forwarded to :func:`repro.harness.runner.run_experiment`.
+    """
+    from dataclasses import replace
+    from ..runner import run_experiment
+
+    reg = registry if registry is not None else RunRegistry()
+    state = reg.load(run_id)
+    experiment, restored = restore_campaign(state)
+    if options is not None:
+        restored = replace(restored, cache=options.cache,
+                           jobs=options.jobs, profiler=options.profiler)
+    journal = reg.reopen(run_id)
+    journal.resume_run(completed=state.done_cells, total=state.total_cells)
+    restored = replace(restored, journal=journal,
+                       replay=dict(state.completed))
+    try:
+        return run_experiment(experiment, engine=engine, options=restored)
+    finally:
+        journal.close()

@@ -1,0 +1,61 @@
+"""Graceful shutdown: turn SIGINT/SIGTERM into a journal-finalizing exit.
+
+On shared HPC front-ends a campaign dies by ``Ctrl-C``, by the batch
+system's SIGTERM at the end of an allocation, or by preemption.  With a
+write-ahead journal active, none of those should lose state: the engine
+wants one chance to write its ``run-close`` record and tell the user how
+to resume.  :func:`graceful_shutdown` installs handlers that raise
+:class:`KeyboardInterrupt` for both signals — funnelling SIGTERM into
+the same well-trodden interrupt path the engine already finalizes — and
+restores the previous handlers on exit.
+
+Handlers can only be installed from the main thread (a CPython rule);
+elsewhere the context manager degrades to a no-op, which is safe: a
+non-main-thread engine run still finalizes on ``KeyboardInterrupt``
+delivered to it, it just cannot intercept raw signals.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import signal
+import threading
+from typing import Iterator
+
+__all__ = ["EXIT_INTERRUPTED", "EXIT_FSCK_CORRUPT", "graceful_shutdown"]
+
+#: Exit code of a run interrupted by SIGINT/SIGTERM after the journal
+#: was finalized (the shell convention for death-by-SIGINT, 128 + 2).
+EXIT_INTERRUPTED = 130
+
+#: Exit code of ``repro fsck`` when corruption was found (and handled).
+EXIT_FSCK_CORRUPT = 3
+
+
+def _raise_interrupt(signum, frame):  # pragma: no cover - signal path
+    raise KeyboardInterrupt(f"signal {signum}")
+
+
+@contextlib.contextmanager
+def graceful_shutdown() -> Iterator[None]:
+    """Route SIGINT/SIGTERM into ``KeyboardInterrupt`` for this block.
+
+    The engine catches the interrupt, finalizes the journal with a
+    ``run-close(interrupted)`` record and raises
+    :class:`~repro.errors.RunInterrupted`; the CLI maps that to exit
+    code :data:`EXIT_INTERRUPTED` instead of dying mid-write.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+    previous = {}
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[sig] = signal.signal(sig, _raise_interrupt)
+        except (ValueError, OSError):  # pragma: no cover - exotic hosts
+            pass
+    try:
+        yield
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)

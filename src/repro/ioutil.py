@@ -1,0 +1,95 @@
+"""Durable file I/O primitives: atomic writes and content digests.
+
+Every artifact the harness persists — cache entries, journals, exported
+result sets, reports, gnuplot bundles — goes through this module so a
+process killed mid-write can never leave a truncated file where a good
+one should be.  The pattern is the classic one: write to a temp file in
+the *same directory* (same filesystem, so the rename is atomic), fsync,
+then ``os.replace`` over the destination.
+
+Content digests are SHA-256 over a canonical JSON rendering (sorted
+keys, minimal separators), so they are stable across processes,
+platforms and dict orderings — the property ``repro fsck`` relies on to
+distinguish a bit-flipped store entry from a legitimate one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Any, Dict
+
+__all__ = ["atomic_write_text", "canonical_json", "content_digest",
+           "write_json_artifact", "read_json_artifact"]
+
+
+def canonical_json(payload: Any) -> str:
+    """The canonical JSON rendering digests are computed over."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def content_digest(payload: Any) -> str:
+    """Hex SHA-256 of the canonical JSON rendering of ``payload``."""
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+
+def atomic_write_text(path: str, text: str, *, fsync: bool = True) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    A reader (or a crash) can only ever observe the old content or the
+    complete new content, never a truncated mix.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+            if fsync:
+                fh.flush()
+                os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def write_json_artifact(path: str, payload: Dict[str, Any],
+                        indent: int = 2) -> str:
+    """Atomically write a JSON artifact with an embedded content digest.
+
+    The digest covers every key *except* the ``digest`` field itself, so
+    ``repro fsck`` can re-derive and verify it.  Returns the digest.
+    """
+    body = {k: v for k, v in payload.items() if k != "digest"}
+    digest = content_digest(body)
+    document = dict(body)
+    document["digest"] = digest
+    atomic_write_text(path, json.dumps(document, indent=indent) + "\n")
+    return digest
+
+
+def read_json_artifact(path: str) -> Dict[str, Any]:
+    """Load a digested JSON artifact, verifying its embedded digest.
+
+    Raises ``ValueError`` when the digest is missing or does not match
+    the content — the caller decides whether that is fatal (a loader) or
+    a reportable finding (``repro fsck``).
+    """
+    with open(path) as fh:
+        document = json.load(fh)
+    if not isinstance(document, dict) or "digest" not in document:
+        raise ValueError(f"{path}: no embedded content digest")
+    stated = document["digest"]
+    body = {k: v for k, v in document.items() if k != "digest"}
+    actual = content_digest(body)
+    if stated != actual:
+        raise ValueError(
+            f"{path}: content digest mismatch (stated {stated[:12]}..., "
+            f"actual {actual[:12]}...)")
+    return document

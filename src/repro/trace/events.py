@@ -29,6 +29,7 @@ class EventKind(enum.Enum):
     CACHE_MISS = "cache-miss"    # result computed and stored
     FAULT = "fault"              # injected node fault hit one attempt
     RETRY = "retry"              # backoff before re-attempting a cell
+    REPLAY = "replay"            # result replayed from a run journal
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,13 @@
+"""Shared test fixtures.
+
+Every test gets a private runs directory: ``repro run`` journals by
+default, and without this the suite would scatter write-ahead journals
+into the developer's real ``$XDG_CACHE_HOME/repro/runs``.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_runs_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / "runs"))

@@ -24,6 +24,8 @@ PACKAGES = [
     "repro.trace",
     "repro.harness",
     "repro.harness.engine",
+    "repro.harness.journal",
+    "repro.ioutil",
 ]
 
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))

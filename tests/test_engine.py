@@ -173,7 +173,8 @@ class TestCache:
         disk = cache.disk_stats()
         assert disk["entries"] == 4 and disk["bytes"] > 0
         assert cache.clear() == 4
-        assert cache.disk_stats() == {"entries": 0, "bytes": 0}
+        assert cache.disk_stats() == {"entries": 0, "bytes": 0,
+                                      "tmp_orphans": 0}
 
     def test_stale_constants_version_evicts(self, cache):
         exp = small_exp(models=("c-openmp",), sizes=(256,))

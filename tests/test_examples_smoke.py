@@ -23,6 +23,7 @@ CASES = [
     ("numa_pinning_clinic.py", "first-touch pathology"),
     ("device_placement.py", "crossover"),
     ("memory_bandwidth_stream.py", "Measured on this host"),
+    ("crash_and_resume.py", "byte-identical to the reference"),
 ]
 
 
