@@ -13,11 +13,22 @@ Commands mirror the deliverables:
 * ``repro runs list|show`` — journaled campaigns (``repro run`` journals
   by default; ``repro run --resume <run-id>`` completes an interrupted
   one byte-identically).
+* ``repro health <run-id>`` — lane-state history of a breaker-enabled
+  run: every circuit-breaker transition, final lane states, and which
+  cells were served by fallback lanes.
 * ``repro fsck`` — verify the cache, run journals and export artifacts;
   quarantine/recover corruption (exit 3 if any was found).
 
+Self-healing: ``--breaker 'threshold=N,cooldown=S'`` (or
+``REPRO_BREAKER``) arms per-lane circuit breakers — N consecutive
+permanent cell failures open a lane, its cells reroute down the
+fallback ladder (``--fallback``/``REPRO_FALLBACK``, default derived
+from the model registry), and after S simulated seconds a probe cell
+decides whether the lane re-closes.
+
 Exit codes: 0 success, 1 aborted campaign (``--fail-fast``) or journal
-error, 2 usage, 3 ``fsck`` found corruption, 130 interrupted by
+error (including resuming a breaker run from a journal without health
+metadata), 2 usage, 3 ``fsck`` found corruption, 130 interrupted by
 SIGINT/SIGTERM (the journal is finalized first; resume with
 ``repro run --resume <run-id>``).
 """
@@ -29,7 +40,7 @@ import sys
 from typing import List, Optional
 
 from .core.types import DeviceKind, Precision
-from .errors import CellFailure, JournalError, RunInterrupted
+from .errors import CellFailure, ConfigError, JournalError, RunInterrupted
 from .harness import (
     Experiment,
     PAPER_SIZES,
@@ -199,6 +210,15 @@ def build_parser() -> argparse.ArgumentParser:
                       help="runs directory (default: $REPRO_RUNS_DIR or "
                            "$XDG_CACHE_HOME/repro/runs)")
 
+    health = sub.add_parser(
+        "health", help="lane-state history of a breaker-enabled run: "
+                       "breaker transitions, final lane states, "
+                       "substituted cells")
+    health.add_argument("run_id", help="run id (see `repro runs list`)")
+    health.add_argument("--dir", default=None,
+                        help="runs directory (default: $REPRO_RUNS_DIR or "
+                             "$XDG_CACHE_HOME/repro/runs)")
+
     fsck = sub.add_parser(
         "fsck", help="verify cache entries, run journals and export "
                      "artifacts; quarantine/recover corruption (exit 3 "
@@ -226,6 +246,15 @@ def _add_resilience_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument("--fail-fast", action="store_true",
                    help="abort on the first permanent cell failure "
                         "(exit 1) instead of degrading to e=0")
+    p.add_argument("--breaker", default=None, metavar="SPEC",
+                   help="arm per-lane circuit breakers, e.g. '3' or "
+                        "'threshold=3,cooldown=60' (consecutive permanent "
+                        "failures open a lane; cells reroute via the "
+                        "fallback ladder)")
+    p.add_argument("--fallback", default=None, metavar="SPEC",
+                   help="explicit fallback ladders, e.g. "
+                        "'numba@gpu=numba@cpu+reference' (default: derived "
+                        "from the model registry's support matrix)")
 
 
 def _options_for(args: argparse.Namespace):
@@ -233,14 +262,18 @@ def _options_for(args: argparse.Namespace):
     default (which itself reads the REPRO_FAULTS family of env vars)."""
     from dataclasses import replace
     from .harness.engine import RunOptions
+    from .harness.health import BreakerPolicy, FallbackLadder
     from .sim.faults import FaultConfig
 
     faults_spec = getattr(args, "faults", None)
     retries = getattr(args, "retries", None)
     budget = getattr(args, "max_cell_seconds", None)
     fail_fast = getattr(args, "fail_fast", False)
+    breaker_spec = getattr(args, "breaker", None)
+    fallback_spec = getattr(args, "fallback", None)
     if faults_spec is None and retries is None and budget is None \
-            and not fail_fast:
+            and not fail_fast and breaker_spec is None \
+            and fallback_spec is None:
         return None
     opts = RunOptions.from_env()
     if faults_spec is not None:
@@ -254,6 +287,10 @@ def _options_for(args: argparse.Namespace):
         opts = replace(opts, retry=retry)
     if fail_fast:
         opts = replace(opts, fail_fast=True)
+    if breaker_spec is not None:
+        opts = replace(opts, breaker=BreakerPolicy.parse(breaker_spec))
+    if fallback_spec is not None:
+        opts = replace(opts, fallback=FallbackLadder.parse(fallback_spec))
     return opts
 
 
@@ -546,6 +583,54 @@ def _cmd_runs(args: argparse.Namespace) -> "tuple[str, int]":
     return "\n".join(lines), 0
 
 
+def _cmd_health(args: argparse.Namespace) -> str:
+    """Render a breaker-enabled run's lane-state history from its journal."""
+    from .harness.health import BreakerPolicy, BreakerTransition
+    from .harness.journal import RunRegistry
+
+    reg = RunRegistry(args.dir)
+    st = reg.load(args.run_id)
+    opt_payload = st.options or {}
+    lines = [f"run:     {st.run_id} ({st.status})",
+             f"journal: {st.path}"]
+    if "breaker" not in opt_payload:
+        lines.append("breakers were not enabled for this run "
+                     "(no lane health was tracked)")
+        return "\n".join(lines)
+    policy = BreakerPolicy.from_payload(opt_payload["breaker"])
+    lines.append(policy.describe())
+    if "fallback" in opt_payload:
+        from .harness.health import FallbackLadder
+        lines.append(FallbackLadder.from_payload(
+            opt_payload["fallback"]).describe())
+    else:
+        lines.append("fallbacks: registry defaults")
+    transitions = [BreakerTransition.from_payload(ev)
+                   for ev in st.breaker_events]
+    if transitions:
+        lines.append("")
+        lines.append(f"transitions ({len(transitions)}):")
+        lines += [f"  {tr.describe()}" for tr in transitions]
+        final: dict = {}
+        for tr in transitions:
+            final[tr.lane] = tr.to_state.value
+        lines.append("")
+        lines.append("final lane states:")
+        lines += [f"  {lane}: {state}" for lane, state in final.items()]
+    else:
+        lines.append("no breaker transitions (every lane stayed closed)")
+    substituted = [(fp, m) for fp, m in st.completed.items()
+                   if m.substituted_from]
+    if substituted:
+        lines.append("")
+        lines.append(f"substituted cells ({len(substituted)}):")
+        for _, m in substituted:
+            served = m.served_by or "(ladder exhausted; cell failed)"
+            lines.append(f"  {m.model} @{m.shape} <- {served} "
+                         f"[{m.ladder_hops} hop(s)]")
+    return "\n".join(lines)
+
+
 def _cmd_fsck(args: argparse.Namespace) -> "tuple[str, int]":
     from .harness.engine import ResultCache
     from .harness.journal import EXIT_FSCK_CORRUPT, RunRegistry, fsck_store
@@ -593,6 +678,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     except JournalError as exc:
         print(f"repro: {exc}", file=sys.stderr)
         return 1
+    except ConfigError as exc:
+        # Bad --faults/--breaker/--fallback/... grammar: a usage error.
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
 
 
 def _dispatch(args: argparse.Namespace) -> int:
@@ -622,6 +711,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         out = _cmd_cache(args)
     elif args.command == "runs":
         out, rc = _cmd_runs(args)
+    elif args.command == "health":
+        out = _cmd_health(args)
     elif args.command == "fsck":
         out, rc = _cmd_fsck(args)
     elif args.command == "crossover":

@@ -42,6 +42,8 @@ KNOWN_VARIABLES: Dict[str, str] = {
     "REPRO_BACKOFF": "base simulated backoff seconds between retries",
     "REPRO_MAX_CELL_SECONDS": "per-cell simulated-time budget for retries",
     "REPRO_FAIL_FAST": "abort the sweep on the first permanent cell failure",
+    "REPRO_BREAKER": "circuit-breaker spec (e.g. threshold=3,cooldown=300)",
+    "REPRO_FALLBACK": "fallback-ladder spec (e.g. numba@gpu=numba@cpu+reference)",
 }
 
 _TRUE_STRINGS = frozenset({"1", "true", "yes", "on", "close", "spread"})

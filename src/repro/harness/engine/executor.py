@@ -25,6 +25,18 @@ caller's profiler in cell order, so the simulated timeline is
 byte-identical to the serial one; cache *reads* are bypassed for such
 runs (a cached cell would leave no trace events to corroborate).
 
+Self-healing: an enabled :class:`~repro.harness.health.BreakerPolicy`
+activates the per-lane health subsystem (:mod:`repro.harness.health`).
+Lanes that keep failing permanently trip OPEN and their cells reroute
+down a :class:`~repro.harness.health.FallbackLadder`; substituted
+measurements carry full provenance, breaker transitions are journaled
+and traced, and after a simulated cooldown a probe cell decides whether
+the lane re-closes.  Because breaker state crosses cell boundaries,
+breaker-enabled runs execute serially in cell order and bypass cache
+reads (native successes are still written); with breakers disabled —
+the default — every code path is byte-identical to the pre-health
+engine.
+
 Observability: every run produces a :class:`SweepReport` with per-cell
 wall-clock offsets/timings, attempt counts and cache outcomes,
 renderable as an ASCII table (with a degraded-cell section) or as a
@@ -38,7 +50,7 @@ import contextlib
 import os
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 from ...core.types import MatrixShape
@@ -54,6 +66,13 @@ from ...sim.faults import Fault, FaultInjector
 from ...trace.events import EventKind
 from ...trace.profiler import Profiler
 from ..experiment import Experiment
+from ..health import (
+    BreakerState,
+    BreakerTransition,
+    FallbackLadder,
+    HealthRegistry,
+    resolve_hop,
+)
 from ..results import Measurement, ResultSet
 from ..runner import run_measurement
 from .cache import ResultCache
@@ -61,6 +80,13 @@ from .fingerprint import campaign_fingerprint, cell_fingerprint
 from .options import RunOptions
 
 __all__ = ["CellRecord", "SweepReport", "SweepEngine"]
+
+#: Trace event kind for each breaker state a lane can transition *into*.
+_BREAKER_EVENT = {
+    BreakerState.OPEN: EventKind.BREAKER_OPEN,
+    BreakerState.HALF_OPEN: EventKind.BREAKER_HALF_OPEN,
+    BreakerState.CLOSED: EventKind.BREAKER_CLOSE,
+}
 
 
 @dataclass(frozen=True)
@@ -75,9 +101,12 @@ class CellRecord:
     #: Wall-clock offset of this cell from the start of the engine run —
     #: real (possibly overlapping) positions under the thread-pool fan-out.
     start_s: float = 0.0
-    status: str = "ok"           # "ok" | "cached" | "replayed" | "failed"
+    #: "ok" | "cached" | "replayed" | "failed" | "substituted"
+    status: str = "ok"
     attempts: int = 1
     faults: int = 0
+    #: Lane that actually served the cell when it was substituted ("").
+    served_by: str = ""
 
     @property
     def failed(self) -> bool:
@@ -86,6 +115,10 @@ class CellRecord:
     @property
     def replayed(self) -> bool:
         return self.status == "replayed"
+
+    @property
+    def substituted(self) -> bool:
+        return self.status == "substituted"
 
 
 @dataclass
@@ -100,6 +133,8 @@ class SweepReport:
     wall_s: float = 0.0
     #: Run identity when the sweep is journaled ("" otherwise).
     run_id: str = ""
+    #: Breaker transition history, in cell order (breaker runs only).
+    transitions: List[BreakerTransition] = field(default_factory=list)
 
     @property
     def cached_cells(self) -> int:
@@ -116,6 +151,10 @@ class SweepReport:
     @property
     def failed_cells(self) -> int:
         return sum(1 for c in self.cells if c.failed)
+
+    @property
+    def substituted_cells(self) -> int:
+        return sum(1 for c in self.cells if c.substituted)
 
     @property
     def total_attempts(self) -> int:
@@ -146,6 +185,18 @@ class SweepReport:
             prof.record_at(EventKind.CELL, f"{cell.model}@{cell.shape}",
                            cell.start_s, cell.wall_s, cached=cell.cached,
                            status=cell.status, attempts=cell.attempts)
+            if cell.substituted:
+                prof.record_at(EventKind.SUBSTITUTION,
+                               f"{cell.model}@{cell.shape}<-{cell.served_by}",
+                               cell.start_s, 0.0, served_by=cell.served_by)
+        for tr in self.transitions:
+            # Anchor each transition at its cell's wall-clock offset (the
+            # breaker clock itself is simulated lane time).
+            offset = (self.cells[tr.cell_index].start_s
+                      if 0 <= tr.cell_index < len(self.cells) else 0.0)
+            prof.record_at(_BREAKER_EVENT[tr.to_state], tr.lane, offset, 0.0,
+                           cell=tr.cell_index, at_s=tr.at_s,
+                           reason=tr.reason)
         return prof
 
     def render(self) -> str:
@@ -156,6 +207,8 @@ class SweepReport:
             + (f"{self.replayed_cells} replayed, " if self.replayed_cells
                else "")
             + f"{self.executed_cells} executed"
+            + (f", {self.substituted_cells} SUBSTITUTED"
+               if self.substituted_cells else "")
             + (f", {self.failed_cells} FAILED" if self.degraded else "")
             + f") in {self.wall_s * 1e3:.1f} ms wall "
             f"[{'parallel x' + str(self.workers) if self.parallel else 'serial'}]",
@@ -168,7 +221,9 @@ class SweepReport:
                                       for k, v in self.cache_stats.items()))
         for cell in self.cells:
             origin = {"cached": "cache", "failed": "FAILED",
-                      "replayed": "replay"}.get(cell.status, "sim")
+                      "replayed": "replay",
+                      "substituted": f"<- {cell.served_by}",
+                      }.get(cell.status, "sim")
             retries = (f"  ({cell.attempts} attempts, {cell.faults} faults)"
                        if cell.attempts > 1 or cell.faults else "")
             lines.append(f"  {cell.model:>12s} @{cell.shape:<18s} "
@@ -180,6 +235,10 @@ class SweepReport:
                     lines.append(f"  {cell.model} @{cell.shape} failed after "
                                  f"{cell.attempts} attempts "
                                  f"({cell.faults} faults)")
+        if self.transitions:
+            lines.append("breaker transitions:")
+            for tr in self.transitions:
+                lines.append(f"  {tr.describe()}")
         return "\n".join(lines)
 
 
@@ -236,10 +295,16 @@ class SweepEngine:
             profiler = opts.profiler
         journal = opts.journal
         replay = opts.replay or {}
+        replay_meta = opts.replay_meta or {}
         run_id = (journal.run_id if journal is not None
                   else (opts.run_id or ""))
         injector = (FaultInjector(opts.faults) if opts.faults.enabled
                     else None)
+        health: Optional[HealthRegistry] = None
+        if opts.breaker.enabled:
+            ladder = (opts.fallback if opts.fallback is not None
+                      else FallbackLadder.default_for(experiment))
+            health = HealthRegistry(opts.breaker, ladder, experiment)
         run_start = time.perf_counter()
         cells: List[Tuple[ProgrammingModel, MatrixShape]] = [
             (model_by_name(name), shape)
@@ -252,7 +317,9 @@ class SweepEngine:
         if journal is not None and not journal.opened:
             journal.open_run(
                 manifest=experiment.to_dict(),
-                campaign=campaign_fingerprint(experiment, opts.faults),
+                campaign=campaign_fingerprint(
+                    experiment, opts.faults, breaker=opts.breaker,
+                    fallback=health.ladder if health is not None else None),
                 options=opts.payload(),
                 cells=[{"index": i, "model": model.name,
                         "shape": str(shape), "fingerprint": fingerprints[i]}
@@ -261,33 +328,45 @@ class SweepEngine:
         measurements: List[Optional[Measurement]] = [None] * len(cells)
         records: List[Optional[CellRecord]] = [None] * len(cells)
 
-        for i, (model, shape) in enumerate(cells):
-            replayed = replay.get(fingerprints[i])
-            if replayed is None:
-                continue
-            measurements[i] = replayed
-            records[i] = CellRecord(
-                model=model.name, shape=str(shape),
-                fingerprint=fingerprints[i], cached=False, wall_s=0.0,
-                start_s=time.perf_counter() - run_start, status="replayed")
-
-        use_cache_reads = self.cache is not None and profiler is None
-        misses: List[int] = []
-        for i, (model, shape) in enumerate(cells):
-            if measurements[i] is not None:
-                continue
-            cached = self.cache.get(fingerprints[i]) if use_cache_reads else None
-            if cached is None:
-                misses.append(i)
-            else:
-                measurements[i] = cached
+        if health is None:
+            for i, (model, shape) in enumerate(cells):
+                replayed = replay.get(fingerprints[i])
+                if replayed is None:
+                    continue
+                measurements[i] = replayed
                 records[i] = CellRecord(
                     model=model.name, shape=str(shape),
-                    fingerprint=fingerprints[i], cached=True, wall_s=0.0,
-                    start_s=time.perf_counter() - run_start, status="cached")
-                if journal is not None:
-                    journal.cell_done(i, fingerprints[i], cached,
-                                      cached=True, wall_s=0.0)
+                    fingerprint=fingerprints[i], cached=False, wall_s=0.0,
+                    start_s=time.perf_counter() - run_start,
+                    status="replayed")
+
+        # Breaker runs bypass cache reads: routing depends on lane state
+        # accumulated across cells, so a cache hit would starve the state
+        # machine of the native outcome that drives it (same precedent as
+        # profiler runs, which need the trace events a hit would skip).
+        use_cache_reads = (self.cache is not None and profiler is None
+                           and health is None)
+        misses: List[int] = []
+        if health is not None:
+            misses = list(range(len(cells)))
+        else:
+            for i, (model, shape) in enumerate(cells):
+                if measurements[i] is not None:
+                    continue
+                cached = (self.cache.get(fingerprints[i]) if use_cache_reads
+                          else None)
+                if cached is None:
+                    misses.append(i)
+                else:
+                    measurements[i] = cached
+                    records[i] = CellRecord(
+                        model=model.name, shape=str(shape),
+                        fingerprint=fingerprints[i], cached=True, wall_s=0.0,
+                        start_s=time.perf_counter() - run_start,
+                        status="cached")
+                    if journal is not None:
+                        journal.cell_done(i, fingerprints[i], cached,
+                                          cached=True, wall_s=0.0)
 
         traces: List[Optional[Profiler]] = [None] * len(cells)
 
@@ -299,7 +378,7 @@ class SweepEngine:
                                    fingerprints[i])
             t0 = time.perf_counter()
             start_s = t0 - run_start
-            m, attempts, faults_hit = self._attempt_cell(
+            m, attempts, faults_hit, _spent = self._attempt_cell(
                 model, shape, experiment, opts, injector, cell_prof)
             wall = time.perf_counter() - t0
             if self.cache is not None and not m.failed:
@@ -324,11 +403,114 @@ class SweepEngine:
                 start_s=start_s, status="failed" if m.failed else "ok",
                 attempts=attempts, faults=faults_hit)
 
+        def execute_health(i: int) -> None:
+            # One cell under the health subsystem, in strict cell order:
+            # route -> native attempt (unless the lane is OPEN) -> serve
+            # via the fallback ladder if the lane is/just went OPEN ->
+            # charge simulated costs to the lane clock -> journal the
+            # per-cell health metadata that makes resume byte-identical.
+            model, shape = cells[i]
+            fp = fingerprints[i]
+            lane = health.lane_for(model.name)
+            replayed = replay.get(fp)
+            if replayed is not None:
+                meta = health.require_meta(replay_meta.get(fp), fp)
+                health.feed_replay(lane, meta, i)
+                # Transitions replayed here were journaled by the original
+                # process; keep them in the report history only.
+                health.drain()
+                measurements[i] = replayed
+                records[i] = CellRecord(
+                    model=model.name, shape=str(shape), fingerprint=fp,
+                    cached=False, wall_s=0.0,
+                    start_s=time.perf_counter() - run_start,
+                    status="replayed", served_by=replayed.served_by)
+                return
+            cell_prof = Profiler() if profiler is not None else None
+            if journal is not None:
+                journal.cell_start(i, model.name, str(shape), fp)
+            t0 = time.perf_counter()
+            start_s = t0 - run_start
+            decision = lane.route(i)
+            meta = {"native": "none", "native_cost_s": 0.0,
+                    "serve_cost_s": 0.0}
+            attempts = 0
+            faults_hit = 0
+            m: Optional[Measurement] = None
+            if decision != "substitute":
+                m, attempts, faults_hit, spent_s = self._attempt_cell(
+                    model, shape, experiment, opts, injector, cell_prof)
+                native_cost = spent_s + (0.0 if m.failed
+                                         else sum(m.times_s))
+                meta["native"] = "failed" if m.failed else "ok"
+                meta["native_cost_s"] = native_cost
+                lane.record_native(not m.failed, native_cost, i)
+            final = m
+            serve_cost = 0.0
+            if ((m is None or m.failed)
+                    and lane.state is BreakerState.OPEN):
+                served, serve_cost, hops_tried = self._serve_via_ladder(
+                    model, shape, experiment, opts, injector, cell_prof,
+                    health, lane.lane)
+                if served is not None:
+                    final = served
+                else:
+                    reason = (m.note if m is not None
+                              else f"lane {lane.lane} open")
+                    final = Measurement(
+                        model=model.name, display=model.display,
+                        shape=shape, precision=experiment.precision,
+                        supported=False, failed=True,
+                        note=(f"{reason}; fallback ladder exhausted "
+                              f"({hops_tried} hop(s) tried)"),
+                        substituted_from=lane.lane, ladder_hops=hops_tried)
+                meta["serve_cost_s"] = serve_cost
+            lane.record_substituted(serve_cost)
+            assert final is not None
+            wall = time.perf_counter() - t0
+            for tr in health.drain():
+                if journal is not None:
+                    journal.breaker(**tr.payload())
+                if cell_prof is not None:
+                    cell_prof.record(_BREAKER_EVENT[tr.to_state], tr.lane,
+                                     0.0, cell=tr.cell_index, at_s=tr.at_s,
+                                     reason=tr.reason)
+            if (self.cache is not None and not final.failed
+                    and not final.substituted):
+                # Only native successes are cached: a substituted cell is
+                # a routing outcome of *this* run's lane state, not a
+                # reusable property of the (experiment, model, shape) key.
+                self.cache.put(fp, final,
+                               metadata={"experiment": experiment.exp_id})
+            if journal is not None:
+                if final.failed:
+                    journal.cell_failed(i, fp, final, attempts=attempts,
+                                        faults=faults_hit, reason=final.note,
+                                        health=meta)
+                else:
+                    journal.cell_done(i, fp, final, cached=False,
+                                      wall_s=wall, attempts=attempts,
+                                      faults=faults_hit, health=meta)
+            measurements[i] = final
+            traces[i] = cell_prof
+            if final.failed:
+                status = "failed"
+            elif final.substituted:
+                status = "substituted"
+            else:
+                status = "ok"
+            records[i] = CellRecord(
+                model=model.name, shape=str(shape), fingerprint=fp,
+                cached=False, wall_s=wall, start_s=start_s, status=status,
+                attempts=attempts, faults=faults_hit,
+                served_by=final.served_by)
+
         workers = 1
-        if self.parallel and len(misses) > 1:
+        if health is None and self.parallel and len(misses) > 1:
             workers = min(len(misses),
                           self.max_workers or (os.cpu_count() or 4))
-        self._execute_all(execute, misses, workers, journal, run_id,
+        self._execute_all(execute if health is None else execute_health,
+                          misses, workers, journal, run_id,
                           measurements, len(cells))
 
         if profiler is not None:
@@ -357,6 +539,8 @@ class SweepEngine:
             workers=workers,
             wall_s=time.perf_counter() - run_start,
             run_id=run_id,
+            transitions=(list(health.transitions) if health is not None
+                         else []),
         )
         return results
 
@@ -413,15 +597,21 @@ class SweepEngine:
     def _attempt_cell(self, model: ProgrammingModel, shape: MatrixShape,
                       experiment: Experiment, opts: RunOptions,
                       injector: Optional[FaultInjector],
-                      cell_prof: Optional[Profiler],
-                      ) -> Tuple[Measurement, int, int]:
+                      cell_prof: Optional[Profiler], *,
+                      lane: str = "",
+                      ) -> Tuple[Measurement, int, int, float]:
         """Run one cell under the retry policy.
 
-        Returns ``(measurement, attempts, faults_hit)``.  All timekeeping
-        is simulated: each injected fault charges its class cost and each
-        backoff its policy cost against the per-cell budget — nothing
-        sleeps.  Raises :class:`CellFailure` (or the sharper
-        :class:`RetryExhaustedError`) only under ``fail_fast``.
+        Returns ``(measurement, attempts, faults_hit, spent_s)`` where
+        ``spent_s`` is the simulated seconds lost to faults and backoff
+        (lane clocks charge it on top of the measured kernel time).  All
+        timekeeping is simulated: each injected fault charges its class
+        cost and each backoff its policy cost against the per-cell budget
+        — nothing sleeps.  ``lane`` namespaces the fault stream: fallback
+        serves pass the serving lane so rerouting never perturbs the
+        faults any other attempt sees.  Raises :class:`CellFailure` (or
+        the sharper :class:`RetryExhaustedError`) only under
+        ``fail_fast``.
         """
         retry = opts.retry
         cell = f"{model.name}@{shape}"
@@ -431,7 +621,7 @@ class SweepEngine:
         while True:
             attempts += 1
             fault = (injector.probe(experiment.exp_id, model.name, shape,
-                                    attempts)
+                                    attempts, lane=lane)
                      if injector is not None else None)
             if fault is None:
                 try:
@@ -447,8 +637,8 @@ class SweepEngine:
                             attempts=attempts, reason=reason) from exc
                     return (self._failed_measurement(model, shape,
                                                      experiment, reason),
-                            attempts, faults_hit)
-                return m, attempts, faults_hit
+                            attempts, faults_hit, spent_s)
+                return m, attempts, faults_hit, spent_s
 
             faults_hit += 1
             spent_s += fault.cost_s
@@ -470,12 +660,64 @@ class SweepEngine:
                                   cell=cell, attempts=attempts, reason=reason)
                 return (self._failed_measurement(model, shape, experiment,
                                                  reason),
-                        attempts, faults_hit)
+                        attempts, faults_hit, spent_s)
             backoff = retry.backoff_s(attempts)
             spent_s += backoff
             if cell_prof is not None:
                 cell_prof.record(EventKind.RETRY, f"backoff:{cell}", backoff,
                                  attempt=attempts, next_attempt=attempts + 1)
+
+    # -- fallback routing --------------------------------------------------
+
+    def _serve_via_ladder(self, model: ProgrammingModel, shape: MatrixShape,
+                          experiment: Experiment, opts: RunOptions,
+                          injector: Optional[FaultInjector],
+                          cell_prof: Optional[Profiler],
+                          health: HealthRegistry, origin: str,
+                          ) -> Tuple[Optional[Measurement], float, int]:
+        """Serve one cell of an OPEN lane via its fallback ladder.
+
+        Walks the declared hops in order, skipping hops that resolve back
+        to the origin or to a lane the registry currently tracks as OPEN.
+        Hop attempts run under the same retry policy but on a *disjoint*
+        fault stream (keyed by the serving lane) and never feed the
+        serving lane's own health — serving is borrowing, not probing.
+
+        Returns ``(measurement, serve_cost_s, hops_tried)``; the
+        measurement is ``None`` when the ladder is exhausted, and
+        otherwise keeps the origin cell's model/display with full
+        substitution provenance so Table III can price it honestly.
+        """
+        serve_cost = 0.0
+        tried = 0
+        cell = f"{model.name}@{shape}"
+        for hop in health.ladder.hops_for(origin):
+            serve_model, serve_device = resolve_hop(hop, experiment)
+            hop_spec = f"{serve_model.name}@{serve_device.value}"
+            if hop_spec == origin or health.is_open(hop_spec):
+                continue
+            serve_exp = (experiment if serve_device is experiment.device
+                         else replace(experiment, device=serve_device))
+            tried += 1
+            sm, _, _, s_spent = self._attempt_cell(
+                serve_model, shape, serve_exp, opts, injector, cell_prof,
+                lane=hop_spec)
+            serve_cost += s_spent
+            if sm.failed or not sm.supported:
+                continue
+            serve_cost += sum(sm.times_s)
+            if cell_prof is not None:
+                cell_prof.record(EventKind.SUBSTITUTION,
+                                 f"{origin}->{hop_spec}:{cell}", serve_cost,
+                                 hops=tried)
+            return (Measurement(
+                model=model.name, display=model.display, shape=shape,
+                precision=experiment.precision, times_s=sm.times_s,
+                warmup_count=sm.warmup_count, supported=True,
+                note=f"served by {hop_spec}; lane {origin} open",
+                bound=sm.bound, substituted_from=origin, served_by=hop_spec,
+                ladder_hops=tried), serve_cost, tried)
+        return None, serve_cost, tried
 
     @staticmethod
     def _failure_reason(fault: Fault, attempts: int, spent_s: float,

@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING, Mapping, Optional
 from ...errors import ConfigError
 from ...sim.faults import FaultConfig
 from ...trace.profiler import Profiler
+from ..health import BreakerPolicy, FallbackLadder
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ...harness.journal import RunJournal
@@ -93,6 +94,15 @@ class RunOptions:
     replay: Optional[Mapping[str, "Measurement"]] = None
     #: Explicit run identity; defaults to the journal's (if any).
     run_id: Optional[str] = None
+    #: Per-lane circuit breaker policy; the default (threshold 0) keeps
+    #: the health layer entirely out of the run path.
+    breaker: BreakerPolicy = field(default_factory=BreakerPolicy)
+    #: Explicit fallback routing; ``None`` derives ladders from the model
+    #: registry's device-support matrix when breakers are enabled.
+    fallback: Optional[FallbackLadder] = None
+    #: Fingerprint -> per-cell health metadata from a prior run's journal
+    #: (breaker resumes replay these through the lane state machines).
+    replay_meta: Optional[Mapping[str, Mapping[str, object]]] = None
 
     def __post_init__(self) -> None:
         if self.jobs is not None and self.jobs < 1:
@@ -101,7 +111,8 @@ class RunOptions:
     @classmethod
     def from_env(cls) -> "RunOptions":
         """Options from ``REPRO_FAULTS`` / ``REPRO_RETRIES`` /
-        ``REPRO_BACKOFF`` / ``REPRO_MAX_CELL_SECONDS`` / ``REPRO_FAIL_FAST``.
+        ``REPRO_BACKOFF`` / ``REPRO_MAX_CELL_SECONDS`` / ``REPRO_FAIL_FAST``
+        / ``REPRO_BREAKER`` / ``REPRO_FALLBACK``.
 
         Cache and job-count environment knobs stay with
         :meth:`SweepEngine.from_env`; this covers the resilience layer so
@@ -125,10 +136,18 @@ class RunOptions:
             backoff_base_s=cfg.get_float("REPRO_BACKOFF", 0.5),
             max_cell_seconds=cfg.get_float("REPRO_MAX_CELL_SECONDS", None),
         )
+        breaker_spec = cfg.get("REPRO_BREAKER")
+        breaker = (BreakerPolicy.parse(breaker_spec) if breaker_spec
+                   else BreakerPolicy())
+        fallback_spec = cfg.get("REPRO_FALLBACK")
+        fallback = (FallbackLadder.parse(fallback_spec) if fallback_spec
+                    else None)
         return cls(
             retry=retry,
             faults=faults,
             fail_fast=cfg.get_bool("REPRO_FAIL_FAST", False),
+            breaker=breaker,
+            fallback=fallback,
         )
 
     def with_profiler(self, profiler: Optional[Profiler]) -> "RunOptions":
@@ -145,7 +164,7 @@ class RunOptions:
         original run (those knobs decide *which* cells fail, so byte-
         identical resume must reuse them, not the current environment).
         """
-        return {
+        out = {
             "faults": self.faults.payload(),
             "retry": {
                 "max_attempts": self.retry.max_attempts,
@@ -155,9 +174,16 @@ class RunOptions:
             },
             "fail_fast": self.fail_fast,
         }
+        # Breaker knobs join the payload only when enabled, keeping the
+        # journal bytes of every non-breaker run identical to PR 4's.
+        if self.breaker.enabled:
+            out["breaker"] = self.breaker.payload()
+            if self.fallback is not None:
+                out["fallback"] = self.fallback.payload()
+        return out
 
     @property
     def resilient(self) -> bool:
         """Whether any fault/retry machinery is active for this run."""
         return (self.faults.enabled or self.retry.max_attempts > 1
-                or self.fail_fast)
+                or self.fail_fast or self.breaker.enabled)

@@ -21,6 +21,14 @@ Schema history:
   top-level ``degraded`` flag.  v1/v2 documents load with every cell's
   ``failed`` defaulting to False (those schemas predate the fault
   layer, so nothing in them can be a failed cell).
+* v4 — substitution provenance (the breaker/fallback layer): cells a
+  fallback lane served carry ``substituted_from`` / ``served_by`` /
+  ``ladder_hops`` (and ``status`` may now be ``"substituted"``), and
+  the document a top-level ``substituted`` flag.  The per-cell keys are
+  sparse — present only on cells with provenance — so a non-breaker
+  export differs from its v3 form only in the schema number and the
+  document-level flag.  v1/v2/v3 documents load with no cell
+  substituted (they predate the health layer).
 """
 
 from __future__ import annotations
@@ -43,15 +51,15 @@ __all__ = ["result_set_to_dict", "result_set_from_dict",
            "table3_to_dict", "table3_to_json",
            "SCHEMA_VERSION", "SUPPORTED_SCHEMAS"]
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 #: Schema versions :func:`result_set_from_dict` can load.
-SUPPORTED_SCHEMAS = (1, 2, 3)
+SUPPORTED_SCHEMAS = (1, 2, 3, 4)
 
 
 def measurement_to_dict(m: Measurement) -> Dict[str, Any]:
-    """Full-fidelity dict of one measurement (schema v3 cell record)."""
-    return {
+    """Full-fidelity dict of one measurement (schema v4 cell record)."""
+    out = {
         "model": m.model,
         "display": m.display,
         "size": m.shape.m,
@@ -66,6 +74,12 @@ def measurement_to_dict(m: Measurement) -> Dict[str, Any]:
         "gflops": m.gflops if m.supported else None,
         "seconds_mean": m.seconds if m.supported else None,
     }
+    if m.substituted_from:
+        # Sparse provenance keys: only cells the health layer touched.
+        out["substituted_from"] = m.substituted_from
+        out["served_by"] = m.served_by
+        out["ladder_hops"] = m.ladder_hops
+    return out
 
 
 def measurement_from_dict(data: Dict[str, Any],
@@ -97,6 +111,9 @@ def measurement_from_dict(data: Dict[str, Any],
         note=data.get("note", ""),
         bound=data.get("bound", ""),
         failed=data.get("status") == "failed",
+        substituted_from=data.get("substituted_from", ""),
+        served_by=data.get("served_by", ""),
+        ladder_hops=int(data.get("ladder_hops", 0)),
     )
 
 
@@ -120,6 +137,7 @@ def result_set_to_dict(rs: ResultSet) -> Dict[str, Any]:
             "include_transfers": exp.include_transfers,
         },
         "degraded": rs.degraded,
+        "substituted": rs.substituted,
         "measurements": [measurement_to_dict(m) for m in rs.measurements],
     }
 
@@ -214,7 +232,8 @@ def result_set_to_csv(rs: ResultSet) -> str:
 def table3_to_dict(t3: Table3Result) -> Dict[str, Any]:
     """Structured form of Table III: one row per (model, precision)."""
     out: Dict[str, Any] = {"schema": SCHEMA_VERSION, "rows": [],
-                           "degraded_cells": list(t3.degraded_cells)}
+                           "degraded_cells": list(t3.degraded_cells),
+                           "substituted_cells": list(t3.substituted_cells)}
     for row in t3.rows:
         out["rows"].append({
             "model": row.model,

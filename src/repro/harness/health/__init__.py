@@ -1,0 +1,35 @@
+"""Self-healing sweeps: per-lane health, circuit breakers, fallback routing.
+
+The third leg of the resilience stack (inject -> retry -> adapt).  Fault
+injection (:mod:`repro.sim.faults`) makes lanes sick reproducibly and
+the retry layer survives transient hits; this package makes the sweep
+*adapt*: a lane that keeps failing permanently is tripped OPEN by its
+:class:`LaneHealth` breaker, affected cells are rerouted down a
+declarative :class:`FallbackLadder` (``numba@gpu -> numba@cpu ->
+reference``), substituted measurements carry full provenance into
+Table III and the exports, and a simulated-time cooldown earns the sick
+lane a probe cell that re-closes or re-opens it.
+
+Everything is deterministic and journaled: breaker thresholds/cooldowns
+live in a frozen :class:`BreakerPolicy` on
+:class:`~repro.harness.engine.options.RunOptions`, transitions are
+write-ahead journal records, and ``repro run --resume`` replays the
+whole state machine byte-identically.  ``repro health <run-id>`` renders
+the lane-state history after the fact.
+"""
+
+from __future__ import annotations
+
+from .breaker import BreakerPolicy, BreakerState, BreakerTransition, LaneHealth
+from .ladder import FallbackLadder, resolve_hop
+from .registry import HealthRegistry
+
+__all__ = [
+    "BreakerPolicy",
+    "BreakerState",
+    "BreakerTransition",
+    "LaneHealth",
+    "FallbackLadder",
+    "resolve_hop",
+    "HealthRegistry",
+]

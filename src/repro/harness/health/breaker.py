@@ -1,0 +1,280 @@
+"""Per-lane circuit breakers: the state machine behind self-healing sweeps.
+
+A *lane* is one (model, device, precision) column of a sweep — the unit
+the paper's Table III scores, and the unit that fails as a whole on real
+nodes (a deprecated GPU target, a driver regression, a kernel that OOMs
+at every size).  :class:`LaneHealth` tracks one lane through the classic
+circuit-breaker cycle:
+
+* ``CLOSED`` — healthy; cells run natively.  ``threshold`` consecutive
+  *permanent* cell failures trip the breaker.
+* ``OPEN`` — sick; cells are rerouted via the fallback ladder instead of
+  burning their full retry budget.  After ``cooldown_s`` of simulated
+  lane time the next owned cell becomes a probe.
+* ``HALF_OPEN`` — probing; one native cell decides: success re-closes
+  the lane, failure re-opens it for another cooldown.
+
+All timekeeping is *simulated* (fault costs, backoffs and measured
+kernel seconds advance the lane clock; nothing sleeps), so breaker
+behaviour is a pure function of the run's inputs and resume can replay
+every transition byte-identically.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ...errors import ConfigError
+
+__all__ = ["BreakerState", "BreakerPolicy", "BreakerTransition",
+           "LaneHealth"]
+
+
+class BreakerState(enum.Enum):
+    """Health state of one sweep lane."""
+
+    CLOSED = "closed"        # healthy: cells run natively
+    OPEN = "open"            # sick: cells reroute via the fallback ladder
+    HALF_OPEN = "half-open"  # probing: one native cell decides
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """When breakers trip and how long they stay open.
+
+    ``threshold`` is the number of *consecutive* permanent cell failures
+    that opens a lane; 0 (the default) disables the health subsystem
+    entirely, keeping the engine byte-identical to its pre-breaker
+    behaviour.  ``cooldown_s`` is simulated lane time an open breaker
+    waits before the next owned cell probes the lane.
+    """
+
+    threshold: int = 0
+    cooldown_s: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.threshold < 0:
+            raise ConfigError(
+                f"breaker threshold {self.threshold} must be >= 0")
+        if self.cooldown_s <= 0:
+            raise ConfigError(
+                f"breaker cooldown {self.cooldown_s:g}s must be positive")
+
+    @property
+    def enabled(self) -> bool:
+        """Whether breakers (and fallback routing) are active."""
+        return self.threshold > 0
+
+    # -- parsing ----------------------------------------------------------
+
+    @classmethod
+    def parse(cls, spec: str) -> "BreakerPolicy":
+        """Parse a CLI/env spec like ``threshold=3,cooldown=60``.
+
+        Mirrors :meth:`repro.sim.faults.FaultConfig.parse`: comma-
+        separated ``key=value`` items, with a bare integer (``"3"``) as
+        shorthand for ``threshold=3``.  Duplicate keys are rejected.
+        """
+        spec = spec.strip()
+        if not spec:
+            raise ConfigError("empty breaker spec")
+        try:
+            return cls(threshold=_parse_threshold(spec))
+        except ValueError:
+            pass
+        kwargs: Dict[str, object] = {}
+        seen: set = set()
+        for item in spec.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            if "=" not in item:
+                raise ConfigError(
+                    f"breaker spec item {item!r} is not key=value")
+            key, _, value = item.partition("=")
+            key = key.strip()
+            value = value.strip()
+            if key in seen:
+                raise ConfigError(
+                    f"duplicate breaker spec key {key!r}")
+            seen.add(key)
+            if key == "threshold":
+                try:
+                    kwargs["threshold"] = _parse_threshold(value)
+                except ValueError as exc:
+                    raise ConfigError(
+                        f"breaker threshold {value!r} is not a positive "
+                        f"integer") from exc
+            elif key == "cooldown":
+                try:
+                    kwargs["cooldown_s"] = float(value)
+                except ValueError as exc:
+                    raise ConfigError(
+                        f"breaker cooldown {value!r} is not a number"
+                    ) from exc
+            else:
+                raise ConfigError(
+                    f"unknown breaker spec key {key!r}; "
+                    "known: threshold, cooldown")
+        if "threshold" not in kwargs:
+            raise ConfigError(
+                "breaker spec needs a threshold (e.g. 'threshold=3')")
+        return cls(**kwargs)
+
+    def spec(self) -> str:
+        """The canonical spec string; ``parse(spec())`` round-trips."""
+        return f"threshold={self.threshold},cooldown={self.cooldown_s:g}"
+
+    # -- identity ---------------------------------------------------------
+
+    def payload(self) -> dict:
+        """Canonical JSON-serialisable form (fingerprint / journal)."""
+        return {"threshold": self.threshold, "cooldown_s": self.cooldown_s}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "BreakerPolicy":
+        """Inverse of :meth:`payload` (the journal-restore path)."""
+        return cls(threshold=int(payload.get("threshold", 0)),
+                   cooldown_s=float(payload.get("cooldown_s", 300.0)))
+
+    def describe(self) -> str:
+        """One-line human summary."""
+        if not self.enabled:
+            return "breakers disabled"
+        return (f"breakers: open after {self.threshold} consecutive "
+                f"failures, probe after {self.cooldown_s:g}s cooldown")
+
+
+def _parse_threshold(value: str) -> int:
+    n = int(value)
+    if n < 1:
+        raise ValueError(value)
+    return n
+
+
+@dataclass(frozen=True)
+class BreakerTransition:
+    """One lane changing state: the unit of ``repro health`` history."""
+
+    lane: str               # "model@device", e.g. "numba@gpu"
+    from_state: BreakerState
+    to_state: BreakerState
+    at_s: float             # simulated lane clock at the transition
+    cell_index: int         # sweep cell whose processing triggered it
+    reason: str
+
+    def payload(self) -> dict:
+        """Canonical JSON-serialisable form (the journal record)."""
+        return {"lane": self.lane, "from": self.from_state.value,
+                "to": self.to_state.value, "at_s": self.at_s,
+                "cell": self.cell_index, "reason": self.reason}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "BreakerTransition":
+        """Inverse of :meth:`payload` (the ``repro health`` loader)."""
+        return cls(lane=payload.get("lane", "?"),
+                   from_state=BreakerState(payload.get("from", "closed")),
+                   to_state=BreakerState(payload.get("to", "closed")),
+                   at_s=float(payload.get("at_s", 0.0)),
+                   cell_index=int(payload.get("cell", -1)),
+                   reason=payload.get("reason", ""))
+
+    def describe(self) -> str:
+        """One history line for reports and ``repro health``."""
+        return (f"{self.lane}: {self.from_state.value} -> "
+                f"{self.to_state.value} at cell {self.cell_index} "
+                f"({self.reason})")
+
+
+class LaneHealth:
+    """Mutable breaker state machine of one (model, device) lane.
+
+    The engine drives it with exactly three calls per owned cell, in
+    order: :meth:`route` (the decision, which may flip an expired OPEN
+    breaker to HALF_OPEN), :meth:`record_native` (if the native lane
+    ran), and :meth:`record_substituted` (charging the simulated cost of
+    any fallback serve to the lane clock).  Replayed cells feed the same
+    three calls from journaled metadata, so a resumed run walks the state
+    machine through identical transitions.
+    """
+
+    def __init__(self, lane: str, policy: BreakerPolicy) -> None:
+        self.lane = lane
+        self.policy = policy
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self.clock_s = 0.0
+        self.opened_at_s = 0.0
+        self.native_ok = 0
+        self.native_failed = 0
+        self._pending: List[BreakerTransition] = []
+
+    def _transition(self, to: BreakerState, cell_index: int,
+                    reason: str) -> None:
+        self._pending.append(BreakerTransition(
+            lane=self.lane, from_state=self.state, to_state=to,
+            at_s=self.clock_s, cell_index=cell_index, reason=reason))
+        self.state = to
+
+    def route(self, cell_index: int) -> str:
+        """The decision for one owned cell: ``"run"``, ``"probe"`` or
+        ``"substitute"``.  An OPEN breaker whose cooldown has elapsed
+        flips to HALF_OPEN here and asks for a probe."""
+        if self.state is BreakerState.CLOSED:
+            return "run"
+        if self.state is BreakerState.OPEN:
+            if self.clock_s - self.opened_at_s >= self.policy.cooldown_s:
+                self._transition(
+                    BreakerState.HALF_OPEN, cell_index,
+                    f"cooldown {self.policy.cooldown_s:g}s elapsed; probing")
+                return "probe"
+            return "substitute"
+        return "probe"  # HALF_OPEN: e.g. resumed mid-probe
+
+    def record_native(self, ok: bool, cost_s: float,
+                      cell_index: int) -> None:
+        """Outcome of a native attempt; advances the lane clock."""
+        self.clock_s += cost_s
+        if ok:
+            self.native_ok += 1
+            self.consecutive_failures = 0
+            if self.state is not BreakerState.CLOSED:
+                self._transition(BreakerState.CLOSED, cell_index,
+                                 "probe succeeded; lane re-closed")
+            return
+        self.native_failed += 1
+        self.consecutive_failures += 1
+        if self.state is BreakerState.HALF_OPEN:
+            self.opened_at_s = self.clock_s
+            self._transition(BreakerState.OPEN, cell_index,
+                             "probe failed; lane re-opened")
+        elif (self.state is BreakerState.CLOSED
+              and self.consecutive_failures >= self.policy.threshold):
+            self.opened_at_s = self.clock_s
+            self._transition(
+                BreakerState.OPEN, cell_index,
+                f"{self.consecutive_failures} consecutive permanent "
+                f"failures (threshold {self.policy.threshold})")
+
+    def record_substituted(self, cost_s: float) -> None:
+        """Charge a fallback serve's simulated cost to the lane clock.
+
+        Pure clock advance: substitutions never probe the sick lane, so
+        they change no counters and fire no transitions — but they *do*
+        move simulated time forward, which is what eventually expires the
+        cooldown and earns the lane a probe.
+        """
+        self.clock_s += cost_s
+
+    def drain_transitions(self) -> List[BreakerTransition]:
+        """Transitions since the last drain (engine journals these)."""
+        out, self._pending = self._pending, []
+        return out
+
+    def describe(self) -> str:
+        """One status line for reports and ``repro health``."""
+        return (f"{self.lane}: {self.state.value} "
+                f"({self.native_ok} ok, {self.native_failed} failed, "
+                f"clock {self.clock_s:g}s)")

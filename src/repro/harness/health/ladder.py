@@ -1,0 +1,192 @@
+"""Fallback ladders: where a cell goes when its lane's breaker is open.
+
+A ladder maps an *origin* lane (``model@device``) to an ordered list of
+fallback *hops*.  Each hop is either another lane of the same node
+(``numba@cpu`` — the paper's honest fallback: the same model on the CPU
+of that node) or the keyword ``reference``, which resolves to the
+architecture-specific reference implementation of Sec. V (C/OpenMP on
+CPUs, CUDA on NVIDIA, HIP on AMD GPUs) on the experiment's own device.
+
+Default ladders are derived from the model registry's device-support
+matrix (:meth:`FallbackLadder.default_for`); ``--fallback`` overrides
+them with an explicit declaration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+from ...core.types import DeviceKind
+from ...errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ...models.base import ProgrammingModel
+    from ..experiment import Experiment
+
+__all__ = ["FallbackLadder", "resolve_hop"]
+
+#: The ladder keyword that resolves to the platform reference model.
+REFERENCE_HOP = "reference"
+
+_DEVICES = tuple(d.value for d in DeviceKind)
+
+
+def _check_lane(spec: str, what: str) -> str:
+    """Validate a ``model@device`` lane spec; returns it normalised."""
+    spec = spec.strip()
+    name, sep, device = spec.partition("@")
+    if not sep or not name or device not in _DEVICES:
+        raise ConfigError(
+            f"{what} {spec!r} is not model@device "
+            f"(device one of {'/'.join(_DEVICES)})")
+    from ...models.registry import model_by_name
+    try:
+        model_by_name(name)
+    except KeyError as exc:
+        raise ConfigError(f"{what} {spec!r} names an unknown model") from exc
+    return f"{name.strip().lower()}@{device}"
+
+
+@dataclass(frozen=True)
+class FallbackLadder:
+    """Declarative origin-lane -> fallback-hops routing table.
+
+    ``rungs`` is a tuple of ``(origin, hops)`` pairs; origins are unique
+    and hops are tried in order.  The structure is frozen and hashable
+    so it can ride on :class:`~repro.harness.engine.options.RunOptions`
+    and join the campaign fingerprint.
+    """
+
+    rungs: Tuple[Tuple[str, Tuple[str, ...]], ...] = ()
+
+    def __post_init__(self) -> None:
+        seen: set = set()
+        for origin, hops in self.rungs:
+            if origin in seen:
+                raise ConfigError(f"duplicate fallback origin {origin!r}")
+            seen.add(origin)
+            for hop in hops:
+                if hop == origin:
+                    raise ConfigError(
+                        f"fallback ladder for {origin!r} routes back to "
+                        f"itself")
+
+    def hops_for(self, origin: str) -> Tuple[str, ...]:
+        """The declared fallback hops of one origin lane (may be empty)."""
+        for lane, hops in self.rungs:
+            if lane == origin:
+                return hops
+        return ()
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def parse(cls, spec: str) -> "FallbackLadder":
+        """Parse ``'numba@gpu=numba@cpu+reference,julia@gpu=julia@cpu'``.
+
+        Mirrors :meth:`repro.sim.faults.FaultConfig.parse`: comma-
+        separated ``origin=hops`` items with ``+``-separated hops (``,``
+        splits the option list).  Hops are lanes or ``reference``;
+        duplicate origins are rejected.
+        """
+        spec = spec.strip()
+        if not spec:
+            raise ConfigError("empty fallback spec")
+        rungs: List[Tuple[str, Tuple[str, ...]]] = []
+        seen: set = set()
+        for item in spec.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            if "=" not in item:
+                raise ConfigError(
+                    f"fallback spec item {item!r} is not origin=hops")
+            origin_raw, _, hops_raw = item.partition("=")
+            origin = _check_lane(origin_raw, "fallback origin")
+            if origin in seen:
+                raise ConfigError(
+                    f"duplicate fallback spec key {origin!r}")
+            seen.add(origin)
+            hops: List[str] = []
+            for hop in hops_raw.split("+"):
+                hop = hop.strip()
+                if not hop:
+                    continue
+                hops.append(hop if hop == REFERENCE_HOP
+                            else _check_lane(hop, "fallback hop"))
+            if not hops:
+                raise ConfigError(
+                    f"fallback ladder for {origin!r} declares no hops")
+            rungs.append((origin, tuple(hops)))
+        return cls(rungs=tuple(rungs))
+
+    def spec(self) -> str:
+        """The canonical spec string; ``parse(spec())`` round-trips."""
+        return ",".join(f"{origin}=" + "+".join(hops)
+                        for origin, hops in self.rungs)
+
+    @classmethod
+    def default_for(cls, experiment: "Experiment") -> "FallbackLadder":
+        """Ladders derived from the registry's device-support matrix.
+
+        Every non-reference model of the experiment gets an origin lane
+        on the experiment's device.  GPU lanes fall back to the same
+        model on the node's CPU (when the registry says the model
+        supports it at this precision) and then to the platform
+        reference; CPU lanes fall straight back to the reference.  The
+        reference lane itself gets no ladder — there is nothing more
+        honest to substitute.
+        """
+        from ...models.registry import model_by_name, reference_model_for
+        ref = reference_model_for(experiment.target_spec)
+        device = experiment.device.value
+        rungs: List[Tuple[str, Tuple[str, ...]]] = []
+        for name in experiment.models:
+            if name == ref.name:
+                continue
+            hops: List[str] = []
+            if experiment.device is DeviceKind.GPU:
+                model = model_by_name(name)
+                if model.supports(experiment.node.cpu,
+                                  experiment.precision).supported:
+                    hops.append(f"{name}@cpu")
+            hops.append(REFERENCE_HOP)
+            rungs.append((f"{name}@{device}", tuple(hops)))
+        return cls(rungs=tuple(rungs))
+
+    # -- identity ---------------------------------------------------------
+
+    def payload(self) -> dict:
+        """Canonical JSON-serialisable form (fingerprint / journal)."""
+        return {"rungs": [[origin, list(hops)]
+                          for origin, hops in self.rungs]}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "FallbackLadder":
+        """Inverse of :meth:`payload` (the journal-restore path)."""
+        return cls(rungs=tuple((origin, tuple(hops))
+                               for origin, hops in payload.get("rungs", ())))
+
+    def describe(self) -> str:
+        """One-line human summary."""
+        if not self.rungs:
+            return "no fallback ladders"
+        return "fallbacks: " + "; ".join(
+            f"{origin} -> " + " -> ".join(hops)
+            for origin, hops in self.rungs)
+
+
+def resolve_hop(hop: str,
+                experiment: "Experiment") -> Tuple["ProgrammingModel",
+                                                   DeviceKind]:
+    """Resolve one ladder hop to a concrete (model, device) pair.
+
+    ``reference`` resolves to the experiment target's reference model on
+    the experiment's own device; ``model@device`` resolves literally.
+    """
+    from ...models.registry import model_by_name, reference_model_for
+    if hop == REFERENCE_HOP:
+        return reference_model_for(experiment.target_spec), experiment.device
+    name, _, device = hop.partition("@")
+    return model_by_name(name), DeviceKind(device)

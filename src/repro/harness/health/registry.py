@@ -1,0 +1,102 @@
+"""The health registry: every lane's breaker, owned by one engine run.
+
+One :class:`HealthRegistry` per breaker-enabled sweep.  It creates a
+:class:`~repro.harness.health.breaker.LaneHealth` per native lane (one
+per model of the experiment, on the experiment's device and precision),
+answers routing decisions in cell order, accumulates the transition
+history for reports/journal, and replays journaled per-cell health
+metadata so a resumed run walks every breaker through identical states.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Mapping
+
+from ...errors import JournalError
+from .breaker import BreakerPolicy, BreakerState, BreakerTransition, LaneHealth
+from .ladder import FallbackLadder
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..experiment import Experiment
+
+__all__ = ["HealthRegistry"]
+
+
+class HealthRegistry:
+    """Breaker state of every native lane of one sweep run."""
+
+    def __init__(self, policy: BreakerPolicy, ladder: FallbackLadder,
+                 experiment: "Experiment") -> None:
+        self.policy = policy
+        self.ladder = ladder
+        self.experiment = experiment
+        self.device = experiment.device.value
+        self.lanes: Dict[str, LaneHealth] = {}
+        for name in experiment.models:
+            spec = f"{name}@{self.device}"
+            if spec not in self.lanes:
+                self.lanes[spec] = LaneHealth(spec, policy)
+        #: Full transition history of the run, in cell order.
+        self.transitions: List[BreakerTransition] = []
+
+    def lane_for(self, model_name: str) -> LaneHealth:
+        """The native lane of one model of the experiment."""
+        return self.lanes[f"{model_name}@{self.device}"]
+
+    def is_open(self, lane_spec: str) -> bool:
+        """Whether a lane is tracked *and* currently OPEN.
+
+        Untracked lanes (fallback targets outside the experiment's native
+        lanes, e.g. ``numba@cpu`` during a GPU sweep) are never open —
+        their health accrues nowhere, so the ladder simply tries them.
+        """
+        lane = self.lanes.get(lane_spec)
+        return lane is not None and lane.state is BreakerState.OPEN
+
+    def drain(self) -> List[BreakerTransition]:
+        """New transitions since the last drain, accumulated into
+        :attr:`transitions` (the engine journals the live ones)."""
+        out: List[BreakerTransition] = []
+        for lane in self.lanes.values():
+            out.extend(lane.drain_transitions())
+        self.transitions.extend(out)
+        return out
+
+    def feed_replay(self, lane: LaneHealth, meta: Mapping[str, object],
+                    cell_index: int) -> None:
+        """Walk one *replayed* cell through the state machine.
+
+        ``meta`` is the per-cell health record the original run
+        journaled (``native`` outcome plus simulated costs); feeding it
+        in cell order reproduces exactly the route decisions and
+        transitions the original process made, which is what keeps a
+        resumed breaker run byte-identical.
+        """
+        lane.route(cell_index)
+        native = meta.get("native", "none")
+        if native == "ok":
+            lane.record_native(True, float(meta.get("native_cost_s", 0.0)),
+                               cell_index)
+        elif native == "failed":
+            lane.record_native(False, float(meta.get("native_cost_s", 0.0)),
+                               cell_index)
+        lane.record_substituted(float(meta.get("serve_cost_s", 0.0)))
+
+    def require_meta(self, meta: object, fingerprint: str) -> Mapping[str, object]:
+        """Journaled health metadata for one replayed cell, or refuse.
+
+        A breaker-enabled resume without per-cell health records cannot
+        reconstruct lane clocks, so it could diverge silently — raising
+        :class:`~repro.errors.JournalError` keeps the byte-identity
+        contract honest.
+        """
+        if not isinstance(meta, Mapping):
+            raise JournalError(
+                f"journal carries no health metadata for replayed cell "
+                f"{fingerprint[:12]}...; it was not written by a "
+                f"breaker-enabled run and cannot be resumed with breakers")
+        return meta
+
+    def describe(self) -> str:
+        """Final lane states, one line each (engine-stats section)."""
+        return "\n".join(lane.describe() for lane in self.lanes.values())

@@ -13,8 +13,10 @@ mid-write.  ``fsck_store`` walks them all:
   files from writers killed mid-``put`` are removed.
 * **journals** must replay cleanly; a torn tail is recovered by
   truncating to the longest valid record prefix (the write-ahead
-  guarantee makes that prefix trustworthy), and unclosed runs are
-  reported as resumable.
+  guarantee makes that prefix trustworthy), unreadable journals are
+  quarantined into ``<runs_root>/quarantine/`` (so ``repro runs list``
+  stops tripping over them), and unclosed runs are reported as
+  resumable.
 * **artifacts** (paths passed explicitly) must match their embedded
   content digest.
 
@@ -108,9 +110,9 @@ class FsckReport:
 
 # -- cache ----------------------------------------------------------------
 
-def _quarantine(cache: ResultCache, path: str) -> str:
-    """Move a corrupt entry into ``<root>/quarantine/`` for post-mortem."""
-    qdir = os.path.join(cache.root, "quarantine")
+def _quarantine_into(root: str, path: str) -> str:
+    """Move a corrupt file into ``<root>/quarantine/`` for post-mortem."""
+    qdir = os.path.join(root, "quarantine")
     os.makedirs(qdir, exist_ok=True)
     dest = os.path.join(qdir, os.path.basename(path))
     n = 1
@@ -119,6 +121,11 @@ def _quarantine(cache: ResultCache, path: str) -> str:
         n += 1
     os.replace(path, dest)
     return dest
+
+
+def _quarantine(cache: ResultCache, path: str) -> str:
+    """Move a corrupt cache entry aside, never to be served again."""
+    return _quarantine_into(cache.root, path)
 
 
 def _check_cache_entry(cache: ResultCache, path: str,
@@ -185,8 +192,9 @@ def _fsck_runs(registry: RunRegistry, report: FsckReport) -> None:
         try:
             state = load_journal(path)
         except JournalError as exc:
+            dest = _quarantine_into(registry.root, path)
             report.add("corrupt", "journal-unreadable", path, str(exc),
-                       "left in place; delete or restore from backup")
+                       f"quarantined to {dest}")
             continue
         if state.dropped:
             _truncate_to_valid_prefix(path, state.valid_lines)

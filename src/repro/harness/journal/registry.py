@@ -82,20 +82,40 @@ class RunRegistry:
                       if name.endswith(".jsonl"))
 
     def runs(self) -> List[JournalState]:
-        """Loaded state of every readable run, unreadable ones skipped."""
+        """Loaded state of every readable run, unreadable ones skipped.
+
+        A journal can vanish between the directory listing and the load
+        (quarantined by a concurrent ``repro fsck``, or deleted by hand)
+        — that surfaces as :class:`OSError` rather than a parse failure,
+        and is skipped the same way.
+        """
         out: List[JournalState] = []
         for run_id in self.run_ids():
             try:
                 out.append(self.load(run_id))
-            except JournalError:
+            except (JournalError, OSError):
                 continue
         return out
 
     def render_list(self) -> str:
-        """The ``repro runs list`` table."""
-        states = self.runs()
-        if not states:
+        """The ``repro runs list`` table.
+
+        Unreadable entries are flagged inline rather than silently
+        dropped, so a quarantined or truncated-away journal still shows
+        up as something to investigate.
+        """
+        run_ids = self.run_ids()
+        if not run_ids:
             return f"no journaled runs in {self.root}"
         lines = [f"runs dir: {self.root}"]
-        lines += ["  " + s.describe() for s in states]
+        for run_id in run_ids:
+            if not os.path.exists(self.path_for(run_id)):
+                lines.append(f"  {run_id}  MISSING "
+                             f"(journal file vanished from {self.root})")
+                continue
+            try:
+                lines.append("  " + self.load(run_id).describe())
+            except (JournalError, OSError):
+                lines.append(f"  {run_id}  UNREADABLE "
+                             f"(journal corrupt; run `repro fsck`)")
         return "\n".join(lines)

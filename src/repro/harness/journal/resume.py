@@ -27,6 +27,7 @@ from typing import Optional, Tuple
 from ...errors import JournalError
 from ...sim.faults import FaultConfig, FaultKind
 from ..experiment import Experiment
+from ..health import BreakerPolicy, FallbackLadder
 from ..results import ResultSet
 from ..engine.fingerprint import campaign_fingerprint
 from ..engine.options import RetryPolicy, RunOptions
@@ -71,16 +72,29 @@ def restore_campaign(state: JournalState) -> Tuple[Experiment, RunOptions]:
     opt_payload = state.options or {}
     faults = _faults_from_payload(opt_payload.get("faults", {}))
     retry = _retry_from_payload(opt_payload.get("retry", {}))
-    expected = campaign_fingerprint(experiment, faults)
+    breaker = (BreakerPolicy.from_payload(opt_payload["breaker"])
+               if "breaker" in opt_payload else BreakerPolicy())
+    fallback = (FallbackLadder.from_payload(opt_payload["fallback"])
+                if "fallback" in opt_payload else None)
+    # The *effective* ladder joins the fingerprint: an absent fallback
+    # payload means the run used registry-derived defaults, which must
+    # re-derive identically for the resumed halves to splice.
+    effective = fallback
+    if breaker.enabled and effective is None:
+        effective = FallbackLadder.default_for(experiment)
+    expected = campaign_fingerprint(experiment, faults, breaker=breaker,
+                                    fallback=effective)
     if state.campaign and state.campaign != expected:
         raise JournalError(
             f"run {state.run_id} was journaled under campaign fingerprint "
             f"{state.campaign[:12]}... but this build computes "
-            f"{expected[:12]}... — the experiment, fault model or "
-            f"cost-model constants changed; rerun instead of resuming")
+            f"{expected[:12]}... — the experiment, fault model, breaker "
+            f"policy or cost-model constants changed; rerun instead of "
+            f"resuming")
     options = RunOptions(
         retry=retry, faults=faults,
         fail_fast=bool(opt_payload.get("fail_fast", False)),
+        breaker=breaker, fallback=fallback,
     )
     return experiment, options
 
@@ -112,7 +126,8 @@ def resume_run(run_id: str, registry: Optional[RunRegistry] = None,
     journal = reg.reopen(run_id)
     journal.resume_run(completed=state.done_cells, total=state.total_cells)
     restored = replace(restored, journal=journal,
-                       replay=dict(state.completed))
+                       replay=dict(state.completed),
+                       replay_meta=dict(state.outcomes))
     try:
         return run_experiment(experiment, engine=engine, options=restored)
     finally:

@@ -84,8 +84,8 @@ class FaultConfig:
     always: Tuple[str, ...] = field(default=())
 
     def __post_init__(self) -> None:
-        if not 0.0 <= self.rate < 1.0:
-            raise ConfigError(f"fault rate {self.rate} outside [0, 1)")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ConfigError(f"fault rate {self.rate} outside [0, 1]")
         if not self.kinds:
             raise ConfigError("fault config needs at least one fault kind")
 
@@ -103,6 +103,8 @@ class FaultConfig:
 
         A bare float (``"0.2"``) is shorthand for ``rate=0.2``.  ``always``
         patterns are ``+``-separated since ``,`` splits the option list.
+        Duplicate keys are rejected (``rate=0.1,rate=0.9`` used to win
+        silently with the last value) and ``rate`` must lie in [0, 1].
         """
         spec = spec.strip()
         if not spec:
@@ -113,6 +115,7 @@ class FaultConfig:
             return cls(**kwargs)  # bare-float shorthand
         except ValueError:
             pass
+        seen: set = set()
         for item in spec.split(","):
             item = item.strip()
             if not item:
@@ -122,11 +125,19 @@ class FaultConfig:
             key, _, value = item.partition("=")
             key = key.strip()
             value = value.strip()
+            if key in seen:
+                raise ConfigError(f"duplicate fault spec key {key!r}")
+            seen.add(key)
             if key == "rate":
                 try:
-                    kwargs["rate"] = float(value)
+                    rate = float(value)
                 except ValueError as exc:
                     raise ConfigError(f"fault rate {value!r} is not a number") from exc
+                if not 0.0 <= rate <= 1.0:
+                    raise ConfigError(
+                        f"fault rate {rate:g} outside [0, 1]; give a "
+                        f"per-attempt probability")
+                kwargs["rate"] = rate
             elif key == "seed":
                 try:
                     kwargs["seed"] = int(value)
@@ -201,23 +212,32 @@ class FaultInjector:
         self.config = config
 
     def probe(self, exp_id: str, model: str, shape: MatrixShape,
-              attempt: int) -> Optional[Fault]:
-        """The fault hitting this attempt, or ``None`` if it runs clean."""
+              attempt: int, lane: str = "") -> Optional[Fault]:
+        """The fault hitting this attempt, or ``None`` if it runs clean.
+
+        ``lane`` namespaces the draw: fallback serves (breaker routing)
+        pass the serving lane so their fault stream is disjoint from the
+        native lane's — rerouting a cell must never change which faults
+        any *other* attempt sees.  The default empty lane keeps native
+        attempts on exactly the pre-health-layer streams.
+        """
         cell = f"{model}@{shape}"
+        stream = f"{cell}:{lane}" if lane else cell
         for pattern in self.config.always:
             if _pattern_matches(pattern, model, shape):
-                kind = self._kind_for(exp_id, cell, attempt)
+                kind = self._kind_for(exp_id, stream, attempt)
                 return Fault(kind=kind, cell=cell, attempt=attempt,
                              cost_s=FAULT_COSTS[kind], permanent=True)
         if self.config.rate <= 0.0:
             return None
-        rng = rng_for(self.config.seed, f"fault:{exp_id}:{cell}:{attempt}")
+        rng = rng_for(self.config.seed, f"fault:{exp_id}:{stream}:{attempt}")
         if float(rng.uniform()) >= self.config.rate:
             return None
-        kind = self._kind_for(exp_id, cell, attempt)
+        kind = self._kind_for(exp_id, stream, attempt)
         return Fault(kind=kind, cell=cell, attempt=attempt,
                      cost_s=FAULT_COSTS[kind])
 
-    def _kind_for(self, exp_id: str, cell: str, attempt: int) -> FaultKind:
-        rng = rng_for(self.config.seed, f"fault-kind:{exp_id}:{cell}:{attempt}")
+    def _kind_for(self, exp_id: str, stream: str, attempt: int) -> FaultKind:
+        rng = rng_for(self.config.seed,
+                      f"fault-kind:{exp_id}:{stream}:{attempt}")
         return self.config.kinds[int(rng.integers(len(self.config.kinds)))]

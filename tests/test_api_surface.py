@@ -24,6 +24,7 @@ PACKAGES = [
     "repro.trace",
     "repro.harness",
     "repro.harness.engine",
+    "repro.harness.health",
     "repro.harness.journal",
     "repro.ioutil",
 ]

@@ -282,8 +282,9 @@ class TestResilienceFlags:
         assert rc == 0
         assert "attempts" in out and "faults" in out
 
-    def test_bad_fault_spec_is_config_error(self, capsys):
-        from repro.errors import ConfigError
-        with pytest.raises(ConfigError):
-            main(["run", "--models", "c-openmp", "--sizes", "256",
-                  "--faults", "nonsense=1"])
+    def test_bad_fault_spec_is_usage_error(self, capsys):
+        rc = main(["run", "--models", "c-openmp", "--sizes", "256",
+                   "--faults", "nonsense=1"])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "unknown fault spec key" in captured.err

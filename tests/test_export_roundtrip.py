@@ -159,4 +159,4 @@ class TestCsv:
 
     def test_current_schema_version_exported(self):
         rs = run_experiment(cpu_exp(models=("julia",), sizes=(256,)))
-        assert json.loads(result_set_to_json(rs))["schema"] == SCHEMA_VERSION == 3
+        assert json.loads(result_set_to_json(rs))["schema"] == SCHEMA_VERSION == 4

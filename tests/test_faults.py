@@ -92,14 +92,60 @@ class TestFaultConfig:
 
     def test_rate_bounds_validated(self):
         with pytest.raises(ConfigError):
-            FaultConfig(rate=1.0)
+            FaultConfig(rate=1.5)
         with pytest.raises(ConfigError):
             FaultConfig(rate=-0.1)
+        # The endpoints are legal per-attempt probabilities.
+        assert FaultConfig(rate=1.0).rate == 1.0
+        assert FaultConfig(rate=0.0).rate == 0.0
+
+    def test_rate_bounds_checked_at_parse_time(self):
+        with pytest.raises(ConfigError, match=r"outside \[0, 1\]"):
+            FaultConfig.parse("rate=1.5")
+        with pytest.raises(ConfigError, match=r"outside \[0, 1\]"):
+            FaultConfig.parse("rate=-0.25")
+
+    def test_duplicate_keys_rejected_at_parse_time(self):
+        with pytest.raises(ConfigError, match="duplicate fault spec key"):
+            FaultConfig.parse("rate=0.2,rate=0.3")
+        with pytest.raises(ConfigError, match="duplicate fault spec key"):
+            FaultConfig.parse("seed=1,kinds=oom,seed=2")
 
     def test_payload_is_canonical_json(self):
         cfg = FaultConfig.parse("rate=0.2,seed=7")
         assert json.dumps(cfg.payload(), sort_keys=True)  # serialisable
         assert cfg.payload() == FaultConfig.parse("seed=7,rate=0.2").payload()
+
+
+class TestResilienceSpecGrammars:
+    """The --breaker/--fallback grammars mirror FaultConfig.parse: same
+    key=value idiom, same duplicate-key rejection, spec() round-trips."""
+
+    @pytest.mark.parametrize("spec", [
+        "3", "threshold=2", "threshold=2,cooldown=1e4",
+        "threshold=5,cooldown=0.5",
+    ])
+    def test_breaker_spec_round_trips(self, spec):
+        from repro.harness.health import BreakerPolicy
+        policy = BreakerPolicy.parse(spec)
+        assert BreakerPolicy.parse(policy.spec()) == policy
+
+    @pytest.mark.parametrize("spec", [
+        "numba@gpu=numba@cpu+reference",
+        "numba@gpu=reference,julia@gpu=julia@cpu",
+        "julia@cpu=reference",
+    ])
+    def test_fallback_spec_round_trips(self, spec):
+        from repro.harness.health import FallbackLadder
+        ladder = FallbackLadder.parse(spec)
+        assert FallbackLadder.parse(ladder.spec()) == ladder
+
+    def test_duplicate_keys_rejected_like_faults(self):
+        from repro.harness.health import BreakerPolicy, FallbackLadder
+        with pytest.raises(ConfigError, match="duplicate breaker spec key"):
+            BreakerPolicy.parse("threshold=2,threshold=3")
+        with pytest.raises(ConfigError, match="duplicate fallback spec key"):
+            FallbackLadder.parse("numba@gpu=reference,numba@gpu=numba@cpu")
 
 
 class TestFaultInjector:
@@ -168,7 +214,8 @@ class TestEngineResilience:
         [bad] = rs.failed_cells()
         assert bad.model == "julia" and bad.shape.m == 512
         assert bad.status == "failed" and not bad.supported
-        assert rs.status_counts() == {"ok": 3, "unsupported": 0, "failed": 1}
+        assert rs.status_counts() == {"ok": 3, "unsupported": 0,
+                                      "failed": 1, "substituted": 0}
         # the other cells are untouched by the failure
         assert rs.cell("julia", 256).supported
         assert rs.supported("julia")  # some cells survive
@@ -272,10 +319,10 @@ class TestDegradedMode:
         assert julia.value == 0.0
         assert julia.render() == "0.000"
 
-    def test_export_v3_roundtrip_preserves_status(self):
+    def test_export_roundtrip_preserves_status(self):
         rs = self.failed_rs()
         doc = result_set_to_dict(rs)
-        assert doc["schema"] == 3 and doc["degraded"] is True
+        assert doc["schema"] == 4 and doc["degraded"] is True
         loaded = result_set_from_dict(doc)
         assert loaded.measurements == rs.measurements
         assert loaded.degraded

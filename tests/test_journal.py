@@ -213,6 +213,37 @@ class TestRegistry:
         with pytest.raises(JournalError, match="no run"):
             registry.load("run-nope")
 
+    def test_list_flags_unreadable_journal(self, registry):
+        good = registry.create()
+        good.open_run(manifest={"exp_id": "x"}, campaign="", options={},
+                      cells=[])
+        good.close()
+        bad = registry.create()
+        bad.open_run(manifest={"exp_id": "y"}, campaign="", options={},
+                     cells=[])
+        bad.close()
+        atomic_write_text(registry.path_for(bad.run_id), "not a journal\n")
+        # runs() skips the unreadable entry instead of raising
+        assert [s.run_id for s in registry.runs()] == [good.run_id]
+        # ...but the listing flags it rather than silently dropping it
+        listing = registry.render_list()
+        assert good.run_id in listing
+        assert f"{bad.run_id}  UNREADABLE" in listing
+        assert "repro fsck" in listing
+
+    def test_list_flags_vanished_journal(self, registry, monkeypatch):
+        j = registry.create()
+        j.open_run(manifest={"exp_id": "x"}, campaign="", options={},
+                   cells=[])
+        j.close()
+        # A journal can vanish between the listing and the load (e.g.
+        # quarantined by a concurrent fsck).
+        monkeypatch.setattr(registry, "run_ids",
+                            lambda: [j.run_id, "run-ghost"])
+        assert [s.run_id for s in registry.runs()] == [j.run_id]
+        listing = registry.render_list()
+        assert "run-ghost  MISSING" in listing
+
 
 class TestJournaledSweep:
     def test_complete_run_is_journaled(self, registry):
@@ -333,6 +364,85 @@ class TestJournaledSweep:
         assert rs.degraded
         state = registry.load(journal.run_id)
         assert state.done_cells == 4  # failed cells are still journaled
+        replayed = resume_run(journal.run_id, registry=registry,
+                              engine=serial_engine())
+        assert result_set_to_json(replayed) == result_set_to_json(rs)
+
+    def breaker_opts(self, **kw):
+        from repro.harness.health import BreakerPolicy
+        from repro.sim.faults import FaultConfig
+        kw.setdefault("breaker", BreakerPolicy(threshold=2, cooldown_s=1e5))
+        kw.setdefault("faults",
+                      FaultConfig.parse("always=numba@256+numba@512"))
+        return RunOptions(**kw)
+
+    def gpu_exp(self):
+        return Experiment(
+            exp_id="jr-gpu", title="journal health test",
+            node_name="Wombat", device=DeviceKind.GPU,
+            precision=Precision.FP64, models=("cuda", "numba"),
+            sizes=(256, 512, 1024), reps=5)
+
+    def test_breaker_run_journals_health_metadata(self, registry):
+        exp = self.gpu_exp()
+        journal = registry.create()
+        from dataclasses import replace
+        rs = run_experiment(exp, engine=serial_engine(),
+                            options=replace(self.breaker_opts(),
+                                            journal=journal))
+        journal.close()
+        assert rs.substituted
+        state = registry.load(journal.run_id)
+        assert state.status == "complete" and state.done_cells == 6
+        # every journaled cell carries its health metadata...
+        assert len(state.outcomes) == 6
+        assert all("native" in meta and "serve_cost_s" in meta
+                   for meta in state.outcomes.values())
+        # ...and the lane-open transition was journaled
+        assert any(ev["to"] == "open" and ev["lane"] == "numba@gpu"
+                   for ev in state.breaker_events)
+        assert "breaker" in state.options and "fallback" not in state.options
+
+    def test_resume_byte_identical_under_breakers(self, registry):
+        exp = self.gpu_exp()
+        opts = self.breaker_opts()
+        baseline = result_set_to_json(
+            run_experiment(exp, engine=serial_engine(), options=opts))
+        mp = interrupt_on_call(4)
+        journal = registry.create()
+        from dataclasses import replace
+        try:
+            with pytest.raises(RunInterrupted):
+                run_experiment(exp, engine=serial_engine(),
+                               options=replace(opts, journal=journal))
+        finally:
+            mp.undo()
+        journal.close()
+        # resume restores breaker + ladder from the journal, replays the
+        # completed cells' health metadata through the state machines,
+        # and re-executes the rest — byte-identically
+        resumed = resume_run(journal.run_id, registry=registry,
+                             engine=serial_engine())
+        assert result_set_to_json(resumed) == baseline
+        state = registry.load(journal.run_id)
+        assert state.status == "complete" and state.resumes == 1
+        assert any(ev["to"] == "open" for ev in state.breaker_events)
+
+    def test_resume_with_explicit_ladder_round_trips(self, registry):
+        from repro.harness.health import FallbackLadder
+        from dataclasses import replace
+        exp = self.gpu_exp()
+        opts = self.breaker_opts(
+            fallback=FallbackLadder.parse("numba@gpu=reference"))
+        journal = registry.create()
+        rs = run_experiment(exp, engine=serial_engine(),
+                            options=replace(opts, journal=journal))
+        journal.close()
+        state = registry.load(journal.run_id)
+        assert "fallback" in state.options
+        _, ropts = restore_campaign(state)
+        assert ropts.fallback == opts.fallback
+        assert ropts.breaker == opts.breaker
         replayed = resume_run(journal.run_id, registry=registry,
                               engine=serial_engine())
         assert result_set_to_json(replayed) == result_set_to_json(rs)
@@ -468,6 +578,22 @@ class TestFsck:
         assert any(i.kind == "artifact-digest" and i.path == bad
                    for i in report.issues)
         assert not any(i.path == good for i in report.issues)
+
+    def test_unreadable_journal_quarantined(self, store):
+        cache, registry, run_id, _ = store
+        path = registry.path_for(run_id)
+        atomic_write_text(path, "not a journal\n")
+        report = fsck_store(cache=cache, registry=registry)
+        assert report.corrupt
+        [issue] = [i for i in report.issues
+                   if i.kind == "journal-unreadable"]
+        assert "quarantined to" in issue.action
+        # moved aside, so the listing and a second pass are clean
+        assert not os.path.exists(path)
+        quarantine = os.path.join(registry.root, "quarantine")
+        assert os.listdir(quarantine)
+        assert registry.runs() == []
+        assert fsck_store(cache=cache, registry=registry).clean
 
     def test_orphan_tmp_removed(self, store):
         cache, registry, _, _ = store
