@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench bench-paper report report-cached faults breaker resume fsck verify examples clean
+.PHONY: install test lint audit bench bench-audit bench-paper report report-cached faults breaker resume fsck verify examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -10,20 +10,37 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
-# Style lint (ruff, skipped when not installed) + the kernel IR linter.
+# Style lint (ruff) + type check (mypy) — each skipped when not
+# installed — plus the kernel IR linter.
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \
 	  ruff check src tests; \
 	else \
 	  echo "ruff not installed; skipping style lint"; \
 	fi
+	@if command -v mypy >/dev/null 2>&1; then \
+	  mypy src/repro/ir; \
+	else \
+	  echo "mypy not installed; skipping type check"; \
+	fi
 	$(PYTHON) -m repro lint
+
+# Static performance-portability audit of every registry lane: hazard
+# codes plus predicted efficiency bands, cross-checked against the
+# simulator's memory/occupancy models (exit 1 on gating findings).
+audit:
+	$(PYTHON) -m repro audit
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
 bench-paper:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s --sweep=paper
+
+# Static-analysis throughput: time full-matrix lint + audit sweeps and
+# record lanes/sec in BENCH_static_analysis.json.
+bench-audit:
+	$(PYTHON) benchmarks/bench_static_analysis.py --out BENCH_static_analysis.json
 
 report:
 	$(PYTHON) -m repro report --out study_report.md

@@ -1,0 +1,75 @@
+"""Static-analysis throughput: lanes/sec for the lint and audit sweeps.
+
+Both sweeps are pure Python over the IR — no simulator runs — so their
+cost is the price CI pays per push for the ``make lint`` and ``make
+audit`` gates.  This script times both over the full model x device x
+precision matrix and writes the numbers to ``BENCH_static_analysis.json``
+(the repo's first recorded benchmark trajectory; re-run via ``make
+bench-audit`` after touching the analyses to see regressions).
+
+Standalone on purpose: ``python benchmarks/bench_static_analysis.py``
+works with or without the package installed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+if __package__ in (None, ""):
+    _src = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+    if _src not in sys.path:
+        sys.path.insert(0, _src)
+
+from repro.ir.audit import audit_registry            # noqa: E402
+from repro.ir.lint import lint_registry              # noqa: E402
+
+
+def _time_sweep(fn, reps: int) -> "tuple[float, int]":
+    """Best-of-``reps`` wall time and the sweep's lane count."""
+    best = float("inf")
+    lanes = 0
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        results = fn()
+        best = min(best, time.perf_counter() - t0)
+        lanes = len(results)
+    return best, lanes
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--reps", type=int, default=3,
+                        help="repetitions; best-of is recorded (default 3)")
+    parser.add_argument("--out", default="BENCH_static_analysis.json",
+                        help="output path (default BENCH_static_analysis.json)")
+    args = parser.parse_args(argv)
+
+    payload = {"benchmark": "static_analysis",
+               "python": platform.python_version(),
+               "reps": args.reps,
+               "sweeps": {}}
+    for kind, fn in (("lint", lint_registry), ("audit", audit_registry)):
+        seconds, lanes = _time_sweep(fn, args.reps)
+        payload["sweeps"][kind] = {
+            "lanes": lanes,
+            "best_seconds": round(seconds, 4),
+            "lanes_per_second": round(lanes / seconds, 1),
+        }
+        print(f"{kind:5s}: {lanes} lanes in {seconds:.3f} s "
+              f"({lanes / seconds:.0f} lanes/s, best of {args.reps})")
+
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,9 @@ Commands mirror the deliverables:
 * ``repro run`` — one custom experiment (node/device/precision/models/sizes).
 * ``repro productivity`` — the Sec. V productivity comparison.
 * ``repro lint`` — static-analysis sweep of every model lowering.
+* ``repro audit`` — per-lane performance-portability audit: memory,
+  occupancy and precision hazards plus a predicted efficiency band for
+  every (model, target, precision) lane, without running the simulator.
 * ``repro cache stats|clear`` — inspect/empty the sweep result cache.
 * ``repro runs list|show`` — journaled campaigns (``repro run`` journals
   by default; ``repro run --resume <run-id>`` completes an interrupted
@@ -26,11 +29,12 @@ fallback ladder (``--fallback``/``REPRO_FALLBACK``, default derived
 from the model registry), and after S simulated seconds a probe cell
 decides whether the lane re-closes.
 
-Exit codes: 0 success, 1 aborted campaign (``--fail-fast``) or journal
+Exit codes: 0 success, 1 aborted campaign (``--fail-fast``), journal
 error (including resuming a breaker run from a journal without health
-metadata), 2 usage, 3 ``fsck`` found corruption, 130 interrupted by
-SIGINT/SIGTERM (the journal is finalized first; resume with
-``repro run --resume <run-id>``).
+metadata), or ``lint``/``audit`` findings at gating severity, 2 usage
+(including an unknown precision or model name), 3 ``fsck`` found
+corruption, 130 interrupted by SIGINT/SIGTERM (the journal is finalized
+first; resume with ``repro run --resume <run-id>``).
 """
 
 from __future__ import annotations
@@ -193,6 +197,28 @@ def build_parser() -> argparse.ArgumentParser:
                       help="restrict to one precision (default: all)")
     lint.add_argument("--strict", action="store_true",
                       help="also exit 1 on warning-severity findings")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      help="json emits the shared static-analysis schema")
+
+    audit = sub.add_parser(
+        "audit",
+        help="performance-portability audit of every lane: hazards plus "
+             "a predicted efficiency band (exit 1 on gating findings)")
+    audit.add_argument("--models", default=None,
+                       help="comma-separated model names (default: all, "
+                            "extensions included)")
+    audit.add_argument("--device", choices=("cpu", "gpu", "all"),
+                       default="all")
+    audit.add_argument("--precision", default=None,
+                       help="restrict to one precision (default: all)")
+    audit.add_argument("--strict", action="store_true",
+                       help="also exit 1 on warning-severity findings")
+    audit.add_argument("--format", choices=("text", "json"), default="text",
+                       help="json emits the shared static-analysis schema")
+    audit.add_argument("--consistency", action="store_true",
+                       help="also run the seed sweep and verify the static "
+                            "verdicts agree with the measured efficiencies "
+                            "(exit 1 on contradiction)")
 
     cache = sub.add_parser(
         "cache", help="inspect or empty the persistent sweep result cache")
@@ -507,16 +533,33 @@ def _cmd_scaling(args: argparse.Namespace) -> str:
     return result.render()
 
 
+def _parse_cli_precision(text: Optional[str]) -> "Optional[List[Precision]]":
+    """``--precision`` for lint/audit; unknown labels are usage errors."""
+    if not text:
+        return None
+    try:
+        return [Precision.parse(text)]
+    except ValueError as exc:
+        raise ConfigError(str(exc)) from exc
+
+
 def _cmd_lint(args: argparse.Namespace) -> "tuple[str, int]":
-    from .ir.lint import Severity, lint_registry
+    from .ir.lint import Severity, lint_registry, sweep_to_json
     from .ir.pretty import render_diagnostics
 
     models = (tuple(m.strip() for m in args.models.split(",") if m.strip())
               if args.models else None)
-    precisions = ([Precision.parse(args.precision)]
-                  if args.precision else None)
+    precisions = _parse_cli_precision(args.precision)
     results = lint_registry(models=models, device=args.device,
                             precisions=precisions)
+
+    total_errors = sum(r.error_count for r in results)
+    total_warnings = sum(
+        sum(1 for d in r.diagnostics if d.severity is Severity.WARNING)
+        for r in results)
+    failed = total_errors > 0 or (args.strict and total_warnings > 0)
+    if args.format == "json":
+        return sweep_to_json("lint", results), 1 if failed else 0
 
     lines: List[str] = []
     errors = warnings = 0
@@ -536,7 +579,50 @@ def _cmd_lint(args: argparse.Namespace) -> "tuple[str, int]":
     lines.append(f"linted {linted} lowerings ({skipped} unsupported "
                  f"combinations skipped): {errors} errors, "
                  f"{warnings} warnings")
+    return "\n".join(lines), 1 if failed else 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> "tuple[str, int]":
+    from .ir.audit import (
+        audit_registry,
+        check_consistency,
+        render_audit_findings,
+        render_audit_matrix,
+    )
+    from .ir.lint import Severity, sweep_to_json
+
+    models = (tuple(m.strip() for m in args.models.split(",") if m.strip())
+              if args.models else None)
+    precisions = _parse_cli_precision(args.precision)
+    results = audit_registry(models=models, device=args.device,
+                             precisions=precisions)
+
+    errors = sum(r.error_count for r in results)
+    warnings = sum(r.warning_count for r in results)
     failed = errors > 0 or (args.strict and warnings > 0)
+
+    consistency = check_consistency() if args.consistency else None
+    if consistency is not None and not consistency.consistent:
+        failed = True
+
+    if args.format == "json":
+        return sweep_to_json("audit", results), 1 if failed else 0
+
+    lines: List[str] = [render_audit_matrix(results)]
+    findings = render_audit_findings(results)
+    if findings:
+        lines.append("")
+        lines.append(findings)
+    audited = sum(1 for r in results if not r.skipped)
+    skipped = len(results) - audited
+    lines.append("")
+    lines.append(f"audited {audited} lanes ({skipped} unsupported "
+                 f"combinations skipped): {errors} errors, "
+                 f"{warnings} warnings")
+    if consistency is not None:
+        lines.append("")
+        lines.append("static vs measured (seed GEMM sweep):")
+        lines.append(consistency.render())
     return "\n".join(lines), 1 if failed else 0
 
 
@@ -707,6 +793,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         out = _cmd_roofline(args)
     elif args.command == "lint":
         out, rc = _cmd_lint(args)
+    elif args.command == "audit":
+        out, rc = _cmd_audit(args)
     elif args.command == "cache":
         out = _cmd_cache(args)
     elif args.command == "runs":

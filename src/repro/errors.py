@@ -13,6 +13,7 @@ __all__ = [
     "MachineModelError",
     "IRVerificationError",
     "LintError",
+    "AuditError",
     "LoweringError",
     "KernelValidationError",
     "ExperimentError",
@@ -81,6 +82,19 @@ class LintError(IRVerificationError):
         self.kernel = kernel
         self.context = context
         super().__init__(message)
+
+
+class AuditError(ReproError):
+    """The performance-portability auditor found an internal contradiction.
+
+    Raised by :mod:`repro.ir.audit` when its independent re-derivation of a
+    static quantity disagrees with the analytic model it is cross-checked
+    against (e.g. a stride classification that does not reproduce
+    :func:`repro.gpu.coalescing.analyze_coalescing`'s transaction count).
+    This is never a property of the audited kernel — it means the auditor
+    and the simulator have drifted apart and the static verdicts can no
+    longer be trusted, so the audit aborts instead of reporting them.
+    """
 
 
 class LoweringError(ReproError):

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from ..core.types import MatrixShape
-from .nodes import ArrayRef, Kernel, Loop, ParallelKind
+from .nodes import ArrayDecl, ArrayRef, Kernel, Loop, ParallelKind
 
 __all__ = [
     "StrideClass",
@@ -120,7 +120,7 @@ class InstructionMix:
                 + self.guard_ops + self.int_ops + self.branch_ops)
 
 
-def _decl_of(kernel: Kernel, ref: ArrayRef):
+def _decl_of(kernel: Kernel, ref: ArrayRef) -> ArrayDecl:
     return kernel.decl(ref.array)
 
 

@@ -1,0 +1,316 @@
+"""Audit drivers: one lane, or the whole model x device x precision matrix.
+
+Mirrors :mod:`repro.ir.lint.linter`'s layering — ``audit_lowering`` audits
+what one frontend actually produces for one target, ``audit_registry``
+sweeps the registry — but each audited lane additionally carries an
+:class:`AuditVerdict`: the statically predicted efficiency against the
+platform's reference lane (C/OpenMP, CUDA or HIP), its band, the binding
+execution unit, and the stable codes of every hazard found.
+
+Model and machine imports happen inside the functions for the same
+circularity reason as the linter: the models import the IR passes, and
+the passes import :mod:`repro.ir.lint`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ...core.types import MatrixShape, Precision
+from ...errors import LintError, UnsupportedConfigurationError
+from ..lint.diagnostics import Diagnostic, DiagnosticSet, Severity
+from ..lint.linter import lint_kernel
+from .memory import (
+    cpu_memory_diagnostics,
+    footprint_diagnostics,
+    gpu_memory_diagnostics,
+    locality_diagnostics,
+)
+from .precision_flow import precision_diagnostics
+from .residency import residency_diagnostics
+from .verdict import (
+    Band,
+    StaticEstimate,
+    classify_band,
+    cpu_issue_estimate,
+    gpu_issue_estimate,
+    predicted_efficiency,
+)
+
+__all__ = [
+    "AUDIT_SHAPE",
+    "LARGEST_SWEEP_SHAPE",
+    "AuditVerdict",
+    "AuditResult",
+    "audit_lowering",
+    "audit_registry",
+    "render_audit_matrix",
+    "render_audit_findings",
+]
+
+#: Representative sweep point the issue-cycle estimates are evaluated at.
+#: Every per-iteration term is shape-invariant for square GEMM at these
+#: sizes; 4096 matches the middle of the seed sweep.
+AUDIT_SHAPE = MatrixShape.square(4096)
+
+#: The seed sweep's largest size — where footprint hazards (P004) bind.
+LARGEST_SWEEP_SHAPE = MatrixShape.square(16384)
+
+
+@dataclass(frozen=True)
+class AuditVerdict:
+    """The static per-lane verdict behind one cell of the audit matrix."""
+
+    predicted_efficiency: Optional[float]  # None: no same-precision reference
+    band: Optional[Band]
+    bound: str                             # binding unit of this lane
+    reference: str                         # model normalised against
+    estimate: StaticEstimate
+    occupancy_fraction: Optional[float] = None   # GPU lanes only
+    hazards: Tuple[str, ...] = ()          # warning/error codes, sorted
+
+    def cell(self) -> str:
+        """Matrix-cell rendering, e.g. ``0.87 high`` or ``n/a``."""
+        if self.predicted_efficiency is None:
+            return "n/a"
+        assert self.band is not None
+        return f"{self.predicted_efficiency:.2f} {self.band.value}"
+
+
+@dataclass(frozen=True)
+class AuditResult:
+    """One row of a registry audit: a (model, target, precision) lane."""
+
+    model: str
+    target: str
+    precision: str
+    device: str                            # "cpu" | "gpu"
+    skipped: str = ""                      # non-empty: unsupported combo
+    degraded: bool = False                 # supported via a fallback path
+    diagnostics: Tuple[Diagnostic, ...] = ()
+    verdict: Optional[AuditVerdict] = None
+
+    @property
+    def error_count(self) -> int:
+        return sum(1 for d in self.diagnostics if d.is_error)
+
+    @property
+    def warning_count(self) -> int:
+        return sum(1 for d in self.diagnostics
+                   if d.severity is Severity.WARNING)
+
+    @property
+    def clean(self) -> bool:
+        return not self.skipped and self.error_count == 0
+
+
+def _reference_estimate(spec, precision,
+                        shape: MatrixShape) -> Tuple[Optional[StaticEstimate],
+                                                     str]:
+    """The platform reference's issue estimate at the same precision.
+
+    Returns ``(None, name)`` when the reference does not reach this
+    precision (the FP16 lanes: Table III does not score them either).
+    """
+    from ...machine.cpu import CPUSpec
+    from ...models.registry import reference_model_for
+
+    ref = reference_model_for(spec)
+    try:
+        if isinstance(spec, CPUSpec):
+            low = ref.lower_cpu(spec, precision)
+            est = cpu_issue_estimate(low.kernel, spec, low.profile, low.pin,
+                                     shape)
+        else:
+            low = ref.lower_gpu(spec, precision)
+            est = gpu_issue_estimate(low.kernel, low.launch, spec,
+                                     low.profile, shape)
+    except UnsupportedConfigurationError:
+        return None, ref.name
+    return est, ref.name
+
+
+def audit_lowering(model, spec, precision,
+                   shape: MatrixShape = AUDIT_SHAPE,
+                   largest_shape: MatrixShape = LARGEST_SWEEP_SHAPE,
+                   ) -> Tuple[DiagnosticSet, Optional[AuditVerdict]]:
+    """Audit what ``model`` lowers for ``spec`` at ``precision``.
+
+    Returns the full finding set (lint findings are folded in first, so a
+    structurally broken kernel surfaces as ``V001``/``R0xx`` errors here
+    too) and the lane verdict — ``None`` when the lowering itself failed
+    pass gating.
+    """
+    from ...machine.cpu import CPUSpec
+
+    support = model.supports(spec, precision)
+    diags = DiagnosticSet()
+    try:
+        if isinstance(spec, CPUSpec):
+            lowering = model.lower_cpu(spec, precision)
+        else:
+            lowering = model.lower_gpu(spec, precision)
+    except LintError as exc:
+        diags.extend(exc.diagnostics)
+        return diags, None
+
+    kernel = lowering.kernel
+    diags.extend(lint_kernel(kernel))
+    for rec in lowering.pass_records:
+        diags.extend(rec.diagnostics)
+
+    if isinstance(spec, CPUSpec):
+        diags.extend(cpu_memory_diagnostics(kernel, spec, shape))
+        diags.extend(locality_diagnostics(kernel, lowering.pin, spec))
+        est = cpu_issue_estimate(kernel, spec, lowering.profile,
+                                 lowering.pin, shape)
+        occ_fraction = None
+    else:
+        mem_diags, _ = gpu_memory_diagnostics(kernel, lowering.launch, spec,
+                                              shape)
+        diags.extend(mem_diags)
+        res_diags, _, pressured, _ = residency_diagnostics(
+            kernel, lowering.launch, spec, lowering.profile)
+        diags.extend(res_diags)
+        diags.extend(footprint_diagnostics(kernel, lowering.profile,
+                                           largest_shape))
+        est = gpu_issue_estimate(kernel, lowering.launch, spec,
+                                 lowering.profile, shape)
+        occ_fraction = pressured.fraction(spec) if pressured else 0.0
+
+    diags.extend(precision_diagnostics(kernel, precision, support, shape))
+
+    ref_est, ref_name = _reference_estimate(spec, precision, shape)
+    if model.name == ref_name:
+        predicted: Optional[float] = 1.0
+    elif ref_est is None:
+        predicted = None
+    else:
+        predicted = predicted_efficiency(est, ref_est)
+
+    hazards = tuple(sorted({d.code for d in diags
+                            if d.severity is not Severity.INFO}))
+    verdict = AuditVerdict(
+        predicted_efficiency=predicted,
+        band=None if predicted is None else classify_band(predicted),
+        bound=est.bound,
+        reference=ref_name,
+        estimate=est,
+        occupancy_fraction=occ_fraction,
+        hazards=hazards,
+    )
+    return diags, verdict
+
+
+def audit_registry(models: Optional[Sequence[str]] = None,
+                   device: str = "all",
+                   precisions: Optional[Sequence[Precision]] = None,
+                   ) -> List[AuditResult]:
+    """Audit every registered model x device x precision lane.
+
+    Same sweep contract as :func:`repro.ir.lint.linter.lint_registry`:
+    unsupported combinations become skipped rows, never failures.
+    """
+    from ...machine.catalog import CPU_CATALOG, GPU_CATALOG
+    from ...machine.cpu import CPUSpec
+    from ...models.registry import all_models, model_by_name
+
+    if models is None:
+        chosen = all_models(include_extensions=True)
+    else:
+        chosen = [model_by_name(name) for name in models]
+    precs = list(precisions) if precisions is not None else list(Precision)
+
+    specs = []
+    if device in ("cpu", "all"):
+        specs += list(CPU_CATALOG.values())
+    if device in ("gpu", "all"):
+        specs += list(GPU_CATALOG.values())
+    if not specs:
+        raise ValueError(f"device must be 'cpu', 'gpu' or 'all', "
+                         f"not {device!r}")
+
+    out: List[AuditResult] = []
+    for model in chosen:
+        for spec in specs:
+            dev = "cpu" if isinstance(spec, CPUSpec) else "gpu"
+            for prec in precs:
+                support = model.supports(spec, prec)
+                if not support.supported:
+                    out.append(AuditResult(
+                        model=model.name, target=spec.name,
+                        precision=prec.value, device=dev,
+                        skipped=support.reason))
+                    continue
+                diags, verdict = audit_lowering(model, spec, prec)
+                out.append(AuditResult(
+                    model=model.name, target=spec.name,
+                    precision=prec.value, device=dev,
+                    degraded=support.degraded,
+                    diagnostics=tuple(diags),
+                    verdict=verdict))
+    return out
+
+
+def render_audit_matrix(results: Sequence[AuditResult]) -> str:
+    """Table III-shaped matrix: target x precision rows, model columns.
+
+    Cells carry the predicted band (``0.87 high``), ``n/a`` for audited
+    lanes with no same-precision reference, and ``-`` for unsupported
+    lanes — mirroring the paper's own '-' convention.
+    """
+    from ...harness.report import ascii_table
+
+    model_order: List[str] = []
+    lanes = {}
+    targets: List[Tuple[str, str]] = []
+    for r in results:
+        if r.model not in model_order:
+            model_order.append(r.model)
+        key = (r.target, r.precision)
+        if key not in targets:
+            targets.append(key)
+        lanes[(r.model,) + key] = r
+
+    headers = ["target", "precision"] + model_order
+    rows: List[List[str]] = []
+    for target, precision in targets:
+        row = [target, precision]
+        for model in model_order:
+            r = lanes.get((model, target, precision))
+            if r is None:
+                row.append("")
+            elif r.skipped:
+                row.append("-")
+            elif r.verdict is None:
+                row.append("FAILED")
+            else:
+                cell = r.verdict.cell()
+                if r.warning_count or r.error_count:
+                    cell += f" [{r.error_count + r.warning_count}!]"
+                row.append(cell)
+        rows.append(row)
+    legend = ("(cell: predicted efficiency vs the platform reference and "
+              "its band; [N!] = N warning/error findings; "
+              "n/a = no same-precision reference; - = unsupported)")
+    return ascii_table(headers, rows) + "\n" + legend
+
+
+def render_audit_findings(results: Sequence[AuditResult],
+                          show_info: bool = False) -> str:
+    """Per-lane findings in ``repro lint``'s reporting style."""
+    from ..pretty import render_diagnostics
+
+    lines: List[str] = []
+    for r in results:
+        if r.skipped:
+            continue
+        findings = [d for d in r.diagnostics
+                    if show_info or d.severity is not Severity.INFO]
+        if not findings:
+            continue
+        verdict = f" [{r.verdict.cell()}]" if r.verdict else ""
+        lines.append(f"{r.model} / {r.target} / {r.precision}{verdict}:")
+        lines.append(render_diagnostics(findings))
+    return "\n".join(lines)

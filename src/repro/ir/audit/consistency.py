@@ -1,0 +1,206 @@
+"""Static-vs-dynamic consistency: the auditor must explain, not contradict.
+
+The closing check of the audit pipeline runs the simulator's own Table III
+sweep and compares every (platform, precision, portable-model) cell against
+the auditor's static verdict for the same lane.  Two things are checked:
+
+* **band agreement** — the statically predicted efficiency and the
+  measured one fall in the same :class:`~repro.ir.audit.verdict.Band`
+  (high / medium / low);
+* **ordering agreement** — for every pair of portable models on the same
+  (platform, precision), if the simulator separates them by a clear margin
+  (more than :data:`ORDERING_MARGIN`), the static verdicts must rank them
+  the same way.
+
+Band boundaries sit near two real cells (Julia A100 FP32 measures 0.600,
+Numba Altra FP32 measures 0.400), so a band flip alone is reported but
+tolerated within :data:`BAND_SLACK` of the boundary; an *ordering*
+conflict is never tolerated — it would mean the static model tells the
+opposite story from the dynamic one.
+
+This module is the only audit code that executes the simulator, so the
+harness import stays inside the function: ``repro audit`` without
+``--consistency`` never pays for it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from .verdict import Band, classify_band
+
+__all__ = [
+    "ORDERING_MARGIN",
+    "BAND_SLACK",
+    "LaneConsistency",
+    "OrderingConflict",
+    "ConsistencyReport",
+    "check_consistency",
+]
+
+#: Measured gaps no larger than this are treated as a tie: the static
+#: model is not asked to order lanes the simulator barely separates.
+ORDERING_MARGIN = 0.05
+
+#: A band flip within this distance of a band boundary is noise from the
+#: discretisation, not a wrong story.
+BAND_SLACK = 0.05
+
+#: Platform label (as Table III prints it) -> machine-catalog key.
+_PLATFORM_SPECS: Tuple[Tuple[str, str, str], ...] = (
+    ("Epyc 7A53", "cpu", "epyc-7a53"),
+    ("Ampere Altra", "cpu", "ampere-altra"),
+    ("MI250x", "gpu", "mi250x"),
+    ("A100", "gpu", "a100"),
+)
+
+_PORTABLE = ("kokkos", "julia", "numba")
+
+
+@dataclass(frozen=True)
+class LaneConsistency:
+    """One Table III cell: static verdict next to the measured value."""
+
+    platform: str
+    precision: str
+    model: str
+    predicted: float
+    measured: float
+    predicted_band: Band
+    measured_band: Band
+
+    @property
+    def band_agrees(self) -> bool:
+        return self.predicted_band is self.measured_band
+
+    @property
+    def near_boundary(self) -> bool:
+        """Either value sits within BAND_SLACK of a band threshold."""
+        from .verdict import BAND_HIGH, BAND_MEDIUM
+
+        return any(abs(v - edge) <= BAND_SLACK
+                   for v in (self.predicted, self.measured)
+                   for edge in (BAND_HIGH, BAND_MEDIUM))
+
+
+@dataclass(frozen=True)
+class OrderingConflict:
+    """The static model ranks two lanes opposite to the simulator."""
+
+    platform: str
+    precision: str
+    faster_measured: str      # model the simulator says is faster
+    slower_measured: str
+    measured_gap: float
+    predicted_gap: float      # negative: the static model flipped them
+
+    def describe(self) -> str:
+        return (f"{self.platform} {self.precision}: simulator puts "
+                f"{self.faster_measured} ahead of {self.slower_measured} "
+                f"by {self.measured_gap:.3f}, but the static verdicts "
+                f"rank them the other way "
+                f"(gap {self.predicted_gap:+.3f})")
+
+
+@dataclass
+class ConsistencyReport:
+    """Everything the closing check learned, renderable."""
+
+    lanes: List[LaneConsistency] = field(default_factory=list)
+    conflicts: List[OrderingConflict] = field(default_factory=list)
+    band_mismatches: List[LaneConsistency] = field(default_factory=list)
+
+    @property
+    def consistent(self) -> bool:
+        """No ordering conflicts and no off-boundary band flips."""
+        return not self.conflicts and not any(
+            not lane.near_boundary for lane in self.band_mismatches)
+
+    def render(self) -> str:
+        from ...harness.report import ascii_table
+
+        rows = []
+        for lane in self.lanes:
+            mark = "ok" if lane.band_agrees else (
+                "~boundary" if lane.near_boundary else "MISMATCH")
+            rows.append([
+                lane.platform, lane.precision, lane.model,
+                f"{lane.predicted:.3f} {lane.predicted_band.value}",
+                f"{lane.measured:.3f} {lane.measured_band.value}",
+                mark,
+            ])
+        text = ascii_table(
+            ["platform", "precision", "model", "static", "measured",
+             "bands"], rows)
+        if self.conflicts:
+            text += "\nordering conflicts:\n" + "\n".join(
+                f"  {c.describe()}" for c in self.conflicts)
+        else:
+            text += ("\nordering: static verdicts rank every clearly "
+                     "separated pair the way the simulator does")
+        return text
+
+
+def check_consistency(sizes: Optional[Sequence[int]] = None,
+                      ) -> ConsistencyReport:
+    """Run the seed GEMM sweep and reconcile it with the static verdicts.
+
+    ``sizes`` defaults to the quick sweep the tier-1 suite uses.  FP16
+    columns are excluded for the same reason Table III excludes them:
+    there is no reference lane to normalise against.
+    """
+    from ...core.types import Precision
+    from ...harness.experiment import QUICK_SIZES
+    from ...harness.figures import table3
+    from ...machine.catalog import CPU_CATALOG, GPU_CATALOG
+    from ...models.registry import model_by_name
+    from .auditor import audit_lowering
+
+    measured = table3(QUICK_SIZES if sizes is None else sizes)
+    report = ConsistencyReport()
+
+    for precision in (Precision.FP64, Precision.FP32):
+        for platform, dev, key in _PLATFORM_SPECS:
+            spec = (CPU_CATALOG[key] if dev == "cpu" else GPU_CATALOG[key])
+            cell: List[Tuple[str, float, float]] = []
+            for name in _PORTABLE:
+                model = model_by_name(name)
+                meas = measured.row(name, precision).efficiencies.get(platform)
+                if meas is None:
+                    continue
+                if not model.supports(spec, precision).supported:
+                    continue
+                _, verdict = audit_lowering(model, spec, precision)
+                if verdict is None or verdict.predicted_efficiency is None:
+                    continue
+                pred = verdict.predicted_efficiency
+                lane = LaneConsistency(
+                    platform=platform, precision=precision.value,
+                    model=name, predicted=pred, measured=meas,
+                    predicted_band=classify_band(pred),
+                    measured_band=classify_band(meas))
+                report.lanes.append(lane)
+                if not lane.band_agrees:
+                    report.band_mismatches.append(lane)
+                cell.append((name, pred, meas))
+
+            for i in range(len(cell)):
+                for j in range(i + 1, len(cell)):
+                    (name_a, pred_a, meas_a) = cell[i]
+                    (name_b, pred_b, meas_b) = cell[j]
+                    if meas_a < meas_b:
+                        name_a, name_b = name_b, name_a
+                        pred_a, pred_b = pred_b, pred_a
+                        meas_a, meas_b = meas_b, meas_a
+                    measured_gap = meas_a - meas_b
+                    if measured_gap <= ORDERING_MARGIN:
+                        continue
+                    predicted_gap = pred_a - pred_b
+                    if predicted_gap < 0:
+                        report.conflicts.append(OrderingConflict(
+                            platform=platform, precision=precision.value,
+                            faster_measured=name_a, slower_measured=name_b,
+                            measured_gap=measured_gap,
+                            predicted_gap=predicted_gap))
+    return report

@@ -1,0 +1,213 @@
+"""P-series: memory-access and locality hazards, derived statically.
+
+Every pass here reads only the kernel IR, the launch configuration and the
+machine spec — nothing executes.  The GPU pass re-derives each reference's
+stride across ``threadIdx.x`` from the IR's affine indices and classifies
+it with the *same* thresholds :func:`repro.gpu.coalescing.analyze_coalescing`
+uses; :func:`crosscheck_coalescing` asserts the two derivations agree on
+every access, so the auditor can never silently drift from the simulator's
+memory model (a disagreement raises :class:`repro.errors.AuditError`).
+
+Codes:
+
+* ``P001`` — a per-``k``-iteration global access whose stride across
+  ``threadIdx.x`` spans at least a cache line: one transaction per thread
+  per iteration, the Kokkos/CUDA mapping-vs-layout failure of Sec. IV-B.
+* ``P002`` — an innermost-loop CPU access whose stride spans at least a
+  cache line: every element touches a new line, defeating spatial reuse.
+* ``P003`` — a worksharing region left unpinned on a multi-NUMA CPU: the
+  OS migrates threads and the simulator charges
+  :data:`repro.sched.thread_sim.MIGRATION_COMPUTE_TAX` (the Numba-on-EPYC
+  mechanism behind Table III's 0.55).
+* ``P004`` — the operand footprint at the sweep's largest size exceeds
+  the lane's L2-thrash threshold (the Kokkos/HIP "repeatable slowdown at
+  the largest size").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ...core.types import MatrixShape
+from ...errors import AuditError
+from ...gpu.coalescing import CoalescingReport, analyze_coalescing
+from ...gpu.launch import LaunchConfig
+from ...gpu.warp_sim import IssueProfile
+from ...machine.cpu import CPUSpec
+from ...machine.gpu import GPUSpec
+from ...sched.affinity import PinPolicy
+from ..analysis import StrideClass, reference_info
+from ..nodes import Kernel
+from ..lint.diagnostics import Diagnostic, DiagnosticSet, Severity
+
+__all__ = [
+    "AccessClassification",
+    "classify_gpu_accesses",
+    "crosscheck_coalescing",
+    "gpu_memory_diagnostics",
+    "cpu_memory_diagnostics",
+    "locality_diagnostics",
+    "footprint_diagnostics",
+]
+
+
+@dataclass(frozen=True)
+class AccessClassification:
+    """The auditor's independent classification of one warp-wide access."""
+
+    array: str
+    kind: str                 # "load" | "store"
+    stride_across_x: int      # element stride between adjacent threads
+    transactions_per_warp: float
+    pattern: str              # "broadcast" | "coalesced" | "strided"
+    per_k_iteration: bool
+
+
+def classify_gpu_accesses(kernel: Kernel, launch: LaunchConfig,
+                          spec: GPUSpec,
+                          shape: MatrixShape) -> List[AccessClassification]:
+    """Re-derive every access's coalescing class from the IR alone.
+
+    Same rules as :func:`repro.gpu.coalescing.analyze_coalescing` — stride 0
+    across ``threadIdx.x`` broadcasts, a sub-line stride coalesces, a
+    line-or-larger stride costs one transaction per thread — computed here
+    independently so the cross-check below is meaningful.
+    """
+    x_var = launch.x_axis
+    line = spec.caches.line_bytes if spec.caches.levels else 128
+    m, n, k = shape.m, shape.n, shape.k
+
+    items = [("load", ld.ref, ld.hoisted_above) for ld in kernel.body.loads]
+    items += [("store", st.ref, st.hoisted_above) for st in kernel.body.stores]
+
+    out: List[AccessClassification] = []
+    for kind, ref, hoist in items:
+        decl = kernel.decl(ref.array)
+        stride = ref.linear_coeff(decl, x_var, m, n, k)
+        elem = decl.dtype.np_dtype.itemsize if decl.role != "C" else (
+            kernel.precision.accum_dtype.itemsize)
+        if stride == 0:
+            tx, pattern = 1.0, "broadcast"
+        elif abs(stride) * elem < line:
+            tx = max(1.0, spec.warp_size * abs(stride) * elem / line)
+            pattern = "coalesced"
+        else:
+            tx, pattern = float(spec.warp_size), "strided"
+        out.append(AccessClassification(
+            array=ref.array, kind=kind, stride_across_x=stride,
+            transactions_per_warp=tx, pattern=pattern,
+            per_k_iteration=hoist is None))
+    return out
+
+
+def crosscheck_coalescing(kernel: Kernel, launch: LaunchConfig,
+                          spec: GPUSpec,
+                          shape: MatrixShape) -> CoalescingReport:
+    """Assert the auditor's classification reproduces the simulator's.
+
+    Returns the simulator-side :class:`CoalescingReport` (the audit's
+    single source of truth for transactions and bytes) after verifying the
+    IR-side re-derivation matches it access for access.
+    """
+    ours = classify_gpu_accesses(kernel, launch, spec, shape)
+    theirs = analyze_coalescing(kernel, launch, spec, shape)
+    if len(ours) != len(theirs.accesses):
+        raise AuditError(
+            f"{kernel.name}: auditor found {len(ours)} accesses, "
+            f"gpu.coalescing found {len(theirs.accesses)}")
+    for mine, sim in zip(ours, theirs.accesses):
+        same = (mine.array == sim.array and mine.kind == sim.kind
+                and mine.stride_across_x == sim.stride_across_x
+                and mine.pattern == sim.pattern
+                and abs(mine.transactions_per_warp
+                        - sim.transactions_per_warp) < 1e-9
+                and mine.per_k_iteration == sim.per_k_iteration)
+        if not same:
+            raise AuditError(
+                f"{kernel.name}: coalescing cross-check failed for "
+                f"{mine.kind} {mine.array}: audit says "
+                f"{mine.pattern}/{mine.transactions_per_warp:g} tx "
+                f"(stride {mine.stride_across_x}), simulator says "
+                f"{sim.pattern}/{sim.transactions_per_warp:g} tx "
+                f"(stride {sim.stride_across_x})")
+    return theirs
+
+
+def gpu_memory_diagnostics(kernel: Kernel, launch: LaunchConfig,
+                           spec: GPUSpec,
+                           shape: MatrixShape) -> Tuple[DiagnosticSet,
+                                                        CoalescingReport]:
+    """``P001`` findings plus the cross-checked coalescing report."""
+    report = crosscheck_coalescing(kernel, launch, spec, shape)
+    diags = DiagnosticSet()
+    for a in report.accesses:
+        if a.pattern != "strided" or not a.per_k_iteration:
+            continue
+        diags.add(Diagnostic(
+            code="P001", severity=Severity.WARNING,
+            message=(f"{a.kind} {a.array} strides {abs(a.stride_across_x)} "
+                     f"elements across threadIdx.x "
+                     f"({launch.describe()}): {a.transactions_per_warp:g} "
+                     f"transactions per warp per k iteration instead of a "
+                     f"coalesced handful — the transaction issue rate, not "
+                     f"bandwidth, becomes the bottleneck"),
+            kernel=kernel.name, subject=f"{a.kind} {a.array}"))
+    return diags, report
+
+
+def cpu_memory_diagnostics(kernel: Kernel, cpu: CPUSpec,
+                           shape: MatrixShape) -> DiagnosticSet:
+    """``P002``: innermost-loop strides that cross a full cache line."""
+    diags = DiagnosticSet()
+    line = cpu.caches.line_bytes
+    for info in reference_info(kernel, shape, line_bytes=line):
+        if info.stride_class != StrideClass.STRIDED:
+            continue
+        span = abs(info.inner_stride_elems) * info.element_bytes
+        if span < line:
+            continue
+        diags.add(Diagnostic(
+            code="P002", severity=Severity.WARNING,
+            message=(f"{info.kind} {info.ref} strides "
+                     f"{abs(info.inner_stride_elems)} elements "
+                     f"({span} B >= {line} B line) in its fastest loop: "
+                     f"every access opens a new cache line, so the "
+                     f"effective bandwidth is one element per line"),
+            kernel=kernel.name, subject=f"{info.kind} {info.ref}"))
+    return diags
+
+
+def locality_diagnostics(kernel: Kernel, pin: PinPolicy,
+                         cpu: CPUSpec) -> DiagnosticSet:
+    """``P003``: unpinned threads on a multi-NUMA socket."""
+    from ...sched.thread_sim import MIGRATION_COMPUTE_TAX
+
+    diags = DiagnosticSet()
+    if pin is PinPolicy.NONE and cpu.numa_domains > 1:
+        diags.add(Diagnostic(
+            code="P003", severity=Severity.WARNING,
+            message=(f"worksharing threads are unpinned on {cpu.name} "
+                     f"({cpu.numa_domains} NUMA domains): OS migrations "
+                     f"cost a x{MIGRATION_COMPUTE_TAX:.2f} compute tax and "
+                     f"forfeit NUMA-local bandwidth"),
+            kernel=kernel.name, subject=f"pinning {pin.value}"))
+    return diags
+
+
+def footprint_diagnostics(kernel: Kernel, profile: IssueProfile,
+                          largest_shape: MatrixShape) -> DiagnosticSet:
+    """``P004``: the sweep's largest operand set overruns the L2 budget."""
+    diags = DiagnosticSet()
+    footprint = largest_shape.footprint_bytes(kernel.precision)
+    if footprint > profile.thrash_threshold_bytes:
+        diags.add(Diagnostic(
+            code="P004", severity=Severity.INFO,
+            message=(f"operand footprint at {largest_shape} is "
+                     f"{footprint / 1e9:.1f} GB, past this lane's "
+                     f"{profile.thrash_threshold_bytes / 1e9:.1f} GB "
+                     f"L2-thrash threshold: expect a "
+                     f"x{profile.thrash_factor:.2f} slowdown at the "
+                     f"largest size"),
+            kernel=kernel.name, subject=f"footprint @{largest_shape}"))
+    return diags

@@ -1,0 +1,80 @@
+"""F-series: precision-safety dataflow over the lowered kernel.
+
+A GEMM is one long reduction, so the precision story is entirely about the
+accumulator: what width it carries (the paper's Fig. 1c mixed-precision
+convention stores FP16 products into an FP32 accumulator), whether the sum
+may be reassociated (fastmath splits the chain into independent partial
+sums, changing both the rounding and the reproducibility story), and
+whether the lane reaches the precision at all or only through a software
+fallback the paper excluded from its figures.
+
+Codes:
+
+* ``F001`` (info) — FP16 inputs accumulate into an FP32 accumulator; the
+  result is *mixed* precision, not half.
+* ``F002`` (warning) — a fastmath-reassociated reduction into an
+  accumulator of 32 bits or fewer over a long ``k``: partial sums change
+  the rounding of an already short-mantissa result.
+* ``F003`` (info) — fastmath at FP64: numerically benign at this
+  mantissa, but run-to-run bitwise reproducibility is forfeited.
+* ``F004`` (warning) — the (model, target, precision) lane is supported
+  only through a degraded software fallback (e.g. Julia's scalar
+  convert-compute-convert FP16 on Zen 3).
+"""
+
+from __future__ import annotations
+
+from ...core.types import MatrixShape, Precision
+from ...models.base import Support
+from ..nodes import Kernel
+from ..lint.diagnostics import Diagnostic, DiagnosticSet, Severity
+
+__all__ = ["precision_diagnostics", "LONG_REDUCTION_K"]
+
+#: Reductions at least this long make fastmath partial-sum rounding
+#: observable in a 24-bit mantissa (the sweep's smallest size already is).
+LONG_REDUCTION_K = 1024
+
+
+def precision_diagnostics(kernel: Kernel, precision: Precision,
+                          support: Support,
+                          shape: MatrixShape) -> DiagnosticSet:
+    """All F-series findings for one lowered lane."""
+    diags = DiagnosticSet()
+    accum = precision.accum_dtype
+
+    if accum.itemsize != precision.np_dtype.itemsize:
+        diags.add(Diagnostic(
+            code="F001", severity=Severity.INFO,
+            message=(f"{precision.value} inputs accumulate into a "
+                     f"{accum.name} accumulator (Fig. 1c mixed-precision "
+                     f"convention): the kernel's arithmetic is not pure "
+                     f"half precision"),
+            kernel=kernel.name, subject=f"accumulator {accum.name}"))
+
+    if kernel.fastmath and shape.k >= LONG_REDUCTION_K:
+        if accum.itemsize <= 4:
+            diags.add(Diagnostic(
+                code="F002", severity=Severity.WARNING,
+                message=(f"fastmath reassociates a k={shape.k} reduction "
+                         f"into independent partial sums over a "
+                         f"{accum.name} accumulator: the rounding of the "
+                         f"result depends on vector width and unroll "
+                         f"factor"),
+                kernel=kernel.name, subject=f"accumulator {accum.name}"))
+        else:
+            diags.add(Diagnostic(
+                code="F003", severity=Severity.INFO,
+                message=(f"fastmath reassociates the k={shape.k} FP64 "
+                         f"reduction: numerically benign at this mantissa "
+                         f"but bitwise run-to-run reproducibility is "
+                         f"forfeited"),
+                kernel=kernel.name, subject=f"accumulator {accum.name}"))
+
+    if support.degraded:
+        diags.add(Diagnostic(
+            code="F004", severity=Severity.WARNING,
+            message=(f"{precision.value} reaches this target only through "
+                     f"a degraded software path: {support.reason}"),
+            kernel=kernel.name, subject=f"support {precision.value}"))
+    return diags

@@ -1,0 +1,169 @@
+"""O-series: occupancy and register-residency hazards from IR live ranges.
+
+The register estimate is deliberately structural: it counts what the
+lowered IR forces the backend to keep live — loop counters, array base
+pointers, hoisted values, accumulator streams, unrolled operand copies —
+plus a share for the profile's per-iteration integer bookkeeping (a JIT
+that emits 100 extra integer ops per iteration holds their intermediates
+somewhere).  The estimate feeds the *same* vendor-calculator transcription
+the simulator uses (:func:`repro.gpu.occupancy.occupancy`), so the audit's
+residency numbers and the dynamic model's can never disagree about the
+hardware limits.
+
+Codes:
+
+* ``O001`` — register-informed occupancy at or below half the hardware
+  maximum: too few resident warps to hide FMA and memory latency.
+* ``O002`` — the register estimate drops resident blocks below the
+  nominal (32-register) count — the pressure cliff itself.
+* ``O003`` — a rolled (unroll = 1) strict-FP reduction: a single
+  accumulator chain plus per-iteration loop control, the Numba PTX
+  signature the paper corroborated with nvprof.
+* ``O004`` — a block size that is not a multiple of the warp size wastes
+  lanes in every partial warp.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ...errors import MachineModelError
+from ...gpu.launch import LaunchConfig
+from ...gpu.occupancy import Occupancy, occupancy
+from ...gpu.warp_sim import IssueProfile
+from ...machine.gpu import GPUSpec
+from ..nodes import Kernel
+from ..lint.diagnostics import Diagnostic, DiagnosticSet, Severity
+
+__all__ = [
+    "RegisterEstimate",
+    "estimate_registers",
+    "residency_diagnostics",
+    "OCCUPANCY_HAZARD_FRACTION",
+    "NOMINAL_REGISTERS",
+]
+
+#: Occupancy at or below this fraction of the hardware maximum cannot hide
+#: a ~350-cycle memory latency behind the remaining warps.
+OCCUPANCY_HAZARD_FRACTION = 0.5
+
+#: What the vendor compilers allocate for the naive GEMM inner loop — the
+#: default the simulator's occupancy call assumes.
+NOMINAL_REGISTERS = 32
+
+
+@dataclass(frozen=True)
+class RegisterEstimate:
+    """Structural per-thread register estimate with its line items."""
+
+    terms: Dict[str, float]
+
+    @property
+    def total(self) -> float:
+        return sum(self.terms.values())
+
+    @property
+    def per_thread(self) -> int:
+        """Whole registers the allocator must reserve (ceiling)."""
+        return int(math.ceil(self.total))
+
+    def describe(self) -> str:
+        parts = ", ".join(f"{k}={v:g}" for k, v in self.terms.items())
+        return f"{self.per_thread} regs/thread ({parts})"
+
+
+def estimate_registers(kernel: Kernel,
+                       profile: IssueProfile) -> RegisterEstimate:
+    """Live-range count of the lowered kernel, per thread.
+
+    Base ABI state, two registers per loop level (counter + bound), one
+    base pointer per array, one register per hoisted load, one per
+    accumulator stream, the unrolled copies of every inner-loop load, and
+    one register per eight extra integer ops the profile charges per
+    iteration (their addresses and intermediates).
+    """
+    inner = kernel.inner
+    unroll = max(1, inner.unroll)
+    n_hoisted = sum(1 for ld in kernel.body.loads
+                    if ld.hoisted_above is not None)
+    n_inner_loads = sum(1 for ld in kernel.body.loads
+                        if ld.hoisted_above is None)
+    accum_streams = unroll if (kernel.scalar_accum and kernel.fastmath) else 1
+    terms: Dict[str, float] = {
+        "abi": 8.0,
+        "loops": 2.0 * len(kernel.loops),
+        "bases": float(len(kernel.arrays)),
+        "hoisted": float(n_hoisted),
+        "accumulators": float(accum_streams),
+        "unrolled-operands": float(unroll * n_inner_loads),
+        "bookkeeping": profile.extra_int_per_iter / 8.0,
+    }
+    return RegisterEstimate(terms=terms)
+
+
+def residency_diagnostics(
+    kernel: Kernel, launch: LaunchConfig, spec: GPUSpec,
+    profile: IssueProfile,
+) -> Tuple[DiagnosticSet, Occupancy, Optional[Occupancy], RegisterEstimate]:
+    """O-series findings plus (nominal, register-informed) occupancies.
+
+    The register-informed occupancy is ``None`` only when the estimate is
+    so large the block cannot be resident at all (fixture territory; the
+    real lanes all fit).
+    """
+    diags = DiagnosticSet()
+    tpb = launch.threads_per_block
+
+    if tpb % spec.warp_size:
+        diags.add(Diagnostic(
+            code="O004", severity=Severity.WARNING,
+            message=(f"block of {tpb} threads is not a multiple of the "
+                     f"{spec.warp_size}-wide warp: the last warp of every "
+                     f"block runs partially empty"),
+            kernel=kernel.name, subject=f"block {tpb}"))
+
+    nominal = occupancy(spec, tpb, registers_per_thread=NOMINAL_REGISTERS)
+    est = estimate_registers(kernel, profile)
+    try:
+        pressured: Optional[Occupancy] = occupancy(
+            spec, tpb, registers_per_thread=est.per_thread)
+    except MachineModelError:
+        pressured = None
+        diags.add(Diagnostic(
+            code="O002", severity=Severity.WARNING,
+            message=(f"estimated {est.describe()} leaves no resident block "
+                     f"on {spec.name} at {tpb} threads/block"),
+            kernel=kernel.name, subject="registers"))
+        return diags, nominal, pressured, est
+
+    if pressured.blocks_per_cu < nominal.blocks_per_cu:
+        diags.add(Diagnostic(
+            code="O002", severity=Severity.WARNING,
+            message=(f"estimated {est.describe()} cuts resident blocks "
+                     f"from {nominal.blocks_per_cu} to "
+                     f"{pressured.blocks_per_cu} per CU on {spec.name}"),
+            kernel=kernel.name, subject="registers"))
+
+    frac = pressured.fraction(spec)
+    if frac <= OCCUPANCY_HAZARD_FRACTION:
+        diags.add(Diagnostic(
+            code="O001", severity=Severity.WARNING,
+            message=(f"occupancy is {frac:.0%} of the hardware maximum "
+                     f"({pressured.warps_per_cu} resident warps/CU): too "
+                     f"few warps to hide the "
+                     f"~{spec.mem_latency_cycles:.0f}-cycle memory "
+                     f"latency"),
+            kernel=kernel.name, subject="occupancy"))
+
+    inner = kernel.inner
+    if (max(1, inner.unroll) == 1 and kernel.scalar_accum
+            and not kernel.fastmath):
+        diags.add(Diagnostic(
+            code="O003", severity=Severity.WARNING,
+            message=("reduction loop is rolled (unroll 1) under strict FP: "
+                     "a single serial accumulator chain plus loop control "
+                     "on every iteration"),
+            kernel=kernel.name, subject=f"loop {inner.var}"))
+    return diags, nominal, pressured, est

@@ -1,0 +1,173 @@
+"""Per-lane audit verdicts: a predicted efficiency band from static facts.
+
+The paper's Table III divides each portable model's performance by the
+platform reference.  That ratio is predictable *without running the
+simulator* because, at GEMM's sizes, both lanes are bound by per-iteration
+issue pressure — a closed-form max over execution-unit terms:
+
+* **GPU** — per-warp per-``k``-iteration issue cycles, the max over FMA
+  pipes, LSU slots, memory-transaction servicing, integer/branch work and
+  the per-CU share of L2 bandwidth, scaled by the profile's issue
+  multiplier.  This mirrors the unit model of
+  :func:`repro.gpu.warp_sim.simulate_gpu_kernel` term for term (the tests
+  assert exact agreement with its ``issue_cycles_per_iter``), minus the
+  wave/DRAM/launch machinery that cancels in the ratio.
+* **CPU** — per-core port pressure from the instruction mix (FMA pipes,
+  load/store ports, frontend IPC), scaled by the issue multiplier, times
+  the NUMA migration tax when the lane cannot pin its threads — mirroring
+  :func:`repro.sim.executor.cpu_cycles_total`.
+
+``predicted_efficiency(model, reference)`` is then just the cycle ratio,
+and :func:`classify_band` turns it into the coarse verdict the matrix
+table reports.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ...core.types import MatrixShape
+from ...gpu.launch import LaunchConfig
+from ...gpu.warp_sim import IssueProfile
+from ...machine.cpu import CPUSpec
+from ...machine.gpu import GPUSpec
+from ...sched.affinity import PinPolicy
+from ...sim.executor import CPUIssueProfile
+from ..analysis import instruction_mix
+from ..nodes import Kernel
+from .memory import crosscheck_coalescing
+
+__all__ = [
+    "Band",
+    "BAND_HIGH",
+    "BAND_MEDIUM",
+    "classify_band",
+    "StaticEstimate",
+    "gpu_issue_estimate",
+    "cpu_issue_estimate",
+    "predicted_efficiency",
+]
+
+#: Band thresholds on predicted/measured efficiency.  0.75 separates
+#: "within shouting distance of the reference" from "a real gap"; 0.35
+#: separates a gap from a cliff (the uncoalesced/rolled-loop failures all
+#: land far below it).
+BAND_HIGH = 0.75
+BAND_MEDIUM = 0.35
+
+
+class Band(enum.Enum):
+    """Coarse efficiency verdict for the matrix table."""
+
+    HIGH = "high"
+    MEDIUM = "medium"
+    LOW = "low"
+
+
+def classify_band(efficiency: float) -> Band:
+    if efficiency >= BAND_HIGH:
+        return Band.HIGH
+    if efficiency >= BAND_MEDIUM:
+        return Band.MEDIUM
+    return Band.LOW
+
+
+@dataclass(frozen=True)
+class StaticEstimate:
+    """Per-iteration issue cost of one lane, with its unit breakdown.
+
+    ``cycles`` is the profile-scaled max over ``terms`` (times the NUMA
+    tax on CPU); ``bound`` names the unit that binds.
+    """
+
+    cycles: float
+    bound: str
+    terms: Dict[str, float]
+    migration_tax: float = 1.0
+
+    def describe(self) -> str:
+        parts = ", ".join(f"{k}={v:.2f}" for k, v in self.terms.items())
+        tax = (f" x{self.migration_tax:.2f} migration"
+               if self.migration_tax != 1.0 else "")
+        return f"{self.cycles:.2f} cyc/iter [{self.bound}-bound] ({parts}){tax}"
+
+
+def gpu_issue_estimate(kernel: Kernel, launch: LaunchConfig, spec: GPUSpec,
+                       profile: IssueProfile,
+                       shape: MatrixShape) -> StaticEstimate:
+    """Per-warp per-``k``-iteration issue cycles, unit by unit."""
+    coal = crosscheck_coalescing(kernel, launch, spec, shape)
+    inner = kernel.inner
+    unroll = max(1, inner.unroll)
+    n_mem = (sum(1 for ld in kernel.body.loads if ld.hoisted_above is None)
+             + sum(1 for st in kernel.body.stores if st.hoisted_above is None))
+    w = spec.warp_size
+
+    terms: Dict[str, float] = {
+        "fma": w / spec.fma_rate(kernel.precision),
+        "lsu": n_mem * w / spec.lsu_per_cycle,
+        "tx": coal.transactions_per_warp_k_iter / spec.transactions_per_cycle,
+        "int": ((n_mem + 3.0 / unroll + profile.extra_int_per_iter)
+                * w / spec.int_per_cycle),
+    }
+    if spec.caches.levels:
+        l2 = spec.caches.level("L2")
+        l2_bytes_per_cu_cycle = (l2.bandwidth_gbs * 1e9
+                                 / (spec.compute_units * spec.clock_ghz * 1e9))
+        terms["l2"] = coal.bytes_per_warp_k_iter / l2_bytes_per_cu_cycle
+
+    bound = max(terms, key=lambda t: terms[t])
+    return StaticEstimate(
+        cycles=terms[bound] * profile.issue_multiplier,
+        bound=bound, terms=terms)
+
+
+def cpu_issue_estimate(kernel: Kernel, cpu: CPUSpec,
+                       profile: CPUIssueProfile, pin: PinPolicy,
+                       shape: MatrixShape) -> StaticEstimate:
+    """Per-inner-iteration port cycles for one core, unit by unit.
+
+    Normalising the mix totals by the inner trip count keeps the numbers
+    human-sized; the ratio against the reference lane is unchanged.
+    """
+    from ...sched.thread_sim import MIGRATION_COMPUTE_TAX
+
+    mix = instruction_mix(kernel, shape, line_bytes=cpu.caches.line_bytes)
+    iters = max(1, mix.inner_iterations)
+    int_total = (mix.int_ops + mix.branch_ops + mix.guard_ops
+                 + profile.extra_int_per_inner_iter * mix.inner_iterations)
+    terms: Dict[str, float] = {
+        "fma": mix.fma_issues / cpu.fma_units / iters,
+        "load": mix.load_issues / cpu.load_ports / iters,
+        "store": mix.store_issues / cpu.store_ports / iters,
+        "int": int_total / cpu.frontend_ipc / iters,
+    }
+    if mix.has_reduction_chain:
+        fma_execs = mix.flops / 2.0
+        terms["chain"] = (fma_execs * cpu.fma_latency_cycles
+                          / mix.accum_streams / iters)
+
+    bound = max(terms, key=lambda t: terms[t])
+    tax = (MIGRATION_COMPUTE_TAX
+           if pin is PinPolicy.NONE and cpu.numa_domains > 1 else 1.0)
+    return StaticEstimate(
+        cycles=terms[bound] * profile.issue_multiplier * tax,
+        bound=bound, terms=terms, migration_tax=tax)
+
+
+def predicted_efficiency(model_estimate: StaticEstimate,
+                         reference_estimate: StaticEstimate) -> float:
+    """Eq. (2)'s e_i, statically: reference cycles over model cycles."""
+    if model_estimate.cycles <= 0:
+        return 0.0
+    return reference_estimate.cycles / model_estimate.cycles
+
+
+def band_of(efficiency: Optional[float]) -> Optional[Band]:
+    """Band of an efficiency that may be None (unsupported lane)."""
+    return None if efficiency is None else classify_band(efficiency)
+
+
+__all__.append("band_of")

@@ -11,7 +11,9 @@ Layers, innermost first:
 * :mod:`~repro.ir.lint.bounds` — in-bounds proofs for affine references;
 * :mod:`~repro.ir.lint.legality` — the per-pass preconditions the
   :class:`~repro.ir.passes.PassPipeline` gates on;
-* :mod:`~repro.ir.lint.linter` — kernel/lowering/registry drivers.
+* :mod:`~repro.ir.lint.linter` — kernel/lowering/registry drivers;
+* :mod:`~repro.ir.lint.serialize` — the JSON schema ``repro lint`` and
+  ``repro audit`` share for ``--format json``.
 """
 
 from .bounds import provably_in_bounds
@@ -30,6 +32,12 @@ from .legality import (
 )
 from .linter import LintResult, lint_kernel, lint_lowering, lint_registry
 from .races import race_diagnostics
+from .serialize import (
+    diagnostic_payload,
+    lane_payload,
+    sweep_payload,
+    sweep_to_json,
+)
 
 __all__ = [
     "CODES",
@@ -50,4 +58,8 @@ __all__ = [
     "lint_kernel",
     "lint_lowering",
     "lint_registry",
+    "diagnostic_payload",
+    "lane_payload",
+    "sweep_payload",
+    "sweep_to_json",
 ]

@@ -14,6 +14,15 @@ Code families:
 * ``L0xx`` — pass-legality violations (transformations that would change
   the kernel's semantics),
 * ``W0xx`` — performance or modelling warnings.
+
+The performance-portability auditor (:mod:`repro.ir.audit`) adds three
+further families over the same framework:
+
+* ``P0xx`` — memory-access / locality hazards (coalescing, cache lines,
+  NUMA placement, cache-footprint thrash),
+* ``O0xx`` — occupancy and register-residency hazards,
+* ``F0xx`` — precision-safety findings (mixed-precision accumulation,
+  reassociated reductions, degraded software fallbacks).
 """
 
 from __future__ import annotations
@@ -40,6 +49,19 @@ CODES = {
     "W001": "strided store in the innermost loop defeats vectorisation",
     "W002": "unrolled strict-FP reduction keeps a single accumulator chain",
     "W003": "strided load in the innermost CPU loop (one line per access)",
+    # -- performance-portability audit (repro.ir.audit) -------------------
+    "P001": "uncoalesced global access: large stride across threadIdx.x",
+    "P002": "cache-line-hostile stride in the innermost CPU loop",
+    "P003": "unpinned worksharing threads on a multi-NUMA CPU",
+    "P004": "operand footprint exceeds the lane's L2-thrash threshold",
+    "O001": "occupancy at or below half of the hardware maximum",
+    "O002": "register pressure drops resident blocks below the nominal count",
+    "O003": "rolled strict-FP reduction leaves a single accumulator stream",
+    "O004": "block size is not a multiple of the warp size",
+    "F001": "FP16 inputs accumulate into an FP32 accumulator (mixed precision)",
+    "F002": "reassociated (fastmath) reduction in a narrow accumulator",
+    "F003": "fastmath reassociation forfeits bitwise-reproducible FP64 sums",
+    "F004": "precision supported only through a degraded software fallback",
 }
 
 

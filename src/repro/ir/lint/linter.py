@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-from ...core.types import MatrixShape
+from ...core.types import MatrixShape, Precision
 from ...errors import IRVerificationError, LintError
 from ..analysis import StrideClass, reference_info
 from ..nodes import Kernel, ParallelKind
@@ -122,7 +122,8 @@ def lint_lowering(model, spec, precision) -> DiagnosticSet:
 
 def lint_registry(models: Optional[Sequence[str]] = None,
                   device: str = "all",
-                  precisions: Optional[Sequence] = None) -> List[LintResult]:
+                  precisions: Optional[Sequence[Precision]] = None,
+                  ) -> List[LintResult]:
     """Sweep every registered model × device × precision.
 
     ``models`` restricts to registry names (default: all, extensions

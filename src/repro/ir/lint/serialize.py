@@ -1,0 +1,97 @@
+"""One JSON serializer for both static-analysis sweeps.
+
+``repro lint --format json`` and ``repro audit --format json`` share this
+module so the two commands emit the same diagnostic schema — a CI consumer
+parses one shape regardless of which gate produced it.  The lane payload
+is duck-typed over :class:`repro.ir.lint.linter.LintResult` and
+:class:`repro.ir.audit.auditor.AuditResult`: audit-only fields (``device``,
+``degraded``, ``verdict``) appear only when the result carries them.
+
+The schema is documented in ``docs/API.md`` and pinned by the snapshot
+tests; treat key renames as breaking changes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Sequence
+
+from .diagnostics import Diagnostic
+
+__all__ = [
+    "diagnostic_payload",
+    "lane_payload",
+    "sweep_payload",
+    "sweep_to_json",
+]
+
+
+def diagnostic_payload(diag: Diagnostic) -> Dict[str, Any]:
+    """One finding: stable code, severity, message, anchors."""
+    return {
+        "code": diag.code,
+        "severity": diag.severity.value,
+        "message": diag.message,
+        "kernel": diag.kernel,
+        "subject": diag.subject,
+    }
+
+
+def _verdict_payload(verdict: Any) -> Dict[str, Any]:
+    return {
+        "predicted_efficiency": verdict.predicted_efficiency,
+        "band": verdict.band.value if verdict.band is not None else None,
+        "bound": verdict.bound,
+        "reference": verdict.reference,
+        "occupancy_fraction": verdict.occupancy_fraction,
+        "hazards": list(verdict.hazards),
+        "estimate": {
+            "cycles": verdict.estimate.cycles,
+            "terms": dict(verdict.estimate.terms),
+            "migration_tax": verdict.estimate.migration_tax,
+        },
+    }
+
+
+def lane_payload(result: Any) -> Dict[str, Any]:
+    """One (model, target, precision) row of a lint or audit sweep."""
+    payload: Dict[str, Any] = {
+        "model": result.model,
+        "target": result.target,
+        "precision": result.precision,
+        "skipped": result.skipped,
+        "diagnostics": [diagnostic_payload(d) for d in result.diagnostics],
+    }
+    device = getattr(result, "device", None)
+    if device is not None:
+        payload["device"] = device
+    degraded = getattr(result, "degraded", None)
+    if degraded is not None:
+        payload["degraded"] = degraded
+    verdict = getattr(result, "verdict", None)
+    if verdict is not None:
+        payload["verdict"] = _verdict_payload(verdict)
+    return payload
+
+
+def sweep_payload(kind: str, results: Sequence[Any]) -> Dict[str, Any]:
+    """A whole sweep plus its totals, ready for ``json.dumps``."""
+    lanes = [lane_payload(r) for r in results]
+    return {
+        "kind": kind,
+        "lanes": lanes,
+        "totals": {
+            "lanes": len(lanes),
+            "skipped": sum(1 for r in results if r.skipped),
+            "errors": sum(r.error_count for r in results),
+            "warnings": sum(
+                sum(1 for d in r.diagnostics
+                    if d.severity.value == "warning")
+                for r in results),
+        },
+    }
+
+
+def sweep_to_json(kind: str, results: Sequence[Any]) -> str:
+    """The exact text the CLI prints for ``--format json``."""
+    return json.dumps(sweep_payload(kind, results), indent=2, sort_keys=True)

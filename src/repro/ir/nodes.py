@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, replace
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Any, Dict, Iterator, Optional, Tuple
 
 from ..core.types import Layout, Precision
 from ..errors import IRVerificationError
@@ -163,7 +163,7 @@ class Body:
     fmas: Tuple[FMAOp, ...] = ()
     stores: Tuple[StoreOp, ...] = ()
 
-    def with_(self, **kw) -> "Body":
+    def with_(self, **kw: Any) -> "Body":
         return replace(self, **kw)
 
 
@@ -272,7 +272,7 @@ class Kernel:
         for st in self.body.stores:
             yield st.ref
 
-    def replace(self, **kw) -> "Kernel":
+    def replace(self, **kw: Any) -> "Kernel":
         return replace(self, **kw)
 
     # -- verification -------------------------------------------------------

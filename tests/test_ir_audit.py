@@ -1,0 +1,377 @@
+"""Tests for the static performance-portability auditor (``repro audit``).
+
+Three layers: per-pass units against hand-built IR fixtures, the
+cross-checks that tie the auditor to the simulator's own memory and
+occupancy models, and the end-to-end guarantees — every lane audited,
+verdicts agreeing with the measured seed-GEMM efficiencies of Table III.
+"""
+
+import math
+
+import pytest
+
+from repro.core.types import Layout, MatrixShape, Precision
+from repro.gpu import IssueProfile, LaunchConfig, paper_launch, simulate_gpu_kernel
+from repro.ir import builder
+from repro.ir.audit import (
+    AUDIT_SHAPE,
+    Band,
+    audit_lowering,
+    audit_registry,
+    check_consistency,
+    classify_band,
+    classify_gpu_accesses,
+    cpu_issue_estimate,
+    cpu_memory_diagnostics,
+    crosscheck_coalescing,
+    estimate_registers,
+    footprint_diagnostics,
+    gpu_issue_estimate,
+    gpu_memory_diagnostics,
+    locality_diagnostics,
+    precision_diagnostics,
+    residency_diagnostics,
+)
+from repro.ir.lint import Severity
+from repro.machine import CPU_CATALOG, GPU_CATALOG
+from repro.models import model_by_name
+from repro.models.base import Support
+from repro.sched.affinity import PinPolicy
+
+A100 = GPU_CATALOG["a100"]
+MI250X = GPU_CATALOG["mi250x"]
+EPYC = CPU_CATALOG["epyc-7a53"]
+ALTRA = CPU_CATALOG["ampere-altra"]
+
+SHAPE = MatrixShape.square(4096)
+OK = Support(supported=True, reason="")
+
+
+def gpu_kernel(precision=Precision.FP64, layout=Layout.ROW_MAJOR):
+    return builder.gpu_thread_per_element("g", precision, layout)
+
+
+def _codes(diags):
+    return {d.code for d in diags}
+
+
+# --------------------------------------------------------------------------
+# P-series: memory access
+# --------------------------------------------------------------------------
+
+class TestGPUMemory:
+    def test_row_major_x_over_j_coalesces(self):
+        """CUDA's mapping: x -> j, row-major => B and C contiguous."""
+        diags, report = gpu_memory_diagnostics(
+            gpu_kernel(), paper_launch("j"), A100, SHAPE)
+        assert "P001" not in _codes(diags)
+        assert report.worst_pattern != "strided"
+
+    def test_col_major_x_over_j_is_strided(self):
+        """Kokkos on CUDA (Sec. IV-B): LayoutLeft under an x->j map."""
+        diags, report = gpu_memory_diagnostics(
+            gpu_kernel(layout=Layout.COL_MAJOR), paper_launch("j"),
+            A100, SHAPE)
+        strided = [d for d in diags if d.code == "P001"]
+        assert strided, "expected an uncoalesced-access finding"
+        assert all(d.severity is Severity.WARNING for d in strided)
+        # the per-k B load is the offender: stride k across threadIdx.x
+        assert any("B" in d.subject for d in strided)
+
+    def test_classification_flags_per_k_accesses(self):
+        accesses = classify_gpu_accesses(
+            gpu_kernel(layout=Layout.COL_MAJOR), paper_launch("j"),
+            A100, SHAPE)
+        b = next(a for a in accesses if a.array == "B")
+        assert b.pattern == "strided"
+        assert b.per_k_iteration
+        assert b.transactions_per_warp == A100.warp_size
+
+    def test_crosscheck_agrees_on_every_registry_gpu_lane(self):
+        """The auditor's re-derivation must match gpu.coalescing exactly."""
+        for name in ("cuda", "hip", "kokkos", "julia", "numba",
+                     "kernelabstractions"):
+            model = model_by_name(name)
+            for spec in (A100, MI250X):
+                for prec in (Precision.FP64, Precision.FP32):
+                    if not model.supports(spec, prec).supported:
+                        continue
+                    low = model.lower_gpu(spec, prec)
+                    # raises AuditError on any disagreement
+                    crosscheck_coalescing(low.kernel, low.launch, spec, SHAPE)
+
+
+class TestCPUMemory:
+    def test_jki_row_major_strided_inner(self):
+        """Row-major A walked down a column in the fastest loop."""
+        k = builder.build_gemm("bad", Precision.FP64, "jki",
+                               Layout.ROW_MAJOR, parallel_vars=("j",))
+        diags = cpu_memory_diagnostics(k, EPYC, SHAPE)
+        assert "P002" in _codes(diags)
+
+    def test_ikj_row_major_clean(self):
+        k = builder.build_gemm("good", Precision.FP64, "ikj",
+                               Layout.ROW_MAJOR)
+        assert not cpu_memory_diagnostics(k, EPYC, SHAPE)
+
+
+class TestLocality:
+    def test_unpinned_multi_numa_flags(self):
+        k = builder.numba_cpu(Precision.FP64)
+        diags = locality_diagnostics(k, PinPolicy.NONE, EPYC)
+        assert _codes(diags) == {"P003"}
+
+    def test_single_numa_or_pinned_clean(self):
+        k = builder.numba_cpu(Precision.FP64)
+        assert not locality_diagnostics(k, PinPolicy.NONE, ALTRA)
+        assert not locality_diagnostics(k, PinPolicy.COMPACT, EPYC)
+
+
+class TestFootprint:
+    def test_thrash_threshold_crossing(self):
+        k = gpu_kernel()
+        tight = IssueProfile(thrash_threshold_bytes=5.0e9, thrash_factor=1.2)
+        big = MatrixShape.square(16384)   # 3 * 16384^2 * 8 B = 6.4 GB
+        diags = footprint_diagnostics(k, tight, big)
+        assert _codes(diags) == {"P004"}
+        assert not footprint_diagnostics(k, IssueProfile(), big)
+
+
+# --------------------------------------------------------------------------
+# O-series: occupancy / registers
+# --------------------------------------------------------------------------
+
+class TestResidency:
+    def test_numba_register_pressure_halves_occupancy(self):
+        """The Numba lane's bookkeeping uniquely drops a resident block."""
+        numba = model_by_name("numba").lower_gpu(A100, Precision.FP64)
+        diags, nominal, pressured, est = residency_diagnostics(
+            numba.kernel, numba.launch, A100, numba.profile)
+        assert est.per_thread > 32
+        assert nominal.blocks_per_cu == 2
+        assert pressured.blocks_per_cu == 1
+        assert {"O001", "O002", "O003"} <= _codes(diags)
+
+    def test_vendor_lane_keeps_nominal_residency(self):
+        cuda = model_by_name("cuda").lower_gpu(A100, Precision.FP64)
+        diags, nominal, pressured, est = residency_diagnostics(
+            cuda.kernel, cuda.launch, A100, cuda.profile)
+        assert est.per_thread <= 32
+        assert pressured.blocks_per_cu == nominal.blocks_per_cu == 2
+        assert not _codes(diags) & {"O001", "O002", "O003"}
+
+    def test_register_estimate_scales_with_unroll(self):
+        from repro.ir.passes import UnrollInnerLoop
+
+        base = gpu_kernel()
+        rolled = estimate_registers(base, IssueProfile())
+        unrolled = estimate_registers(UnrollInnerLoop(4).run(base),
+                                      IssueProfile())
+        assert unrolled.per_thread > rolled.per_thread
+
+    def test_partial_warp_block_flags_o004(self):
+        diags, *_ = residency_diagnostics(
+            gpu_kernel(), LaunchConfig(24, 2, "j"), A100, IssueProfile())
+        assert "O004" in _codes(diags)
+
+
+# --------------------------------------------------------------------------
+# F-series: precision flow
+# --------------------------------------------------------------------------
+
+class TestPrecisionFlow:
+    def test_fp16_mixed_accumulator_info(self):
+        diags = precision_diagnostics(gpu_kernel(Precision.FP16),
+                                      Precision.FP16, OK, SHAPE)
+        assert "F001" in _codes(diags)
+
+    def test_fastmath_fp32_warns_fp64_informs(self):
+        k32 = builder.numba_cpu(Precision.FP32)
+        k64 = builder.numba_cpu(Precision.FP64)
+        assert k32.fastmath and k64.fastmath
+        assert "F002" in _codes(precision_diagnostics(
+            k32, Precision.FP32, OK, SHAPE))
+        d64 = precision_diagnostics(k64, Precision.FP64, OK, SHAPE)
+        assert "F003" in _codes(d64)
+        assert all(d.severity is Severity.INFO for d in d64)
+
+    def test_short_reduction_is_quiet(self):
+        k32 = builder.numba_cpu(Precision.FP32)
+        small = MatrixShape.square(256)
+        assert "F002" not in _codes(precision_diagnostics(
+            k32, Precision.FP32, OK, small))
+
+    def test_strict_fp_is_quiet(self):
+        k = builder.c_openmp_cpu(Precision.FP32)
+        assert not k.fastmath
+        assert not precision_diagnostics(k, Precision.FP32, OK, SHAPE)
+
+    def test_degraded_support_warns(self):
+        deg = Support(supported=True, reason="scalar fallback",
+                      degraded=True)
+        diags = precision_diagnostics(builder.julia_threads_cpu(
+            Precision.FP16), Precision.FP16, deg, SHAPE)
+        assert "F004" in _codes(diags)
+
+
+# --------------------------------------------------------------------------
+# Verdicts: the static issue model against the simulator's
+# --------------------------------------------------------------------------
+
+class TestStaticEstimates:
+    def test_gpu_estimate_matches_warp_sim_exactly(self):
+        """The static issue model must be the simulator's, term for term."""
+        for name in ("cuda", "hip", "kokkos", "julia", "numba",
+                     "kernelabstractions"):
+            model = model_by_name(name)
+            for spec in (A100, MI250X):
+                for prec in (Precision.FP64, Precision.FP32):
+                    if not model.supports(spec, prec).supported:
+                        continue
+                    low = model.lower_gpu(spec, prec)
+                    est = gpu_issue_estimate(low.kernel, low.launch, spec,
+                                             low.profile, SHAPE)
+                    timing = simulate_gpu_kernel(low.kernel, low.launch,
+                                                 spec, SHAPE, low.profile)
+                    assert est.cycles == pytest.approx(
+                        timing.issue_cycles_per_iter, rel=1e-12), (
+                        f"{name}@{spec.name}/{prec.value}")
+
+    def test_numba_a100_is_int_bound(self):
+        numba = model_by_name("numba").lower_gpu(A100, Precision.FP64)
+        est = gpu_issue_estimate(numba.kernel, numba.launch, A100,
+                                 numba.profile, SHAPE)
+        assert est.bound == "int"
+
+    def test_cuda_a100_fp64_is_l2_bound(self):
+        cuda = model_by_name("cuda").lower_gpu(A100, Precision.FP64)
+        est = gpu_issue_estimate(cuda.kernel, cuda.launch, A100,
+                                 cuda.profile, SHAPE)
+        assert est.bound == "l2"
+
+    def test_cpu_migration_tax_applied_only_when_unpinned_multi_numa(self):
+        numba = model_by_name("numba")
+        est_epyc = cpu_issue_estimate(
+            *(lambda low: (low.kernel, EPYC, low.profile, low.pin))(
+                numba.lower_cpu(EPYC, Precision.FP64)), SHAPE)
+        est_altra = cpu_issue_estimate(
+            *(lambda low: (low.kernel, ALTRA, low.profile, low.pin))(
+                numba.lower_cpu(ALTRA, Precision.FP64)), SHAPE)
+        assert est_epyc.migration_tax > 1.0
+        assert est_altra.migration_tax == 1.0
+
+    def test_band_boundaries(self):
+        assert classify_band(0.75) is Band.HIGH
+        assert classify_band(0.60) is Band.MEDIUM
+        assert classify_band(0.35) is Band.MEDIUM
+        assert classify_band(0.3499) is Band.LOW
+
+
+# --------------------------------------------------------------------------
+# End to end: lanes, verdicts, Table III agreement
+# --------------------------------------------------------------------------
+
+class TestAuditRegistry:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return audit_registry()
+
+    def test_every_lane_present(self, sweep):
+        from repro.models import all_models
+
+        n_models = len(all_models(include_extensions=True))
+        n_specs = len(CPU_CATALOG) + len(GPU_CATALOG)
+        assert len(sweep) == n_models * n_specs * len(Precision)
+
+    def test_no_error_severity_findings(self, sweep):
+        assert all(r.error_count == 0 for r in sweep)
+
+    def test_every_audited_lane_has_a_verdict(self, sweep):
+        assert all(r.verdict is not None for r in sweep if not r.skipped)
+
+    def test_fp16_lanes_have_no_reference_ratio(self, sweep):
+        fp16 = [r for r in sweep if not r.skipped and r.precision == "fp16"]
+        assert fp16
+        assert all(r.verdict.predicted_efficiency is None for r in fp16)
+        assert all(r.verdict.band is None for r in fp16)
+
+    def test_reference_lanes_are_unity(self, sweep):
+        for r in sweep:
+            if r.skipped or r.model not in ("c-openmp", "cuda", "hip"):
+                continue
+            assert r.verdict.predicted_efficiency == 1.0
+            assert r.verdict.band is Band.HIGH
+
+    def test_expected_hazards_per_lane(self, sweep):
+        """The signature findings of the paper's four failure stories."""
+        by_lane = {(r.model, r.target, r.precision): r for r in sweep}
+        kokkos_a100 = by_lane[("kokkos", A100.name, "fp64")]
+        assert "P001" in kokkos_a100.verdict.hazards
+        numba_a100 = by_lane[("numba", A100.name, "fp64")]
+        assert {"O001", "O002", "O003"} <= set(numba_a100.verdict.hazards)
+        numba_epyc = by_lane[("numba", EPYC.name, "fp64")]
+        assert "P003" in numba_epyc.verdict.hazards
+        kokkos_mi = by_lane[("kokkos", MI250X.name, "fp64")]
+        assert any(d.code == "P004" for d in kokkos_mi.diagnostics)
+
+    def test_predictions_track_published_table3(self, sweep):
+        """Static verdicts land within 0.05 of the published e_i."""
+        from repro.harness.figures import PAPER_TABLE3
+
+        label_to_spec = {"Epyc 7A53": EPYC, "Ampere Altra": ALTRA,
+                         "MI250x": MI250X, "A100": A100}
+        by_lane = {(r.model, r.target, r.precision): r for r in sweep}
+        checked = 0
+        for prec, per_model in PAPER_TABLE3.items():
+            for model, cells in per_model.items():
+                for label, published in cells.items():
+                    if published is None:
+                        continue
+                    lane = by_lane[(model, label_to_spec[label].name,
+                                    prec.value)]
+                    predicted = lane.verdict.predicted_efficiency
+                    assert predicted == pytest.approx(published, abs=0.05), (
+                        f"{model}@{label}/{prec.value}")
+                    checked += 1
+        assert checked == 22
+
+
+class TestConsistency:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return check_consistency()
+
+    def test_static_verdicts_do_not_contradict_the_simulator(self, report):
+        assert report.conflicts == []
+        assert report.consistent
+
+    def test_bands_agree_on_every_lane(self, report):
+        assert len(report.lanes) == 22
+        assert all(lane.band_agrees for lane in report.lanes)
+
+    def test_static_tracks_measured_within_tolerance(self, report):
+        for lane in report.lanes:
+            assert math.isclose(lane.predicted, lane.measured,
+                                abs_tol=0.05), (
+                f"{lane.model}@{lane.platform}/{lane.precision}")
+
+
+class TestAuditLowering:
+    def test_returns_diags_and_verdict(self):
+        diags, verdict = audit_lowering(model_by_name("kokkos"), A100,
+                                        Precision.FP64)
+        assert verdict is not None
+        assert verdict.reference == "cuda"
+        assert verdict.band is Band.LOW
+        assert verdict.occupancy_fraction is not None
+
+    def test_cpu_lane_has_no_occupancy(self):
+        _, verdict = audit_lowering(model_by_name("julia"), EPYC,
+                                    Precision.FP64)
+        assert verdict.occupancy_fraction is None
+        assert verdict.reference == "c-openmp"
+
+    def test_audit_shape_reaches_long_reduction(self):
+        from repro.ir.audit import LONG_REDUCTION_K
+
+        assert AUDIT_SHAPE.k >= LONG_REDUCTION_K
