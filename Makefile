@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint audit bench bench-audit bench-paper report report-cached faults breaker resume fsck verify examples clean
+.PHONY: install test lint audit bench bench-audit bench-engine bench-paper engine-smoke report report-cached faults breaker resume fsck verify examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -41,6 +41,32 @@ bench-paper:
 # record lanes/sec in BENCH_static_analysis.json.
 bench-audit:
 	$(PYTHON) benchmarks/bench_static_analysis.py --out BENCH_static_analysis.json
+
+# Sweep-executor throughput: time cold/warm sweeps through the serial,
+# thread and process engines and record cells/sec in BENCH_engine.json.
+bench-engine:
+	$(PYTHON) benchmarks/bench_engine.py --out BENCH_engine.json
+
+# Process-engine determinism smoke test: the sharded executor must
+# produce byte-identical stdout and export artifacts to a serial run
+# (only the artifact path in the banner differs; the digest must not).
+engine-smoke:
+	rm -rf .repro-engine-smoke
+	mkdir -p .repro-engine-smoke
+	REPRO_CACHE_DIR=.repro-engine-smoke/cache-serial $(PYTHON) -m repro run \
+	  --models julia,numba --sizes 256,512,1024 --serial --no-journal \
+	  --export .repro-engine-smoke/serial.json > .repro-engine-smoke/serial.txt
+	REPRO_CACHE_DIR=.repro-engine-smoke/cache-process $(PYTHON) -m repro run \
+	  --models julia,numba --sizes 256,512,1024 --engine process --jobs 2 \
+	  --no-journal \
+	  --export .repro-engine-smoke/process.json > .repro-engine-smoke/process.txt
+	cmp .repro-engine-smoke/serial.json .repro-engine-smoke/process.json
+	sed 's/^\[artifact: .* sha256:/[artifact: sha256:/' \
+	  .repro-engine-smoke/serial.txt > .repro-engine-smoke/serial.flt
+	sed 's/^\[artifact: .* sha256:/[artifact: sha256:/' \
+	  .repro-engine-smoke/process.txt > .repro-engine-smoke/process.flt
+	cmp .repro-engine-smoke/serial.flt .repro-engine-smoke/process.flt
+	@echo "process engine byte-identical to serial (stdout + export)"
 
 report:
 	$(PYTHON) -m repro report --out study_report.md
@@ -109,5 +135,5 @@ examples:
 clean:
 	rm -rf build dist src/*.egg-info .pytest_cache .hypothesis study_report.md
 	rm -rf .repro-cache study_report_cold.md study_report_warm.md
-	rm -rf .repro-fsck-cache .repro-fsck-runs
+	rm -rf .repro-fsck-cache .repro-fsck-runs .repro-engine-smoke
 	find . -name __pycache__ -type d -exec rm -rf {} +

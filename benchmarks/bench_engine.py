@@ -1,0 +1,133 @@
+"""Sweep-engine throughput: cells/sec for each executor, cold and warm.
+
+Times one experiment matrix through the three sweep executors — the
+serial reference loop, the in-process thread pool, and the sharded
+process pool (``--engine process``) — each against a cold private cache
+and again warm, and writes the numbers to ``BENCH_engine.json`` (re-run
+via ``make bench-engine`` after touching the engine to see regressions).
+
+Two caveats the payload records rather than hides: the host CPU count
+bounds any possible fan-out speedup (a 1-core CI box cannot show one),
+and the process engine's per-worker start-up cost is part of its cold
+number on purpose — that overhead is the price of shared-nothing
+workers and belongs in the trajectory.
+
+Standalone on purpose: ``python benchmarks/bench_engine.py`` works with
+or without the package installed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import os
+import platform
+import shutil
+import sys
+import tempfile
+import time
+
+if __package__ in (None, ""):
+    _src = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+    if _src not in sys.path:
+        sys.path.insert(0, _src)
+
+from repro.core.types import DeviceKind, Precision          # noqa: E402
+from repro.harness.engine import ResultCache, SweepEngine   # noqa: E402
+from repro.harness.experiment import Experiment             # noqa: E402
+
+
+def bench_experiment() -> Experiment:
+    """A mid-sized CPU sweep: 3 models x 3 sizes = 9 cells."""
+    return Experiment(
+        exp_id="bench-engine", title="engine throughput benchmark",
+        node_name="Crusher", device=DeviceKind.CPU, precision=Precision.FP64,
+        models=("c-openmp", "julia", "numba"), sizes=(256, 512, 1024),
+        threads=64, reps=5,
+    )
+
+
+def _engine(mode: str, cache: ResultCache, jobs: int) -> SweepEngine:
+    if mode == "serial":
+        return SweepEngine(cache=cache, parallel=False)
+    if mode == "thread":
+        return SweepEngine(cache=cache, parallel=True, max_workers=jobs)
+    return SweepEngine(cache=cache, parallel=True, max_workers=jobs,
+                       mode="process")
+
+
+def _time_sweep(mode: str, jobs: int, reps: int,
+                workdir: str) -> "dict[str, object]":
+    """Best-of-``reps`` cold and warm wall times for one executor."""
+    exp = bench_experiment()
+    cells = len(exp.models) * len(exp.sizes)
+    cold_best = warm_best = float("inf")
+    for rep in range(reps):
+        root = os.path.join(workdir, f"{mode}-{rep}")
+        cache = ResultCache(root)
+        engine = _engine(mode, cache, jobs)
+        t0 = time.perf_counter()
+        engine.run(exp)
+        cold_best = min(cold_best, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        engine.run(exp)
+        warm_best = min(warm_best, time.perf_counter() - t0)
+        shutil.rmtree(root, ignore_errors=True)
+    return {
+        "cells": cells,
+        "jobs": jobs,
+        "cold_seconds": round(cold_best, 6),
+        "cold_cells_per_s": round(cells / cold_best, 2),
+        "warm_seconds": round(warm_best, 6),
+        "warm_cells_per_s": round(cells / warm_best, 2),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--reps", type=int, default=3,
+                        help="repetitions; best-of is recorded (default 3)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="pool width for thread/process executors "
+                             "(default: min(4, cpu count), floor 2 so "
+                             "the pools engage even on 1-core hosts)")
+    parser.add_argument("--out", default="BENCH_engine.json",
+                        help="output path (default BENCH_engine.json)")
+    args = parser.parse_args(argv)
+
+    cpus = os.cpu_count() or 1
+    jobs = args.jobs or max(2, min(4, cpus))
+    payload = {"benchmark": "engine",
+               "python": platform.python_version(),
+               "host_cpus": cpus,
+               "reps": args.reps,
+               "engines": {}}
+    modes = ["serial", "thread"]
+    if "fork" in multiprocessing.get_all_start_methods():
+        modes.append("process")
+    else:
+        payload["engines"]["process"] = {
+            "skipped": "fork start method unavailable on this platform"}
+    workdir = tempfile.mkdtemp(prefix="bench-engine-")
+    try:
+        for mode in modes:
+            result = _time_sweep(mode, 1 if mode == "serial" else jobs,
+                                 args.reps, workdir)
+            payload["engines"][mode] = result
+            print(f"{mode:8s} cold {result['cold_cells_per_s']:>8} cells/s"
+                  f"   warm {result['warm_cells_per_s']:>8} cells/s"
+                  f"   (x{result['jobs']})")
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

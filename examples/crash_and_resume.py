@@ -52,8 +52,8 @@ def main() -> None:
     print(f"   {len(reference.measurements)} cells measured")
 
     print(f"== 2. journaled run, killed at cell {INTERRUPT_AT_CELL} ==")
-    import repro.harness.engine.executor as executor
-    original = executor.run_measurement
+    import repro.harness.engine.worker as worker
+    original = worker.run_measurement
     calls = {"count": 0}
 
     def dying_run_measurement(*args, **kwargs):
@@ -62,7 +62,7 @@ def main() -> None:
             raise KeyboardInterrupt  # what SIGINT delivers mid-sweep
         return original(*args, **kwargs)
 
-    executor.run_measurement = dying_run_measurement
+    worker.run_measurement = dying_run_measurement
     journal = registry.create()
     try:
         run_experiment(EXPERIMENT,
@@ -72,7 +72,7 @@ def main() -> None:
     except RunInterrupted as exc:
         print(f"   interrupted: {exc}")
     finally:
-        executor.run_measurement = original
+        worker.run_measurement = original
         journal.close()
 
     print("== 3. the journal the crash left behind ==")

@@ -114,7 +114,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--serial", action="store_true",
                      help="disable the engine's thread-pool fan-out")
     run.add_argument("--jobs", type=int, default=None, metavar="N",
-                     help="thread-pool width (default: cpu count)")
+                     help="worker-pool width (default: cpu count)")
+    run.add_argument("--engine", choices=("thread", "process"), default=None,
+                     help="sweep executor: in-process thread pool (default) "
+                          "or a sharded process pool (REPRO_ENGINE)")
     run.add_argument("--engine-stats", action="store_true",
                      help="append per-cell timings and cache hit/miss stats")
     run.add_argument("--resume", default=None, metavar="RUN_ID",
@@ -418,13 +421,16 @@ def _engine_for(args: argparse.Namespace):
     no_cache = getattr(args, "no_cache", False)
     serial = getattr(args, "serial", False)
     jobs = getattr(args, "jobs", None)
-    if not (no_cache or serial or jobs or getattr(args, "engine_stats", False)):
+    mode = getattr(args, "engine", None)
+    if not (no_cache or serial or jobs or mode
+            or getattr(args, "engine_stats", False)):
         return None
     from .harness.engine import SweepEngine
     return SweepEngine.from_env(
         cache_enabled=False if no_cache else None,
         parallel=False if serial else None,
         max_workers=jobs,
+        mode=mode,
     )
 
 

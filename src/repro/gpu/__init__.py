@@ -4,7 +4,8 @@ from .coalescing import AccessCoalescing, CoalescingReport, analyze_coalescing
 from .launch import LaunchConfig, paper_launch
 from .occupancy import Occupancy, occupancy
 from .transfer import TransferEstimate, gemm_transfer_estimate
-from .warp_sim import GPUKernelTiming, IssueProfile, simulate_gpu_kernel
+from .warp_sim import (GPUKernelTiming, IssueProfile, classify_kernel_bound,
+                       simulate_gpu_kernel)
 
 __all__ = [
     "AccessCoalescing",
@@ -18,5 +19,6 @@ __all__ = [
     "gemm_transfer_estimate",
     "GPUKernelTiming",
     "IssueProfile",
+    "classify_kernel_bound",
     "simulate_gpu_kernel",
 ]

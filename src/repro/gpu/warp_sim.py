@@ -36,7 +36,21 @@ from .coalescing import analyze_coalescing
 from .launch import LaunchConfig
 from .occupancy import occupancy
 
-__all__ = ["GPUKernelTiming", "simulate_gpu_kernel", "IssueProfile"]
+__all__ = ["GPUKernelTiming", "simulate_gpu_kernel", "IssueProfile",
+           "classify_kernel_bound"]
+
+
+def classify_kernel_bound(issue_bound: str, compute_seconds: float,
+                          dram_seconds: float) -> str:
+    """Binding resource of a kernel, labelled by comparison.
+
+    A dead heat goes to DRAM: when the bandwidth bound has risen to meet
+    the compute-side bound, bandwidth is what stops the kernel going
+    faster.  Comparing magnitudes (not float identity against the result
+    of ``max``) keeps the label stable under later rescaling of the
+    kernel time (e.g. L2-thrash factors).
+    """
+    return "dram" if dram_seconds >= compute_seconds else issue_bound
 
 
 @dataclass(frozen=True)
@@ -173,8 +187,7 @@ def simulate_gpu_kernel(
     dram_seconds = traffic.dram_bytes / (spec.hbm_bandwidth_gbs * 1e9)
 
     kernel_seconds = max(compute_seconds, dram_seconds)
-    if kernel_seconds == dram_seconds and dram_seconds > compute_seconds:
-        bound = "dram"
+    bound = classify_kernel_bound(bound, compute_seconds, dram_seconds)
 
     footprint = shape.footprint_bytes(kernel.precision)
     if footprint > profile.thrash_threshold_bytes:

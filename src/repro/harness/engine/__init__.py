@@ -11,7 +11,9 @@ Process-wide configuration (read once, on first use):
 * ``REPRO_CACHE=off`` disables the result cache;
 * ``REPRO_CACHE_DIR`` relocates it (default
   ``$XDG_CACHE_HOME/repro/results``);
-* ``REPRO_JOBS=N`` caps the thread-pool width (``1`` forces serial);
+* ``REPRO_JOBS=N`` caps the worker-pool width (``1`` forces serial);
+* ``REPRO_ENGINE=process`` swaps the GIL-bound thread pool for a
+  ``ProcessPoolExecutor`` so ``--jobs`` scales past one core;
 * ``REPRO_FAULTS`` / ``REPRO_RETRIES`` / ``REPRO_BACKOFF`` /
   ``REPRO_MAX_CELL_SECONDS`` / ``REPRO_FAIL_FAST`` configure the
   resilience layer (see :class:`RunOptions`).
@@ -21,8 +23,9 @@ from __future__ import annotations
 
 from typing import Optional
 
-from .cache import CacheStats, ResultCache, default_cache_dir
-from .executor import CellRecord, SweepEngine, SweepReport
+from .cache import (CacheStats, ResultCache, TMP_GRACE_SECONDS,
+                    default_cache_dir)
+from .executor import ENGINE_MODES, CellRecord, SweepEngine, SweepReport
 from .fingerprint import (
     CONSTANTS_VERSION,
     campaign_fingerprint,
@@ -30,12 +33,18 @@ from .fingerprint import (
     fingerprint_payload,
 )
 from .options import RetryPolicy, RunOptions
+from .worker import CellTask, RunPayload, execute_cell_payload
 
 __all__ = [
     "CacheStats",
     "ResultCache",
     "default_cache_dir",
+    "TMP_GRACE_SECONDS",
     "CellRecord",
+    "CellTask",
+    "ENGINE_MODES",
+    "RunPayload",
+    "execute_cell_payload",
     "SweepEngine",
     "SweepReport",
     "CONSTANTS_VERSION",

@@ -14,20 +14,38 @@ post-mortem.
 
 Writes are atomic (temp file + ``os.replace``) and the in-process
 hit/miss/store/evict counters are lock-protected, so the cache is safe
-under the engine's thread-pool fan-out.  A writer killed between
-``mkstemp`` and ``os.replace`` leaves an orphaned ``*.tmp`` file;
-:meth:`ResultCache.clear`, ``repro fsck`` and
-:meth:`ResultCache.disk_stats` all account for those.
+under the engine's thread-pool fan-out.  The store is additionally safe
+for *multi-process* writers (the ``--engine process`` fan-out): every
+replace and eviction runs under a per-digest advisory file lock
+(``fcntl.flock`` on a ``<entry>.lock`` sidecar, degrading to the
+in-process lock where ``fcntl`` is unavailable), :meth:`ResultCache.put`
+is compare-and-swap — it re-checks for a valid entry under the lock and
+drops its own bytes if another writer already landed one — and
+:meth:`ResultCache._evict` re-validates under the lock so it can never
+unlink a fresh entry that a concurrent writer just produced.
+
+A writer killed between ``mkstemp`` and ``os.replace`` leaves an
+orphaned ``*.tmp`` file; :meth:`ResultCache.clear`, ``repro fsck`` and
+:meth:`ResultCache.disk_stats` all account for those.  Cleanup only
+touches temp files older than :data:`TMP_GRACE_SECONDS`, so it cannot
+unlink another worker's in-flight temp file.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import tempfile
 import threading
+import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None  # type: ignore[assignment]
 
 from ...core.types import Precision
 from ...errors import CacheError
@@ -40,7 +58,14 @@ from ..export import (
 from ..results import Measurement
 from .fingerprint import CONSTANTS_VERSION
 
-__all__ = ["CacheStats", "ResultCache", "default_cache_dir"]
+__all__ = ["CacheStats", "ResultCache", "default_cache_dir",
+           "TMP_GRACE_SECONDS"]
+
+#: Minimum age before an orphaned ``*.tmp`` file may be unlinked by
+#: cleanup (:meth:`ResultCache.clear`, ``repro fsck``).  A concurrent
+#: worker's in-flight temp file is at most milliseconds old; anything
+#: past this window belongs to a writer that died mid-``put``.
+TMP_GRACE_SECONDS = 60.0
 
 
 def default_cache_dir() -> str:
@@ -99,7 +124,60 @@ class ResultCache:
             raise CacheError(f"malformed fingerprint {fingerprint!r}")
         return os.path.join(self.root, fingerprint[:2], fingerprint + ".json")
 
+    # -- locking ----------------------------------------------------------
+
+    @contextlib.contextmanager
+    def _digest_lock(self, path: str):
+        """Advisory per-digest lock serialising replace/evict across
+        processes.
+
+        Taken on a ``<entry>.lock`` sidecar (never the entry itself, which
+        ``os.replace`` swaps out from under an open descriptor).  Falls
+        back to the in-process lock where ``fcntl`` is unavailable —
+        single-process semantics are unchanged either way.
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX
+            with self._io_lock:
+                yield
+            return
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd = os.open(path + ".lock", os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
+
     # -- read/write -------------------------------------------------------
+
+    def _load_valid(self, path: str) -> "Tuple[str, Optional[Measurement]]":
+        """Full validation of one entry file: ``(status, measurement)``.
+
+        ``status`` is ``"missing"``, ``"invalid"`` (any corruption —
+        undecodable bytes, stale versions, digest mismatch, semantically
+        broken payload) or ``"ok"``.  Pure: touches no counters.
+        """
+        try:
+            with open(path) as fh:
+                entry = json.load(fh)
+        except FileNotFoundError:
+            return "missing", None
+        except (OSError, json.JSONDecodeError):
+            return "invalid", None
+        if (entry.get("schema") != SCHEMA_VERSION
+                or entry.get("constants") != CONSTANTS_VERSION
+                or "measurement" not in entry
+                or entry.get("digest") != content_digest(entry["measurement"])):
+            return "invalid", None
+        try:
+            raw_precision = entry["measurement"].get("precision", "fp64")
+            m = measurement_from_dict(
+                entry["measurement"],
+                default_precision=Precision.parse(raw_precision))
+        except (KeyError, TypeError, ValueError):
+            return "invalid", None
+        return "ok", m
 
     def get(self, fingerprint: str) -> Optional[Measurement]:
         """The cached measurement, or ``None`` on any miss/bad entry.
@@ -110,37 +188,26 @@ class ResultCache:
         return ``None`` so the engine recomputes the cell.
         """
         path = self._path(fingerprint)
-        try:
-            with open(path) as fh:
-                entry = json.load(fh)
-        except FileNotFoundError:
+        status, m = self._load_valid(path)
+        if status == "missing":
             self.stats.record(misses=1)
             return None
-        except (OSError, json.JSONDecodeError):
-            self._evict(path)
-            return None
-        if (entry.get("schema") != SCHEMA_VERSION
-                or entry.get("constants") != CONSTANTS_VERSION
-                or "measurement" not in entry
-                or entry.get("digest") != content_digest(entry["measurement"])):
-            self._evict(path)
-            return None
-        try:
-            raw_precision = entry["measurement"].get("precision", "fp64")
-            m = measurement_from_dict(
-                entry["measurement"],
-                default_precision=Precision.parse(raw_precision))
-        except (KeyError, TypeError, ValueError):
-            # Semantically corrupt payload: same self-healing as a JSON
-            # decode failure — evict and recompute, never crash a sweep.
+        if status == "invalid":
             self._evict(path)
             return None
         self.stats.record(hits=1)
         return m
 
     def put(self, fingerprint: str, measurement: Measurement,
-            metadata: Optional[Dict[str, Any]] = None) -> None:
-        """Store one measurement atomically under its fingerprint."""
+            metadata: Optional[Dict[str, Any]] = None) -> bool:
+        """Store one measurement atomically under its fingerprint.
+
+        Compare-and-swap under the per-digest lock: if a concurrent
+        writer already landed a valid entry, this writer's bytes are
+        discarded (both raced the same pure cell, so the payloads agree)
+        and the method returns ``False``.  Returns ``True`` when this
+        call's entry is the one on disk.
+        """
         path = self._path(fingerprint)
         payload = measurement_to_dict(measurement)
         entry = {
@@ -157,7 +224,12 @@ class ResultCache:
         try:
             with os.fdopen(fd, "w") as fh:
                 json.dump(entry, fh)
-            os.replace(tmp, path)
+            with self._digest_lock(path):
+                status, _ = self._load_valid(path)
+                if status == "ok":
+                    os.unlink(tmp)
+                    return False
+                os.replace(tmp, path)
         except OSError:
             try:
                 os.unlink(tmp)
@@ -165,9 +237,18 @@ class ResultCache:
                 pass
             raise
         self.stats.record(stores=1)
+        return True
 
     def _evict(self, path: str) -> None:
-        with self._io_lock:
+        """Remove a bad entry — unless a concurrent writer already
+        replaced it with a valid one (re-checked under the lock)."""
+        with self._digest_lock(path):
+            status, _ = self._load_valid(path)
+            if status == "ok":
+                # Our read raced a replace; the entry on disk is fine.
+                # Count a plain miss and leave it for the next reader.
+                self.stats.record(misses=1)
+                return
             try:
                 os.unlink(path)
             except OSError:
@@ -177,8 +258,12 @@ class ResultCache:
     # -- maintenance ------------------------------------------------------
 
     def clear(self) -> int:
-        """Delete every entry (and orphaned temp file); returns how many
-        *entries* were removed."""
+        """Delete every entry (plus lock sidecars and *aged* orphaned
+        temp files); returns how many *entries* were removed.
+
+        Temp files younger than :data:`TMP_GRACE_SECONDS` are left alone:
+        they may be another worker's in-flight write.
+        """
         removed = 0
         for path in self._entry_paths():
             try:
@@ -186,9 +271,10 @@ class ResultCache:
                 removed += 1
             except OSError:
                 pass
-        for tmp in self.orphan_tmp_paths():
+        for extra in list(self.orphan_tmp_paths(
+                min_age_s=TMP_GRACE_SECONDS)) + list(self._lock_paths()):
             try:
-                os.unlink(tmp)
+                os.unlink(extra)
             except OSError:
                 pass
         return removed
@@ -211,11 +297,32 @@ class ResultCache:
                 if name.endswith(".json"):
                     yield os.path.join(shard_dir, name)
 
-    def orphan_tmp_paths(self):
-        """Temp files abandoned by writers killed mid-:meth:`put`."""
+    def orphan_tmp_paths(self, min_age_s: float = 0.0):
+        """Temp files abandoned by writers killed mid-:meth:`put`.
+
+        With ``min_age_s`` only temp files at least that old (by mtime)
+        are yielded — cleanup callers pass :data:`TMP_GRACE_SECONDS` so a
+        concurrent worker's in-flight temp file is never touched; stats
+        callers pass 0 to count everything.
+        """
+        now = time.time()
         for shard_dir in self._shard_dirs():
             for name in sorted(os.listdir(shard_dir)):
-                if name.endswith(".tmp"):
+                if not name.endswith(".tmp"):
+                    continue
+                path = os.path.join(shard_dir, name)
+                if min_age_s > 0.0:
+                    try:
+                        if now - os.path.getmtime(path) < min_age_s:
+                            continue
+                    except OSError:
+                        continue
+                yield path
+
+    def _lock_paths(self):
+        for shard_dir in self._shard_dirs():
+            for name in sorted(os.listdir(shard_dir)):
+                if name.endswith(".lock"):
                     yield os.path.join(shard_dir, name)
 
     def disk_stats(self) -> Dict[str, int]:

@@ -1,12 +1,20 @@
 """The sweep engine: concurrent, cached, fault-tolerant execution of cells.
 
 ``SweepEngine.run`` is contractually bit-identical to the serial
-reference loop: cells fan out over a ``concurrent.futures`` thread pool
+reference loop: cells fan out over a ``concurrent.futures`` executor
 (every cell is an independent, deterministic simulation) and merge back
-into the :class:`ResultSet` in serial cell order.  A persistent
-:class:`ResultCache` keyed by cell fingerprints makes warm re-runs — a
-second ``repro report``, regenerating a figure after editing prose —
-skip the simulator entirely.
+into the :class:`ResultSet` in serial cell order.  Two fan-out modes
+exist: ``mode="thread"`` (the classic GIL-bound pool — cheap, but the
+Python-heavy simulator loops serialize on the GIL) and
+``mode="process"`` (``--engine process`` / ``REPRO_ENGINE=process``),
+which dispatches each cache-missed cell to a ``ProcessPoolExecutor``
+worker carrying a frozen payload (see
+:mod:`repro.harness.engine.worker`), scaling ``--jobs`` past one core.
+The parent stays the single writer of the journal and the sole merge
+point; workers write the (multi-process-safe) result cache themselves.
+A persistent :class:`ResultCache` keyed by cell fingerprints makes warm
+re-runs — a second ``repro report``, regenerating a figure after editing
+prose — skip the simulator entirely.
 
 Fault tolerance: a :class:`~repro.harness.engine.options.RunOptions` may
 carry a deterministic :class:`~repro.sim.faults.FaultConfig` and a
@@ -47,25 +55,27 @@ wall-clock offsets.
 from __future__ import annotations
 
 import contextlib
+import multiprocessing
 import os
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
-from ...core.types import MatrixShape
+from ...core.types import MatrixShape, Precision
 from ...errors import (
     CellFailure,
-    ReproError,
+    ConfigError,
     RetryExhaustedError,
     RunInterrupted,
 )
 from ...models.base import ProgrammingModel
 from ...models.registry import model_by_name
-from ...sim.faults import Fault, FaultInjector
+from ...sim.faults import FaultInjector
 from ...trace.events import EventKind
 from ...trace.profiler import Profiler
 from ..experiment import Experiment
+from ..export import measurement_from_dict
 from ..health import (
     BreakerState,
     BreakerTransition,
@@ -74,12 +84,16 @@ from ..health import (
     resolve_hop,
 )
 from ..results import Measurement, ResultSet
-from ..runner import run_measurement
 from .cache import ResultCache
 from .fingerprint import campaign_fingerprint, cell_fingerprint
 from .options import RunOptions
+from .worker import CellTask, RunPayload, attempt_cell, execute_cell_payload
 
-__all__ = ["CellRecord", "SweepReport", "SweepEngine"]
+__all__ = ["CellRecord", "SweepReport", "SweepEngine", "ENGINE_MODES"]
+
+#: Executor modes ``SweepEngine`` accepts: a GIL-bound thread pool (the
+#: classic engine) or a true multi-core process pool.
+ENGINE_MODES = ("thread", "process")
 
 #: Trace event kind for each breaker state a lane can transition *into*.
 _BREAKER_EVENT = {
@@ -130,6 +144,8 @@ class SweepReport:
     cache_stats: Dict[str, int] = field(default_factory=dict)
     parallel: bool = False
     workers: int = 1
+    #: Which executor fanned the cells out: "thread" or "process".
+    engine: str = "thread"
     wall_s: float = 0.0
     #: Run identity when the sweep is journaled ("" otherwise).
     run_id: str = ""
@@ -199,6 +215,13 @@ class SweepReport:
                            reason=tr.reason)
         return prof
 
+    def _fanout_label(self) -> str:
+        if not self.parallel:
+            return "serial"
+        if self.engine == "process":
+            return f"process x{self.workers}"
+        return f"parallel x{self.workers}"
+
     def render(self) -> str:
         """ASCII summary for ``repro run --engine-stats``."""
         lines = [
@@ -211,7 +234,7 @@ class SweepReport:
                if self.substituted_cells else "")
             + (f", {self.failed_cells} FAILED" if self.degraded else "")
             + f") in {self.wall_s * 1e3:.1f} ms wall "
-            f"[{'parallel x' + str(self.workers) if self.parallel else 'serial'}]",
+            f"[{self._fanout_label()}]",
         ]
         if self.run_id:
             lines.append(f"run: {self.run_id} (journaled)")
@@ -247,18 +270,26 @@ class SweepEngine:
 
     def __init__(self, *, cache: Optional[ResultCache] = None,
                  parallel: bool = True,
-                 max_workers: Optional[int] = None) -> None:
+                 max_workers: Optional[int] = None,
+                 mode: str = "thread") -> None:
+        if mode not in ENGINE_MODES:
+            raise ConfigError(
+                f"engine mode must be one of {'/'.join(ENGINE_MODES)}, "
+                f"got {mode!r}")
         self.cache = cache
         self.parallel = parallel
         self.max_workers = max_workers
+        self.mode = mode
         self.last_report: Optional[SweepReport] = None
 
     @classmethod
     def from_env(cls, cache_enabled: Optional[bool] = None,
                  parallel: Optional[bool] = None,
-                 max_workers: Optional[int] = None) -> "SweepEngine":
+                 max_workers: Optional[int] = None,
+                 mode: Optional[str] = None) -> "SweepEngine":
         """Engine configured from ``REPRO_CACHE``/``REPRO_CACHE_DIR``/
-        ``REPRO_JOBS``; keyword arguments override the environment."""
+        ``REPRO_JOBS``/``REPRO_ENGINE``; keyword arguments override the
+        environment."""
         from ...config import RunConfig
         cfg = RunConfig.from_os_environ()
         if cache_enabled is None:
@@ -268,8 +299,23 @@ class SweepEngine:
             max_workers = jobs or None
         if parallel is None:
             parallel = max_workers != 1
+        if mode is None:
+            mode = cfg.get("REPRO_ENGINE") or "thread"
         return cls(cache=ResultCache() if cache_enabled else None,
-                   parallel=parallel, max_workers=max_workers)
+                   parallel=parallel, max_workers=max_workers, mode=mode)
+
+    @staticmethod
+    def _mp_context():
+        """Start method for worker processes: ``fork`` where available.
+
+        A spawned worker re-imports the whole package (~half the cost of
+        a cold seed sweep, per worker); forking inherits the warm parent
+        for ~milliseconds.  Workers never touch the parent's journal or
+        thread state, so forking is safe here.
+        """
+        if "fork" in multiprocessing.get_all_start_methods():
+            return multiprocessing.get_context("fork")
+        return multiprocessing.get_context()  # pragma: no cover - non-POSIX
 
     # -- execution --------------------------------------------------------
 
@@ -509,9 +555,121 @@ class SweepEngine:
         if health is None and self.parallel and len(misses) > 1:
             workers = min(len(misses),
                           self.max_workers or (os.cpu_count() or 4))
-        self._execute_all(execute if health is None else execute_health,
-                          misses, workers, journal, run_id,
-                          measurements, len(cells))
+
+        def drive_serial() -> None:
+            fn = execute if health is None else execute_health
+            for i in misses:
+                fn(i)
+
+        def drive_threads() -> None:
+            pool = ThreadPoolExecutor(max_workers=workers)
+            try:
+                futures = [pool.submit(execute, i) for i in misses]
+                for future in futures:
+                    future.result()
+            finally:
+                # In-flight cells finish (and journal themselves);
+                # never-started ones are cancelled.
+                pool.shutdown(wait=True, cancel_futures=True)
+
+        starts: Dict[int, float] = {}
+
+        def absorb(result: dict) -> None:
+            # Parent-side merge of one worker result: re-raise fail-fast
+            # errors as their original class, mirror the worker's cache
+            # store into the parent counters, journal through the single
+            # parent writer, and reconstruct the private trace.
+            i = result["index"]
+            err = result.get("error")
+            if err is not None:
+                err_cls = (RetryExhaustedError
+                           if err["type"] == "RetryExhaustedError"
+                           else CellFailure)
+                raise err_cls(err["message"], cell=err["cell"],
+                              attempts=err["attempts"], reason=err["reason"])
+            payload = result["measurement"]
+            m = measurement_from_dict(
+                payload, default_precision=Precision.parse(
+                    payload.get("precision", "fp64")))
+            if self.cache is not None and result["stored"]:
+                self.cache.stats.record(stores=1)
+            wall = result["wall_s"]
+            model, shape = cells[i]
+            if journal is not None:
+                # The start/done pair lands here, in drain (= cell) order,
+                # keeping the record stream identical to a serial run's.
+                # Recovery semantics are unchanged: a cell without its
+                # done record re-executes on resume either way.
+                journal.cell_start(i, model.name, str(shape),
+                                   fingerprints[i])
+                if m.failed:
+                    journal.cell_failed(i, fingerprints[i], m,
+                                        attempts=result["attempts"],
+                                        faults=result["faults"],
+                                        reason=m.note)
+                else:
+                    journal.cell_done(i, fingerprints[i], m, cached=False,
+                                      wall_s=wall,
+                                      attempts=result["attempts"],
+                                      faults=result["faults"])
+            if result.get("events") is not None:
+                prof = Profiler()
+                for kind, name, duration_s, meta in result["events"]:
+                    prof.record(EventKind(kind), name, duration_s, **meta)
+                traces[i] = prof
+            measurements[i] = m
+            records[i] = CellRecord(
+                model=model.name, shape=str(shape),
+                fingerprint=fingerprints[i], cached=False, wall_s=wall,
+                start_s=starts.get(i, 0.0),
+                status="failed" if m.failed else "ok",
+                attempts=result["attempts"], faults=result["faults"])
+
+        def drive_process() -> None:
+            payload = RunPayload(
+                experiment=experiment.to_dict(), faults=opts.faults,
+                retry=opts.retry, fail_fast=opts.fail_fast,
+                traced=profiler is not None,
+                cache_root=(self.cache.root if self.cache is not None
+                            else None))
+            pool = ProcessPoolExecutor(max_workers=workers,
+                                       mp_context=self._mp_context())
+            pending: Dict = {}
+            try:
+                for i in misses:
+                    model, shape = cells[i]
+                    starts[i] = time.perf_counter() - run_start
+                    task = CellTask(index=i, model=model.name,
+                                    shape=(shape.m, shape.n, shape.k),
+                                    fingerprint=fingerprints[i])
+                    pending[pool.submit(execute_cell_payload, payload,
+                                        task)] = i
+                for future in list(pending):  # submit order = cell order
+                    result = future.result()
+                    del pending[future]
+                    absorb(result)
+            except KeyboardInterrupt:
+                # Drain before the journal closes: cancel whatever never
+                # started, wait out the in-flight workers, and absorb
+                # (and journal) their results so close_run('interrupted')
+                # counts them as completed.
+                for future in list(pending):
+                    if future.cancel():
+                        del pending[future]
+                for future in list(pending):
+                    with contextlib.suppress(Exception):
+                        absorb(future.result())
+                raise
+            finally:
+                pool.shutdown(wait=True, cancel_futures=True)
+
+        if self.mode == "process" and health is None and workers > 1:
+            drive = drive_process
+        elif workers > 1:
+            drive = drive_threads
+        else:
+            drive = drive_serial
+        self._execute_all(drive, journal, run_id, measurements, len(cells))
 
         if profiler is not None:
             # Deterministic replay: cell order, original durations — the
@@ -537,6 +695,7 @@ class SweepEngine:
                          if self.cache is not None else {}),
             parallel=workers > 1,
             workers=workers,
+            engine=self.mode,
             wall_s=time.perf_counter() - run_start,
             run_id=run_id,
             transitions=(list(health.transitions) if health is not None
@@ -544,19 +703,21 @@ class SweepEngine:
         )
         return results
 
-    def _execute_all(self, execute, misses: List[int], workers: int,
-                     journal, run_id: str,
+    def _execute_all(self, drive, journal, run_id: str,
                      measurements: List[Optional[Measurement]],
                      total: int) -> None:
         """Drive the cell fan-out, finalizing the journal on interrupt.
 
-        With a journal active, SIGINT/SIGTERM are routed into
-        ``KeyboardInterrupt`` (see :func:`~repro.harness.journal.graceful_shutdown`);
-        in-flight cells are allowed to finish and journal their results,
-        pending cells are cancelled, a ``run-close(interrupted)`` record
-        is written, and :class:`~repro.errors.RunInterrupted` tells the
-        caller how to resume.  ``fail_fast`` aborts close the journal as
-        ``failed`` before the :class:`CellFailure` propagates.
+        ``drive`` is one of the serial/thread-pool/process-pool loops
+        built in :meth:`run`.  With a journal active, SIGINT/SIGTERM are
+        routed into ``KeyboardInterrupt`` (see
+        :func:`~repro.harness.journal.graceful_shutdown`); in-flight
+        cells are allowed to finish and journal their results (the
+        process drive drains its workers first), pending cells are
+        cancelled, a ``run-close(interrupted)`` record is written, and
+        :class:`~repro.errors.RunInterrupted` tells the caller how to
+        resume.  ``fail_fast`` aborts close the journal as ``failed``
+        before the :class:`CellFailure` propagates.
         """
         from ..journal.signals import graceful_shutdown
 
@@ -564,19 +725,7 @@ class SweepEngine:
                  else contextlib.nullcontext())
         try:
             with guard:
-                if workers > 1:
-                    pool = ThreadPoolExecutor(max_workers=workers)
-                    try:
-                        futures = [pool.submit(execute, i) for i in misses]
-                        for future in futures:
-                            future.result()
-                    finally:
-                        # In-flight cells finish (and journal themselves);
-                        # never-started ones are cancelled.
-                        pool.shutdown(wait=True, cancel_futures=True)
-                else:
-                    for i in misses:
-                        execute(i)
+                drive()
         except KeyboardInterrupt:
             done = sum(1 for m in measurements if m is not None)
             if journal is not None and not journal.finalized:
@@ -602,70 +751,12 @@ class SweepEngine:
                       ) -> Tuple[Measurement, int, int, float]:
         """Run one cell under the retry policy.
 
-        Returns ``(measurement, attempts, faults_hit, spent_s)`` where
-        ``spent_s`` is the simulated seconds lost to faults and backoff
-        (lane clocks charge it on top of the measured kernel time).  All
-        timekeeping is simulated: each injected fault charges its class
-        cost and each backoff its policy cost against the per-cell budget
-        — nothing sleeps.  ``lane`` namespaces the fault stream: fallback
-        serves pass the serving lane so rerouting never perturbs the
-        faults any other attempt sees.  Raises :class:`CellFailure` (or
-        the sharper :class:`RetryExhaustedError`) only under
-        ``fail_fast``.
+        Thin wrapper over :func:`~repro.harness.engine.worker.attempt_cell`
+        — the same loop the process-pool workers run, so the two engines
+        cannot drift.  See that function for the full contract.
         """
-        retry = opts.retry
-        cell = f"{model.name}@{shape}"
-        attempts = 0
-        faults_hit = 0
-        spent_s = 0.0
-        while True:
-            attempts += 1
-            fault = (injector.probe(experiment.exp_id, model.name, shape,
-                                    attempts, lane=lane)
-                     if injector is not None else None)
-            if fault is None:
-                try:
-                    m = run_measurement(model, experiment, shape, cell_prof)
-                except ReproError as exc:
-                    # Cell-level isolation of real execution errors: a
-                    # deterministic simulator error would fail identically
-                    # on every retry, so it fails the cell immediately.
-                    reason = f"{type(exc).__name__}: {exc}"
-                    if opts.fail_fast:
-                        raise CellFailure(
-                            f"cell {cell} failed: {reason}", cell=cell,
-                            attempts=attempts, reason=reason) from exc
-                    return (self._failed_measurement(model, shape,
-                                                     experiment, reason),
-                            attempts, faults_hit, spent_s)
-                return m, attempts, faults_hit, spent_s
-
-            faults_hit += 1
-            spent_s += fault.cost_s
-            if cell_prof is not None:
-                cell_prof.record(EventKind.FAULT,
-                                 f"{fault.kind.value}:{cell}", fault.cost_s,
-                                 attempt=attempts, permanent=fault.permanent)
-            over_budget = (retry.max_cell_seconds is not None
-                           and spent_s >= retry.max_cell_seconds)
-            exhausted = attempts >= retry.max_attempts
-            if fault.permanent or exhausted or over_budget:
-                reason = self._failure_reason(fault, attempts, spent_s,
-                                              exhausted, over_budget)
-                if opts.fail_fast:
-                    err_cls = (RetryExhaustedError
-                               if (exhausted or over_budget)
-                               and not fault.permanent else CellFailure)
-                    raise err_cls(f"cell {cell} failed: {reason}",
-                                  cell=cell, attempts=attempts, reason=reason)
-                return (self._failed_measurement(model, shape, experiment,
-                                                 reason),
-                        attempts, faults_hit, spent_s)
-            backoff = retry.backoff_s(attempts)
-            spent_s += backoff
-            if cell_prof is not None:
-                cell_prof.record(EventKind.RETRY, f"backoff:{cell}", backoff,
-                                 attempt=attempts, next_attempt=attempts + 1)
+        return attempt_cell(model, shape, experiment, opts, injector,
+                            cell_prof, lane=lane)
 
     # -- fallback routing --------------------------------------------------
 
@@ -719,23 +810,3 @@ class SweepEngine:
                 ladder_hops=tried), serve_cost, tried)
         return None, serve_cost, tried
 
-    @staticmethod
-    def _failure_reason(fault: Fault, attempts: int, spent_s: float,
-                        exhausted: bool, over_budget: bool) -> str:
-        if fault.permanent:
-            return f"{fault.describe()}; cell fails on every attempt"
-        if over_budget:
-            return (f"{fault.describe()}; per-cell budget exhausted after "
-                    f"{spent_s:g}s simulated across {attempts} attempts")
-        if exhausted:
-            return f"{fault.describe()}; retries exhausted ({attempts} attempts)"
-        return fault.describe()  # pragma: no cover - defensive
-
-    @staticmethod
-    def _failed_measurement(model: ProgrammingModel, shape: MatrixShape,
-                            experiment: Experiment,
-                            reason: str) -> Measurement:
-        return Measurement(
-            model=model.name, display=model.display, shape=shape,
-            precision=experiment.precision, supported=False, failed=True,
-            note=reason)

@@ -34,7 +34,7 @@ __all__ = ["CONSTANTS_VERSION", "campaign_fingerprint", "cell_fingerprint",
 #: Version of the simulator's cost-model constants baked into every
 #: fingerprint.  Bump on any change to machine specs, kernel cost models,
 #: transfer estimates or the variability model.
-CONSTANTS_VERSION = "2024.1"
+CONSTANTS_VERSION = "2026.1"
 
 
 def fingerprint_payload(experiment: Experiment, model_name: str,

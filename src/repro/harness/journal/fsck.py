@@ -36,7 +36,7 @@ from typing import Iterable, List, Optional
 from ...errors import JournalError
 from ...ioutil import content_digest, read_json_artifact
 from ..export import SCHEMA_VERSION
-from ..engine.cache import ResultCache
+from ..engine.cache import TMP_GRACE_SECONDS, ResultCache
 from ..engine.fingerprint import CONSTANTS_VERSION
 from .journal import load_journal, _truncate_to_valid_prefix
 from .registry import RunRegistry
@@ -172,7 +172,10 @@ def _fsck_cache(cache: ResultCache, report: FsckReport) -> None:
     for path in list(cache._entry_paths()):
         report.cache_entries += 1
         _check_cache_entry(cache, path, report)
-    for tmp in list(cache.orphan_tmp_paths()):
+    # Only temp files past the grace window: a younger one may be a live
+    # worker's in-flight write (the process-pool engine races fsck-able
+    # stores), and unlinking it would corrupt that worker's put.
+    for tmp in list(cache.orphan_tmp_paths(min_age_s=TMP_GRACE_SECONDS)):
         try:
             os.unlink(tmp)
             report.tmp_removed += 1

@@ -131,8 +131,9 @@ def run_experiment(experiment: Experiment,
     that makes the output bit-identical to a serial reference loop.
 
     * ``engine`` selects the executor: ``None`` (the process-wide default,
-      configured from ``REPRO_CACHE``/``REPRO_CACHE_DIR``/``REPRO_JOBS``),
-      the strings ``"parallel"`` / ``"serial"``, or a ready-made
+      configured from ``REPRO_CACHE``/``REPRO_CACHE_DIR``/``REPRO_JOBS``/
+      ``REPRO_ENGINE``), the strings ``"parallel"`` / ``"serial"`` /
+      ``"process"``, or a ready-made
       :class:`~repro.harness.engine.SweepEngine` instance.
     * ``options`` is the frozen :class:`~repro.harness.engine.RunOptions`
       bag — cache/jobs overrides plus the resilience layer (fault
@@ -153,15 +154,17 @@ def run_experiment(experiment: Experiment,
         else:
             eng = SweepEngine.from_env(cache_enabled=opts.cache,
                                        max_workers=opts.jobs)
-    elif engine in ("parallel", "serial"):
+    elif engine in ("parallel", "serial", "process"):
         eng = SweepEngine.from_env(cache_enabled=opts.cache,
-                                   parallel=(engine == "parallel"),
+                                   parallel=(engine != "serial"),
                                    max_workers=(1 if engine == "serial"
-                                                else opts.jobs))
+                                                else opts.jobs),
+                                   mode=("process" if engine == "process"
+                                         else None))
     else:
         raise ConfigError(
-            f"engine must be None, 'parallel', 'serial' or a SweepEngine, "
-            f"got {engine!r}")
+            f"engine must be None, 'parallel', 'serial', 'process' or a "
+            f"SweepEngine, got {engine!r}")
     return eng.run(experiment, options=opts)
 
 

@@ -29,7 +29,8 @@ from .affinity import ThreadPlacement
 from .numa import MemoryHome, memory_costs
 
 __all__ = ["ThreadWork", "ThreadSimResult", "simulate_parallel_region",
-           "MIGRATION_COMPUTE_TAX", "FORK_JOIN_BASE_S", "BARRIER_PER_LOG2_S"]
+           "MIGRATION_COMPUTE_TAX", "FORK_JOIN_BASE_S", "BARRIER_PER_LOG2_S",
+           "MIN_STREAM_RATE_BS"]
 
 #: Compute-time multiplier for unpinned threads on a multi-domain CPU.
 #: Every migration across a CCD/NUMA boundary refills L2/L3 and breaks the
@@ -45,6 +46,13 @@ FORK_JOIN_BASE_S = 8e-6
 
 #: Tree-barrier cost per log2(threads).
 BARRIER_PER_LOG2_S = 1.5e-6
+
+#: Floor on a thread's memory demand rate (bytes/s).  Even a thread whose
+#: compute side retires data very slowly keeps demand misses and hardware
+#: prefetch trickling at roughly one cache line per DRAM round trip
+#: (64 B / ~64 ns ~= 1 GB/s), so its fair-share claim on the channel never
+#: collapses to zero — but it is a *rate*, never a byte count.
+MIN_STREAM_RATE_BS = 1e9
 
 
 @dataclass(frozen=True)
@@ -123,8 +131,10 @@ def simulate_parallel_region(
             continue
         # Demand cap: the thread streams data no faster than its compute
         # consumes it; fully memory-bound chunks (comp == 0) are uncapped.
+        # The floor is a minimum *rate* (MIN_STREAM_RATE_BS), never the byte
+        # count itself — rates and volumes don't mix.
         demand_total = inflated / comp if comp > 0 else math.inf
-        demand_total = max(demand_total, inflated)  # never absurdly small cap
+        demand_total = max(demand_total, MIN_STREAM_RATE_BS)
         if home is MemoryHome.SERIAL_NODE0:
             # all pages in domain 0: everything contends on one channel
             flows.append(Flow(f"t{w.thread}", inflated, demand_total, "numa0"))
@@ -132,7 +142,7 @@ def simulate_parallel_region(
             per = inflated / domains
             for d in range(domains):
                 flows.append(Flow(f"t{w.thread}.d{d}", per,
-                                  max(demand_total / domains, per), f"numa{d}"))
+                                  demand_total / domains, f"numa{d}"))
 
     results = sim.run(flows) if flows else {}
 
@@ -146,7 +156,10 @@ def simulate_parallel_region(
         per_thread.append(max(compute_secs[idx], mem_finish))
 
     busy = max(per_thread, default=0.0)
-    fork_join = FORK_JOIN_BASE_S + BARRIER_PER_LOG2_S * math.log2(max(2, placement.threads))
+    # A single-thread region forks and joins but runs no tree barrier.
+    fork_join = FORK_JOIN_BASE_S
+    if placement.threads > 1:
+        fork_join += BARRIER_PER_LOG2_S * math.log2(placement.threads)
     total = busy + fork_join
 
     total_bytes = sum(eff_bytes)

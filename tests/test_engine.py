@@ -5,16 +5,19 @@ traced == untraced.  Every test here pins some face of that contract.
 """
 
 import json
+import multiprocessing
 import os
 import time
 
 import pytest
 
 from repro.core.types import DeviceKind, Precision
+from repro.errors import ConfigError, RetryExhaustedError
 from repro.harness import (
     Experiment,
     run_experiment,
 )
+from repro.harness.export import result_set_to_json
 from repro.harness.engine import (
     CONSTANTS_VERSION,
     ResultCache,
@@ -42,6 +45,20 @@ def small_exp(**kw):
 @pytest.fixture
 def cache(tmp_path):
     return ResultCache(str(tmp_path / "cache"))
+
+
+def _race_put(root, fingerprint, payload, n):
+    """Subprocess body: hammer one digest with repeated puts."""
+    from repro.core.types import Precision
+    from repro.harness.engine import ResultCache
+    from repro.harness.export import measurement_from_dict
+
+    m = measurement_from_dict(
+        payload, default_precision=Precision.parse(
+            payload.get("precision", "fp64")))
+    store = ResultCache(root)
+    for _ in range(n):
+        store.put(fingerprint, m)
 
 
 @pytest.fixture
@@ -79,8 +96,8 @@ class TestDeterminism:
         def boom(*args, **kwargs):  # pragma: no cover - must not run
             raise AssertionError("simulator invoked on a warm run")
 
-        import repro.harness.engine.executor as executor
-        monkeypatch.setattr(executor, "run_measurement", boom)
+        import repro.harness.engine.worker as worker
+        monkeypatch.setattr(worker, "run_measurement", boom)
         warm = engine.run(exp)
         assert all(m.supported for m in warm.measurements)
 
@@ -221,6 +238,168 @@ class TestCache:
         assert engine.last_report.cache_stats == {}
 
 
+class TestConcurrentCacheWriters:
+    """The process-pool engine makes the on-disk store multi-writer:
+    racing puts must converge to one valid entry, evictions must never
+    unlink a concurrent writer's fresh entry, and cleanup must never
+    touch an in-flight temp file."""
+
+    def _seed(self, cache):
+        exp = small_exp(models=("julia",), sizes=(256,))
+        SweepEngine(cache=cache, parallel=False).run(exp)
+        fp = cell_fingerprint(exp, "julia", exp.shapes()[0])
+        (path,) = list(cache._entry_paths())
+        with open(path) as fh:
+            payload = json.load(fh)["measurement"]
+        return fp, path, payload
+
+    def test_racing_processes_converge_to_one_valid_entry(self, cache):
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("fork start method unavailable")
+        fp, path, payload = self._seed(cache)
+        os.unlink(path)  # cold start: both racers will write
+        ctx = multiprocessing.get_context("fork")
+        procs = [ctx.Process(target=_race_put,
+                             args=(cache.root, fp, payload, 25))
+                 for _ in range(2)]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(60)
+        assert all(p.exitcode == 0 for p in procs)
+        assert len(list(cache._entry_paths())) == 1
+        assert cache.get(fp) is not None
+        from repro.harness.journal import fsck_store
+        report = fsck_store(cache=cache)
+        assert report.clean
+
+    def test_put_is_compare_and_swap(self, cache):
+        fp, path, _ = self._seed(cache)
+        m = cache.get(fp)
+        # a valid entry is already on disk: the second writer backs off
+        assert cache.put(fp, m) is False
+        assert cache.stats.snapshot()["stores"] == 1
+        os.unlink(path)
+        assert cache.put(fp, m) is True
+        assert cache.get(fp) is not None
+
+    def test_evict_revalidates_before_unlink(self, cache):
+        """_evict on a path holding a *valid* entry (a concurrent writer
+        replaced the bad bytes after our failed read) must not unlink."""
+        fp, path, _ = self._seed(cache)
+        before = cache.stats.snapshot()["evictions"]
+        cache._evict(path)
+        assert os.path.exists(path)
+        assert cache.stats.snapshot()["evictions"] == before
+        assert cache.get(fp) is not None
+
+    def test_young_tmp_survives_clear(self, cache):
+        fp, path, _ = self._seed(cache)
+        shard = os.path.dirname(path)
+        inflight = os.path.join(shard, "inflight.tmp")
+        with open(inflight, "w") as fh:
+            fh.write("partial write")
+        cache.clear()
+        assert os.path.exists(inflight)        # younger than the grace window
+        old = os.stat(inflight).st_mtime - 3600
+        os.utime(inflight, (old, old))
+        cache.clear()
+        assert not os.path.exists(inflight)    # aged out: true orphan
+
+
+class TestProcessEngine:
+    """``--engine process``: sharded worker execution must be
+    bit-identical to the serial reference loop in every observable —
+    measurements, rendered output, traces and error classes — while the
+    workers themselves write the shared cache."""
+
+    def _engine(self, cache=None, workers=2):
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("fork start method unavailable")
+        return SweepEngine(cache=cache, parallel=True, max_workers=workers,
+                           mode="process")
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ConfigError):
+            SweepEngine(cache=None, mode="banana")
+
+    def test_matches_serial_bit_for_bit(self):
+        exp = small_exp()
+        proc = self._engine().run(exp)
+        serial = run_experiment(exp, engine="serial",
+                                options=RunOptions(cache=False))
+        assert proc.measurements == serial.measurements
+
+    def test_exported_json_identical_to_serial(self):
+        exp = small_exp(models=("numba", "julia"))
+        proc = result_set_to_json(self._engine().run(exp))
+        serial = result_set_to_json(
+            run_experiment(exp, engine="serial",
+                           options=RunOptions(cache=False)))
+        assert proc == serial
+
+    def test_byte_identical_under_faults_and_retries(self):
+        from repro.harness.engine import RetryPolicy
+        from repro.sim.faults import FaultConfig
+        opts = RunOptions(faults=FaultConfig.parse("rate=0.3,seed=7"),
+                          retry=RetryPolicy(max_attempts=3))
+        exp = small_exp()
+        proc = result_set_to_json(self._engine().run(exp, options=opts))
+        serial = run_experiment(exp, engine="serial",
+                                options=RunOptions(
+                                    cache=False, faults=opts.faults,
+                                    retry=opts.retry))
+        assert proc == result_set_to_json(serial)
+
+    def test_traced_timeline_matches_serial(self):
+        exp = small_exp(models=("numba", "julia"))
+        serial_prof = Profiler()
+        run_experiment(exp, engine="serial",
+                       options=RunOptions(cache=False,
+                                          profiler=serial_prof))
+        proc_prof = Profiler()
+        self._engine().run(exp, profiler=proc_prof)
+        assert proc_prof.events == serial_prof.events
+
+    def test_fail_fast_raises_the_original_error(self):
+        from repro.harness.engine import RetryPolicy
+        from repro.sim.faults import FaultConfig
+        exp = small_exp(models=("julia",), sizes=(256,))
+
+        def opts():
+            return RunOptions(cache=False,
+                              faults=FaultConfig(rate=0.999999, seed=1),
+                              retry=RetryPolicy(max_attempts=2),
+                              fail_fast=True)
+
+        with pytest.raises(RetryExhaustedError) as serial_exc:
+            run_experiment(exp, engine="serial", options=opts())
+        # the worker ships the failure as a structured dict; the parent
+        # must re-raise the exact class with the exact message
+        with pytest.raises(RetryExhaustedError) as proc_exc:
+            self._engine().run(exp, options=opts())
+        assert str(proc_exc.value) == str(serial_exc.value)
+        assert proc_exc.value.cell == serial_exc.value.cell
+        assert proc_exc.value.attempts == serial_exc.value.attempts
+
+    def test_workers_write_the_shared_cache(self, cache):
+        exp = small_exp()
+        engine = self._engine(cache=cache)
+        engine.run(exp)
+        assert engine.last_report.executed_cells == 4
+        assert cache.stats.snapshot()["stores"] == 4
+        warm = engine.run(exp)
+        assert engine.last_report.cached_cells == 4
+        assert all(m.supported for m in warm.measurements)
+
+    def test_report_labels_the_fanout(self):
+        engine = self._engine()
+        engine.run(small_exp())
+        report = engine.last_report
+        assert report.engine == "process"
+        assert "process x2" in report.render()
+
+
 class TestObservability:
     def test_report_cells_and_timings(self, cache):
         engine = SweepEngine(cache=cache, parallel=True)
@@ -261,6 +440,21 @@ class TestEnvironmentConfig:
         monkeypatch.setenv("REPRO_JOBS", "1")
         engine = SweepEngine.from_env()
         assert engine.parallel is False
+
+    def test_engine_mode_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "process")
+        engine = SweepEngine.from_env()
+        assert engine.mode == "process"
+        assert SweepEngine.from_env(mode="thread").mode == "thread"
+
+    def test_engine_mode_default_is_thread(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        assert SweepEngine.from_env().mode == "thread"
+
+    def test_engine_mode_invalid_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "quantum")
+        with pytest.raises(ConfigError):
+            SweepEngine.from_env()
 
     def test_cache_dir_relocation(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))

@@ -11,6 +11,7 @@ from repro.gpu import (
     IssueProfile,
     LaunchConfig,
     analyze_coalescing,
+    classify_kernel_bound,
     gemm_transfer_estimate,
     occupancy,
     paper_launch,
@@ -201,6 +202,29 @@ class TestWarpSim:
         sh = MatrixShape.square(n)
         t = simulate_gpu_kernel(gpu_kernel(), paper_launch("j"), A100, sh)
         assert 0 < t.gflops(sh) < A100.peak_gflops(Precision.FP64)
+
+
+class TestBoundClassification:
+    """Regression: the old tie test (``kernel_seconds == dram_seconds and
+    dram_seconds > compute_seconds``) could never fire on a dead heat, so
+    an exactly-DRAM-bound kernel kept its compute-side label."""
+
+    def test_dead_heat_is_dram(self):
+        assert classify_kernel_bound("issue", 1.0, 1.0) == "dram"
+
+    def test_compute_dominant_keeps_issue_label(self):
+        assert classify_kernel_bound("chain", 2.0, 1.0) == "chain"
+        assert classify_kernel_bound("latency", 2.0, 1.0) == "latency"
+
+    def test_dram_dominant(self):
+        assert classify_kernel_bound("issue", 1.0, 2.0) == "dram"
+
+    def test_simulated_label_matches_classifier(self):
+        sh = MatrixShape.square(1024)
+        t = simulate_gpu_kernel(gpu_kernel(), paper_launch("j"), A100, sh)
+        assert t.bound in ("issue", "chain", "latency", "dram")
+        if t.bound == "dram":
+            assert t.kernel_seconds * A100.hbm_bandwidth_gbs * 1e9 >= t.dram_bytes
 
 
 class TestTransfers:

@@ -61,8 +61,8 @@ def interrupt_on_call(n):
     shared ``monkeypatch`` fixture must not be used — undoing it would
     also drop the suite's REPRO_RUNS_DIR/REPRO_CACHE_DIR isolation).
     """
-    import repro.harness.engine.executor as executor
-    orig = executor.run_measurement
+    import repro.harness.engine.worker as worker
+    orig = worker.run_measurement
     calls = {"count": 0}
 
     def boom(*args, **kwargs):
@@ -72,7 +72,7 @@ def interrupt_on_call(n):
         return orig(*args, **kwargs)
 
     mp = pytest.MonkeyPatch()
-    mp.setattr(executor, "run_measurement", boom)
+    mp.setattr(worker, "run_measurement", boom)
     return mp
 
 
@@ -448,6 +448,74 @@ class TestJournaledSweep:
         assert result_set_to_json(replayed) == result_set_to_json(rs)
 
 
+def process_engine(cache=None):
+    import multiprocessing
+    if "fork" not in multiprocessing.get_all_start_methods():
+        pytest.skip("fork start method unavailable")
+    return SweepEngine(cache=cache, parallel=True, max_workers=2,
+                       mode="process")
+
+
+def journal_record_stream(registry, run_id):
+    """The journal as (type, data) pairs with wall clocks stripped.
+
+    The process-pool engine must produce the same record *stream* as the
+    serial loop — same types, same order, same embedded measurements —
+    differing only in host timestamps and run identity.
+    """
+    volatile = ("created", "closed", "wall_s", "run_id", "resumed")
+    stream = []
+    with open(registry.path_for(run_id)) as fh:
+        for line in fh:
+            record = json.loads(line)
+            data = {k: v for k, v in record["data"].items()
+                    if k not in volatile}
+            stream.append((record["type"], data))
+    return stream
+
+
+class TestProcessEngineJournal:
+    """The parent stays the journal's single writer under ``--engine
+    process``: the WAL must be record-for-record identical to a serial
+    run's (timestamps aside), and a serially-interrupted run must resume
+    byte-identically on the process engine."""
+
+    def test_journal_stream_identical_to_serial(self, registry):
+        exp = small_exp()
+        serial_j = registry.create()
+        run_experiment(exp, engine=serial_engine(),
+                       options=RunOptions(journal=serial_j))
+        serial_j.close()
+        proc_j = registry.create()
+        run_experiment(exp, engine=process_engine(),
+                       options=RunOptions(journal=proc_j))
+        proc_j.close()
+        assert (journal_record_stream(registry, proc_j.run_id)
+                == journal_record_stream(registry, serial_j.run_id))
+
+    def test_resume_on_process_engine_is_byte_identical(self, registry):
+        exp = small_exp()
+        baseline = result_set_to_json(
+            run_experiment(exp, engine=serial_engine()))
+        mp = interrupt_on_call(3)
+        journal = registry.create()
+        try:
+            with pytest.raises(RunInterrupted):
+                run_experiment(exp, engine=serial_engine(),
+                               options=RunOptions(journal=journal))
+        finally:
+            mp.undo()
+        journal.close()
+        engine = process_engine()
+        resumed = resume_run(journal.run_id, registry=registry,
+                             engine=engine)
+        assert result_set_to_json(resumed) == baseline
+        report = engine.last_report
+        assert report.replayed_cells == 2 and report.executed_cells == 2
+        state = registry.load(journal.run_id)
+        assert state.status == "complete" and state.resumes == 1
+
+
 class TestGracefulShutdown:
     def test_sigterm_becomes_keyboard_interrupt(self):
         with pytest.raises(KeyboardInterrupt):
@@ -509,8 +577,11 @@ class TestCacheSelfHealing:
     def test_orphan_tmp_reported_and_cleared(self, cache):
         _, path, _ = self.seeded(cache)
         shard = os.path.dirname(path)
-        with open(os.path.join(shard, "orphan.tmp"), "w") as fh:
+        orphan = os.path.join(shard, "orphan.tmp")
+        with open(orphan, "w") as fh:
             fh.write("junk")
+        old = os.stat(orphan).st_mtime - 3600  # past the grace window
+        os.utime(orphan, (old, old))
         stats = cache.disk_stats()
         assert stats["entries"] == 1 and stats["tmp_orphans"] == 1
         assert "tmp orphans: 1" in cache.render_stats()
@@ -598,12 +669,26 @@ class TestFsck:
     def test_orphan_tmp_removed(self, store):
         cache, registry, _, _ = store
         shard = os.path.dirname(next(iter(cache._entry_paths())))
-        with open(os.path.join(shard, "dead.tmp"), "w") as fh:
+        dead = os.path.join(shard, "dead.tmp")
+        with open(dead, "w") as fh:
             fh.write("junk")
+        old = os.stat(dead).st_mtime - 3600  # past the grace window
+        os.utime(dead, (old, old))
         report = fsck_store(cache=cache, registry=registry)
         assert not report.corrupt  # warning only
         assert report.tmp_removed == 1
         assert cache.disk_stats()["tmp_orphans"] == 0
+
+    def test_young_tmp_survives_fsck(self, store):
+        """A temp file younger than the grace window may be another
+        worker's in-flight write: fsck must not unlink it."""
+        cache, registry, _, _ = store
+        shard = os.path.dirname(next(iter(cache._entry_paths())))
+        with open(os.path.join(shard, "inflight.tmp"), "w") as fh:
+            fh.write("junk")
+        report = fsck_store(cache=cache, registry=registry)
+        assert report.tmp_removed == 0
+        assert cache.disk_stats()["tmp_orphans"] == 1
 
 
 class TestJournalCLI:

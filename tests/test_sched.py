@@ -17,7 +17,11 @@ from repro.sched import (
     simulate_parallel_region,
     static_chunks,
 )
-from repro.sched.thread_sim import MIGRATION_COMPUTE_TAX
+from repro.sched.thread_sim import (
+    FORK_JOIN_BASE_S,
+    MIGRATION_COMPUTE_TAX,
+    MIN_STREAM_RATE_BS,
+)
 
 
 class TestAffinity:
@@ -166,6 +170,41 @@ class TestThreadSim:
         p = place_threads(EPYC_7A53, 4, PinPolicy.COMPACT)
         with pytest.raises(ValueError):
             simulate_parallel_region(EPYC_7A53, p, _work(3))
+
+    def test_slow_compute_demand_cap_is_a_rate(self):
+        """Regression: the demand-cap floor used to be ``max(rate, bytes)``,
+        so a slow-compute thread (comp > 1 s) claimed a channel share equal
+        to its byte *count* and starved memory-bound peers.  The floor is a
+        rate (MIN_STREAM_RATE_BS); the hog gets everything else."""
+        p = place_threads(AMPERE_ALTRA, 2, PinPolicy.COMPACT)
+        cap = AMPERE_ALTRA.numa[0].local_bandwidth_gbs * 1e9
+        slow = ThreadWork(0, 100.0, 10e9)   # natural rate 0.1 GB/s
+        hog = ThreadWork(1, 1e-6, 50e9)     # memory bound, uncapped
+        r = simulate_parallel_region(AMPERE_ALTRA, p, [slow, hog])
+        expected = 50e9 / (cap - MIN_STREAM_RATE_BS)
+        assert r.per_thread_seconds[1] == pytest.approx(expected, rel=1e-6)
+
+    def test_demand_floor_applies_per_domain_path(self):
+        """Same regression on the interleaved multi-domain path: the
+        per-domain cap used to be floored at the per-domain byte count."""
+        p = place_threads(EPYC_7A53, 2, PinPolicy.COMPACT)
+        domains = EPYC_7A53.numa_domains
+        # both threads sit in domain 0; interleaving spreads their traffic
+        slow = ThreadWork(0, 100.0, 10e9)
+        hog = ThreadWork(1, 1e-6, 50e9)
+        r = simulate_parallel_region(EPYC_7A53, p, [slow, hog])
+        costs = memory_costs(EPYC_7A53, p, MemoryHome.INTERLEAVED)
+        cap = EPYC_7A53.numa[0].local_bandwidth_gbs * 1e9
+        hog_bytes = 50e9 * costs[1].bandwidth_inflation / domains
+        expected = hog_bytes / (cap - MIN_STREAM_RATE_BS / domains)
+        assert r.per_thread_seconds[1] == pytest.approx(expected, rel=1e-6)
+
+    def test_single_thread_region_pays_base_fork_join_only(self):
+        """Regression: log2(max(2, threads)) billed a 1-thread region for a
+        2-thread tree barrier."""
+        p = place_threads(EPYC_7A53, 1, PinPolicy.COMPACT)
+        r = simulate_parallel_region(EPYC_7A53, p, _work(1))
+        assert r.fork_join_seconds == FORK_JOIN_BASE_S
 
     def test_fork_join_grows_with_threads(self):
         p2 = place_threads(EPYC_7A53, 2, PinPolicy.COMPACT)
