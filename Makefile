@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint audit bench bench-audit bench-engine bench-paper engine-smoke report report-cached faults breaker resume fsck verify examples clean
+.PHONY: install test lint audit bench bench-audit bench-engine bench-paper bench-service engine-smoke service-smoke report report-cached faults breaker resume fsck verify examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -67,6 +67,55 @@ engine-smoke:
 	  .repro-engine-smoke/process.txt > .repro-engine-smoke/process.flt
 	cmp .repro-engine-smoke/serial.flt .repro-engine-smoke/process.flt
 	@echo "process engine byte-identical to serial (stdout + export)"
+
+# Campaign-service throughput: scheduler grants/sec, durable
+# submissions/sec and the two-tenant dedup hit rate, recorded in
+# BENCH_service.json.
+bench-service:
+	$(PYTHON) benchmarks/bench_service.py --out BENCH_service.json
+
+# Multi-tenant daemon smoke test: two tenants submit overlapping sweeps
+# (both sweep julia at every size) to a live daemon; each tenant's
+# report must be byte-identical to a solo `repro run` of the same
+# experiment, and the daemon's dedup counters must show the overlapping
+# cells executed exactly once (6 executed, 2 served cross-tenant).
+service-smoke:
+	rm -rf .repro-service-smoke
+	mkdir -p .repro-service-smoke
+	@set -e; \
+	sock=.repro-service-smoke/daemon.sock; \
+	REPRO_RUNS_DIR=.repro-service-smoke/runs \
+	REPRO_CACHE_DIR=.repro-service-smoke/cache \
+	  $(PYTHON) -m repro serve --socket $$sock \
+	  > .repro-service-smoke/daemon.log 2>&1 & \
+	trap '$(PYTHON) -m repro serve --stop --socket '$$sock' \
+	  > /dev/null 2>&1 || true' EXIT; \
+	for i in $$(seq 1 100); do \
+	  $(PYTHON) -m repro status --socket $$sock > /dev/null 2>&1 && break; \
+	  sleep 0.1; \
+	done; \
+	$(PYTHON) -m repro submit --socket $$sock --tenant alice \
+	  --models julia,numba --sizes 256,512 --reps 3 --wait \
+	  > .repro-service-smoke/alice.txt 2> /dev/null; \
+	$(PYTHON) -m repro submit --socket $$sock --tenant bob \
+	  --models julia,kokkos --sizes 256,512 --reps 3 --wait \
+	  > .repro-service-smoke/bob.txt 2> /dev/null; \
+	REPRO_JOURNAL=off REPRO_CACHE_DIR=.repro-service-smoke/solo-alice \
+	  $(PYTHON) -m repro run --models julia,numba --sizes 256,512 --reps 3 \
+	  > .repro-service-smoke/alice-solo.txt; \
+	REPRO_JOURNAL=off REPRO_CACHE_DIR=.repro-service-smoke/solo-bob \
+	  $(PYTHON) -m repro run --models julia,kokkos --sizes 256,512 --reps 3 \
+	  > .repro-service-smoke/bob-solo.txt; \
+	cmp .repro-service-smoke/alice.txt .repro-service-smoke/alice-solo.txt; \
+	cmp .repro-service-smoke/bob.txt .repro-service-smoke/bob-solo.txt; \
+	$(PYTHON) -m repro status --socket $$sock --format json \
+	  | $(PYTHON) -c "import json, sys; d = json.load(sys.stdin); \
+	    assert d['dedup']['hits'] == 2, d['dedup']; \
+	    assert d['dedup']['executed_cells'] == 6, d['dedup']"; \
+	$(PYTHON) -m repro serve --stop --socket $$sock > /dev/null; \
+	trap - EXIT
+	@echo "two tenants, overlapping cells executed once, reports" \
+	  "byte-identical to solo runs"
 
 report:
 	$(PYTHON) -m repro report --out study_report.md
@@ -136,4 +185,5 @@ clean:
 	rm -rf build dist src/*.egg-info .pytest_cache .hypothesis study_report.md
 	rm -rf .repro-cache study_report_cold.md study_report_warm.md
 	rm -rf .repro-fsck-cache .repro-fsck-runs .repro-engine-smoke
+	rm -rf .repro-service-smoke
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,190 @@
+"""Campaign-service throughput: scheduler grants, submissions, dedup.
+
+Times the three hot paths of the multi-tenant campaign daemon — the
+fair-share scheduler's select/charge cycle (pure in-memory bookkeeping
+that runs once per cell), campaign submission (admission + durable
+journal open), and an overlapping two-tenant workload end to end (where
+cross-campaign dedup should serve the second tenant's shared cells from
+the first tenant's results) — and writes the numbers to
+``BENCH_service.json`` (re-run via ``make bench-service`` after touching
+``src/repro/service`` to see regressions).
+
+The dedup section records the hit rate alongside cells/sec: a regression
+that silently stops deduping would *look* fine on wall time for small
+matrices while doubling the executed-cell count, so both numbers gate.
+
+Standalone on purpose: ``python benchmarks/bench_service.py`` works with
+or without the package installed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import shutil
+import sys
+import tempfile
+import time
+
+if __package__ in (None, ""):
+    _src = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+    if _src not in sys.path:
+        sys.path.insert(0, _src)
+
+from repro.core.types import DeviceKind, Precision          # noqa: E402
+from repro.harness.engine import ResultCache                # noqa: E402
+from repro.harness.experiment import Experiment             # noqa: E402
+from repro.harness.journal import RunRegistry               # noqa: E402
+from repro.service import (                                 # noqa: E402
+    AdmissionPolicy,
+    CampaignService,
+    CampaignSpec,
+    FairShareScheduler,
+    TenantQuota,
+)
+
+
+def bench_experiment(exp_id: str, models=("julia", "numba")) -> Experiment:
+    return Experiment(
+        exp_id=exp_id, title="service throughput benchmark",
+        node_name="Crusher", device=DeviceKind.CPU, precision=Precision.FP64,
+        models=models, sizes=(256, 512, 1024), threads=64, reps=5,
+    )
+
+
+def bench_scheduler(grants: int, reps: int) -> "dict[str, object]":
+    """Best-of-``reps`` time for ``grants`` select/charge cycles across
+    an 8-tenant, 32-campaign backlog — the per-cell scheduling cost."""
+    best = float("inf")
+    for _ in range(reps):
+        policy = AdmissionPolicy(
+            max_total=64,
+            quotas=tuple((f"t{i}", TenantQuota(weight=float(1 + i % 3)))
+                         for i in range(8)))
+        sched = FairShareScheduler(policy)
+        for i in range(32):
+            sched.submit(f"c{i}", f"t{i % 8}", priority=i % 4)
+        t0 = time.perf_counter()
+        for _ in range(grants):
+            sched.charge(sched.select())
+        best = min(best, time.perf_counter() - t0)
+    return {
+        "grants": grants,
+        "tenants": 8,
+        "backlog": 32,
+        "seconds": round(best, 6),
+        "grants_per_s": round(grants / best, 2),
+    }
+
+
+def bench_submissions(count: int, reps: int,
+                      workdir: str) -> "dict[str, object]":
+    """Submission latency: admission check plus the durable journal open
+    that makes a queued campaign survive a daemon crash."""
+    best = float("inf")
+    for rep in range(reps):
+        root = os.path.join(workdir, f"submit-{rep}")
+        service = CampaignService(
+            registry=RunRegistry(os.path.join(root, "runs")),
+            cache=ResultCache(os.path.join(root, "cache")),
+            policy=AdmissionPolicy(max_total=count + 1,
+                                   default_quota=TenantQuota(
+                                       max_queued=count + 1)))
+        specs = [CampaignSpec(experiment=bench_experiment(f"sub-{i}"),
+                              tenant=f"tenant-{i % 4}")
+                 for i in range(count)]
+        t0 = time.perf_counter()
+        for spec in specs:
+            service.submit(spec)
+        best = min(best, time.perf_counter() - t0)
+        service.suspend()
+        shutil.rmtree(root, ignore_errors=True)
+    return {
+        "campaigns": count,
+        "seconds": round(best, 6),
+        "submissions_per_s": round(count / best, 2),
+    }
+
+
+def bench_dedup(reps: int, workdir: str) -> "dict[str, object]":
+    """Two tenants with overlapping sweeps, end to end: cells/sec
+    through the cell-at-a-time executor plus the dedup hit rate."""
+    best = float("inf")
+    hits = total = 0
+    for rep in range(reps):
+        root = os.path.join(workdir, f"dedup-{rep}")
+        service = CampaignService(
+            registry=RunRegistry(os.path.join(root, "runs")),
+            cache=ResultCache(os.path.join(root, "cache")))
+        shared = f"dedup-{rep}"
+        spec_a = CampaignSpec(
+            experiment=bench_experiment(shared, ("julia", "numba")),
+            tenant="alice")
+        spec_b = CampaignSpec(
+            experiment=bench_experiment(shared, ("julia", "kokkos")),
+            tenant="bob")
+        t0 = time.perf_counter()
+        service.submit(spec_a)
+        service.submit(spec_b)
+        service.run_until_idle()
+        best = min(best, time.perf_counter() - t0)
+        hits = service.dedup_hits
+        total = sum(c.cells_total for c in service.campaigns.values())
+        shutil.rmtree(root, ignore_errors=True)
+    return {
+        "cells": total,
+        "dedup_hits": hits,
+        "dedup_hit_rate": round(hits / total, 4) if total else 0.0,
+        "seconds": round(best, 6),
+        "cells_per_s": round(total / best, 2),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--reps", type=int, default=3,
+                        help="repetitions; best-of is recorded (default 3)")
+    parser.add_argument("--grants", type=int, default=20000,
+                        help="scheduler select/charge cycles (default 20000)")
+    parser.add_argument("--submissions", type=int, default=32,
+                        help="campaigns per submission rep (default 32)")
+    parser.add_argument("--out", default="BENCH_service.json",
+                        help="output path (default BENCH_service.json)")
+    args = parser.parse_args(argv)
+
+    payload = {"benchmark": "service",
+               "python": platform.python_version(),
+               "host_cpus": os.cpu_count() or 1,
+               "reps": args.reps,
+               "sections": {}}
+    workdir = tempfile.mkdtemp(prefix="bench-service-")
+    try:
+        result = bench_scheduler(args.grants, args.reps)
+        payload["sections"]["scheduler"] = result
+        print(f"scheduler   {result['grants_per_s']:>12} grants/s "
+              f"({result['backlog']} campaigns, {result['tenants']} tenants)")
+
+        result = bench_submissions(args.submissions, args.reps, workdir)
+        payload["sections"]["submissions"] = result
+        print(f"submit      {result['submissions_per_s']:>12} campaigns/s "
+              f"(durable journal per submission)")
+
+        result = bench_dedup(args.reps, workdir)
+        payload["sections"]["dedup"] = result
+        print(f"dedup       {result['cells_per_s']:>12} cells/s "
+              f"(hit rate {result['dedup_hit_rate']:.0%})")
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

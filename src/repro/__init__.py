@@ -51,6 +51,7 @@ from .harness import (
     fig5,
     fig6,
     fig7,
+    run_campaign,
     run_experiment,
     table1,
     table2,
@@ -77,6 +78,7 @@ from .models import (
     portable_models,
     reference_model_for,
 )
+from .service import CampaignSpec
 
 __all__ = [
     "__version__",
@@ -115,6 +117,7 @@ __all__ = [
     "fig5",
     "fig6",
     "fig7",
+    "run_campaign",
     "run_experiment",
     "table1",
     "table2",
@@ -136,4 +139,5 @@ __all__ = [
     "model_by_name",
     "portable_models",
     "reference_model_for",
+    "CampaignSpec",
 ]

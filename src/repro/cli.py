@@ -16,6 +16,13 @@ Commands mirror the deliverables:
 * ``repro runs list|show`` — journaled campaigns (``repro run`` journals
   by default; ``repro run --resume <run-id>`` completes an interrupted
   one byte-identically).
+* ``repro serve`` — the campaign daemon: concurrent submissions over a
+  local Unix socket, fair-share scheduled across tenants, with
+  cross-campaign dedup and crash recovery from the run journals.
+* ``repro submit`` — send a campaign (run-style flags or a serialized
+  CampaignSpec) to the daemon; ``--wait`` prints the same report
+  ``repro run`` would have.
+* ``repro status`` — the daemon's scheduler/tenant/dedup snapshot.
 * ``repro health <run-id>`` — lane-state history of a breaker-enabled
   run: every circuit-breaker transition, final lane states, and which
   cells were served by fallback lanes.
@@ -44,7 +51,13 @@ import sys
 from typing import List, Optional
 
 from .core.types import DeviceKind, Precision
-from .errors import CellFailure, ConfigError, JournalError, RunInterrupted
+from .errors import (
+    CellFailure,
+    ConfigError,
+    JournalError,
+    RunInterrupted,
+    ServiceError,
+)
 from .harness import (
     Experiment,
     PAPER_SIZES,
@@ -53,7 +66,7 @@ from .harness import (
     fig5,
     fig6,
     fig7,
-    run_experiment,
+    run_campaign,
     table1,
     table2,
     table3,
@@ -238,6 +251,65 @@ def build_parser() -> argparse.ArgumentParser:
     runs.add_argument("--dir", default=None,
                       help="runs directory (default: $REPRO_RUNS_DIR or "
                            "$XDG_CACHE_HOME/repro/runs)")
+    runs.add_argument("--format", choices=("text", "json"), default="text",
+                      help="json emits the machine-readable run document")
+
+    serve = sub.add_parser(
+        "serve", help="run the campaign daemon: accept concurrent "
+                      "submissions over a local socket, schedule them "
+                      "fair-share across tenants")
+    serve.add_argument("--socket", default=None, metavar="PATH",
+                       help="Unix socket path (default: "
+                            "$REPRO_SERVICE_SOCKET or <runs dir>/"
+                            "service.sock)")
+    serve.add_argument("--max-total", type=int, default=None, metavar="N",
+                       help="global campaign backlog cap (default: 64)")
+    serve.add_argument("--max-queued", type=int, default=None, metavar="N",
+                       help="per-tenant campaign quota (default: 8)")
+    serve.add_argument("--stop", action="store_true",
+                       help="ask the daemon on --socket to shut down "
+                            "gracefully instead of serving")
+
+    submit = sub.add_parser(
+        "submit", help="submit a campaign to the daemon (see `repro "
+                       "serve`); experiment flags mirror `repro run`")
+    submit.add_argument("--socket", default=None, metavar="PATH",
+                        help="daemon socket (default: as for `repro serve`)")
+    submit.add_argument("--spec", default=None, metavar="FILE",
+                        help="serialized CampaignSpec JSON (overrides the "
+                             "experiment flags; '-' reads stdin)")
+    submit.add_argument("--node", choices=sorted(NODE_CATALOG),
+                        default="crusher")
+    submit.add_argument("--device", choices=("cpu", "gpu"), default="cpu")
+    submit.add_argument("--precision", default="fp64")
+    submit.add_argument("--models", default="c-openmp,kokkos,julia,numba",
+                        help="comma-separated model names")
+    submit.add_argument("--sizes", default=",".join(map(str, QUICK_SIZES)))
+    submit.add_argument("--threads", type=int, default=None)
+    submit.add_argument("--reps", type=int, default=10)
+    submit.add_argument("--exp-id", default="cli-run",
+                        help="experiment id (cells dedup across campaigns "
+                             "with equal ids and methodology)")
+    submit.add_argument("--tenant", default=None,
+                        help="fair-share account (default: $REPRO_TENANT "
+                             "or 'default')")
+    submit.add_argument("--priority", type=int, default=None,
+                        help="rank within the tenant's queue (higher runs "
+                             "first; default: $REPRO_PRIORITY or 0)")
+    submit.add_argument("--wait", action="store_true",
+                        help="block until the campaign finishes and print "
+                             "its report (byte-identical to `repro run`)")
+    submit.add_argument("--format", choices=("text", "json"),
+                        default="text", help="report format with --wait")
+    _add_resilience_flags(submit)
+
+    status = sub.add_parser(
+        "status", help="one snapshot of the campaign daemon: tenants, "
+                       "queue, dedup and cache counters")
+    status.add_argument("--socket", default=None, metavar="PATH",
+                        help="daemon socket (default: as for `repro serve`)")
+    status.add_argument("--format", choices=("text", "json"),
+                        default="text")
 
     health = sub.add_parser(
         "health", help="lane-state history of a breaker-enabled run: "
@@ -434,28 +506,62 @@ def _engine_for(args: argparse.Namespace):
     )
 
 
+def _spec_cli_overrides(args: argparse.Namespace) -> dict:
+    """The CLI layer of the one precedence pass (CLI > env > defaults).
+
+    Keys mirror :func:`repro.config.resolve_campaign_spec`'s ``cli``
+    mapping; ``None`` means "flag not given, let the environment or the
+    defaults decide".  Shared by ``repro run`` and ``repro submit`` so
+    the two surfaces cannot drift.
+    """
+    return {
+        "faults": getattr(args, "faults", None),
+        "retries": getattr(args, "retries", None),
+        "max_cell_seconds": getattr(args, "max_cell_seconds", None),
+        "fail_fast": bool(getattr(args, "fail_fast", False)),
+        "breaker": getattr(args, "breaker", None),
+        "fallback": getattr(args, "fallback", None),
+        "cache": False if getattr(args, "no_cache", False) else None,
+        "jobs": getattr(args, "jobs", None),
+        "engine": ("serial" if getattr(args, "serial", False)
+                   else getattr(args, "engine", None)),
+        "tenant": getattr(args, "tenant", None),
+        "priority": getattr(args, "priority", None),
+    }
+
+
 def _finish_run(args: argparse.Namespace, exp: Experiment) -> str:
-    engine = _engine_for(args)
-    opts = _options_for(args)
+    from .config import resolve_campaign_spec
+    from .harness import resolve_engine
+
+    spec = resolve_campaign_spec(exp, cli=_spec_cli_overrides(args))
+    base = None
     journal = None
+    registry = None
     if _journal_enabled(args):
         from dataclasses import replace
         from .harness.engine import RunOptions
         from .harness.journal import RunRegistry
-        journal = RunRegistry().create()
-        if opts is None:
-            opts = RunOptions.from_env()
-        opts = replace(opts, journal=journal)
+        registry = RunRegistry()
+        journal = registry.create()
+        base = replace(RunOptions.from_env(), journal=journal)
+        # The ACTIVE sidecar tells `repro runs list`, `repro fsck` and a
+        # recovering daemon that a live process owns this journal.
+        registry.mark_active(journal.run_id)
         # The notice goes to stderr so stdout stays byte-identical
         # between an uninterrupted run and an interrupt + --resume.
         print(f"repro: journaling run {journal.run_id} "
               f"(resume with: repro run --resume {journal.run_id})",
               file=sys.stderr)
+    engine = resolve_engine(None, spec.run_options(base=base),
+                            mode=spec.engine)
     try:
-        results = run_experiment(exp, engine=engine, options=opts)
+        results = run_campaign(spec, engine=engine, options=base)
     finally:
         if journal is not None:
             journal.close()
+        if registry is not None and journal is not None:
+            registry.release_active(journal.run_id)
     return _render_run(args, results, engine)
 
 
@@ -645,15 +751,48 @@ def _cmd_cache(args: argparse.Namespace) -> str:
     return f"cleared {removed} cached measurements from {cache.root}"
 
 
+def _run_document(reg, st) -> dict:
+    """One run as the machine-readable ``runs --format json`` document."""
+    owner = reg.active_info(st.run_id)
+    doc = {
+        "run": st.run_id,
+        "journal": st.path,
+        "status": st.status,
+        "experiment": st.manifest.get("exp_id"),
+        "node": st.manifest.get("node"),
+        "campaign": st.campaign or None,
+        "cells": {"done": st.done_cells, "total": st.total_cells,
+                  "remaining": st.remaining_cells},
+        "resumes": st.resumes,
+        "resumable": st.resumable,
+        "torn_records": st.dropped,
+        "active": (None if owner is None
+                   else {"pid": owner.get("pid"),
+                         "heartbeat": owner.get("heartbeat")}),
+    }
+    if st.service_meta:
+        doc["service"] = dict(st.service_meta)
+    return doc
+
+
 def _cmd_runs(args: argparse.Namespace) -> "tuple[str, int]":
+    import json as _json
+
     from .harness.journal import RunRegistry
 
     reg = RunRegistry(args.dir)
     if args.action == "list":
+        if args.format == "json":
+            rows = [_run_document(reg, st) for st in reg.runs()]
+            return _json.dumps({"runs_dir": reg.root, "runs": rows},
+                               indent=2, sort_keys=True), 0
         return reg.render_list(), 0
     if not args.run_id:
         return "repro runs show: a run id is required", 2
     st = reg.load(args.run_id)
+    if args.format == "json":
+        return _json.dumps(_run_document(reg, st),
+                           indent=2, sort_keys=True), 0
     exp = st.manifest.get("exp_id", "?")
     node = st.manifest.get("node", "?")
     lines = [
@@ -673,6 +812,139 @@ def _cmd_runs(args: argparse.Namespace) -> "tuple[str, int]":
     if st.resumable:
         lines.append(f"resume with: repro run --resume {st.run_id}")
     return "\n".join(lines), 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> "tuple[str, int]":
+    import os
+
+    from .service import (
+        AdmissionPolicy,
+        CampaignDaemon,
+        CampaignService,
+        ServiceClient,
+        TenantQuota,
+        default_socket_path,
+    )
+
+    socket_path = args.socket or default_socket_path()
+    if args.stop:
+        ServiceClient(socket_path).shutdown()
+        return f"asked the campaign daemon on {socket_path} to stop", 0
+    service = None
+    if args.max_total is not None or args.max_queued is not None:
+        defaults = AdmissionPolicy()
+        quota = (TenantQuota(max_queued=args.max_queued)
+                 if args.max_queued is not None
+                 else defaults.default_quota)
+        policy = AdmissionPolicy(
+            max_total=(args.max_total if args.max_total is not None
+                       else defaults.max_total),
+            default_quota=quota)
+        service = CampaignService(policy=policy)
+    daemon = CampaignDaemon(service=service, socket_path=socket_path)
+    print(f"repro: serving campaigns on {socket_path} "
+          f"(pid {os.getpid()}; stop with: repro serve "
+          f"--stop --socket {socket_path})", file=sys.stderr)
+    recovered = daemon.serve()
+    return (f"campaign daemon on {socket_path} stopped "
+            f"({recovered} campaign(s) recovered at startup)"), 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> "tuple[str, int]":
+    import json as _json
+
+    from .service import ServiceClient, spec_from_dict
+
+    client = ServiceClient(args.socket)
+    if args.spec:
+        try:
+            if args.spec == "-":
+                raw = sys.stdin.read()
+            else:
+                with open(args.spec) as fh:
+                    raw = fh.read()
+        except OSError as exc:
+            raise ConfigError(f"--spec {args.spec}: {exc}") from exc
+        try:
+            payload = _json.loads(raw)
+        except _json.JSONDecodeError as exc:
+            raise ConfigError(
+                f"--spec {args.spec}: not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ConfigError(f"--spec {args.spec}: expected a JSON object")
+        # Validated locally so a bad document fails with a sharp message
+        # before it crosses the wire.
+        spec = spec_from_dict(payload)
+    else:
+        from .config import resolve_campaign_spec
+        exp = Experiment(
+            exp_id=args.exp_id,
+            title="custom CLI experiment",
+            node_name=args.node,
+            device=DeviceKind.CPU if args.device == "cpu" else DeviceKind.GPU,
+            precision=Precision.parse(args.precision),
+            models=tuple(s.strip() for s in args.models.split(",")
+                         if s.strip()),
+            sizes=tuple(int(s) for s in args.sizes.split(",")),
+            threads=args.threads,
+            reps=args.reps,
+        )
+        spec = resolve_campaign_spec(exp, cli=_spec_cli_overrides(args))
+    campaign_id = client.submit(spec)
+    print(f"repro: campaign {campaign_id} queued as tenant "
+          f"{spec.tenant!r} (priority {spec.priority})", file=sys.stderr)
+    if not args.wait:
+        return campaign_id, 0
+    row = client.wait(campaign_id)
+    if row.get("state") == "failed":
+        print(f"repro: campaign {campaign_id} failed: "
+              f"{row.get('error', 'unknown error')}", file=sys.stderr)
+        return campaign_id, 1
+    # Stdout carries exactly the report `repro run` would have printed
+    # for the same spec — byte-identical, stderr has the rest.
+    return client.report(campaign_id, fmt=args.format).rstrip("\n"), 0
+
+
+def _cmd_status(args: argparse.Namespace) -> str:
+    from .harness.report import ascii_table as _table
+    from .service import ServiceClient
+
+    payload = ServiceClient(args.socket).status()
+    if args.format == "json":
+        import json as _json
+        return _json.dumps(payload, indent=2, sort_keys=True)
+    lines = [f"campaign daemon: pid {payload.get('pid')}, "
+             f"{payload.get('backlog', 0)} queued campaign(s), "
+             f"{payload.get('steps', 0)} scheduler step(s)"]
+    tenants = payload.get("tenants") or []
+    if tenants:
+        lines.append("")
+        lines.append(_table(
+            ["tenant", "weight", "pass", "queued", "running"],
+            [[t.get("tenant"), f"{t.get('weight', 1.0):g}",
+              f"{t.get('pass', 0.0):g}", t.get("queued", 0),
+              t.get("running", 0)] for t in tenants]))
+    campaigns = payload.get("campaigns") or []
+    if campaigns:
+        rows = []
+        for c in campaigns:
+            cells = c.get("cells") or {}
+            stats = c.get("stats") or {}
+            note = ", ".join(f"{k}={v}" for k, v in sorted(stats.items())
+                             if v) or "-"
+            rows.append([c.get("id"), c.get("tenant"), c.get("priority"),
+                         c.get("state"),
+                         f"{cells.get('done', 0)}/{cells.get('total', '?')}",
+                         note])
+        lines.append("")
+        lines.append(_table(
+            ["campaign", "tenant", "prio", "state", "cells", "stats"],
+            rows))
+    dedup = payload.get("dedup") or {}
+    lines.append("")
+    lines.append(f"dedup: {dedup.get('hits', 0)} hit(s) across "
+                 f"{dedup.get('executed_cells', 0)} executed cell(s)")
+    return "\n".join(lines)
 
 
 def _cmd_health(args: argparse.Namespace) -> str:
@@ -770,6 +1042,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     except JournalError as exc:
         print(f"repro: {exc}", file=sys.stderr)
         return 1
+    except ServiceError as exc:
+        # No daemon on the socket, an admission refusal (AdmissionError
+        # subclasses this), an unknown campaign id, a wait timeout, ...
+        print(f"repro: {exc}", file=sys.stderr)
+        return 1
     except ConfigError as exc:
         # Bad --faults/--breaker/--fallback/... grammar: a usage error.
         print(f"repro: {exc}", file=sys.stderr)
@@ -805,6 +1082,12 @@ def _dispatch(args: argparse.Namespace) -> int:
         out = _cmd_cache(args)
     elif args.command == "runs":
         out, rc = _cmd_runs(args)
+    elif args.command == "serve":
+        out, rc = _cmd_serve(args)
+    elif args.command == "submit":
+        out, rc = _cmd_submit(args)
+    elif args.command == "status":
+        out = _cmd_status(args)
     elif args.command == "health":
         out = _cmd_health(args)
     elif args.command == "fsck":

@@ -17,7 +17,7 @@ from typing import Dict, Iterator, Mapping, Optional
 
 from .errors import ConfigError
 
-__all__ = ["RunConfig", "KNOWN_VARIABLES"]
+__all__ = ["RunConfig", "KNOWN_VARIABLES", "resolve_campaign_spec"]
 
 #: Environment variables with meaning to at least one programming model,
 #: mirroring Tables I/II and Appendix A of the paper.
@@ -45,6 +45,13 @@ KNOWN_VARIABLES: Dict[str, str] = {
     "REPRO_FAIL_FAST": "abort the sweep on the first permanent cell failure",
     "REPRO_BREAKER": "circuit-breaker spec (e.g. threshold=3,cooldown=300)",
     "REPRO_FALLBACK": "fallback-ladder spec (e.g. numba@gpu=numba@cpu+reference)",
+    "REPRO_RUNS_DIR": "run-journal registry directory",
+    "REPRO_JOURNAL": "write-ahead run journal on/off (default on)",
+    # Campaign-service knobs (repro.service): tenancy defaults for
+    # `repro submit` and the daemon socket location.
+    "REPRO_TENANT": "fair-share tenant campaigns bill to (default 'default')",
+    "REPRO_PRIORITY": "campaign priority within the tenant queue (default 0)",
+    "REPRO_SERVICE_SOCKET": "campaign-service Unix socket path",
 }
 
 _TRUE_STRINGS = frozenset({"1", "true", "yes", "on", "close", "spread"})
@@ -199,6 +206,132 @@ class RunConfig:
 
     def __len__(self) -> int:
         return len(self.env)
+
+
+def resolve_campaign_spec(experiment, cli: Optional[Mapping[str, object]] = None,
+                          environ: Optional[Mapping[str, str]] = None):
+    """THE precedence pass: CLI flags > ``REPRO_*`` env vars > defaults.
+
+    Every way of requesting a campaign — ``repro run`` flags, ``repro
+    submit``, the daemon's wire API, library calls — funnels through
+    this one function so the precedence rules live in exactly one place:
+
+    1. **CLI** — a non-``None`` entry in ``cli`` wins outright.  Keys
+       mirror the run-subcommand flags: ``faults``, ``retries``,
+       ``max_cell_seconds``, ``fail_fast`` (``True`` only; ``False``
+       means "flag not given"), ``breaker``, ``fallback``, ``cache``,
+       ``jobs``, ``engine`` (``serial``/``thread``/``process``),
+       ``tenant``, ``priority``.
+    2. **Environment** — the ``REPRO_*`` family documented in
+       :data:`KNOWN_VARIABLES` fills anything the CLI left unset.
+    3. **Defaults** — fields neither layer set stay ``None`` in the
+       spec, which means "inherit the process-wide default" at run time
+       (tenant defaults to ``"default"``, priority to ``0``).
+
+    Composite knobs resolve *per component*: ``--retries 3`` with
+    ``REPRO_BACKOFF=2`` yields a retry policy with the CLI's attempt
+    count and the environment's backoff, matching the historical
+    behaviour of layering CLI flags over ``RunOptions.from_env()``.
+
+    Returns a :class:`repro.service.spec.CampaignSpec` (imported lazily
+    to keep this module dependency-free at import time).
+    """
+    from .harness.engine.options import RetryPolicy
+    from .harness.health import BreakerPolicy, FallbackLadder
+    from .service.spec import CampaignSpec
+    from .sim.faults import FaultConfig
+
+    cli = dict(cli or {})
+    cfg = RunConfig({k: v for k, v in (environ if environ is not None
+                                       else os.environ).items()
+                     if k in KNOWN_VARIABLES})
+
+    def pick(key: str, env_var: str):
+        if cli.get(key) is not None:
+            return cli[key]
+        return cfg.get(env_var)
+
+    faults_spec = pick("faults", "REPRO_FAULTS")
+    faults = None
+    if faults_spec is not None:
+        faults = (faults_spec if isinstance(faults_spec, FaultConfig)
+                  else FaultConfig.parse(str(faults_spec)))
+
+    retries = cli.get("retries")
+    if retries is None:
+        raw = cfg.get("REPRO_RETRIES")
+        if raw is not None:
+            try:
+                retries = int(raw)
+            except ValueError as exc:
+                raise ConfigError(
+                    f"REPRO_RETRIES={raw!r} is not an integer") from exc
+    if retries is not None and retries < 0:
+        raise ConfigError(f"retries {retries} must be >= 0")
+    backoff = cfg.get_float("REPRO_BACKOFF", None)
+    budget = cli.get("max_cell_seconds")
+    if budget is None:
+        budget = cfg.get_float("REPRO_MAX_CELL_SECONDS", None)
+    retry = None
+    if retries is not None or backoff is not None or budget is not None:
+        retry = RetryPolicy(
+            max_attempts=(retries + 1 if retries is not None else 1),
+            backoff_base_s=(backoff if backoff is not None else 0.5),
+            max_cell_seconds=budget,
+        )
+
+    fail_fast = True if cli.get("fail_fast") else None
+    if fail_fast is None and "REPRO_FAIL_FAST" in cfg.env:
+        fail_fast = cfg.get_bool("REPRO_FAIL_FAST", False)
+
+    breaker_spec = pick("breaker", "REPRO_BREAKER")
+    breaker = None
+    if breaker_spec is not None:
+        breaker = (breaker_spec if isinstance(breaker_spec, BreakerPolicy)
+                   else BreakerPolicy.parse(str(breaker_spec)))
+    fallback_spec = pick("fallback", "REPRO_FALLBACK")
+    fallback = None
+    if fallback_spec is not None:
+        fallback = (fallback_spec if isinstance(fallback_spec, FallbackLadder)
+                    else FallbackLadder.parse(str(fallback_spec)))
+
+    cache = cli.get("cache")
+    if cache is None and "REPRO_CACHE" in cfg.env:
+        cache = cfg.get_bool("REPRO_CACHE", True)
+
+    jobs = cli.get("jobs")
+    if jobs is None and "REPRO_JOBS" in cfg.env:
+        jobs = cfg.get_int("REPRO_JOBS", 1)
+
+    engine = cli.get("engine")
+    if engine is None:
+        engine = cfg.get("REPRO_ENGINE")
+
+    tenant = cli.get("tenant") or cfg.get("REPRO_TENANT") or "default"
+
+    priority = cli.get("priority")
+    if priority is None:
+        raw = cfg.get("REPRO_PRIORITY")
+        if raw is not None:
+            try:
+                priority = int(raw)
+            except ValueError as exc:
+                raise ConfigError(
+                    f"REPRO_PRIORITY={raw!r} is not an integer") from exc
+
+    return CampaignSpec(
+        experiment=experiment,
+        engine=engine,
+        jobs=jobs,
+        cache=cache,
+        faults=faults,
+        retry=retry,
+        fail_fast=fail_fast,
+        breaker=breaker,
+        fallback=fallback,
+        tenant=str(tenant),
+        priority=int(priority) if priority is not None else 0,
+    )
 
 
 def _close_match(a: str, b: str) -> bool:

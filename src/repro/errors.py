@@ -24,6 +24,8 @@ __all__ = [
     "CellFailure",
     "RetryExhaustedError",
     "RunInterrupted",
+    "ServiceError",
+    "AdmissionError",
 ]
 
 
@@ -194,6 +196,33 @@ class CellFailure(ReproError):
         self.cell = cell
         self.attempts = attempts
         self.reason = reason
+        super().__init__(message)
+
+
+class ServiceError(ReproError):
+    """The campaign service refused or failed a request.
+
+    Covers daemon-side faults (an unreachable socket, a malformed wire
+    request, an unknown campaign id) as distinct from the usage errors
+    :class:`ConfigError` models — the CLI maps these to exit code 1.
+    """
+
+
+class AdmissionError(ServiceError):
+    """A campaign submission was rejected by admission control.
+
+    The scheduler's quota layer refused to queue the campaign — the
+    tenant is at its per-tenant limit or the daemon at its global one.
+    Not a malformed request: resubmitting after queued campaigns drain
+    will succeed, which is why it is distinct from :class:`ConfigError`.
+
+    * ``tenant`` — the fair-share account that hit the limit;
+    * ``limit`` — the quota that was exceeded.
+    """
+
+    def __init__(self, message: str, tenant: str = "", limit: int = 0):
+        self.tenant = tenant
+        self.limit = limit
         super().__init__(message)
 
 

@@ -18,7 +18,7 @@ from ..core.types import DeviceKind, Precision
 from .experiment import Experiment, QUICK_SIZES
 from .report import ascii_table, render_result_set
 from .results import ResultSet
-from .runner import run_experiment
+from .runner import run_campaign
 
 __all__ = [
     "FigureResult",
@@ -70,6 +70,12 @@ PAPER_PHI: Dict[Precision, Dict[str, float]] = {
 }
 
 _PLATFORM_ORDER = ("Epyc 7A53", "Ampere Altra", "MI250x", "A100")
+
+
+def _sweep(experiment: Experiment) -> ResultSet:
+    """One figure panel through the unified campaign API."""
+    from ..service.spec import CampaignSpec
+    return run_campaign(CampaignSpec(experiment=experiment))
 
 
 # --------------------------------------------------------------------------
@@ -163,8 +169,8 @@ def fig4(sizes: Sequence[int] = QUICK_SIZES) -> FigureResult:
         caption="Crusher multithreaded CPU performance using 64 threads "
                 "across 4 NUMA regions",
         panels={
-            "a: double": run_experiment(crusher_cpu_experiment(Precision.FP64, sizes)),
-            "b: single": run_experiment(crusher_cpu_experiment(Precision.FP32, sizes)),
+            "a: double": _sweep(crusher_cpu_experiment(Precision.FP64, sizes)),
+            "b: single": _sweep(crusher_cpu_experiment(Precision.FP32, sizes)),
         },
     )
 
@@ -175,9 +181,9 @@ def fig5(sizes: Sequence[int] = QUICK_SIZES) -> FigureResult:
         figure_id="Fig. 5",
         caption="Wombat multithreaded CPU performance using 80 threads",
         panels={
-            "a: double": run_experiment(wombat_cpu_experiment(Precision.FP64, sizes)),
-            "b: single": run_experiment(wombat_cpu_experiment(Precision.FP32, sizes)),
-            "c: half (Julia)": run_experiment(
+            "a: double": _sweep(wombat_cpu_experiment(Precision.FP64, sizes)),
+            "b: single": _sweep(wombat_cpu_experiment(Precision.FP32, sizes)),
+            "c: half (Julia)": _sweep(
                 wombat_cpu_experiment(Precision.FP16, sizes, models=("julia",))),
         },
     )
@@ -190,9 +196,9 @@ def fig6(sizes: Sequence[int] = QUICK_SIZES) -> FigureResult:
         caption="Simple GEMM performance on Crusher AMD MI250X GPU using "
                 "32x32 thread block sizes",
         panels={
-            "a: double": run_experiment(crusher_gpu_experiment(Precision.FP64, sizes)),
-            "b: single": run_experiment(crusher_gpu_experiment(Precision.FP32, sizes)),
-            "c: half (Julia)": run_experiment(
+            "a: double": _sweep(crusher_gpu_experiment(Precision.FP64, sizes)),
+            "b: single": _sweep(crusher_gpu_experiment(Precision.FP32, sizes)),
+            "c: half (Julia)": _sweep(
                 crusher_gpu_experiment(Precision.FP16, sizes, models=("julia",))),
         },
     )
@@ -205,9 +211,9 @@ def fig7(sizes: Sequence[int] = QUICK_SIZES) -> FigureResult:
         caption="Simple GEMM performance on Wombat NVIDIA A100 using "
                 "32x32 thread block sizes",
         panels={
-            "a: double": run_experiment(wombat_gpu_experiment(Precision.FP64, sizes)),
-            "b: single": run_experiment(wombat_gpu_experiment(Precision.FP32, sizes)),
-            "c: half (Julia, Numba)": run_experiment(
+            "a: double": _sweep(wombat_gpu_experiment(Precision.FP64, sizes)),
+            "b: single": _sweep(wombat_gpu_experiment(Precision.FP32, sizes)),
+            "c: half (Julia, Numba)": _sweep(
                 wombat_gpu_experiment(Precision.FP16, sizes,
                                       models=("julia", "numba"))),
         },
@@ -321,11 +327,11 @@ def table3(sizes: Sequence[int] = QUICK_SIZES) -> Table3Result:
     portable = ["kokkos", "julia", "numba"]
     for precision in (Precision.FP64, Precision.FP32):
         panels = {
-            "Epyc 7A53": run_experiment(crusher_cpu_experiment(precision, sizes)),
-            "Ampere Altra": run_experiment(wombat_cpu_experiment(precision, sizes)),
-            "MI250x": run_experiment(crusher_gpu_experiment(
+            "Epyc 7A53": _sweep(crusher_cpu_experiment(precision, sizes)),
+            "Ampere Altra": _sweep(wombat_cpu_experiment(precision, sizes)),
+            "MI250x": _sweep(crusher_gpu_experiment(
                 precision, sizes, models=("hip", "kokkos", "julia", "numba"))),
-            "A100": run_experiment(wombat_gpu_experiment(precision, sizes)),
+            "A100": _sweep(wombat_gpu_experiment(precision, sizes)),
         }
         per_model: Dict[str, Dict[str, Optional[float]]] = {m: {} for m in portable}
         for platform, rs in panels.items():

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from .fsck import FsckIssue, FsckReport, fsck_store
 from .journal import JOURNAL_FORMAT, JournalState, RunJournal, load_journal
-from .registry import RunRegistry, default_runs_dir
+from .registry import ACTIVE_STALE_SECONDS, RunRegistry, default_runs_dir
 from .resume import restore_campaign, resume_run
 from .signals import EXIT_FSCK_CORRUPT, EXIT_INTERRUPTED, graceful_shutdown
 
@@ -33,6 +33,7 @@ __all__ = [
     "load_journal",
     "RunRegistry",
     "default_runs_dir",
+    "ACTIVE_STALE_SECONDS",
     "restore_campaign",
     "resume_run",
     "graceful_shutdown",

@@ -71,6 +71,9 @@ class FsckReport:
     journals: int = 0
     artifacts: int = 0
     tmp_removed: int = 0
+    #: Journals owned by a live process (ACTIVE sidecar) — skipped, not
+    #: findings: an in-flight journal legitimately ends mid-record.
+    active_skipped: int = 0
     issues: List[FsckIssue] = field(default_factory=list)
 
     @property
@@ -98,7 +101,9 @@ class FsckReport:
             f"checked {self.cache_entries} cache entries, "
             f"{self.journals} journals, {self.artifacts} artifacts"
             + (f"; removed {self.tmp_removed} orphaned tmp file(s)"
-               if self.tmp_removed else ""),
+               if self.tmp_removed else "")
+            + (f"; skipped {self.active_skipped} ACTIVE journal(s) "
+               f"owned by live processes" if self.active_skipped else ""),
         ]
         lines += [issue.render() for issue in self.issues]
         lines.append(
@@ -192,6 +197,12 @@ def _fsck_runs(registry: RunRegistry, report: FsckReport) -> None:
     for run_id in registry.run_ids():
         report.journals += 1
         path = registry.path_for(run_id)
+        if registry.active_info(run_id) is not None:
+            # A live owner is appending to this journal right now: its
+            # tail may legitimately be mid-write, and truncating or
+            # flagging it would fight the owner.  Leave it alone.
+            report.active_skipped += 1
+            continue
         try:
             state = load_journal(path)
         except JournalError as exc:

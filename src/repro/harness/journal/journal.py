@@ -18,8 +18,15 @@ Record types, in the order a run writes them::
                 (+ per-cell health metadata on breaker-enabled runs)
     cell-failed a cell permanently failed; embeds the degraded payload
     breaker     a lane's circuit breaker changed state (breaker runs)
+    campaign    service metadata: the campaign's scheduler state
+                (queued/admitted/running/done/failed), tenant, priority
+                and — on the first record — the full CampaignSpec
+                payload, making the journal the daemon's durable queue
     run-resume  a later process picked the run back up
     run-close   status "complete" | "interrupted" | "failed"
+
+(The ``campaign`` record type postdates PR 4; older readers skip unknown
+types in their dispatch loop, so mixed-version stores stay readable.)
 
 Because ``cell-done``/``cell-failed`` embed the full-fidelity
 measurement (the same schema the result cache and exporters use), a
@@ -171,6 +178,25 @@ class RunJournal:
             data["health"] = health
         self.append("cell-failed", **data)
 
+    def campaign_state(self, state: str, *, tenant: str = "",
+                       priority: int = 0,
+                       spec: Optional[Dict[str, Any]] = None,
+                       **extra: Any) -> None:
+        """One service-lifecycle transition of a submitted campaign.
+
+        Written by the campaign service right after ``run-open`` (with
+        the serialized :class:`~repro.service.spec.CampaignSpec` so a
+        restarted daemon can rebuild its queue from journals alone) and
+        again at every state change.  ``extra`` carries per-state detail —
+        e.g. a failure reason.
+        """
+        data: Dict[str, Any] = dict(state=state, tenant=tenant,
+                                    priority=priority, at=time.time())
+        if spec is not None:
+            data["spec"] = spec
+        data.update(extra)
+        self.append("campaign", **data)
+
     def breaker(self, *, lane: str, **payload: Any) -> None:
         """One breaker transition (the write-ahead lane-state history).
 
@@ -232,6 +258,10 @@ class JournalState:
     outcomes: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     #: Breaker transition payloads, in journal order.
     breaker_events: List[Dict[str, Any]] = field(default_factory=list)
+    #: Latest ``campaign`` record's data (service-submitted runs only):
+    #: scheduler state, tenant, priority, and the spec payload from the
+    #: first such record.  Empty for plain ``repro run`` journals.
+    service_meta: Dict[str, Any] = field(default_factory=dict)
     status: str = "open"
     records: int = 0
     valid_lines: int = 0
@@ -336,6 +366,13 @@ def load_journal(path: str) -> JournalState:
                 state.outcomes[data["fingerprint"]] = data["health"]
         elif rtype == "breaker":
             state.breaker_events.append(dict(data))
+        elif rtype == "campaign":
+            # Later records carry state transitions but not the spec;
+            # keep the spec from whichever record last carried one.
+            spec = state.service_meta.get("spec")
+            state.service_meta = dict(data)
+            if "spec" not in state.service_meta and spec is not None:
+                state.service_meta["spec"] = spec
         elif rtype == "run-close":
             state.status = data.get("status", "failed")
         elif rtype == "run-resume":

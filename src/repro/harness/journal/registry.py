@@ -5,19 +5,52 @@ under ``$XDG_CACHE_HOME/repro/runs``) holds one ``<run-id>.jsonl``
 write-ahead journal per campaign.  The registry mints collision-free run
 ids, creates fresh journals, reopens interrupted ones for resume, and
 enumerates everything for ``repro runs list``.
+
+ACTIVE state: a run owned by a live process (the campaign-service daemon
+mid-campaign, or a long ``repro run``) carries a ``<run-id>.active``
+sidecar naming the owner's pid and a heartbeat timestamp.  An open
+journal with a live sidecar is *work in progress*, not a torn artifact:
+``repro runs list`` shows it as ``ACTIVE (pid N)`` instead of a
+resumable leftover, and ``repro fsck`` skips it entirely (truncating a
+journal another process is appending to would corrupt it).  Sidecars
+whose pid is dead are stale — pruned on sight, so a SIGKILLed owner's
+run degrades to the ordinary resumable ``open`` state.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import time
 import uuid
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from ...errors import JournalError
+from ...ioutil import atomic_write_text
 from .journal import JournalState, RunJournal, load_journal
 
-__all__ = ["RunRegistry", "default_runs_dir"]
+__all__ = ["RunRegistry", "default_runs_dir", "ACTIVE_STALE_SECONDS"]
+
+#: A heartbeat older than this marks a sidecar stale even if a process
+#: with the recorded pid exists (pid reuse, or an owner that hung
+#: without releasing).  Generous on purpose: pid liveness is the primary
+#: signal and owners beat far more often than this.
+ACTIVE_STALE_SECONDS = 24 * 3600.0
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether a process with this pid exists (permission-blind)."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, not ours
+        return True
+    except OSError:  # pragma: no cover - exotic platforms
+        return False
+    return True
 
 
 def default_runs_dir() -> str:
@@ -72,6 +105,62 @@ class RunRegistry:
         """The journal of an existing run, opened for appending."""
         return RunJournal.reopen(self.path_for(run_id))
 
+    # -- liveness ---------------------------------------------------------
+
+    def active_path(self, run_id: str) -> str:
+        """The liveness sidecar next to ``run_id``'s journal."""
+        return self.path_for(run_id)[:-len(".jsonl")] + ".active"
+
+    def mark_active(self, run_id: str, pid: Optional[int] = None) -> None:
+        """Claim ``run_id`` for a live process (pid + heartbeat sidecar)."""
+        os.makedirs(self.root, exist_ok=True)
+        now = time.time()
+        atomic_write_text(self.active_path(run_id), json.dumps(
+            {"pid": pid if pid is not None else os.getpid(),
+             "started": now, "heartbeat": now},
+            sort_keys=True) + "\n")
+
+    def heartbeat(self, run_id: str) -> None:
+        """Refresh ``run_id``'s heartbeat (no-op if not marked active)."""
+        path = self.active_path(run_id)
+        try:
+            with open(path) as fh:
+                info = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return
+        info["heartbeat"] = time.time()
+        atomic_write_text(path, json.dumps(info, sort_keys=True) + "\n")
+
+    def release_active(self, run_id: str) -> None:
+        """Drop the liveness claim (the owner finished or is shutting down)."""
+        try:
+            os.unlink(self.active_path(run_id))
+        except OSError:
+            pass
+
+    def active_info(self, run_id: str) -> Optional[Dict[str, Any]]:
+        """The live owner of ``run_id``, or ``None``.
+
+        A sidecar only counts when its pid is alive *and* its heartbeat
+        is fresh (:data:`ACTIVE_STALE_SECONDS`); anything else — dead
+        owner, unreadable file, ancient heartbeat — is pruned on the
+        spot so the run re-enters the ordinary resumable lifecycle.
+        """
+        path = self.active_path(run_id)
+        try:
+            with open(path) as fh:
+                info = json.load(fh)
+            pid = int(info.get("pid", 0))
+            beat = float(info.get("heartbeat", 0.0))
+        except (OSError, ValueError, TypeError):
+            if os.path.exists(path):
+                self.release_active(run_id)
+            return None
+        if not _pid_alive(pid) or time.time() - beat > ACTIVE_STALE_SECONDS:
+            self.release_active(run_id)
+            return None
+        return info
+
     # -- enumeration ------------------------------------------------------
 
     def run_ids(self) -> List[str]:
@@ -114,8 +203,17 @@ class RunRegistry:
                              f"(journal file vanished from {self.root})")
                 continue
             try:
-                lines.append("  " + self.load(run_id).describe())
+                st = self.load(run_id)
             except (JournalError, OSError):
                 lines.append(f"  {run_id}  UNREADABLE "
                              f"(journal corrupt; run `repro fsck`)")
+                continue
+            owner = self.active_info(run_id)
+            if owner is not None and st.status == "open":
+                exp = st.manifest.get("exp_id", "?")
+                lines.append(f"  {st.run_id}  {'ACTIVE':<11s} "
+                             f"{st.done_cells}/{st.total_cells} cells  {exp} "
+                             f"(pid {owner['pid']})")
+            else:
+                lines.append("  " + st.describe())
         return "\n".join(lines)

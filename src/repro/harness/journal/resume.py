@@ -112,10 +112,11 @@ def resume_run(run_id: str, registry: Optional[RunRegistry] = None,
 
     ``options`` may override *execution* knobs only (cache, jobs,
     profiler); the resilience layer always comes from the journal.
-    ``engine`` is forwarded to :func:`repro.harness.runner.run_experiment`.
+    ``engine`` is forwarded to :func:`repro.harness.runner.run_campaign`.
     """
     from dataclasses import replace
-    from ..runner import run_experiment
+    from ...service.spec import CampaignSpec
+    from ..runner import run_campaign
 
     reg = registry if registry is not None else RunRegistry()
     state = reg.load(run_id)
@@ -129,6 +130,7 @@ def resume_run(run_id: str, registry: Optional[RunRegistry] = None,
                        replay=dict(state.completed),
                        replay_meta=dict(state.outcomes))
     try:
-        return run_experiment(experiment, engine=engine, options=restored)
+        return run_campaign(CampaignSpec(experiment=experiment),
+                            engine=engine, options=restored)
     finally:
         journal.close()

@@ -25,9 +25,11 @@ from .experiment import Experiment
 from .results import Measurement, ResultSet
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from .engine import RunOptions
+    from ..service.spec import CampaignSpec
+    from .engine import RunOptions, SweepEngine
 
-__all__ = ["run_experiment", "run_experiment_serial", "run_measurement"]
+__all__ = ["run_campaign", "run_experiment", "run_experiment_serial",
+           "run_measurement", "resolve_engine"]
 
 
 def run_measurement(
@@ -120,52 +122,97 @@ def run_measurement(
     )
 
 
+def resolve_engine(engine: Optional[object], opts: "RunOptions",
+                   mode: Optional[str] = None) -> "SweepEngine":
+    """The executor a campaign resolves to.
+
+    * a ready-made :class:`~repro.harness.engine.SweepEngine` passes
+      through untouched;
+    * the legacy strings ``"parallel"`` / ``"serial"`` / ``"thread"`` /
+      ``"process"`` force that executor shape;
+    * ``None`` with ``mode`` set (a :class:`CampaignSpec`'s ``engine``
+      field) behaves like the matching string;
+    * ``None`` with every engine knob unset (``mode``, ``opts.cache``,
+      ``opts.jobs`` all ``None``) returns the process-wide default
+      engine, keeping the zero-configuration path shared and warm.
+    """
+    from .engine import SweepEngine, default_engine
+    if isinstance(engine, SweepEngine):
+        return engine
+    if engine is None and mode is not None:
+        engine = mode
+    if engine is None:
+        if opts.cache is None and opts.jobs is None:
+            return default_engine()
+        return SweepEngine.from_env(cache_enabled=opts.cache,
+                                    max_workers=opts.jobs)
+    if engine in ("parallel", "serial", "thread", "process"):
+        return SweepEngine.from_env(
+            cache_enabled=opts.cache,
+            parallel=(engine != "serial"),
+            max_workers=(1 if engine == "serial" else opts.jobs),
+            # "thread" pins the mode (CLI > env); the legacy "parallel"
+            # string keeps deferring to REPRO_ENGINE, as it always has.
+            mode=("process" if engine == "process"
+                  else "thread" if engine == "thread" else None))
+    raise ConfigError(
+        f"engine must be None, 'parallel', 'serial', 'thread', 'process' "
+        f"or a SweepEngine, got {engine!r}")
+
+
+def run_campaign(spec: "CampaignSpec",
+                 profiler: Optional[Profiler] = None,
+                 engine: Optional[object] = None,
+                 *, options: Optional["RunOptions"] = None) -> ResultSet:
+    """The one entrypoint: run every cell a :class:`CampaignSpec` asks for.
+
+    Delegates to :mod:`repro.harness.engine`: cells fan out over the
+    selected executor and hit the persistent result cache, with a
+    deterministic merge that makes the output bit-identical to a serial
+    reference loop.
+
+    * ``spec`` is the frozen request object every surface (CLI, env,
+      daemon wire API) resolves into — see
+      :func:`repro.config.resolve_campaign_spec` for the precedence pass.
+    * ``options`` is the *base* :class:`~repro.harness.engine.RunOptions`
+      the spec's non-``None`` resilience fields overlay; ``None`` means
+      the process-wide default, itself seeded from the ``REPRO_FAULTS``
+      family of environment variables.  Callers that carry run state the
+      spec cannot express (a journal, a replay map — the resume path)
+      pass it here.
+    * ``engine`` overrides the spec's executor selection (instance or
+      legacy string); ``None`` resolves it from ``spec.engine`` /
+      ``opts.cache`` / ``opts.jobs`` via :func:`resolve_engine`.
+    * ``profiler`` is a convenience shorthand for
+      ``options.with_profiler(profiler)``.
+    """
+    opts = spec.run_options(base=options)
+    opts = opts.with_profiler(profiler)
+    eng = resolve_engine(engine, opts, mode=spec.engine)
+    return eng.run(spec.experiment, options=opts)
+
+
 def run_experiment(experiment: Experiment,
                    profiler: Optional[Profiler] = None,
                    engine: Optional[object] = None,
                    *, options: Optional["RunOptions"] = None) -> ResultSet:
-    """The one entrypoint: run every (model, size) cell of an experiment.
+    """Deprecated shim: run one experiment through the campaign API.
 
-    Delegates to :mod:`repro.harness.engine`: cells fan out over a thread
-    pool and hit the persistent result cache, with a deterministic merge
-    that makes the output bit-identical to a serial reference loop.
-
-    * ``engine`` selects the executor: ``None`` (the process-wide default,
-      configured from ``REPRO_CACHE``/``REPRO_CACHE_DIR``/``REPRO_JOBS``/
-      ``REPRO_ENGINE``), the strings ``"parallel"`` / ``"serial"`` /
-      ``"process"``, or a ready-made
-      :class:`~repro.harness.engine.SweepEngine` instance.
-    * ``options`` is the frozen :class:`~repro.harness.engine.RunOptions`
-      bag — cache/jobs overrides plus the resilience layer (fault
-      injection, retry policy, ``fail_fast``).  ``None`` means the
-      process-wide default, itself seeded from the ``REPRO_FAULTS``
-      family of environment variables.
-    * ``profiler`` is a convenience shorthand for
-      ``options.with_profiler(profiler)``.
+    Historically the package's entrypoint; superseded by
+    :func:`run_campaign`, which takes the one serializable
+    :class:`~repro.service.spec.CampaignSpec` request object shared with
+    the campaign service and the journal.  The keyword surface and
+    semantics are unchanged — this delegates to
+    ``run_campaign(CampaignSpec(experiment=experiment), ...)`` — so
+    existing callers keep working while they migrate.
     """
-    from .engine import SweepEngine, default_engine, default_run_options
-    opts = options if options is not None else default_run_options()
-    opts = opts.with_profiler(profiler)
-    if isinstance(engine, SweepEngine):
-        eng = engine
-    elif engine is None:
-        if opts.cache is None and opts.jobs is None:
-            eng = default_engine()
-        else:
-            eng = SweepEngine.from_env(cache_enabled=opts.cache,
-                                       max_workers=opts.jobs)
-    elif engine in ("parallel", "serial", "process"):
-        eng = SweepEngine.from_env(cache_enabled=opts.cache,
-                                   parallel=(engine != "serial"),
-                                   max_workers=(1 if engine == "serial"
-                                                else opts.jobs),
-                                   mode=("process" if engine == "process"
-                                         else None))
-    else:
-        raise ConfigError(
-            f"engine must be None, 'parallel', 'serial', 'process' or a "
-            f"SweepEngine, got {engine!r}")
-    return eng.run(experiment, options=opts)
+    warnings.warn(
+        "run_experiment() is deprecated; build a CampaignSpec and call "
+        "run_campaign(spec) instead (see repro.config.resolve_campaign_spec)",
+        DeprecationWarning, stacklevel=2)
+    from ..service.spec import CampaignSpec
+    return run_campaign(CampaignSpec(experiment=experiment),
+                        profiler=profiler, engine=engine, options=options)
 
 
 def run_experiment_serial(experiment: Experiment,
@@ -173,14 +220,16 @@ def run_experiment_serial(experiment: Experiment,
     """Deprecated shim: serial, cache-less sweep through the unified API.
 
     Historically the hand-rolled reference loop; now a thin wrapper over
-    ``run_experiment(experiment, engine="serial", options=...)`` kept only
-    for backwards compatibility.  Call :func:`run_experiment` instead.
+    ``run_campaign`` with a serial, cache-less spec, kept only for
+    backwards compatibility.  Call :func:`run_campaign` instead.
     """
     warnings.warn(
         "run_experiment_serial() is deprecated; use "
-        "run_experiment(experiment, engine=\"serial\", "
-        "options=RunOptions(cache=False)) instead",
+        "run_campaign(CampaignSpec(experiment=experiment, engine=\"serial\", "
+        "cache=False)) instead",
         DeprecationWarning, stacklevel=2)
+    from ..service.spec import CampaignSpec
     from .engine import RunOptions
-    return run_experiment(experiment, engine="serial",
-                          options=RunOptions(cache=False, profiler=profiler))
+    return run_campaign(CampaignSpec(experiment=experiment, engine="serial",
+                                     cache=False),
+                        options=RunOptions(profiler=profiler))

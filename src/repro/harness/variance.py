@@ -18,9 +18,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..errors import ExperimentError
+from ..service.spec import CampaignSpec
 from .experiment import Experiment
 from .report import ascii_table
-from .runner import run_experiment
+from .runner import run_campaign
 from .stats import mean, stdev
 
 __all__ = ["EfficiencyDistribution", "VarianceStudy", "variance_study"]
@@ -108,7 +109,7 @@ def variance_study(
     samples: Dict[str, List[float]] = {m: [] for m in targets}
     for i in range(seeds):
         exp = dataclasses.replace(experiment, seed=seed_base + i)
-        rs = run_experiment(exp)
+        rs = run_campaign(CampaignSpec(experiment=exp))
         for model in targets:
             e = rs.mean_efficiency(model, reference)
             if e is not None:

@@ -1,0 +1,64 @@
+"""The campaign service: one spec API, a fair-share multi-tenant daemon.
+
+Two layers share this package:
+
+* the **request layer** — :class:`CampaignSpec` and its versioned JSON
+  codec, the single object every entrypoint (CLI flags, ``REPRO_*``
+  environment, the wire API) resolves into; imported eagerly because
+  :func:`repro.harness.runner.run_campaign` is built on it;
+* the **service layer** — scheduler, campaign stepper, daemon and
+  client; loaded lazily (PEP 562) so ``import repro`` never pays for —
+  or cycles through — the HTTP/scheduling machinery.
+"""
+
+from __future__ import annotations
+
+from .spec import (
+    SPEC_VERSION,
+    SUPPORTED_SPEC_VERSIONS,
+    CampaignSpec,
+    spec_from_dict,
+    spec_from_json,
+    spec_to_dict,
+    spec_to_json,
+)
+
+__all__ = [
+    "SPEC_VERSION",
+    "SUPPORTED_SPEC_VERSIONS",
+    "CampaignSpec",
+    "spec_from_dict",
+    "spec_from_json",
+    "spec_to_dict",
+    "spec_to_json",
+    # lazily loaded:
+    "AdmissionPolicy",
+    "TenantQuota",
+    "FairShareScheduler",
+    "Campaign",
+    "CampaignExecution",
+    "CampaignService",
+    "CampaignDaemon",
+    "ServiceClient",
+    "default_socket_path",
+]
+
+_LAZY = {
+    "AdmissionPolicy": ".scheduler",
+    "TenantQuota": ".scheduler",
+    "FairShareScheduler": ".scheduler",
+    "Campaign": ".campaign",
+    "CampaignExecution": ".campaign",
+    "CampaignService": ".service",
+    "CampaignDaemon": ".daemon",
+    "default_socket_path": ".daemon",
+    "ServiceClient": ".client",
+}
+
+
+def __getattr__(name: str):
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+    return getattr(importlib.import_module(module, __name__), name)

@@ -1,0 +1,153 @@
+"""Client for the campaign daemon's Unix-socket HTTP API.
+
+Thin stdlib wrapper (``http.client`` with a UDS-connecting socket) used
+by ``repro submit`` / ``repro status`` and the tests.  Every method
+raises :class:`~repro.errors.ServiceError` when the daemon is
+unreachable or answers with an error document; admission refusals come
+back as the sharper :class:`~repro.errors.AdmissionError` so callers
+can distinguish "retry later" from "fix your request"
+(:class:`~repro.errors.ConfigError`).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+from typing import Any, Dict, List, Optional
+
+from ..errors import AdmissionError, ConfigError, ServiceError
+from .daemon import default_socket_path
+from .spec import CampaignSpec, spec_to_dict
+
+__all__ = ["ServiceClient"]
+
+#: Error kinds the daemon names -> the exception class re-raised here.
+_ERROR_KINDS = {
+    "AdmissionError": AdmissionError,
+    "ConfigError": ConfigError,
+    "ServiceError": ServiceError,
+}
+
+
+class _UnixHTTPConnection(http.client.HTTPConnection):
+    """``http.client`` over an ``AF_UNIX`` path instead of host:port."""
+
+    def __init__(self, path: str, timeout: float = 30.0) -> None:
+        super().__init__("localhost", timeout=timeout)
+        self._path = path
+
+    def connect(self) -> None:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout)
+        try:
+            sock.connect(self._path)
+        except OSError as exc:
+            sock.close()
+            raise ServiceError(
+                f"no campaign daemon on {self._path} ({exc}); "
+                f"start one with: repro serve") from exc
+        self.sock = sock
+
+
+class ServiceClient:
+    """One daemon endpoint, addressed by its socket path."""
+
+    def __init__(self, socket_path: Optional[str] = None,
+                 timeout: float = 30.0) -> None:
+        self.socket_path = socket_path or default_socket_path()
+        self.timeout = timeout
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, Any]] = None) -> Any:
+        conn = _UnixHTTPConnection(self.socket_path, timeout=self.timeout)
+        try:
+            payload = (json.dumps(body, sort_keys=True).encode()
+                       if body is not None else None)
+            headers = ({"Content-Type": "application/json"}
+                       if payload is not None else {})
+            try:
+                conn.request(method, path, body=payload, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+            except ServiceError:
+                raise
+            except OSError as exc:
+                raise ServiceError(
+                    f"campaign daemon on {self.socket_path} did not "
+                    f"answer: {exc}") from exc
+            content_type = response.headers.get("Content-Type", "")
+            if "json" in content_type:
+                try:
+                    data = json.loads(raw.decode() or "null")
+                except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                    raise ServiceError(
+                        f"daemon answered non-JSON to {method} {path}") \
+                        from exc
+            else:
+                data = raw.decode()
+            if response.status >= 400:
+                if isinstance(data, dict):
+                    kind = _ERROR_KINDS.get(str(data.get("kind")),
+                                            ServiceError)
+                    raise kind(str(data.get("error", f"HTTP "
+                                                     f"{response.status}")))
+                raise ServiceError(f"{method} {path} failed: "
+                                   f"HTTP {response.status}")
+            return data
+        finally:
+            conn.close()
+
+    # -- API --------------------------------------------------------------
+
+    def ping(self) -> Dict[str, Any]:
+        """Liveness probe; raises if no daemon answers."""
+        return self._request("GET", "/v1/ping")
+
+    def submit(self, spec: CampaignSpec) -> str:
+        """Submit one campaign; returns its id (== the journaled run id)."""
+        answer = self._request("POST", "/v1/campaigns", spec_to_dict(spec))
+        return str(answer["id"])
+
+    def submit_payload(self, payload: Dict[str, Any]) -> str:
+        """Submit an already-serialized spec document (``--spec file``)."""
+        answer = self._request("POST", "/v1/campaigns", payload)
+        return str(answer["id"])
+
+    def campaigns(self) -> List[Dict[str, Any]]:
+        """Status rows of every campaign the daemon knows."""
+        return list(self._request("GET", "/v1/campaigns")["campaigns"])
+
+    def campaign(self, campaign_id: str) -> Dict[str, Any]:
+        """One campaign's status row."""
+        return self._request("GET", f"/v1/campaigns/{campaign_id}")
+
+    def report(self, campaign_id: str, fmt: str = "text") -> str:
+        """A finished campaign's rendered report (text or export JSON)."""
+        return str(self._request(
+            "GET", f"/v1/campaigns/{campaign_id}/report?format={fmt}"))
+
+    def status(self) -> Dict[str, Any]:
+        """The scheduler/tenant/dedup/cache snapshot."""
+        return self._request("GET", "/v1/status")
+
+    def shutdown(self) -> None:
+        """Ask the daemon to stop gracefully (journals stay resumable)."""
+        self._request("POST", "/v1/shutdown")
+
+    def wait(self, campaign_id: str, timeout: float = 300.0,
+             poll_s: float = 0.05) -> Dict[str, Any]:
+        """Block until a campaign reaches ``done``/``failed``."""
+        import time
+        deadline = time.monotonic() + timeout
+        while True:
+            row = self.campaign(campaign_id)
+            if row.get("state") in ("done", "failed"):
+                return row
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"campaign {campaign_id} did not finish within "
+                    f"{timeout:g}s (state {row.get('state')!r})")
+            time.sleep(poll_s)

@@ -1,0 +1,279 @@
+"""``repro serve``: the campaign daemon and its wire API.
+
+A long-running process that accepts concurrent campaign submissions
+over a **local Unix-domain socket** speaking plain HTTP/JSON — stdlib
+only, no ports, filesystem permissions as the auth boundary.  Handler
+threads enqueue work; one scheduler thread drives
+:class:`~repro.service.service.CampaignService.step` so all execution
+stays serialized and deterministic.
+
+Endpoints (all JSON; errors are ``{"error": ..., "kind": ...}``):
+
+====== ============================== ===========================================
+POST   ``/v1/campaigns``              body = CampaignSpec JSON; 202 ``{"id"}``,
+                                      409 on admission refusal, 400 on a bad spec
+GET    ``/v1/campaigns``              every campaign's status row
+GET    ``/v1/campaigns/<id>``         one campaign's status row
+GET    ``/v1/campaigns/<id>/report``  finished campaign's report;
+                                      ``?format=text|json`` (default text)
+GET    ``/v1/status``                 scheduler/tenant/dedup/cache snapshot
+GET    ``/v1/ping``                   liveness probe ``{"ok": true, "pid": N}``
+POST   ``/v1/shutdown``               graceful stop (journals stay resumable)
+====== ============================== ===========================================
+
+Durability: SIGTERM/SIGINT (or ``/v1/shutdown``) stop the scheduler
+loop at the next cell boundary, release every ACTIVE claim and leave
+all unfinished journals open — the next ``repro serve`` on the same
+runs directory recovers and finishes them byte-identically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import threading
+from http.server import BaseHTTPRequestHandler, HTTPServer
+from socketserver import ThreadingMixIn
+from typing import Any, Dict, Optional
+from urllib.parse import parse_qs, urlparse
+
+from ..errors import AdmissionError, ConfigError, ServiceError
+from ..harness.journal.registry import default_runs_dir
+from ..harness.report import render_result_set
+from .service import CampaignService
+from .spec import spec_from_dict
+
+__all__ = ["default_socket_path", "CampaignDaemon"]
+
+#: How long the scheduler thread dozes (s) when the queue is empty.
+_IDLE_POLL_S = 0.05
+
+
+def default_socket_path() -> str:
+    """``$REPRO_SERVICE_SOCKET``, else ``service.sock`` in the runs dir."""
+    explicit = os.environ.get("REPRO_SERVICE_SOCKET")
+    if explicit:
+        return explicit
+    return os.path.join(default_runs_dir(), "service.sock")
+
+
+class _UnixHTTPServer(ThreadingMixIn, HTTPServer):
+    """HTTPServer bound to a Unix-domain socket path."""
+
+    address_family = socket.AF_UNIX
+    daemon_threads = True
+    allow_reuse_address = False
+
+    def server_bind(self) -> None:
+        # HTTPServer.server_bind assumes an (host, port) address; a UDS
+        # path has neither, so bind directly and fake the name fields
+        # BaseHTTPRequestHandler's version string plumbing reads.
+        os.makedirs(os.path.dirname(self.server_address) or ".",
+                    exist_ok=True)
+        self.socket.bind(self.server_address)
+        self.server_name = self.server_address
+        self.server_port = 0
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One wire request; routing is a flat match on (method, path)."""
+
+    #: Injected by CampaignDaemon before the server starts.
+    daemon_ref: "CampaignDaemon"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ---------------------------------------------------------
+
+    def address_string(self) -> str:  # pragma: no cover - log formatting
+        return "local"
+
+    def log_message(self, format: str, *args: Any) -> None:
+        # The daemon is quiet by default; the CLI surfaces lifecycle
+        # events itself and per-request logs would interleave threads.
+        pass
+
+    def _send_json(self, code: int, payload: Dict[str, Any]) -> None:
+        body = (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, code: int, text: str) -> None:
+        body = text.encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "text/plain; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, code: int, exc: Exception) -> None:
+        self._send_json(code, {"error": str(exc),
+                               "kind": type(exc).__name__})
+
+    def _read_body(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ConfigError("request carries no JSON body")
+        try:
+            data = json.loads(raw.decode())
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ConfigError(f"request body is not valid JSON: {exc}") \
+                from exc
+        if not isinstance(data, dict):
+            raise ConfigError("request body must be a JSON object")
+        return data
+
+    # -- routes -----------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        daemon = self.daemon_ref
+        service = daemon.service
+        url = urlparse(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        try:
+            if parts == ["v1", "ping"]:
+                self._send_json(200, {"ok": True, "pid": os.getpid()})
+            elif parts == ["v1", "status"]:
+                self._send_json(200, service.status_payload())
+            elif parts == ["v1", "campaigns"]:
+                payload = service.status_payload()
+                self._send_json(200, {"campaigns": payload["campaigns"]})
+            elif len(parts) == 3 and parts[:2] == ["v1", "campaigns"]:
+                self._send_json(200,
+                                service.campaign(parts[2]).status_payload())
+            elif (len(parts) == 4 and parts[:2] == ["v1", "campaigns"]
+                    and parts[3] == "report"):
+                fmt = (parse_qs(url.query).get("format") or ["text"])[0]
+                results = service.result_set(parts[2])
+                if fmt == "json":
+                    from ..harness.export import result_set_to_json
+                    self._send_text(200, result_set_to_json(results) + "\n")
+                else:
+                    self._send_text(200, render_result_set(results) + "\n")
+            else:
+                self._send_json(404, {"error": f"no route {url.path!r}",
+                                      "kind": "ServiceError"})
+        except ServiceError as exc:
+            self._error(404, exc)
+        except Exception as exc:  # pragma: no cover - handler backstop
+            self._error(500, exc)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        daemon = self.daemon_ref
+        service = daemon.service
+        parts = [p for p in urlparse(self.path).path.split("/") if p]
+        try:
+            if parts == ["v1", "campaigns"]:
+                spec = spec_from_dict(self._read_body())
+                campaign_id = service.submit(spec)
+                daemon.wake()
+                self._send_json(202, {"id": campaign_id,
+                                      "tenant": spec.tenant,
+                                      "priority": spec.priority})
+            elif parts == ["v1", "shutdown"]:
+                self._send_json(200, {"ok": True, "stopping": True})
+                daemon.request_shutdown()
+            else:
+                self._send_json(404, {"error": f"no route {self.path!r}",
+                                      "kind": "ServiceError"})
+        except AdmissionError as exc:
+            self._error(409, exc)
+        except ConfigError as exc:
+            self._error(400, exc)
+        except ServiceError as exc:
+            self._error(500, exc)
+        except Exception as exc:  # pragma: no cover - handler backstop
+            self._error(500, exc)
+
+
+class CampaignDaemon:
+    """The serving process: wire listener plus the scheduler loop.
+
+    ``serve()`` blocks until a shutdown is requested (signal, endpoint,
+    or :meth:`request_shutdown` from another thread), then suspends the
+    service — journals stay open and resumable — and removes the
+    socket.  Construction binds the socket, so a second daemon on the
+    same path fails fast instead of queueing behind the first.
+    """
+
+    def __init__(self, service: Optional[CampaignService] = None,
+                 socket_path: Optional[str] = None) -> None:
+        self.service = service if service is not None else CampaignService()
+        self.socket_path = socket_path or default_socket_path()
+        if os.path.exists(self.socket_path):
+            # A live daemon owns the path; a dead one left it behind.
+            if self._path_alive(self.socket_path):
+                raise ServiceError(
+                    f"a campaign daemon is already serving on "
+                    f"{self.socket_path}")
+            os.unlink(self.socket_path)
+        handler = type("_BoundHandler", (_Handler,), {"daemon_ref": self})
+        self.server = _UnixHTTPServer(self.socket_path, handler)
+        self._stop = threading.Event()
+        self._wake = threading.Event()
+
+    @staticmethod
+    def _path_alive(path: str) -> bool:
+        probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            probe.settimeout(0.5)
+            probe.connect(path)
+            return True
+        except OSError:
+            return False
+        finally:
+            probe.close()
+
+    # -- lifecycle --------------------------------------------------------
+
+    def wake(self) -> None:
+        """Nudge the scheduler loop (a submission just landed)."""
+        self._wake.set()
+
+    def request_shutdown(self) -> None:
+        """Ask the serve loop to stop at the next cell boundary."""
+        self._stop.set()
+        self._wake.set()
+
+    def serve(self, install_signals: bool = True) -> int:
+        """Run until shutdown; returns the count of recovered campaigns.
+
+        Recovery runs first, so campaigns an earlier daemon life left
+        queued resume before any new submission is scheduled.
+        """
+        recovered = len(self.service.recover())
+        listener = threading.Thread(target=self.server.serve_forever,
+                                    name="repro-serve-listener",
+                                    daemon=True)
+        listener.start()
+        previous: Dict[int, Any] = {}
+        if install_signals:
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                previous[sig] = signal.signal(
+                    sig, lambda *_: self.request_shutdown())
+        try:
+            while not self._stop.is_set():
+                if not self.service.step():
+                    self._wake.wait(timeout=_IDLE_POLL_S)
+                    self._wake.clear()
+        finally:
+            if install_signals:
+                for sig, old in previous.items():
+                    signal.signal(sig, old)
+            self.close()
+        return recovered
+
+    def close(self) -> None:
+        """Stop the listener, suspend the service, remove the socket."""
+        self.server.shutdown()
+        self.server.server_close()
+        self.service.suspend()
+        try:
+            os.unlink(self.socket_path)
+        except OSError:
+            pass

@@ -1,0 +1,331 @@
+"""The campaign service: multi-tenant campaigns over one shared store.
+
+:class:`CampaignService` is the daemon's engine-room, usable in-process
+(tests drive it directly) or behind the wire API
+(:mod:`repro.service.daemon`).  It owns:
+
+* the **scheduler** (:class:`~repro.service.scheduler.FairShareScheduler`)
+  — admission control at submit, weighted fair-share interleaving at
+  cell granularity between tenants;
+* the **durable queue** — every submission is journaled (``run-open`` +
+  a ``campaign`` record embedding the full spec) *before* ``submit``
+  returns, so a daemon restart rebuilds its queue from the run registry
+  alone (:meth:`recover`) and finishes every admitted campaign
+  byte-identically via the ordinary replay machinery;
+* the **shared result cache** — identical cells across tenants execute
+  once; later campaigns take journaled cache hits with dedup provenance
+  tracked per fingerprint;
+* the **shared lane health** — circuit breakers guard the simulated
+  node, so failures accumulate across tenants and an OPEN lane reroutes
+  every campaign's cells;
+* the **ACTIVE registry state** — in-flight runs carry a pid+heartbeat
+  sidecar so ``repro runs list`` and ``repro fsck`` treat them as work
+  in progress rather than torn artifacts.
+
+Thread-safety: one lock around all mutating entrypoints.  The wire
+daemon calls :meth:`submit`/:meth:`status_payload` from handler threads
+while a single scheduler thread drives :meth:`step`; the lock serializes
+them, and within a campaign all journal writes happen on the stepping
+thread.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Any, Dict, List, Optional
+
+from ..errors import JournalError, ServiceError
+from ..harness.engine.cache import ResultCache
+from ..harness.engine.fingerprint import campaign_fingerprint, cell_fingerprint
+from ..harness.engine.options import RunOptions
+from ..harness.experiment import Experiment
+from ..harness.health import BreakerPolicy, FallbackLadder, LaneHealth
+from ..harness.journal import RunRegistry
+from ..harness.results import ResultSet
+from ..models.registry import model_by_name
+from .campaign import Campaign, CampaignExecution
+from .scheduler import AdmissionPolicy, FairShareScheduler
+from .spec import CampaignSpec, spec_from_dict, spec_to_dict
+
+__all__ = ["CampaignService"]
+
+#: Heartbeat the ACTIVE sidecar of the stepping campaign every N cells.
+_HEARTBEAT_EVERY = 16
+
+
+class CampaignService:
+    """Multi-tenant campaign execution over one registry/cache/scheduler."""
+
+    def __init__(self, registry: Optional[RunRegistry] = None,
+                 cache: Optional[ResultCache] = None,
+                 policy: Optional[AdmissionPolicy] = None,
+                 options: Optional[RunOptions] = None) -> None:
+        self.registry = registry if registry is not None else RunRegistry()
+        self.cache = cache if cache is not None else ResultCache()
+        self.scheduler = FairShareScheduler(policy)
+        self.campaigns: Dict[str, Campaign] = {}
+        self._executions: Dict[str, CampaignExecution] = {}
+        self._options = options
+        self._lanes: Dict[str, LaneHealth] = {}
+        #: Cell fingerprint -> campaign id that executed (and cached) it.
+        self._origins: Dict[str, str] = {}
+        self.dedup_hits = 0
+        self._lock = threading.RLock()
+        self._steps = 0
+
+    # -- shared surface for CampaignExecution ------------------------------
+
+    def base_options(self) -> Optional[RunOptions]:
+        """The options every campaign's spec overlays (None = process
+        default, i.e. the ``REPRO_FAULTS``-family environment)."""
+        return self._options
+
+    def lane_for(self, lane_spec: str, policy: BreakerPolicy) -> LaneHealth:
+        """The shared breaker lane for ``model@device`` across campaigns.
+
+        First breaker-enabled campaign to touch a lane creates it with
+        its policy; later campaigns share the same state machine, so
+        failures accrue node-wide rather than per tenant.
+        """
+        lane = self._lanes.get(lane_spec)
+        if lane is None:
+            lane = LaneHealth(lane_spec, policy)
+            self._lanes[lane_spec] = lane
+        return lane
+
+    def note_executed(self, fingerprint: str, campaign_id: str) -> None:
+        """Record which campaign actually executed (and cached) a cell."""
+        self._origins.setdefault(fingerprint, campaign_id)
+
+    def dedup_origin(self, fingerprint: str) -> Optional[str]:
+        """The campaign that executed a fingerprint this service-life."""
+        return self._origins.get(fingerprint)
+
+    def note_dedup(self, fingerprint: str, campaign_id: str) -> None:
+        """Count one cross-campaign cache hit (provenance in origins)."""
+        self.dedup_hits += 1
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(self, spec: CampaignSpec) -> str:
+        """Admit, journal and queue one campaign; returns its id.
+
+        Admission control runs first — a refused submission raises
+        :class:`~repro.errors.AdmissionError` before anything touches
+        disk.  An admitted one is durable before ``submit`` returns:
+        the journal opens with the engine-identical ``run-open`` record
+        (manifest, campaign fingerprint, options, cell plan) followed by
+        a ``campaign`` record embedding the serialized spec — the
+        durable queue entry :meth:`recover` rebuilds from.
+        """
+        with self._lock:
+            run_id = self.registry.new_run_id()
+            self.scheduler.submit(run_id, spec.tenant, spec.priority)
+            try:
+                journal = self.registry.create(run_id)
+                self._open_journal(journal, spec)
+                journal.campaign_state("queued", tenant=spec.tenant,
+                                       priority=spec.priority,
+                                       spec=spec_to_dict(spec))
+            except Exception:
+                self.scheduler.finish(run_id)
+                raise
+            campaign = Campaign(campaign_id=run_id, spec=spec)
+            self.campaigns[run_id] = campaign
+            self._executions[run_id] = CampaignExecution(
+                self, campaign, journal)
+            return run_id
+
+    def _open_journal(self, journal, spec: CampaignSpec) -> None:
+        # The run-open record must be byte-compatible with what a
+        # dedicated engine run would write: resume and fsck read it with
+        # the same loaders either way.
+        experiment = spec.experiment
+        opts = spec.run_options(base=self._options)
+        cells = [(model_by_name(name), shape)
+                 for name in experiment.models
+                 for shape in experiment.shapes()]
+        fingerprints = [cell_fingerprint(experiment, model.name, shape,
+                                         faults=opts.faults)
+                        for model, shape in cells]
+        effective = opts.fallback
+        if opts.breaker.enabled and effective is None:
+            effective = FallbackLadder.default_for(experiment)
+        journal.open_run(
+            manifest=experiment.to_dict(),
+            campaign=campaign_fingerprint(
+                experiment, opts.faults, breaker=opts.breaker,
+                fallback=effective if opts.breaker.enabled else None),
+            options=opts.payload(),
+            cells=[{"index": i, "model": model.name, "shape": str(shape),
+                    "fingerprint": fingerprints[i]}
+                   for i, (model, shape) in enumerate(cells)],
+        )
+
+    # -- recovery -----------------------------------------------------------
+
+    def recover(self) -> List[str]:
+        """Rebuild the queue from journals a dead daemon left behind.
+
+        Scans the registry for service-submitted journals (they carry
+        ``campaign`` records) that never reached ``done``/``failed``,
+        re-queues each through the scheduler (pre-admitted: they passed
+        admission once), and arms the ordinary replay machinery so
+        completed cells are served from the journal — the finished
+        campaign's report is byte-identical to an uninterrupted one.
+        Journals owned by another live process are left alone.
+        """
+        recovered: List[str] = []
+        with self._lock:
+            for run_id in self.registry.run_ids():
+                if run_id in self.campaigns:
+                    continue
+                try:
+                    state = self.registry.load(run_id)
+                except (JournalError, OSError):
+                    continue
+                meta = state.service_meta
+                if not meta:
+                    continue  # a plain `repro run` journal
+                if meta.get("state") in ("done", "failed"):
+                    continue
+                if state.status == "complete":
+                    continue
+                if self.registry.active_info(run_id) is not None:
+                    continue  # another live daemon owns it
+                payload = meta.get("spec")
+                if not isinstance(payload, dict):
+                    continue
+                spec = spec_from_dict(payload)
+                self.scheduler.submit(run_id, spec.tenant, spec.priority,
+                                      preadmitted=True)
+                journal = self.registry.reopen(run_id)
+                journal.resume_run(completed=state.done_cells,
+                                   total=state.total_cells)
+                journal.campaign_state("queued", tenant=spec.tenant,
+                                       priority=spec.priority,
+                                       recovered=True)
+                campaign = Campaign(campaign_id=run_id, spec=spec,
+                                    recovered=True)
+                campaign.cells_total = state.total_cells
+                self.campaigns[run_id] = campaign
+                self._executions[run_id] = CampaignExecution(
+                    self, campaign, journal,
+                    replay=dict(state.completed),
+                    replay_meta=dict(state.outcomes))
+                recovered.append(run_id)
+        return recovered
+
+    # -- scheduling ---------------------------------------------------------
+
+    def step(self) -> bool:
+        """One scheduler grant: advance the selected campaign one cell.
+
+        Returns ``False`` when no campaign has work queued.  The grant
+        is charged to the campaign's tenant whatever happened in it —
+        replayed, cached and failed cells all consumed the slot.
+        """
+        with self._lock:
+            campaign_id = self.scheduler.select()
+            if campaign_id is None:
+                return False
+            campaign = self.campaigns[campaign_id]
+            if campaign.state == "queued":
+                self.registry.mark_active(campaign_id, pid=os.getpid())
+            more = self._executions[campaign_id].step()
+            self.scheduler.begin(campaign_id)
+            self.scheduler.charge(campaign_id)
+            self._steps += 1
+            if self._steps % _HEARTBEAT_EVERY == 0:
+                self.registry.heartbeat(campaign_id)
+            if not more:
+                self.scheduler.finish(campaign_id)
+                self.registry.release_active(campaign_id)
+            return True
+
+    def run_until_idle(self) -> int:
+        """Drive the scheduler until every queued campaign finished."""
+        steps = 0
+        while self.step():
+            steps += 1
+        return steps
+
+    @property
+    def idle(self) -> bool:
+        """Whether no campaign is queued or running."""
+        with self._lock:
+            return self.scheduler.select() is None
+
+    def suspend(self) -> None:
+        """Release file handles and ACTIVE claims without finishing.
+
+        The graceful-shutdown half of the durability contract: journals
+        stay open (and thus recoverable), sidecars are dropped so the
+        runs re-enter the ordinary resumable lifecycle immediately
+        rather than after pid-liveness detection.
+        """
+        with self._lock:
+            for campaign_id, execution in self._executions.items():
+                campaign = self.campaigns[campaign_id]
+                if campaign.state in ("done", "failed"):
+                    continue
+                execution.journal.close()
+                self.registry.release_active(campaign_id)
+
+    # -- reporting ----------------------------------------------------------
+
+    def campaign(self, campaign_id: str) -> Campaign:
+        """The in-memory campaign, or :class:`ServiceError`."""
+        campaign = self.campaigns.get(campaign_id)
+        if campaign is None:
+            raise ServiceError(f"no campaign {campaign_id!r} "
+                               f"(known: {', '.join(sorted(self.campaigns)) or 'none'})")
+        return campaign
+
+    def result_set(self, campaign_id: str) -> ResultSet:
+        """The finished campaign's results, from memory or its journal.
+
+        Journal reconstruction serves campaigns finished by an earlier
+        daemon life: cells come back in plan order with their embedded
+        measurements, so the rendering is byte-identical to the one the
+        finishing process produced.
+        """
+        campaign = self.campaigns.get(campaign_id)
+        if campaign is not None and campaign.results is not None:
+            return campaign.results
+        state = self.registry.load(campaign_id)
+        if state.status != "complete":
+            raise ServiceError(
+                f"campaign {campaign_id} is not finished "
+                f"({state.done_cells}/{state.total_cells} cells; "
+                f"status {state.status})")
+        experiment = Experiment.from_dict(state.manifest)
+        results = ResultSet(experiment)
+        for cell in sorted(state.cells, key=lambda c: c.get("index", 0)):
+            measurement = state.completed.get(cell.get("fingerprint", ""))
+            if measurement is None:
+                raise ServiceError(
+                    f"campaign {campaign_id} journal is complete but cell "
+                    f"{cell.get('index')} has no measurement")
+            results.add(measurement)
+        return results
+
+    def status_payload(self) -> Dict[str, Any]:
+        """The ``repro status`` document (stable key order when dumped)."""
+        with self._lock:
+            campaigns = [self.campaigns[cid].status_payload()
+                         for cid in sorted(self.campaigns)]
+            return {
+                "pid": os.getpid(),
+                "backlog": self.scheduler.backlog,
+                "tenants": self.scheduler.snapshot(),
+                "campaigns": campaigns,
+                "dedup": {
+                    "executed_cells": len(self._origins),
+                    "hits": self.dedup_hits,
+                },
+                "cache": (self.cache.stats.snapshot()
+                          if self.cache is not None else {}),
+                "steps": self._steps,
+            }

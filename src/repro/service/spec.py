@@ -1,0 +1,268 @@
+"""The unified campaign request object: one frozen, serializable spec.
+
+A :class:`CampaignSpec` is the single way to ask this codebase to run a
+sweep.  CLI flags, ``REPRO_*`` environment variables and the daemon's
+wire API all resolve into one (see
+:func:`repro.config.resolve_campaign_spec` for the documented precedence
+pass), and everything downstream — :func:`repro.harness.runner.
+run_campaign`, the journal's campaign records, ``repro submit --spec
+file.json`` — consumes or round-trips the same object through one codec.
+
+The JSON codec is versioned the way the export schema is
+(:mod:`repro.harness.export`): ``spec_to_dict`` stamps
+:data:`SPEC_VERSION`, ``spec_from_dict`` loads every version in
+:data:`SUPPORTED_SPEC_VERSIONS` with per-version fallbacks, and a
+document from a *newer* build is refused rather than silently
+misread.  Keys are sparse — ``None``/default fields are omitted — so a
+minimal spec serializes to just its experiment plus the version stamp.
+
+Schema history:
+
+* v1 — initial: experiment (the export-schema experiment block), engine
+  mode / jobs / cache tri-states, the resilience grammars (faults,
+  retry, fail_fast, breaker, fallback) in their journal payload forms,
+  and the service-level ``tenant`` / ``priority`` pair.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Optional
+
+from ..errors import ConfigError
+from ..harness.experiment import Experiment
+from ..harness.engine.options import RetryPolicy, RunOptions
+from ..harness.health import BreakerPolicy, FallbackLadder
+from ..sim.faults import FaultConfig, FaultKind
+
+__all__ = [
+    "SPEC_VERSION",
+    "SUPPORTED_SPEC_VERSIONS",
+    "CampaignSpec",
+    "spec_to_dict",
+    "spec_from_dict",
+    "spec_to_json",
+    "spec_from_json",
+]
+
+#: Version stamped into every serialized spec; bumped on shape changes.
+SPEC_VERSION = 1
+
+#: Spec versions :func:`spec_from_dict` can load.
+SUPPORTED_SPEC_VERSIONS = (1,)
+
+#: Engine modes a spec may name (``None`` = process default).
+_ENGINE_CHOICES = ("serial", "thread", "process")
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Everything one campaign asks for, in one immutable request.
+
+    ``None`` fields mean "inherit the process default" — the same
+    tri-state convention :class:`~repro.harness.engine.RunOptions` uses
+    for cache/jobs — so a bare ``CampaignSpec(experiment=exp)`` behaves
+    exactly like the historical ``run_experiment(exp)`` call.
+
+    * ``engine``/``jobs``/``cache`` — executor selection;
+    * ``faults``/``retry``/``fail_fast``/``breaker``/``fallback`` — the
+      resilience layer, same grammars as the CLI flags;
+    * ``tenant``/``priority`` — service-level identity: which fair-share
+      account the campaign bills to, and its rank *within* that tenant's
+      queue (higher runs first; cross-tenant order is the scheduler's).
+    """
+
+    experiment: Experiment
+    engine: Optional[str] = None
+    jobs: Optional[int] = None
+    cache: Optional[bool] = None
+    faults: Optional[FaultConfig] = None
+    retry: Optional[RetryPolicy] = None
+    fail_fast: Optional[bool] = None
+    breaker: Optional[BreakerPolicy] = None
+    fallback: Optional[FallbackLadder] = None
+    tenant: str = "default"
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if self.engine is not None and self.engine not in _ENGINE_CHOICES:
+            raise ConfigError(
+                f"engine must be one of {'/'.join(_ENGINE_CHOICES)} or "
+                f"None, got {self.engine!r}")
+        if self.jobs is not None and self.jobs < 1:
+            raise ConfigError(f"jobs {self.jobs} < 1")
+        if not self.tenant or not isinstance(self.tenant, str):
+            raise ConfigError("tenant must be a non-empty string")
+        if any(c in self.tenant for c in " \t\n/"):
+            raise ConfigError(
+                f"tenant {self.tenant!r} may not contain whitespace or '/'")
+        if not isinstance(self.priority, int) or isinstance(self.priority,
+                                                            bool):
+            raise ConfigError(f"priority {self.priority!r} must be an int")
+
+    # -- lowering to RunOptions -------------------------------------------
+
+    def run_options(self, base: Optional[RunOptions] = None) -> RunOptions:
+        """The :class:`RunOptions` this spec resolves to.
+
+        Starts from ``base`` (default: the process-wide options, which
+        carry the ``REPRO_FAULTS``-family environment) and overlays every
+        non-``None`` resilience field, so an unset field genuinely means
+        "inherit" rather than "reset to factory default".
+        """
+        if base is None:
+            from ..harness.engine import default_run_options
+            base = default_run_options()
+        out = base
+        if self.cache is not None:
+            out = replace(out, cache=self.cache)
+        if self.jobs is not None:
+            out = replace(out, jobs=self.jobs)
+        if self.faults is not None:
+            out = replace(out, faults=self.faults)
+        if self.retry is not None:
+            out = replace(out, retry=self.retry)
+        if self.fail_fast is not None:
+            out = replace(out, fail_fast=self.fail_fast)
+        if self.breaker is not None:
+            out = replace(out, breaker=self.breaker)
+        if self.fallback is not None:
+            out = replace(out, fallback=self.fallback)
+        return out
+
+    def describe(self) -> str:
+        """One line for the scheduler/status views."""
+        exp = self.experiment
+        knobs = []
+        if self.engine:
+            knobs.append(self.engine)
+        if self.faults is not None and self.faults.enabled:
+            knobs.append("faults")
+        if self.breaker is not None and self.breaker.enabled:
+            knobs.append("breaker")
+        extra = f" [{', '.join(knobs)}]" if knobs else ""
+        return (f"{exp.exp_id}: {len(exp.models)} models x "
+                f"{len(exp.sizes)} sizes, tenant={self.tenant}, "
+                f"priority={self.priority}{extra}")
+
+
+# -- codec ----------------------------------------------------------------
+
+def _retry_payload(retry: RetryPolicy) -> Dict[str, Any]:
+    return {
+        "max_attempts": retry.max_attempts,
+        "backoff_base_s": retry.backoff_base_s,
+        "backoff_factor": retry.backoff_factor,
+        "max_cell_seconds": retry.max_cell_seconds,
+    }
+
+
+def _retry_from_payload(payload: Dict[str, Any]) -> RetryPolicy:
+    budget = payload.get("max_cell_seconds")
+    return RetryPolicy(
+        max_attempts=int(payload.get("max_attempts", 1)),
+        backoff_base_s=float(payload.get("backoff_base_s", 0.5)),
+        backoff_factor=float(payload.get("backoff_factor", 2.0)),
+        max_cell_seconds=float(budget) if budget is not None else None,
+    )
+
+
+def _faults_from_payload(payload: Dict[str, Any]) -> FaultConfig:
+    return FaultConfig(
+        rate=float(payload.get("rate", 0.0)),
+        seed=int(payload.get("seed", 2023)),
+        kinds=tuple(FaultKind(k) for k in payload.get(
+            "kinds", [k.value for k in FaultKind])),
+        always=tuple(payload.get("always", ())),
+    )
+
+
+def spec_to_dict(spec: CampaignSpec) -> Dict[str, Any]:
+    """Serialize one spec (sparse: unset fields are omitted)."""
+    out: Dict[str, Any] = {
+        "spec_version": SPEC_VERSION,
+        "experiment": spec.experiment.to_dict(),
+        "tenant": spec.tenant,
+        "priority": spec.priority,
+    }
+    if spec.engine is not None:
+        out["engine"] = spec.engine
+    if spec.jobs is not None:
+        out["jobs"] = spec.jobs
+    if spec.cache is not None:
+        out["cache"] = spec.cache
+    if spec.faults is not None:
+        out["faults"] = spec.faults.payload()
+    if spec.retry is not None:
+        out["retry"] = _retry_payload(spec.retry)
+    if spec.fail_fast is not None:
+        out["fail_fast"] = spec.fail_fast
+    if spec.breaker is not None:
+        out["breaker"] = spec.breaker.payload()
+    if spec.fallback is not None:
+        out["fallback"] = spec.fallback.payload()
+    return out
+
+
+def spec_from_dict(data: Dict[str, Any]) -> CampaignSpec:
+    """Load a spec of any supported version.
+
+    Fallback loader in the export-schema tradition: a document without a
+    ``spec_version`` stamp is treated as v1 (the stamp has existed since
+    the codec did, so only hand-written files hit this), and a document
+    from a newer build is refused with a :class:`ConfigError` rather
+    than loaded with fields silently dropped.
+    """
+    if not isinstance(data, dict):
+        raise ConfigError(f"campaign spec must be a JSON object, "
+                          f"got {type(data).__name__}")
+    version = data.get("spec_version", 1)
+    if version not in SUPPORTED_SPEC_VERSIONS:
+        raise ConfigError(
+            f"campaign spec version {version!r} is not supported by this "
+            f"build (supported: {', '.join(map(str, SUPPORTED_SPEC_VERSIONS))})")
+    if "experiment" not in data:
+        raise ConfigError("campaign spec carries no experiment block")
+    try:
+        experiment = Experiment.from_dict(data["experiment"])
+    except Exception as exc:
+        raise ConfigError(f"campaign spec experiment is invalid: {exc}") \
+            from exc
+    jobs = data.get("jobs")
+    priority = data.get("priority", 0)
+    try:
+        priority = int(priority)
+    except (TypeError, ValueError) as exc:
+        raise ConfigError(f"priority {priority!r} must be an int") from exc
+    return CampaignSpec(
+        experiment=experiment,
+        engine=data.get("engine"),
+        jobs=int(jobs) if jobs is not None else None,
+        cache=(bool(data["cache"]) if "cache" in data else None),
+        faults=(_faults_from_payload(data["faults"])
+                if "faults" in data else None),
+        retry=(_retry_from_payload(data["retry"])
+               if "retry" in data else None),
+        fail_fast=(bool(data["fail_fast"]) if "fail_fast" in data else None),
+        breaker=(BreakerPolicy.from_payload(data["breaker"])
+                 if "breaker" in data else None),
+        fallback=(FallbackLadder.from_payload(data["fallback"])
+                  if "fallback" in data else None),
+        tenant=str(data.get("tenant", "default")),
+        priority=priority,
+    )
+
+
+def spec_to_json(spec: CampaignSpec, indent: int = 2) -> str:
+    """The wire/journal/file rendering (stable key order)."""
+    return json.dumps(spec_to_dict(spec), indent=indent, sort_keys=True)
+
+
+def spec_from_json(text: str) -> CampaignSpec:
+    """Parse a serialized spec; ``ConfigError`` names what is wrong."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"campaign spec is not valid JSON: {exc}") from exc
+    return spec_from_dict(data)

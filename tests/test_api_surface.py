@@ -26,6 +26,7 @@ PACKAGES = [
     "repro.harness.engine",
     "repro.harness.health",
     "repro.harness.journal",
+    "repro.service",
     "repro.ioutil",
 ]
 

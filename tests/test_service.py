@@ -1,0 +1,650 @@
+"""Campaign service: spec precedence, scheduler, daemon, recovery."""
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+import repro
+from repro.config import resolve_campaign_spec
+from repro.core.types import DeviceKind, MatrixShape, Precision
+from repro.errors import AdmissionError, ConfigError, ServiceError
+from repro.harness.engine import ResultCache, SweepEngine, cell_fingerprint
+from repro.harness.experiment import Experiment
+from repro.harness.health import BreakerPolicy, FallbackLadder
+from repro.harness.engine.options import RetryPolicy
+from repro.harness.journal import RunRegistry, fsck_store
+from repro.harness.report import render_result_set
+from repro.harness.runner import run_campaign, run_experiment
+from repro.service import (
+    AdmissionPolicy,
+    CampaignDaemon,
+    CampaignService,
+    CampaignSpec,
+    FairShareScheduler,
+    ServiceClient,
+    TenantQuota,
+    spec_from_dict,
+    spec_from_json,
+    spec_to_json,
+)
+from repro.sim.faults import FaultConfig
+
+
+def small_exp(**kw):
+    defaults = dict(
+        exp_id="svc-gemm", title="service test", node_name="Crusher",
+        device=DeviceKind.CPU, precision=Precision.FP64,
+        models=("julia", "numba"), sizes=(256, 512), threads=64, reps=3,
+    )
+    defaults.update(kw)
+    return Experiment(**defaults)
+
+
+def small_spec(tenant="default", priority=0, **kw):
+    return CampaignSpec(experiment=small_exp(**kw), tenant=tenant,
+                        priority=priority)
+
+
+def solo_render(spec):
+    """What `repro run` prints for the same request, cache-free."""
+    results = run_campaign(spec, engine=SweepEngine(cache=None,
+                                                    parallel=False))
+    return render_result_set(results)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return (RunRegistry(str(tmp_path / "runs")),
+            ResultCache(str(tmp_path / "cache")))
+
+
+# --------------------------------------------------------------------------
+# CampaignSpec: validation, codec, precedence
+# --------------------------------------------------------------------------
+
+class TestCampaignSpec:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            CampaignSpec(experiment=small_exp(), engine="warp")
+        with pytest.raises(ConfigError):
+            CampaignSpec(experiment=small_exp(), jobs=0)
+        with pytest.raises(ConfigError):
+            CampaignSpec(experiment=small_exp(), tenant="a b")
+        with pytest.raises(ConfigError):
+            CampaignSpec(experiment=small_exp(), tenant="")
+        with pytest.raises(ConfigError):
+            CampaignSpec(experiment=small_exp(), priority="high")
+
+    def test_json_roundtrip_full(self):
+        spec = CampaignSpec(
+            experiment=small_exp(),
+            engine="process", jobs=4, cache=False,
+            faults=FaultConfig(rate=0.25, seed=7),
+            retry=RetryPolicy(max_attempts=3, backoff_base_s=2.0,
+                              max_cell_seconds=60.0),
+            fail_fast=True,
+            breaker=BreakerPolicy.parse("threshold=2,cooldown=30"),
+            fallback=FallbackLadder.parse("numba@cpu=julia@cpu"),
+            tenant="ci", priority=5,
+        )
+        assert spec_from_json(spec_to_json(spec)) == spec
+
+    def test_json_roundtrip_sparse(self):
+        spec = small_spec()
+        text = spec_to_json(spec)
+        assert '"faults"' not in text  # unset fields stay sparse
+        assert spec_from_json(text) == spec
+
+    def test_newer_version_refused(self):
+        payload = {"spec_version": 99,
+                   "experiment": small_exp().to_dict()}
+        with pytest.raises(ConfigError, match="version 99"):
+            spec_from_dict(payload)
+
+    def test_missing_experiment_refused(self):
+        with pytest.raises(ConfigError, match="experiment"):
+            spec_from_dict({"spec_version": 1})
+
+    def test_run_options_overlays_only_set_fields(self):
+        from repro.harness.engine import RunOptions
+        base = RunOptions(fail_fast=True, jobs=8)
+        opts = CampaignSpec(experiment=small_exp(),
+                            cache=False).run_options(base=base)
+        assert opts.cache is False     # spec field applied
+        assert opts.fail_fast is True  # unset fields inherit the base
+        assert opts.jobs == 8
+
+
+class TestResolvePrecedence:
+    def test_cli_beats_env_per_component(self):
+        spec = resolve_campaign_spec(
+            small_exp(),
+            cli={"retries": 3, "engine": "serial"},
+            environ={"REPRO_RETRIES": "7", "REPRO_ENGINE": "process",
+                     "REPRO_BACKOFF": "2.0"})
+        assert spec.retry.max_attempts == 4        # CLI wins
+        assert spec.retry.backoff_base_s == 2.0    # env fills the rest
+        assert spec.engine == "serial"
+
+    def test_env_fills_what_cli_left_unset(self):
+        spec = resolve_campaign_spec(
+            small_exp(), cli={},
+            environ={"REPRO_FAULTS": "0.25", "REPRO_TENANT": "ci",
+                     "REPRO_PRIORITY": "5", "REPRO_JOBS": "4",
+                     "REPRO_CACHE": "0"})
+        assert spec.faults.rate == 0.25
+        assert spec.tenant == "ci"
+        assert spec.priority == 5
+        assert spec.jobs == 4
+        assert spec.cache is False
+
+    def test_defaults_stay_none(self):
+        spec = resolve_campaign_spec(small_exp(), cli={}, environ={})
+        assert spec.engine is None
+        assert spec.retry is None
+        assert spec.faults is None
+        assert spec.tenant == "default"
+        assert spec.priority == 0
+
+    def test_fail_fast_false_means_flag_not_given(self):
+        spec = resolve_campaign_spec(
+            small_exp(), cli={"fail_fast": False},
+            environ={"REPRO_FAIL_FAST": "1"})
+        assert spec.fail_fast is True  # env decides
+        spec = resolve_campaign_spec(
+            small_exp(), cli={"fail_fast": True},
+            environ={"REPRO_FAIL_FAST": "0"})
+        assert spec.fail_fast is True  # CLI wins outright
+
+    def test_bad_env_priority_is_a_config_error(self):
+        with pytest.raises(ConfigError):
+            resolve_campaign_spec(small_exp(), cli={},
+                                  environ={"REPRO_PRIORITY": "urgent"})
+
+
+# --------------------------------------------------------------------------
+# scheduler
+# --------------------------------------------------------------------------
+
+class TestScheduler:
+    def test_weighted_fair_share_converges_to_weight_ratio(self):
+        policy = AdmissionPolicy(quotas=(("big", TenantQuota(weight=2.0)),))
+        sched = FairShareScheduler(policy)
+        sched.submit("c-big", "big")
+        sched.submit("c-small", "small")
+        grants = {"c-big": 0, "c-small": 0}
+        for _ in range(30):
+            picked = sched.select()
+            sched.charge(picked)
+            grants[picked] += 1
+        assert grants["c-big"] == 20
+        assert grants["c-small"] == 10
+
+    def test_grant_sequence_is_deterministic(self):
+        def run():
+            sched = FairShareScheduler()
+            sched.submit("a1", "alice")
+            sched.submit("b1", "bob")
+            sched.submit("a2", "alice", priority=2)
+            seq = []
+            for _ in range(12):
+                picked = sched.select()
+                seq.append(picked)
+                sched.charge(picked)
+            return seq
+        assert run() == run()
+
+    def test_priority_preempts_within_tenant_only(self):
+        sched = FairShareScheduler()
+        sched.submit("low", "alice", priority=0)
+        assert sched.select() == "low"
+        sched.charge("low")
+        sched.begin("low")
+        sched.submit("high", "alice", priority=5)
+        # Next alice grant goes to the high-priority arrival; the
+        # in-flight campaign keeps its slot for later.
+        assert sched.select() == "high"
+        sched.charge("high")
+        sched.finish("high")
+        assert sched.select() == "low"
+        sched.finish("low")
+        assert sched.select() is None
+
+    def test_new_tenant_gets_no_retroactive_credit(self):
+        sched = FairShareScheduler()
+        sched.submit("a1", "alice")
+        for _ in range(10):
+            sched.charge("a1")
+        sched.submit("b1", "bob")  # starts at alice's pass, not zero
+        counts = {"a1": 0, "b1": 0}
+        for _ in range(10):
+            picked = sched.select()
+            sched.charge(picked)
+            counts[picked] += 1
+        assert counts["b1"] == 5  # fair from now on, no catch-up burst
+
+    def test_admission_quota_per_tenant(self):
+        policy = AdmissionPolicy(default_quota=TenantQuota(max_queued=1))
+        sched = FairShareScheduler(policy)
+        sched.submit("a1", "alice")
+        with pytest.raises(AdmissionError) as exc_info:
+            sched.submit("a2", "alice")
+        assert exc_info.value.tenant == "alice"
+        assert exc_info.value.limit == 1
+        sched.submit("b1", "bob")  # other tenants are unaffected
+        sched.finish("a1")
+        sched.submit("a2", "alice")  # quota freed by the finish
+
+    def test_admission_global_cap_and_preadmitted_bypass(self):
+        policy = AdmissionPolicy(max_total=2)
+        sched = FairShareScheduler(policy)
+        sched.submit("a1", "alice")
+        sched.submit("b1", "bob")
+        with pytest.raises(AdmissionError) as exc_info:
+            sched.submit("c1", "carol")
+        assert exc_info.value.limit == 2
+        sched.submit("c1", "carol", preadmitted=True)  # recovery path
+
+    def test_duplicate_and_unknown_campaigns_are_errors(self):
+        sched = FairShareScheduler()
+        sched.submit("a1", "alice")
+        with pytest.raises(ServiceError):
+            sched.submit("a1", "alice")
+        with pytest.raises(ServiceError):
+            sched.charge("ghost")
+
+
+# --------------------------------------------------------------------------
+# service: dedup, byte-identity, recovery
+# --------------------------------------------------------------------------
+
+class TestServiceDedup:
+    def test_overlapping_cells_execute_once_reports_match_solo(self, store):
+        registry, cache = store
+        svc = CampaignService(registry=registry, cache=cache)
+        spec_a = small_spec(tenant="alice", models=("julia", "numba"))
+        spec_b = small_spec(tenant="bob", models=("julia", "kokkos"))
+        id_a = svc.submit(spec_a)
+        id_b = svc.submit(spec_b)
+        svc.run_until_idle()
+
+        camp_a, camp_b = svc.campaigns[id_a], svc.campaigns[id_b]
+        assert camp_a.state == "done" and camp_b.state == "done"
+        # alice (first in tenant-name order) executed all 4 of her cells;
+        # bob's overlapping julia cells were served from alice's results.
+        assert camp_a.stats["executed"] == 4
+        assert camp_b.stats["executed"] == 2
+        assert camp_b.stats["deduped"] == 2
+        assert svc.dedup_hits == 2
+        for size in (256, 512):
+            fp = cell_fingerprint(spec_b.experiment, "julia",
+                                  MatrixShape.square(size))
+            assert svc.dedup_origin(fp) == id_a
+
+        # Interleaved multi-tenant execution changes nothing observable:
+        # each report is byte-identical to the campaign run alone.
+        assert render_result_set(svc.result_set(id_a)) == solo_render(spec_a)
+        assert render_result_set(svc.result_set(id_b)) == solo_render(spec_b)
+
+    def test_distinct_experiments_do_not_dedup(self, store):
+        registry, cache = store
+        svc = CampaignService(registry=registry, cache=cache)
+        # Same models/sizes, different exp_id: the id seeds the
+        # variability stream, so these are genuinely different cells.
+        svc.submit(small_spec(tenant="alice", exp_id="exp-a"))
+        svc.submit(small_spec(tenant="bob", exp_id="exp-b"))
+        svc.run_until_idle()
+        assert svc.dedup_hits == 0
+
+    def test_failed_campaign_leaves_other_tenants_unharmed(self, store):
+        registry, cache = store
+        svc = CampaignService(registry=registry, cache=cache)
+        bad = CampaignSpec(
+            experiment=small_exp(exp_id="boom", models=("julia",),
+                                 sizes=(256,)),
+            faults=FaultConfig(rate=0.0, always=("julia@256",)),
+            fail_fast=True, tenant="alice")
+        good = small_spec(tenant="bob", exp_id="fine")
+        id_bad = svc.submit(bad)
+        id_good = svc.submit(good)
+        svc.run_until_idle()
+        assert svc.campaigns[id_bad].state == "failed"
+        assert svc.campaigns[id_bad].error
+        assert svc.campaigns[id_good].state == "done"
+        assert render_result_set(svc.result_set(id_good)) == solo_render(good)
+
+
+class TestServiceRecovery:
+    def test_restart_resumes_all_campaigns_byte_identically(self, store):
+        registry, cache = store
+        svc1 = CampaignService(registry=registry, cache=cache)
+        spec_a = small_spec(tenant="alice", exp_id="re-a")
+        spec_b = small_spec(tenant="bob", exp_id="re-b",
+                            models=("julia", "kokkos"))
+        id_a = svc1.submit(spec_a)
+        id_b = svc1.submit(spec_b)
+        for _ in range(5):  # alice 3 cells, bob 2 — both mid-flight
+            assert svc1.step()
+        svc1.suspend()  # the graceful-shutdown half of a daemon restart
+
+        svc2 = CampaignService(registry=registry, cache=cache)
+        assert sorted(svc2.recover()) == sorted([id_a, id_b])
+        svc2.run_until_idle()
+        for cid in (id_a, id_b):
+            assert svc2.campaigns[cid].state == "done"
+            assert svc2.campaigns[cid].recovered
+        assert svc2.campaigns[id_a].stats["replayed"] == 3
+        assert svc2.campaigns[id_b].stats["replayed"] == 2
+        assert render_result_set(svc2.result_set(id_a)) == solo_render(spec_a)
+        assert render_result_set(svc2.result_set(id_b)) == solo_render(spec_b)
+
+    def test_recover_skips_journals_owned_by_a_live_process(self, store):
+        registry, cache = store
+        svc1 = CampaignService(registry=registry, cache=cache)
+        cid = svc1.submit(small_spec(tenant="alice"))
+        for _ in range(2):
+            svc1.step()
+        # No suspend: the ACTIVE sidecar still names this (live) process,
+        # so a second daemon must leave the journal alone.
+        svc2 = CampaignService(registry=registry, cache=cache)
+        assert svc2.recover() == []
+        registry.release_active(cid)  # the owner died
+        assert svc2.recover() == [cid]
+
+    def test_recover_ignores_plain_and_finished_runs(self, store):
+        registry, cache = store
+        svc1 = CampaignService(registry=registry, cache=cache)
+        done = svc1.submit(small_spec(tenant="alice", exp_id="done"))
+        svc1.run_until_idle()
+        assert svc1.campaigns[done].state == "done"
+        # A plain `repro run` journal: no campaign record.
+        plain = registry.create()
+        plain.close()
+        svc2 = CampaignService(registry=registry, cache=cache)
+        assert svc2.recover() == []
+
+    def test_submit_is_durable_before_any_execution(self, store):
+        registry, cache = store
+        svc1 = CampaignService(registry=registry, cache=cache)
+        spec = small_spec(tenant="alice", exp_id="durable")
+        cid = svc1.submit(spec)  # not a single step
+        svc1.suspend()
+        svc2 = CampaignService(registry=registry, cache=cache)
+        assert svc2.recover() == [cid]
+        svc2.run_until_idle()
+        assert render_result_set(svc2.result_set(cid)) == solo_render(spec)
+
+
+# --------------------------------------------------------------------------
+# ACTIVE sidecars: runs list, fsck, liveness pruning
+# --------------------------------------------------------------------------
+
+class TestActiveState:
+    def test_in_flight_campaign_shows_active_and_fsck_skips_it(self, store):
+        registry, cache = store
+        svc = CampaignService(registry=registry, cache=cache)
+        cid = svc.submit(small_spec(tenant="alice"))
+        svc.step()
+        listing = registry.render_list()
+        assert "ACTIVE" in listing
+        assert f"pid {os.getpid()}" in listing
+        report = fsck_store(registry=registry)
+        assert report.active_skipped == 1
+        assert not report.corrupt
+        svc.run_until_idle()
+        assert "ACTIVE" not in registry.render_list()
+        assert registry.active_info(cid) is None
+
+    def test_dead_owner_sidecar_is_pruned(self, store):
+        registry, _ = store
+        journal = registry.create()
+        proc = subprocess.Popen([sys.executable, "-c", "pass"])
+        proc.wait()
+        registry.mark_active(journal.run_id, pid=proc.pid)
+        assert registry.active_info(journal.run_id) is None
+        assert not os.path.exists(registry.active_path(journal.run_id))
+        journal.close()
+
+
+# --------------------------------------------------------------------------
+# deprecated shims
+# --------------------------------------------------------------------------
+
+class TestShims:
+    def test_run_experiment_warns_and_matches_run_campaign(self):
+        exp = small_exp(exp_id="shim")
+        engine = SweepEngine(cache=None, parallel=False)
+        with pytest.deprecated_call():
+            old = run_experiment(exp, engine=engine)
+        new = run_campaign(CampaignSpec(experiment=exp), engine=engine)
+        assert render_result_set(old) == render_result_set(new)
+
+    def test_top_level_export(self):
+        assert repro.run_campaign is run_campaign
+
+
+# --------------------------------------------------------------------------
+# daemon: wire API over a Unix socket
+# --------------------------------------------------------------------------
+
+class TestDaemonWire:
+    @pytest.fixture
+    def daemon(self, store, tmp_path):
+        registry, cache = store
+        svc = CampaignService(registry=registry, cache=cache)
+        sock = str(tmp_path / "s.sock")
+        daemon = CampaignDaemon(service=svc, socket_path=sock)
+        thread = threading.Thread(
+            target=daemon.serve, kwargs={"install_signals": False},
+            daemon=True)
+        thread.start()
+        yield daemon
+        daemon.request_shutdown()
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+
+    def test_wire_round_trip(self, daemon):
+        client = ServiceClient(daemon.socket_path)
+        assert client.ping()["ok"] is True
+
+        spec = small_spec(tenant="alice", exp_id="wire")
+        cid = client.submit(spec)
+        row = client.wait(cid, timeout=120)
+        assert row["state"] == "done"
+        assert client.report(cid).rstrip("\n") == solo_render(spec)
+
+        status = client.status()
+        assert status["backlog"] == 0
+        assert [c["id"] for c in status["campaigns"]] == [cid]
+        assert client.campaigns()[0]["tenant"] == "alice"
+
+    def test_wire_errors_keep_their_kind(self, daemon):
+        client = ServiceClient(daemon.socket_path)
+        with pytest.raises(ServiceError):
+            client.campaign("no-such-campaign")
+        with pytest.raises(ConfigError):
+            client.submit_payload({"spec_version": 1})  # no experiment
+        with pytest.raises(ConfigError, match="version 99"):
+            client.submit_payload({"spec_version": 99,
+                                   "experiment": small_exp().to_dict()})
+
+    def test_second_daemon_on_live_socket_fails_fast(self, daemon):
+        client = ServiceClient(daemon.socket_path)
+        client.ping()
+        with pytest.raises(ServiceError, match="already serving"):
+            CampaignDaemon(service=daemon.service,
+                           socket_path=daemon.socket_path)
+
+    def test_client_without_daemon_raises_service_error(self, tmp_path):
+        client = ServiceClient(str(tmp_path / "nobody.sock"))
+        with pytest.raises(ServiceError, match="repro serve"):
+            client.ping()
+
+
+class TestDaemonShutdown:
+    def test_shutdown_endpoint_stops_serve_and_removes_socket(self, store,
+                                                              tmp_path):
+        registry, cache = store
+        svc = CampaignService(registry=registry, cache=cache)
+        sock = str(tmp_path / "down.sock")
+        daemon = CampaignDaemon(service=svc, socket_path=sock)
+        thread = threading.Thread(
+            target=daemon.serve, kwargs={"install_signals": False},
+            daemon=True)
+        thread.start()
+        client = ServiceClient(sock)
+        client.ping()
+        client.shutdown()
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert not os.path.exists(sock)
+
+
+# --------------------------------------------------------------------------
+# the real process lifecycle: serve, SIGTERM mid-campaign, restart
+# --------------------------------------------------------------------------
+
+def _wait_until(predicate, timeout=60.0, interval=0.05):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+def _ping_ok(sock):
+    try:
+        return ServiceClient(sock).ping().get("ok") is True
+    except ServiceError:
+        return False
+
+
+class TestDaemonProcessRestart:
+    def test_sigterm_then_restart_finishes_campaigns_byte_identically(
+            self, tmp_path):
+        sock = str(tmp_path / "d.sock")
+        runs_dir = str(tmp_path / "runs")
+        cache_dir = str(tmp_path / "cache")
+        src_dir = os.path.dirname(os.path.dirname(repro.__file__))
+        env = dict(os.environ,
+                   REPRO_RUNS_DIR=runs_dir, REPRO_CACHE_DIR=cache_dir,
+                   PYTHONPATH=src_dir + os.pathsep
+                   + os.environ.get("PYTHONPATH", ""))
+
+        def start_daemon():
+            return subprocess.Popen(
+                [sys.executable, "-m", "repro", "serve", "--socket", sock],
+                env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+
+        spec_a = CampaignSpec(
+            experiment=small_exp(exp_id="restart-a",
+                                 models=("julia", "numba", "kokkos"),
+                                 sizes=(256, 512, 1024, 2048), reps=4),
+            tenant="alice")
+        spec_b = CampaignSpec(
+            experiment=small_exp(exp_id="restart-b",
+                                 models=("julia", "numba", "kokkos"),
+                                 sizes=(256, 512, 1024, 2048), reps=4),
+            tenant="bob")
+
+        first = start_daemon()
+        try:
+            assert _wait_until(lambda: _ping_ok(sock)), "daemon never served"
+            client = ServiceClient(sock)
+            id_a = client.submit(spec_a)
+            id_b = client.submit(spec_b)
+            # SIGTERM lands mid-campaign (24 cells are queued); the daemon
+            # must stop at a cell boundary and leave resumable journals.
+            first.send_signal(signal.SIGTERM)
+            assert first.wait(timeout=60) == 0
+        finally:
+            if first.poll() is None:
+                first.kill()
+                first.wait(timeout=30)
+
+        registry = RunRegistry(runs_dir)
+
+        def both_complete():
+            try:
+                return (registry.load(id_a).status == "complete"
+                        and registry.load(id_b).status == "complete")
+            except Exception:
+                return False
+
+        second = start_daemon()
+        try:
+            assert _wait_until(lambda: _ping_ok(sock)), "restart never served"
+            assert _wait_until(both_complete, timeout=180), \
+                "recovered campaigns never finished"
+        finally:
+            try:
+                ServiceClient(sock).shutdown()
+            except ServiceError:
+                second.terminate()
+            assert second.wait(timeout=60) == 0
+
+        # Journal reconstruction serves campaigns whichever daemon life
+        # finished them; both must match the campaign run alone.
+        svc = CampaignService(registry=registry,
+                              cache=ResultCache(cache_dir))
+        assert render_result_set(svc.result_set(id_a)) == solo_render(spec_a)
+        assert render_result_set(svc.result_set(id_b)) == solo_render(spec_b)
+
+
+# --------------------------------------------------------------------------
+# CLI integration: submit/status/serve --stop against a live daemon
+# --------------------------------------------------------------------------
+
+class TestCliService:
+    def test_submit_wait_and_status_and_stop(self, store, tmp_path, capsys):
+        from repro.cli import main
+
+        registry, cache = store
+        svc = CampaignService(registry=registry, cache=cache)
+        sock = str(tmp_path / "cli.sock")
+        daemon = CampaignDaemon(service=svc, socket_path=sock)
+        thread = threading.Thread(
+            target=daemon.serve, kwargs={"install_signals": False},
+            daemon=True)
+        thread.start()
+        try:
+            assert _wait_until(lambda: _ping_ok(sock))
+            rc = main(["submit", "--socket", sock, "--exp-id", "cli-run",
+                       "--models", "julia,numba", "--sizes", "256,512",
+                       "--reps", "3", "--tenant", "alice", "--wait"])
+            out = capsys.readouterr().out
+            assert rc == 0
+            # `repro submit --wait` prints exactly what `repro run` would.
+            solo = solo_render(CampaignSpec(experiment=Experiment(
+                exp_id="cli-run", title="custom CLI experiment",
+                node_name="crusher", device=DeviceKind.CPU,
+                precision=Precision.FP64, models=("julia", "numba"),
+                sizes=(256, 512), reps=3)))
+            assert out == solo + "\n"
+
+            assert main(["status", "--socket", sock]) == 0
+            out = capsys.readouterr().out
+            assert "campaign daemon: pid" in out
+            assert "alice" in out
+
+            assert main(["status", "--socket", sock,
+                         "--format", "json"]) == 0
+            out = capsys.readouterr().out
+            assert '"tenants"' in out
+        finally:
+            rc = main(["serve", "--stop", "--socket", sock])
+            thread.join(timeout=30)
+        assert rc == 0
+        assert not thread.is_alive()
+
+    def test_status_without_daemon_exits_1(self, tmp_path, capsys):
+        from repro.cli import main
+        rc = main(["status", "--socket", str(tmp_path / "none.sock")])
+        assert rc == 1
+        assert "repro serve" in capsys.readouterr().err
