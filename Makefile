@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint audit bench bench-audit bench-engine bench-paper bench-service engine-smoke service-smoke report report-cached faults breaker resume fsck verify examples clean
+.PHONY: install test lint audit bench bench-audit bench-engine bench-paper bench-service chaos-smoke engine-smoke service-smoke report report-cached faults breaker resume fsck verify examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -117,6 +117,17 @@ service-smoke:
 	@echo "two tenants, overlapping cells executed once, reports" \
 	  "byte-identical to solo runs"
 
+# Crash-fault drills: SIGKILL a pool worker mid-cell, SIGKILL the
+# campaign daemon mid-grant, tear a journal tail, exhaust the store —
+# every scenario must recover to a byte-identical report, and the
+# MTTR/recovery counters land in BENCH_robustness.json (exit 1 on any
+# mismatch).
+chaos-smoke:
+	rm -rf .repro-chaos-smoke
+	$(PYTHON) -m repro chaos --workdir .repro-chaos-smoke \
+	  --out BENCH_robustness.json
+	rm -rf .repro-chaos-smoke
+
 report:
 	$(PYTHON) -m repro report --out study_report.md
 	@echo "wrote study_report.md"
@@ -185,5 +196,5 @@ clean:
 	rm -rf build dist src/*.egg-info .pytest_cache .hypothesis study_report.md
 	rm -rf .repro-cache study_report_cold.md study_report_warm.md
 	rm -rf .repro-fsck-cache .repro-fsck-runs .repro-engine-smoke
-	rm -rf .repro-service-smoke
+	rm -rf .repro-service-smoke .repro-chaos-smoke
 	find . -name __pycache__ -type d -exec rm -rf {} +

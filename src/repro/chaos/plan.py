@@ -1,0 +1,194 @@
+"""Seeded, cross-process chaos injection for crash-fault testing.
+
+A :class:`ChaosPlan` is a deterministic crash schedule: a tuple of
+:class:`ChaosEvent` rules, each naming an instrumented *strike point*
+in the codebase (``worker-cell``, ``cache-put``, ``journal-append``,
+``daemon-grant``), an *action* to take there (``kill`` the process,
+``hang``, raise ``ENOSPC``), and a window of matching hits to fire on.
+Plans are JSON files armed through the ``REPRO_CHAOS_PLAN`` environment
+variable, so they survive ``fork``/``exec`` into pool workers and
+daemon subprocesses — exactly the processes the chaos harness wants to
+kill.
+
+Determinism across processes comes from sentinel *slot* files: each
+hit of each event claims the lowest free ``e<idx>.hit<k>`` slot in the
+plan's ``.fired/`` directory with ``O_CREAT|O_EXCL`` (an atomic,
+multi-process-safe counter), and the event fires only when the claimed
+ordinal falls inside its ``[after, after+count)`` window.  "Kill worker
+N mid-cell, once" therefore means once — no matter how many workers
+race past the strike point.
+
+Production code calls :func:`chaos_strike` at each instrumented point;
+with ``REPRO_CHAOS_PLAN`` unset (the normal case) that is a single
+dict lookup and a return.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from ..errors import ConfigError
+
+__all__ = [
+    "CHAOS_PLAN_ENV",
+    "CHAOS_ACTIONS",
+    "CHAOS_POINTS",
+    "ChaosEvent",
+    "ChaosPlan",
+    "chaos_armed",
+    "chaos_strike",
+]
+
+#: Environment variable naming the armed plan file ("" / unset = off).
+CHAOS_PLAN_ENV = "REPRO_CHAOS_PLAN"
+
+#: Actions an event may take at its strike point.
+CHAOS_ACTIONS = ("kill", "hang", "enospc")
+
+#: Instrumented strike points (see the module docstring for locations).
+CHAOS_POINTS = ("worker-cell", "cache-put", "journal-append",
+                "daemon-grant")
+
+#: How long a ``hang`` action sleeps — effectively forever next to any
+#: sane watchdog deadline, finite so an unsupervised test still ends.
+_HANG_SECONDS = 600.0
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One rule of a chaos plan: where to strike, what to do, and when."""
+
+    #: Strike point name (one of :data:`CHAOS_POINTS`).
+    point: str
+    #: What to do there (one of :data:`CHAOS_ACTIONS`).
+    action: str
+    #: Substring the strike label must contain ("" matches every hit).
+    match: str = ""
+    #: Matching hits to let pass before firing.
+    after: int = 0
+    #: Matching hits to fire on once armed (0 = never).
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.point not in CHAOS_POINTS:
+            raise ConfigError(
+                f"chaos event point must be one of {CHAOS_POINTS}, "
+                f"got {self.point!r}")
+        if self.action not in CHAOS_ACTIONS:
+            raise ConfigError(
+                f"chaos event action must be one of {CHAOS_ACTIONS}, "
+                f"got {self.action!r}")
+        if self.after < 0 or self.count < 0:
+            raise ConfigError("chaos event after/count must be >= 0")
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready rendering (round-trips through ``from_dict``)."""
+        return {"point": self.point, "action": self.action,
+                "match": self.match, "after": self.after,
+                "count": self.count}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ChaosEvent":
+        """Event from its ``to_dict`` rendering."""
+        return cls(point=str(data["point"]), action=str(data["action"]),
+                   match=str(data.get("match", "")),
+                   after=int(data.get("after", 0)),  # type: ignore[arg-type]
+                   count=int(data.get("count", 1)))  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """A deterministic crash schedule: an ordered tuple of events."""
+
+    events: Tuple[ChaosEvent, ...] = field(default_factory=tuple)
+
+    def to_json(self) -> str:
+        """Canonical JSON rendering of the plan."""
+        return json.dumps({"version": 1,
+                           "events": [e.to_dict() for e in self.events]},
+                          sort_keys=True, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ChaosPlan":
+        """Plan from its JSON rendering (raises ``ConfigError`` on junk)."""
+        try:
+            data = json.loads(text)
+            events = tuple(ChaosEvent.from_dict(e)
+                           for e in data.get("events", []))
+        except (ValueError, KeyError, TypeError) as exc:
+            raise ConfigError(f"invalid chaos plan: {exc}") from exc
+        return cls(events=events)
+
+    def write(self, path: str) -> str:
+        """Write the plan to ``path`` and return ``path``."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json() + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str) -> "ChaosPlan":
+        """Plan loaded from a JSON file."""
+        try:
+            with open(path, encoding="utf-8") as fh:
+                return cls.from_json(fh.read())
+        except OSError as exc:
+            raise ConfigError(f"cannot read chaos plan {path}: {exc}") \
+                from exc
+
+
+def chaos_armed() -> bool:
+    """Whether a chaos plan is armed in this process's environment."""
+    return bool(os.environ.get(CHAOS_PLAN_ENV))
+
+
+def _claim_hit(fired_dir: str, idx: int) -> int:
+    # Atomically claim the lowest free slot file for event `idx`; the
+    # slot number is this hit's 0-based ordinal across ALL processes
+    # sharing the plan (O_CREAT|O_EXCL is the cross-process atom).
+    os.makedirs(fired_dir, exist_ok=True)
+    k = 0
+    while True:
+        path = os.path.join(fired_dir, f"e{idx}.hit{k}")
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            k += 1
+            continue
+        os.close(fd)
+        return k
+
+
+def chaos_strike(point: str, label: str = "") -> None:
+    """Fire any armed chaos event matching this strike point.
+
+    Called from instrumented production paths; a no-op (one environment
+    lookup) unless ``REPRO_CHAOS_PLAN`` names a plan file.  ``label``
+    is the per-hit identity (a cell name, a fingerprint, a campaign id)
+    events filter on with their ``match`` substring.
+    """
+    plan_path = os.environ.get(CHAOS_PLAN_ENV)
+    if not plan_path:
+        return
+    plan = ChaosPlan.load(plan_path)
+    fired_dir = plan_path + ".fired"
+    for idx, event in enumerate(plan.events):
+        if event.point != point or event.count <= 0:
+            continue
+        if event.match and event.match not in label:
+            continue
+        ordinal = _claim_hit(fired_dir, idx)
+        if not (event.after <= ordinal < event.after + event.count):
+            continue
+        if event.action == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif event.action == "hang":
+            time.sleep(_HANG_SECONDS)
+        elif event.action == "enospc":
+            import errno
+            raise OSError(errno.ENOSPC,
+                          f"No space left on device (chaos: {point})")

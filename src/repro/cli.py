@@ -28,6 +28,16 @@ Commands mirror the deliverables:
   cells were served by fallback lanes.
 * ``repro fsck`` — verify the cache, run journals and export artifacts;
   quarantine/recover corruption (exit 3 if any was found).
+* ``repro chaos`` — deterministic crash-fault drills (worker SIGKILL,
+  daemon SIGKILL mid-grant, torn journal tail, disk-full store); each
+  must recover to a byte-identical report, and MTTR/recovery counters
+  land in ``BENCH_robustness.json`` (exit 1 on any mismatch).
+
+Crash supervision: ``--watchdog 'timeout=30,respawns=2,redrives=1'``
+(or ``REPRO_WATCHDOG``) bounds each process-pool cell's wall-clock time
+and caps pool respawns/cell redrives after a worker is killed or hangs;
+crash supervision (respawn on a vanished worker) is on by default,
+hang detection arms with a timeout, ``--watchdog off`` disables both.
 
 Self-healing: ``--breaker 'threshold=N,cooldown=S'`` (or
 ``REPRO_BREAKER``) arms per-lane circuit breakers — N consecutive
@@ -38,7 +48,8 @@ decides whether the lane re-closes.
 
 Exit codes: 0 success, 1 aborted campaign (``--fail-fast``), journal
 error (including resuming a breaker run from a journal without health
-metadata), or ``lint``/``audit`` findings at gating severity, 2 usage
+metadata), a ``chaos`` drill that did not recover byte-identically,
+or ``lint``/``audit`` findings at gating severity, 2 usage
 (including an unknown precision or model name), 3 ``fsck`` found
 corruption, 130 interrupted by SIGINT/SIGTERM (the journal is finalized
 first; resume with ``repro run --resume <run-id>``).
@@ -143,6 +154,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--export", default=None, metavar="FILE",
                      help="also write the result set as a digest-carrying "
                           "JSON artifact (verified by `repro fsck FILE`)")
+    run.add_argument("--watchdog", default=None, metavar="SPEC",
+                     help="supervise process-pool workers, e.g. '30' "
+                          "(per-cell wall-clock deadline in seconds) or "
+                          "'timeout=30,respawns=2,redrives=1'; 'off' "
+                          "disables crash supervision (REPRO_WATCHDOG)")
     _add_resilience_flags(run)
 
     kern = sub.add_parser("kernel",
@@ -332,6 +348,24 @@ def build_parser() -> argparse.ArgumentParser:
                       help="runs directory (default: $REPRO_RUNS_DIR or "
                            "$XDG_CACHE_HOME/repro/runs)")
 
+    chaos = sub.add_parser(
+        "chaos", help="deterministic crash-fault drills: SIGKILL a pool "
+                      "worker, SIGKILL the daemon mid-grant, tear a "
+                      "journal tail, fill the disk — then assert "
+                      "byte-identical recovery (exit 1 on any mismatch)")
+    chaos.add_argument("--scenario", action="append", default=None,
+                       metavar="NAME",
+                       help="run only this scenario (repeatable; default: "
+                            "all of worker-kill, daemon-kill, journal-tear, "
+                            "disk-full)")
+    chaos.add_argument("--out", default="BENCH_robustness.json",
+                       metavar="FILE",
+                       help="MTTR/recovery-counter bench output "
+                            "(default BENCH_robustness.json; '-' skips)")
+    chaos.add_argument("--workdir", default=None, metavar="DIR",
+                       help="scratch root for the drills (default: a "
+                            "private temp dir, removed afterwards)")
+
     return p
 
 
@@ -465,7 +499,8 @@ def _cmd_run(args: argparse.Namespace) -> str:
               f"{state.done_cells}/{state.total_cells} cells journaled, "
               f"{state.remaining_cells} to execute", file=sys.stderr)
         engine = _engine_for(args)
-        results = resume_run(args.resume, registry=reg, engine=engine)
+        results = resume_run(args.resume, registry=reg, engine=engine,
+                             options=_watchdog_options(args, None))
         return _render_run(args, results, engine)
     if args.config:
         import json as _json
@@ -530,6 +565,22 @@ def _spec_cli_overrides(args: argparse.Namespace) -> dict:
     }
 
 
+def _watchdog_options(args: argparse.Namespace, base):
+    """Overlay ``--watchdog`` on ``base`` (or the env defaults).
+
+    The watchdog deliberately stays out of CampaignSpec: it supervises
+    *this process's* worker pool, is never journaled or fingerprinted,
+    and must not change a run's identity.
+    """
+    spec = getattr(args, "watchdog", None)
+    if spec is None:
+        return base
+    from dataclasses import replace
+    from .harness.engine import RunOptions, WatchdogPolicy
+    return replace(base if base is not None else RunOptions.from_env(),
+                   watchdog=WatchdogPolicy.parse(spec))
+
+
 def _finish_run(args: argparse.Namespace, exp: Experiment) -> str:
     from .config import resolve_campaign_spec
     from .harness import resolve_engine
@@ -553,6 +604,7 @@ def _finish_run(args: argparse.Namespace, exp: Experiment) -> str:
         print(f"repro: journaling run {journal.run_id} "
               f"(resume with: repro run --resume {journal.run_id})",
               file=sys.stderr)
+    base = _watchdog_options(args, base)
     engine = resolve_engine(None, spec.run_options(base=base),
                             mode=spec.engine)
     try:
@@ -913,9 +965,19 @@ def _cmd_status(args: argparse.Namespace) -> str:
     if args.format == "json":
         import json as _json
         return _json.dumps(payload, indent=2, sort_keys=True)
-    lines = [f"campaign daemon: pid {payload.get('pid')}, "
-             f"{payload.get('backlog', 0)} queued campaign(s), "
-             f"{payload.get('steps', 0)} scheduler step(s)"]
+    header = (f"campaign daemon: pid {payload.get('pid')}, "
+              f"{payload.get('backlog', 0)} queued campaign(s), "
+              f"{payload.get('steps', 0)} scheduler step(s)")
+    if payload.get("uptime_s") is not None:
+        header += f", up {payload['uptime_s']:.0f}s"
+    if payload.get("state"):
+        header += f" [{payload['state']}]"
+    lines = [header]
+    supervision = payload.get("supervision") or {}
+    if supervision.get("restarts") or supervision.get("quarantined"):
+        lines.append(f"supervision: {supervision.get('restarts', 0)} "
+                     f"campaign restart(s), "
+                     f"{supervision.get('quarantined', 0)} quarantined")
     tenants = payload.get("tenants") or []
     if tenants:
         lines.append("")
@@ -932,13 +994,22 @@ def _cmd_status(args: argparse.Namespace) -> str:
             stats = c.get("stats") or {}
             note = ", ".join(f"{k}={v}" for k, v in sorted(stats.items())
                              if v) or "-"
+            if c.get("restarts"):
+                note = f"restarts={c['restarts']}, " + note
+            if c.get("heartbeat_age_s") is not None:
+                beat = f"{c['heartbeat_age_s']:.0f}s"
+                if c.get("stale"):
+                    beat += " STALE"
+            else:
+                beat = "-"
             rows.append([c.get("id"), c.get("tenant"), c.get("priority"),
                          c.get("state"),
                          f"{cells.get('done', 0)}/{cells.get('total', '?')}",
-                         note])
+                         beat, note])
         lines.append("")
         lines.append(_table(
-            ["campaign", "tenant", "prio", "state", "cells", "stats"],
+            ["campaign", "tenant", "prio", "state", "cells", "beat",
+             "stats"],
             rows))
     dedup = payload.get("dedup") or {}
     lines.append("")
@@ -1004,6 +1075,26 @@ def _cmd_fsck(args: argparse.Namespace) -> "tuple[str, int]":
     report = fsck_store(cache=cache, registry=registry,
                         artifacts=tuple(args.artifacts))
     return report.render(), EXIT_FSCK_CORRUPT if report.corrupt else 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> "tuple[str, int]":
+    from .chaos import run_chaos_suite
+
+    out = None if args.out == "-" else args.out
+    results = run_chaos_suite(out=out, scenarios=args.scenario,
+                              workdir=args.workdir)
+    lines = ["chaos drills (deterministic crash schedules, "
+             "byte-identity asserted):"]
+    lines += [r.render() for r in results]
+    failed = [r.name for r in results if not r.identical]
+    if failed:
+        lines.append(f"FAILED: {', '.join(failed)} did not recover "
+                     f"byte-identically")
+    else:
+        lines.append("all scenarios recovered byte-identically")
+    if out:
+        lines.append(f"wrote {out}")
+    return "\n".join(lines), 1 if failed else 0
 
 
 def _cmd_roofline(args: argparse.Namespace) -> str:
@@ -1092,6 +1183,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         out = _cmd_health(args)
     elif args.command == "fsck":
         out, rc = _cmd_fsck(args)
+    elif args.command == "chaos":
+        out, rc = _cmd_chaos(args)
     elif args.command == "crossover":
         from .harness.crossover import device_crossover
         from .machine import node_by_name

@@ -47,6 +47,10 @@ KNOWN_VARIABLES: Dict[str, str] = {
     "REPRO_FALLBACK": "fallback-ladder spec (e.g. numba@gpu=numba@cpu+reference)",
     "REPRO_RUNS_DIR": "run-journal registry directory",
     "REPRO_JOURNAL": "write-ahead run journal on/off (default on)",
+    "REPRO_WATCHDOG": "process-pool watchdog spec (e.g. "
+                      "timeout=30,respawns=2,redrives=1; 'off' disables)",
+    "REPRO_CHAOS_PLAN": "armed chaos-plan file for crash-fault drills "
+                        "(normally unset)",
     # Campaign-service knobs (repro.service): tenancy defaults for
     # `repro submit` and the daemon socket location.
     "REPRO_TENANT": "fair-share tenant campaigns bill to (default 'default')",

@@ -23,6 +23,7 @@ __all__ = [
     "FaultError",
     "CellFailure",
     "RetryExhaustedError",
+    "WorkerLost",
     "RunInterrupted",
     "ServiceError",
     "AdmissionError",
@@ -232,4 +233,15 @@ class RetryExhaustedError(CellFailure):
     Subclass of :class:`CellFailure`: exhaustion (max attempts reached or
     the per-cell simulated-time budget spent) is one way a cell fails
     permanently, so broad ``except CellFailure`` handlers keep working.
+    """
+
+
+class WorkerLost(CellFailure):
+    """A process-pool worker vanished or hung past its deadline.
+
+    Raised out of the process engine only under ``fail_fast`` when the
+    watchdog exhausts its redrive budget for a suspect cell (or its pool
+    respawn budget for the run); otherwise the cell is isolated as a
+    degraded ``failed`` measurement like any other permanent failure.
+    Subclass of :class:`CellFailure` so existing handlers keep working.
     """

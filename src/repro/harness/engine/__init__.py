@@ -16,15 +16,17 @@ Process-wide configuration (read once, on first use):
   ``ProcessPoolExecutor`` so ``--jobs`` scales past one core;
 * ``REPRO_FAULTS`` / ``REPRO_RETRIES`` / ``REPRO_BACKOFF`` /
   ``REPRO_MAX_CELL_SECONDS`` / ``REPRO_FAIL_FAST`` configure the
-  resilience layer (see :class:`RunOptions`).
+  resilience layer (see :class:`RunOptions`);
+* ``REPRO_WATCHDOG`` tunes process-engine supervision — hang deadlines
+  and pool respawn/redrive bounds (see :class:`WatchdogPolicy`).
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-from .cache import (CacheStats, ResultCache, TMP_GRACE_SECONDS,
-                    default_cache_dir)
+from .cache import (CacheStats, LOCK_GRACE_SECONDS, ResultCache,
+                    TMP_GRACE_SECONDS, default_cache_dir)
 from .executor import ENGINE_MODES, CellRecord, SweepEngine, SweepReport
 from .fingerprint import (
     CONSTANTS_VERSION,
@@ -33,6 +35,7 @@ from .fingerprint import (
     fingerprint_payload,
 )
 from .options import RetryPolicy, RunOptions
+from .watchdog import WatchdogPolicy
 from .worker import CellTask, RunPayload, execute_cell_payload
 
 __all__ = [
@@ -40,6 +43,8 @@ __all__ = [
     "ResultCache",
     "default_cache_dir",
     "TMP_GRACE_SECONDS",
+    "LOCK_GRACE_SECONDS",
+    "WatchdogPolicy",
     "CellRecord",
     "CellTask",
     "ENGINE_MODES",

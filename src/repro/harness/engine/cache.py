@@ -28,14 +28,28 @@ A writer killed between ``mkstemp`` and ``os.replace`` leaves an
 orphaned ``*.tmp`` file; :meth:`ResultCache.clear`, ``repro fsck`` and
 :meth:`ResultCache.disk_stats` all account for those.  Cleanup only
 touches temp files older than :data:`TMP_GRACE_SECONDS`, so it cannot
-unlink another worker's in-flight temp file.
+unlink another worker's in-flight temp file.  Lock sidecars abandoned
+by SIGKILL'd workers are reaped the same way, behind the
+:data:`LOCK_GRACE_SECONDS` age grace (``flock`` locks die with their
+holder, so a *stale* sidecar is pure litter — but removing a *live*
+one would hand two processes different inodes for the same digest).
+
+Disk pressure: the cache is an accelerator, never a correctness
+dependency, so a full disk must not kill a campaign.  An ``ENOSPC`` /
+``EDQUOT`` during :meth:`ResultCache.put` triggers a best-effort
+:meth:`ResultCache.reclaim_space` (aged temp orphans + stale locks) and
+one retry; if the store is still full the cache flips into *read-only
+degraded mode* — reads keep serving, every further store is counted and
+skipped, and the campaign recomputes what it cannot cache.
 """
 
 from __future__ import annotations
 
 import contextlib
+import errno
 import json
 import os
+import sys
 import tempfile
 import threading
 import time
@@ -47,6 +61,7 @@ try:
 except ImportError:  # pragma: no cover - non-POSIX
     fcntl = None  # type: ignore[assignment]
 
+from ...chaos.plan import chaos_strike
 from ...core.types import Precision
 from ...errors import CacheError
 from ...ioutil import content_digest
@@ -59,13 +74,18 @@ from ..results import Measurement
 from .fingerprint import CONSTANTS_VERSION
 
 __all__ = ["CacheStats", "ResultCache", "default_cache_dir",
-           "TMP_GRACE_SECONDS"]
+           "TMP_GRACE_SECONDS", "LOCK_GRACE_SECONDS"]
 
 #: Minimum age before an orphaned ``*.tmp`` file may be unlinked by
 #: cleanup (:meth:`ResultCache.clear`, ``repro fsck``).  A concurrent
 #: worker's in-flight temp file is at most milliseconds old; anything
 #: past this window belongs to a writer that died mid-``put``.
 TMP_GRACE_SECONDS = 60.0
+
+#: Same age grace for ``*.lock`` sidecars: a live writer holds its lock
+#: for milliseconds, so a sidecar this old belongs to a worker that was
+#: SIGKILL'd mid-``put`` (the kernel released the ``flock`` with it).
+LOCK_GRACE_SECONDS = 60.0
 
 
 def default_cache_dir() -> str:
@@ -116,6 +136,12 @@ class ResultCache:
         self.root = root or default_cache_dir()
         self.stats = CacheStats()
         self._io_lock = threading.Lock()
+        #: Degraded mode: a full disk flips the store read-only rather
+        #: than crashing the campaign (reads keep serving).
+        self.read_only = False
+        self.pressure_reason = ""
+        self._pressure_lock = threading.Lock()
+        self._pressure = {"enospc": 0, "skipped_puts": 0, "reclaimed": 0}
 
     # -- paths ------------------------------------------------------------
 
@@ -207,7 +233,16 @@ class ResultCache:
         discarded (both raced the same pure cell, so the payloads agree)
         and the method returns ``False``.  Returns ``True`` when this
         call's entry is the one on disk.
+
+        Disk pressure never propagates: ``ENOSPC``/``EDQUOT`` triggers
+        one :meth:`reclaim_space` + retry, then flips the store into
+        read-only degraded mode (skipped stores counted, reads still
+        served) and returns ``False``.  Other ``OSError``\\ s raise.
         """
+        if self.read_only:
+            with self._pressure_lock:
+                self._pressure["skipped_puts"] += 1
+            return False
         path = self._path(fingerprint)
         payload = measurement_to_dict(measurement)
         entry = {
@@ -219,6 +254,31 @@ class ResultCache:
             "digest": content_digest(payload),
         }
         directory = os.path.dirname(path)
+        try:
+            stored = self._write_entry(path, directory, entry, fingerprint)
+        except OSError as exc:
+            if exc.errno not in (errno.ENOSPC, errno.EDQUOT):
+                raise
+            self._note_pressure(exc)
+            self.reclaim_space()
+            try:
+                stored = self._write_entry(path, directory, entry,
+                                           fingerprint)
+            except OSError as retry_exc:
+                if retry_exc.errno not in (errno.ENOSPC, errno.EDQUOT):
+                    raise
+                self._note_pressure(retry_exc, flip=True)
+                return False
+        if stored:
+            self.stats.record(stores=1)
+        return stored
+
+    def _write_entry(self, path: str, directory: str, entry: Dict[str, Any],
+                     fingerprint: str) -> bool:
+        # One atomic CAS write attempt; OSErrors propagate to put()'s
+        # pressure handling.  Chaos strike point "cache-put": an armed
+        # plan simulates a full disk here by raising ENOSPC.
+        chaos_strike("cache-put", fingerprint)
         os.makedirs(directory, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
         try:
@@ -236,8 +296,27 @@ class ResultCache:
             except OSError:
                 pass
             raise
-        self.stats.record(stores=1)
         return True
+
+    def _note_pressure(self, exc: OSError, flip: bool = False) -> None:
+        with self._pressure_lock:
+            self._pressure["enospc"] += 1
+            if flip and not self.read_only:
+                self.read_only = True
+                self.pressure_reason = exc.strerror or str(exc)
+                print(f"repro: cache: disk pressure ({self.pressure_reason});"
+                      " store is now read-only — reads still serve, new"
+                      " results recompute instead of caching",
+                      file=sys.stderr)
+
+    def pressure_snapshot(self) -> Dict[str, Any]:
+        """Point-in-time disk-pressure state and counters."""
+        with self._pressure_lock:
+            out: Dict[str, Any] = dict(self._pressure)
+            out["read_only"] = self.read_only
+            if self.pressure_reason:
+                out["reason"] = self.pressure_reason
+            return out
 
     def _evict(self, path: str) -> None:
         """Remove a bad entry — unless a concurrent writer already
@@ -258,11 +337,14 @@ class ResultCache:
     # -- maintenance ------------------------------------------------------
 
     def clear(self) -> int:
-        """Delete every entry (plus lock sidecars and *aged* orphaned
+        """Delete every entry (plus *aged* lock sidecars and orphaned
         temp files); returns how many *entries* were removed.
 
-        Temp files younger than :data:`TMP_GRACE_SECONDS` are left alone:
-        they may be another worker's in-flight write.
+        Temp files younger than :data:`TMP_GRACE_SECONDS` and lock
+        sidecars younger than :data:`LOCK_GRACE_SECONDS` are left
+        alone: they may belong to another worker's in-flight write
+        (unlinking a *held* lock file would hand the next locker a
+        different inode — two owners for one digest).
         """
         removed = 0
         for path in self._entry_paths():
@@ -272,11 +354,31 @@ class ResultCache:
             except OSError:
                 pass
         for extra in list(self.orphan_tmp_paths(
-                min_age_s=TMP_GRACE_SECONDS)) + list(self._lock_paths()):
+                min_age_s=TMP_GRACE_SECONDS)) + list(self.stale_lock_paths()):
             try:
                 os.unlink(extra)
             except OSError:
                 pass
+        return removed
+
+    def reclaim_space(self) -> int:
+        """Best-effort space recovery under disk pressure.
+
+        Unlinks aged temp orphans and stale lock sidecars — the only
+        store contents that are pure litter — and returns how many files
+        were removed.  Called automatically by :meth:`put` on the first
+        ``ENOSPC`` before the store degrades to read-only.
+        """
+        removed = 0
+        for path in list(self.orphan_tmp_paths(
+                min_age_s=TMP_GRACE_SECONDS)) + list(self.stale_lock_paths()):
+            try:
+                os.unlink(path)
+                removed += 1
+            except OSError:
+                pass
+        with self._pressure_lock:
+            self._pressure["reclaimed"] += removed
         return removed
 
     def _shard_dirs(self):
@@ -325,6 +427,24 @@ class ResultCache:
                 if name.endswith(".lock"):
                     yield os.path.join(shard_dir, name)
 
+    def stale_lock_paths(self, min_age_s: float = LOCK_GRACE_SECONDS):
+        """Lock sidecars abandoned by workers killed mid-:meth:`put`.
+
+        Only sidecars at least ``min_age_s`` old (by mtime) are yielded,
+        mirroring :meth:`orphan_tmp_paths`'s grace: a live writer holds
+        its lock for milliseconds, so anything past the window belongs
+        to a SIGKILL'd worker.  Pass 0 to list every sidecar.
+        """
+        now = time.time()
+        for path in self._lock_paths():
+            if min_age_s > 0.0:
+                try:
+                    if now - os.path.getmtime(path) < min_age_s:
+                        continue
+                except OSError:
+                    continue
+            yield path
+
     def disk_stats(self) -> Dict[str, int]:
         """Entry count, total bytes, and orphaned temp files on disk."""
         entries = 0
@@ -357,4 +477,11 @@ class ResultCache:
         if disk["tmp_orphans"]:
             lines.insert(3, f"tmp orphans: {disk['tmp_orphans']} "
                             "(writers killed mid-put; run `repro fsck`)")
+        if self.read_only:
+            pressure = self.pressure_snapshot()
+            lines.append(
+                f"DEGRADED: read-only under disk pressure "
+                f"({self.pressure_reason}); {pressure['skipped_puts']} "
+                f"store(s) skipped, {pressure['reclaimed']} file(s) "
+                f"reclaimed")
         return "\n".join(lines)

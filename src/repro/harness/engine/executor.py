@@ -57,8 +57,11 @@ from __future__ import annotations
 import contextlib
 import multiprocessing
 import os
+import sys
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
@@ -68,6 +71,7 @@ from ...errors import (
     ConfigError,
     RetryExhaustedError,
     RunInterrupted,
+    WorkerLost,
 )
 from ...models.base import ProgrammingModel
 from ...models.registry import model_by_name
@@ -75,7 +79,7 @@ from ...sim.faults import FaultInjector
 from ...trace.events import EventKind
 from ...trace.profiler import Profiler
 from ..experiment import Experiment
-from ..export import measurement_from_dict
+from ..export import measurement_from_dict, measurement_to_dict
 from ..health import (
     BreakerState,
     BreakerTransition,
@@ -87,7 +91,13 @@ from ..results import Measurement, ResultSet
 from .cache import ResultCache
 from .fingerprint import campaign_fingerprint, cell_fingerprint
 from .options import RunOptions
-from .worker import CellTask, RunPayload, attempt_cell, execute_cell_payload
+from .worker import (
+    CellTask,
+    RunPayload,
+    attempt_cell,
+    execute_cell_payload,
+    failed_measurement,
+)
 
 __all__ = ["CellRecord", "SweepReport", "SweepEngine", "ENGINE_MODES"]
 
@@ -151,6 +161,11 @@ class SweepReport:
     run_id: str = ""
     #: Breaker transition history, in cell order (breaker runs only).
     transitions: List[BreakerTransition] = field(default_factory=list)
+    #: Worker-pool kill/rebuild cycles the watchdog performed (process
+    #: engine only; 0 on a healthy run).
+    respawns: int = 0
+    #: Cells the watchdog resubmitted after a pool crash or hang.
+    redrives: int = 0
 
     @property
     def cached_cells(self) -> int:
@@ -242,6 +257,9 @@ class SweepReport:
             lines.append(
                 "cache: " + ", ".join(f"{v} {k}"
                                       for k, v in self.cache_stats.items()))
+        if self.respawns or self.redrives:
+            lines.append(f"watchdog: {self.respawns} pool respawn(s), "
+                         f"{self.redrives} cell redrive(s)")
         for cell in self.cells:
             origin = {"cached": "cache", "failed": "FAILED",
                       "replayed": "replay",
@@ -582,9 +600,9 @@ class SweepEngine:
             i = result["index"]
             err = result.get("error")
             if err is not None:
-                err_cls = (RetryExhaustedError
-                           if err["type"] == "RetryExhaustedError"
-                           else CellFailure)
+                err_cls = {"RetryExhaustedError": RetryExhaustedError,
+                           "WorkerLost": WorkerLost}.get(
+                               err["type"], CellFailure)
                 raise err_cls(err["message"], cell=err["cell"],
                               attempts=err["attempts"], reason=err["reason"])
             payload = result["measurement"]
@@ -625,7 +643,20 @@ class SweepEngine:
                 status="failed" if m.failed else "ok",
                 attempts=result["attempts"], faults=result["faults"])
 
+        watchdog_counts = {"respawns": 0, "redrives": 0}
+
         def drive_process() -> None:
+            # Supervised fan-out: the parent is the watchdog.  It waits
+            # on the *oldest* outstanding cell (submit order = cell
+            # order, so that wait doubles as the deterministic merge);
+            # a worker that vanishes (SIGKILL, segfault — surfaced as
+            # BrokenProcessPool on every pending future at once) or
+            # hangs past the policy deadline gets the whole pool killed
+            # and rebuilt, finished results harvested, and unfinished
+            # cells resubmitted.  A cell that exhausts its redrive
+            # budget fails through the normal degraded-cell path, so
+            # the journal record stream stays deterministic either way.
+            wd = opts.watchdog
             payload = RunPayload(
                 experiment=experiment.to_dict(), faults=opts.faults,
                 retry=opts.retry, fail_fast=opts.fail_fast,
@@ -634,31 +665,129 @@ class SweepEngine:
                             else None))
             pool = ProcessPoolExecutor(max_workers=workers,
                                        mp_context=self._mp_context())
-            pending: Dict = {}
+            outstanding: Dict[int, object] = {}  # index -> future
+            ready: Dict[int, dict] = {}          # index -> result dict
+            drives: Dict[int, int] = {}          # index -> submissions
+
+            def submit(i: int) -> None:
+                model, shape = cells[i]
+                starts.setdefault(i, time.perf_counter() - run_start)
+                drives[i] = drives.get(i, 0) + 1
+                task = CellTask(index=i, model=model.name,
+                                shape=(shape.m, shape.n, shape.k),
+                                fingerprint=fingerprints[i])
+                outstanding[i] = pool.submit(execute_cell_payload,
+                                             payload, task)
+
+            def harvest() -> None:
+                # Results that landed before the pool broke are still
+                # good; keeping them means recovery never re-runs a
+                # finished cell.
+                for j, future in list(outstanding.items()):
+                    if not future.done() or future.cancelled():
+                        continue
+                    try:
+                        ready[j] = future.result(timeout=0)
+                    except Exception:
+                        continue
+                    del outstanding[j]
+
+            def lost_result(i: int, why: str) -> dict:
+                # Synthetic worker result for a cell the watchdog gave
+                # up on; flows through absorb() like any real failure.
+                model, shape = cells[i]
+                cell = f"{model.name}@{shape}"
+                attempts = drives.get(i, 1)
+                if opts.fail_fast:
+                    return {"index": i,
+                            "error": {"type": "WorkerLost",
+                                      "message": f"cell {cell}: {why}",
+                                      "cell": cell, "attempts": attempts,
+                                      "reason": why}}
+                m = failed_measurement(model, shape, experiment, why)
+                return {"index": i, "error": None,
+                        "measurement": measurement_to_dict(m),
+                        "attempts": attempts, "faults": 0, "wall_s": 0.0,
+                        "stored": False, "events": None}
+
+            def recover(why: str) -> None:
+                nonlocal pool
+                watchdog_counts["respawns"] += 1
+                harvest()
+                # kill(), not terminate(): a hung worker may be blocked
+                # in native code where SIGTERM never gets a look-in.
+                for proc in list(dict(getattr(pool, "_processes", None)
+                                      or {}).values()):
+                    with contextlib.suppress(Exception):
+                        proc.kill()
+                pool.shutdown(wait=False, cancel_futures=True)
+                if watchdog_counts["respawns"] > wd.max_respawns:
+                    print(f"repro: watchdog: {why}; respawn budget "
+                          f"({wd.max_respawns}) exhausted, failing "
+                          f"{len(outstanding)} unfinished cell(s)",
+                          file=sys.stderr)
+                    for j in sorted(outstanding):
+                        ready[j] = lost_result(
+                            j, f"{why}; worker-pool respawn budget "
+                               f"({wd.max_respawns}) exhausted")
+                    outstanding.clear()
+                    return
+                print(f"repro: watchdog: {why}; respawning worker pool "
+                      f"({watchdog_counts['respawns']}/{wd.max_respawns})",
+                      file=sys.stderr)
+                pool = ProcessPoolExecutor(max_workers=workers,
+                                           mp_context=self._mp_context())
+                resubmit = sorted(outstanding)
+                outstanding.clear()
+                for j in resubmit:
+                    if drives.get(j, 0) > wd.max_redrives:
+                        ready[j] = lost_result(
+                            j, f"{why}; cell re-driven "
+                               f"{drives[j] - 1} time(s) without "
+                               f"completing (redrive budget "
+                               f"{wd.max_redrives})")
+                    else:
+                        watchdog_counts["redrives"] += 1
+                        submit(j)
+
+            timeout = wd.cell_timeout_s if wd.enabled else None
             try:
                 for i in misses:
-                    model, shape = cells[i]
-                    starts[i] = time.perf_counter() - run_start
-                    task = CellTask(index=i, model=model.name,
-                                    shape=(shape.m, shape.n, shape.k),
-                                    fingerprint=fingerprints[i])
-                    pending[pool.submit(execute_cell_payload, payload,
-                                        task)] = i
-                for future in list(pending):  # submit order = cell order
-                    result = future.result()
-                    del pending[future]
+                    submit(i)
+                pos = 0
+                while pos < len(misses):  # submit order = cell order
+                    i = misses[pos]
+                    if i in ready:
+                        absorb(ready.pop(i))
+                        pos += 1
+                        continue
+                    try:
+                        result = outstanding[i].result(timeout=timeout)
+                    except FuturesTimeoutError:
+                        recover(f"hung worker: no result for cell "
+                                f"{pos + 1}/{len(misses)} within "
+                                f"{wd.cell_timeout_s:g}s")
+                        continue
+                    except BrokenProcessPool:
+                        if not wd.enabled:
+                            raise
+                        recover("worker lost (killed or crashed)")
+                        continue
+                    del outstanding[i]
                     absorb(result)
+                    pos += 1
             except KeyboardInterrupt:
                 # Drain before the journal closes: cancel whatever never
                 # started, wait out the in-flight workers, and absorb
                 # (and journal) their results so close_run('interrupted')
                 # counts them as completed.
-                for future in list(pending):
+                for j, future in list(outstanding.items()):
                     if future.cancel():
-                        del pending[future]
-                for future in list(pending):
+                        del outstanding[j]
+                for j in sorted(set(outstanding) | set(ready)):
                     with contextlib.suppress(Exception):
-                        absorb(future.result())
+                        absorb(ready.pop(j) if j in ready
+                               else outstanding[j].result())
                 raise
             finally:
                 pool.shutdown(wait=True, cancel_futures=True)
@@ -700,6 +829,8 @@ class SweepEngine:
             run_id=run_id,
             transitions=(list(health.transitions) if health is not None
                          else []),
+            respawns=watchdog_counts["respawns"],
+            redrives=watchdog_counts["redrives"],
         )
         return results
 

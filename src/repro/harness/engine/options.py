@@ -20,6 +20,7 @@ from ...errors import ConfigError
 from ...sim.faults import FaultConfig
 from ...trace.profiler import Profiler
 from ..health import BreakerPolicy, FallbackLadder
+from .watchdog import WatchdogPolicy
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ...harness.journal import RunJournal
@@ -103,6 +104,10 @@ class RunOptions:
     #: Fingerprint -> per-cell health metadata from a prior run's journal
     #: (breaker resumes replay these through the lane state machines).
     replay_meta: Optional[Mapping[str, Mapping[str, object]]] = None
+    #: Process-engine supervision (hang deadlines, pool respawn bounds).
+    #: Parent-side scaffolding only: never fingerprinted or journaled,
+    #: so the policy cannot change result bytes.
+    watchdog: WatchdogPolicy = field(default_factory=WatchdogPolicy)
 
     def __post_init__(self) -> None:
         if self.jobs is not None and self.jobs < 1:
@@ -112,7 +117,7 @@ class RunOptions:
     def from_env(cls) -> "RunOptions":
         """Options from ``REPRO_FAULTS`` / ``REPRO_RETRIES`` /
         ``REPRO_BACKOFF`` / ``REPRO_MAX_CELL_SECONDS`` / ``REPRO_FAIL_FAST``
-        / ``REPRO_BREAKER`` / ``REPRO_FALLBACK``.
+        / ``REPRO_BREAKER`` / ``REPRO_FALLBACK`` / ``REPRO_WATCHDOG``.
 
         Cache and job-count environment knobs stay with
         :meth:`SweepEngine.from_env`; this covers the resilience layer so
@@ -142,12 +147,16 @@ class RunOptions:
         fallback_spec = cfg.get("REPRO_FALLBACK")
         fallback = (FallbackLadder.parse(fallback_spec) if fallback_spec
                     else None)
+        watchdog_spec = cfg.get("REPRO_WATCHDOG")
+        watchdog = (WatchdogPolicy.parse(watchdog_spec) if watchdog_spec
+                    else WatchdogPolicy())
         return cls(
             retry=retry,
             faults=faults,
             fail_fast=cfg.get_bool("REPRO_FAIL_FAST", False),
             breaker=breaker,
             fallback=fallback,
+            watchdog=watchdog,
         )
 
     def with_profiler(self, profiler: Optional[Profiler]) -> "RunOptions":

@@ -29,6 +29,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
+from ...chaos.plan import chaos_strike
 from ...core.types import MatrixShape
 from ...errors import CellFailure, ReproError, RetryExhaustedError
 from ...models.base import ProgrammingModel
@@ -175,6 +176,10 @@ def execute_cell_payload(payload: RunPayload, task: CellTask) -> Dict[str, Any]:
     experiment = Experiment.from_dict(payload.experiment)
     model = model_by_name(task.model)
     shape = MatrixShape(*task.shape)
+    # Chaos strike point "worker-cell": an armed plan can SIGKILL or
+    # hang this worker here, mid-cell — the uncooperative failures the
+    # parent-side watchdog exists to recover from.
+    chaos_strike("worker-cell", f"{task.model}@{shape}")
     injector = (FaultInjector(payload.faults) if payload.faults.enabled
                 else None)
     cell_prof = Profiler() if payload.traced else None

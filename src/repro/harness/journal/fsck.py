@@ -36,7 +36,7 @@ from typing import Iterable, List, Optional
 from ...errors import JournalError
 from ...ioutil import content_digest, read_json_artifact
 from ..export import SCHEMA_VERSION
-from ..engine.cache import TMP_GRACE_SECONDS, ResultCache
+from ..engine.cache import LOCK_GRACE_SECONDS, TMP_GRACE_SECONDS, ResultCache
 from ..engine.fingerprint import CONSTANTS_VERSION
 from .journal import load_journal, _truncate_to_valid_prefix
 from .registry import RunRegistry
@@ -71,6 +71,8 @@ class FsckReport:
     journals: int = 0
     artifacts: int = 0
     tmp_removed: int = 0
+    #: Stale ``*.lock`` sidecars reaped (SIGKILL'd writers; age-graced).
+    locks_removed: int = 0
     #: Journals owned by a live process (ACTIVE sidecar) — skipped, not
     #: findings: an in-flight journal legitimately ends mid-record.
     active_skipped: int = 0
@@ -186,6 +188,18 @@ def _fsck_cache(cache: ResultCache, report: FsckReport) -> None:
             report.tmp_removed += 1
             report.add("warning", "tmp-orphan", tmp,
                        "writer died mid-put", "removed")
+        except OSError:
+            pass
+    # Same age-grace logic for lock sidecars: a SIGKILL'd worker's flock
+    # died with it, so a stale sidecar can never wedge a digest — but a
+    # younger one may be held right now, and unlinking a *held* lock
+    # file would give the next locker a different inode.
+    for lock in list(cache.stale_lock_paths(min_age_s=LOCK_GRACE_SECONDS)):
+        try:
+            os.unlink(lock)
+            report.locks_removed += 1
+            report.add("warning", "lock-orphan", lock,
+                       "writer died holding its digest lock", "removed")
         except OSError:
             pass
 

@@ -33,6 +33,18 @@ measurement (the same schema the result cache and exporters use), a
 resumed run can replay completed cells *byte-identically* without
 touching the simulator — and without depending on the cache, which may
 be disabled, relocated or since evicted.
+
+Write-failure policy (disk full, quota): the journal is a durability
+aid, never a correctness dependency of the *running* process — results
+live in memory until the run returns them.  So an ``OSError`` during
+:meth:`RunJournal.append` flips the journal into *degraded* mode: the
+failed record (and every later one) is dropped and counted, the file
+handle is closed, one warning lands on stderr, and the run continues
+to completion.  What is lost is exactly resumability — the on-disk
+prefix stays a valid journal (the torn-tail truncation handles any
+half-written line), but a crash after degradation re-executes the
+un-journaled cells.  ``degraded`` / ``dropped_appends`` expose the
+state to callers; ``repro fsck`` sees a clean, merely-short journal.
 """
 
 from __future__ import annotations
@@ -40,11 +52,13 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import sys
 import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
+from ...chaos.plan import chaos_strike
 from ...core.types import Precision
 from ...errors import JournalError
 from ...ioutil import canonical_json
@@ -82,6 +96,9 @@ class RunJournal:
         self._lock = threading.Lock()
         self._fh = None
         self._finalized = False
+        self._degraded = False
+        self._degrade_reason = ""
+        self._dropped_appends = 0
 
     # -- constructors -----------------------------------------------------
 
@@ -109,19 +126,66 @@ class RunJournal:
     # -- appends ----------------------------------------------------------
 
     def append(self, rtype: str, **data: Any) -> None:
-        """Durably append one record (write + flush + fsync)."""
+        """Durably append one record (write + flush + fsync).
+
+        A write failure (disk full, quota) degrades the journal instead
+        of crashing the run: this and every later record are dropped
+        and counted, the on-disk prefix stays valid, and the run merely
+        loses resumability (see the module docstring for the policy).
+        """
         with self._lock:
             if self._finalized:
+                return
+            if self._degraded:
+                self._dropped_appends += 1
                 return
             self._seq += 1
             record = {"seq": self._seq, "type": rtype, "data": data,
                       "chk": _record_checksum(self._seq, rtype, data)}
-            if self._fh is None:
-                self._fh = open(self.path, "a")
-            self._fh.write(json.dumps(record, sort_keys=True,
-                                      separators=(",", ":")) + "\n")
-            self._fh.flush()
-            os.fsync(self._fh.fileno())
+            try:
+                # Chaos strike point "journal-append": an armed plan can
+                # simulate the disk filling mid-campaign right here.
+                chaos_strike("journal-append", rtype)
+                if self._fh is None:
+                    self._fh = open(self.path, "a")
+                self._fh.write(json.dumps(record, sort_keys=True,
+                                          separators=(",", ":")) + "\n")
+                self._fh.flush()
+                os.fsync(self._fh.fileno())
+            except OSError as exc:
+                # The record never became durable; rewind the sequence
+                # so state reflects exactly the on-disk valid prefix.
+                self._seq -= 1
+                self._degraded = True
+                self._degrade_reason = str(exc)
+                self._dropped_appends = 1
+                if self._fh is not None:
+                    with_fh = self._fh
+                    self._fh = None
+                    try:
+                        with_fh.close()
+                    except OSError:
+                        pass
+                print(f"repro: journal {self.run_id}: write failed "
+                      f"({exc}); journaling disabled for the rest of "
+                      f"this run — results are unaffected, but cells "
+                      f"from here on would re-execute on resume",
+                      file=sys.stderr)
+
+    @property
+    def degraded(self) -> bool:
+        """Whether a write failure disabled journaling for this run."""
+        return self._degraded
+
+    @property
+    def degrade_reason(self) -> str:
+        """The error that degraded the journal ("" while healthy)."""
+        return self._degrade_reason
+
+    @property
+    def dropped_appends(self) -> int:
+        """Records dropped since the journal degraded."""
+        return self._dropped_appends
 
     def open_run(self, manifest: Dict[str, Any], campaign: str,
                  options: Dict[str, Any],

@@ -161,6 +161,19 @@ class RunRegistry:
             return None
         return info
 
+    def heartbeat_age(self, run_id: str) -> Optional[float]:
+        """Seconds since ``run_id``'s live owner last heartbeat.
+
+        ``None`` when the run has no live ACTIVE sidecar (not running,
+        dead owner, or already pruned).  The age is how ``repro status``
+        tells a healthy campaign from one whose owner stopped making
+        progress without dying.
+        """
+        info = self.active_info(run_id)
+        if info is None:
+            return None
+        return max(0.0, time.time() - float(info.get("heartbeat", 0.0)))
+
     # -- enumeration ------------------------------------------------------
 
     def run_ids(self) -> List[str]:

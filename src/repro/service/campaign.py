@@ -39,8 +39,11 @@ from .spec import CampaignSpec
 __all__ = ["CAMPAIGN_STATES", "Campaign", "CampaignExecution"]
 
 #: Service-lifecycle states a campaign walks through, in order (FAILED
-#: replaces DONE when a fail-fast cell aborts it).
-CAMPAIGN_STATES = ("queued", "admitted", "running", "done", "failed")
+#: replaces DONE when a fail-fast cell aborts it; QUARANTINED is the
+#: supervisor's terminal state for a campaign that kept crashing the
+#: stepping thread past its restart budget).
+CAMPAIGN_STATES = ("queued", "admitted", "running", "done", "failed",
+                   "quarantined")
 
 
 @dataclass
@@ -53,6 +56,9 @@ class Campaign:
     error: str = ""
     #: Whether this object was rebuilt from a journal after a restart.
     recovered: bool = False
+    #: Crash-supervision restarts this service-life (bounded; exceeding
+    #: the budget quarantines the campaign instead of requeueing it).
+    restarts: int = 0
     stats: Dict[str, int] = field(default_factory=lambda: {
         "executed": 0, "cached": 0, "deduped": 0, "replayed": 0,
         "failed": 0, "substituted": 0})
@@ -75,6 +81,8 @@ class Campaign:
             out["error"] = self.error
         if self.recovered:
             out["recovered"] = True
+        if self.restarts:
+            out["restarts"] = self.restarts
         return out
 
 

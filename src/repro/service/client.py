@@ -139,12 +139,17 @@ class ServiceClient:
 
     def wait(self, campaign_id: str, timeout: float = 300.0,
              poll_s: float = 0.05) -> Dict[str, Any]:
-        """Block until a campaign reaches ``done``/``failed``."""
+        """Block until a campaign reaches a terminal state.
+
+        Terminal means ``done``, ``failed`` or ``quarantined`` (the
+        supervisor exhausted its restart budget) — waiting on a
+        quarantined campaign would otherwise spin until timeout.
+        """
         import time
         deadline = time.monotonic() + timeout
         while True:
             row = self.campaign(campaign_id)
-            if row.get("state") in ("done", "failed"):
+            if row.get("state") in ("done", "failed", "quarantined"):
                 return row
             if time.monotonic() >= deadline:
                 raise ServiceError(

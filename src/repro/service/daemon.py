@@ -17,7 +17,9 @@ GET    ``/v1/campaigns/<id>``         one campaign's status row
 GET    ``/v1/campaigns/<id>/report``  finished campaign's report;
                                       ``?format=text|json`` (default text)
 GET    ``/v1/status``                 scheduler/tenant/dedup/cache snapshot
-GET    ``/v1/ping``                   liveness probe ``{"ok": true, "pid": N}``
+GET    ``/v1/ping``                   liveness/readiness probe: ``{"ok":
+                                      true, "pid": N, "state": "ready" |
+                                      "degraded" | "draining", "uptime_s"}``
 POST   ``/v1/shutdown``               graceful stop (journals stay resumable)
 ====== ============================== ===========================================
 
@@ -34,6 +36,7 @@ import os
 import signal
 import socket
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, HTTPServer
 from socketserver import ThreadingMixIn
 from typing import Any, Dict, Optional
@@ -137,7 +140,7 @@ class _Handler(BaseHTTPRequestHandler):
         parts = [p for p in url.path.split("/") if p]
         try:
             if parts == ["v1", "ping"]:
-                self._send_json(200, {"ok": True, "pid": os.getpid()})
+                self._send_json(200, daemon.ping_payload())
             elif parts == ["v1", "status"]:
                 self._send_json(200, service.status_payload())
             elif parts == ["v1", "campaigns"]:
@@ -230,6 +233,22 @@ class CampaignDaemon:
             probe.close()
 
     # -- lifecycle --------------------------------------------------------
+
+    def ping_payload(self) -> Dict[str, Any]:
+        """Liveness *and* readiness: the ``/v1/ping`` document.
+
+        ``ok`` is pure liveness (the process answered).  ``state``
+        grades readiness: ``"ready"`` (serving, healthy),
+        ``"degraded"`` (serving, but a campaign is quarantined or the
+        cache went read-only under disk pressure) or ``"draining"``
+        (shutdown requested, finishing the current cell).
+        """
+        if self._stop.is_set():
+            state = "draining"
+        else:
+            state = self.service.health_state()
+        return {"ok": True, "pid": os.getpid(), "state": state,
+                "uptime_s": round(time.time() - self.service.started_at, 3)}
 
     def wake(self) -> None:
         """Nudge the scheduler loop (a submission just landed)."""

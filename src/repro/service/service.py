@@ -32,9 +32,12 @@ thread.
 from __future__ import annotations
 
 import os
+import sys
 import threading
+import time
 from typing import Any, Dict, List, Optional
 
+from ..chaos.plan import chaos_strike
 from ..errors import JournalError, ServiceError
 from ..harness.engine.cache import ResultCache
 from ..harness.engine.fingerprint import campaign_fingerprint, cell_fingerprint
@@ -48,10 +51,19 @@ from .campaign import Campaign, CampaignExecution
 from .scheduler import AdmissionPolicy, FairShareScheduler
 from .spec import CampaignSpec, spec_from_dict, spec_to_dict
 
-__all__ = ["CampaignService"]
+__all__ = ["CampaignService", "MAX_CAMPAIGN_RESTARTS",
+           "STALE_HEARTBEAT_SECONDS"]
 
 #: Heartbeat the ACTIVE sidecar of the stepping campaign every N cells.
 _HEARTBEAT_EVERY = 16
+
+#: Crash-supervision restarts one campaign may consume before the
+#: supervisor quarantines it instead of requeueing it yet again.
+MAX_CAMPAIGN_RESTARTS = 2
+
+#: Heartbeat age past which ``repro status`` flags a campaign as STALE
+#: (its owner stopped making progress without dying).
+STALE_HEARTBEAT_SECONDS = 300.0
 
 
 class CampaignService:
@@ -73,6 +85,10 @@ class CampaignService:
         self.dedup_hits = 0
         self._lock = threading.RLock()
         self._steps = 0
+        self.started_at = time.time()
+        #: Crash-supervision counters across every campaign this life.
+        self.restarts_total = 0
+        self.quarantined_total = 0
 
     # -- shared surface for CampaignExecution ------------------------------
 
@@ -188,7 +204,7 @@ class CampaignService:
                 meta = state.service_meta
                 if not meta:
                     continue  # a plain `repro run` journal
-                if meta.get("state") in ("done", "failed"):
+                if meta.get("state") in ("done", "failed", "quarantined"):
                     continue
                 if state.status == "complete":
                     continue
@@ -225,6 +241,14 @@ class CampaignService:
         Returns ``False`` when no campaign has work queued.  The grant
         is charged to the campaign's tenant whatever happened in it —
         replayed, cached and failed cells all consumed the slot.
+
+        Supervision boundary: an exception escaping the campaign's cell
+        step is a *crash* (fail-fast cell failures are already handled
+        inside ``CampaignExecution.step``), and a crashing campaign
+        must not take the daemon's scheduler loop down with it.  The
+        campaign is rebuilt from its journal and requeued — up to
+        :data:`MAX_CAMPAIGN_RESTARTS` times, after which it is
+        quarantined — while every other tenant keeps running.
         """
         with self._lock:
             campaign_id = self.scheduler.select()
@@ -233,7 +257,14 @@ class CampaignService:
             campaign = self.campaigns[campaign_id]
             if campaign.state == "queued":
                 self.registry.mark_active(campaign_id, pid=os.getpid())
-            more = self._executions[campaign_id].step()
+            # Chaos strike point "daemon-grant": an armed plan can
+            # SIGKILL the whole daemon right here, mid-grant — the
+            # crash :meth:`recover` exists to survive.
+            chaos_strike("daemon-grant", campaign_id)
+            try:
+                more = self._executions[campaign_id].step()
+            except Exception as exc:  # noqa: BLE001 - supervision boundary
+                more = self._supervise_crash(campaign_id, exc)
             self.scheduler.begin(campaign_id)
             self.scheduler.charge(campaign_id)
             self._steps += 1
@@ -243,6 +274,74 @@ class CampaignService:
                 self.scheduler.finish(campaign_id)
                 self.registry.release_active(campaign_id)
             return True
+
+    def _supervise_crash(self, campaign_id: str, exc: Exception) -> bool:
+        # Requeue-or-quarantine: the journal is the truth (the crashed
+        # execution's in-memory state may be arbitrarily corrupted), so
+        # a restart rebuilds the campaign from disk exactly like a
+        # daemon-level recover() — completed cells replay, the record
+        # stream and final report stay byte-identical.
+        campaign = self.campaigns[campaign_id]
+        reason = f"{type(exc).__name__}: {exc}"
+        if campaign.restarts >= MAX_CAMPAIGN_RESTARTS:
+            return self._quarantine(
+                campaign_id,
+                f"{reason} (restart budget {MAX_CAMPAIGN_RESTARTS} spent)")
+        self._executions[campaign_id].journal.close()
+        try:
+            state = self.registry.load(campaign_id)
+            journal = self.registry.reopen(campaign_id)
+        except (JournalError, OSError) as load_exc:
+            return self._quarantine(
+                campaign_id,
+                f"{reason}; journal unreadable on restart: {load_exc}")
+        campaign.restarts += 1
+        self.restarts_total += 1
+        print(f"repro: service: campaign {campaign_id} crashed ({reason}); "
+              f"restarting from its journal "
+              f"({campaign.restarts}/{MAX_CAMPAIGN_RESTARTS})",
+              file=sys.stderr)
+        journal.resume_run(completed=state.done_cells,
+                           total=state.total_cells)
+        journal.campaign_state("queued", tenant=campaign.spec.tenant,
+                               priority=campaign.spec.priority,
+                               restarted=campaign.restarts, error=reason)
+        campaign.state = "queued"
+        campaign.error = reason
+        campaign.cells_total = state.total_cells
+        campaign.cells_done = state.done_cells
+        campaign.results = None
+        self._executions[campaign_id] = CampaignExecution(
+            self, campaign, journal,
+            replay=dict(state.completed),
+            replay_meta=dict(state.outcomes))
+        return True
+
+    def _quarantine(self, campaign_id: str, reason: str) -> bool:
+        # Terminal supervision state: the campaign keeps crashing the
+        # stepping thread, so it is retired as failed and parked where
+        # recover() will not resurrect it — other tenants' campaigns
+        # (and the daemon itself) keep running.
+        campaign = self.campaigns[campaign_id]
+        campaign.state = "quarantined"
+        campaign.error = reason
+        self.quarantined_total += 1
+        journal = self._executions[campaign_id].journal
+        try:
+            journal.campaign_state("quarantined",
+                                   tenant=campaign.spec.tenant,
+                                   priority=campaign.spec.priority,
+                                   error=reason)
+            if not journal.finalized:
+                journal.close_run("failed",
+                                  completed=campaign.cells_done,
+                                  total=campaign.cells_total)
+        except (JournalError, OSError):
+            pass
+        journal.close()
+        print(f"repro: service: campaign {campaign_id} quarantined: "
+              f"{reason}", file=sys.stderr)
+        return False
 
     def run_until_idle(self) -> int:
         """Drive the scheduler until every queued campaign finished."""
@@ -268,7 +367,7 @@ class CampaignService:
         with self._lock:
             for campaign_id, execution in self._executions.items():
                 campaign = self.campaigns[campaign_id]
-                if campaign.state in ("done", "failed"):
+                if campaign.state in ("done", "failed", "quarantined"):
                     continue
                 execution.journal.close()
                 self.registry.release_active(campaign_id)
@@ -311,13 +410,38 @@ class CampaignService:
             results.add(measurement)
         return results
 
-    def status_payload(self) -> Dict[str, Any]:
-        """The ``repro status`` document (stable key order when dumped)."""
+    def health_state(self) -> str:
+        """Service readiness: ``"ready"``, or ``"degraded"`` when a
+        campaign sits in quarantine or the shared cache went read-only
+        under disk pressure — alive and serving, but worth a look."""
         with self._lock:
-            campaigns = [self.campaigns[cid].status_payload()
-                         for cid in sorted(self.campaigns)]
-            return {
+            if self.cache is not None and self.cache.read_only:
+                return "degraded"
+            if any(c.state == "quarantined"
+                   for c in self.campaigns.values()):
+                return "degraded"
+            return "ready"
+
+    def status_payload(self) -> Dict[str, Any]:
+        """The ``repro status`` document (stable key order when dumped).
+
+        Each in-flight campaign row carries its ACTIVE heartbeat age and
+        a ``stale`` flag (:data:`STALE_HEARTBEAT_SECONDS`), so a wedged
+        owner shows up as STALE instead of silently "running".
+        """
+        with self._lock:
+            campaigns = []
+            for cid in sorted(self.campaigns):
+                row = self.campaigns[cid].status_payload()
+                age = self.registry.heartbeat_age(cid)
+                if age is not None:
+                    row["heartbeat_age_s"] = round(age, 3)
+                    row["stale"] = age > STALE_HEARTBEAT_SECONDS
+                campaigns.append(row)
+            payload: Dict[str, Any] = {
                 "pid": os.getpid(),
+                "state": self.health_state(),
+                "uptime_s": round(time.time() - self.started_at, 3),
                 "backlog": self.scheduler.backlog,
                 "tenants": self.scheduler.snapshot(),
                 "campaigns": campaigns,
@@ -325,7 +449,14 @@ class CampaignService:
                     "executed_cells": len(self._origins),
                     "hits": self.dedup_hits,
                 },
+                "supervision": {
+                    "restarts": self.restarts_total,
+                    "quarantined": self.quarantined_total,
+                },
                 "cache": (self.cache.stats.snapshot()
                           if self.cache is not None else {}),
                 "steps": self._steps,
             }
+            if self.cache is not None and self.cache.read_only:
+                payload["cache_pressure"] = self.cache.pressure_snapshot()
+            return payload

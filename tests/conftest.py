@@ -3,11 +3,35 @@
 Every test gets a private runs directory: ``repro run`` journals by
 default, and without this the suite would scatter write-ahead journals
 into the developer's real ``$XDG_CACHE_HOME/repro/runs``.
+
+Every test also runs under a hang guard: the robustness suite
+deliberately wedges workers and daemons, and a recovery bug must fail
+CI with a traceback instead of hanging it until the job-level timeout.
+``faulthandler.dump_traceback_later`` is re-armed per test (the stdlib
+mechanism pytest-timeout wraps), so a test exceeding
+``$REPRO_TEST_TIMEOUT`` seconds (default 300; 0 disables) dumps every
+thread's stack and aborts the run.
 """
 
+import faulthandler
+import os
+
 import pytest
+
+_TEST_TIMEOUT_S = float(os.environ.get("REPRO_TEST_TIMEOUT", "300"))
 
 
 @pytest.fixture(autouse=True)
 def _isolated_runs_dir(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / "runs"))
+
+
+@pytest.fixture(autouse=True)
+def _hang_guard():
+    if _TEST_TIMEOUT_S > 0:
+        faulthandler.dump_traceback_later(_TEST_TIMEOUT_S, exit=True)
+    try:
+        yield
+    finally:
+        if _TEST_TIMEOUT_S > 0:
+            faulthandler.cancel_dump_traceback_later()

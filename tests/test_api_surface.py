@@ -27,6 +27,7 @@ PACKAGES = [
     "repro.harness.health",
     "repro.harness.journal",
     "repro.service",
+    "repro.chaos",
     "repro.ioutil",
 ]
 

@@ -596,6 +596,91 @@ class TestDaemonProcessRestart:
         assert render_result_set(svc.result_set(id_a)) == solo_render(spec_a)
         assert render_result_set(svc.result_set(id_b)) == solo_render(spec_b)
 
+    def test_sigkill_then_restart_finishes_campaigns_byte_identically(
+            self, tmp_path):
+        # Same lifecycle as the SIGTERM test but with `kill -9`: no
+        # graceful stop, no atexit, no journal finalization — the dead
+        # daemon leaves ACTIVE sidecars with its (now dead) pid behind,
+        # and the next life must prune them and finish the campaigns
+        # byte-identically from the journals alone.
+        sock = str(tmp_path / "d.sock")
+        runs_dir = str(tmp_path / "runs")
+        cache_dir = str(tmp_path / "cache")
+        src_dir = os.path.dirname(os.path.dirname(repro.__file__))
+        env = dict(os.environ,
+                   REPRO_RUNS_DIR=runs_dir, REPRO_CACHE_DIR=cache_dir,
+                   PYTHONPATH=src_dir + os.pathsep
+                   + os.environ.get("PYTHONPATH", ""))
+
+        def start_daemon():
+            return subprocess.Popen(
+                [sys.executable, "-m", "repro", "serve", "--socket", sock],
+                env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+
+        spec_a = CampaignSpec(
+            experiment=small_exp(exp_id="kill9-a",
+                                 models=("julia", "numba", "kokkos"),
+                                 sizes=(256, 512, 1024, 2048), reps=4),
+            tenant="alice")
+        spec_b = CampaignSpec(
+            experiment=small_exp(exp_id="kill9-b",
+                                 models=("julia", "numba", "kokkos"),
+                                 sizes=(256, 512, 1024, 2048), reps=4),
+            tenant="bob")
+
+        registry = RunRegistry(runs_dir)
+        first = start_daemon()
+        try:
+            assert _wait_until(lambda: _ping_ok(sock)), "daemon never served"
+            client = ServiceClient(sock)
+            id_a = client.submit(spec_a)
+            id_b = client.submit(spec_b)
+            # wait until at least one campaign is marked ACTIVE so the
+            # kill provably lands mid-execution, not pre-grant
+            assert _wait_until(
+                lambda: os.path.exists(registry.active_path(id_a))
+                or os.path.exists(registry.active_path(id_b))), \
+                "no campaign ever went active"
+            first.kill()
+            assert first.wait(timeout=60) == -signal.SIGKILL
+        finally:
+            if first.poll() is None:
+                first.kill()
+                first.wait(timeout=30)
+
+        # the corpse: at least one ACTIVE sidecar naming the dead pid
+        dead = [rid for rid in (id_a, id_b)
+                if os.path.exists(registry.active_path(rid))]
+        assert dead, "SIGKILL'd daemon left no ACTIVE sidecar behind"
+
+        def both_complete():
+            try:
+                return (registry.load(id_a).status == "complete"
+                        and registry.load(id_b).status == "complete")
+            except Exception:
+                return False
+
+        second = start_daemon()
+        try:
+            assert _wait_until(lambda: _ping_ok(sock)), "restart never served"
+            assert _wait_until(both_complete, timeout=180), \
+                "recovered campaigns never finished"
+        finally:
+            try:
+                ServiceClient(sock).shutdown()
+            except ServiceError:
+                second.terminate()
+            assert second.wait(timeout=60) == 0
+
+        # dead-owner sidecars are pruned, the reports are byte-identical
+        for rid in (id_a, id_b):
+            assert registry.active_info(rid) is None
+            assert not os.path.exists(registry.active_path(rid))
+        svc = CampaignService(registry=registry,
+                              cache=ResultCache(cache_dir))
+        assert render_result_set(svc.result_set(id_a)) == solo_render(spec_a)
+        assert render_result_set(svc.result_set(id_b)) == solo_render(spec_b)
+
 
 # --------------------------------------------------------------------------
 # CLI integration: submit/status/serve --stop against a live daemon
