@@ -172,6 +172,16 @@ class _Handler(BaseHTTPRequestHandler):
         parts = [p for p in urlparse(self.path).path.split("/") if p]
         try:
             if parts == ["v1", "campaigns"]:
+                if daemon.draining:
+                    # A draining daemon will never schedule new work;
+                    # accepting it would strand the journal until some
+                    # later daemon life recovers it.  Refuse loudly.
+                    self._send_json(503, {
+                        "error": "daemon is draining and accepts no new "
+                                 "campaigns; retry against the next daemon "
+                                 "on this socket",
+                        "kind": "ServiceError"})
+                    return
                 spec = spec_from_dict(self._read_body())
                 campaign_id = service.submit(spec)
                 daemon.wake()
@@ -233,6 +243,11 @@ class CampaignDaemon:
             probe.close()
 
     # -- lifecycle --------------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        """Whether shutdown was requested (no new campaigns accepted)."""
+        return self._stop.is_set()
 
     def ping_payload(self) -> Dict[str, Any]:
         """Liveness *and* readiness: the ``/v1/ping`` document.

@@ -487,6 +487,35 @@ class TestDaemonWire:
 
 
 class TestDaemonShutdown:
+    def test_draining_daemon_refuses_new_campaigns(self, store, tmp_path):
+        # A daemon whose shutdown was requested must not take new work:
+        # its scheduler loop is about to exit, so an accepted campaign
+        # would sit journaled-but-unscheduled until some later daemon
+        # life recovers it.  The wire answer is 503, not 202.
+        registry, cache = store
+        svc = CampaignService(registry=registry, cache=cache)
+        sock = str(tmp_path / "drain.sock")
+        daemon = CampaignDaemon(service=svc, socket_path=sock)
+        listener = threading.Thread(target=daemon.server.serve_forever,
+                                    daemon=True)
+        listener.start()
+        try:
+            client = ServiceClient(sock)
+            assert client.ping()["ok"] is True
+            daemon.request_shutdown()  # serve() is not running: the
+            # listener stays up, exactly the drain window we must cover
+            assert client.ping()["state"] == "draining"
+            with pytest.raises(ServiceError, match="draining"):
+                client.submit(small_spec(exp_id="drain"))
+            assert client.status()["backlog"] == 0  # nothing journaled
+        finally:
+            daemon.server.shutdown()
+            daemon.server.server_close()
+            try:
+                os.unlink(sock)
+            except OSError:
+                pass
+
     def test_shutdown_endpoint_stops_serve_and_removes_socket(self, store,
                                                               tmp_path):
         registry, cache = store
