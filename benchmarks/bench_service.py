@@ -5,9 +5,13 @@ fair-share scheduler's select/charge cycle (pure in-memory bookkeeping
 that runs once per cell), campaign submission (admission + durable
 journal open), and an overlapping two-tenant workload end to end (where
 cross-campaign dedup should serve the second tenant's shared cells from
-the first tenant's results) — and writes the numbers to
-``BENCH_service.json`` (re-run via ``make bench-service`` after touching
-``src/repro/service`` to see regressions).
+the first tenant's results) — plus the overload-robustness paths: the
+shed decision a saturated daemon takes per submission attempt, the
+idempotent answer a retried keyed submit converges on, and the latency
+of expiring a deadline-lapsed campaign through the degraded path — and
+writes the numbers to ``BENCH_service.json`` (re-run via
+``make bench-service`` after touching ``src/repro/service`` to see
+regressions).
 
 The dedup section records the hit rate alongside cells/sec: a regression
 that silently stops deduping would *look* fine on wall time for small
@@ -143,6 +147,128 @@ def bench_dedup(reps: int, workdir: str) -> "dict[str, object]":
     }
 
 
+def bench_shedding(attempts: int, reps: int,
+                   workdir: str) -> "dict[str, object]":
+    """Load-shedding decision rate on a saturated service: every
+    ``check_overload`` against a backlog past the shed threshold must
+    answer 429-with-``Retry-After`` without touching disk, so a storm
+    costs the daemon microseconds per refusal, not a journal write."""
+    from repro.errors import OverloadError
+
+    best = float("inf")
+    shed = 0
+    retry_after = 0.0
+    for rep in range(reps):
+        root = os.path.join(workdir, f"shed-{rep}")
+        service = CampaignService(
+            registry=RunRegistry(os.path.join(root, "runs")),
+            cache=ResultCache(os.path.join(root, "cache")),
+            policy=AdmissionPolicy(max_total=8,
+                                   default_quota=TenantQuota(max_queued=8)))
+        for i in range(8):      # saturate: backlog 8 >= shed threshold 7
+            service.submit(CampaignSpec(
+                experiment=bench_experiment(f"shed-{rep}-{i}"),
+                tenant=f"tenant-{i % 4}"))
+        shed = 0
+        service.shed_total = 0
+        t0 = time.perf_counter()
+        for _ in range(attempts):
+            try:
+                service.check_overload()
+            except OverloadError as exc:
+                shed += 1
+                retry_after = exc.retry_after_s
+        best = min(best, time.perf_counter() - t0)
+        service.suspend()
+        shutil.rmtree(root, ignore_errors=True)
+    return {
+        "attempts": attempts,
+        "shed": shed,
+        "shed_rate": round(shed / attempts, 4) if attempts else 0.0,
+        "retry_after_s": retry_after,
+        "seconds": round(best, 6),
+        "sheds_per_s": round(attempts / best, 2),
+    }
+
+
+def bench_idempotent_retry(retries: int, reps: int,
+                           workdir: str) -> "dict[str, object]":
+    """Retried-submit convergence: after one keyed submission, every
+    retry of the same spec must answer the original id from the
+    in-memory idempotency map — no admission, no journal, no disk."""
+    import dataclasses
+
+    best = float("inf")
+    converged = False
+    first_retry_s = 0.0
+    for rep in range(reps):
+        root = os.path.join(workdir, f"idem-{rep}")
+        service = CampaignService(
+            registry=RunRegistry(os.path.join(root, "runs")),
+            cache=ResultCache(os.path.join(root, "cache")))
+        spec = dataclasses.replace(
+            CampaignSpec(experiment=bench_experiment(f"idem-{rep}")),
+            submission_key=f"idem-{rep}")
+        original = service.submit(spec)
+        t0 = time.perf_counter()
+        answer = service.submit(spec)
+        first_retry_s = min(first_retry_s or float("inf"),
+                            time.perf_counter() - t0)
+        converged = answer == original
+        t0 = time.perf_counter()
+        for _ in range(retries):
+            service.submit(spec)
+        best = min(best, time.perf_counter() - t0)
+        converged = converged and service.duplicates_total == retries + 1
+        service.suspend()
+        shutil.rmtree(root, ignore_errors=True)
+    return {
+        "retries": retries,
+        "converged": converged,
+        "first_retry_s": round(first_retry_s, 6),
+        "seconds": round(best, 6),
+        "duplicates_per_s": round(retries / best, 2),
+    }
+
+
+def bench_deadline(reps: int, workdir: str) -> "dict[str, object]":
+    """Deadline-expiry latency: seconds from the scheduler granting a
+    deadline-lapsed campaign to its terminal ``expired`` state — the
+    degraded path journals one failed measurement per remaining cell,
+    so this scales with campaign size and gates how fast a stormed
+    daemon clears doomed work."""
+    import dataclasses
+
+    best = float("inf")
+    cells = 0
+    for rep in range(reps):
+        root = os.path.join(workdir, f"deadline-{rep}")
+        service = CampaignService(
+            registry=RunRegistry(os.path.join(root, "runs")),
+            cache=ResultCache(os.path.join(root, "cache")))
+        spec = dataclasses.replace(
+            CampaignSpec(experiment=bench_experiment(
+                f"deadline-{rep}", ("julia", "numba", "kokkos"))),
+            submission_key=f"deadline-{rep}", deadline_s=0.001)
+        cid = service.submit(spec)
+        time.sleep(0.002)       # let the deadline lapse before the grant
+        t0 = time.perf_counter()
+        service.run_until_idle()
+        elapsed = time.perf_counter() - t0
+        campaign = service.campaigns[cid]
+        if campaign.state != "expired":
+            raise RuntimeError(f"deadline campaign ended {campaign.state!r},"
+                               " expected 'expired'")
+        best = min(best, elapsed)
+        cells = campaign.cells_total
+        shutil.rmtree(root, ignore_errors=True)
+    return {
+        "cells": cells,
+        "seconds": round(best, 6),
+        "expiries_per_s": round(cells / best, 2),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--reps", type=int, default=3,
@@ -176,6 +302,25 @@ def main(argv=None) -> int:
         payload["sections"]["dedup"] = result
         print(f"dedup       {result['cells_per_s']:>12} cells/s "
               f"(hit rate {result['dedup_hit_rate']:.0%})")
+
+        result = bench_shedding(args.submissions * 100, args.reps, workdir)
+        payload["sections"]["shedding"] = result
+        print(f"shed        {result['sheds_per_s']:>12} refusals/s "
+              f"(shed rate {result['shed_rate']:.0%}, "
+              f"retry-after {result['retry_after_s']:g}s)")
+
+        result = bench_idempotent_retry(args.submissions * 10, args.reps,
+                                        workdir)
+        payload["sections"]["idempotent_retry"] = result
+        print(f"idempotent  {result['duplicates_per_s']:>12} retries/s "
+              f"(first retry converged in {result['first_retry_s']*1e6:.0f}"
+              f" us)")
+
+        result = bench_deadline(args.reps, workdir)
+        payload["sections"]["deadline"] = result
+        print(f"deadline    {result['expiries_per_s']:>12} cell expiries/s "
+              f"({result['cells']} cells expired in "
+              f"{result['seconds']*1e3:.1f} ms)")
     finally:
         shutil.rmtree(workdir, ignore_errors=True)
 

@@ -3,11 +3,13 @@
 Each scenario in :data:`CHAOS_SCENARIOS` stages one of the failure modes
 the stack claims to survive — a SIGKILL'd pool worker, a SIGKILL'd
 campaign daemon mid-grant, a torn journal tail, a full disk under the
-result cache — then drives the ordinary recovery machinery (watchdog
+result cache, a submission storm at twice the daemon's admission
+capacity — then drives the ordinary recovery machinery (watchdog
 respawn, daemon restart + journal recovery, ``fsck`` truncation +
-resume, read-only cache degradation) and checks the one invariant that
-matters: the finished report is **byte-identical** to a failure-free
-run of the same campaign.
+resume, read-only cache degradation, load shedding + idempotent client
+retries) and checks the one invariant that matters: the finished
+report is **byte-identical** to a failure-free run of the same
+campaign.
 
 ``run_chaos_suite`` executes the scenarios and writes MTTR and recovery
 counters to ``BENCH_robustness.json`` (``repro chaos`` /
@@ -364,12 +366,203 @@ def scenario_disk_full(workdir: str) -> ChaosScenarioResult:
                "and the campaign completed without caching")
 
 
+# -- scenario: submission storm at 2x admission capacity -------------------
+
+def scenario_overload(workdir: str) -> ChaosScenarioResult:
+    """Storm a small-capacity daemon at twice its admission cap through
+    retrying keyed clients, SIGKILL it mid-storm and restart it; every
+    submission must land exactly once (shed requests converge via
+    429/503 + ``Retry-After``, lost ACKs via the idempotency map, which
+    must also survive the restart), every accepted campaign must finish
+    byte-identically, and a tiny-deadline campaign must end
+    ``expired`` — never ``done``, never wedged."""
+    import dataclasses
+    import threading
+
+    from ..errors import DeadlineExpired, ServiceError
+    from ..harness.engine import ResultCache
+    from ..harness.journal import RunRegistry
+    from ..harness.report import render_result_set
+    from ..service import ClientPolicy, CampaignService, ServiceClient
+
+    os.makedirs(workdir, exist_ok=True)
+    runs_dir = os.path.join(workdir, "runs")
+    cache_dir = os.path.join(workdir, "cache")
+    sock = os.path.join(workdir, "chaos.sock")
+    # SIGKILL on the 7th grant: the storm is still submitting, so some
+    # ACKs are lost mid-flight and must converge through retried,
+    # idempotency-keyed submits against the restarted daemon.
+    plan_path = ChaosPlan((ChaosEvent("daemon-grant", "kill", after=6),)) \
+        .write(os.path.join(workdir, "plan.json"))
+    max_total = 6
+    storm = 2 * max_total
+    specs = [dataclasses.replace(
+        _chaos_spec(f"chaos-ovl-{i:02d}", ("julia", "numba"),
+                    (256, 512), reps=2, tenant=f"tenant{i % 3}"),
+        submission_key=f"storm-{i:02d}") for i in range(storm)]
+    serve_args = [sys.executable, "-m", "repro", "serve", "--socket", sock,
+                  "--max-total", str(max_total)]
+    policy = ClientPolicy(retries=24, backoff_max_s=0.5)
+
+    def ping_ok() -> bool:
+        try:
+            return ServiceClient(sock).ping().get("ok") is True
+        except ServiceError:
+            return False
+
+    def submit_converge(spec) -> "tuple[str, int]":
+        """One storming client: submit until the keyed spec lands.
+
+        The client policy already retries 429/503 and connection
+        refusal; this outer loop additionally survives what the policy
+        deliberately refuses to hide — a 409 from losing the
+        check-overload/admit race to the hard admission wall, and a
+        connection the SIGKILL tore mid-request.  Both re-submits are
+        exactly-once because the spec carries a submission_key.
+        """
+        client = ServiceClient(sock, policy=policy)
+        deadline = time.monotonic() + _SCENARIO_TIMEOUT_S
+        while True:
+            try:
+                return client.submit(spec), client.retries_used
+            except ServiceError:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.2)
+
+    ids: Dict[int, str] = {}
+    retries: Dict[int, int] = {}
+    errors: List[str] = []
+    lock = threading.Lock()
+
+    def storm_one(i: int) -> None:
+        try:
+            campaign_id, used = submit_converge(specs[i])
+            with lock:
+                ids[i] = campaign_id
+                retries[i] = used
+        except ServiceError as exc:
+            with lock:
+                errors.append(f"storm-{i:02d}: {exc}")
+
+    first = subprocess.Popen(serve_args, env=_clean_env(workdir, plan_path),
+                             stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+    expired_id = ""
+    try:
+        if not _wait_until(ping_ok):
+            raise ConfigError("overload daemon never served")
+        t_storm = time.monotonic()
+        threads = [threading.Thread(target=storm_one, args=(i,))
+                   for i in range(storm)]
+        for thread in threads:
+            thread.start()
+        # The armed plan SIGKILLs the daemon on its 7th grant — mid-storm,
+        # so some submits lose their ACK mid-request.
+        first.wait(timeout=_SCENARIO_TIMEOUT_S)
+    finally:
+        if first.poll() is None:
+            first.kill()
+            first.wait(timeout=30)
+    killed_by_sigkill = first.returncode == -9
+
+    t_restart = time.monotonic()
+    second = subprocess.Popen(serve_args, env=_clean_env(workdir),
+                              stdout=subprocess.PIPE,
+                              stderr=subprocess.PIPE)
+    try:
+        if not _wait_until(ping_ok):
+            raise ConfigError("restarted overload daemon never served")
+        # A 12-cell campaign under a 50 ms deadline: at ~10 ms a cell it
+        # cannot finish in time even against an idle scheduler, so it
+        # must end ``expired`` at a cell boundary — never ``done``.
+        expired_spec = dataclasses.replace(
+            _chaos_spec("chaos-ovl-deadline", ("julia", "numba", "kokkos"),
+                        (256, 512, 1024, 2048), reps=2),
+            submission_key="storm-deadline", deadline_s=0.05)
+        expired_id, _ = submit_converge(expired_spec)
+        for thread in threads:
+            thread.join(timeout=_SCENARIO_TIMEOUT_S)
+        convergence_s = time.monotonic() - t_storm
+        # Replaying an already-ACKed submit against the *restarted*
+        # daemon must answer the original id from the journal-rebuilt
+        # idempotency map — exactly-once across daemon lives.
+        dup_id = submit_converge(specs[0])[0] if 0 in ids else ""
+
+        registry = RunRegistry(runs_dir)
+
+        def storm_complete() -> bool:
+            try:
+                return all(registry.load(cid).status == "complete"
+                           for cid in ids.values())
+            except Exception:
+                return False
+
+        finished = len(ids) == storm and _wait_until(storm_complete)
+        mttr = time.monotonic() - t_restart
+        expired_ok = False
+        if expired_id:
+            try:
+                ServiceClient(sock).wait(expired_id, timeout=60.0)
+            except DeadlineExpired:
+                expired_ok = True
+            except ServiceError:
+                expired_ok = False
+        status = ServiceClient(sock).status()
+    finally:
+        try:
+            ServiceClient(sock).shutdown()
+        except ServiceError:
+            second.terminate()
+        second.wait(timeout=60)
+
+    # Exactly-once on disk: every storm key owns exactly one journal.
+    keys_seen: Dict[str, int] = {}
+    for run_id in registry.run_ids():
+        try:
+            meta = registry.load(run_id).service_meta or {}
+        except Exception:
+            continue
+        key = (meta.get("spec") or {}).get("submission_key")
+        if key:
+            keys_seen[str(key)] = keys_seen.get(str(key), 0) + 1
+    exactly_once = (len(ids) == storm
+                    and len(set(ids.values())) == storm
+                    and dup_id == ids.get(0)
+                    and all(keys_seen.get(f"storm-{i:02d}") == 1
+                            for i in range(storm)))
+
+    svc = CampaignService(registry=registry, cache=ResultCache(cache_dir))
+    sampled = [specs[i] for i in (0, storm // 2, storm - 1)]
+    identical = bool(
+        killed_by_sigkill and finished and exactly_once and expired_ok
+        and not errors
+        and all(render_result_set(svc.result_set(ids[specs.index(s)]))
+                == _solo_render(s) for s in sampled))
+    overload = status.get("overload", {})
+    return ChaosScenarioResult(
+        name="overload", identical=identical, mttr_s=mttr,
+        metrics={"killed_by_sigkill": killed_by_sigkill,
+                 "storm_campaigns": storm,
+                 "unique_ids": len(set(ids.values())),
+                 "client_retries": sum(retries.values()),
+                 "convergence_s": round(convergence_s, 3),
+                 "duplicates_after_restart": int(
+                     overload.get("duplicates", 0)),
+                 "shed_after_restart": int(overload.get("shed", 0)),
+                 "deadline_expired": expired_ok},
+        detail=f"stormed {storm} keyed submissions at a {max_total}-slot "
+               "daemon, SIGKILL'd it on grant 7 and restarted; shedding "
+               "+ idempotent retries converged on exactly one campaign "
+               "per key")
+
+
 #: Scenario registry, in the order ``repro chaos`` runs them.
 CHAOS_SCENARIOS: Dict[str, Callable[[str], ChaosScenarioResult]] = {
     "worker-kill": scenario_worker_kill,
     "daemon-kill": scenario_daemon_kill,
     "journal-tear": scenario_journal_tear,
     "disk-full": scenario_disk_full,
+    "overload": scenario_overload,
 }
 
 

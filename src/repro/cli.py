@@ -312,6 +312,22 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--priority", type=int, default=None,
                         help="rank within the tenant's queue (higher runs "
                              "first; default: $REPRO_PRIORITY or 0)")
+    submit.add_argument("--deadline", type=float, default=None, metavar="S",
+                        help="wall-clock budget in seconds; a campaign "
+                             "still unfinished past it expires through "
+                             "the degraded path (default: $REPRO_DEADLINE "
+                             "or none)")
+    submit.add_argument("--submission-key", default=None, metavar="KEY",
+                        help="client-generated idempotency key: a retried "
+                             "submit with the same key returns the "
+                             "original campaign id (default: "
+                             "$REPRO_SUBMISSION_KEY or none)")
+    submit.add_argument("--client-retries", type=int, default=None,
+                        metavar="N",
+                        help="retry a shed (429/503) or connection-refused "
+                             "submit up to N times with capped exponential "
+                             "backoff; POST retries need --submission-key "
+                             "(default: $REPRO_CLIENT_RETRIES or 0)")
     submit.add_argument("--wait", action="store_true",
                         help="block until the campaign finishes and print "
                              "its report (byte-identical to `repro run`)")
@@ -351,13 +367,14 @@ def build_parser() -> argparse.ArgumentParser:
     chaos = sub.add_parser(
         "chaos", help="deterministic crash-fault drills: SIGKILL a pool "
                       "worker, SIGKILL the daemon mid-grant, tear a "
-                      "journal tail, fill the disk — then assert "
-                      "byte-identical recovery (exit 1 on any mismatch)")
+                      "journal tail, fill the disk, storm the daemon at "
+                      "2x admission capacity — then assert byte-identical "
+                      "recovery (exit 1 on any mismatch)")
     chaos.add_argument("--scenario", action="append", default=None,
                        metavar="NAME",
                        help="run only this scenario (repeatable; default: "
                             "all of worker-kill, daemon-kill, journal-tear, "
-                            "disk-full)")
+                            "disk-full, overload)")
     chaos.add_argument("--out", default="BENCH_robustness.json",
                        metavar="FILE",
                        help="MTTR/recovery-counter bench output "
@@ -562,6 +579,8 @@ def _spec_cli_overrides(args: argparse.Namespace) -> dict:
                    else getattr(args, "engine", None)),
         "tenant": getattr(args, "tenant", None),
         "priority": getattr(args, "priority", None),
+        "deadline": getattr(args, "deadline", None),
+        "submission_key": getattr(args, "submission_key", None),
     }
 
 
@@ -902,12 +921,38 @@ def _cmd_serve(args: argparse.Namespace) -> "tuple[str, int]":
             f"({recovered} campaign(s) recovered at startup)"), 0
 
 
+def _client_retries(args: argparse.Namespace) -> int:
+    """``--client-retries`` > ``$REPRO_CLIENT_RETRIES`` > 0.
+
+    A client knob, not a spec field: how persistently *this* submit
+    call retries shed/refused requests never changes what the campaign
+    computes, so it stays out of the journaled spec.
+    """
+    import os
+
+    retries = getattr(args, "client_retries", None)
+    if retries is None:
+        raw = os.environ.get("REPRO_CLIENT_RETRIES")
+        if raw:
+            try:
+                retries = int(raw)
+            except ValueError as exc:
+                raise ConfigError(
+                    f"REPRO_CLIENT_RETRIES={raw!r} is not an integer") \
+                    from exc
+    if retries is not None and retries < 0:
+        raise ConfigError(f"client retries {retries} must be >= 0")
+    return retries if retries is not None else 0
+
+
 def _cmd_submit(args: argparse.Namespace) -> "tuple[str, int]":
     import json as _json
 
-    from .service import ServiceClient, spec_from_dict
+    from .errors import DeadlineExpired
+    from .service import ClientPolicy, ServiceClient, spec_from_dict
 
-    client = ServiceClient(args.socket)
+    client = ServiceClient(args.socket, policy=ClientPolicy(
+        retries=_client_retries(args)))
     if args.spec:
         try:
             if args.spec == "-":
@@ -947,7 +992,11 @@ def _cmd_submit(args: argparse.Namespace) -> "tuple[str, int]":
           f"{spec.tenant!r} (priority {spec.priority})", file=sys.stderr)
     if not args.wait:
         return campaign_id, 0
-    row = client.wait(campaign_id)
+    try:
+        row = client.wait(campaign_id)
+    except DeadlineExpired as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return campaign_id, 1
     if row.get("state") == "failed":
         print(f"repro: campaign {campaign_id} failed: "
               f"{row.get('error', 'unknown error')}", file=sys.stderr)
@@ -978,6 +1027,12 @@ def _cmd_status(args: argparse.Namespace) -> str:
         lines.append(f"supervision: {supervision.get('restarts', 0)} "
                      f"campaign restart(s), "
                      f"{supervision.get('quarantined', 0)} quarantined")
+    overload = payload.get("overload") or {}
+    if overload.get("shed") or overload.get("duplicates"):
+        lines.append(f"overload: {overload.get('shed', 0)} submission(s) "
+                     f"shed, {overload.get('duplicates', 0)} idempotent "
+                     f"duplicate(s) answered "
+                     f"(retry-after {overload.get('retry_after_s', 1):g}s)")
     tenants = payload.get("tenants") or []
     if tenants:
         lines.append("")

@@ -56,6 +56,12 @@ KNOWN_VARIABLES: Dict[str, str] = {
     "REPRO_TENANT": "fair-share tenant campaigns bill to (default 'default')",
     "REPRO_PRIORITY": "campaign priority within the tenant queue (default 0)",
     "REPRO_SERVICE_SOCKET": "campaign-service Unix socket path",
+    "REPRO_DEADLINE": "campaign wall-clock deadline in seconds "
+                      "(expired campaigns degrade, default none)",
+    "REPRO_SUBMISSION_KEY": "idempotency key for `repro submit` retries "
+                            "(default none)",
+    "REPRO_CLIENT_RETRIES": "client retries on 429/503/connect-refused "
+                            "(default 0)",
 }
 
 _TRUE_STRINGS = frozenset({"1", "true", "yes", "on", "close", "spread"})
@@ -225,7 +231,7 @@ def resolve_campaign_spec(experiment, cli: Optional[Mapping[str, object]] = None
        ``max_cell_seconds``, ``fail_fast`` (``True`` only; ``False``
        means "flag not given"), ``breaker``, ``fallback``, ``cache``,
        ``jobs``, ``engine`` (``serial``/``thread``/``process``),
-       ``tenant``, ``priority``.
+       ``tenant``, ``priority``, ``deadline``, ``submission_key``.
     2. **Environment** — the ``REPRO_*`` family documented in
        :data:`KNOWN_VARIABLES` fills anything the CLI left unset.
     3. **Defaults** — fields neither layer set stay ``None`` in the
@@ -323,6 +329,14 @@ def resolve_campaign_spec(experiment, cli: Optional[Mapping[str, object]] = None
                 raise ConfigError(
                     f"REPRO_PRIORITY={raw!r} is not an integer") from exc
 
+    deadline = cli.get("deadline")
+    if deadline is None:
+        deadline = cfg.get_float("REPRO_DEADLINE", None)
+
+    submission_key = cli.get("submission_key")
+    if submission_key is None:
+        submission_key = cfg.get("REPRO_SUBMISSION_KEY")
+
     return CampaignSpec(
         experiment=experiment,
         engine=engine,
@@ -335,6 +349,9 @@ def resolve_campaign_spec(experiment, cli: Optional[Mapping[str, object]] = None
         fallback=fallback,
         tenant=str(tenant),
         priority=int(priority) if priority is not None else 0,
+        deadline_s=float(deadline) if deadline is not None else None,
+        submission_key=(str(submission_key)
+                        if submission_key is not None else None),
     )
 
 

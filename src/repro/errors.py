@@ -27,6 +27,8 @@ __all__ = [
     "RunInterrupted",
     "ServiceError",
     "AdmissionError",
+    "OverloadError",
+    "DeadlineExpired",
 ]
 
 
@@ -224,6 +226,48 @@ class AdmissionError(ServiceError):
     def __init__(self, message: str, tenant: str = "", limit: int = 0):
         self.tenant = tenant
         self.limit = limit
+        super().__init__(message)
+
+
+class OverloadError(ServiceError):
+    """The service shed a request under load; retry after a delay.
+
+    Raised (and sent over the wire as HTTP 429/503 with a
+    ``Retry-After`` header) when the daemon is saturated — the scheduler
+    backlog is near the admission ceiling, the scheduler loop has
+    stopped granting, or the daemon is draining.  Not a refusal of the
+    *request*: resubmitting the identical document after ``retry_after_s``
+    is the expected reaction, which is why
+    :class:`~repro.service.client.ClientPolicy` retries exactly this
+    class (plus connection refusal) and nothing else.
+
+    * ``retry_after_s`` — the daemon's backlog-derived hint for when to
+      come back (seconds, >= 1).
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0):
+        self.retry_after_s = float(retry_after_s)
+        super().__init__(message)
+
+
+class DeadlineExpired(ServiceError):
+    """A campaign's request deadline lapsed before its cells finished.
+
+    The service never aborts mid-cell: at the first cell boundary past
+    ``deadline_s`` the campaign fails through the ordinary degraded
+    path — every remaining cell is journaled as a ``failed`` (e = 0)
+    measurement and the campaign lands in the terminal ``expired``
+    state, visible in ``repro status`` and raised as this class by
+    :meth:`~repro.service.client.ServiceClient.wait`.
+
+    * ``campaign_id`` — the expired campaign;
+    * ``deadline_s`` — the budget that lapsed.
+    """
+
+    def __init__(self, message: str, campaign_id: str = "",
+                 deadline_s: float = 0.0):
+        self.campaign_id = campaign_id
+        self.deadline_s = float(deadline_s)
         super().__init__(message)
 
 

@@ -33,18 +33,21 @@ __all__ = [
     "spec_to_json",
     # lazily loaded:
     "AdmissionPolicy",
+    "OverloadPolicy",
     "TenantQuota",
     "FairShareScheduler",
     "Campaign",
     "CampaignExecution",
     "CampaignService",
     "CampaignDaemon",
+    "ClientPolicy",
     "ServiceClient",
     "default_socket_path",
 ]
 
 _LAZY = {
     "AdmissionPolicy": ".scheduler",
+    "OverloadPolicy": ".scheduler",
     "TenantQuota": ".scheduler",
     "FairShareScheduler": ".scheduler",
     "Campaign": ".campaign",
@@ -52,6 +55,7 @@ _LAZY = {
     "CampaignService": ".service",
     "CampaignDaemon": ".daemon",
     "default_socket_path": ".daemon",
+    "ClientPolicy": ".client",
     "ServiceClient": ".client",
 }
 

@@ -39,11 +39,14 @@ from .spec import CampaignSpec
 __all__ = ["CAMPAIGN_STATES", "Campaign", "CampaignExecution"]
 
 #: Service-lifecycle states a campaign walks through, in order (FAILED
-#: replaces DONE when a fail-fast cell aborts it; QUARANTINED is the
-#: supervisor's terminal state for a campaign that kept crashing the
-#: stepping thread past its restart budget).
+#: replaces DONE when a fail-fast cell aborts it; EXPIRED replaces DONE
+#: when the spec's ``deadline_s`` lapsed before the cells did —
+#: remaining cells are journaled as degraded e=0 failures so the
+#: journal still closes complete; QUARANTINED is the supervisor's
+#: terminal state for a campaign that kept crashing the stepping thread
+#: past its restart budget).
 CAMPAIGN_STATES = ("queued", "admitted", "running", "done", "failed",
-                   "quarantined")
+                   "expired", "quarantined")
 
 
 @dataclass
@@ -56,6 +59,10 @@ class Campaign:
     error: str = ""
     #: Whether this object was rebuilt from a journal after a restart.
     recovered: bool = False
+    #: Wall-clock submission time the spec's ``deadline_s`` counts from
+    #: (a recovered campaign keeps its original journal birth time, so
+    #: daemon restarts never extend a deadline).
+    submitted_at: float = 0.0
     #: Crash-supervision restarts this service-life (bounded; exceeding
     #: the budget quarantines the campaign instead of requeueing it).
     restarts: int = 0
@@ -83,7 +90,19 @@ class Campaign:
             out["recovered"] = True
         if self.restarts:
             out["restarts"] = self.restarts
+        if self.spec.deadline_s is not None:
+            out["deadline_s"] = self.spec.deadline_s
+        if self.spec.submission_key is not None:
+            out["submission_key"] = self.spec.submission_key
         return out
+
+    def deadline_lapsed(self, now: Optional[float] = None) -> bool:
+        """Whether the spec's wall-clock budget has run out."""
+        deadline = self.spec.deadline_s
+        if deadline is None or not self.submitted_at:
+            return False
+        return (now if now is not None else time.time()) \
+            >= self.submitted_at + deadline
 
 
 class CampaignExecution:
@@ -182,6 +201,11 @@ class CampaignExecution:
             self._next += 1
         if self._next >= len(self._cells):
             self._finish()
+            return False
+        # Deadline enforcement happens here and only here — at a cell
+        # boundary, never mid-cell, and never inside a fingerprint.
+        if self.campaign.deadline_lapsed():
+            self._expire()
             return False
         i = self._next
         try:
@@ -349,7 +373,7 @@ class CampaignExecution:
     # -- completion --------------------------------------------------------
 
     def _finish(self) -> None:
-        if self.campaign.state in ("done", "failed"):
+        if self.campaign.state in ("done", "failed", "expired"):
             return
         total = len(self._cells)
         results = ResultSet(self.campaign.spec.experiment)
@@ -362,6 +386,52 @@ class CampaignExecution:
         # finalizes the journal and turns later appends into no-ops.
         self._set_state("done", stats=dict(self.campaign.stats))
         if not self.journal.finalized:
+            self.journal.close_run("complete", completed=total, total=total)
+        self.journal.close()
+
+    def _expire(self) -> None:
+        """The deadline lapsed: degrade every remaining cell to e = 0.
+
+        Runs the paper's degraded accounting, not an abort: each cell
+        not yet measured is journaled as a ``failed`` measurement with a
+        deterministic note (no wall-clock values — the report must stay
+        byte-reproducible), so the journal closes ``complete`` and the
+        result set renders through the ordinary DEGRADED path.  The
+        campaign record lands in the terminal ``expired`` state.
+        """
+        spec = self.campaign.spec
+        stats = self.campaign.stats
+        note = (f"campaign deadline ({spec.deadline_s:g}s) expired "
+                f"before this cell ran")
+        for i in range(len(self._cells)):
+            if self._measurements[i] is not None:
+                continue
+            model, shape = self._cells[i]
+            m = Measurement(
+                model=model.name, display=model.display, shape=shape,
+                precision=spec.experiment.precision,
+                supported=False, failed=True, note=note)
+            self.journal.cell_failed(i, self._fps[i], m, attempts=0,
+                                     faults=0, reason=note)
+            self._measurements[i] = m
+            self._records[i] = CellRecord(
+                model=model.name, shape=str(shape), fingerprint=self._fps[i],
+                cached=False, wall_s=0.0,
+                start_s=time.perf_counter() - self._t0, status="failed")
+            stats["failed"] += 1
+        total = len(self._cells)
+        results = ResultSet(spec.experiment)
+        for m in self._measurements:
+            assert m is not None
+            results.add(m)
+        self.campaign.results = results
+        self.campaign.cells_done = total
+        self.campaign.error = (f"deadline {spec.deadline_s:g}s expired")
+        self._set_state("expired", error=self.campaign.error,
+                        stats=dict(stats))
+        if not self.journal.finalized:
+            # Every cell carries a (possibly degraded) measurement, so
+            # the journal is complete: reports reconstruct normally.
             self.journal.close_run("complete", completed=total, total=total)
         self.journal.close()
 

@@ -11,7 +11,12 @@ Endpoints (all JSON; errors are ``{"error": ..., "kind": ...}``):
 
 ====== ============================== ===========================================
 POST   ``/v1/campaigns``              body = CampaignSpec JSON; 202 ``{"id"}``,
-                                      409 on admission refusal, 400 on a bad spec
+                                      200 ``{"id", "duplicate": true}`` when the
+                                      spec's ``submission_key`` was seen before,
+                                      409 on admission refusal, 400 on a bad
+                                      spec, 429 + ``Retry-After`` when shedding
+                                      under load, 503 + ``Retry-After`` while
+                                      draining
 GET    ``/v1/campaigns``              every campaign's status row
 GET    ``/v1/campaigns/<id>``         one campaign's status row
 GET    ``/v1/campaigns/<id>/report``  finished campaign's report;
@@ -22,6 +27,12 @@ GET    ``/v1/ping``                   liveness/readiness probe: ``{"ok":
                                       "degraded" | "draining", "uptime_s"}``
 POST   ``/v1/shutdown``               graceful stop (journals stay resumable)
 ====== ============================== ===========================================
+
+Overload behaviour: handler-thread concurrency is bounded (ThreadingMixIn
+would otherwise spawn one thread per connection without limit), and
+submissions shed with 429 + ``Retry-After`` *before* the admission wall
+via :meth:`CampaignService.check_overload` — see
+:class:`~repro.service.scheduler.OverloadPolicy`.
 
 Durability: SIGTERM/SIGINT (or ``/v1/shutdown``) stop the scheduler
 loop at the next cell boundary, release every ACTIVE claim and leave
@@ -42,16 +53,34 @@ from socketserver import ThreadingMixIn
 from typing import Any, Dict, Optional
 from urllib.parse import parse_qs, urlparse
 
-from ..errors import AdmissionError, ConfigError, ServiceError
+from ..errors import AdmissionError, ConfigError, OverloadError, ServiceError
 from ..harness.journal.registry import default_runs_dir
 from ..harness.report import render_result_set
 from .service import CampaignService
 from .spec import spec_from_dict
 
-__all__ = ["default_socket_path", "CampaignDaemon"]
+__all__ = ["default_socket_path", "CampaignDaemon", "MAX_HANDLER_THREADS"]
 
 #: How long the scheduler thread dozes (s) when the queue is empty.
 _IDLE_POLL_S = 0.05
+
+#: Concurrent wire-handler threads the daemon will run; connections
+#: beyond this are answered with a raw 429 and closed instead of
+#: spawning an unbounded thread per connection (ThreadingMixIn's
+#: default behaviour under a submission storm).
+MAX_HANDLER_THREADS = 32
+
+#: The canned response for connections shed at the concurrency bound —
+#: written without ever entering the HTTP handler machinery.
+_THREAD_SHED_RESPONSE = (
+    b"HTTP/1.1 429 Too Many Requests\r\n"
+    b"Content-Type: application/json\r\n"
+    b"Retry-After: 1\r\n"
+    b"Content-Length: 86\r\n"
+    b"Connection: close\r\n"
+    b"\r\n"
+    b'{"error": "daemon handler threads exhausted; retry shortly", '
+    b'"kind": "OverloadError"}\n')
 
 
 def default_socket_path() -> str:
@@ -63,11 +92,22 @@ def default_socket_path() -> str:
 
 
 class _UnixHTTPServer(ThreadingMixIn, HTTPServer):
-    """HTTPServer bound to a Unix-domain socket path."""
+    """HTTPServer bound to a Unix-domain socket path.
+
+    Handler concurrency is bounded by :data:`MAX_HANDLER_THREADS`: a
+    connection arriving with every slot taken is shed with a canned 429
+    + ``Retry-After`` instead of spawning yet another thread — under a
+    submission storm an unbounded ThreadingMixIn would otherwise grow
+    one thread per connection until the process keels over.
+    """
 
     address_family = socket.AF_UNIX
     daemon_threads = True
     allow_reuse_address = False
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        self._handler_slots = threading.Semaphore(MAX_HANDLER_THREADS)
+        super().__init__(*args, **kwargs)
 
     def server_bind(self) -> None:
         # HTTPServer.server_bind assumes an (host, port) address; a UDS
@@ -78,6 +118,26 @@ class _UnixHTTPServer(ThreadingMixIn, HTTPServer):
         self.socket.bind(self.server_address)
         self.server_name = self.server_address
         self.server_port = 0
+
+    def process_request(self, request, client_address) -> None:
+        if not self._handler_slots.acquire(blocking=False):
+            try:
+                request.sendall(_THREAD_SHED_RESPONSE)
+            except OSError:
+                pass
+            self.shutdown_request(request)
+            return
+        try:
+            super().process_request(request, client_address)
+        except BaseException:
+            self._handler_slots.release()
+            raise
+
+    def process_request_thread(self, request, client_address) -> None:
+        try:
+            super().process_request_thread(request, client_address)
+        finally:
+            self._handler_slots.release()
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -97,11 +157,14 @@ class _Handler(BaseHTTPRequestHandler):
         # events itself and per-request logs would interleave threads.
         pass
 
-    def _send_json(self, code: int, payload: Dict[str, Any]) -> None:
+    def _send_json(self, code: int, payload: Dict[str, Any],
+                   headers: Optional[Dict[str, str]] = None) -> None:
         body = (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode()
         self.send_response(code)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -176,14 +239,27 @@ class _Handler(BaseHTTPRequestHandler):
                     # A draining daemon will never schedule new work;
                     # accepting it would strand the journal until some
                     # later daemon life recovers it.  Refuse loudly.
+                    hint = service.retry_after_s()
                     self._send_json(503, {
                         "error": "daemon is draining and accepts no new "
                                  "campaigns; retry against the next daemon "
                                  "on this socket",
-                        "kind": "ServiceError"})
+                        "kind": "OverloadError",
+                        "retry_after_s": hint,
+                    }, headers={"Retry-After": str(int(hint))})
                     return
+                service.check_overload()  # raises OverloadError -> 429
                 spec = spec_from_dict(self._read_body())
-                campaign_id = service.submit(spec)
+                campaign_id, duplicate = service.submit_idempotent(spec)
+                if duplicate:
+                    # The submission_key was seen before: answer 200
+                    # with the original id — the retried POST converged
+                    # instead of duplicating the campaign.
+                    self._send_json(200, {"id": campaign_id,
+                                          "tenant": spec.tenant,
+                                          "priority": spec.priority,
+                                          "duplicate": True})
+                    return
                 daemon.wake()
                 self._send_json(202, {"id": campaign_id,
                                       "tenant": spec.tenant,
@@ -194,6 +270,12 @@ class _Handler(BaseHTTPRequestHandler):
             else:
                 self._send_json(404, {"error": f"no route {self.path!r}",
                                       "kind": "ServiceError"})
+        except OverloadError as exc:
+            self._send_json(429, {
+                "error": str(exc),
+                "kind": "OverloadError",
+                "retry_after_s": exc.retry_after_s,
+            }, headers={"Retry-After": str(int(exc.retry_after_s))})
         except AdmissionError as exc:
             self._error(409, exc)
         except ConfigError as exc:

@@ -29,12 +29,14 @@ is what makes daemon-restart recovery deterministic.
 from __future__ import annotations
 
 import heapq
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import AdmissionError, ServiceError
 
-__all__ = ["TenantQuota", "AdmissionPolicy", "FairShareScheduler"]
+__all__ = ["TenantQuota", "AdmissionPolicy", "OverloadPolicy",
+           "FairShareScheduler"]
 
 
 @dataclass(frozen=True)
@@ -94,6 +96,61 @@ class AdmissionPolicy:
                 f"({tenant_backlog}/{quota.max_queued} campaigns); "
                 f"retry after its queue drains",
                 tenant=tenant, limit=quota.max_queued)
+
+
+@dataclass(frozen=True)
+class OverloadPolicy:
+    """When the daemon sheds submissions *before* admission refuses them.
+
+    Admission control (:class:`AdmissionPolicy`) is a hard wall: at the
+    cap, work is refused with a 409 and the client is on its own.  Load
+    shedding is the soft slope in front of that wall — past
+    ``shed_fraction`` of the global cap (or when the scheduler loop has
+    stopped granting while work is queued) new submissions are shed
+    with a 429 and a ``Retry-After`` hint derived from the backlog, so
+    well-behaved clients back off *before* the queue saturates and
+    starved 409s appear.
+
+    * ``shed_fraction`` — fraction of ``AdmissionPolicy.max_total``
+      beyond which submissions shed;
+    * ``stall_s`` — seconds without a scheduler grant (while work is
+      queued) after which the service is considered wedged and sheds;
+    * ``drain_s_per_campaign`` — backlog-to-seconds factor behind the
+      ``Retry-After`` hint;
+    * ``min_retry_after_s``/``max_retry_after_s`` — hint clamp.
+    """
+
+    shed_fraction: float = 0.8
+    stall_s: float = 60.0
+    drain_s_per_campaign: float = 0.5
+    min_retry_after_s: float = 1.0
+    max_retry_after_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.shed_fraction <= 1.0:
+            raise ServiceError(f"shed_fraction must be in (0, 1], "
+                               f"got {self.shed_fraction}")
+        if self.stall_s <= 0:
+            raise ServiceError(f"stall_s must be positive, "
+                               f"got {self.stall_s}")
+        if self.min_retry_after_s <= 0 \
+                or self.max_retry_after_s < self.min_retry_after_s:
+            raise ServiceError("retry-after clamp is inverted or negative")
+
+    def shed_threshold(self, max_total: int) -> int:
+        """Backlog size at which shedding starts (>= 1)."""
+        return max(1, math.ceil(self.shed_fraction * max_total))
+
+    def should_shed(self, backlog: int, max_total: int) -> bool:
+        """Whether a new submission should be shed at this backlog."""
+        return backlog >= self.shed_threshold(max_total)
+
+    def retry_after_s(self, backlog: int) -> float:
+        """The ``Retry-After`` hint for this backlog (whole seconds)."""
+        estimate = max(1, backlog) * self.drain_s_per_campaign
+        clamped = min(max(estimate, self.min_retry_after_s),
+                      self.max_retry_after_s)
+        return float(math.ceil(clamped))
 
 
 class _TenantState:

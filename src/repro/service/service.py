@@ -38,7 +38,7 @@ import time
 from typing import Any, Dict, List, Optional
 
 from ..chaos.plan import chaos_strike
-from ..errors import JournalError, ServiceError
+from ..errors import JournalError, OverloadError, ServiceError
 from ..harness.engine.cache import ResultCache
 from ..harness.engine.fingerprint import campaign_fingerprint, cell_fingerprint
 from ..harness.engine.options import RunOptions
@@ -48,7 +48,7 @@ from ..harness.journal import RunRegistry
 from ..harness.results import ResultSet
 from ..models.registry import model_by_name
 from .campaign import Campaign, CampaignExecution
-from .scheduler import AdmissionPolicy, FairShareScheduler
+from .scheduler import AdmissionPolicy, FairShareScheduler, OverloadPolicy
 from .spec import CampaignSpec, spec_from_dict, spec_to_dict
 
 __all__ = ["CampaignService", "MAX_CAMPAIGN_RESTARTS",
@@ -72,23 +72,34 @@ class CampaignService:
     def __init__(self, registry: Optional[RunRegistry] = None,
                  cache: Optional[ResultCache] = None,
                  policy: Optional[AdmissionPolicy] = None,
-                 options: Optional[RunOptions] = None) -> None:
+                 options: Optional[RunOptions] = None,
+                 overload: Optional[OverloadPolicy] = None) -> None:
         self.registry = registry if registry is not None else RunRegistry()
         self.cache = cache if cache is not None else ResultCache()
         self.scheduler = FairShareScheduler(policy)
+        self.overload = overload if overload is not None else OverloadPolicy()
         self.campaigns: Dict[str, Campaign] = {}
         self._executions: Dict[str, CampaignExecution] = {}
         self._options = options
         self._lanes: Dict[str, LaneHealth] = {}
         #: Cell fingerprint -> campaign id that executed (and cached) it.
         self._origins: Dict[str, str] = {}
+        #: submission_key -> campaign id, the idempotency map.  Durable:
+        #: the key rides inside the journaled spec, so recover() rebuilds
+        #: this from disk across daemon restarts.
+        self._submission_keys: Dict[str, str] = {}
         self.dedup_hits = 0
         self._lock = threading.RLock()
         self._steps = 0
         self.started_at = time.time()
+        self._last_grant = time.time()
         #: Crash-supervision counters across every campaign this life.
         self.restarts_total = 0
         self.quarantined_total = 0
+        #: Overload accounting across this service-life.
+        self.accepted_total = 0
+        self.duplicates_total = 0
+        self.shed_total = 0
 
     # -- shared surface for CampaignExecution ------------------------------
 
@@ -134,8 +145,31 @@ class CampaignService:
         (manifest, campaign fingerprint, options, cell plan) followed by
         a ``campaign`` record embedding the serialized spec — the
         durable queue entry :meth:`recover` rebuilds from.
+
+        A spec carrying a ``submission_key`` already seen returns the
+        *original* campaign id (see :meth:`submit_idempotent` for the
+        created/duplicate distinction the wire layer needs).
+        """
+        return self.submit_idempotent(spec)[0]
+
+    def submit_idempotent(self, spec: CampaignSpec) -> "tuple[str, bool]":
+        """:meth:`submit`, with the duplicate bit the daemon answers with.
+
+        Returns ``(campaign_id, duplicate)``: ``duplicate`` is ``True``
+        when the spec's ``submission_key`` matched an earlier submission
+        — nothing was admitted, journaled or queued, and the original
+        id is returned so a client retrying a submit whose ACK was lost
+        converges on exactly one campaign.  The key lives inside the
+        journaled spec, so the map survives daemon restarts via
+        :meth:`recover`.
         """
         with self._lock:
+            key = spec.submission_key
+            if key is not None:
+                existing = self._submission_keys.get(key)
+                if existing is not None:
+                    self.duplicates_total += 1
+                    return existing, True
             run_id = self.registry.new_run_id()
             self.scheduler.submit(run_id, spec.tenant, spec.priority)
             try:
@@ -147,11 +181,58 @@ class CampaignService:
             except Exception:
                 self.scheduler.finish(run_id)
                 raise
-            campaign = Campaign(campaign_id=run_id, spec=spec)
+            campaign = Campaign(campaign_id=run_id, spec=spec,
+                                submitted_at=time.time())
             self.campaigns[run_id] = campaign
             self._executions[run_id] = CampaignExecution(
                 self, campaign, journal)
-            return run_id
+            if key is not None:
+                self._submission_keys[key] = run_id
+            self.accepted_total += 1
+            return run_id, False
+
+    def check_overload(self) -> None:
+        """Shed (raise :class:`OverloadError`) before admission is hit.
+
+        Called by the wire layer ahead of :meth:`submit` so saturated or
+        wedged daemons answer 429 + ``Retry-After`` instead of letting
+        clients slam into the admission wall.  Two triggers:
+
+        * **backlog** — the queue is past
+          :meth:`OverloadPolicy.shed_threshold` of the admission cap;
+        * **stall** — work is queued but the scheduler loop has not
+          granted a cell for :attr:`OverloadPolicy.stall_s` seconds (a
+          wedged stepping thread must not keep accepting work).
+
+        In-process callers that drive :meth:`step` themselves (tests,
+        benchmarks) are free to skip this and use admission control
+        alone.
+        """
+        with self._lock:
+            backlog = self.scheduler.backlog
+            max_total = self.scheduler.policy.max_total
+            hint = self.overload.retry_after_s(backlog)
+            if self.overload.should_shed(backlog, max_total):
+                self.shed_total += 1
+                raise OverloadError(
+                    f"service is saturated ({backlog} campaigns queued, "
+                    f"shedding at "
+                    f"{self.overload.shed_threshold(max_total)} of "
+                    f"{max_total}); retry after {hint:g}s",
+                    retry_after_s=hint)
+            stalled_for = time.time() - self._last_grant
+            if backlog > 0 and stalled_for > self.overload.stall_s:
+                self.shed_total += 1
+                raise OverloadError(
+                    f"service looks wedged ({backlog} campaigns queued, "
+                    f"no grant for {stalled_for:.0f}s); "
+                    f"retry after {hint:g}s",
+                    retry_after_s=hint)
+
+    def retry_after_s(self) -> float:
+        """The current backlog-derived ``Retry-After`` hint (seconds)."""
+        with self._lock:
+            return self.overload.retry_after_s(self.scheduler.backlog)
 
     def _open_journal(self, journal, spec: CampaignSpec) -> None:
         # The run-open record must be byte-compatible with what a
@@ -185,12 +266,18 @@ class CampaignService:
         """Rebuild the queue from journals a dead daemon left behind.
 
         Scans the registry for service-submitted journals (they carry
-        ``campaign`` records) that never reached ``done``/``failed``,
-        re-queues each through the scheduler (pre-admitted: they passed
-        admission once), and arms the ordinary replay machinery so
-        completed cells are served from the journal — the finished
-        campaign's report is byte-identical to an uninterrupted one.
-        Journals owned by another live process are left alone.
+        ``campaign`` records) that never reached
+        ``done``/``failed``/``expired``, re-queues each through the
+        scheduler (pre-admitted: they passed admission once), and arms
+        the ordinary replay machinery so completed cells are served from
+        the journal — the finished campaign's report is byte-identical
+        to an uninterrupted one.  Journals owned by another live process
+        are left alone.
+
+        The idempotency map is rebuilt from *every* service journal —
+        finished ones included — so a submit retried across a daemon
+        restart still answers with the original campaign id instead of
+        admitting a duplicate.
         """
         recovered: List[str] = []
         with self._lock:
@@ -204,15 +291,19 @@ class CampaignService:
                 meta = state.service_meta
                 if not meta:
                     continue  # a plain `repro run` journal
-                if meta.get("state") in ("done", "failed", "quarantined"):
+                payload = meta.get("spec")
+                if not isinstance(payload, dict):
+                    continue
+                key = payload.get("submission_key")
+                if key:
+                    self._submission_keys.setdefault(str(key), run_id)
+                if meta.get("state") in ("done", "failed", "expired",
+                                         "quarantined"):
                     continue
                 if state.status == "complete":
                     continue
                 if self.registry.active_info(run_id) is not None:
                     continue  # another live daemon owns it
-                payload = meta.get("spec")
-                if not isinstance(payload, dict):
-                    continue
                 spec = spec_from_dict(payload)
                 self.scheduler.submit(run_id, spec.tenant, spec.priority,
                                       preadmitted=True)
@@ -222,8 +313,12 @@ class CampaignService:
                 journal.campaign_state("queued", tenant=spec.tenant,
                                        priority=spec.priority,
                                        recovered=True)
+                # The deadline counts from the journal's birth, not the
+                # restart: daemon crashes must never extend a budget.
                 campaign = Campaign(campaign_id=run_id, spec=spec,
-                                    recovered=True)
+                                    recovered=True,
+                                    submitted_at=state.created
+                                    or time.time())
                 campaign.cells_total = state.total_cells
                 self.campaigns[run_id] = campaign
                 self._executions[run_id] = CampaignExecution(
@@ -255,6 +350,7 @@ class CampaignService:
             if campaign_id is None:
                 return False
             campaign = self.campaigns[campaign_id]
+            self._last_grant = time.time()
             if campaign.state == "queued":
                 self.registry.mark_active(campaign_id, pid=os.getpid())
             # Chaos strike point "daemon-grant": an armed plan can
@@ -367,7 +463,8 @@ class CampaignService:
         with self._lock:
             for campaign_id, execution in self._executions.items():
                 campaign = self.campaigns[campaign_id]
-                if campaign.state in ("done", "failed", "quarantined"):
+                if campaign.state in ("done", "failed", "expired",
+                                      "quarantined"):
                     continue
                 execution.journal.close()
                 self.registry.release_active(campaign_id)
@@ -452,6 +549,15 @@ class CampaignService:
                 "supervision": {
                     "restarts": self.restarts_total,
                     "quarantined": self.quarantined_total,
+                },
+                "overload": {
+                    "accepted": self.accepted_total,
+                    "duplicates": self.duplicates_total,
+                    "shed": self.shed_total,
+                    "shed_threshold": self.overload.shed_threshold(
+                        self.scheduler.policy.max_total),
+                    "retry_after_s": self.overload.retry_after_s(
+                        self.scheduler.backlog),
                 },
                 "cache": (self.cache.stats.snapshot()
                           if self.cache is not None else {}),

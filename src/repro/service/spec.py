@@ -22,6 +22,14 @@ Schema history:
   mode / jobs / cache tri-states, the resilience grammars (faults,
   retry, fail_fast, breaker, fallback) in their journal payload forms,
   and the service-level ``tenant`` / ``priority`` pair.
+* v2 — adds two optional service-level fields: ``deadline_s`` (a
+  wall-clock budget from submission; at the first cell boundary past it
+  the campaign expires through the degraded path) and
+  ``submission_key`` (a client-generated idempotency token; a retried
+  submit carrying the same key returns the original campaign id instead
+  of a duplicate).  Both are sparse, so every v1 document loads
+  unchanged with the fields unset — and neither ever enters cell or
+  campaign fingerprints, so result bytes cannot depend on them.
 """
 
 from __future__ import annotations
@@ -47,10 +55,10 @@ __all__ = [
 ]
 
 #: Version stamped into every serialized spec; bumped on shape changes.
-SPEC_VERSION = 1
+SPEC_VERSION = 2
 
 #: Spec versions :func:`spec_from_dict` can load.
-SUPPORTED_SPEC_VERSIONS = (1,)
+SUPPORTED_SPEC_VERSIONS = (1, 2)
 
 #: Engine modes a spec may name (``None`` = process default).
 _ENGINE_CHOICES = ("serial", "thread", "process")
@@ -70,7 +78,13 @@ class CampaignSpec:
       resilience layer, same grammars as the CLI flags;
     * ``tenant``/``priority`` — service-level identity: which fair-share
       account the campaign bills to, and its rank *within* that tenant's
-      queue (higher runs first; cross-tenant order is the scheduler's).
+      queue (higher runs first; cross-tenant order is the scheduler's);
+    * ``deadline_s`` — optional wall-clock budget measured from
+      submission; lapsing expires the campaign at the next cell
+      boundary through the degraded path (v2);
+    * ``submission_key`` — optional client-generated idempotency token;
+      a retried submit with the same key returns the original campaign
+      id instead of creating a duplicate (v2).
     """
 
     experiment: Experiment
@@ -84,6 +98,8 @@ class CampaignSpec:
     fallback: Optional[FallbackLadder] = None
     tenant: str = "default"
     priority: int = 0
+    deadline_s: Optional[float] = None
+    submission_key: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.engine is not None and self.engine not in _ENGINE_CHOICES:
@@ -100,6 +116,20 @@ class CampaignSpec:
         if not isinstance(self.priority, int) or isinstance(self.priority,
                                                             bool):
             raise ConfigError(f"priority {self.priority!r} must be an int")
+        if self.deadline_s is not None:
+            if (isinstance(self.deadline_s, bool)
+                    or not isinstance(self.deadline_s, (int, float))
+                    or not self.deadline_s > 0):
+                raise ConfigError(
+                    f"deadline_s {self.deadline_s!r} must be a positive "
+                    f"number of seconds")
+        if self.submission_key is not None:
+            if (not isinstance(self.submission_key, str)
+                    or not self.submission_key
+                    or any(c.isspace() for c in self.submission_key)):
+                raise ConfigError(
+                    f"submission_key {self.submission_key!r} must be a "
+                    f"non-empty string without whitespace")
 
     # -- lowering to RunOptions -------------------------------------------
 
@@ -202,6 +232,10 @@ def spec_to_dict(spec: CampaignSpec) -> Dict[str, Any]:
         out["breaker"] = spec.breaker.payload()
     if spec.fallback is not None:
         out["fallback"] = spec.fallback.payload()
+    if spec.deadline_s is not None:
+        out["deadline_s"] = spec.deadline_s
+    if spec.submission_key is not None:
+        out["submission_key"] = spec.submission_key
     return out
 
 
@@ -210,9 +244,11 @@ def spec_from_dict(data: Dict[str, Any]) -> CampaignSpec:
 
     Fallback loader in the export-schema tradition: a document without a
     ``spec_version`` stamp is treated as v1 (the stamp has existed since
-    the codec did, so only hand-written files hit this), and a document
-    from a newer build is refused with a :class:`ConfigError` rather
-    than loaded with fields silently dropped.
+    the codec did, so only hand-written files hit this), a v1 document
+    loads with the v2 fields (``deadline_s``, ``submission_key``)
+    unset, and a document from a *newer* build is refused with a
+    :class:`ConfigError` rather than loaded with fields silently
+    dropped.
     """
     if not isinstance(data, dict):
         raise ConfigError(f"campaign spec must be a JSON object, "
@@ -251,6 +287,10 @@ def spec_from_dict(data: Dict[str, Any]) -> CampaignSpec:
                   if "fallback" in data else None),
         tenant=str(data.get("tenant", "default")),
         priority=priority,
+        deadline_s=(float(data["deadline_s"])
+                    if data.get("deadline_s") is not None else None),
+        submission_key=(str(data["submission_key"])
+                        if data.get("submission_key") is not None else None),
     )
 
 

@@ -24,6 +24,7 @@ CASES = [
     ("device_placement.py", "crossover"),
     ("memory_bandwidth_stream.py", "Measured on this host"),
     ("crash_and_resume.py", "byte-identical to the reference"),
+    ("overload_retry.py", "the key never ran it twice"),
 ]
 
 

@@ -12,9 +12,16 @@ import pytest
 import repro
 from repro.config import resolve_campaign_spec
 from repro.core.types import DeviceKind, MatrixShape, Precision
-from repro.errors import AdmissionError, ConfigError, ServiceError
+from repro.errors import (
+    AdmissionError,
+    ConfigError,
+    DeadlineExpired,
+    OverloadError,
+    ServiceError,
+)
 from repro.harness.engine import ResultCache, SweepEngine, cell_fingerprint
 from repro.harness.experiment import Experiment
+from repro.harness.export import result_set_from_json, result_set_to_json
 from repro.harness.health import BreakerPolicy, FallbackLadder
 from repro.harness.engine.options import RetryPolicy
 from repro.harness.journal import RunRegistry, fsck_store
@@ -25,7 +32,9 @@ from repro.service import (
     CampaignDaemon,
     CampaignService,
     CampaignSpec,
+    ClientPolicy,
     FairShareScheduler,
+    OverloadPolicy,
     ServiceClient,
     TenantQuota,
     spec_from_dict,
@@ -119,6 +128,36 @@ class TestCampaignSpec:
         assert opts.fail_fast is True  # unset fields inherit the base
         assert opts.jobs == 8
 
+    def test_v2_fields_roundtrip_and_stay_sparse(self):
+        spec = CampaignSpec(experiment=small_exp(), deadline_s=30.0,
+                            submission_key="ci-nightly-42")
+        text = spec_to_json(spec)
+        assert '"deadline_s": 30.0' in text
+        assert spec_from_json(text) == spec
+        # unset v2 fields must not appear, so v2 specs without them are
+        # byte-identical to the v1 encoding modulo the version stamp
+        sparse = spec_to_json(small_spec())
+        assert "deadline_s" not in sparse
+        assert "submission_key" not in sparse
+
+    def test_v1_payloads_still_load(self):
+        payload = {"spec_version": 1, "experiment": small_exp().to_dict()}
+        spec = spec_from_dict(payload)
+        assert spec.deadline_s is None
+        assert spec.submission_key is None
+
+    def test_v2_field_validation(self):
+        with pytest.raises(ConfigError):
+            CampaignSpec(experiment=small_exp(), deadline_s=0.0)
+        with pytest.raises(ConfigError):
+            CampaignSpec(experiment=small_exp(), deadline_s=-5.0)
+        with pytest.raises(ConfigError):
+            CampaignSpec(experiment=small_exp(), deadline_s=True)
+        with pytest.raises(ConfigError):
+            CampaignSpec(experiment=small_exp(), submission_key="")
+        with pytest.raises(ConfigError):
+            CampaignSpec(experiment=small_exp(), submission_key="a b")
+
 
 class TestResolvePrecedence:
     def test_cli_beats_env_per_component(self):
@@ -165,6 +204,31 @@ class TestResolvePrecedence:
         with pytest.raises(ConfigError):
             resolve_campaign_spec(small_exp(), cli={},
                                   environ={"REPRO_PRIORITY": "urgent"})
+
+    def test_deadline_and_key_cli_beats_env(self):
+        spec = resolve_campaign_spec(
+            small_exp(),
+            cli={"deadline": 15.0, "submission_key": "from-cli"},
+            environ={"REPRO_DEADLINE": "600",
+                     "REPRO_SUBMISSION_KEY": "from-env"})
+        assert spec.deadline_s == 15.0
+        assert spec.submission_key == "from-cli"
+
+    def test_deadline_and_key_env_fills_unset(self):
+        spec = resolve_campaign_spec(
+            small_exp(), cli={},
+            environ={"REPRO_DEADLINE": "600",
+                     "REPRO_SUBMISSION_KEY": "from-env"})
+        assert spec.deadline_s == 600.0
+        assert spec.submission_key == "from-env"
+        spec = resolve_campaign_spec(small_exp(), cli={}, environ={})
+        assert spec.deadline_s is None
+        assert spec.submission_key is None
+
+    def test_bad_env_deadline_is_a_config_error(self):
+        with pytest.raises(ConfigError):
+            resolve_campaign_spec(small_exp(), cli={},
+                                  environ={"REPRO_DEADLINE": "tomorrow"})
 
 
 # --------------------------------------------------------------------------
@@ -257,6 +321,47 @@ class TestScheduler:
             sched.submit("a1", "alice")
         with pytest.raises(ServiceError):
             sched.charge("ghost")
+
+
+class TestOverloadPolicy:
+    def test_shed_threshold_and_retry_after_are_deterministic(self):
+        policy = OverloadPolicy()
+        assert policy.shed_threshold(64) == 52       # ceil(0.8 * 64)
+        assert policy.shed_threshold(1) == 1
+        assert not policy.should_shed(51, 64)
+        assert policy.should_shed(52, 64)
+        # Retry-After scales with backlog, clamped to [1, 30] whole
+        # seconds so the header is always a valid integer.
+        assert policy.retry_after_s(0) == 1.0
+        assert policy.retry_after_s(10) == 5.0
+        assert policy.retry_after_s(1000) == 30.0
+
+    def test_invalid_policies_are_refused(self):
+        with pytest.raises(ServiceError):
+            OverloadPolicy(shed_fraction=0.0)
+        with pytest.raises(ServiceError):
+            OverloadPolicy(shed_fraction=1.5)
+        with pytest.raises(ServiceError):
+            OverloadPolicy(stall_s=-1.0)
+        with pytest.raises(ServiceError):
+            OverloadPolicy(min_retry_after_s=10.0, max_retry_after_s=1.0)
+
+
+class TestClientPolicy:
+    def test_backoff_is_capped_exponential_without_jitter(self):
+        policy = ClientPolicy(retries=5)
+        assert [policy.backoff_s(n) for n in range(6)] == \
+            [0.05, 0.1, 0.2, 0.4, 0.8, 1.0]
+        # deterministic: same attempt, same delay, every time
+        assert policy.backoff_s(3) == policy.backoff_s(3)
+
+    def test_invalid_policies_are_refused(self):
+        with pytest.raises(ConfigError):
+            ClientPolicy(retries=-1)
+        with pytest.raises(ConfigError):
+            ClientPolicy(backoff_base_s=0.0)
+        with pytest.raises(ConfigError):
+            ClientPolicy(backoff_base_s=2.0, backoff_max_s=1.0)
 
 
 # --------------------------------------------------------------------------
@@ -381,6 +486,167 @@ class TestServiceRecovery:
 
 
 # --------------------------------------------------------------------------
+# overload hardening: deadlines, idempotent submission, shedding
+# --------------------------------------------------------------------------
+
+def keyed_spec(key, deadline=None, **kw):
+    import dataclasses
+    return dataclasses.replace(small_spec(**kw), submission_key=key,
+                               deadline_s=deadline)
+
+
+class TestDeadlineExpiry:
+    def test_lapsed_deadline_expires_through_degraded_path(self, store):
+        registry, cache = store
+        svc = CampaignService(registry=registry, cache=cache)
+        spec = keyed_spec("dl-1", deadline=0.001, exp_id="dl")
+        cid = svc.submit(spec)
+        time.sleep(0.005)
+        svc.run_until_idle()
+        campaign = svc.campaigns[cid]
+        assert campaign.state == "expired"
+        assert "expired" in campaign.error
+        # every cell failed through the ordinary degraded path: the
+        # journal closed complete, the report renders with e=0 rows.
+        assert campaign.stats["failed"] == campaign.cells_total == 4
+        assert registry.load(cid).status == "complete"
+        report = render_result_set(svc.result_set(cid))
+        assert "DEGRADED" in report
+        assert "deadline" in report
+
+    def test_expiry_only_at_cell_boundaries(self, store):
+        registry, cache = store
+        svc = CampaignService(registry=registry, cache=cache)
+        cid = svc.submit(keyed_spec("dl-2", deadline=300.0, exp_id="dlb"))
+        svc.step()  # cell 1 executes well inside the budget
+        # the deadline lapses mid-campaign...
+        svc.campaigns[cid].submitted_at = time.time() - 400.0
+        svc.run_until_idle()
+        campaign = svc.campaigns[cid]
+        # ...so the executed cell keeps its real measurement and only
+        # the cells that never ran are expired.
+        assert campaign.state == "expired"
+        assert campaign.stats["failed"] == 3
+        assert campaign.stats["executed"] == 1
+
+    def test_generous_deadline_changes_no_bytes(self, store):
+        registry, cache = store
+        svc = CampaignService(registry=registry, cache=cache)
+        spec = keyed_spec("dl-3", deadline=3600.0, exp_id="dlok")
+        cid = svc.submit(spec)
+        svc.run_until_idle()
+        assert svc.campaigns[cid].state == "done"
+        # the deadline is not part of any fingerprint or report
+        import dataclasses
+        bare = dataclasses.replace(spec, deadline_s=None,
+                                   submission_key=None)
+        assert render_result_set(svc.result_set(cid)) == solo_render(bare)
+
+    def test_restart_never_extends_a_deadline(self, store):
+        registry, cache = store
+        svc1 = CampaignService(registry=registry, cache=cache)
+        cid = svc1.submit(keyed_spec("dl-4", deadline=0.001, exp_id="dlr"))
+        svc1.suspend()  # daemon dies before the first grant
+        time.sleep(0.005)
+        svc2 = CampaignService(registry=registry, cache=cache)
+        assert svc2.recover() == [cid]
+        # the recovered campaign's budget counts from the journal's
+        # birth, not the restart
+        assert svc2.campaigns[cid].deadline_lapsed()
+        svc2.run_until_idle()
+        assert svc2.campaigns[cid].state == "expired"
+
+    def test_expired_campaigns_are_not_requeued_on_recover(self, store):
+        registry, cache = store
+        svc1 = CampaignService(registry=registry, cache=cache)
+        cid = svc1.submit(keyed_spec("dl-5", deadline=0.001, exp_id="dlq"))
+        time.sleep(0.005)
+        svc1.run_until_idle()
+        assert svc1.campaigns[cid].state == "expired"
+        svc1.suspend()
+        svc2 = CampaignService(registry=registry, cache=cache)
+        assert svc2.recover() == []
+
+
+class TestIdempotentSubmit:
+    def test_same_key_returns_original_id_without_disk(self, store):
+        registry, cache = store
+        svc = CampaignService(registry=registry, cache=cache)
+        spec = keyed_spec("retry-1", exp_id="idem")
+        cid = svc.submit(spec)
+        assert svc.submit_idempotent(spec) == (cid, True)
+        assert svc.submit(spec) == cid
+        assert svc.duplicates_total == 2
+        assert svc.accepted_total == 1
+        assert len(registry.run_ids()) == 1  # one journal, not three
+
+    def test_distinct_keys_are_distinct_campaigns(self, store):
+        registry, cache = store
+        svc = CampaignService(registry=registry, cache=cache)
+        a = svc.submit(keyed_spec("k-a", exp_id="idem"))
+        b = svc.submit(keyed_spec("k-b", exp_id="idem"))
+        assert a != b
+
+    def test_key_map_survives_restart_even_for_finished_campaigns(
+            self, store):
+        registry, cache = store
+        svc1 = CampaignService(registry=registry, cache=cache)
+        spec = keyed_spec("retry-2", exp_id="idemr")
+        cid = svc1.submit(spec)
+        svc1.run_until_idle()
+        assert svc1.campaigns[cid].state == "done"
+        svc1.suspend()
+        # The daemon restarts; the retried submit must converge on the
+        # original id even though the campaign is finished and recover()
+        # requeues nothing.
+        svc2 = CampaignService(registry=registry, cache=cache)
+        assert svc2.recover() == []
+        assert svc2.submit_idempotent(spec) == (cid, True)
+        assert len(registry.run_ids()) == 1
+
+    def test_unkeyed_submits_never_dedup(self, store):
+        registry, cache = store
+        svc = CampaignService(registry=registry, cache=cache)
+        spec = small_spec(exp_id="nokey")
+        assert svc.submit(spec) != svc.submit(spec)
+
+
+class TestLoadShedding:
+    def shed_service(self, store, max_total=4):
+        registry, cache = store
+        return CampaignService(
+            registry=registry, cache=cache,
+            policy=AdmissionPolicy(
+                max_total=max_total,
+                default_quota=TenantQuota(max_queued=max_total)))
+
+    def test_sheds_past_threshold_before_admission_wall(self, store):
+        svc = self.shed_service(store, max_total=4)  # shed at ceil(3.2)=4
+        for i in range(3):
+            svc.submit(small_spec(exp_id=f"shed-{i}"))
+        svc.check_overload()  # backlog 3 < 4: accepting
+        svc.submit(small_spec(exp_id="shed-3"))
+        with pytest.raises(OverloadError) as excinfo:
+            svc.check_overload()
+        assert excinfo.value.retry_after_s >= 1.0
+        assert svc.shed_total == 1
+        # the shed hint also rides in the status document
+        overload = svc.status_payload()["overload"]
+        assert overload["shed"] == 1
+        assert overload["shed_threshold"] == 4
+
+    def test_stalled_scheduler_sheds_even_below_threshold(self, store):
+        svc = self.shed_service(store, max_total=8)
+        svc.submit(small_spec(exp_id="stall"))
+        svc.check_overload()  # backlog 1, fresh grant clock: fine
+        svc._last_grant = time.time() - 120.0  # wedged for 2 minutes
+        with pytest.raises(OverloadError, match="wedged"):
+            svc.check_overload()
+        svc.run_until_idle()  # granting clears the stall verdict
+        svc.check_overload()
+
+
+# --------------------------------------------------------------------------
 # ACTIVE sidecars: runs list, fsck, liveness pruning
 # --------------------------------------------------------------------------
 
@@ -473,6 +739,50 @@ class TestDaemonWire:
             client.submit_payload({"spec_version": 99,
                                    "experiment": small_exp().to_dict()})
 
+    def test_duplicate_submit_answers_original_id(self, daemon):
+        client = ServiceClient(daemon.socket_path)
+        spec = keyed_spec("wire-dup", exp_id="wiredup")
+        cid = client.submit(spec)
+        assert client.submit(spec) == cid  # 200 + duplicate, not 409
+        client.wait(cid, timeout=120)
+        assert client.submit(spec) == cid  # still answered when done
+        overload = client.status()["overload"]
+        assert overload["duplicates"] == 2
+        assert overload["accepted"] == 1
+
+    def test_expired_campaign_raises_deadline_expired_on_wait(self, daemon):
+        client = ServiceClient(daemon.socket_path)
+        # 12 cells under a 50 ms budget cannot finish in time, so the
+        # campaign must expire at a cell boundary whatever the timing.
+        spec = keyed_spec("wire-dl", deadline=0.05, exp_id="wiredl",
+                          models=("julia", "numba", "kokkos"),
+                          sizes=(256, 512, 1024, 2048))
+        cid = client.submit(spec)
+        with pytest.raises(DeadlineExpired) as excinfo:
+            client.wait(cid, timeout=120)
+        assert excinfo.value.campaign_id == cid
+        assert excinfo.value.deadline_s == 0.05
+        row = client.campaign(cid)
+        assert row["state"] == "expired"
+        assert row["deadline_s"] == 0.05
+        # the degraded report still renders
+        assert "DEGRADED" in client.report(cid)
+
+    def test_report_json_roundtrips_byte_identically(self, daemon):
+        client = ServiceClient(daemon.socket_path)
+        spec = small_spec(tenant="alice", exp_id="wirejson")
+        cid = client.submit(spec)
+        client.wait(cid, timeout=120)
+        exported = client.report(cid, fmt="json")
+        # the wire export is byte-identical to `repro run --format json`
+        solo = run_campaign(spec, engine=SweepEngine(cache=None,
+                                                     parallel=False))
+        assert exported == result_set_to_json(solo) + "\n"
+        # and round-trips through the artifact loader losslessly
+        loaded = result_set_from_json(exported)
+        assert render_result_set(loaded) == solo_render(spec)
+        assert result_set_to_json(loaded) + "\n" == exported
+
     def test_second_daemon_on_live_socket_fails_fast(self, daemon):
         client = ServiceClient(daemon.socket_path)
         client.ping()
@@ -532,6 +842,75 @@ class TestDaemonShutdown:
         thread.join(timeout=30)
         assert not thread.is_alive()
         assert not os.path.exists(sock)
+
+
+class TestOverloadWire:
+    @pytest.fixture
+    def idle_daemon(self, store, tmp_path):
+        # Listener only, no scheduler loop: the backlog cannot drain, so
+        # shedding behaviour is deterministic.
+        registry, cache = store
+        svc = CampaignService(
+            registry=registry, cache=cache,
+            policy=AdmissionPolicy(max_total=4,
+                                   default_quota=TenantQuota(max_queued=4)))
+        sock = str(tmp_path / "shed.sock")
+        daemon = CampaignDaemon(service=svc, socket_path=sock)
+        listener = threading.Thread(target=daemon.server.serve_forever,
+                                    daemon=True)
+        listener.start()
+        yield daemon
+        daemon.server.shutdown()
+        daemon.server.server_close()
+        try:
+            os.unlink(sock)
+        except OSError:
+            pass
+
+    def test_saturated_daemon_sheds_429_with_retry_after(self, idle_daemon):
+        client = ServiceClient(idle_daemon.socket_path)
+        for i in range(4):  # shed threshold = ceil(0.8 * 4) = 4
+            client.submit(small_spec(exp_id=f"shed-{i}"))
+        with pytest.raises(OverloadError) as excinfo:
+            client.submit(small_spec(exp_id="shed-4"))
+        assert excinfo.value.retry_after_s >= 1.0
+        assert "saturated" in str(excinfo.value)
+        # shed before admission and before disk: nothing was journaled
+        assert idle_daemon.service.scheduler.backlog == 4
+        assert client.status()["overload"]["shed"] == 1
+
+    def test_client_retries_shed_submit_only_with_key(self, idle_daemon):
+        sock = idle_daemon.socket_path
+        for i in range(4):
+            ServiceClient(sock).submit(small_spec(exp_id=f"pre-{i}"))
+        fast = ClientPolicy(retries=1, backoff_base_s=0.001,
+                            backoff_factor=1.0, backoff_max_s=0.001)
+        # a keyed submit retries (and still fails: nothing drains)...
+        client = ServiceClient(sock, policy=fast)
+        t0 = time.monotonic()
+        with pytest.raises(OverloadError):
+            client.submit(keyed_spec("retry-shed", exp_id="k"))
+        assert client.retries_used == 1
+        # ...honouring the daemon's Retry-After between attempts
+        assert time.monotonic() - t0 >= 2.0
+        # an unkeyed submit must not be retried: a lost ACK would
+        # duplicate the campaign
+        client = ServiceClient(sock, policy=fast)
+        with pytest.raises(OverloadError):
+            client.submit(small_spec(exp_id="nokey"))
+        assert client.retries_used == 0
+
+    def test_unreachable_daemon_is_retryable_for_gets(self, tmp_path):
+        fast = ClientPolicy(retries=3, backoff_base_s=0.001,
+                            backoff_factor=1.0, backoff_max_s=0.001)
+        client = ServiceClient(str(tmp_path / "nobody.sock"), policy=fast)
+        with pytest.raises(ServiceError, match="repro serve"):
+            client.ping()
+        assert client.retries_used == 3  # GETs retry on connect-refused
+        client = ServiceClient(str(tmp_path / "nobody.sock"), policy=fast)
+        with pytest.raises(ServiceError):
+            client.submit(small_spec(exp_id="gone"))
+        assert client.retries_used == 0  # unkeyed POSTs never retry
 
 
 # --------------------------------------------------------------------------
@@ -762,3 +1141,49 @@ class TestCliService:
         rc = main(["status", "--socket", str(tmp_path / "none.sock")])
         assert rc == 1
         assert "repro serve" in capsys.readouterr().err
+
+    def test_submit_wait_on_expired_campaign_exits_1(self, store, tmp_path,
+                                                     capsys):
+        from repro.cli import main
+
+        registry, cache = store
+        svc = CampaignService(registry=registry, cache=cache)
+        sock = str(tmp_path / "dl.sock")
+        daemon = CampaignDaemon(service=svc, socket_path=sock)
+        thread = threading.Thread(
+            target=daemon.serve, kwargs={"install_signals": False},
+            daemon=True)
+        thread.start()
+        try:
+            assert _wait_until(lambda: _ping_ok(sock))
+            rc = main(["submit", "--socket", sock, "--exp-id", "cli-dl",
+                       "--models", "julia,numba,kokkos",
+                       "--sizes", "256,512,1024,2048", "--reps", "2",
+                       "--deadline", "0.05", "--submission-key", "cli-dl-1",
+                       "--wait"])
+            captured = capsys.readouterr()
+            assert rc == 1
+            assert "expired" in captured.err
+        finally:
+            main(["serve", "--stop", "--socket", sock])
+            thread.join(timeout=30)
+        assert not thread.is_alive()
+
+    def test_client_retries_resolution(self, monkeypatch):
+        import argparse
+
+        from repro.cli import _client_retries
+
+        ns = argparse.Namespace(client_retries=None)
+        monkeypatch.delenv("REPRO_CLIENT_RETRIES", raising=False)
+        assert _client_retries(ns) == 0
+        monkeypatch.setenv("REPRO_CLIENT_RETRIES", "5")
+        assert _client_retries(ns) == 5
+        # the flag beats the environment
+        assert _client_retries(argparse.Namespace(client_retries=2)) == 2
+        monkeypatch.setenv("REPRO_CLIENT_RETRIES", "many")
+        with pytest.raises(ConfigError):
+            _client_retries(ns)
+        monkeypatch.setenv("REPRO_CLIENT_RETRIES", "-1")
+        with pytest.raises(ConfigError):
+            _client_retries(ns)
